@@ -1,0 +1,76 @@
+/// \file ablate_batch_modulation.cpp
+/// Ablations A7/A8 (extensions beyond the paper's single-image OOK
+/// defaults): inference batch size, and OOK vs PAM-4 signaling on the
+/// photonic interposer (the §II multilevel option [44]).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optiplet;
+  using accel::Architecture;
+
+  // --- A7: batch size ---
+  std::printf(
+      "ABLATION A7: batch-size sweep (per-image latency; weights stream "
+      "once per batch)\n\n");
+  util::TextTable bt({"Batch", "Architecture", "Latency/image (ms)",
+                      "Power (W)", "EPB (pJ/bit)"});
+  const auto vgg = dnn::zoo::make_vgg16();
+  for (const unsigned batch : {1u, 2u, 4u, 8u, 16u}) {
+    core::SystemConfig cfg = core::default_system_config();
+    cfg.batch_size = batch;
+    const core::SystemSimulator sim(cfg);
+    for (const auto arch :
+         {Architecture::kMonolithicCrossLight, Architecture::kSiph2p5D}) {
+      const auto r = sim.run(vgg, arch);
+      bt.add_row({std::to_string(batch), accel::to_string(arch),
+                  util::format_fixed(r.latency_s * 1e3 / batch, 3),
+                  util::format_fixed(r.average_power_w, 2),
+                  util::format_fixed(r.epb_j_per_bit * 1e12, 1)});
+    }
+    bt.add_separator();
+  }
+  std::fputs(bt.render().c_str(), stdout);
+  std::printf(
+      "\nReading (VGG16, the weight-heaviest model): batching amortizes\n"
+      "the 1.1 Gb weight stream, so the DDR-starved monolithic chip gains\n"
+      "the most per-image; the SiPh platform is compute-bound earlier.\n\n");
+
+  // --- A8: modulation format ---
+  std::printf(
+      "ABLATION A8: interposer signaling format (average over 5 models, "
+      "SiPh)\n\n");
+  util::TextTable mt({"Format", "Avg latency (ms)", "Avg power (W)",
+                      "Avg EPB (pJ/bit)", "Broadcast BW (Gb/s)"});
+  for (const auto format : {photonics::ModulationFormat::kOok,
+                            photonics::ModulationFormat::kPam4}) {
+    core::SystemConfig cfg = core::default_system_config();
+    cfg.photonic.modulation = format;
+    const noc::PhotonicInterposer probe(cfg.photonic, cfg.tech.photonic);
+    const core::SystemSimulator sim(cfg);
+    std::vector<core::RunResult> runs;
+    for (const auto& model : dnn::zoo::all_models()) {
+      runs.push_back(sim.run(model, Architecture::kSiph2p5D));
+    }
+    const auto avg = core::average_runs(photonics::to_string(format), runs);
+    mt.add_row({avg.platform, util::format_fixed(avg.latency_s * 1e3, 3),
+                util::format_fixed(avg.power_w, 2),
+                util::format_fixed(avg.epb_j_per_bit * 1e12, 1),
+                util::format_fixed(probe.swmr_bandwidth_bps(64) / 1e9, 0)});
+  }
+  std::fputs(mt.render().c_str(), stdout);
+  std::printf(
+      "\nReading: PAM-4 doubles the broadcast to 1536 Gb/s but pays ~6 dB\n"
+      "of receiver penalty (4x laser power per wavelength) plus a second\n"
+      "modulator ring per channel — at the Table-1 operating point the\n"
+      "compute groups, not the network, are the bottleneck, so the extra\n"
+      "bandwidth buys little latency and costs power: OOK is the right\n"
+      "default, exactly as the paper assumes.\n");
+  return 0;
+}

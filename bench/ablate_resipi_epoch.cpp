@@ -1,0 +1,42 @@
+/// \file ablate_resipi_epoch.cpp
+/// Ablation A3: ReSiPI monitoring-epoch length. Short epochs track traffic
+/// tightly but quantization stalls (a config change takes effect at the
+/// next epoch boundary) hit every layer; long epochs under-react and hold
+/// stale gateway configurations.
+
+#include <cstdio>
+
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace optiplet;
+  using accel::Architecture;
+
+  std::printf("ABLATION A3: ReSiPI epoch-length sweep (SiPh, all models)\n\n");
+
+  util::TextTable t({"Epoch (us)", "Model", "Latency (ms)", "Power (W)",
+                     "Reconfigs", "PCM energy (nJ)"});
+  for (const double epoch_us : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    core::SystemConfig cfg = core::default_system_config();
+    cfg.resipi.epoch_s = epoch_us * units::us;
+    const core::SystemSimulator sim(cfg);
+    for (const auto& model : dnn::zoo::all_models()) {
+      const auto r = sim.run(model, Architecture::kSiph2p5D);
+      t.add_row({util::format_fixed(epoch_us, 0), r.model_name,
+                 util::format_fixed(r.latency_s * 1e3, 4),
+                 util::format_fixed(r.average_power_w, 2),
+                 std::to_string(r.resipi_reconfigurations),
+                 util::format_fixed(r.resipi_energy_j * 1e9, 1)});
+    }
+    t.add_separator();
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReading: small models suffer most from long epochs (their whole\n"
+      "inference fits in a few epochs, so reconfiguration lag dominates);\n"
+      "PCM write energy is negligible at every setting.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file ablate_symbol_rate.cpp
+/// Ablation A4: photonic MAC symbol rate (the DAC-limited dial of the
+/// CrossLight device stack, 1-10 GS/s in the literature). Shows the
+/// compute-bound -> communication-bound crossover per architecture.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace optiplet;
+  using accel::Architecture;
+
+  std::printf(
+      "ABLATION A4: MAC symbol-rate sweep (average over the 5 models)\n"
+      "Default: 4 GS/s.\n\n");
+
+  util::TextTable t({"Symbol rate (GS/s)", "Architecture", "Avg latency (ms)",
+                     "Avg power (W)", "Avg EPB (pJ/bit)"});
+  for (const double gsps : {1.0, 2.0, 4.0, 8.0}) {
+    core::SystemConfig cfg = core::default_system_config();
+    cfg.tech.compute.mac_symbol_rate_hz = gsps * units::GHz;
+    const core::SystemSimulator sim(cfg);
+    for (const auto arch :
+         {Architecture::kMonolithicCrossLight, Architecture::kElec2p5D,
+          Architecture::kSiph2p5D}) {
+      std::vector<core::RunResult> runs;
+      for (const auto& model : dnn::zoo::all_models()) {
+        runs.push_back(sim.run(model, arch));
+      }
+      const auto avg = core::average_runs(accel::to_string(arch), runs);
+      t.add_row({util::format_fixed(gsps, 0), avg.platform,
+                 util::format_fixed(avg.latency_s * 1e3, 3),
+                 util::format_fixed(avg.power_w, 2),
+                 util::format_fixed(avg.epb_j_per_bit * 1e12, 1)});
+    }
+    t.add_separator();
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReading: the SiPh platform converts symbol-rate into latency until\n"
+      "the 768 Gb/s broadcast saturates; the monolithic chip barely moves\n"
+      "(DDR-bound), and the electrical interposer not at all (MSHR-bound).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file fig7_performance.cpp
+/// Regenerates **Fig. 7** of the paper: per-model (a) normalized power,
+/// (b) normalized total latency, and (c) normalized energy-per-bit for the
+/// three architectures, normalized to monolithic CrossLight per model.
+/// Also dumps fig7.csv next to the binary for plotting.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optiplet;
+  using accel::Architecture;
+
+  const core::SystemSimulator sim(core::default_system_config());
+  std::vector<core::RunResult> runs;
+  for (const auto arch :
+       {Architecture::kMonolithicCrossLight, Architecture::kElec2p5D,
+        Architecture::kSiph2p5D}) {
+    for (const auto& model : dnn::zoo::all_models()) {
+      runs.push_back(sim.run(model, arch));
+    }
+  }
+  const auto points = core::normalize_to_monolithic(runs);
+
+  const auto series = [&](Architecture arch, auto metric) {
+    std::map<std::string, double> values;
+    for (const auto& p : points) {
+      if (p.arch == arch) {
+        values[p.model] = metric(p);
+      }
+    }
+    return values;
+  };
+
+  const auto print_panel = [&](const char* title, auto metric) {
+    std::printf("%s\n", title);
+    util::TextTable t({"Model", "CrossLight", "2.5D-Elec", "2.5D-SiPh"});
+    for (const auto& name : dnn::zoo::model_names()) {
+      t.add_row(
+          {name, "1.000",
+           util::format_fixed(
+               series(Architecture::kElec2p5D, metric).at(name), 3),
+           util::format_fixed(
+               series(Architecture::kSiph2p5D, metric).at(name), 3)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n");
+  };
+
+  std::printf(
+      "FIG. 7. PERFORMANCE ANALYSIS (normalized to monolithic CrossLight "
+      "per model)\n\n");
+  print_panel("(a) Normalized power consumption",
+              [](const core::NormalizedPoint& p) { return p.power; });
+  print_panel("(b) Normalized total latency",
+              [](const core::NormalizedPoint& p) { return p.latency; });
+  print_panel("(c) Normalized energy-per-bit",
+              [](const core::NormalizedPoint& p) { return p.epb; });
+
+  std::printf("Absolute values per (model, architecture):\n");
+  util::TextTable abs({"Model", "Architecture", "Power (W)", "Latency (ms)",
+                       "EPB (pJ/bit)", "Mean active gateways"});
+  for (const auto& r : runs) {
+    abs.add_row({r.model_name, accel::to_string(r.arch),
+                 util::format_fixed(r.average_power_w, 2),
+                 util::format_fixed(r.latency_s * 1e3, 4),
+                 util::format_fixed(r.epb_j_per_bit * 1e12, 1),
+                 util::format_fixed(r.mean_active_gateways, 1)});
+  }
+  std::fputs(abs.render().c_str(), stdout);
+
+  util::CsvWriter csv("fig7.csv", {"model", "architecture", "power_w",
+                                   "latency_s", "epb_j_per_bit",
+                                   "norm_power", "norm_latency", "norm_epb"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    csv.add_row({runs[i].model_name, accel::to_string(runs[i].arch),
+                 std::to_string(runs[i].average_power_w),
+                 std::to_string(runs[i].latency_s),
+                 std::to_string(runs[i].epb_j_per_bit),
+                 std::to_string(points[i].power),
+                 std::to_string(points[i].latency),
+                 std::to_string(points[i].epb)});
+  }
+  std::printf("\nSeries written to fig7.csv\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+/// \file micro_devices.cpp
+/// google-benchmark microbenchmarks (A6): throughput of the device models
+/// and simulator kernels themselves. These guard against performance
+/// regressions in the hot paths (ring transfer functions inside crosstalk
+/// sweeps, router ticks inside the cycle simulator, full system runs
+/// inside the DSE loops).
+
+#include <benchmark/benchmark.h>
+
+#include "accel/platform.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "noc/mesh.hpp"
+#include "noc/traffic.hpp"
+#include "photonics/link_budget.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/pcm_coupler.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace optiplet;
+using optiplet::units::nm;
+
+void BM_MicroringDropTransmission(benchmark::State& state) {
+  const photonics::MicroringResonator ring(photonics::MicroringDesign{},
+                                           photonics::MicroringTuning{},
+                                           1550.0 * nm);
+  double wl = 1549.0 * nm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.drop_transmission(wl));
+    wl += 0.001 * nm;
+    if (wl > 1551.0 * nm) {
+      wl = 1549.0 * nm;
+    }
+  }
+}
+BENCHMARK(BM_MicroringDropTransmission);
+
+void BM_CrosstalkPenalty64Channels(benchmark::State& state) {
+  const auto grid = photonics::make_cband_grid(64);
+  const photonics::MicroringResonator filter(photonics::MicroringDesign{},
+                                             photonics::MicroringTuning{},
+                                             grid.wavelength_m(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(photonics::LinkBudget::crosstalk_penalty_db(
+        filter, grid, 32, 64));
+  }
+}
+BENCHMARK(BM_CrosstalkPenalty64Channels);
+
+void BM_PcmCouplerRetune(benchmark::State& state) {
+  photonics::PcmCoupler pcm{photonics::PcmCouplerDesign{}};
+  double chi = 0.0;
+  for (auto _ : state) {
+    pcm.set_crystalline_fraction(chi);
+    benchmark::DoNotOptimize(pcm.cross_transmission());
+    chi = chi > 0.99 ? 0.0 : chi + 0.01;
+  }
+}
+BENCHMARK(BM_PcmCouplerRetune);
+
+void BM_MeshStepIdle(benchmark::State& state) {
+  noc::ElectricalMesh mesh(noc::MeshConfig{}, power::ElectricalTech{});
+  for (auto _ : state) {
+    mesh.step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mesh.node_count()));
+}
+BENCHMARK(BM_MeshStepIdle);
+
+void BM_MeshStepLoaded(benchmark::State& state) {
+  noc::ElectricalMesh mesh(noc::MeshConfig{}, power::ElectricalTech{});
+  noc::SyntheticTrafficConfig traffic;
+  traffic.injection_rate = 0.3;
+  noc::SyntheticTrafficHarness harness(mesh, traffic);
+  harness.run(500, 0);  // warm the network up
+  util::Xoshiro256 rng(99);
+  for (auto _ : state) {
+    // Keep the network loaded while measuring step() cost.
+    if (rng.next_bool(0.3)) {
+      mesh.inject(static_cast<noc::NodeId>(rng.next_below(9)),
+                  static_cast<noc::NodeId>(rng.next_below(9)), 512);
+    }
+    mesh.step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mesh.node_count()));
+}
+BENCHMARK(BM_MeshStepLoaded);
+
+void BM_BuildResNet50Graph(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnn::zoo::make_resnet50());
+  }
+}
+BENCHMARK(BM_BuildResNet50Graph);
+
+void BM_PlatformConstruction(benchmark::State& state) {
+  const auto tech = power::default_tech();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel::Platform(accel::make_table1_spec(), tech));
+  }
+}
+BENCHMARK(BM_PlatformConstruction);
+
+void BM_FullSystemRunResNet50Siph(benchmark::State& state) {
+  const core::SystemSimulator sim(core::default_system_config());
+  const auto model = dnn::zoo::make_resnet50();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.run(model, accel::Architecture::kSiph2p5D));
+  }
+}
+BENCHMARK(BM_FullSystemRunResNet50Siph);
+
+void BM_FullSystemRunVgg16AllArchs(benchmark::State& state) {
+  const core::SystemSimulator sim(core::default_system_config());
+  const auto model = dnn::zoo::make_vgg16();
+  for (auto _ : state) {
+    for (const auto arch : {accel::Architecture::kMonolithicCrossLight,
+                            accel::Architecture::kElec2p5D,
+                            accel::Architecture::kSiph2p5D}) {
+      benchmark::DoNotOptimize(sim.run(model, arch));
+    }
+  }
+}
+BENCHMARK(BM_FullSystemRunVgg16AllArchs);
+
+}  // namespace

@@ -1,0 +1,65 @@
+/// \file noc_synthetic_traffic.cpp
+/// Ablation A5: classic cycle-accurate NoC characterization of the
+/// electrical interposer mesh — mean packet latency vs offered load for
+/// uniform-random and hotspot (DNN read) traffic. The hotspot ceiling is
+/// what calibrates the transaction-level electrical model
+/// (tests/core/calibration_test.cpp).
+
+#include <cstdio>
+
+#include "noc/mesh.hpp"
+#include "noc/traffic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optiplet;
+
+  std::printf(
+      "ABLATION A5: cycle-accurate 3x3 mesh, latency vs injection rate\n"
+      "(128-bit links @ 2 GHz, 2 VCs x 4 flits, XY routing; 512-bit "
+      "packets)\n\n");
+
+  const auto run_point = [](noc::TrafficPattern pattern, double rate) {
+    noc::MeshConfig mesh_cfg;
+    noc::ElectricalMesh mesh(mesh_cfg, power::ElectricalTech{});
+    noc::SyntheticTrafficConfig traffic;
+    traffic.pattern = pattern;
+    traffic.injection_rate = rate;
+    traffic.packet_bits = 512;
+    traffic.hotspot = 4;  // center node = memory chiplet site
+    noc::SyntheticTrafficHarness harness(mesh, traffic);
+    harness.run(3'000, 20'000);
+    return std::pair{harness.mean_latency_cycles(),
+                     harness.throughput_flits_per_node_cycle()};
+  };
+
+  util::TextTable t({"Pattern", "Injection (flits/node/cyc)",
+                     "Mean latency (cycles)", "Throughput (flits/node/cyc)"});
+  for (const double rate :
+       {0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60}) {
+    const auto [lat, tp] = run_point(noc::TrafficPattern::kUniformRandom,
+                                     rate);
+    t.add_row({"uniform-random", util::format_fixed(rate, 2),
+               util::format_fixed(lat, 1), util::format_fixed(tp, 3)});
+  }
+  t.add_separator();
+  for (const double rate : {0.02, 0.05, 0.10, 0.20, 0.40, 0.80}) {
+    const auto [lat, tp] = run_point(noc::TrafficPattern::kHotspotReads,
+                                     rate);
+    t.add_row({"hotspot-reads(mem)", util::format_fixed(rate, 2),
+               util::format_fixed(lat, 1), util::format_fixed(tp, 3)});
+  }
+  t.add_separator();
+  for (const double rate : {0.05, 0.10, 0.20, 0.30}) {
+    const auto [lat, tp] = run_point(noc::TrafficPattern::kTranspose, rate);
+    t.add_row({"transpose", util::format_fixed(rate, 2),
+               util::format_fixed(lat, 1), util::format_fixed(tp, 3)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReading: uniform traffic saturates near ~0.4 flits/node/cycle;\n"
+      "the DNN hotspot pattern caps at the single memory port's injection\n"
+      "rate (~0.11 flits/node/cycle = 1 flit/cycle source-limited), which\n"
+      "is the structural reason the electrical interposer loses Table 3.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// \file custom_model.cpp
+/// Define a custom CNN with dnn::GraphBuilder and evaluate it on the 2.5D
+/// photonic platform — the workflow a user follows for a network that is
+/// not in the Table-2 zoo. The example builds a small VGG-style CIFAR
+/// classifier with a residual block.
+
+#include <cstdio>
+
+#include "core/system_simulator.hpp"
+#include "dnn/graph.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optiplet;
+  using dnn::Padding;
+
+  // --- Build: 32x32x3 input, three conv stages, one residual block. ---
+  dnn::GraphBuilder g("TinyResNet-CIFAR", {32, 32, 3});
+  auto x = g.conv2d(g.input_id(), 32, 3, 1, Padding::kSame, false, "stem");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.max_pool(x, 2, 2, Padding::kValid);
+
+  // Residual block at 16x16x32.
+  auto skip = x;
+  x = g.conv2d(x, 32, 3, 1, Padding::kSame, false);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.conv2d(x, 32, 3, 1, Padding::kSame, false);
+  x = g.batch_norm(x);
+  x = g.add({x, skip});
+  x = g.relu(x);
+
+  x = g.conv2d(x, 64, 5, 2, Padding::kSame, false, "downsample5x5");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.global_avg_pool(x);
+  x = g.dense(x, 10, true, "classifier");
+  const dnn::Model model = std::move(g).build();
+
+  std::printf("%s: %zu conv layers, %zu fc layers, %s parameters, %.1f "
+              "MMACs\n\n",
+              model.name().c_str(), model.conv_layer_count(),
+              model.fc_layer_count(),
+              util::format_grouped(model.total_params()).c_str(),
+              static_cast<double>(model.total_macs()) / 1e6);
+
+  // --- Evaluate on all three architectures. ---
+  const core::SystemSimulator simulator(core::default_system_config());
+  util::TextTable t({"Architecture", "Latency (us)", "Power (W)",
+                     "EPB (pJ/bit)"});
+  for (const auto arch : {accel::Architecture::kMonolithicCrossLight,
+                          accel::Architecture::kElec2p5D,
+                          accel::Architecture::kSiph2p5D}) {
+    const auto r = simulator.run(model, arch);
+    t.add_row({accel::to_string(arch),
+               util::format_fixed(r.latency_s * 1e6, 2),
+               util::format_fixed(r.average_power_w, 2),
+               util::format_fixed(r.epb_j_per_bit * 1e12, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  // --- Per-layer mapping report for the photonic platform. ---
+  const auto r = simulator.run(model, accel::Architecture::kSiph2p5D);
+  std::printf("\nPer-layer breakdown on 2.5D-CrossLight-SiPh:\n");
+  util::TextTable layers({"Layer", "Mapped to", "Chiplets", "Compute (us)",
+                          "Read (us)", "Total (us)", "Gateways"});
+  for (const auto& l : r.layers) {
+    layers.add_row({model.layers()[l.layer_index].name,
+                    accel::to_string(l.group),
+                    std::to_string(l.chiplets_used),
+                    util::format_fixed(l.compute_s * 1e6, 3),
+                    util::format_fixed(l.read_s * 1e6, 3),
+                    util::format_fixed(l.total_s * 1e6, 3),
+                    std::to_string(l.gateways_per_chiplet)});
+  }
+  std::fputs(layers.render().c_str(), stdout);
+  std::printf(
+      "\nNote how 3x3 convs land on the 3x3-MAC chiplets, the 5x5\n"
+      "downsample on the 5x5 chiplets, and the classifier on the dense\n"
+      "units — the paper's heterogeneous mapping (Section V).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// \file interposer_reconfiguration_trace.cpp
+/// Watch ReSiPI at work: per-layer trace of the active gateway count while
+/// ResNet50 runs on the photonic interposer. The alternation between
+/// 1x1-conv layers (dense-unit chiplets) and 3x3-conv layers (3x3 chiplets)
+/// drives the controller's activations back and forth.
+
+#include <cstdio>
+#include <string>
+
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace optiplet;
+
+  const core::SystemSimulator sim(core::default_system_config());
+  const auto model = dnn::zoo::make_resnet50();
+  const auto r = sim.run(model, accel::Architecture::kSiph2p5D);
+
+  std::printf(
+      "ReSiPI gateway-activation trace: %s on 2.5D-CrossLight-SiPh\n"
+      "(first 40 compute layers; bar = gateways per assigned chiplet)\n\n",
+      model.name().c_str());
+
+  util::TextTable t({"#", "Layer", "Group", "Gateways", "Activity",
+                     "Layer time (us)"});
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < r.layers.size() && shown < 40; ++i, ++shown) {
+    const auto& l = r.layers[i];
+    t.add_row({std::to_string(i), model.layers()[l.layer_index].name,
+               accel::to_string(l.group),
+               std::to_string(l.gateways_per_chiplet),
+               std::string(l.gateways_per_chiplet, '#'),
+               util::format_fixed(l.total_s * 1e6, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nTotals: %llu PCM gateway reconfigurations, %.2f nJ of PCM write\n"
+      "energy, %.1f mean active gateways across the platform (max 32).\n",
+      static_cast<unsigned long long>(r.resipi_reconfigurations),
+      r.resipi_energy_j * 1e9, r.mean_active_gateways);
+
+  // Contrast with a small model: the controller stays at the floor.
+  const auto lenet = sim.run(dnn::zoo::make_lenet5(),
+                             accel::Architecture::kSiph2p5D);
+  std::printf(
+      "\nLeNet5 for contrast: %.1f mean active gateways, %llu "
+      "reconfigurations\n— the Fig. 7(a) effect: ReSiPI parks the network "
+      "for small models.\n",
+      lenet.mean_active_gateways,
+      static_cast<unsigned long long>(lenet.resipi_reconfigurations));
+  return 0;
+}

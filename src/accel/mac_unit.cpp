@@ -1,0 +1,32 @@
+#include "accel/mac_unit.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::accel {
+
+PhotonicMacUnit::PhotonicMacUnit(MacKind kind, const power::ComputeTech& tech)
+    : kind_(kind), tech_(tech) {
+  OPTIPLET_REQUIRE(tech.mac_symbol_rate_hz > 0.0,
+                   "symbol rate must be positive");
+}
+
+double PhotonicMacUnit::peak_macs_per_s() const {
+  return static_cast<double>(size()) * tech_.mac_symbol_rate_hz;
+}
+
+double PhotonicMacUnit::energy_per_symbol_j(double weight_reuse) const {
+  OPTIPLET_REQUIRE(weight_reuse >= 1.0, "weight reuse must be >= 1");
+  const double s = static_cast<double>(size());
+  const double weight_dacs =
+      s * tech_.dac_energy_per_conversion_j / weight_reuse;
+  const double adc = tech_.adc_energy_per_conversion_j;
+  const double buffers = s * static_cast<double>(tech_.parameter_bits) *
+                         tech_.buffer_energy_per_bit_j;
+  return weight_dacs + adc + buffers;
+}
+
+double PhotonicMacUnit::static_power_w() const {
+  return static_cast<double>(size()) * tech_.mac_static_per_element_w;
+}
+
+}  // namespace optiplet::accel

@@ -1,0 +1,76 @@
+#pragma once
+/// \file mac_unit.hpp
+/// Photonic multiply-accumulate unit (paper §V, Fig. 4).
+///
+/// A MAC unit of vector size S performs one S-element dot product per symbol
+/// at the DAC-limited symbol rate, following the broadcast-and-weight
+/// protocol [35]: activations are imprinted once per wavelength on the
+/// chiplet's broadcast bus (shared by all units on the bus), each unit's
+/// weight bank of S microrings applies per-element amplitude weighting, and
+/// a photodetector sums the S wavelengths into one accumulated current.
+///
+/// Table 1 defines four unit classes: 3x3 / 5x5 / 7x7 convolution MACs
+/// (S = 9 / 25 / 49) and 100-unit dense MACs (S = 100).
+
+#include <cstdint>
+
+#include "power/tech_params.hpp"
+
+namespace optiplet::accel {
+
+/// MAC-unit class (kernel affinity).
+enum class MacKind { kDense100, kConv7, kConv5, kConv3 };
+
+[[nodiscard]] constexpr const char* to_string(MacKind kind) {
+  switch (kind) {
+    case MacKind::kDense100: return "100-unit dense";
+    case MacKind::kConv7: return "7x7 conv";
+    case MacKind::kConv5: return "5x5 conv";
+    case MacKind::kConv3: return "3x3 conv";
+  }
+  return "?";
+}
+
+/// Dot-product vector length of a unit class (kernel elements; 100 for the
+/// dense unit).
+[[nodiscard]] constexpr std::uint32_t vector_size(MacKind kind) {
+  switch (kind) {
+    case MacKind::kDense100: return 100;
+    case MacKind::kConv7: return 49;
+    case MacKind::kConv5: return 25;
+    case MacKind::kConv3: return 9;
+  }
+  return 0;
+}
+
+/// One photonic MAC unit.
+class PhotonicMacUnit {
+ public:
+  PhotonicMacUnit(MacKind kind, const power::ComputeTech& tech);
+
+  [[nodiscard]] MacKind kind() const { return kind_; }
+  [[nodiscard]] std::uint32_t size() const { return vector_size(kind_); }
+
+  /// Peak multiply-accumulate throughput [MAC/s] = S * symbol rate.
+  [[nodiscard]] double peak_macs_per_s() const;
+
+  /// Microrings in the unit: S weight rings + S input-bank rings shared at
+  /// the bus head are accounted at the chiplet level; per unit we count the
+  /// weight bank only.
+  [[nodiscard]] std::uint32_t ring_count() const { return size(); }
+
+  /// Dynamic energy per symbol (one S-element dot product) [J]:
+  /// S weight-DAC conversions amortized over weight reuse, one ADC sample,
+  /// and buffer reads for the S activations.
+  [[nodiscard]] double energy_per_symbol_j(double weight_reuse) const;
+
+  /// Static electrical power of the unit's drivers and biasing [W]
+  /// (excludes ring tuning, which the chiplet aggregates).
+  [[nodiscard]] double static_power_w() const;
+
+ private:
+  MacKind kind_;
+  power::ComputeTech tech_;
+};
+
+}  // namespace optiplet::accel

@@ -1,0 +1,46 @@
+#include "accel/mapper.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::accel {
+
+MacKind affinity(const dnn::LayerWork& layer) {
+  if (layer.kind == dnn::LayerKind::kDense) {
+    return MacKind::kDense100;
+  }
+  if (layer.kind == dnn::LayerKind::kDepthwiseConv2d) {
+    return MacKind::kConv3;  // 9-element dots
+  }
+  switch (layer.kernel) {
+    case 1:
+      return MacKind::kDense100;  // pointwise: channel-length dot products
+    case 2:
+    case 3:
+      return MacKind::kConv3;
+    case 4:
+    case 5:
+      return MacKind::kConv5;
+    default:
+      return MacKind::kConv7;  // 6x6, 7x7 and larger (decomposed)
+  }
+}
+
+std::vector<LayerAssignment> map_layers(const dnn::Workload& workload,
+                                        const Platform& platform) {
+  std::vector<LayerAssignment> assignments;
+  assignments.reserve(workload.layers.size());
+  for (std::size_t i = 0; i < workload.layers.size(); ++i) {
+    const dnn::LayerWork& lw = workload.layers[i];
+    LayerAssignment a;
+    a.workload_index = i;
+    a.group = affinity(lw);
+    const Platform::Group& g = platform.group_for(a.group);
+    a.chiplets_used = g.chiplet_count;
+    a.macs_per_s = platform.group_macs_per_s(a.group);
+    OPTIPLET_ASSERT(a.macs_per_s > 0.0, "group with zero throughput");
+    assignments.push_back(a);
+  }
+  return assignments;
+}
+
+}  // namespace optiplet::accel

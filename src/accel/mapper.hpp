@@ -1,0 +1,42 @@
+#pragma once
+/// \file mapper.hpp
+/// Layer-to-chiplet mapping (paper §V: "heterogeneous MAC unit sizes across
+/// different chiplets to cater to the different kernel sizes").
+///
+/// Affinity rules:
+///   * 3x3 convs and depthwise convs (9-element dots) -> 3x3 chiplets;
+///   * 4x4/5x5 -> 5x5 chiplets; 6x6/7x7 and larger -> 7x7 chiplets;
+///   * 1x1 (pointwise) convs and fully connected layers -> 100-unit dense
+///     chiplets (their dot products are channel-length vectors);
+///   * 2x2 -> 3x3 chiplets.
+///
+/// A layer is data-parallelized across every chiplet of its affinity group;
+/// the replication factor (how many chiplets need the layer's operand
+/// stream) is what the electrical interposer pays for and the photonic
+/// broadcast gets for free.
+
+#include <vector>
+
+#include "accel/platform.hpp"
+#include "dnn/workload.hpp"
+
+namespace optiplet::accel {
+
+/// Mapping decision for one compute layer.
+struct LayerAssignment {
+  std::size_t workload_index = 0;  ///< index into Workload::layers
+  MacKind group = MacKind::kConv3;
+  /// Chiplets of the group working on the layer.
+  std::size_t chiplets_used = 1;
+  /// Aggregate sustained throughput available to the layer [MAC/s].
+  double macs_per_s = 0.0;
+};
+
+/// MAC-kind affinity of a layer.
+[[nodiscard]] MacKind affinity(const dnn::LayerWork& layer);
+
+/// Map every compute layer of `workload` onto `platform`.
+[[nodiscard]] std::vector<LayerAssignment> map_layers(
+    const dnn::Workload& workload, const Platform& platform);
+
+}  // namespace optiplet::accel

@@ -1,0 +1,112 @@
+#include "accel/platform.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::accel {
+
+PlatformSpec make_table1_spec() {
+  PlatformSpec spec;
+
+  ChipletDesign dense;
+  dense.kind = MacKind::kDense100;
+  dense.units = 4;
+  dense.units_per_bus = 1;  // Table 1: 1 MAC per gateway
+  spec.groups.push_back({dense, 2});
+
+  ChipletDesign conv7;
+  conv7.kind = MacKind::kConv7;
+  conv7.units = 8;
+  conv7.units_per_bus = 2;  // 2 MACs per gateway
+  spec.groups.push_back({conv7, 1});
+
+  ChipletDesign conv5;
+  conv5.kind = MacKind::kConv5;
+  conv5.units = 16;
+  conv5.units_per_bus = 4;  // 4 MACs per gateway
+  spec.groups.push_back({conv5, 2});
+
+  ChipletDesign conv3;
+  conv3.kind = MacKind::kConv3;
+  conv3.units = 44;
+  conv3.units_per_bus = 11;  // 11 MACs per gateway
+  spec.groups.push_back({conv3, 3});
+
+  return spec;
+}
+
+PlatformSpec make_monolithic_spec(unsigned scale_divisor) {
+  OPTIPLET_REQUIRE(scale_divisor >= 1, "scale divisor must be >= 1");
+  PlatformSpec spec = make_table1_spec();
+  for (auto& group : spec.groups) {
+    // Fold each group's chiplets into one on-die unit pool at 1/scale.
+    const std::uint64_t total_units =
+        static_cast<std::uint64_t>(group.chiplet.units) * group.chiplet_count;
+    group.chiplet.units = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, total_units / scale_divisor));
+    group.chiplet_count = 1;
+    // Monolithic geometry: fewer memory ports feed the die, so buses carry
+    // twice the units; the big die adds path length and crossings.
+    group.chiplet.units_per_bus =
+        std::min(group.chiplet.units, group.chiplet.units_per_bus * 2);
+    group.chiplet.extra_path_m = 8.0 * units::mm;
+    group.chiplet.crossings = 16;
+  }
+  return spec;
+}
+
+Platform::Platform(const PlatformSpec& spec, const power::TechParams& tech)
+    : spec_(spec) {
+  OPTIPLET_REQUIRE(!spec.groups.empty(), "platform needs chiplet groups");
+  groups_.reserve(spec.groups.size());
+  for (const auto& g : spec.groups) {
+    OPTIPLET_REQUIRE(g.chiplet_count >= 1, "empty chiplet group");
+    groups_.push_back(Group{ComputeChiplet(g.chiplet, tech), g.chiplet_count});
+  }
+  // Every MAC kind must be served (the mapper assumes it).
+  for (MacKind kind : {MacKind::kDense100, MacKind::kConv7, MacKind::kConv5,
+                       MacKind::kConv3}) {
+    (void)group_for(kind);
+  }
+}
+
+const Platform::Group& Platform::group_for(MacKind kind) const {
+  for (const auto& g : groups_) {
+    if (g.chiplet.kind() == kind) {
+      return g;
+    }
+  }
+  OPTIPLET_REQUIRE(false, "platform has no chiplet group for MAC kind");
+  return groups_.front();  // unreachable
+}
+
+double Platform::group_macs_per_s(MacKind kind) const {
+  const Group& g = group_for(kind);
+  return g.chiplet.sustained_macs_per_s() *
+         static_cast<double>(g.chiplet_count);
+}
+
+std::uint64_t Platform::total_units() const {
+  std::uint64_t n = 0;
+  for (const auto& g : groups_) {
+    n += static_cast<std::uint64_t>(g.chiplet.unit_count()) * g.chiplet_count;
+  }
+  return n;
+}
+
+std::size_t Platform::total_chiplets() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) {
+    n += g.chiplet_count;
+  }
+  return n;
+}
+
+double Platform::peak_compute_power_w() const {
+  double p = 0.0;
+  for (const auto& g : groups_) {
+    p += g.chiplet.active_power_w() * static_cast<double>(g.chiplet_count);
+  }
+  return p;
+}
+
+}  // namespace optiplet::accel

@@ -1,0 +1,134 @@
+#include "baselines/reference_platforms.hpp"
+
+#include <algorithm>
+
+#include "dnn/workload.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::baselines {
+
+ReferenceResult evaluate(const ReferencePlatform& platform,
+                         const dnn::Model& model) {
+  OPTIPLET_REQUIRE(platform.peak_macs_per_s > 0.0, "peak rate must be > 0");
+  OPTIPLET_REQUIRE(platform.utilization > 0.0 && platform.utilization <= 1.0,
+                   "utilization must be in (0,1]");
+  const dnn::Workload w = dnn::compute_workload(model, 8);
+
+  // Weights resident on chip when they fit; otherwise the full weight
+  // volume streams across the memory interface every inference.
+  const bool stream_weights =
+      w.total_weight_bits > platform.onchip_weight_bits;
+
+  double latency = platform.fixed_overhead_s;
+  const double sustained =
+      platform.peak_macs_per_s * platform.utilization;
+  for (const auto& layer : w.layers) {
+    const double compute_s = static_cast<double>(layer.macs) / sustained;
+    const double comm_bits =
+        (stream_weights ? static_cast<double>(layer.weight_bits) : 0.0) +
+        0.5 * static_cast<double>(layer.input_bits + layer.output_bits);
+    const double comm_s = comm_bits / platform.memory_bandwidth_bps;
+    latency += std::max(compute_s, comm_s);
+  }
+
+  ReferenceResult r;
+  r.platform = platform.name;
+  r.model = model.name();
+  r.latency_s = latency;
+  r.energy_j = platform.average_power_w * latency;
+  r.traffic_bits = w.total_traffic_bits();
+  r.epb_j_per_bit = r.energy_j / static_cast<double>(r.traffic_bits);
+  return r;
+}
+
+std::vector<ReferencePlatform> table3_reference_platforms() {
+  std::vector<ReferencePlatform> platforms;
+
+  // Nvidia P100: 21.2 TFLOPS FP16 (10.6 TMAC/s), 732 GB/s HBM2, 250 W TDP.
+  // Batch-1 inference sustains a few percent of peak on small kernels.
+  platforms.push_back(ReferencePlatform{
+      .name = "Nvidia P100 GPU",
+      .peak_macs_per_s = 10.6e12,
+      .utilization = 0.04,
+      .memory_bandwidth_bps = 5.86 * units::Tbps,
+      .onchip_weight_bits = 4ULL * 1024 * 1024 * 8,  // L2: weights stream
+      .average_power_w = 250.0,
+      .fixed_overhead_s = 1.0 * units::ms,  // kernel launch train
+  });
+
+  // Intel Xeon Platinum 9282: 56 cores, AVX-512 FMA at ~2.6 GHz
+  // (2.33 TMAC/s FP32 peak), 12-channel DDR4, 400 W platform power.
+  platforms.push_back(ReferencePlatform{
+      .name = "Intel 9282 CPU",
+      .peak_macs_per_s = 2.33e12,
+      .utilization = 0.022,
+      .memory_bandwidth_bps = 2.25 * units::Tbps,
+      .onchip_weight_bits = 77ULL * 1024 * 1024 * 8,  // LLC
+      .average_power_w = 400.0,
+      .fixed_overhead_s = 0.5 * units::ms,
+  });
+
+  // AMD Threadripper 3970X: 32 cores (1.9 TMAC/s FP32 peak), 4-ch DDR4,
+  // 280 W TDP.
+  platforms.push_back(ReferencePlatform{
+      .name = "AMD 3970 CPU",
+      .peak_macs_per_s = 1.9e12,
+      .utilization = 0.017,
+      .memory_bandwidth_bps = 0.82 * units::Tbps,
+      .onchip_weight_bits = 144ULL * 1024 * 1024 * 8,
+      .average_power_w = 280.0,
+      .fixed_overhead_s = 0.5 * units::ms,
+  });
+
+  // Google Edge TPU: 4 TOPS int8 (2 TMAC/s), 8 MiB on-chip; models larger
+  // than SRAM re-stream weights over the USB host link every inference,
+  // which is what blows up its big-model latency in Table 3.
+  platforms.push_back(ReferencePlatform{
+      .name = "Edge TPU",
+      .peak_macs_per_s = 2.0e12,
+      .utilization = 0.25,
+      .memory_bandwidth_bps = 0.24 * units::Gbps,
+      .onchip_weight_bits = 8ULL * 1024 * 1024 * 8,
+      .average_power_w = 2.0,
+      .fixed_overhead_s = 100.0 * units::ms,
+  });
+
+  // NullHop (Zynq-class CNN accelerator, [42]): 128 MACs, sub-GHz clock,
+  // DDR-limited; very low power, very high latency on large models.
+  platforms.push_back(ReferencePlatform{
+      .name = "Null Hop",
+      .peak_macs_per_s = 5.6e9,
+      .utilization = 0.10,
+      .memory_bandwidth_bps = 25.6 * units::Gbps,
+      .onchip_weight_bits = 2ULL * 1024 * 1024 * 8,
+      .average_power_w = 2.3,
+      .fixed_overhead_s = 1.0 * units::ms,
+  });
+
+  // DEAP-CNN [43]: digital-electronics + analog-photonics CNN engine;
+  // modest parallelism, high optical bias power.
+  platforms.push_back(ReferencePlatform{
+      .name = "Deap_CNN",
+      .peak_macs_per_s = 29.0e9,
+      .utilization = 0.25,
+      .memory_bandwidth_bps = 64.0 * units::Gbps,
+      .onchip_weight_bits = 1ULL * 1024 * 1024 * 8,
+      .average_power_w = 122.0,
+      .fixed_overhead_s = 0.5 * units::ms,
+  });
+
+  // HolyLight [23]: microdisk-based nanophotonic accelerator.
+  platforms.push_back(ReferencePlatform{
+      .name = "HolyLight",
+      .peak_macs_per_s = 208.0e9,
+      .utilization = 0.25,
+      .memory_bandwidth_bps = 256.0 * units::Gbps,
+      .onchip_weight_bits = 4ULL * 1024 * 1024 * 8,
+      .average_power_w = 66.5,
+      .fixed_overhead_s = 0.2 * units::ms,
+  });
+
+  return platforms;
+}
+
+}  // namespace optiplet::baselines

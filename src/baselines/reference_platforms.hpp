@@ -1,0 +1,61 @@
+#pragma once
+/// \file reference_platforms.hpp
+/// Roofline models of the reference platforms in Table 3.
+///
+/// The paper quotes measured/published numbers for seven external platforms
+/// (P100, Xeon 9282, Threadripper 3970X, Edge TPU, NullHop, DEAP-CNN,
+/// HolyLight). We cannot run that hardware, so each platform is modeled as
+/// a roofline (DESIGN.md §5 substitution table): per layer,
+///   t_layer = max(macs / (peak_macs * utilization),
+///               traffic / memory_bandwidth)
+/// with weight re-streaming when the model exceeds on-chip memory
+/// (the Edge TPU's 8 MiB SRAM is why its big-model latency explodes).
+/// Constants come from each platform's public specifications; EXPERIMENTS.md
+/// records how the resulting rows compare to the paper's.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::baselines {
+
+/// Roofline description of one reference platform.
+struct ReferencePlatform {
+  std::string name;
+  /// Peak multiply-accumulate rate [MAC/s] at inference precision.
+  double peak_macs_per_s = 1e12;
+  /// Fraction of peak sustained on real DNN layers.
+  double utilization = 0.3;
+  /// Off-chip memory bandwidth [bit/s].
+  double memory_bandwidth_bps = 100.0 * units::Gbps;
+  /// On-chip weight memory [bits]; models larger than this re-stream
+  /// weights per inference.
+  std::uint64_t onchip_weight_bits = 8ULL * 1024 * 1024 * 8;
+  /// Average board/chip power while running [W].
+  double average_power_w = 100.0;
+  /// Fixed per-inference overhead [s] (kernel launches, host I/O).
+  double fixed_overhead_s = 50.0 * units::us;
+};
+
+/// Result of evaluating one model on one reference platform.
+struct ReferenceResult {
+  std::string platform;
+  std::string model;
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  double epb_j_per_bit = 0.0;
+  std::uint64_t traffic_bits = 0;
+};
+
+/// Evaluate `model` on `platform` (8-bit traffic accounting to match the
+/// accelerator simulations).
+[[nodiscard]] ReferenceResult evaluate(const ReferencePlatform& platform,
+                                       const dnn::Model& model);
+
+/// The seven Table-3 reference platforms with public-spec constants.
+[[nodiscard]] std::vector<ReferencePlatform> table3_reference_platforms();
+
+}  // namespace optiplet::baselines

@@ -1,0 +1,78 @@
+#include "core/dse.hpp"
+
+#include "core/report.hpp"
+#include "dnn/zoo.hpp"
+#include "noc/photonic_interposer.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::core {
+
+std::vector<DsePoint> explore(const DseOptions& options,
+                              const SystemConfig& base) {
+  OPTIPLET_REQUIRE(!options.wavelengths.empty(), "empty wavelength axis");
+  OPTIPLET_REQUIRE(!options.gateways_per_chiplet.empty(),
+                   "empty gateway axis");
+  OPTIPLET_REQUIRE(!options.modulations.empty(), "empty modulation axis");
+
+  const std::vector<std::string> model_names =
+      options.models.empty() ? dnn::zoo::model_names() : options.models;
+  std::vector<dnn::Model> models;
+  models.reserve(model_names.size());
+  for (const auto& name : model_names) {
+    models.push_back(dnn::zoo::by_name(name));
+  }
+
+  std::vector<DsePoint> points;
+  for (const std::size_t wavelengths : options.wavelengths) {
+    for (const std::size_t gateways : options.gateways_per_chiplet) {
+      if (gateways == 0 || wavelengths % gateways != 0) {
+        continue;
+      }
+      for (const auto modulation : options.modulations) {
+        SystemConfig cfg = base;
+        cfg.photonic.total_wavelengths = wavelengths;
+        cfg.photonic.gateways_per_chiplet = gateways;
+        cfg.photonic.modulation = modulation;
+        const noc::PhotonicInterposer probe(cfg.photonic,
+                                            cfg.tech.photonic);
+        if (!probe.link_budget_feasible()) {
+          continue;
+        }
+        const SystemSimulator sim(cfg);
+        std::vector<RunResult> runs;
+        runs.reserve(models.size());
+        for (const auto& model : models) {
+          runs.push_back(sim.run(model, options.arch));
+        }
+        const auto avg = average_runs("dse", runs);
+        DsePoint p;
+        p.wavelengths = wavelengths;
+        p.gateways_per_chiplet = gateways;
+        p.modulation = modulation;
+        p.latency_s = avg.latency_s;
+        p.power_w = avg.power_w;
+        p.epb_j_per_bit = avg.epb_j_per_bit;
+        points.push_back(p);
+      }
+    }
+  }
+  mark_pareto(points);
+  return points;
+}
+
+void mark_pareto(std::vector<DsePoint>& points) {
+  for (auto& p : points) {
+    p.pareto = true;
+    for (const auto& other : points) {
+      const bool dominates =
+          other.latency_s <= p.latency_s && other.power_w <= p.power_w &&
+          (other.latency_s < p.latency_s || other.power_w < p.power_w);
+      if (dominates) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace optiplet::core

@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <map>
+
+#include "util/require.hpp"
+
+namespace optiplet::core {
+
+std::vector<NormalizedPoint> normalize_to_monolithic(
+    const std::vector<RunResult>& runs) {
+  std::map<std::string, const RunResult*> mono;
+  for (const auto& r : runs) {
+    if (r.arch == accel::Architecture::kMonolithicCrossLight) {
+      mono[r.model_name] = &r;
+    }
+  }
+  std::vector<NormalizedPoint> points;
+  points.reserve(runs.size());
+  for (const auto& r : runs) {
+    const auto it = mono.find(r.model_name);
+    OPTIPLET_REQUIRE(it != mono.end(),
+                     "no monolithic baseline run for model " + r.model_name);
+    const RunResult& base = *it->second;
+    NormalizedPoint p;
+    p.model = r.model_name;
+    p.arch = r.arch;
+    p.power = r.average_power_w / base.average_power_w;
+    p.latency = r.latency_s / base.latency_s;
+    p.epb = r.epb_j_per_bit / base.epb_j_per_bit;
+    points.push_back(p);
+  }
+  return points;
+}
+
+PlatformAverages average_runs(const std::string& name,
+                              const std::vector<RunResult>& runs) {
+  OPTIPLET_REQUIRE(!runs.empty(), "cannot average zero runs");
+  PlatformAverages avg;
+  avg.platform = name;
+  for (const auto& r : runs) {
+    avg.power_w += r.average_power_w;
+    avg.latency_s += r.latency_s;
+    avg.epb_j_per_bit += r.epb_j_per_bit;
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.power_w /= n;
+  avg.latency_s /= n;
+  avg.epb_j_per_bit /= n;
+  return avg;
+}
+
+}  // namespace optiplet::core

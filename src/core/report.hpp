@@ -1,0 +1,42 @@
+#pragma once
+/// \file report.hpp
+/// Result aggregation and normalization helpers used by the benches:
+/// Fig. 7 normalizes each metric per model to a reference architecture, and
+/// Table 3 averages power/latency/EPB across the five models.
+
+#include <string>
+#include <vector>
+
+#include "core/system_simulator.hpp"
+
+namespace optiplet::core {
+
+/// One Fig. 7 data point: a metric for (model, architecture), normalized to
+/// the monolithic CrossLight value for the same model.
+struct NormalizedPoint {
+  std::string model;
+  accel::Architecture arch = accel::Architecture::kMonolithicCrossLight;
+  double power = 1.0;
+  double latency = 1.0;
+  double epb = 1.0;
+};
+
+/// Normalize a set of runs (grouped by model) to the monolithic entry of
+/// each model. The input must contain a monolithic run for every model.
+[[nodiscard]] std::vector<NormalizedPoint> normalize_to_monolithic(
+    const std::vector<RunResult>& runs);
+
+/// Table-3 row: per-architecture averages across models.
+struct PlatformAverages {
+  std::string platform;
+  double power_w = 0.0;
+  double latency_s = 0.0;
+  double epb_j_per_bit = 0.0;
+};
+
+/// Average power/latency/EPB of `runs` belonging to one architecture
+/// (arithmetic means across models, as Table 3 reports).
+[[nodiscard]] PlatformAverages average_runs(const std::string& name,
+                                            const std::vector<RunResult>& runs);
+
+}  // namespace optiplet::core

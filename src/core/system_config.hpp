@@ -1,0 +1,76 @@
+#pragma once
+/// \file system_config.hpp
+/// Top-level system configuration — the programmatic form of Table 1, plus
+/// the modeling knobs DESIGN.md documents. Every bench builds a SystemConfig
+/// (usually the default) and hands it to core::SystemSimulator.
+
+#include <cstdint>
+
+#include "accel/platform.hpp"
+#include "noc/elec_interposer_model.hpp"
+#include "noc/photonic_interposer.hpp"
+#include "noc/resipi_controller.hpp"
+#include "power/tech_params.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::core {
+
+struct SystemConfig {
+  power::TechParams tech{};
+
+  /// Photonic interposer (Table 1: 64 wavelengths at 12 Gb/s, 2 GHz
+  /// gateways; 8 compute chiplets x 4 gateways).
+  noc::PhotonicInterposerConfig photonic{};
+
+  /// Electrical interposer baseline (Table 1: 128-bit links at 2 GHz,
+  /// 3x3 mesh hosting 8 compute chiplets + 1 memory chiplet).
+  noc::ElecInterposerModelConfig electrical{};
+
+  /// ReSiPI controller (10 us epochs; see DESIGN.md calibration notes).
+  noc::ResipiConfig resipi{.epoch_s = 10.0 * units::us};
+
+  /// Table-1 compute complement for the 2.5D variants.
+  accel::PlatformSpec compute_2p5d = accel::make_table1_spec();
+
+  /// Monolithic CrossLight keeps the full unit complement on one die
+  /// (make_monolithic_spec with divisor 1) but is fed by DDR-class memory:
+  /// the HBM chiplet is precisely what the 2.5D integration adds (§I, §V).
+  unsigned monolithic_scale_divisor = 1;
+  /// Effective streaming bandwidth of the monolithic chip's DDR4 interface
+  /// under accelerator access patterns (dual-channel class).
+  double monolithic_memory_bandwidth_bps = 44.0 * units::Gbps;
+
+  /// The monolithic die's global on-chip SRAM [bits] (CrossLight's global
+  /// buffer). Models whose weights fit stay resident on die — LeNet5 does,
+  /// the other four Table-2 models do not. The chipletized designs moved
+  /// this capacity into the HBM chiplet, so every layer crosses the
+  /// interposer; that asymmetry is what inverts the LeNet5 comparison
+  /// (paper §VI).
+  std::uint64_t monolithic_onchip_buffer_bits = 2ULL * 1024 * 1024 * 8;
+
+  /// Parameter/activation precision (CrossLight quantization).
+  unsigned parameter_bits = 8;
+
+  /// Images per inference batch. Weights stream once per batch (held in
+  /// the MR banks while the batch's activations slide through), so larger
+  /// batches amortize weight traffic at the cost of per-image latency.
+  /// The paper evaluates single-image inference (batch 1).
+  unsigned batch_size = 1;
+
+  /// Per-layer pipeline-setup overheads [s]: on-die handoff for the
+  /// monolithic chip; for the 2.5D variants, the memory chiplet must
+  /// barrier-synchronize the assigned compute chiplets over the interposer
+  /// before each layer (control messages + gateway store-and-forward).
+  double layer_overhead_monolithic_s = 0.2 * units::us;
+  double layer_overhead_2p5d_s = 2.0 * units::us;
+
+  /// Fraction of a chiplet's active power burned while power-gated idle.
+  double idle_power_fraction = 0.03;
+};
+
+/// The default configuration reproduces Table 1 exactly.
+[[nodiscard]] inline SystemConfig default_system_config() {
+  return SystemConfig{};
+}
+
+}  // namespace optiplet::core

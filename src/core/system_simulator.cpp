@@ -1,0 +1,349 @@
+#include "core/system_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::core {
+
+namespace {
+
+/// DDR access energy for the monolithic chip's off-package memory [J/bit]
+/// (DDR4-class; the 2.5D platforms use the HBM chiplet instead).
+constexpr double kDdrEnergyPerBit = 15.0e-12;
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(const SystemConfig& config)
+    : config_(config) {
+  OPTIPLET_REQUIRE(config.parameter_bits >= 1, "parameter bits must be >= 1");
+  OPTIPLET_REQUIRE(config.monolithic_memory_bandwidth_bps > 0.0,
+                   "monolithic memory bandwidth must be positive");
+  OPTIPLET_REQUIRE(config.batch_size >= 1, "batch size must be >= 1");
+}
+
+dnn::Workload SystemSimulator::batched_workload(
+    const dnn::Model& model) const {
+  dnn::Workload w = dnn::compute_workload(model, config_.parameter_bits);
+  if (config_.batch_size == 1) {
+    return w;
+  }
+  // Weights stream once per batch; compute and activations scale with the
+  // batch. (MR weight banks hold the layer's kernel while the batch's
+  // activation windows slide through — the broadcast-and-weight reuse.)
+  const std::uint64_t n = config_.batch_size;
+  w.total_macs = 0;
+  w.total_activation_bits = 0;
+  for (auto& layer : w.layers) {
+    layer.macs *= n;
+    layer.input_bits *= n;
+    layer.output_bits *= n;
+    layer.dot_count *= n;
+    w.total_macs += layer.macs;
+    w.total_activation_bits += layer.input_bits + layer.output_bits;
+  }
+  return w;
+}
+
+RunResult SystemSimulator::run(const dnn::Model& model,
+                               accel::Architecture arch) const {
+  if (arch == accel::Architecture::kMonolithicCrossLight) {
+    return run_monolithic(model);
+  }
+  return run_2p5d(model, arch);
+}
+
+void SystemSimulator::charge_compute(
+    power::EnergyLedger& ledger, const accel::Platform& platform,
+    const accel::LayerAssignment& assignment, std::uint64_t macs,
+    double layer_s) const {
+  // Compute chiplet lasers cannot be duty-cycled at layer granularity
+  // (settling is orders of magnitude slower than a layer): every chiplet
+  // holds its optical bias for the whole inference, on all architectures.
+  // What ReSiPI gates dynamically is the interposer network, charged in
+  // run_2p5d. Dynamic (DAC/ADC/buffer) energy follows the work.
+  for (const auto& group : platform.groups()) {
+    const bool assigned = group.chiplet.kind() == assignment.group;
+    const double chiplets = static_cast<double>(group.chiplet_count);
+    ledger.charge_power_for(
+        "compute.laser",
+        group.chiplet.laser_electrical_power_w() * chiplets, layer_s);
+    ledger.charge_power_for(
+        "compute.rings", group.chiplet.ring_tuning_power_w() * chiplets,
+        layer_s);
+    ledger.charge_power_for(
+        "compute.electronics",
+        group.chiplet.electronics_static_power_w() * chiplets, layer_s);
+    if (assigned) {
+      ledger.charge_energy("compute.dynamic",
+                           group.chiplet.dynamic_energy_j(macs));
+    }
+  }
+}
+
+RunResult SystemSimulator::run_monolithic(const dnn::Model& model) const {
+  RunResult result;
+  result.model_name = model.name();
+  result.arch = accel::Architecture::kMonolithicCrossLight;
+
+  const dnn::Workload workload =
+      batched_workload(model);
+  const accel::Platform platform(
+      accel::make_monolithic_spec(config_.monolithic_scale_divisor),
+      config_.tech);
+  const auto assignments = accel::map_layers(workload, platform);
+
+  // The monolithic die shares one laser distribution across all unit
+  // groups: it cannot be gated per layer, so the whole die's static power
+  // burns for the full inference (the §V energy-efficiency argument).
+  const double die_static_w = platform.peak_compute_power_w();
+
+  // Small models live entirely in the die's global SRAM buffer: weights
+  // stay resident across inferences and activations never leave the chip.
+  const bool resident =
+      workload.total_weight_bits <= config_.monolithic_onchip_buffer_bits;
+
+  for (std::size_t i = 0; i < workload.layers.size(); ++i) {
+    const dnn::LayerWork& lw = workload.layers[i];
+    const accel::LayerAssignment& a = assignments[i];
+
+    LayerResult lr;
+    lr.layer_index = lw.layer_index;
+    lr.group = a.group;
+    lr.chiplets_used = 1;
+    lr.compute_s = static_cast<double>(lw.macs) / a.macs_per_s;
+    const std::uint64_t reads = resident ? 0 : lw.weight_bits + lw.input_bits;
+    const std::uint64_t writes = resident ? 0 : lw.output_bits;
+    lr.read_s = static_cast<double>(reads) /
+                config_.monolithic_memory_bandwidth_bps;
+    lr.write_s = static_cast<double>(writes) /
+                 config_.monolithic_memory_bandwidth_bps;
+    lr.overhead_s = config_.layer_overhead_monolithic_s;
+    // Reads and writes share the single DDR port; the stream overlaps
+    // compute through the on-die double buffers.
+    lr.total_s =
+        std::max(lr.compute_s, lr.read_s + lr.write_s) + lr.overhead_s;
+    result.latency_s += lr.total_s;
+
+    result.ledger.charge_power_for("compute.die_static", die_static_w,
+                                   lr.total_s);
+    result.ledger.charge_energy(
+        "compute.dynamic",
+        platform.group_for(a.group).chiplet.dynamic_energy_j(lw.macs));
+    result.ledger.charge_energy(
+        "memory.ddr_access",
+        static_cast<double>(reads + writes) * kDdrEnergyPerBit);
+    result.layers.push_back(lr);
+  }
+  if (resident) {
+    // Resident models still move the input image in and the result out.
+    const double io_s = static_cast<double>(
+                            workload.layers.front().input_bits +
+                            workload.layers.back().output_bits) /
+                        config_.monolithic_memory_bandwidth_bps;
+    result.latency_s += io_s;
+    result.ledger.charge_power_for("compute.die_static", die_static_w, io_s);
+  }
+  result.ledger.charge_power_for("memory.interface_static",
+                                 config_.tech.compute.hbm_static_w,
+                                 result.latency_s);
+
+  result.traffic_bits = workload.total_traffic_bits();
+  result.energy_j = result.ledger.total_energy_j(result.latency_s);
+  result.average_power_w = result.energy_j / result.latency_s;
+  result.epb_j_per_bit =
+      result.energy_j / static_cast<double>(result.traffic_bits);
+  return result;
+}
+
+RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
+                                    accel::Architecture arch) const {
+  OPTIPLET_REQUIRE(arch == accel::Architecture::kElec2p5D ||
+                       arch == accel::Architecture::kSiph2p5D,
+                   "run_2p5d expects a 2.5D architecture");
+  RunResult result;
+  result.model_name = model.name();
+  result.arch = arch;
+
+  const dnn::Workload workload =
+      batched_workload(model);
+  const accel::Platform platform(config_.compute_2p5d, config_.tech);
+  const auto assignments = accel::map_layers(workload, platform);
+
+  const bool siph = arch == accel::Architecture::kSiph2p5D;
+  const noc::PhotonicInterposer interposer(config_.photonic,
+                                           config_.tech.photonic);
+  const noc::ElecInterposerModel elec(config_.electrical,
+                                      config_.tech.electrical);
+
+  // Chiplet indexing for the ReSiPI controller: platform groups in order.
+  std::size_t chiplet_count = platform.total_chiplets();
+  noc::ResipiController controller(
+      config_.resipi, chiplet_count, config_.photonic.gateways_per_chiplet,
+      interposer.gateway_bandwidth_bps(), config_.tech.photonic.pcm);
+
+  // First chiplet index of each group (groups are laid out contiguously).
+  std::vector<std::size_t> group_first_chiplet;
+  {
+    std::size_t base = 0;
+    for (const auto& g : platform.groups()) {
+      group_first_chiplet.push_back(base);
+      base += g.chiplet_count;
+    }
+  }
+
+  double gateway_time_weight = 0.0;  // sum over layers of gw_active * t
+  std::uint64_t prev_reconfigs = 0;
+
+  for (std::size_t i = 0; i < workload.layers.size(); ++i) {
+    const dnn::LayerWork& lw = workload.layers[i];
+    const accel::LayerAssignment& a = assignments[i];
+    const double chiplets = static_cast<double>(a.chiplets_used);
+
+    LayerResult lr;
+    lr.layer_index = lw.layer_index;
+    lr.group = a.group;
+    lr.chiplets_used = a.chiplets_used;
+    lr.compute_s = static_cast<double>(lw.macs) / a.macs_per_s;
+
+    const std::uint64_t reads = lw.weight_bits + lw.input_bits;
+    const std::uint64_t writes = lw.output_bits;
+
+    if (siph) {
+      // --- ReSiPI provisioning: demand per assigned chiplet if the layer
+      // ran at compute speed (weights striped, inputs broadcast).
+      const double per_chiplet_bits =
+          static_cast<double>(lw.weight_bits) / chiplets +
+          static_cast<double>(lw.input_bits) +
+          static_cast<double>(writes) / chiplets;
+      // The controller sees epoch-averaged demand: layers shorter than an
+      // epoch cannot justify more bandwidth than their bits spread over
+      // one epoch (this is what keeps small models at minimum gateways).
+      const double demand_bps =
+          per_chiplet_bits / std::max(lr.compute_s, config_.resipi.epoch_s);
+
+      std::vector<double> demands(chiplet_count, 0.0);
+      std::size_t group_index = 0;
+      for (std::size_t g = 0; g < platform.groups().size(); ++g) {
+        if (platform.groups()[g].chiplet.kind() == a.group) {
+          group_index = g;
+          break;
+        }
+      }
+      for (std::size_t c = 0; c < platform.groups()[group_index].chiplet_count;
+           ++c) {
+        demands[group_first_chiplet[group_index] + c] = demand_bps;
+      }
+      const std::size_t changes = controller.observe_epoch(demands);
+      const std::size_t gw = controller.active_gateways(
+          group_first_chiplet[group_index]);
+      lr.gateways_per_chiplet = gw;
+
+      const double chiplet_recv_bw = interposer.swsr_bandwidth_bps(gw);
+      const double read_bw =
+          std::min(interposer.swmr_bandwidth_bps(
+                       config_.photonic.total_wavelengths),
+                   chiplets * chiplet_recv_bw);
+      // Broadcast medium carries reads once; each chiplet's filter rows
+      // must also keep up with its share + the broadcast inputs.
+      const double per_chiplet_read_bits =
+          static_cast<double>(lw.weight_bits) / chiplets +
+          static_cast<double>(lw.input_bits);
+      lr.read_s = std::max(
+          interposer.transfer_latency_s(reads, read_bw),
+          interposer.transfer_latency_s(
+              static_cast<std::uint64_t>(per_chiplet_read_bits),
+              chiplet_recv_bw));
+      lr.write_s = interposer.transfer_latency_s(
+          static_cast<std::uint64_t>(static_cast<double>(writes) / chiplets),
+          chiplet_recv_bw);
+
+      // Reads and writes ride different waveguides: they overlap.
+      const double comm_s = std::max(lr.read_s, lr.write_s);
+      // Epoch quantization: a configuration change takes effect at the next
+      // epoch boundary; charge the expected half-epoch lag.
+      lr.overhead_s = config_.layer_overhead_2p5d_s +
+                      (changes > 0 ? config_.resipi.epoch_s / 2.0 : 0.0);
+      lr.total_s = std::max(lr.compute_s, comm_s) + lr.overhead_s;
+
+      // --- network energy ---
+      // ReSiPI gates gateways, not wavelengths: the broadcast keeps lit the
+      // sub-bands of the most-provisioned active reader (each gateway
+      // listens on wavelengths_per_gateway channels of the shared grid).
+      const std::size_t max_gw = controller.active_gateways(
+          group_first_chiplet[group_index]);
+      const auto active_lambda = std::clamp<std::size_t>(
+          max_gw * interposer.wavelengths_per_gateway(), 1,
+          config_.photonic.total_wavelengths);
+      result.ledger.charge_power_for(
+          "network.static",
+          interposer.network_static_power_w(
+              active_lambda, controller.total_active_gateways()),
+          lr.total_s);
+      result.ledger.charge_energy("network.transfer",
+                                  interposer.transfer_energy_j(
+                                      reads + writes));
+      gateway_time_weight +=
+          static_cast<double>(controller.total_active_gateways()) *
+          lr.total_s;
+    } else {
+      // --- Electrical mesh interposer: weights striped, inputs replicated
+      // to every assigned chiplet (no broadcast on a mesh), word-granular
+      // request-response reads with a small MSHR pool, writes posted
+      // through the shared memory port. Limited gateway buffering: the
+      // transfer does not overlap compute (store-and-forward per layer).
+      const double read_volume =
+          static_cast<double>(lw.weight_bits) +
+          static_cast<double>(lw.input_bits) * chiplets;
+      const double read_bw = elec.layer_read_bandwidth_bps(
+          a.chiplets_used, config_.electrical.average_hops);
+      lr.read_s = read_volume / read_bw +
+                  elec.read_round_trip_s(config_.electrical.average_hops);
+      lr.write_s = static_cast<double>(writes) /
+                   elec.effective_read_bandwidth_bps();
+      lr.overhead_s = config_.layer_overhead_2p5d_s;
+      lr.total_s = lr.read_s + lr.write_s + lr.compute_s + lr.overhead_s;
+
+      result.ledger.charge_power_for("network.static", elec.static_power_w(),
+                                     lr.total_s);
+      result.ledger.charge_energy(
+          "network.transfer",
+          elec.transfer_energy_j(
+              static_cast<std::uint64_t>(read_volume) + writes,
+              config_.electrical.average_hops));
+    }
+
+    charge_compute(result.ledger, platform, a, lw.macs, lr.total_s);
+    result.ledger.charge_energy(
+        "memory.hbm_access",
+        static_cast<double>(reads + writes) *
+            config_.tech.compute.hbm_energy_per_bit_j);
+
+    result.latency_s += lr.total_s;
+    result.layers.push_back(lr);
+  }
+
+  result.ledger.charge_power_for("memory.interface_static",
+                                 config_.tech.compute.hbm_static_w,
+                                 result.latency_s);
+  if (siph) {
+    result.resipi_reconfigurations = controller.reconfiguration_count();
+    result.resipi_energy_j = controller.reconfiguration_energy_j();
+    result.ledger.charge_energy("network.pcm_reconfig",
+                                result.resipi_energy_j);
+    result.mean_active_gateways =
+        result.latency_s > 0.0 ? gateway_time_weight / result.latency_s : 0.0;
+    (void)prev_reconfigs;
+  }
+
+  result.traffic_bits = workload.total_traffic_bits();
+  result.energy_j = result.ledger.total_energy_j(result.latency_s);
+  result.average_power_w = result.energy_j / result.latency_s;
+  result.epb_j_per_bit =
+      result.energy_j / static_cast<double>(result.traffic_bits);
+  return result;
+}
+
+}  // namespace optiplet::core

@@ -1,0 +1,286 @@
+#include "dnn/graph.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace optiplet::dnn {
+
+// ---------------------------------------------------------------- Model ---
+
+Model::Model(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  OPTIPLET_REQUIRE(!layers_.empty(), "model needs at least one layer");
+  OPTIPLET_REQUIRE(layers_.front().kind == LayerKind::kInput,
+                   "first layer must be the input");
+}
+
+std::uint64_t Model::total_params() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l.param_count;
+  }
+  return total;
+}
+
+std::size_t Model::conv_layer_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    if (l.kind == LayerKind::kConv2d ||
+        l.kind == LayerKind::kDepthwiseConv2d) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Model::fc_layer_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) {
+    if (l.kind == LayerKind::kDense) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Model::total_macs() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l.mac_count;
+  }
+  return total;
+}
+
+std::uint64_t Model::weight_bits(unsigned bits_per_param) const {
+  return total_params() * bits_per_param;
+}
+
+std::vector<std::size_t> Model::compute_layer_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].is_compute()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- GraphBuilder ---
+
+GraphBuilder::GraphBuilder(std::string model_name, TensorShape input_shape)
+    : model_name_(std::move(model_name)) {
+  OPTIPLET_REQUIRE(input_shape.elements() > 0, "empty input tensor");
+  Layer input;
+  input.kind = LayerKind::kInput;
+  input.name = "input";
+  input.input_shape = input_shape;
+  input.output_shape = input_shape;
+  layers_.push_back(std::move(input));
+}
+
+const TensorShape& GraphBuilder::shape_of(TensorId id) const {
+  OPTIPLET_REQUIRE(id < layers_.size(), "tensor id out of range");
+  return layers_[id].output_shape;
+}
+
+std::string GraphBuilder::auto_name(const char* stem) {
+  return std::string(stem) + "_" + std::to_string(auto_name_counter_++);
+}
+
+TensorId GraphBuilder::push(Layer layer) {
+  for (TensorId in : layer.inputs) {
+    OPTIPLET_REQUIRE(in < layers_.size(), "input tensor id out of range");
+  }
+  layers_.push_back(std::move(layer));
+  return layers_.size() - 1;
+}
+
+TensorId GraphBuilder::conv2d(TensorId in, std::uint32_t filters,
+                              std::uint32_t kernel, std::uint32_t stride,
+                              Padding padding, bool bias, std::string name) {
+  OPTIPLET_REQUIRE(filters >= 1, "conv needs at least one filter");
+  OPTIPLET_REQUIRE(kernel >= 1, "conv kernel must be >= 1");
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kConv2d;
+  l.name = name.empty() ? auto_name("conv") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.has_bias = bias;
+  l.output_shape = {conv_output_dim(s.h, kernel, stride, padding),
+                    conv_output_dim(s.w, kernel, stride, padding), filters};
+  const std::uint64_t weights =
+      static_cast<std::uint64_t>(kernel) * kernel * s.c * filters;
+  l.param_count = weights + (bias ? filters : 0);
+  l.mac_count = static_cast<std::uint64_t>(l.output_shape.h) *
+                l.output_shape.w * filters * kernel * kernel * s.c;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::depthwise_conv2d(TensorId in, std::uint32_t kernel,
+                                        std::uint32_t stride, Padding padding,
+                                        bool bias, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kDepthwiseConv2d;
+  l.name = name.empty() ? auto_name("dwconv") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.has_bias = bias;
+  l.output_shape = {conv_output_dim(s.h, kernel, stride, padding),
+                    conv_output_dim(s.w, kernel, stride, padding), s.c};
+  const std::uint64_t weights =
+      static_cast<std::uint64_t>(kernel) * kernel * s.c;
+  l.param_count = weights + (bias ? s.c : 0);
+  l.mac_count = static_cast<std::uint64_t>(l.output_shape.h) *
+                l.output_shape.w * s.c * kernel * kernel;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::dense(TensorId in, std::uint32_t units, bool bias,
+                             std::string name) {
+  OPTIPLET_REQUIRE(units >= 1, "dense needs at least one unit");
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kDense;
+  l.name = name.empty() ? auto_name("dense") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.has_bias = bias;
+  l.output_shape = {1, 1, units};
+  const std::uint64_t fan_in = s.elements();
+  l.param_count = fan_in * units + (bias ? units : 0);
+  l.mac_count = fan_in * units;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::batch_norm(TensorId in, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kBatchNorm;
+  l.name = name.empty() ? auto_name("bn") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.output_shape = s;
+  // Keras counts gamma, beta, moving_mean, moving_variance: 4 per channel.
+  l.param_count = 4ULL * s.c;
+  // One multiply-add per element when executed unfused.
+  l.mac_count = s.elements();
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::relu(TensorId in, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kActivation;
+  l.name = name.empty() ? auto_name("relu") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.output_shape = s;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::max_pool(TensorId in, std::uint32_t pool,
+                                std::uint32_t stride, Padding padding,
+                                std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kMaxPool;
+  l.name = name.empty() ? auto_name("maxpool") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.kernel_h = l.kernel_w = pool;
+  l.stride = stride;
+  l.padding = padding;
+  l.output_shape = {conv_output_dim(s.h, pool, stride, padding),
+                    conv_output_dim(s.w, pool, stride, padding), s.c};
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::avg_pool(TensorId in, std::uint32_t pool,
+                                std::uint32_t stride, Padding padding,
+                                std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kAvgPool;
+  l.name = name.empty() ? auto_name("avgpool") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.kernel_h = l.kernel_w = pool;
+  l.stride = stride;
+  l.padding = padding;
+  l.output_shape = {conv_output_dim(s.h, pool, stride, padding),
+                    conv_output_dim(s.w, pool, stride, padding), s.c};
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::global_avg_pool(TensorId in, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kGlobalAvgPool;
+  l.name = name.empty() ? auto_name("gap") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.output_shape = {1, 1, s.c};
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::flatten(TensorId in, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kFlatten;
+  l.name = name.empty() ? auto_name("flatten") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.output_shape = {1, 1, static_cast<std::uint32_t>(s.elements())};
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::add(const std::vector<TensorId>& ins,
+                           std::string name) {
+  OPTIPLET_REQUIRE(ins.size() >= 2, "add needs at least two inputs");
+  const TensorShape s = shape_of(ins[0]);
+  for (TensorId id : ins) {
+    OPTIPLET_REQUIRE(shape_of(id) == s, "add inputs must share one shape");
+  }
+  Layer l;
+  l.kind = LayerKind::kAdd;
+  l.name = name.empty() ? auto_name("add") : std::move(name);
+  l.inputs = ins;
+  l.input_shape = s;
+  l.output_shape = s;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::concat(const std::vector<TensorId>& ins,
+                              std::string name) {
+  OPTIPLET_REQUIRE(ins.size() >= 2, "concat needs at least two inputs");
+  const TensorShape first = shape_of(ins[0]);
+  std::uint32_t channels = 0;
+  for (TensorId id : ins) {
+    const TensorShape s = shape_of(id);
+    OPTIPLET_REQUIRE(s.h == first.h && s.w == first.w,
+                     "concat inputs must share spatial dims");
+    channels += s.c;
+  }
+  Layer l;
+  l.kind = LayerKind::kConcat;
+  l.name = name.empty() ? auto_name("concat") : std::move(name);
+  l.inputs = ins;
+  l.input_shape = first;
+  l.output_shape = {first.h, first.w, channels};
+  return push(std::move(l));
+}
+
+Model GraphBuilder::build() && {
+  return Model(std::move(model_name_), std::move(layers_));
+}
+
+}  // namespace optiplet::dnn

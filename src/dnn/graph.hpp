@@ -1,0 +1,106 @@
+#pragma once
+/// \file graph.hpp
+/// DNN model container and graph builder with Keras-compatible shape and
+/// parameter inference.
+///
+/// GraphBuilder exposes one method per layer type; each returns a TensorId
+/// handle so branching topologies (ResNet residuals, DenseNet concats,
+/// MobileNetV2 inverted residuals) compose naturally:
+///
+///   GraphBuilder g("net", {224, 224, 3});
+///   auto x = g.conv2d(g.input_id(), 64, 7, 2, Padding::kSame, true);
+///   x = g.batch_norm(x);
+///   x = g.relu(x);
+///   auto skip = x;
+///   ...
+///   x = g.add({x, skip});
+///   Model m = std::move(g).build();
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace optiplet::dnn {
+
+/// Handle to a layer output inside GraphBuilder.
+using TensorId = std::size_t;
+
+/// Immutable trained-model description (topologically ordered layer list).
+class Model {
+ public:
+  Model(std::string name, std::vector<Layer> layers);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Keras-style total parameter count (Table 2 column "Parameters").
+  [[nodiscard]] std::uint64_t total_params() const;
+
+  /// Number of convolution layers, counting 1x1 and depthwise convolutions
+  /// (Table 2 column "CONV layers").
+  [[nodiscard]] std::size_t conv_layer_count() const;
+
+  /// Number of fully connected layers (Table 2 column "FC layers").
+  [[nodiscard]] std::size_t fc_layer_count() const;
+
+  /// Total multiply-accumulate operations per inference.
+  [[nodiscard]] std::uint64_t total_macs() const;
+
+  /// Total weight traffic for one inference at `bits_per_param` [bits].
+  [[nodiscard]] std::uint64_t weight_bits(unsigned bits_per_param) const;
+
+  /// Layers that run on the photonic MAC fabric, in execution order.
+  [[nodiscard]] std::vector<std::size_t> compute_layer_indices() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+};
+
+/// Builds a Model layer by layer with shape/parameter inference.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string model_name, TensorShape input_shape);
+
+  /// Id of the implicit input layer.
+  [[nodiscard]] TensorId input_id() const { return 0; }
+
+  TensorId conv2d(TensorId in, std::uint32_t filters, std::uint32_t kernel,
+                  std::uint32_t stride, Padding padding, bool bias,
+                  std::string name = {});
+  TensorId depthwise_conv2d(TensorId in, std::uint32_t kernel,
+                            std::uint32_t stride, Padding padding, bool bias,
+                            std::string name = {});
+  TensorId dense(TensorId in, std::uint32_t units, bool bias,
+                 std::string name = {});
+  TensorId batch_norm(TensorId in, std::string name = {});
+  TensorId relu(TensorId in, std::string name = {});
+  TensorId max_pool(TensorId in, std::uint32_t pool, std::uint32_t stride,
+                    Padding padding, std::string name = {});
+  TensorId avg_pool(TensorId in, std::uint32_t pool, std::uint32_t stride,
+                    Padding padding, std::string name = {});
+  TensorId global_avg_pool(TensorId in, std::string name = {});
+  TensorId flatten(TensorId in, std::string name = {});
+  /// Element-wise residual addition; all inputs must share one shape.
+  TensorId add(const std::vector<TensorId>& ins, std::string name = {});
+  /// Channel concatenation; inputs must share spatial dims.
+  TensorId concat(const std::vector<TensorId>& ins, std::string name = {});
+
+  /// Shape of a layer's output (usable mid-construction).
+  [[nodiscard]] const TensorShape& shape_of(TensorId id) const;
+
+  /// Finalize. The builder is left empty.
+  [[nodiscard]] Model build() &&;
+
+ private:
+  TensorId push(Layer layer);
+  [[nodiscard]] std::string auto_name(const char* stem);
+
+  std::string model_name_;
+  std::vector<Layer> layers_;
+  std::size_t auto_name_counter_ = 0;
+};
+
+}  // namespace optiplet::dnn

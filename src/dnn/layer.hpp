@@ -1,0 +1,87 @@
+#pragma once
+/// \file layer.hpp
+/// DNN layer descriptor.
+///
+/// The accelerator never executes real arithmetic — it schedules *dataflow* —
+/// so a layer is fully described by its kind, geometry, parameter count and
+/// MAC count. Parameter counts follow Keras "Total params" conventions
+/// (batch-norm contributes 4 per channel: gamma, beta, moving mean/variance),
+/// because that is what Table 2 of the paper reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace optiplet::dnn {
+
+enum class LayerKind {
+  kInput,
+  kConv2d,           ///< standard convolution (includes 1x1 "pointwise")
+  kDepthwiseConv2d,  ///< per-channel convolution (MobileNetV2)
+  kDense,            ///< fully connected
+  kBatchNorm,
+  kActivation,       ///< ReLU / ReLU6 / sigmoid — parameter free
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kAdd,              ///< residual addition
+  kConcat,           ///< channel concatenation (DenseNet)
+  kFlatten,
+};
+
+[[nodiscard]] constexpr const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "Input";
+    case LayerKind::kConv2d: return "Conv2D";
+    case LayerKind::kDepthwiseConv2d: return "DepthwiseConv2D";
+    case LayerKind::kDense: return "Dense";
+    case LayerKind::kBatchNorm: return "BatchNorm";
+    case LayerKind::kActivation: return "Activation";
+    case LayerKind::kMaxPool: return "MaxPool";
+    case LayerKind::kAvgPool: return "AvgPool";
+    case LayerKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kConcat: return "Concat";
+    case LayerKind::kFlatten: return "Flatten";
+  }
+  return "?";
+}
+
+/// One node of the model graph. Construction order is topological; `inputs`
+/// holds indices of producer layers.
+struct Layer {
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+  std::vector<std::size_t> inputs;
+
+  TensorShape input_shape;   ///< primary input (first producer)
+  TensorShape output_shape;
+
+  // Convolution / pooling geometry (unused fields stay at defaults).
+  std::uint32_t kernel_h = 1;
+  std::uint32_t kernel_w = 1;
+  std::uint32_t stride = 1;
+  Padding padding = Padding::kSame;
+  bool has_bias = false;
+
+  /// Keras-style total parameter count (weights + bias (+ BN statistics)).
+  std::uint64_t param_count = 0;
+  /// Multiply-accumulate operations for one inference.
+  std::uint64_t mac_count = 0;
+
+  /// True for layers executed on the photonic MAC fabric (conv/dense);
+  /// everything else is electronic post-processing.
+  [[nodiscard]] bool is_compute() const {
+    return kind == LayerKind::kConv2d ||
+           kind == LayerKind::kDepthwiseConv2d || kind == LayerKind::kDense;
+  }
+
+  /// Kernel size used for MAC-unit affinity (dense layers report 0).
+  [[nodiscard]] std::uint32_t kernel_size() const {
+    return kind == LayerKind::kDense ? 0 : kernel_h;
+  }
+};
+
+}  // namespace optiplet::dnn

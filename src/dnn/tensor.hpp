@@ -1,0 +1,48 @@
+#pragma once
+/// \file tensor.hpp
+/// Activation tensor shapes (batch-free NHWC) used for DNN shape inference.
+
+#include <cstdint>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace optiplet::dnn {
+
+/// Spatial activation shape: height x width x channels. Fully connected
+/// activations use h == w == 1.
+struct TensorShape {
+  std::uint32_t h = 1;
+  std::uint32_t w = 1;
+  std::uint32_t c = 1;
+
+  [[nodiscard]] std::uint64_t elements() const {
+    return static_cast<std::uint64_t>(h) * w * c;
+  }
+
+  [[nodiscard]] bool operator==(const TensorShape&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(h) + "x" + std::to_string(w) + "x" +
+           std::to_string(c);
+  }
+};
+
+/// TensorFlow/Keras padding semantics.
+enum class Padding {
+  kSame,   ///< output spatial dim = ceil(input / stride)
+  kValid,  ///< output spatial dim = floor((input - kernel) / stride) + 1
+};
+
+/// Spatial output size for one dimension under TF padding rules.
+inline std::uint32_t conv_output_dim(std::uint32_t input, std::uint32_t kernel,
+                                     std::uint32_t stride, Padding padding) {
+  OPTIPLET_REQUIRE(stride >= 1, "stride must be >= 1");
+  if (padding == Padding::kSame) {
+    return (input + stride - 1) / stride;
+  }
+  OPTIPLET_REQUIRE(input >= kernel, "valid conv: kernel larger than input");
+  return (input - kernel) / stride + 1;
+}
+
+}  // namespace optiplet::dnn

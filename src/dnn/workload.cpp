@@ -1,0 +1,51 @@
+#include "dnn/workload.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::dnn {
+
+Workload compute_workload(const Model& model, unsigned bits_per_value) {
+  OPTIPLET_REQUIRE(bits_per_value >= 1 && bits_per_value <= 32,
+                   "bits per value out of the supported 1..32 range");
+  Workload w;
+  for (std::size_t i = 0; i < model.layers().size(); ++i) {
+    const Layer& l = model.layers()[i];
+    if (!l.is_compute()) {
+      continue;
+    }
+    LayerWork lw;
+    lw.layer_index = i;
+    lw.kind = l.kind;
+    lw.kernel = l.kernel_size();
+    lw.macs = l.mac_count;
+    lw.weight_bits = l.param_count * bits_per_value;
+    lw.input_bits = l.input_shape.elements() * bits_per_value;
+    lw.output_bits = l.output_shape.elements() * bits_per_value;
+
+    switch (l.kind) {
+      case LayerKind::kConv2d:
+        lw.dot_length = static_cast<std::uint64_t>(l.kernel_h) * l.kernel_w *
+                        l.input_shape.c;
+        break;
+      case LayerKind::kDepthwiseConv2d:
+        lw.dot_length = static_cast<std::uint64_t>(l.kernel_h) * l.kernel_w;
+        break;
+      case LayerKind::kDense:
+        lw.dot_length = l.input_shape.elements();
+        break;
+      default:
+        break;
+    }
+    OPTIPLET_ASSERT(lw.dot_length > 0, "compute layer with empty dot product");
+    lw.dot_count = lw.macs / lw.dot_length;
+
+    w.total_macs += lw.macs;
+    w.total_weight_bits += lw.weight_bits;
+    w.total_activation_bits += lw.input_bits + lw.output_bits;
+    w.layers.push_back(lw);
+  }
+  OPTIPLET_REQUIRE(!w.layers.empty(), "model has no compute layers");
+  return w;
+}
+
+}  // namespace optiplet::dnn

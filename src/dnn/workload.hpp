@@ -1,0 +1,51 @@
+#pragma once
+/// \file workload.hpp
+/// Converts a Model into the per-layer dataflow quantities the accelerator
+/// schedules: MAC counts and the weight/activation traffic each compute
+/// layer pushes across the interposer (paper §V: traffic type 1 = reads of
+/// weights+inputs from memory, type 2 = writes of outputs to memory).
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace optiplet::dnn {
+
+/// Dataflow summary for one *compute* layer (conv/depthwise/dense).
+struct LayerWork {
+  std::size_t layer_index = 0;  ///< index into Model::layers()
+  LayerKind kind = LayerKind::kConv2d;
+  std::uint32_t kernel = 0;     ///< kernel size; 0 for dense layers
+  std::uint64_t macs = 0;
+  std::uint64_t weight_bits = 0;   ///< parameters streamed from memory
+  std::uint64_t input_bits = 0;    ///< activations read from memory
+  std::uint64_t output_bits = 0;   ///< activations written back to memory
+  /// Output vector length of one dot product on the MAC fabric
+  /// (k*k*C_in for conv, fan-in for dense, k*k for depthwise).
+  std::uint64_t dot_length = 0;
+  /// Number of dot products the layer performs (macs / dot_length).
+  std::uint64_t dot_count = 0;
+};
+
+/// Whole-model workload with precomputed totals.
+struct Workload {
+  std::vector<LayerWork> layers;
+  std::uint64_t total_macs = 0;
+  std::uint64_t total_weight_bits = 0;
+  std::uint64_t total_activation_bits = 0;  ///< inputs + outputs
+
+  /// Total interposer traffic for one inference [bits]: every compute layer
+  /// reads weights + inputs and writes outputs through the memory chiplet
+  /// (the paper's two traffic classes).
+  [[nodiscard]] std::uint64_t total_traffic_bits() const {
+    return total_weight_bits + total_activation_bits;
+  }
+};
+
+/// Build the workload for `model` at `bits_per_value` fixed-point precision
+/// (weights and activations share the precision; CrossLight uses 8 bits).
+[[nodiscard]] Workload compute_workload(const Model& model,
+                                        unsigned bits_per_value);
+
+}  // namespace optiplet::dnn

@@ -1,0 +1,236 @@
+#include "dnn/zoo.hpp"
+
+#include <array>
+
+#include "util/require.hpp"
+
+namespace optiplet::dnn::zoo {
+
+namespace {
+
+/// Keras ResNet bottleneck block (v1: stride lives on the first 1x1 conv).
+/// `filters` is the narrow width f; the block emits 4f channels.
+TensorId bottleneck(GraphBuilder& g, TensorId in, std::uint32_t filters,
+                    std::uint32_t stride, bool projection_shortcut) {
+  TensorId shortcut = in;
+  if (projection_shortcut) {
+    shortcut = g.conv2d(in, 4 * filters, 1, stride, Padding::kValid, true);
+    shortcut = g.batch_norm(shortcut);
+  }
+  TensorId x = g.conv2d(in, filters, 1, stride, Padding::kValid, true);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.conv2d(x, filters, 3, 1, Padding::kSame, true);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.conv2d(x, 4 * filters, 1, 1, Padding::kValid, true);
+  x = g.batch_norm(x);
+  x = g.add({x, shortcut});
+  return g.relu(x);
+}
+
+/// DenseNet-BC composite layer: BN-ReLU-Conv1x1(4k)-BN-ReLU-Conv3x3(k).
+TensorId dense_layer(GraphBuilder& g, TensorId in, std::uint32_t growth) {
+  TensorId x = g.batch_norm(in);
+  x = g.relu(x);
+  x = g.conv2d(x, 4 * growth, 1, 1, Padding::kValid, false);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.conv2d(x, growth, 3, 1, Padding::kSame, false);
+  return g.concat({in, x});
+}
+
+/// DenseNet transition: BN-ReLU-Conv1x1(c/2)-AvgPool2.
+TensorId transition(GraphBuilder& g, TensorId in) {
+  const std::uint32_t channels = g.shape_of(in).c / 2;
+  TensorId x = g.batch_norm(in);
+  x = g.relu(x);
+  x = g.conv2d(x, channels, 1, 1, Padding::kValid, false);
+  return g.avg_pool(x, 2, 2, Padding::kValid);
+}
+
+/// MobileNetV2 inverted residual: expand(1x1, t*c_in) -> depthwise 3x3 ->
+/// project(1x1, c_out), residual add when stride 1 and widths match.
+TensorId inverted_residual(GraphBuilder& g, TensorId in,
+                           std::uint32_t expansion, std::uint32_t out_c,
+                           std::uint32_t stride) {
+  const std::uint32_t in_c = g.shape_of(in).c;
+  TensorId x = in;
+  if (expansion != 1) {
+    x = g.conv2d(x, in_c * expansion, 1, 1, Padding::kValid, false);
+    x = g.batch_norm(x);
+    x = g.relu(x);  // ReLU6; parameter-free either way
+  }
+  x = g.depthwise_conv2d(x, 3, stride, Padding::kSame, false);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.conv2d(x, out_c, 1, 1, Padding::kValid, false);
+  x = g.batch_norm(x);
+  if (stride == 1 && in_c == out_c) {
+    x = g.add({x, in});
+  }
+  return x;
+}
+
+/// VGG block: `convs` 3x3 convolutions at `filters`, then 2x2 max pool.
+TensorId vgg_block(GraphBuilder& g, TensorId in, std::uint32_t filters,
+                   int convs) {
+  TensorId x = in;
+  for (int i = 0; i < convs; ++i) {
+    x = g.conv2d(x, filters, 3, 1, Padding::kSame, true);
+    x = g.relu(x);
+  }
+  return g.max_pool(x, 2, 2, Padding::kValid);
+}
+
+}  // namespace
+
+Model make_lenet5() {
+  // Classic LeNet-5 with C5 realized as a 5x5 convolution (LeCun 1998). The
+  // 62,006 total of Table 2 corresponds to the 3-channel 32x32 input variant
+  // (e.g. CIFAR-10): the first conv carries (5*5*3+1)*6 = 456 parameters.
+  GraphBuilder g("LeNet5", {32, 32, 3});
+  TensorId x = g.conv2d(g.input_id(), 6, 5, 1, Padding::kValid, true, "C1");
+  x = g.relu(x);
+  x = g.avg_pool(x, 2, 2, Padding::kValid, "S2");
+  x = g.conv2d(x, 16, 5, 1, Padding::kValid, true, "C3");
+  x = g.relu(x);
+  x = g.avg_pool(x, 2, 2, Padding::kValid, "S4");
+  x = g.conv2d(x, 120, 5, 1, Padding::kValid, true, "C5");
+  x = g.relu(x);
+  x = g.flatten(x);
+  x = g.dense(x, 84, true, "F6");
+  x = g.relu(x);
+  x = g.dense(x, 10, true, "output");
+  return std::move(g).build();
+}
+
+Model make_resnet50() {
+  GraphBuilder g("ResNet50", {224, 224, 3});
+  TensorId x =
+      g.conv2d(g.input_id(), 64, 7, 2, Padding::kSame, true, "conv1");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.max_pool(x, 3, 2, Padding::kSame, "pool1");
+
+  struct Stage {
+    std::uint32_t filters;
+    int blocks;
+    std::uint32_t first_stride;
+  };
+  constexpr std::array<Stage, 4> stages{{{64, 3, 1},
+                                         {128, 4, 2},
+                                         {256, 6, 2},
+                                         {512, 3, 2}}};
+  for (const auto& stage : stages) {
+    for (int b = 0; b < stage.blocks; ++b) {
+      const bool first = b == 0;
+      x = bottleneck(g, x, stage.filters, first ? stage.first_stride : 1,
+                     first);
+    }
+  }
+  x = g.global_avg_pool(x);
+  x = g.dense(x, 1000, true, "fc1000");
+  return std::move(g).build();
+}
+
+Model make_densenet121() {
+  GraphBuilder g("DenseNet121", {224, 224, 3});
+  TensorId x =
+      g.conv2d(g.input_id(), 64, 7, 2, Padding::kSame, false, "conv1");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.max_pool(x, 3, 2, Padding::kSame, "pool1");
+
+  constexpr std::uint32_t kGrowth = 32;
+  constexpr std::array<int, 4> kBlockSizes{6, 12, 24, 16};
+  for (std::size_t stage = 0; stage < kBlockSizes.size(); ++stage) {
+    for (int i = 0; i < kBlockSizes[stage]; ++i) {
+      x = dense_layer(g, x, kGrowth);
+    }
+    if (stage + 1 < kBlockSizes.size()) {
+      x = transition(g, x);
+    }
+  }
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.global_avg_pool(x);
+  x = g.dense(x, 1000, true, "fc1000");
+  return std::move(g).build();
+}
+
+Model make_vgg16() {
+  GraphBuilder g("VGG16", {224, 224, 3});
+  TensorId x = vgg_block(g, g.input_id(), 64, 2);
+  x = vgg_block(g, x, 128, 2);
+  x = vgg_block(g, x, 256, 3);
+  x = vgg_block(g, x, 512, 3);
+  x = vgg_block(g, x, 512, 3);
+  x = g.flatten(x);
+  x = g.dense(x, 4096, true, "fc1");
+  x = g.relu(x);
+  x = g.dense(x, 4096, true, "fc2");
+  x = g.relu(x);
+  x = g.dense(x, 1000, true, "predictions");
+  return std::move(g).build();
+}
+
+Model make_mobilenetv2() {
+  GraphBuilder g("MobileNetV2", {224, 224, 3});
+  TensorId x =
+      g.conv2d(g.input_id(), 32, 3, 2, Padding::kSame, false, "conv1");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+
+  struct BlockGroup {
+    std::uint32_t expansion;
+    std::uint32_t channels;
+    int repeats;
+    std::uint32_t stride;
+  };
+  constexpr std::array<BlockGroup, 7> groups{{{1, 16, 1, 1},
+                                              {6, 24, 2, 2},
+                                              {6, 32, 3, 2},
+                                              {6, 64, 4, 2},
+                                              {6, 96, 3, 1},
+                                              {6, 160, 3, 2},
+                                              {6, 320, 1, 1}}};
+  for (const auto& grp : groups) {
+    for (int i = 0; i < grp.repeats; ++i) {
+      x = inverted_residual(g, x, grp.expansion, grp.channels,
+                            i == 0 ? grp.stride : 1);
+    }
+  }
+  x = g.conv2d(x, 1280, 1, 1, Padding::kValid, false, "conv_last");
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.global_avg_pool(x);
+  x = g.dense(x, 1000, true, "predictions");
+  return std::move(g).build();
+}
+
+std::vector<Model> all_models() {
+  std::vector<Model> models;
+  models.push_back(make_lenet5());
+  models.push_back(make_resnet50());
+  models.push_back(make_densenet121());
+  models.push_back(make_vgg16());
+  models.push_back(make_mobilenetv2());
+  return models;
+}
+
+Model by_name(const std::string& name) {
+  if (name == "LeNet5") return make_lenet5();
+  if (name == "ResNet50") return make_resnet50();
+  if (name == "DenseNet121") return make_densenet121();
+  if (name == "VGG16") return make_vgg16();
+  if (name == "MobileNetV2") return make_mobilenetv2();
+  OPTIPLET_REQUIRE(false, "unknown model name: " + name);
+  return make_lenet5();  // unreachable
+}
+
+std::vector<std::string> model_names() {
+  return {"LeNet5", "ResNet50", "DenseNet121", "VGG16", "MobileNetV2"};
+}
+
+}  // namespace optiplet::dnn::zoo

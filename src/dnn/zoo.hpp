@@ -1,0 +1,42 @@
+#pragma once
+/// \file zoo.hpp
+/// The five DNN models of Table 2, reconstructed layer-by-layer following the
+/// Keras reference implementations (the paper's parameter counts match Keras
+/// "Total params" exactly, which pins down every architectural choice,
+/// including conv biases and batch-norm bookkeeping):
+///
+///   LeNet5        3 CONV  2 FC      62,006 params  (32x32x3 input)
+///   ResNet50     53 CONV  1 FC  25,636,712 params
+///   DenseNet121 120 CONV  1 FC   8,062,504 params
+///   VGG16        13 CONV  3 FC 138,357,544 params
+///   MobileNetV2  52 CONV  1 FC   3,538,984 params
+///
+/// CONV counts include 1x1 (pointwise), depthwise, and projection-shortcut
+/// convolutions, which is the only accounting that reproduces the paper's
+/// 53/120/52 numbers.
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+
+namespace optiplet::dnn::zoo {
+
+[[nodiscard]] Model make_lenet5();
+[[nodiscard]] Model make_resnet50();
+[[nodiscard]] Model make_densenet121();
+[[nodiscard]] Model make_vgg16();
+[[nodiscard]] Model make_mobilenetv2();
+
+/// All five Table-2 models, in the paper's row order.
+[[nodiscard]] std::vector<Model> all_models();
+
+/// Case-sensitive lookup by the names used in the paper
+/// ("LeNet5", "ResNet50", "DenseNet121", "VGG16", "MobileNetV2").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Model by_name(const std::string& name);
+
+/// The model names in Table-2 order.
+[[nodiscard]] std::vector<std::string> model_names();
+
+}  // namespace optiplet::dnn::zoo

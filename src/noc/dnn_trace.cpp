@@ -1,0 +1,91 @@
+#include "noc/dnn_trace.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace optiplet::noc {
+
+namespace {
+
+/// Append `total_bits` from src to dst as max_message_bits chunks.
+void append_chunks(std::vector<TraceMessage>& trace, NodeId src, NodeId dst,
+                   std::uint64_t total_bits, std::uint32_t max_message_bits) {
+  while (total_bits > 0) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(total_bits, max_message_bits));
+    trace.push_back(TraceMessage{src, dst, chunk});
+    total_bits -= chunk;
+  }
+}
+
+}  // namespace
+
+std::vector<TraceMessage> build_layer_trace(const dnn::LayerWork& layer,
+                                            std::size_t chiplets_used,
+                                            const MeshPlacement& placement,
+                                            std::uint64_t subsample,
+                                            std::uint32_t max_message_bits) {
+  OPTIPLET_REQUIRE(chiplets_used >= 1, "layer needs at least one chiplet");
+  OPTIPLET_REQUIRE(chiplets_used <= placement.compute_nodes.size(),
+                   "more chiplets than mesh placement provides");
+  OPTIPLET_REQUIRE(subsample >= 1, "subsample must be >= 1");
+  OPTIPLET_REQUIRE(max_message_bits >= 1, "empty message chunks");
+
+  std::vector<TraceMessage> trace;
+  const std::uint64_t weight_shard =
+      std::max<std::uint64_t>(1, layer.weight_bits / subsample /
+                                     chiplets_used);
+  const std::uint64_t input_copy =
+      std::max<std::uint64_t>(1, layer.input_bits / subsample);
+  const std::uint64_t output_shard =
+      std::max<std::uint64_t>(1, layer.output_bits / subsample /
+                                     chiplets_used);
+
+  for (std::size_t c = 0; c < chiplets_used; ++c) {
+    const NodeId node = placement.compute_nodes[c];
+    // Reads: the chiplet's weight shard plus a full input copy (output-
+    // channel data parallelism needs the whole input map on every chiplet).
+    append_chunks(trace, placement.memory_node, node, weight_shard,
+                  max_message_bits);
+    append_chunks(trace, placement.memory_node, node, input_copy,
+                  max_message_bits);
+    // Writes: the chiplet's output shard back to memory.
+    append_chunks(trace, node, placement.memory_node, output_shard,
+                  max_message_bits);
+  }
+  return trace;
+}
+
+TraceReplayResult replay_trace(ElectricalMesh& mesh,
+                               const std::vector<TraceMessage>& trace,
+                               std::uint64_t max_cycles) {
+  OPTIPLET_REQUIRE(!trace.empty(), "empty trace");
+  const std::uint64_t start_cycle = mesh.cycle();
+  const std::uint64_t packets_before = mesh.stats().packets_ejected;
+  const double latency_sum_before = mesh.stats().packet_latency_cycles.sum();
+
+  std::uint64_t bits = 0;
+  for (const auto& msg : trace) {
+    mesh.inject(msg.src, msg.dst, msg.bits);
+    bits += msg.bits;
+  }
+  const bool drained = mesh.run_until_drained(max_cycles);
+  OPTIPLET_REQUIRE(drained, "trace replay did not drain within the budget");
+
+  TraceReplayResult result;
+  result.cycles = mesh.cycle() - start_cycle;
+  result.packets = mesh.stats().packets_ejected - packets_before;
+  const double latency_sum =
+      mesh.stats().packet_latency_cycles.sum() - latency_sum_before;
+  result.mean_packet_latency_cycles =
+      result.packets ? latency_sum / static_cast<double>(result.packets)
+                     : 0.0;
+  result.delivered_bits_per_cycle =
+      result.cycles ? static_cast<double>(bits) /
+                          static_cast<double>(result.cycles)
+                    : 0.0;
+  return result;
+}
+
+}  // namespace optiplet::noc

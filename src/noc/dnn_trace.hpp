@@ -1,0 +1,62 @@
+#pragma once
+/// \file dnn_trace.hpp
+/// DNN-layer message traces for the cycle-accurate mesh.
+///
+/// Converts one compute layer's dataflow into the message sequence the
+/// electrical interposer would carry — weight shards and replicated input
+/// activations from the memory node to each assigned compute node, output
+/// activations back — and replays it on noc::ElectricalMesh. This is the
+/// strongest grounding for the transaction-level electrical model: instead
+/// of synthetic traffic, the cycle simulator chews the *actual* per-layer
+/// volumes of the Table-2 models (subsampled; full inferences move ~10^8
+/// bits and would take minutes per run at flit granularity).
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/workload.hpp"
+#include "noc/mesh.hpp"
+
+namespace optiplet::noc {
+
+/// One message of a layer trace.
+struct TraceMessage {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t bits = 0;
+};
+
+/// Placement of the accelerator on the mesh: which node hosts the memory
+/// chiplet and which nodes host the layer's compute chiplets.
+struct MeshPlacement {
+  NodeId memory_node = 4;  ///< center of the default 3x3 mesh
+  std::vector<NodeId> compute_nodes{0, 1, 2, 3, 5, 6, 7, 8};
+};
+
+/// Build the message trace of one layer, scaled down by `subsample`
+/// (every message volume is divided by it; >= 1). Weights are sharded
+/// across the `chiplets_used` first compute nodes, inputs are replicated
+/// to each of them, outputs return to memory. Messages are chunked to
+/// `max_message_bits` (DMA burst granularity).
+[[nodiscard]] std::vector<TraceMessage> build_layer_trace(
+    const dnn::LayerWork& layer, std::size_t chiplets_used,
+    const MeshPlacement& placement, std::uint64_t subsample,
+    std::uint32_t max_message_bits = 4096);
+
+/// Result of replaying a trace on the mesh.
+struct TraceReplayResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t packets = 0;
+  double mean_packet_latency_cycles = 0.0;
+  /// Delivered bandwidth [bits/cycle] over the replay.
+  double delivered_bits_per_cycle = 0.0;
+};
+
+/// Inject the whole trace at cycle 0 and run the mesh until drained.
+/// Returns the replay statistics; throws if the mesh fails to drain within
+/// `max_cycles`.
+TraceReplayResult replay_trace(ElectricalMesh& mesh,
+                               const std::vector<TraceMessage>& trace,
+                               std::uint64_t max_cycles = 50'000'000);
+
+}  // namespace optiplet::noc

@@ -1,0 +1,77 @@
+#include "noc/elec_interposer_model.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace optiplet::noc {
+
+ElecInterposerModel::ElecInterposerModel(
+    const ElecInterposerModelConfig& config,
+    const power::ElectricalTech& tech)
+    : config_(config), tech_(tech) {
+  OPTIPLET_REQUIRE(config.hotspot_efficiency > 0.0 &&
+                       config.hotspot_efficiency <= 1.0,
+                   "hotspot efficiency must be in (0,1]");
+  OPTIPLET_REQUIRE(config.average_hops >= 1.0, "average hops must be >= 1");
+}
+
+double ElecInterposerModel::port_bandwidth_bps() const {
+  return static_cast<double>(config_.mesh.link_width_bits) *
+         config_.mesh.clock_hz;
+}
+
+double ElecInterposerModel::effective_read_bandwidth_bps() const {
+  return port_bandwidth_bps() * config_.hotspot_efficiency;
+}
+
+double ElecInterposerModel::read_round_trip_s(double hops) const {
+  const double cycle_s = 1.0 / config_.mesh.clock_hz;
+  const double per_hop = static_cast<double>(
+      config_.mesh.router_pipeline_cycles + config_.mesh.link_latency_cycles);
+  // Request traverses `hops`, memory turnaround ~4 cycles, response returns.
+  return (2.0 * (2.0 + hops * per_hop) + 4.0) * cycle_s;
+}
+
+double ElecInterposerModel::chiplet_read_bandwidth_bps(double hops) const {
+  const double word_bits =
+      static_cast<double>(config_.mesh.link_width_bits);
+  return config_.outstanding_read_words * word_bits /
+         read_round_trip_s(hops);
+}
+
+double ElecInterposerModel::layer_read_bandwidth_bps(std::size_t chiplets,
+                                                     double hops) const {
+  OPTIPLET_REQUIRE(chiplets >= 1, "layer needs at least one reader");
+  const double mshr_limit =
+      static_cast<double>(chiplets) * chiplet_read_bandwidth_bps(hops);
+  return std::min(mshr_limit, effective_read_bandwidth_bps());
+}
+
+double ElecInterposerModel::transfer_latency_s(std::uint64_t bits,
+                                               double hops) const {
+  const double cycle_s = 1.0 / config_.mesh.clock_hz;
+  const double per_hop = static_cast<double>(
+      config_.mesh.router_pipeline_cycles + config_.mesh.link_latency_cycles);
+  const double pipeline_s = (2.0 + hops * per_hop) * cycle_s;
+  const double serialization_s =
+      static_cast<double>(bits) / effective_read_bandwidth_bps();
+  return pipeline_s + serialization_s;
+}
+
+double ElecInterposerModel::transfer_energy_j(std::uint64_t bits,
+                                              double hops) const {
+  const double b = static_cast<double>(bits);
+  return b * (hops * tech_.router_energy_per_bit_j +
+              hops * tech_.wire_energy_per_bit_per_m *
+                  config_.mesh.hop_distance_m +
+              2.0 * tech_.phy_energy_per_bit_j);
+}
+
+double ElecInterposerModel::static_power_w() const {
+  const double nodes = static_cast<double>(config_.mesh.width) *
+                       static_cast<double>(config_.mesh.height);
+  return nodes * tech_.router_static_w;
+}
+
+}  // namespace optiplet::noc

@@ -1,0 +1,93 @@
+#pragma once
+/// \file elec_interposer_model.hpp
+/// Transaction-level model of the active electrical mesh interposer
+/// (2.5D-CrossLight-Elec-Interposer baseline).
+///
+/// Derived from the cycle-accurate noc::ElectricalMesh (DESIGN.md §3): the
+/// bandwidth term uses the NI port rate scaled by a hotspot efficiency that
+/// the cycle simulator calibrates (all DNN read traffic radiates from the
+/// single memory chiplet, so its injection port is the bottleneck), and the
+/// latency term uses the mesh's zero-load per-hop pipeline.
+/// `tests/core/calibration_test.cpp` cross-checks both terms against the
+/// cycle simulator on identical traces.
+
+#include <cstdint>
+
+#include "noc/mesh.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/tech_params.hpp"
+
+namespace optiplet::noc {
+
+struct ElecInterposerModelConfig {
+  MeshConfig mesh{};
+  /// Fraction of the memory port's raw bandwidth deliverable under the
+  /// all-nodes-read-from-memory hotspot (protocol + arbitration overhead;
+  /// calibrated against the cycle simulator).
+  double hotspot_efficiency = 0.62;
+  /// Average hop count between the memory chiplet and a compute chiplet
+  /// (memory sits mid-edge on a 3x3 mesh: hops in {1,2,3}, mean ~2).
+  double average_hops = 2.0;
+  /// Outstanding read words (of link width) a chiplet's NI keeps in flight.
+  /// The electrical interposer lacks the photonic gateways' store-and-
+  /// forward DMA buffers (Fig. 5 gives those to the SiPh design only), so
+  /// reads are blocking request-response at word granularity (1.0 = one
+  /// word in flight per chiplet). This is the dominant term behind the
+  /// paper's reported 34x latency gap; EXPERIMENTS.md carries the
+  /// sensitivity analysis (0.5 -> ~30x, 1.0 -> ~15x, 2.0 -> ~8x).
+  double outstanding_read_words = 1.0;
+  /// Limited gateway buffering forces store-and-forward at layer
+  /// granularity: communication does not overlap compute (paper §VI notes
+  /// the electrical interposer "suffers due to the significantly higher
+  /// latency of metallic interconnects").
+  bool overlaps_compute = false;
+};
+
+/// Analytic electrical-interposer characterization.
+class ElecInterposerModel {
+ public:
+  ElecInterposerModel(const ElecInterposerModelConfig& config,
+                      const power::ElectricalTech& tech);
+
+  /// Raw NI port bandwidth [bit/s] = link width * clock.
+  [[nodiscard]] double port_bandwidth_bps() const;
+
+  /// Deliverable read bandwidth out of the memory chiplet under the DNN
+  /// hotspot pattern [bit/s].
+  [[nodiscard]] double effective_read_bandwidth_bps() const;
+
+  /// Round-trip time of one request/response word read over `hops` [s].
+  [[nodiscard]] double read_round_trip_s(double hops) const;
+
+  /// Read bandwidth one chiplet sustains with the configured outstanding
+  /// word reads over `hops` [bit/s] (MSHR-limited request-response).
+  [[nodiscard]] double chiplet_read_bandwidth_bps(double hops) const;
+
+  /// Aggregate read bandwidth for a layer striped over `chiplets` readers:
+  /// min(port limit, sum of per-chiplet MSHR-limited rates).
+  [[nodiscard]] double layer_read_bandwidth_bps(std::size_t chiplets,
+                                                double hops) const;
+
+  /// Latency of a `bits` transfer over `hops` mesh hops [s]
+  /// (zero-load pipeline + serialization at the effective rate).
+  [[nodiscard]] double transfer_latency_s(std::uint64_t bits,
+                                          double hops) const;
+
+  /// Dynamic energy to move `bits` over `hops` hops [J]: router + wire +
+  /// chiplet-boundary PHY crossings at both ends.
+  [[nodiscard]] double transfer_energy_j(std::uint64_t bits,
+                                         double hops) const;
+
+  /// Static power of the interposer mesh [W] (routers + clocking).
+  [[nodiscard]] double static_power_w() const;
+
+  [[nodiscard]] const ElecInterposerModelConfig& config() const {
+    return config_;
+  }
+
+ private:
+  ElecInterposerModelConfig config_;
+  power::ElectricalTech tech_;
+};
+
+}  // namespace optiplet::noc

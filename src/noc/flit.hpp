@@ -1,0 +1,44 @@
+#pragma once
+/// \file flit.hpp
+/// Packet and flit types for the cycle-accurate electrical NoC.
+///
+/// A packet is segmented into link-width flits; the head flit carries the
+/// route, the tail flit releases the wormhole. Single-flit packets are both
+/// head and tail.
+
+#include <cstdint>
+
+namespace optiplet::noc {
+
+/// Node index inside a mesh (row-major).
+using NodeId = std::uint16_t;
+
+/// One network packet (message) before segmentation.
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t size_bits = 0;
+  std::uint64_t inject_cycle = 0;  ///< cycle the packet entered the source NI
+};
+
+/// One flit in flight.
+struct Flit {
+  std::uint64_t packet_id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  bool head = false;
+  bool tail = false;
+  std::uint32_t seq = 0;           ///< flit index within the packet
+  std::uint64_t inject_cycle = 0;  ///< copied from the packet
+};
+
+/// Number of flits a packet of `size_bits` occupies on `link_width_bits`
+/// links (header folded into the first flit; always at least one flit).
+[[nodiscard]] constexpr std::uint32_t flits_for(std::uint32_t size_bits,
+                                                std::uint32_t link_width_bits) {
+  const std::uint32_t n = (size_bits + link_width_bits - 1) / link_width_bits;
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace optiplet::noc

@@ -1,0 +1,148 @@
+#pragma once
+/// \file mesh.hpp
+/// Cycle-accurate 2-D mesh NoC: routers + pipelined links + network
+/// interfaces, with latency statistics and energy accounting.
+///
+/// This is the model behind the 2.5D-CrossLight-Elec-Interposer: an active
+/// electrical interposer mesh with one router per chiplet site (128-bit
+/// links at 2 GHz per Table 1). It also calibrates the transaction-level
+/// electrical model used by the full-system simulator (DESIGN.md §3).
+///
+/// Timing model per hop: `router_pipeline_cycles` (RC/VA/SA/ST) +
+/// `link_latency_cycles` (pipelined interposer wire). The router itself
+/// resolves in one tick; the remaining pipeline depth is folded into the
+/// link delay, which reproduces the standard per-hop latency without
+/// simulating each pipeline register.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/tech_params.hpp"
+#include "sim/stats.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+
+struct MeshConfig {
+  std::uint16_t width = 3;
+  std::uint16_t height = 3;
+  RouterConfig router{};
+  /// Link (and NI port) width [bits] — Table 1: 128.
+  std::uint32_t link_width_bits = 128;
+  /// NoC clock [Hz] — Table 1: 2 GHz.
+  double clock_hz = 2.0 * units::GHz;
+  /// Wire pipeline stages per hop.
+  std::uint32_t link_latency_cycles = 2;
+  /// Router pipeline depth (total per-hop latency adds link_latency).
+  std::uint32_t router_pipeline_cycles = 4;
+  /// Physical distance per hop on the interposer [m] (energy model).
+  double hop_distance_m = 5.0 * units::mm;
+};
+
+/// Latency/throughput results of a mesh run.
+struct MeshStats {
+  sim::RunningStat packet_latency_cycles;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_ejected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t flit_hops = 0;      ///< crossbar traversals
+  std::uint64_t link_traversals = 0;
+  std::uint64_t cycles = 0;
+
+  /// Delivered throughput [flits/node/cycle].
+  [[nodiscard]] double throughput_flits_per_node_cycle(
+      std::size_t node_count) const {
+    if (cycles == 0 || node_count == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(flits_ejected) /
+           (static_cast<double>(cycles) * static_cast<double>(node_count));
+  }
+};
+
+/// The mesh simulator.
+class ElectricalMesh {
+ public:
+  ElectricalMesh(const MeshConfig& config,
+                 const power::ElectricalTech& tech);
+
+  /// Queue a packet at its source NI. `size_bits` is segmented into
+  /// link-width flits. Injection begins at the next step().
+  void inject(NodeId src, NodeId dst, std::uint32_t size_bits);
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Run until all queued traffic has drained or `max_cycles` elapse;
+  /// returns true when drained.
+  bool run_until_drained(std::uint64_t max_cycles);
+
+  /// True when no packet or flit is anywhere in the network.
+  [[nodiscard]] bool drained() const;
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] std::size_t node_count() const {
+    return static_cast<std::size_t>(config_.width) * config_.height;
+  }
+  [[nodiscard]] const MeshConfig& config() const { return config_; }
+  [[nodiscard]] const MeshStats& stats() const { return stats_; }
+
+  /// Energy spent so far, per the ElectricalTech constants.
+  [[nodiscard]] power::EnergyLedger energy() const;
+
+  /// Zero-load latency for a `size_bits` packet over `hops` hops [cycles]:
+  /// per-hop pipeline + serialization. Used by tests and by the
+  /// transaction-level calibration.
+  [[nodiscard]] std::uint64_t zero_load_latency_cycles(
+      std::uint32_t size_bits, std::uint32_t hops) const;
+
+  /// Minimal hop count between two nodes.
+  [[nodiscard]] std::uint32_t hop_distance(NodeId a, NodeId b) const;
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_cycle = 0;
+    Flit flit;
+    std::uint8_t vc = 0;
+  };
+  struct CreditInFlight {
+    std::uint64_t deliver_cycle = 0;
+    std::uint8_t vc = 0;
+  };
+  /// One directed channel between a router output and a neighbour input
+  /// (or between NI and router local port).
+  struct Channel {
+    std::deque<InFlight> flits;
+    std::deque<CreditInFlight> credits;
+  };
+  struct NetworkInterface {
+    std::deque<Packet> pending;
+    std::uint32_t flits_sent_of_current = 0;
+    std::vector<std::uint32_t> credits;  ///< toward router local port, per VC
+    std::uint8_t next_vc = 0;
+  };
+
+  [[nodiscard]] NodeId neighbour(NodeId node, std::uint8_t port) const;
+  [[nodiscard]] static std::uint8_t opposite(std::uint8_t port);
+  [[nodiscard]] std::size_t channel_index(NodeId node,
+                                          std::uint8_t out_port) const;
+
+  MeshConfig config_;
+  power::ElectricalTech tech_;
+  std::vector<Router> routers_;
+  /// channels_[node * kPortCount + out_port]: the channel leaving `node`
+  /// through `out_port` (kLocal = ejection toward the NI sink).
+  std::vector<Channel> channels_;
+  std::vector<NetworkInterface> nis_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  MeshStats stats_;
+  std::vector<StagedFlit> scratch_flits_;
+  std::vector<StagedCredit> scratch_credits_;
+};
+
+}  // namespace optiplet::noc

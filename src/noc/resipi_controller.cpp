@@ -1,0 +1,94 @@
+#include "noc/resipi_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace optiplet::noc {
+
+ResipiController::ResipiController(
+    const ResipiConfig& config, std::size_t chiplet_count,
+    std::size_t gateways_per_chiplet, double gateway_bandwidth_bps,
+    const photonics::PcmCouplerDesign& pcm_design)
+    : config_(config),
+      gateways_per_chiplet_(gateways_per_chiplet),
+      gateway_bandwidth_bps_(gateway_bandwidth_bps),
+      pcm_design_(pcm_design),
+      active_(chiplet_count, config.min_active_gateways) {
+  OPTIPLET_REQUIRE(chiplet_count >= 1, "controller needs chiplets");
+  OPTIPLET_REQUIRE(gateways_per_chiplet >= 1,
+                   "chiplets need at least one gateway");
+  OPTIPLET_REQUIRE(config.min_active_gateways >= 1 &&
+                       config.min_active_gateways <= gateways_per_chiplet,
+                   "min active gateways out of range");
+  OPTIPLET_REQUIRE(gateway_bandwidth_bps > 0.0,
+                   "gateway bandwidth must be positive");
+  OPTIPLET_REQUIRE(config.target_utilization > 0.0 &&
+                       config.target_utilization <= 1.0,
+                   "target utilization must be in (0,1]");
+  OPTIPLET_REQUIRE(config.epoch_s > 0.0, "epoch must be positive");
+}
+
+std::size_t ResipiController::required_gateways(double demand_bps) const {
+  OPTIPLET_REQUIRE(demand_bps >= 0.0, "demand must be non-negative");
+  const double provisioned =
+      demand_bps / (gateway_bandwidth_bps_ * config_.target_utilization);
+  const auto needed =
+      static_cast<std::size_t>(std::ceil(provisioned - 1e-12));
+  return std::clamp(needed, config_.min_active_gateways,
+                    gateways_per_chiplet_);
+}
+
+std::size_t ResipiController::observe_epoch(
+    const std::vector<double>& demand_bps) {
+  OPTIPLET_REQUIRE(demand_bps.size() == active_.size(),
+                   "demand vector size must match chiplet count");
+  std::size_t changes = 0;
+  for (std::size_t c = 0; c < active_.size(); ++c) {
+    const std::size_t needed = required_gateways(demand_bps[c]);
+    std::size_t next = active_[c];
+    if (needed > active_[c]) {
+      next = needed;  // upshift immediately: latency matters under load
+    } else if (needed < active_[c]) {
+      // Hysteresis: only downshift when the smaller configuration would
+      // still run comfortably below the downshift threshold.
+      const double util_at_needed =
+          demand_bps[c] /
+          (static_cast<double>(needed) * gateway_bandwidth_bps_);
+      if (util_at_needed <= config_.downshift_utilization) {
+        next = needed;
+      }
+    }
+    if (next != active_[c]) {
+      const std::size_t delta =
+          next > active_[c] ? next - active_[c] : active_[c] - next;
+      changes += delta;
+      // One PCMC write per gateway whose laser feed changes state.
+      pcm_write_energy_j_ +=
+          static_cast<double>(delta) * pcm_design_.write_energy_j;
+      reconfigurations_ += delta;
+      active_[c] = next;
+    }
+  }
+  return changes;
+}
+
+std::size_t ResipiController::active_gateways(std::size_t chiplet) const {
+  OPTIPLET_REQUIRE(chiplet < active_.size(), "chiplet index out of range");
+  return active_[chiplet];
+}
+
+std::size_t ResipiController::total_active_gateways() const {
+  std::size_t n = 0;
+  for (std::size_t a : active_) {
+    n += a;
+  }
+  return n;
+}
+
+double ResipiController::reconfiguration_energy_j() const {
+  return pcm_write_energy_j_;
+}
+
+}  // namespace optiplet::noc

@@ -1,0 +1,87 @@
+#pragma once
+/// \file resipi_controller.hpp
+/// ReSiPI epoch-based gateway reconfiguration controller (paper §IV, [37]).
+///
+/// The controller monitors each chiplet's inter-chiplet traffic demand in
+/// fixed time epochs and sets the number of *active* writer gateways per
+/// chiplet for the next epoch. Gateways are (de)activated by writing the
+/// PCM couplers that feed them laser light, and the laser's wavelength
+/// channels are scaled accordingly — active gateways burn static power
+/// (ring tuning, clocks, laser share); parked gateways burn none, because
+/// PCM states are non-volatile.
+
+#include <cstdint>
+#include <vector>
+
+#include "photonics/pcm_coupler.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+
+struct ResipiConfig {
+  /// Monitoring epoch length [s]. ReSiPI reconfigures at epoch boundaries.
+  double epoch_s = 5.0 * units::us;
+  /// Minimum active gateways per chiplet (keep-alive channel for control).
+  std::size_t min_active_gateways = 1;
+  /// Utilization headroom: demand is provisioned at demand/headroom so a
+  /// gateway saturating at 100% does not throttle the epoch (0 < h <= 1).
+  double target_utilization = 0.85;
+  /// Hysteresis: deactivate only when the lower-count config would still run
+  /// below `downshift_utilization` (avoids thrash between epochs).
+  double downshift_utilization = 0.6;
+};
+
+/// Per-chiplet gateway activation decision and bookkeeping.
+class ResipiController {
+ public:
+  /// \param chiplet_count   number of managed chiplets
+  /// \param gateways_per_chiplet maximum gateways a chiplet can activate
+  /// \param gateway_bandwidth_bps serialization bandwidth of one gateway
+  ResipiController(const ResipiConfig& config, std::size_t chiplet_count,
+                   std::size_t gateways_per_chiplet,
+                   double gateway_bandwidth_bps,
+                   const photonics::PcmCouplerDesign& pcm_design);
+
+  /// Feed the controller one epoch's demand [bit/s] for every chiplet and
+  /// advance the configuration. Returns the number of gateway state changes
+  /// performed (PCMC writes).
+  std::size_t observe_epoch(const std::vector<double>& demand_bps);
+
+  /// Gateways required for a given demand under the config's utilization
+  /// targets (pure function; used by observe_epoch and by the transaction
+  /// simulator's per-layer provisioning).
+  [[nodiscard]] std::size_t required_gateways(double demand_bps) const;
+
+  /// Currently active gateways on `chiplet`.
+  [[nodiscard]] std::size_t active_gateways(std::size_t chiplet) const;
+
+  /// Sum of active gateways over all chiplets.
+  [[nodiscard]] std::size_t total_active_gateways() const;
+
+  /// Total PCMC write energy spent on reconfiguration so far [J].
+  [[nodiscard]] double reconfiguration_energy_j() const;
+
+  /// Number of reconfiguration events (PCMC writes) so far.
+  [[nodiscard]] std::uint64_t reconfiguration_count() const {
+    return reconfigurations_;
+  }
+
+  [[nodiscard]] const ResipiConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t gateways_per_chiplet() const {
+    return gateways_per_chiplet_;
+  }
+  [[nodiscard]] double gateway_bandwidth_bps() const {
+    return gateway_bandwidth_bps_;
+  }
+
+ private:
+  ResipiConfig config_;
+  std::size_t gateways_per_chiplet_;
+  double gateway_bandwidth_bps_;
+  photonics::PcmCouplerDesign pcm_design_;
+  std::vector<std::size_t> active_;
+  double pcm_write_energy_j_ = 0.0;
+  std::uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace optiplet::noc

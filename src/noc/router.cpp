@@ -1,0 +1,142 @@
+#include "noc/router.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::noc {
+
+Router::Router(NodeId id, std::uint16_t mesh_width, std::uint16_t mesh_height,
+               const RouterConfig& config)
+    : id_(id), width_(mesh_width), height_(mesh_height), config_(config) {
+  OPTIPLET_REQUIRE(config.vc_count >= 1, "router needs at least one VC");
+  OPTIPLET_REQUIRE(config.vc_depth >= 1, "VC depth must be at least one flit");
+  OPTIPLET_REQUIRE(mesh_width >= 1 && mesh_height >= 1, "empty mesh");
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    input_[p].resize(config.vc_count);
+    credits_[p].assign(config.vc_count, config.vc_depth);
+    out_vc_busy_[p].assign(config.vc_count, false);
+  }
+}
+
+void Router::receive_flit(std::uint8_t port, std::uint8_t vc,
+                          const Flit& flit) {
+  OPTIPLET_ASSERT(port < kPortCount && vc < config_.vc_count,
+                  "port/vc out of range");
+  auto& in = input_[port][vc];
+  OPTIPLET_ASSERT(in.fifo.size() < config_.vc_depth,
+                  "input FIFO overflow: credit protocol violated");
+  in.fifo.push_back(flit);
+}
+
+void Router::receive_credit(std::uint8_t port, std::uint8_t vc) {
+  OPTIPLET_ASSERT(port < kPortCount && vc < config_.vc_count,
+                  "credit port/vc out of range");
+  OPTIPLET_ASSERT(credits_[port][vc] < config_.vc_depth,
+                  "credit overflow: more credits than buffer slots");
+  ++credits_[port][vc];
+}
+
+std::uint8_t Router::route(NodeId dst) const {
+  const int my_x = id_ % width_;
+  const int my_y = id_ / width_;
+  const int dst_x = dst % width_;
+  const int dst_y = dst / width_;
+  // Dimension-order: correct X first, then Y (deadlock-free on meshes).
+  if (dst_x > my_x) {
+    return kEast;
+  }
+  if (dst_x < my_x) {
+    return kWest;
+  }
+  if (dst_y > my_y) {
+    return kSouth;
+  }
+  if (dst_y < my_y) {
+    return kNorth;
+  }
+  return kLocal;
+}
+
+std::optional<std::uint8_t> Router::allocate_output_vc(std::uint8_t out_port) {
+  for (std::uint8_t v = 0; v < config_.vc_count; ++v) {
+    if (!out_vc_busy_[out_port][v]) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+void Router::tick(std::vector<StagedFlit>& staged_flits,
+                  std::vector<StagedCredit>& staged_credits) {
+  // --- Stage 1: route computation + output-VC allocation for head flits ---
+  for (std::uint8_t p = 0; p < kPortCount; ++p) {
+    for (std::uint8_t v = 0; v < config_.vc_count; ++v) {
+      auto& in = input_[p][v];
+      if (in.fifo.empty()) {
+        continue;
+      }
+      const Flit& f = in.fifo.front();
+      if (f.head && !in.routed) {
+        in.out_port = route(f.dst);
+        in.routed = true;
+      }
+      if (in.routed && !in.vc_allocated) {
+        if (auto out_vc = allocate_output_vc(in.out_port)) {
+          in.out_vc = *out_vc;
+          in.vc_allocated = true;
+          out_vc_busy_[in.out_port][*out_vc] = true;
+        }
+      }
+    }
+  }
+
+  // --- Stage 2: switch allocation (one winner per output port) ---
+  const std::uint32_t slots = kPortCount * config_.vc_count;
+  for (std::uint8_t out = 0; out < kPortCount; ++out) {
+    // Round-robin over all (in_port, in_vc) pairs starting after the last
+    // winner for fairness.
+    for (std::uint32_t k = 0; k < slots; ++k) {
+      const std::uint32_t slot = (rr_pointer_[out] + 1 + k) % slots;
+      const auto p = static_cast<std::uint8_t>(slot / config_.vc_count);
+      const auto v = static_cast<std::uint8_t>(slot % config_.vc_count);
+      auto& in = input_[p][v];
+      if (in.fifo.empty() || !in.vc_allocated || in.out_port != out) {
+        continue;
+      }
+      // Local ejection needs no downstream credit (the NI sinks at line
+      // rate); other ports need a free slot downstream.
+      if (out != kLocal && credits_[out][in.out_vc] == 0) {
+        continue;
+      }
+      // Winner: traverse the crossbar.
+      Flit f = in.fifo.front();
+      in.fifo.pop_front();
+      if (out != kLocal) {
+        --credits_[out][in.out_vc];
+      }
+      staged_flits.push_back(StagedFlit{f, out, in.out_vc});
+      // Freeing one input slot: return a credit upstream (the mesh routes
+      // it; local-port credits go to the NI which tracks them too).
+      staged_credits.push_back(StagedCredit{p, v});
+      ++crossbar_traversals_;
+      if (f.tail) {
+        out_vc_busy_[out][in.out_vc] = false;
+        in.routed = false;
+        in.vc_allocated = false;
+      }
+      rr_pointer_[out] = slot;
+      break;  // one flit per output port per cycle
+    }
+  }
+}
+
+std::size_t Router::buffered_flits() const {
+  std::size_t n = 0;
+  for (const auto& port : input_) {
+    for (const auto& vc : port) {
+      n += vc.fifo.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace optiplet::noc

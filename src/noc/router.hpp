@@ -1,0 +1,122 @@
+#pragma once
+/// \file router.hpp
+/// Credit-based wormhole virtual-channel router for a 2-D mesh.
+///
+/// Standard input-queued microarchitecture (BookSim lineage):
+///   * 5 ports (North, East, South, West, Local), V virtual channels per
+///     input port, each a FIFO of `vc_depth` flits;
+///   * XY dimension-order routing (deadlock-free on meshes);
+///   * per-output-VC allocation held for a whole packet (wormhole);
+///   * switch allocation: round-robin arbitration per output port, one flit
+///     per output per cycle;
+///   * credit-based backpressure toward the upstream router.
+///
+/// The router never touches other routers directly: all exchange goes through
+/// noc::Link objects owned by the mesh, so stepping routers in any order is
+/// deterministic (see mesh.hpp).
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace optiplet::noc {
+
+/// Mesh port directions. kLocal attaches the network interface.
+enum Port : std::uint8_t {
+  kNorth = 0,
+  kEast = 1,
+  kSouth = 2,
+  kWest = 3,
+  kLocal = 4,
+  kPortCount = 5,
+};
+
+struct RouterConfig {
+  std::uint32_t vc_count = 2;
+  /// Flits per VC FIFO. Must cover the credit round trip (send + link
+  /// pipeline + downstream forward + credit wire ~ 8 cycles at the default
+  /// hop latency) or a single wormhole cannot sustain full link rate.
+  std::uint32_t vc_depth = 8;
+};
+
+/// Staged transfer from a router toward one neighbour (collected by Mesh).
+struct StagedFlit {
+  Flit flit;
+  std::uint8_t out_port = 0;
+  std::uint8_t out_vc = 0;
+};
+
+/// Credit returned to the upstream router on (in_port, vc).
+struct StagedCredit {
+  std::uint8_t in_port = 0;
+  std::uint8_t vc = 0;
+};
+
+class Router {
+ public:
+  Router(NodeId id, std::uint16_t mesh_width, std::uint16_t mesh_height,
+         const RouterConfig& config);
+
+  /// Deliver a flit arriving on (port, vc) — called by Mesh when a link
+  /// output reaches this router. The FIFO must have space (guaranteed by
+  /// credits; violation indicates a protocol bug).
+  void receive_flit(std::uint8_t port, std::uint8_t vc, const Flit& flit);
+
+  /// Deliver a returned credit for (out_port, out_vc).
+  void receive_credit(std::uint8_t port, std::uint8_t vc);
+
+  /// One cycle of route computation, VC allocation, and switch allocation.
+  /// Winning flits are appended to `staged_flits`; freed input slots emit
+  /// credits into `staged_credits` (addressed to the upstream router).
+  void tick(std::vector<StagedFlit>& staged_flits,
+            std::vector<StagedCredit>& staged_credits);
+
+  /// Flits currently buffered (for drain detection).
+  [[nodiscard]] std::size_t buffered_flits() const;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+
+  /// Count of flits that traversed this router's crossbar.
+  [[nodiscard]] std::uint64_t crossbar_traversals() const {
+    return crossbar_traversals_;
+  }
+
+ private:
+  struct InputVc {
+    std::deque<Flit> fifo;
+    bool routed = false;      ///< head flit's route computed
+    std::uint8_t out_port = 0;
+    bool vc_allocated = false;
+    std::uint8_t out_vc = 0;
+  };
+
+  /// XY dimension-order route for `dst` from this router.
+  [[nodiscard]] std::uint8_t route(NodeId dst) const;
+
+  /// Try to allocate a free VC on `out_port`; returns the VC or nullopt.
+  [[nodiscard]] std::optional<std::uint8_t> allocate_output_vc(
+      std::uint8_t out_port);
+
+  NodeId id_;
+  std::uint16_t width_;
+  std::uint16_t height_;
+  RouterConfig config_;
+
+  /// input_[port][vc]
+  std::array<std::vector<InputVc>, kPortCount> input_;
+  /// credits_[port][vc]: free downstream slots on each output.
+  std::array<std::vector<std::uint32_t>, kPortCount> credits_;
+  /// out_vc_busy_[port][vc]: output VC currently owned by a packet.
+  std::array<std::vector<bool>, kPortCount> out_vc_busy_;
+  /// Round-robin pointers per output port over (in_port * V + in_vc).
+  std::array<std::uint32_t, kPortCount> rr_pointer_{};
+
+  std::uint64_t crossbar_traversals_ = 0;
+};
+
+}  // namespace optiplet::noc

@@ -1,0 +1,63 @@
+#include "photonics/laser.hpp"
+
+#include <numeric>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+LaserSource::LaserSource(const LaserDesign& design, std::size_t channel_count)
+    : design_(design), channels_(channel_count, 0.0) {
+  OPTIPLET_REQUIRE(channel_count >= 1, "laser needs at least one channel");
+  OPTIPLET_REQUIRE(design.wall_plug_efficiency > 0.0 &&
+                       design.wall_plug_efficiency <= 1.0,
+                   "wall plug efficiency must be in (0,1]");
+  OPTIPLET_REQUIRE(design.coupling_loss_db >= 0.0,
+                   "coupling loss must be non-negative");
+}
+
+void LaserSource::set_channel_power_w(std::size_t i, double delivered_power_w) {
+  OPTIPLET_REQUIRE(i < channels_.size(), "laser channel out of range");
+  OPTIPLET_REQUIRE(delivered_power_w >= 0.0, "power must be non-negative");
+  const double coupling = design_.kind == LaserKind::kOffChipCombBank
+                              ? util::from_db(design_.coupling_loss_db)
+                              : 1.0;
+  const double source_power = delivered_power_w * coupling;
+  OPTIPLET_REQUIRE(source_power <= design_.max_power_per_channel_w,
+                   "requested power exceeds laser channel capability");
+  channels_[i] = delivered_power_w;
+}
+
+double LaserSource::channel_power_w(std::size_t i) const {
+  OPTIPLET_REQUIRE(i < channels_.size(), "laser channel out of range");
+  return channels_[i];
+}
+
+std::size_t LaserSource::active_channel_count() const {
+  std::size_t n = 0;
+  for (double p : channels_) {
+    if (p > 0.0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double LaserSource::total_optical_power_w() const {
+  return std::accumulate(channels_.begin(), channels_.end(), 0.0);
+}
+
+double LaserSource::electrical_power_w() const {
+  const double coupling = design_.kind == LaserKind::kOffChipCombBank
+                              ? util::from_db(design_.coupling_loss_db)
+                              : 1.0;
+  const double source_optical = total_optical_power_w() * coupling;
+  const double bias =
+      active_channel_count() > 0 ? design_.bias_overhead_w : 0.0;
+  return source_optical / design_.wall_plug_efficiency *
+             design_.tec_overhead_factor +
+         bias;
+}
+
+}  // namespace optiplet::photonics

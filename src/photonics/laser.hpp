@@ -1,0 +1,71 @@
+#pragma once
+/// \file laser.hpp
+/// Multi-wavelength laser source model (paper §II).
+///
+/// The interposer uses an off-chip comb/bank laser whose individual
+/// wavelength channels can be enabled or disabled — PROWAVES [11] saves power
+/// by deactivating unused wavelengths, and ReSiPI's controller scales laser
+/// power with the active-gateway count. Off-chip lasers pay a fiber-to-chip
+/// coupling loss but have better wall-plug efficiency than on-chip sources
+/// (§II discussion).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+enum class LaserKind {
+  kOffChipCombBank,  ///< off-chip bank: good efficiency, pays coupling loss
+  kOnChipVcselArray, ///< on-chip VCSELs: no coupling loss, poor efficiency
+};
+
+struct LaserDesign {
+  LaserKind kind = LaserKind::kOffChipCombBank;
+  /// Electrical-to-optical wall-plug efficiency (0,1]. ~8-10% for
+  /// integrated multi-wavelength comb banks; ~25% for discrete VCSELs.
+  double wall_plug_efficiency = 0.08;
+  /// Thermal stabilization (TEC) overhead multiplier on laser electrical
+  /// power; DWDM combs need active temperature control (PROWAVES charges
+  /// laser + cooling).
+  double tec_overhead_factor = 2.0;
+  /// Fiber-to-chip coupling loss paid by off-chip sources [dB].
+  double coupling_loss_db = 1.5;
+  /// Maximum optical output per wavelength channel [W].
+  double max_power_per_channel_w = 50.0 * units::mW;
+  /// Fixed controller/bias overhead while any channel is lit [W].
+  double bias_overhead_w = 50.0 * units::mW;
+};
+
+/// A bank of independently switchable wavelength channels.
+class LaserSource {
+ public:
+  LaserSource(const LaserDesign& design, std::size_t channel_count);
+
+  /// Set the *on-chip delivered* optical power for channel `i` [W];
+  /// 0 disables the channel. Throws if the required source power exceeds
+  /// max_power_per_channel_w.
+  void set_channel_power_w(std::size_t i, double delivered_power_w);
+
+  /// Delivered on-chip optical power of channel `i` [W].
+  [[nodiscard]] double channel_power_w(std::size_t i) const;
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  [[nodiscard]] std::size_t active_channel_count() const;
+
+  /// Total optical power delivered on-chip across channels [W].
+  [[nodiscard]] double total_optical_power_w() const;
+
+  /// Total electrical (wall-plug) power drawn [W], including coupling loss
+  /// and bias overhead (overhead only when >= 1 channel is active).
+  [[nodiscard]] double electrical_power_w() const;
+
+  [[nodiscard]] const LaserDesign& design() const { return design_; }
+
+ private:
+  LaserDesign design_;
+  std::vector<double> channels_;  // delivered power per channel [W]
+};
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,82 @@
+#include "photonics/link_budget.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+void LinkBudget::add_loss(std::string name, double loss_db) {
+  OPTIPLET_REQUIRE(loss_db >= 0.0, "loss element must be non-negative");
+  elements_.push_back(LossElement{std::move(name), loss_db});
+}
+
+double LinkBudget::total_loss_db() const {
+  return std::accumulate(
+      elements_.begin(), elements_.end(), 0.0,
+      [](double acc, const LossElement& e) { return acc + e.loss_db; });
+}
+
+double LinkBudget::crosstalk_penalty_db(const MicroringResonator& filter,
+                                        const WdmGrid& grid,
+                                        std::size_t reader_channel,
+                                        std::size_t active_channels) {
+  OPTIPLET_REQUIRE(reader_channel < grid.channel_count(),
+                   "reader channel out of range");
+  OPTIPLET_REQUIRE(active_channels <= grid.channel_count(),
+                   "more active channels than the grid has");
+  if (active_channels <= 1) {
+    return 0.0;
+  }
+  const double signal =
+      filter.drop_transmission(grid.wavelength_m(reader_channel));
+  double leaked = 0.0;
+  // Treat the `active_channels` nearest channels as lit (worst case for the
+  // victim: its closest spectral neighbours dominate the Lorentzian tails).
+  std::size_t counted = 0;
+  for (std::size_t offset = 1;
+       counted + 1 < active_channels && offset < grid.channel_count();
+       ++offset) {
+    for (int sign : {-1, +1}) {
+      const long idx = static_cast<long>(reader_channel) +
+                       sign * static_cast<long>(offset);
+      if (idx < 0 || idx >= static_cast<long>(grid.channel_count())) {
+        continue;
+      }
+      if (counted + 1 >= active_channels) {
+        break;
+      }
+      leaked += filter.drop_transmission(
+          grid.wavelength_m(static_cast<std::size_t>(idx)));
+      ++counted;
+    }
+  }
+  const double xt_ratio = leaked / signal;  // crosstalk-to-signal ratio
+  // Eye-closure penalty; saturate at 10 dB to keep pathological configs
+  // finite (the caller should treat >3 dB as a design failure anyway).
+  if (xt_ratio >= 0.9) {
+    return 10.0;
+  }
+  return -util::to_db(1.0 - xt_ratio);
+}
+
+double LinkBudget::required_laser_power_dbm(double pd_sensitivity_dbm,
+                                            double crosstalk_penalty_db,
+                                            double system_margin_db) const {
+  OPTIPLET_REQUIRE(crosstalk_penalty_db >= 0.0,
+                   "crosstalk penalty must be non-negative");
+  OPTIPLET_REQUIRE(system_margin_db >= 0.0, "margin must be non-negative");
+  return pd_sensitivity_dbm + total_loss_db() + crosstalk_penalty_db +
+         system_margin_db;
+}
+
+double LinkBudget::required_laser_power_w(double pd_sensitivity_dbm,
+                                          double crosstalk_penalty_db,
+                                          double system_margin_db) const {
+  return util::dbm_to_watts(required_laser_power_dbm(
+      pd_sensitivity_dbm, crosstalk_penalty_db, system_margin_db));
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,71 @@
+#pragma once
+/// \file link_budget.hpp
+/// Optical link budget solver.
+///
+/// Composes the loss elements along one writer→reader waveguide path
+/// (Fig. 5) and answers the question that dominates photonic-network power:
+/// *how much optical power must the laser deliver per wavelength so the
+/// worst-case reader still detects correctly?*
+///
+///   P_laser[dBm] = PD sensitivity[dBm] + sum(losses[dB])
+///                  + crosstalk penalty[dB] + system margin[dB]
+///
+/// The crosstalk penalty follows the standard Lorentzian-filter model: a
+/// reader's MR filter passes a fraction of each neighbouring WDM channel
+/// given by its lineshape at the channel offset; the aggregated leaked power
+/// is converted to an eye-closure power penalty (Chittamuru et al. [41]).
+
+#include <string>
+#include <vector>
+
+#include "photonics/microring.hpp"
+#include "photonics/wavelength.hpp"
+
+namespace optiplet::photonics {
+
+/// One named loss contribution [dB]. Named so benches can print budgets.
+struct LossElement {
+  std::string name;
+  double loss_db = 0.0;
+};
+
+/// Accumulates loss elements and solves for required laser power.
+class LinkBudget {
+ public:
+  LinkBudget() = default;
+
+  /// Add a named loss [dB >= 0].
+  void add_loss(std::string name, double loss_db);
+
+  /// Sum of all losses [dB].
+  [[nodiscard]] double total_loss_db() const;
+
+  /// All elements, in insertion order.
+  [[nodiscard]] const std::vector<LossElement>& elements() const {
+    return elements_;
+  }
+
+  /// Crosstalk power penalty [dB] for a reader using `filter` on a `grid`
+  /// with `active_channels` simultaneously lit wavelengths. Computes the
+  /// aggregate leakage of all other channels through the filter's Lorentzian
+  /// response and converts the signal-to-crosstalk ratio into an eye-closure
+  /// penalty: penalty = -10*log10(1 - XT_total).
+  [[nodiscard]] static double crosstalk_penalty_db(
+      const MicroringResonator& filter, const WdmGrid& grid,
+      std::size_t reader_channel, std::size_t active_channels);
+
+  /// Required per-wavelength power at the laser output (on-chip side) [dBm].
+  [[nodiscard]] double required_laser_power_dbm(
+      double pd_sensitivity_dbm, double crosstalk_penalty_db,
+      double system_margin_db) const;
+
+  /// Same, in watts.
+  [[nodiscard]] double required_laser_power_w(double pd_sensitivity_dbm,
+                                              double crosstalk_penalty_db,
+                                              double system_margin_db) const;
+
+ private:
+  std::vector<LossElement> elements_;
+};
+
+}  // namespace optiplet::photonics

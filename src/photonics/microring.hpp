@@ -1,0 +1,126 @@
+#pragma once
+/// \file microring.hpp
+/// Microring resonator (MR) model — Fig. 1 of the paper.
+///
+/// Implements the standard add-drop ring resonator transfer functions
+/// (Bogaerts et al., "Silicon microring resonators", Laser & Photonics
+/// Reviews 2012 — paper reference [34]):
+///
+///   through-port power:  T_t(phi) = (t2^2 a^2 - 2 t1 t2 a cos(phi) + t1^2)
+///                                    / (1 - 2 t1 t2 a cos(phi) + (t1 t2 a)^2)
+///   drop-port power:     T_d(phi) = ((1-t1^2)(1-t2^2) a)
+///                                    / (1 - 2 t1 t2 a cos(phi) + (t1 t2 a)^2)
+///
+/// with t1, t2 the bus self-coupling coefficients, a the round-trip amplitude
+/// transmission, and phi = 2*pi*n_eff*L/lambda the round-trip phase. From the
+/// same geometry the model derives FSR, FWHM, and Q, and exposes resonance
+/// tuning via thermo-optic (static heater power) and electro-optic (fast,
+/// energy-per-bit) mechanisms as used by CrossLight [21].
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+/// Geometry + coupling design of one ring.
+struct MicroringDesign {
+  /// Ring radius [m]. 5–10 um is typical for C-band add-drop filters; the
+  /// default 6.5 um gives FSR ~ 14 nm, sized so a 16-channel 0.8 nm-spaced
+  /// gateway sub-band (12.8 nm) fits inside one FSR with guard band.
+  double radius_m = 6.5 * units::um;
+  /// Input-bus self-coupling coefficient t1 (0,1).
+  double self_coupling_in = 0.98;
+  /// Drop-bus self-coupling coefficient t2 (0,1).
+  double self_coupling_drop = 0.98;
+  /// Intrinsic waveguide power loss inside the ring [dB/m].
+  double ring_loss_db_per_m = 400.0;
+  /// Effective index of the ring waveguide mode.
+  double effective_index = 2.4;
+  /// Group index of the ring waveguide mode.
+  double group_index = 4.2;
+};
+
+/// Resonance-tuning characteristics (CrossLight-style hybrid TO+EO tuning).
+struct MicroringTuning {
+  /// Thermo-optic efficiency: resonance shift per heater power [m/W].
+  /// 0.25 nm/mW is representative of doped-silicon heaters.
+  double to_efficiency_m_per_w = 0.25 * units::nm / units::mW;
+  /// Electro-optic (carrier) tuning range [m]; beyond it TO must take over.
+  double eo_range_m = 0.2 * units::nm;
+  /// EO modulation/tuning energy [J/bit].
+  double eo_energy_per_bit_j = 50.0 * units::fJ;
+  /// Static driver + thermal-stabilization servo power per actively tuned
+  /// ring [W] (CrossLight charges ~0.5 mW/ring for trimming electronics).
+  double driver_static_w = 0.5 * units::mW;
+};
+
+/// Add-drop microring resonator.
+///
+/// The ring is configured to target one resonance wavelength; `retune()`
+/// shifts the resonance (modelling heater/EO actuation), and the transfer
+/// functions answer per-wavelength power splits used by filters, modulators
+/// and the crosstalk analysis.
+class MicroringResonator {
+ public:
+  MicroringResonator(const MicroringDesign& design,
+                     const MicroringTuning& tuning,
+                     double target_resonance_m);
+
+  /// Power transmission to the through port at `wavelength_m` (0..1).
+  [[nodiscard]] double through_transmission(double wavelength_m) const;
+
+  /// Power transmission to the drop port at `wavelength_m` (0..1).
+  [[nodiscard]] double drop_transmission(double wavelength_m) const;
+
+  /// Free spectral range at the operating wavelength [m]:
+  /// FSR = lambda^2 / (n_g * L_round_trip).
+  [[nodiscard]] double fsr_m() const;
+
+  /// Full width at half maximum of the drop resonance [m].
+  [[nodiscard]] double fwhm_m() const;
+
+  /// Loaded quality factor Q = lambda / FWHM.
+  [[nodiscard]] double quality_factor() const;
+
+  /// Round-trip circumference [m].
+  [[nodiscard]] double circumference_m() const;
+
+  /// Resonance wavelength the ring is currently tuned to [m].
+  [[nodiscard]] double resonance_m() const { return resonance_m_; }
+
+  /// Move the resonance to `new_resonance_m`. Shifts within the EO range are
+  /// free of static power; larger shifts require heater power reported by
+  /// `thermal_tuning_power_w()`.
+  void retune(double new_resonance_m);
+
+  /// Static heater power needed to hold the current resonance relative to
+  /// the as-fabricated resonance [W].
+  [[nodiscard]] double thermal_tuning_power_w() const;
+
+  /// EO modulation energy for `bits` modulated bits [J].
+  [[nodiscard]] double modulation_energy_j(std::uint64_t bits) const;
+
+  [[nodiscard]] const MicroringDesign& design() const { return design_; }
+  [[nodiscard]] const MicroringTuning& tuning() const { return tuning_; }
+
+ private:
+  /// Round-trip phase at a given wavelength, including the tuning-induced
+  /// effective-index offset.
+  [[nodiscard]] double round_trip_phase(double wavelength_m) const;
+  /// Round-trip amplitude transmission a.
+  [[nodiscard]] double round_trip_amplitude() const;
+
+  MicroringDesign design_;
+  MicroringTuning tuning_;
+  double fabricated_resonance_m_;
+  double resonance_m_;
+};
+
+/// Microdisk resonator (paper §II): more compact than an MR but with higher
+/// operating loss. Modelled as a microring with smaller radius and higher
+/// intrinsic loss; HolyLight [23] and ROBIN [25] build on these.
+[[nodiscard]] MicroringResonator make_microdisk(double target_resonance_m,
+                                                const MicroringTuning& tuning);
+
+}  // namespace optiplet::photonics

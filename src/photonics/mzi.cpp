@@ -1,0 +1,70 @@
+#include "photonics/mzi.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+MachZehnderInterferometer::MachZehnderInterferometer(const MziDesign& design)
+    : design_(design) {
+  OPTIPLET_REQUIRE(design.insertion_loss_db >= 0.0,
+                   "insertion loss must be non-negative");
+  OPTIPLET_REQUIRE(design.to_p_pi_w > 0.0, "P_pi must be positive");
+  OPTIPLET_REQUIRE(design.extinction_ratio_db > 0.0,
+                   "extinction ratio must be positive");
+}
+
+void MachZehnderInterferometer::set_phase(double dphi_rad) {
+  dphi_rad_ = std::remainder(dphi_rad, 2.0 * kPi);
+}
+
+double MachZehnderInterferometer::bar_transmission() const {
+  const double s = std::sin(dphi_rad_ / 2.0);
+  double t = s * s;
+  // A real device cannot go darker than its extinction ratio allows.
+  const double floor = util::from_db(-design_.extinction_ratio_db);
+  t = std::max(t, floor);
+  double loss_db = design_.insertion_loss_db;
+  if (design_.shifter == PhaseShifterKind::kElectroOptic) {
+    loss_db += design_.eo_excess_loss_db;
+  }
+  return t * util::from_db(-loss_db);
+}
+
+double MachZehnderInterferometer::cross_transmission() const {
+  const double c = std::cos(dphi_rad_ / 2.0);
+  double t = c * c;
+  const double floor = util::from_db(-design_.extinction_ratio_db);
+  t = std::max(t, floor);
+  double loss_db = design_.insertion_loss_db;
+  if (design_.shifter == PhaseShifterKind::kElectroOptic) {
+    loss_db += design_.eo_excess_loss_db;
+  }
+  return t * util::from_db(-loss_db);
+}
+
+double MachZehnderInterferometer::static_power_w() const {
+  if (design_.shifter == PhaseShifterKind::kElectroOptic) {
+    return 0.0;  // carrier injection holds state with negligible static draw
+  }
+  return design_.to_p_pi_w * std::fabs(dphi_rad_) / kPi;
+}
+
+double MachZehnderInterferometer::switching_energy_j(
+    double new_dphi_rad) const {
+  if (design_.shifter != PhaseShifterKind::kElectroOptic) {
+    return 0.0;
+  }
+  const double delta = std::fabs(
+      std::remainder(new_dphi_rad - dphi_rad_, 2.0 * kPi));
+  return design_.eo_switch_energy_j * delta / kPi;
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,71 @@
+#pragma once
+/// \file mzi.hpp
+/// Mach–Zehnder interferometer (MZI) 2x2 switch/modulator model (paper §II).
+///
+/// The device is two 3-dB directional couplers joined by two waveguide arms
+/// with phase shifters. With differential arm phase `dphi`, the power
+/// transfer of the ideal 2x2 MZI is
+///     bar   = sin^2(dphi / 2)
+///     cross = cos^2(dphi / 2)
+/// Coherent accelerators (§III) imprint weights through exactly this
+/// mechanism; here the MZI also serves as a comparison point against MR-based
+/// switching (footprint/power trade-off noted in the paper).
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+/// Phase-shifter actuation mechanism of an MZI arm.
+enum class PhaseShifterKind {
+  kThermoOptic,   ///< slow (us), ~mW static power, no optical excess loss
+  kElectroOptic,  ///< fast (ns), fJ/switch, small carrier-induced loss
+};
+
+struct MziDesign {
+  PhaseShifterKind shifter = PhaseShifterKind::kThermoOptic;
+  /// Insertion loss of the whole device at either output [dB].
+  double insertion_loss_db = 0.3;
+  /// Extra loss when the EO shifter injects carriers [dB].
+  double eo_excess_loss_db = 0.2;
+  /// TO power for a pi phase shift [W] (P_pi).
+  double to_p_pi_w = 20.0 * units::mW;
+  /// EO energy per switching event [J].
+  double eo_switch_energy_j = 100.0 * units::fJ;
+  /// Finite extinction ratio of real couplers [dB]; bounds the off-state.
+  double extinction_ratio_db = 25.0;
+};
+
+/// 2x2 MZI with a differential phase setting.
+class MachZehnderInterferometer {
+ public:
+  explicit MachZehnderInterferometer(const MziDesign& design);
+
+  /// Set the differential arm phase [rad]; any value accepted (wraps 2*pi).
+  void set_phase(double dphi_rad);
+
+  [[nodiscard]] double phase() const { return dphi_rad_; }
+
+  /// Power fraction routed to the bar port (same side), including insertion
+  /// loss and bounded by the extinction ratio.
+  [[nodiscard]] double bar_transmission() const;
+
+  /// Power fraction routed to the cross port (opposite side).
+  [[nodiscard]] double cross_transmission() const;
+
+  /// Static electrical power held by the phase shifter at the current
+  /// setting [W]. TO shifters consume P_pi * |dphi|/pi; EO shifters ~0.
+  [[nodiscard]] double static_power_w() const;
+
+  /// Energy to move from the current phase to `new_dphi_rad` [J]
+  /// (EO switching energy; TO devices modelled as settling without a
+  /// distinct per-switch energy, their cost is the static power).
+  [[nodiscard]] double switching_energy_j(double new_dphi_rad) const;
+
+  [[nodiscard]] const MziDesign& design() const { return design_; }
+
+ private:
+  MziDesign design_;
+  double dphi_rad_ = 0.0;
+};
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,89 @@
+#include "photonics/pcm_coupler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+PcmCoupler::PcmCoupler(const PcmCouplerDesign& design) : design_(design) {
+  OPTIPLET_REQUIRE(design.coupling_length_amorphous_m > 0.0,
+                   "amorphous coupling length must be positive");
+  OPTIPLET_REQUIRE(design.coupling_length_crystalline_m > 0.0,
+                   "crystalline coupling length must be positive");
+  OPTIPLET_REQUIRE(
+      design.coupling_length_amorphous_m >
+          design.coupling_length_crystalline_m,
+      "PCM crystallization strengthens coupling: L_c^am > L_c^cr expected");
+  OPTIPLET_REQUIRE(design.device_length_m > 0.0,
+                   "device length must be positive");
+}
+
+double PcmCoupler::set_crystalline_fraction(double chi) {
+  OPTIPLET_REQUIRE(chi >= 0.0 && chi <= 1.0,
+                   "crystalline fraction must be in [0,1]");
+  if (chi == chi_) {
+    return 0.0;
+  }
+  chi_ = chi;
+  ++writes_;
+  write_energy_j_ += design_.write_energy_j;
+  return design_.write_energy_j;
+}
+
+double PcmCoupler::set_state(PcmState state) {
+  switch (state) {
+    case PcmState::kCrystalline:
+      return set_crystalline_fraction(1.0);
+    case PcmState::kPartiallyCrystalline:
+      return set_crystalline_fraction(0.5);
+    case PcmState::kAmorphous:
+      return set_crystalline_fraction(0.0);
+  }
+  return 0.0;
+}
+
+PcmState PcmCoupler::nearest_state() const {
+  if (chi_ >= 0.75) {
+    return PcmState::kCrystalline;
+  }
+  if (chi_ <= 0.25) {
+    return PcmState::kAmorphous;
+  }
+  return PcmState::kPartiallyCrystalline;
+}
+
+double PcmCoupler::cross_fraction() const {
+  // Coupled-mode theory: the coupling coefficient kappa scales as 1/L_c and
+  // the PCM cell's crystalline fraction mixes the two material states, so
+  //   1/L_c(chi) = (1-chi)/L_c^am + chi/L_c^cr
+  //   P_cross    = sin^2( pi * L / (2 * L_c(chi)) ).
+  const double inv_lc = (1.0 - chi_) / design_.coupling_length_amorphous_m +
+                        chi_ / design_.coupling_length_crystalline_m;
+  const double s = std::sin(kPi * design_.device_length_m * inv_lc / 2.0);
+  return s * s;
+}
+
+double PcmCoupler::bar_fraction() const { return 1.0 - cross_fraction(); }
+
+double PcmCoupler::cross_transmission() const {
+  const double loss_db =
+      util::lerp(design_.insertion_loss_amorphous_db,
+                 design_.insertion_loss_crystalline_db, chi_);
+  return cross_fraction() * util::from_db(-loss_db);
+}
+
+double PcmCoupler::bar_transmission() const {
+  const double loss_db =
+      util::lerp(design_.insertion_loss_amorphous_db,
+                 design_.insertion_loss_crystalline_db, chi_);
+  return bar_fraction() * util::from_db(-loss_db);
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,89 @@
+#pragma once
+/// \file pcm_coupler.hpp
+/// Phase-change-material-based directional coupler (PCMC) — Fig. 2.
+///
+/// ReSiPI [37] activates/deactivates writer gateways by steering laser power
+/// with a PCM coupler (design of Teo et al. [38]). The PCM cell sits on one
+/// arm of a directional coupler; its crystalline fraction changes the
+/// coupling strength:
+///
+///   crystalline (chi = 1)          -> light exits the Bar port,
+///   amorphous  (chi = 0)           -> light exits the Cross port,
+///   partially crystalline (0<chi<1)-> power split between the two.
+///
+/// The split is governed by the ratio of the coupling lengths of the two
+/// material states, L_c^am / L_c^cr (paper §IV). PCM states are
+/// *non-volatile*: holding a state costs no power; changing it costs a write
+/// pulse energy.
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+/// Nominal PCMC state names used by the ReSiPI controller.
+enum class PcmState {
+  kCrystalline,          ///< all power to Bar
+  kPartiallyCrystalline, ///< split between Bar and Cross
+  kAmorphous,            ///< all power to Cross
+};
+
+struct PcmCouplerDesign {
+  /// Coupling length in the amorphous state [m] (L_c^am).
+  double coupling_length_amorphous_m = 40.0 * units::um;
+  /// Coupling length in the crystalline state [m] (L_c^cr).
+  double coupling_length_crystalline_m = 10.0 * units::um;
+  /// Physical interaction length of the coupler [m]; chosen so that the
+  /// amorphous state transfers fully to Cross (L = L_c^am).
+  double device_length_m = 40.0 * units::um;
+  /// Insertion loss in the crystalline (most lossy) state [dB].
+  double insertion_loss_crystalline_db = 0.45;
+  /// Insertion loss in the amorphous state [dB].
+  double insertion_loss_amorphous_db = 0.15;
+  /// Energy to actuate one state change (laser/electrical write pulse) [J].
+  double write_energy_j = 1.2 * units::nJ;
+  /// Time to complete a state change [s] (amorphization + recrystallization
+  /// pulses are sub-us; ReSiPI reconfigures on epoch boundaries).
+  double write_time_s = 1.0 * units::us;
+};
+
+/// Three-state (continuously tunable) PCM directional coupler.
+class PcmCoupler {
+ public:
+  explicit PcmCoupler(const PcmCouplerDesign& design);
+
+  /// Set crystalline fraction chi in [0,1]; 1 = crystalline, 0 = amorphous.
+  /// Returns the write energy spent (0 if chi is unchanged).
+  double set_crystalline_fraction(double chi);
+
+  /// Convenience setter for the three nominal states (partial = 0.5).
+  double set_state(PcmState state);
+
+  [[nodiscard]] double crystalline_fraction() const { return chi_; }
+  [[nodiscard]] PcmState nearest_state() const;
+
+  /// Power fraction delivered to the Cross port (0..1, before loss).
+  [[nodiscard]] double cross_fraction() const;
+
+  /// Power fraction delivered to the Bar port (0..1, before loss).
+  [[nodiscard]] double bar_fraction() const;
+
+  /// Power transmission including state-dependent insertion loss.
+  [[nodiscard]] double cross_transmission() const;
+  [[nodiscard]] double bar_transmission() const;
+
+  /// Total write energy spent since construction [J].
+  [[nodiscard]] double total_write_energy_j() const { return write_energy_j_; }
+
+  /// Number of state changes performed.
+  [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+
+  [[nodiscard]] const PcmCouplerDesign& design() const { return design_; }
+
+ private:
+  PcmCouplerDesign design_;
+  double chi_ = 0.0;  // fabricated amorphous: pass-through to Cross
+  double write_energy_j_ = 0.0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace optiplet::photonics

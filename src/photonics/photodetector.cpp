@@ -1,0 +1,52 @@
+#include "photonics/photodetector.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+Photodetector::Photodetector(const PhotodetectorDesign& design)
+    : design_(design) {
+  OPTIPLET_REQUIRE(design.responsivity_a_per_w > 0.0,
+                   "responsivity must be positive");
+  OPTIPLET_REQUIRE(design.reference_rate_bps > 0.0,
+                   "reference rate must be positive");
+  OPTIPLET_REQUIRE(design.bandwidth_hz > 0.0, "bandwidth must be positive");
+}
+
+double Photodetector::sensitivity_dbm(double data_rate_bps) const {
+  OPTIPLET_REQUIRE(data_rate_bps > 0.0, "data rate must be positive");
+  const double octaves =
+      std::log2(data_rate_bps / design_.reference_rate_bps);
+  return design_.sensitivity_dbm_at_ref +
+         design_.sensitivity_slope_db_per_octave * octaves;
+}
+
+double Photodetector::sensitivity_w(double data_rate_bps) const {
+  return util::dbm_to_watts(sensitivity_dbm(data_rate_bps));
+}
+
+double Photodetector::photocurrent_a(double optical_power_w) const {
+  OPTIPLET_REQUIRE(optical_power_w >= 0.0, "optical power must be >= 0");
+  return design_.responsivity_a_per_w * optical_power_w;
+}
+
+double Photodetector::accumulate_a(std::span<const double> powers_w) const {
+  double total = 0.0;
+  for (double p : powers_w) {
+    total += photocurrent_a(p);
+  }
+  return total;
+}
+
+double Photodetector::receive_energy_j(std::uint64_t bits) const {
+  return static_cast<double>(bits) * design_.receiver_energy_per_bit_j;
+}
+
+bool Photodetector::supports_rate(double data_rate_bps) const {
+  return design_.bandwidth_hz >= 0.7 * data_rate_bps;
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,74 @@
+#pragma once
+/// \file photodetector.hpp
+/// Photodetector (PD) model (paper §II).
+///
+/// A PD converts the optical signal back to the electrical domain. Two
+/// properties matter at system level: (1) the *sensitivity* — the minimum
+/// optical power needed to achieve the target bit-error rate at a given data
+/// rate, which sets the laser power through the link budget; and (2) the
+/// receiver energy per bit (PD + TIA + comparator). Sensitivity degrades
+/// ~linearly in dB with log2 of data rate (shot/thermal noise grows with
+/// bandwidth), which the model captures with a slope term.
+///
+/// High-bandwidth PDs also perform the *accumulation* step of photonic MACs
+/// by summing photocurrent across wavelengths (paper §II, [32]): the model
+/// exposes a multi-wavelength summation helper used by accel::PhotonicMacUnit.
+
+#include <cstdint>
+#include <span>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+struct PhotodetectorDesign {
+  /// Responsivity [A/W] at 1550 nm (Ge-on-Si).
+  double responsivity_a_per_w = 1.1;
+  /// Sensitivity at the reference data rate [dBm] for BER 1e-12 (OOK).
+  double sensitivity_dbm_at_ref = -26.0;
+  /// Reference data rate for the sensitivity figure [bit/s].
+  double reference_rate_bps = 10.0 * units::Gbps;
+  /// Sensitivity penalty per doubling of data rate [dB].
+  double sensitivity_slope_db_per_octave = 1.7;
+  /// Receiver chain (PD+TIA+SA) energy [J/bit].
+  double receiver_energy_per_bit_j = 180.0 * units::fJ;
+  /// Dark current [A]; subtracted noise floor for the analog MAC sum.
+  double dark_current_a = 40.0 * units::nW * 1.1;  // ~I_d of a Ge PD
+  /// 3-dB opto-electrical bandwidth [Hz].
+  double bandwidth_hz = 30.0 * units::GHz;
+};
+
+/// Photodetector with rate-dependent sensitivity.
+class Photodetector {
+ public:
+  explicit Photodetector(const PhotodetectorDesign& design);
+
+  /// Minimum received optical power for error-free detection at
+  /// `data_rate_bps` [dBm].
+  [[nodiscard]] double sensitivity_dbm(double data_rate_bps) const;
+
+  /// Same, in watts.
+  [[nodiscard]] double sensitivity_w(double data_rate_bps) const;
+
+  /// Photocurrent produced by `optical_power_w` [A].
+  [[nodiscard]] double photocurrent_a(double optical_power_w) const;
+
+  /// Analog accumulation across wavelengths: total photocurrent from the
+  /// per-wavelength optical powers (the PD is wavelength-insensitive inside
+  /// its band, so currents sum linearly) [A].
+  [[nodiscard]] double accumulate_a(std::span<const double> powers_w) const;
+
+  /// Receiver energy for `bits` received bits [J].
+  [[nodiscard]] double receive_energy_j(std::uint64_t bits) const;
+
+  /// True when the PD bandwidth supports the requested data rate (OOK needs
+  /// roughly 0.7 * bit rate of analog bandwidth).
+  [[nodiscard]] bool supports_rate(double data_rate_bps) const;
+
+  [[nodiscard]] const PhotodetectorDesign& design() const { return design_; }
+
+ private:
+  PhotodetectorDesign design_;
+};
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,47 @@
+#include "photonics/thermal.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+double thermal_drift_m(const ThermalModel& model, double temperature_k) {
+  OPTIPLET_REQUIRE(temperature_k > 0.0, "absolute temperature must be > 0");
+  return model.drift_m_per_k *
+         (temperature_k - model.calibration_temperature_k);
+}
+
+double hold_power_w(const ThermalModel& model, const MicroringTuning& tuning,
+                    double temperature_k) {
+  const double drift = std::fabs(thermal_drift_m(model, temperature_k));
+  const double thermal_shift = std::max(0.0, drift - tuning.eo_range_m);
+  return thermal_shift / tuning.to_efficiency_m_per_w +
+         tuning.driver_static_w;
+}
+
+double bank_hold_power_w(const ThermalModel& model,
+                         const MicroringTuning& tuning,
+                         double temperature_k, std::size_t ring_count) {
+  OPTIPLET_REQUIRE(ring_count >= 1, "bank needs at least one ring");
+  const double per_ring = hold_power_w(model, tuning, temperature_k);
+  // Thermal crosstalk: a held ring receives heat from both neighbours
+  // (coupling c), next-nearest (c*d), ... and must counter-tune the
+  // induced drift, which leaks further heat in turn. To first order the
+  // overhead multiplier is 1 / (1 - 2*c_total) with
+  // c_total = c * (1 + d + d^2 + ...) = c / (1 - d), capped for safety.
+  const double c_total =
+      model.neighbour_coupling / (1.0 - model.coupling_decay);
+  const double feedback = std::min(0.45, c_total);
+  const double multiplier = 1.0 / (1.0 - 2.0 * feedback);
+  // Edge rings have one neighbour; for banks of realistic size the bulk
+  // term dominates and the closed form stays within a few percent.
+  return per_ring * static_cast<double>(ring_count) * multiplier;
+}
+
+double channel_escape_temperature_k(const ThermalModel& model) {
+  const double spacing = 0.8e-9;
+  return model.calibration_temperature_k + spacing / model.drift_m_per_k;
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,63 @@
+#pragma once
+/// \file thermal.hpp
+/// Thermal effects on microring resonators.
+///
+/// Silicon's thermo-optic coefficient (dn/dT ~ 1.86e-4 /K) drags every
+/// ring's resonance with temperature (~70-100 pm/K at 1550 nm). Two system
+/// consequences, both central to CrossLight's cross-layer design [21]:
+///
+///  1. *Ambient drift*: a chiplet running hotter than the calibration
+///     point shifts its whole comb; holding the WDM grid costs heater (or
+///     carrier) power per ring, which this model quantifies.
+///  2. *Thermal crosstalk*: one ring's heater warms its neighbours on the
+///     same bus (coupling falls off with pitch), so dense MR banks pay a
+///     correction overhead that grows with bank size.
+
+#include <cstddef>
+
+#include "photonics/microring.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+struct ThermalModel {
+  /// Resonance shift per kelvin [m/K]: lambda * (dn/dT) / n_g.
+  /// 1550 nm * 1.86e-4 / 4.2 ~ 69 pm/K.
+  double drift_m_per_k = 69.0 * units::pm;
+  /// Fraction of a heater's temperature rise felt by the adjacent ring
+  /// (exponential decay with pitch; ~10% at 10 um pitch on SOI).
+  double neighbour_coupling = 0.10;
+  /// Decay factor per additional ring of separation.
+  double coupling_decay = 0.35;
+  /// Calibration (trimming) temperature [K].
+  double calibration_temperature_k = 300.0;
+};
+
+/// Resonance drift of a free-running ring at `temperature_k` [m].
+[[nodiscard]] double thermal_drift_m(const ThermalModel& model,
+                                     double temperature_k);
+
+/// Static tuning power for one ring to hold its channel at
+/// `temperature_k`, given the tuning mechanism [W]. The controller
+/// counter-shifts with the EO range first (free of static power), then the
+/// heater covers the rest — heaters can only *heat*, so drift that needs
+/// cooling must be pre-biased: the model charges the magnitude either way.
+[[nodiscard]] double hold_power_w(const ThermalModel& model,
+                                  const MicroringTuning& tuning,
+                                  double temperature_k);
+
+/// Aggregate correction overhead of an N-ring bank including thermal
+/// crosstalk between neighbours [W]: each actively held ring leaks heat
+/// into its neighbours, which must counter-tune in turn. The closed form
+/// sums the geometric neighbour series (both sides).
+[[nodiscard]] double bank_hold_power_w(const ThermalModel& model,
+                                       const MicroringTuning& tuning,
+                                       double temperature_k,
+                                       std::size_t ring_count);
+
+/// Temperature at which a ring drifts a full channel spacing (0.8 nm)
+/// from its calibration point [K] — the hard ceiling for uncorrected
+/// operation.
+[[nodiscard]] double channel_escape_temperature_k(const ThermalModel& model);
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,29 @@
+#include "photonics/waveguide.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+Waveguide::Waveguide(double length_m, std::size_t bend_count,
+                     std::size_t crossing_count, const WaveguideTech& tech)
+    : length_m_(length_m),
+      bends_(bend_count),
+      crossings_(crossing_count),
+      tech_(tech) {
+  OPTIPLET_REQUIRE(length_m >= 0.0, "waveguide length must be non-negative");
+  OPTIPLET_REQUIRE(tech.propagation_loss_db_per_m >= 0.0,
+                   "propagation loss must be non-negative");
+  OPTIPLET_REQUIRE(tech.group_index >= 1.0, "group index below vacuum");
+}
+
+double Waveguide::insertion_loss_db() const {
+  return length_m_ * tech_.propagation_loss_db_per_m +
+         static_cast<double>(bends_) * tech_.bend_loss_db +
+         static_cast<double>(crossings_) * tech_.crossing_loss_db;
+}
+
+double Waveguide::time_of_flight_s() const {
+  return length_m_ * tech_.group_index / units::c0;
+}
+
+}  // namespace optiplet::photonics

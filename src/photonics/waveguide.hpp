@@ -1,0 +1,58 @@
+#pragma once
+/// \file waveguide.hpp
+/// Silicon-on-insulator waveguide segment model (paper §II).
+///
+/// A waveguide path on the interposer is described by its physical length and
+/// discrete loss events (bends, crossings, couplers). The model answers two
+/// questions: total insertion loss [dB] and time of flight [s]. Loss numbers
+/// default to the interposer-scale values used in the ReSiPI / PROWAVES
+/// analyses (see power/tech_params.hpp for sources).
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+/// Per-technology waveguide characteristics.
+struct WaveguideTech {
+  /// Propagation loss [dB/m]. Defaults to 30 dB/m (0.3 dB/cm): interposer-
+  /// grade low-loss waveguides as assumed by the PROWAVES/ReSiPI analyses.
+  /// Chiplet-internal strip waveguides are lossier (~1.5 dB/cm); see
+  /// power::ComputeTech::chip_waveguide_loss_db_per_m.
+  double propagation_loss_db_per_m = 30.0;
+  /// Loss per 90-degree bend [dB].
+  double bend_loss_db = 0.005;
+  /// Loss per waveguide crossing [dB].
+  double crossing_loss_db = 0.05;
+  /// Group index n_g of the guided mode (SOI strip, TE, ~1550 nm).
+  double group_index = 4.2;
+  /// Effective index n_eff (used for resonance phase computations).
+  double effective_index = 2.4;
+};
+
+/// One routed waveguide path: straight length plus discrete loss events.
+class Waveguide {
+ public:
+  Waveguide(double length_m, std::size_t bend_count, std::size_t crossing_count,
+            const WaveguideTech& tech);
+
+  /// Total insertion loss of the path [dB] (always >= 0).
+  [[nodiscard]] double insertion_loss_db() const;
+
+  /// Photon time of flight through the path [s] = L * n_g / c0.
+  [[nodiscard]] double time_of_flight_s() const;
+
+  [[nodiscard]] double length_m() const { return length_m_; }
+  [[nodiscard]] std::size_t bend_count() const { return bends_; }
+  [[nodiscard]] std::size_t crossing_count() const { return crossings_; }
+  [[nodiscard]] const WaveguideTech& tech() const { return tech_; }
+
+ private:
+  double length_m_;
+  std::size_t bends_;
+  std::size_t crossings_;
+  WaveguideTech tech_;
+};
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,58 @@
+#include "photonics/wavelength.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace optiplet::photonics {
+
+WdmGrid::WdmGrid(std::size_t channel_count, double center_wavelength_m,
+                 double channel_spacing_m)
+    : spacing_m_(channel_spacing_m) {
+  OPTIPLET_REQUIRE(channel_count >= 1, "grid needs at least one channel");
+  OPTIPLET_REQUIRE(center_wavelength_m > 0.0, "center wavelength must be > 0");
+  OPTIPLET_REQUIRE(channel_spacing_m > 0.0, "channel spacing must be > 0");
+
+  wavelengths_.resize(channel_count);
+  // Center the grid: channel (N-1)/2 sits at the center wavelength.
+  const double first = center_wavelength_m -
+                       0.5 * static_cast<double>(channel_count - 1) *
+                           channel_spacing_m;
+  OPTIPLET_REQUIRE(first > 0.0, "grid extends below zero wavelength");
+  for (std::size_t i = 0; i < channel_count; ++i) {
+    wavelengths_[i] = first + static_cast<double>(i) * channel_spacing_m;
+  }
+}
+
+double WdmGrid::wavelength_m(std::size_t i) const {
+  OPTIPLET_REQUIRE(i < wavelengths_.size(), "channel index out of range");
+  return wavelengths_[i];
+}
+
+double WdmGrid::band_span_m() const {
+  return wavelengths_.back() - wavelengths_.front();
+}
+
+std::size_t WdmGrid::nearest_channel(double wavelength_m) const {
+  const auto it = std::lower_bound(wavelengths_.begin(), wavelengths_.end(),
+                                   wavelength_m);
+  if (it == wavelengths_.begin()) {
+    return 0;
+  }
+  if (it == wavelengths_.end()) {
+    return wavelengths_.size() - 1;
+  }
+  const auto hi = static_cast<std::size_t>(it - wavelengths_.begin());
+  const auto lo = hi - 1;
+  return (wavelength_m - wavelengths_[lo] <= wavelengths_[hi] - wavelength_m)
+             ? lo
+             : hi;
+}
+
+WdmGrid make_cband_grid(std::size_t channel_count) {
+  // 0.8 nm ≈ 100 GHz spacing at 1550 nm: the standard ITU dense-WDM grid.
+  return WdmGrid(channel_count, 1550.0 * units::nm, 0.8 * units::nm);
+}
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,52 @@
+#pragma once
+/// \file wavelength.hpp
+/// Wavelength-division-multiplexing (WDM) channel grid.
+///
+/// The interposer network of the paper uses 64 wavelengths (Table 1) around
+/// the C-band. A WdmGrid assigns channel center wavelengths on a uniform
+/// spacing and answers geometry questions (spacing, neighbours) that the
+/// microring filter and crosstalk models need.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+
+/// Uniformly spaced WDM channel grid, channel 0 at the lowest wavelength.
+class WdmGrid {
+ public:
+  /// \param channel_count number of channels (>= 1)
+  /// \param center_wavelength_m grid center, e.g. 1550 nm
+  /// \param channel_spacing_m  uniform spacing, e.g. 0.8 nm (100 GHz DWDM)
+  WdmGrid(std::size_t channel_count, double center_wavelength_m,
+          double channel_spacing_m);
+
+  [[nodiscard]] std::size_t channel_count() const { return wavelengths_.size(); }
+  [[nodiscard]] double channel_spacing_m() const { return spacing_m_; }
+
+  /// Center wavelength of channel `i` [m].
+  [[nodiscard]] double wavelength_m(std::size_t i) const;
+
+  /// All channel wavelengths, ascending [m].
+  [[nodiscard]] const std::vector<double>& wavelengths() const {
+    return wavelengths_;
+  }
+
+  /// Total optical band occupied by the grid [m] (first to last channel).
+  [[nodiscard]] double band_span_m() const;
+
+  /// Index of the channel whose center is nearest to `wavelength_m`.
+  [[nodiscard]] std::size_t nearest_channel(double wavelength_m) const;
+
+ private:
+  std::vector<double> wavelengths_;
+  double spacing_m_;
+};
+
+/// Default dense-WDM grid used across the library: 0.8 nm spacing (100 GHz)
+/// centred at 1550 nm, per the DWDM assumptions of PROWAVES [11]/ReSiPI [37].
+[[nodiscard]] WdmGrid make_cband_grid(std::size_t channel_count);
+
+}  // namespace optiplet::photonics

@@ -1,0 +1,80 @@
+#pragma once
+/// \file energy_ledger.hpp
+/// Hierarchical energy/power accounting.
+///
+/// Simulators charge energy (for events) and register static power (for the
+/// duration of a run) against named categories like "laser", "mrg.tuning",
+/// "noc.router". At the end of a run the ledger converts everything into the
+/// three numbers the paper reports: average power, total energy, and — given
+/// the bit volume — energy per bit.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace optiplet::power {
+
+/// Per-category breakdown entry.
+struct EnergyEntry {
+  double dynamic_energy_j = 0.0;
+  double static_power_w = 0.0;
+};
+
+/// Energy/power ledger for one simulated run.
+class EnergyLedger {
+ public:
+  /// Charge `joules` of dynamic energy to `category`.
+  void charge_energy(const std::string& category, double joules) {
+    OPTIPLET_REQUIRE(joules >= 0.0, "cannot charge negative energy");
+    entries_[category].dynamic_energy_j += joules;
+  }
+
+  /// Register `watts` of static power in `category` (accumulates; call once
+  /// per component).
+  void add_static_power(const std::string& category, double watts) {
+    OPTIPLET_REQUIRE(watts >= 0.0, "static power must be non-negative");
+    entries_[category].static_power_w += watts;
+  }
+
+  /// Add energy directly computed as power*time for a *portion* of the run
+  /// (used for duty-cycled components, e.g. gateways active only in some
+  /// epochs).
+  void charge_power_for(const std::string& category, double watts,
+                        double seconds) {
+    OPTIPLET_REQUIRE(watts >= 0.0 && seconds >= 0.0,
+                     "power and duration must be non-negative");
+    entries_[category].dynamic_energy_j += watts * seconds;
+  }
+
+  /// Total dynamic energy across categories [J].
+  [[nodiscard]] double total_dynamic_energy_j() const;
+
+  /// Total registered static power [W].
+  [[nodiscard]] double total_static_power_w() const;
+
+  /// Total energy over a run of `duration_s` seconds [J].
+  [[nodiscard]] double total_energy_j(double duration_s) const;
+
+  /// Average power over a run of `duration_s` seconds [W].
+  [[nodiscard]] double average_power_w(double duration_s) const;
+
+  /// Energy per bit for `bits` useful bits moved/processed [J/bit].
+  [[nodiscard]] double energy_per_bit_j(double duration_s,
+                                        std::uint64_t bits) const;
+
+  [[nodiscard]] const std::map<std::string, EnergyEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Merge another ledger into this one (category-wise sums).
+  void merge(const EnergyLedger& other);
+
+  void reset() { entries_.clear(); }
+
+ private:
+  std::map<std::string, EnergyEntry> entries_;
+};
+
+}  // namespace optiplet::power

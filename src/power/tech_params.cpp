@@ -1,0 +1,13 @@
+#include "power/tech_params.hpp"
+
+namespace optiplet::power {
+
+TechParams default_tech() {
+  TechParams t;
+  // All nested structs carry their literature defaults in their own
+  // headers; this hook exists so future experiments can override in one
+  // place (e.g. an "aggressive photonics" tech for the DSE example).
+  return t;
+}
+
+}  // namespace optiplet::power

@@ -1,0 +1,120 @@
+#pragma once
+/// \file tech_params.hpp
+/// Technology parameter database.
+///
+/// Every constant the simulators consume lives here, with the literature
+/// source it was taken from. The paper (§VI) states it employs "the power
+/// model and power parameters used in [11] and [37]" — PROWAVES and ReSiPI —
+/// and the CrossLight [21] device stack for compute; this file encodes those
+/// parameter sets. Changing an entry here is the intended way to re-run the
+/// whole evaluation under a different technology assumption.
+
+#include "photonics/laser.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/mzi.hpp"
+#include "photonics/pcm_coupler.hpp"
+#include "photonics/photodetector.hpp"
+#include "photonics/waveguide.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::power {
+
+/// Electrical technology constants (active interposer, 28–32 nm class,
+/// values from the DeFT [40] / active-interposer literature).
+struct ElectricalTech {
+  /// Energy per bit per mm of interposer wire [J/bit/m]. 0.18 pJ/bit/mm.
+  double wire_energy_per_bit_per_m = 0.18 * units::pJ / units::mm;
+  /// Router energy per bit per hop (buffering + crossbar + arbitration).
+  double router_energy_per_bit_j = 0.45 * units::pJ;
+  /// Router leakage+clock static power per router [W].
+  double router_static_w = 18.0 * units::mW;
+  /// Router pipeline depth [cycles] (RC/VA/SA/ST).
+  unsigned router_pipeline_cycles = 4;
+  /// Link traversal latency per hop [cycles] — long interposer wires are
+  /// pipelined at 2 cycles/hop at 2 GHz (~5 mm reach per cycle).
+  unsigned link_cycles_per_hop = 2;
+  /// SerDes/PHY energy at chiplet boundary crossings [J/bit].
+  double phy_energy_per_bit_j = 0.35 * units::pJ;
+};
+
+/// Photonic interposer constants (PROWAVES [11] / ReSiPI [37] stack).
+struct PhotonicTech {
+  photonics::WaveguideTech waveguide{};
+  photonics::MicroringDesign ring{};
+  photonics::MicroringTuning tuning{};
+  photonics::PhotodetectorDesign photodetector{};
+  photonics::LaserDesign laser{};
+  photonics::PcmCouplerDesign pcm{};
+  photonics::MziDesign mzi{};
+  /// Splitter excess loss per 1x2 stage [dB].
+  double splitter_loss_db = 0.13;
+  /// System power margin added to every link budget [dB].
+  double system_margin_db = 3.0;
+  /// Gateway digital back-end (buffering, flow control) energy [J/bit].
+  double gateway_digital_energy_per_bit_j = 0.25 * units::pJ;
+  /// Gateway static power when active [W]: the SerDes macro (16 lanes at
+  /// 12 Gb/s), PLLs, and store-and-forward buffers.
+  double gateway_static_w = 400.0 * units::mW;
+  /// Serializer/driver energy on the transmit side [J/bit].
+  double serializer_energy_per_bit_j = 0.12 * units::pJ;
+  /// ReSiPI controller static power [W].
+  double controller_static_w = 25.0 * units::mW;
+};
+
+/// CrossLight-style photonic MAC compute constants [21][22].
+struct ComputeTech {
+  /// Photonic vector-unit symbol rate [samples/s] — the rate at which a MAC
+  /// unit completes one vector dot product. DAC-limited; the CrossLight
+  /// device stack supports 1-10 GS/s, 4 GS/s is the calibrated midpoint.
+  double mac_symbol_rate_hz = 4.0 * units::GHz;
+  /// Fraction of peak MAC throughput sustained on real layers (pipeline
+  /// fill, ragged tiling edges).
+  double mac_utilization = 0.85;
+  /// Extra received-power requirement for analog amplitude precision over
+  /// plain OOK detection [dB]. Calibration constant: 8-bit amplitude
+  /// resolution needs a cleaner eye than on/off detection.
+  double analog_precision_penalty_db = 10.0;
+  /// Chiplet-internal strip waveguide loss [dB/m] (1.5 dB/cm standard SOI).
+  double chip_waveguide_loss_db_per_m = 150.0;
+  /// Waveguide length added per MAC unit along a broadcast bus [m].
+  double unit_bus_pitch_m = 0.4 * units::mm;
+  /// Excess loss of each unit's power tap on the bus [dB].
+  double tap_excess_loss_db = 0.05;
+  /// Insertion loss of the input-imprinting modulator bank [dB].
+  double input_modulator_insertion_db = 1.0;
+  /// Insertion loss of a unit's weight bank at operating points [dB].
+  double weight_bank_insertion_db = 1.5;
+  /// Link margin inside compute chiplets [dB].
+  double compute_margin_db = 3.0;
+  /// DAC energy per conversion per parameter [J] (8-bit, 2 GS/s class).
+  double dac_energy_per_conversion_j = 0.65 * units::pJ;
+  /// ADC energy per conversion at the MAC output [J] (8-bit).
+  double adc_energy_per_conversion_j = 1.1 * units::pJ;
+  /// SRAM buffer access energy [J/bit].
+  double buffer_energy_per_bit_j = 0.08 * units::pJ;
+  /// Static power per MAC unit lane (drivers, bias) [W] excluding rings.
+  double mac_static_per_element_w = 0.9 * units::mW;
+  /// Weight of process-variation trim per ring folded into MRG model; the
+  /// per-ring static tuning power itself comes from MicroringTuning.
+  /// Parameter bit width (CrossLight quantizes to 8 bits).
+  unsigned parameter_bits = 8;
+  /// HBM access energy [J/bit] (HBM2 ~3.9 pJ/bit).
+  double hbm_energy_per_bit_j = 3.9 * units::pJ;
+  /// HBM internal bandwidth available to the memory chiplet [bit/s].
+  double hbm_bandwidth_bps = 2.0 * units::Tbps;
+  /// Static power of the memory chiplet PHY+controller [W].
+  double hbm_static_w = 2.5 * units::W;
+};
+
+/// The full technology bundle used to build a platform.
+struct TechParams {
+  ElectricalTech electrical{};
+  PhotonicTech photonic{};
+  ComputeTech compute{};
+};
+
+/// Default technology: the parameter set described above. Defined in
+/// tech_params.cpp so the defaults live in exactly one translation unit.
+[[nodiscard]] TechParams default_tech();
+
+}  // namespace optiplet::power

@@ -1,0 +1,90 @@
+#pragma once
+/// \file cycle_engine.hpp
+/// Cycle-driven simulation kernel for the cycle-accurate NoC (BookSim-style).
+///
+/// Components register with an engine bound to one clock domain and are
+/// ticked in two phases per cycle:
+///   1. `evaluate()` — read the state other components exposed last cycle and
+///      compute this cycle's outputs (no externally visible writes);
+///   2. `commit()`   — make the computed state visible.
+/// The two-phase contract removes intra-cycle ordering dependencies between
+/// routers, which is what makes the mesh simulation deterministic regardless
+/// of registration order.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace optiplet::sim {
+
+/// Interface for cycle-driven components (routers, network interfaces, ...).
+class CycleComponent {
+ public:
+  virtual ~CycleComponent() = default;
+
+  /// Phase 1: compute next state from currently visible state.
+  virtual void evaluate(std::uint64_t cycle) = 0;
+
+  /// Phase 2: expose the state computed in evaluate().
+  virtual void commit(std::uint64_t cycle) = 0;
+};
+
+/// Drives a set of CycleComponents in lock-step. The engine does not own the
+/// components; the caller (e.g. noc::ElectricalMesh) keeps ownership so the
+/// object graph stays explicit.
+class CycleEngine {
+ public:
+  /// `frequency_hz` converts cycle counts to seconds for reporting.
+  explicit CycleEngine(double frequency_hz) : frequency_hz_(frequency_hz) {
+    OPTIPLET_REQUIRE(frequency_hz > 0.0, "clock frequency must be positive");
+  }
+
+  void register_component(CycleComponent& component) {
+    components_.push_back(&component);
+  }
+
+  /// Advance one cycle (both phases across all components).
+  void step() {
+    for (auto* c : components_) {
+      c->evaluate(cycle_);
+    }
+    for (auto* c : components_) {
+      c->commit(cycle_);
+    }
+    ++cycle_;
+  }
+
+  /// Advance `n` cycles.
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      step();
+    }
+  }
+
+  /// Advance until `done()` returns true or `max_cycles` elapse; returns the
+  /// number of cycles actually simulated.
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles) {
+    std::uint64_t n = 0;
+    while (n < max_cycles && !done()) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] double frequency_hz() const { return frequency_hz_; }
+  [[nodiscard]] double time_s() const {
+    return static_cast<double>(cycle_) / frequency_hz_;
+  }
+
+ private:
+  double frequency_hz_;
+  std::uint64_t cycle_ = 0;
+  std::vector<CycleComponent*> components_;
+};
+
+}  // namespace optiplet::sim

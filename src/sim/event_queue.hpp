@@ -1,0 +1,81 @@
+#pragma once
+/// \file event_queue.hpp
+/// Discrete-event kernel for the transaction-level system simulator.
+///
+/// Continuous time (seconds, double). Events scheduled at equal times fire in
+/// insertion order (a monotone sequence number breaks ties), which keeps the
+/// system simulator deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace optiplet::sim {
+
+/// Min-heap of (time, seq) → callback. Not thread-safe by design: the
+/// transaction simulator is single-threaded.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (seconds); t must not precede now().
+  void schedule_at(double t, Callback cb) {
+    OPTIPLET_REQUIRE(t >= now_, "cannot schedule in the past");
+    heap_.push(Entry{t, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` `dt` seconds from now; dt must be non-negative.
+  void schedule_in(double dt, Callback cb) {
+    OPTIPLET_REQUIRE(dt >= 0.0, "negative delay");
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Pop and run the earliest event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) {
+      return false;
+    }
+    // Copy out before pop so the callback may schedule new events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    e.cb();
+    return true;
+  }
+
+  /// Run until empty or `max_events` processed; returns events processed.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace optiplet::sim

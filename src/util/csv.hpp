@@ -1,0 +1,32 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV writer used by benches to dump figure series for plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace optiplet::util {
+
+/// Streams rows to a CSV file; quoting is applied when a cell contains a
+/// comma, quote, or newline (RFC 4180).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the file opened successfully.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Append one data row; width is not enforced (ragged rows are legal CSV)
+  /// but benches are expected to keep widths consistent.
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace optiplet::util

@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace optiplet::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OPTIPLET_REQUIRE(!header_.empty(), "table needs at least one column");
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  OPTIPLET_REQUIRE(cells.size() == header_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  OPTIPLET_REQUIRE(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) {
+      s += std::string(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      if (aligns_[c] == Align::kLeft) {
+        os << std::left;
+      } else {
+        os << std::right;
+      }
+      os << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out = hline;
+  out += render_row(header_);
+  out += hline;
+  for (const auto& row : rows_) {
+    out += row.empty() ? hline : render_row(row);
+  }
+  out += hline;
+  return out;
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_si(double value) {
+  const double mag = std::fabs(value);
+  std::ostringstream os;
+  if (value != 0.0 && (mag < 1e-3 || mag >= 1e6)) {
+    os << std::scientific << std::setprecision(2) << value;
+  } else if (mag >= 100.0) {
+    os << std::fixed << std::setprecision(1) << value;
+  } else if (mag >= 10.0) {
+    os << std::fixed << std::setprecision(2) << value;
+  } else {
+    os << std::fixed << std::setprecision(3) << value;
+  }
+  return os.str();
+}
+
+std::string format_grouped(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out += ',';
+    }
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace optiplet::util

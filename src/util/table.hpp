@@ -1,0 +1,57 @@
+#pragma once
+/// \file table.hpp
+/// Aligned ASCII table rendering for bench/example output.
+///
+/// Every bench binary prints its table/figure data through TextTable so the
+/// output matches the row/column structure of the paper's artifacts.
+
+#include <string>
+#include <vector>
+
+namespace optiplet::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column text table.
+///
+/// Usage:
+///   TextTable t({"Model", "Power (W)", "Latency (ms)"});
+///   t.add_row({"ResNet50", "89.7", "1.21"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator after the current last row.
+  void add_separator();
+
+  /// Set alignment for a column (default: kLeft for col 0, kRight otherwise).
+  void set_align(std::size_t column, Align align);
+
+  /// Render the full table, including header and borders.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<Align> aligns_;
+};
+
+/// Format a double with `digits` significant decimal places, trimming noise.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// Format a double choosing a sensible precision for table display
+/// (3 significant figures, switching to scientific outside [1e-3, 1e6)).
+[[nodiscard]] std::string format_si(double value);
+
+/// Format a large integer with thousands separators ("25,636,712").
+[[nodiscard]] std::string format_grouped(std::uint64_t value);
+
+}  // namespace optiplet::util

@@ -1,0 +1,70 @@
+#pragma once
+/// \file units.hpp
+/// SI unit conventions and readable unit constants.
+///
+/// Library-wide conventions (see DESIGN.md §7):
+///   time    — seconds   (double)
+///   power   — watts     (double)
+///   energy  — joules    (double)
+///   length  — meters    (double)
+///   rate    — bits/s or Hz (double)
+///   data    — bits      (std::uint64_t unless noted)
+///   optical power ratios — dB / dBm helpers in math.hpp
+///
+/// Constants are spelled as multipliers so call sites read naturally:
+///   `12.0 * units::Gbps`, `2.0 * units::GHz`, `1.55 * units::um`.
+
+#include <cstdint>
+
+namespace optiplet::units {
+
+// --- time ---
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- frequency / data rate ---
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+inline constexpr double bps = 1.0;
+inline constexpr double Kbps = 1e3;
+inline constexpr double Mbps = 1e6;
+inline constexpr double Gbps = 1e9;
+inline constexpr double Tbps = 1e12;
+
+// --- power / energy ---
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+// --- length ---
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+inline constexpr double pm = 1e-12;
+
+// --- data volume ---
+inline constexpr std::uint64_t bit = 1;
+inline constexpr std::uint64_t Kb = 1000;
+inline constexpr std::uint64_t Mb = 1000 * 1000;
+inline constexpr std::uint64_t Gb = 1000ULL * 1000ULL * 1000ULL;
+inline constexpr std::uint64_t Byte = 8;
+
+// --- physical constants ---
+/// Speed of light in vacuum [m/s].
+inline constexpr double c0 = 299'792'458.0;
+
+}  // namespace optiplet::units

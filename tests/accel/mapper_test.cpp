@@ -1,0 +1,122 @@
+#include "accel/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.hpp"
+
+namespace optiplet::accel {
+namespace {
+
+dnn::LayerWork make_layer(dnn::LayerKind kind, std::uint32_t kernel) {
+  dnn::LayerWork lw;
+  lw.kind = kind;
+  lw.kernel = kernel;
+  lw.macs = 1000;
+  lw.dot_length = 10;
+  return lw;
+}
+
+TEST(Affinity, KernelSizesMapToMatchingUnits) {
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 3)),
+            MacKind::kConv3);
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 5)),
+            MacKind::kConv5);
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 7)),
+            MacKind::kConv7);
+}
+
+TEST(Affinity, PointwiseConvGoesToDenseUnits) {
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 1)),
+            MacKind::kDense100);
+}
+
+TEST(Affinity, DenseLayersGoToDenseUnits) {
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kDense, 0)),
+            MacKind::kDense100);
+}
+
+TEST(Affinity, DepthwiseGoesToConv3) {
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kDepthwiseConv2d, 3)),
+            MacKind::kConv3);
+}
+
+TEST(Affinity, IntermediateKernelsRoundUp) {
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 2)),
+            MacKind::kConv3);
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 4)),
+            MacKind::kConv5);
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 6)),
+            MacKind::kConv7);
+  EXPECT_EQ(affinity(make_layer(dnn::LayerKind::kConv2d, 11)),
+            MacKind::kConv7);
+}
+
+TEST(Mapper, EveryComputeLayerGetsAssigned) {
+  const auto model = dnn::zoo::make_resnet50();
+  const auto workload = dnn::compute_workload(model, 8);
+  const Platform platform(make_table1_spec(), power::default_tech());
+  const auto assignments = map_layers(workload, platform);
+  ASSERT_EQ(assignments.size(), workload.layers.size());
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    EXPECT_EQ(assignments[i].workload_index, i);
+    EXPECT_GT(assignments[i].macs_per_s, 0.0);
+    EXPECT_GE(assignments[i].chiplets_used, 1u);
+  }
+}
+
+TEST(Mapper, ResNetUsesDenseAndConvGroups) {
+  const auto model = dnn::zoo::make_resnet50();
+  const auto workload = dnn::compute_workload(model, 8);
+  const Platform platform(make_table1_spec(), power::default_tech());
+  const auto assignments = map_layers(workload, platform);
+  bool saw_dense = false;
+  bool saw_conv3 = false;
+  bool saw_conv7 = false;
+  for (const auto& a : assignments) {
+    saw_dense |= a.group == MacKind::kDense100;   // 1x1 bottleneck convs
+    saw_conv3 |= a.group == MacKind::kConv3;      // 3x3 convs
+    saw_conv7 |= a.group == MacKind::kConv7;      // the 7x7 stem
+  }
+  EXPECT_TRUE(saw_dense);
+  EXPECT_TRUE(saw_conv3);
+  EXPECT_TRUE(saw_conv7);
+}
+
+TEST(Mapper, LeNetUsesConv5AndDense) {
+  const auto model = dnn::zoo::make_lenet5();
+  const auto workload = dnn::compute_workload(model, 8);
+  const Platform platform(make_table1_spec(), power::default_tech());
+  const auto assignments = map_layers(workload, platform);
+  for (const auto& a : assignments) {
+    EXPECT_TRUE(a.group == MacKind::kConv5 || a.group == MacKind::kDense100)
+        << "LeNet layer mapped to " << to_string(a.group);
+  }
+}
+
+TEST(Mapper, ChipletsUsedMatchesGroupSize) {
+  const auto model = dnn::zoo::make_vgg16();
+  const auto workload = dnn::compute_workload(model, 8);
+  const Platform platform(make_table1_spec(), power::default_tech());
+  const auto assignments = map_layers(workload, platform);
+  for (const auto& a : assignments) {
+    if (a.group == MacKind::kConv3) {
+      EXPECT_EQ(a.chiplets_used, 3u);
+    }
+    if (a.group == MacKind::kDense100) {
+      EXPECT_EQ(a.chiplets_used, 2u);
+    }
+  }
+}
+
+TEST(Mapper, AssignedThroughputMatchesPlatform) {
+  const auto model = dnn::zoo::make_vgg16();
+  const auto workload = dnn::compute_workload(model, 8);
+  const Platform platform(make_table1_spec(), power::default_tech());
+  const auto assignments = map_layers(workload, platform);
+  for (const auto& a : assignments) {
+    EXPECT_NEAR(a.macs_per_s, platform.group_macs_per_s(a.group), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace optiplet::accel

@@ -1,0 +1,147 @@
+#include "accel/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::accel {
+namespace {
+
+TEST(PlatformSpec, Table1Complement) {
+  const PlatformSpec spec = make_table1_spec();
+  ASSERT_EQ(spec.groups.size(), 4u);
+  // Table 1, row by row.
+  EXPECT_EQ(spec.groups[0].chiplet.kind, MacKind::kDense100);
+  EXPECT_EQ(spec.groups[0].chiplet_count, 2u);
+  EXPECT_EQ(spec.groups[0].chiplet.units, 4u);
+  EXPECT_EQ(spec.groups[0].chiplet.units_per_bus, 1u);
+
+  EXPECT_EQ(spec.groups[1].chiplet.kind, MacKind::kConv7);
+  EXPECT_EQ(spec.groups[1].chiplet_count, 1u);
+  EXPECT_EQ(spec.groups[1].chiplet.units, 8u);
+  EXPECT_EQ(spec.groups[1].chiplet.units_per_bus, 2u);
+
+  EXPECT_EQ(spec.groups[2].chiplet.kind, MacKind::kConv5);
+  EXPECT_EQ(spec.groups[2].chiplet_count, 2u);
+  EXPECT_EQ(spec.groups[2].chiplet.units, 16u);
+  EXPECT_EQ(spec.groups[2].chiplet.units_per_bus, 4u);
+
+  EXPECT_EQ(spec.groups[3].chiplet.kind, MacKind::kConv3);
+  EXPECT_EQ(spec.groups[3].chiplet_count, 3u);
+  EXPECT_EQ(spec.groups[3].chiplet.units, 44u);
+  EXPECT_EQ(spec.groups[3].chiplet.units_per_bus, 11u);
+}
+
+TEST(PlatformSpec, Table1HasEightComputeChiplets) {
+  const Platform p(make_table1_spec(), power::default_tech());
+  EXPECT_EQ(p.total_chiplets(), 8u);
+  // 2x4 + 1x8 + 2x16 + 3x44 = 180 MAC units.
+  EXPECT_EQ(p.total_units(), 180u);
+}
+
+TEST(PlatformSpec, MonolithicKeepsUnitComplement) {
+  const Platform mono(make_monolithic_spec(1), power::default_tech());
+  EXPECT_EQ(mono.total_units(), 180u);
+  EXPECT_EQ(mono.total_chiplets(), 4u);  // one on-die pool per unit kind
+}
+
+TEST(PlatformSpec, MonolithicScaleDividesUnits) {
+  const Platform mono(make_monolithic_spec(4), power::default_tech());
+  // 2 dense + 2 conv7 + 8 conv5 + 33 conv3 = 45.
+  EXPECT_EQ(mono.total_units(), 45u);
+}
+
+TEST(PlatformSpec, MonolithicBusesCarryMoreUnits) {
+  const PlatformSpec mono = make_monolithic_spec(1);
+  const PlatformSpec t1 = make_table1_spec();
+  for (std::size_t g = 0; g < mono.groups.size(); ++g) {
+    EXPECT_GE(mono.groups[g].chiplet.units_per_bus,
+              t1.groups[g].chiplet.units_per_bus);
+  }
+}
+
+TEST(PlatformSpec, MonolithicLaserCostlierPerUnit) {
+  // The §V scalability argument in one assertion: the monolithic die pays
+  // more laser power per MAC unit than the chipletized platform.
+  const Platform mono(make_monolithic_spec(1), power::default_tech());
+  const Platform p25(make_table1_spec(), power::default_tech());
+  double mono_laser = 0.0;
+  double p25_laser = 0.0;
+  for (const auto& g : mono.groups()) {
+    mono_laser +=
+        g.chiplet.laser_electrical_power_w() * g.chiplet_count;
+  }
+  for (const auto& g : p25.groups()) {
+    p25_laser += g.chiplet.laser_electrical_power_w() * g.chiplet_count;
+  }
+  EXPECT_GT(mono_laser / 180.0, p25_laser / 180.0);
+}
+
+TEST(Platform, GroupLookupByKind) {
+  const Platform p(make_table1_spec(), power::default_tech());
+  EXPECT_EQ(p.group_for(MacKind::kConv3).chiplet_count, 3u);
+  EXPECT_EQ(p.group_for(MacKind::kDense100).chiplet_count, 2u);
+}
+
+TEST(Platform, GroupThroughputSumsChiplets) {
+  const Platform p(make_table1_spec(), power::default_tech());
+  const auto& g = p.group_for(MacKind::kConv3);
+  EXPECT_NEAR(p.group_macs_per_s(MacKind::kConv3),
+              3.0 * g.chiplet.sustained_macs_per_s(), 1.0);
+}
+
+TEST(Platform, GroupThroughputsRoughlyBalanced) {
+  // The Table-1 design intent: each kind's aggregate throughput is within
+  // ~3x of every other's.
+  const Platform p(make_table1_spec(), power::default_tech());
+  double min_tp = 1e30;
+  double max_tp = 0.0;
+  for (MacKind k : {MacKind::kDense100, MacKind::kConv7, MacKind::kConv5,
+                    MacKind::kConv3}) {
+    min_tp = std::min(min_tp, p.group_macs_per_s(k));
+    max_tp = std::max(max_tp, p.group_macs_per_s(k));
+  }
+  EXPECT_LT(max_tp / min_tp, 3.5);
+}
+
+TEST(Platform, PeakComputePowerSumsGroups) {
+  const Platform p(make_table1_spec(), power::default_tech());
+  double manual = 0.0;
+  for (const auto& g : p.groups()) {
+    manual += g.chiplet.active_power_w() * g.chiplet_count;
+  }
+  EXPECT_NEAR(p.peak_compute_power_w(), manual, 1e-9);
+  // The 8-chiplet complement must be tens of watts, not hundreds.
+  EXPECT_GT(p.peak_compute_power_w(), 5.0);
+  EXPECT_LT(p.peak_compute_power_w(), 100.0);
+}
+
+TEST(Platform, RejectsEmptySpec) {
+  PlatformSpec empty;
+  EXPECT_THROW(Platform(empty, power::default_tech()),
+               std::invalid_argument);
+}
+
+TEST(Platform, RequiresAllMacKinds) {
+  PlatformSpec partial;
+  ChipletDesign only_conv3;
+  only_conv3.kind = MacKind::kConv3;
+  only_conv3.units = 4;
+  only_conv3.units_per_bus = 2;
+  partial.groups.push_back({only_conv3, 1});
+  EXPECT_THROW(Platform(partial, power::default_tech()),
+               std::invalid_argument);
+}
+
+TEST(PlatformSpec, RejectsZeroScaleDivisor) {
+  EXPECT_THROW(make_monolithic_spec(0), std::invalid_argument);
+}
+
+TEST(Architecture, NamesMatchPaper) {
+  EXPECT_STREQ(to_string(Architecture::kMonolithicCrossLight), "CrossLight");
+  EXPECT_STREQ(to_string(Architecture::kElec2p5D), "2.5D-CrossLight-Elec");
+  EXPECT_STREQ(to_string(Architecture::kSiph2p5D), "2.5D-CrossLight-SiPh");
+}
+
+}  // namespace
+}  // namespace optiplet::accel

@@ -1,0 +1,139 @@
+#include "baselines/reference_platforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dnn/zoo.hpp"
+
+namespace optiplet::baselines {
+namespace {
+
+TEST(ReferencePlatforms, AllSevenTable3RowsPresent) {
+  const auto platforms = table3_reference_platforms();
+  ASSERT_EQ(platforms.size(), 7u);
+  EXPECT_EQ(platforms[0].name, "Nvidia P100 GPU");
+  EXPECT_EQ(platforms[1].name, "Intel 9282 CPU");
+  EXPECT_EQ(platforms[2].name, "AMD 3970 CPU");
+  EXPECT_EQ(platforms[3].name, "Edge TPU");
+  EXPECT_EQ(platforms[4].name, "Null Hop");
+  EXPECT_EQ(platforms[5].name, "Deap_CNN");
+  EXPECT_EQ(platforms[6].name, "HolyLight");
+}
+
+TEST(ReferencePlatforms, PowersMatchPublishedSpecs) {
+  const auto platforms = table3_reference_platforms();
+  EXPECT_DOUBLE_EQ(platforms[0].average_power_w, 250.0);  // P100
+  EXPECT_DOUBLE_EQ(platforms[1].average_power_w, 400.0);  // Xeon 9282
+  EXPECT_DOUBLE_EQ(platforms[2].average_power_w, 280.0);  // TR 3970X
+  EXPECT_DOUBLE_EQ(platforms[3].average_power_w, 2.0);    // Edge TPU
+}
+
+TEST(Evaluate, LatencyPositiveAndFinite) {
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_resnet50();
+  for (const auto& p : platforms) {
+    const auto r = evaluate(p, model);
+    EXPECT_GT(r.latency_s, 0.0) << p.name;
+    EXPECT_LT(r.latency_s, 100.0) << p.name;
+    EXPECT_GT(r.energy_j, 0.0);
+    EXPECT_GT(r.epb_j_per_bit, 0.0);
+  }
+}
+
+TEST(Evaluate, GpuFasterThanCpusOnBigModels) {
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_vgg16();
+  const auto gpu = evaluate(platforms[0], model);
+  const auto xeon = evaluate(platforms[1], model);
+  const auto amd = evaluate(platforms[2], model);
+  EXPECT_LT(gpu.latency_s, xeon.latency_s);
+  EXPECT_LT(xeon.latency_s, amd.latency_s);
+}
+
+TEST(Evaluate, EdgeTpuFastWhenModelFits) {
+  // MobileNetV2 (3.5 MB of 8-bit weights) fits the 8 MiB SRAM: the TPU is
+  // compute-bound and quick. VGG16 (138 MB) does not fit: host-link bound.
+  const auto platforms = table3_reference_platforms();
+  const auto& tpu = platforms[3];
+  const auto mobilenet = evaluate(tpu, dnn::zoo::make_mobilenetv2());
+  const auto vgg = evaluate(tpu, dnn::zoo::make_vgg16());
+  EXPECT_LT(mobilenet.latency_s, 0.5);
+  EXPECT_GT(vgg.latency_s, 2.0);
+  EXPECT_GT(vgg.latency_s, 10.0 * mobilenet.latency_s);
+}
+
+TEST(Evaluate, EdgeTpuLowestPowerOfTable3) {
+  const auto platforms = table3_reference_platforms();
+  for (const auto& p : platforms) {
+    if (p.name != "Edge TPU") {
+      EXPECT_GT(p.average_power_w, 2.0) << p.name;
+    }
+  }
+}
+
+TEST(Evaluate, NullHopSlowestAccelerator) {
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_resnet50();
+  const auto nullhop = evaluate(platforms[4], model);
+  const auto holylight = evaluate(platforms[6], model);
+  EXPECT_GT(nullhop.latency_s, holylight.latency_s);
+}
+
+TEST(Evaluate, DeapCnnWorstEpbAmongPhotonic) {
+  // Table 3: DEAP-CNN's EPB (1959 nJ/b) dwarfs HolyLight's (40.3 nJ/b).
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_resnet50();
+  const auto deap = evaluate(platforms[5], model);
+  const auto holy = evaluate(platforms[6], model);
+  EXPECT_GT(deap.epb_j_per_bit, holy.epb_j_per_bit);
+}
+
+TEST(Evaluate, EnergyEqualsPowerTimesLatency) {
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_lenet5();
+  for (const auto& p : platforms) {
+    const auto r = evaluate(p, model);
+    EXPECT_NEAR(r.energy_j, p.average_power_w * r.latency_s,
+                1e-9 * r.energy_j);
+  }
+}
+
+TEST(Evaluate, TrafficBitsConsistentAcrossPlatforms) {
+  // The EPB denominator is a property of the model, not the platform.
+  const auto platforms = table3_reference_platforms();
+  const auto model = dnn::zoo::make_densenet121();
+  const auto first = evaluate(platforms[0], model);
+  for (const auto& p : platforms) {
+    EXPECT_EQ(evaluate(p, model).traffic_bits, first.traffic_bits);
+  }
+}
+
+TEST(Evaluate, RejectsInvalidPlatform) {
+  ReferencePlatform bad;
+  bad.peak_macs_per_s = 0.0;
+  EXPECT_THROW(evaluate(bad, dnn::zoo::make_lenet5()),
+               std::invalid_argument);
+  bad = ReferencePlatform{};
+  bad.utilization = 0.0;
+  EXPECT_THROW(evaluate(bad, dnn::zoo::make_lenet5()),
+               std::invalid_argument);
+}
+
+/// Property: more utilization never hurts latency.
+class UtilizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweep, LatencyMonotoneInUtilization) {
+  ReferencePlatform p;
+  p.utilization = GetParam();
+  const auto r_low = evaluate(p, dnn::zoo::make_resnet50());
+  p.utilization = GetParam() + 0.1;
+  const auto r_high = evaluate(p, dnn::zoo::make_resnet50());
+  EXPECT_LE(r_high.latency_s, r_low.latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, UtilizationSweep,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace optiplet::baselines

@@ -1,0 +1,136 @@
+/// \file batch_modulation_test.cpp
+/// Tests for the two evaluation extensions beyond the paper's defaults:
+/// batched inference (weights amortized across a batch) and PAM-4
+/// multilevel signaling on the interposer (paper §II option [44]).
+
+#include <gtest/gtest.h>
+
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "noc/photonic_interposer.hpp"
+
+namespace optiplet::core {
+namespace {
+
+using accel::Architecture;
+
+TEST(Batching, ThroughputImprovesWithBatchOnWeightBoundModels) {
+  // VGG16 is weight-traffic dominated: a batch of 8 amortizes the 1.1 Gb
+  // weight stream, so per-image latency must drop.
+  SystemConfig b1 = default_system_config();
+  SystemConfig b8 = default_system_config();
+  b8.batch_size = 8;
+  const auto model = dnn::zoo::make_vgg16();
+  const auto r1 =
+      SystemSimulator(b1).run(model, Architecture::kMonolithicCrossLight);
+  const auto r8 =
+      SystemSimulator(b8).run(model, Architecture::kMonolithicCrossLight);
+  EXPECT_LT(r8.latency_s / 8.0, r1.latency_s);
+}
+
+TEST(Batching, BatchLatencyGrowsMonotonically) {
+  const auto model = dnn::zoo::make_resnet50();
+  double prev = 0.0;
+  for (unsigned batch : {1u, 2u, 4u, 8u}) {
+    SystemConfig cfg = default_system_config();
+    cfg.batch_size = batch;
+    const auto r = SystemSimulator(cfg).run(model, Architecture::kSiph2p5D);
+    EXPECT_GT(r.latency_s, prev);
+    prev = r.latency_s;
+  }
+}
+
+TEST(Batching, TrafficScalesActivationsOnly) {
+  SystemConfig b1 = default_system_config();
+  SystemConfig b4 = default_system_config();
+  b4.batch_size = 4;
+  const auto model = dnn::zoo::make_mobilenetv2();
+  const auto r1 = SystemSimulator(b1).run(model, Architecture::kSiph2p5D);
+  const auto r4 = SystemSimulator(b4).run(model, Architecture::kSiph2p5D);
+  // Weights once + 4x activations: traffic grows, but less than 4x
+  // (MobileNetV2 is activation-heavy, so it lands close to 4x; VGG16
+  // would land close to 1x).
+  EXPECT_GT(r4.traffic_bits, r1.traffic_bits);
+  EXPECT_LT(r4.traffic_bits, 4u * r1.traffic_bits);
+}
+
+TEST(Batching, PerImageEnergyImprovesWithBatchOnSiph) {
+  SystemConfig b1 = default_system_config();
+  SystemConfig b8 = default_system_config();
+  b8.batch_size = 8;
+  const auto model = dnn::zoo::make_vgg16();
+  const auto r1 = SystemSimulator(b1).run(model, Architecture::kSiph2p5D);
+  const auto r8 = SystemSimulator(b8).run(model, Architecture::kSiph2p5D);
+  // Per-image energy amortizes the weight stream and fixed overheads.
+  // (EPB itself *rises* with batch because its traffic denominator shares
+  // the weights across images — the metric rewards per-bit efficiency,
+  // not per-image efficiency.)
+  EXPECT_LT(r8.energy_j / 8.0, r1.energy_j);
+}
+
+TEST(Batching, RejectsZeroBatch) {
+  SystemConfig cfg = default_system_config();
+  cfg.batch_size = 0;
+  EXPECT_THROW(SystemSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(Pam4, DoublesInterposerBandwidth) {
+  noc::PhotonicInterposerConfig ook;
+  noc::PhotonicInterposerConfig pam4;
+  pam4.modulation = photonics::ModulationFormat::kPam4;
+  const noc::PhotonicInterposer ip_ook(ook, power::PhotonicTech{});
+  const noc::PhotonicInterposer ip_pam4(pam4, power::PhotonicTech{});
+  EXPECT_NEAR(ip_pam4.swmr_bandwidth_bps(64),
+              2.0 * ip_ook.swmr_bandwidth_bps(64), 1.0);
+  EXPECT_NEAR(ip_pam4.gateway_bandwidth_bps(),
+              2.0 * ip_ook.gateway_bandwidth_bps(), 1.0);
+}
+
+TEST(Pam4, CostsLaserPowerPerWavelength) {
+  noc::PhotonicInterposerConfig ook;
+  noc::PhotonicInterposerConfig pam4;
+  pam4.modulation = photonics::ModulationFormat::kPam4;
+  const noc::PhotonicInterposer ip_ook(ook, power::PhotonicTech{});
+  const noc::PhotonicInterposer ip_pam4(pam4, power::PhotonicTech{});
+  // ~6 dB receiver penalty ~ 4x optical power per wavelength.
+  const double ratio = ip_pam4.swmr_laser_power_per_wavelength_w() /
+                       ip_ook.swmr_laser_power_per_wavelength_w();
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(Pam4, NeedsTwoModulatorRingsPerChannel) {
+  noc::PhotonicInterposerConfig pam4;
+  pam4.modulation = photonics::ModulationFormat::kPam4;
+  const noc::PhotonicInterposer ip(pam4, power::PhotonicTech{});
+  noc::PhotonicInterposerConfig ook;
+  const noc::PhotonicInterposer ip_ook(ook, power::PhotonicTech{});
+  EXPECT_GT(ip.compute_gateway().mrg().modulator_count(),
+            ip_ook.compute_gateway().mrg().modulator_count());
+}
+
+TEST(Pam4, SpeedsUpCommBoundModels) {
+  SystemConfig ook = default_system_config();
+  SystemConfig pam4 = default_system_config();
+  pam4.photonic.modulation = photonics::ModulationFormat::kPam4;
+  const auto model = dnn::zoo::make_vgg16();  // weight-stream heavy
+  const auto r_ook =
+      SystemSimulator(ook).run(model, Architecture::kSiph2p5D);
+  const auto r_pam4 =
+      SystemSimulator(pam4).run(model, Architecture::kSiph2p5D);
+  EXPECT_LE(r_pam4.latency_s, r_ook.latency_s * 1.001);
+}
+
+TEST(Pam4, FormatHelpersAreConsistent) {
+  using photonics::ModulationFormat;
+  EXPECT_EQ(photonics::bits_per_symbol(ModulationFormat::kOok), 1u);
+  EXPECT_EQ(photonics::bits_per_symbol(ModulationFormat::kPam4), 2u);
+  EXPECT_DOUBLE_EQ(
+      photonics::receiver_penalty_db(ModulationFormat::kOok), 0.0);
+  EXPECT_GT(photonics::receiver_penalty_db(ModulationFormat::kPam4), 4.7);
+  EXPECT_NEAR(photonics::line_rate_bps(ModulationFormat::kPam4, 12e9),
+              24e9, 1.0);
+}
+
+}  // namespace
+}  // namespace optiplet::core

@@ -1,0 +1,209 @@
+/// \file paper_claims_test.cpp
+/// The six calibration targets of DESIGN.md §6, asserted as tests. If any
+/// of these fail, the reproduction has drifted away from the paper's
+/// qualitative results (§VI, Fig. 7, Table 3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+
+namespace optiplet::core {
+namespace {
+
+using accel::Architecture;
+
+/// Shared fixture: run all five models on all three architectures once.
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const SystemSimulator sim(default_system_config());
+    results_ = new std::map<Architecture, std::vector<RunResult>>;
+    for (const auto arch :
+         {Architecture::kMonolithicCrossLight, Architecture::kElec2p5D,
+          Architecture::kSiph2p5D}) {
+      for (const auto& model : dnn::zoo::all_models()) {
+        (*results_)[arch].push_back(sim.run(model, arch));
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static PlatformAverages avg(Architecture arch) {
+    return average_runs(to_string(arch), results_->at(arch));
+  }
+
+  static const RunResult& run_of(Architecture arch,
+                                 const std::string& model) {
+    for (const auto& r : results_->at(arch)) {
+      if (r.model_name == model) {
+        return r;
+      }
+    }
+    throw std::logic_error("missing run");
+  }
+
+  static std::map<Architecture, std::vector<RunResult>>* results_;
+};
+
+std::map<Architecture, std::vector<RunResult>>* PaperClaims::results_ =
+    nullptr;
+
+// --- Claim 1: latency ordering and ratios (paper: 6.6x and 34x) ---
+
+TEST_F(PaperClaims, LatencyOrderingSiphMonoElec) {
+  const double siph = avg(Architecture::kSiph2p5D).latency_s;
+  const double mono = avg(Architecture::kMonolithicCrossLight).latency_s;
+  const double elec = avg(Architecture::kElec2p5D).latency_s;
+  EXPECT_LT(siph, mono);
+  EXPECT_LT(mono, elec);
+}
+
+TEST_F(PaperClaims, SiphVsMonolithicLatencyRatioInBand) {
+  const double ratio = avg(Architecture::kMonolithicCrossLight).latency_s /
+                       avg(Architecture::kSiph2p5D).latency_s;
+  EXPECT_GE(ratio, 3.5);   // paper: 6.6x
+  EXPECT_LE(ratio, 10.0);
+}
+
+TEST_F(PaperClaims, SiphVsElecLatencyRatioStrong) {
+  const double ratio = avg(Architecture::kElec2p5D).latency_s /
+                       avg(Architecture::kSiph2p5D).latency_s;
+  EXPECT_GE(ratio, 5.0);  // paper: 34x; EXPERIMENTS.md discusses the gap
+}
+
+// --- Claim 2: power ordering (paper: 45.3 < 50.8 < 89.7 W) ---
+
+TEST_F(PaperClaims, PowerOrderingElecMonoSiph) {
+  const double siph = avg(Architecture::kSiph2p5D).power_w;
+  const double mono = avg(Architecture::kMonolithicCrossLight).power_w;
+  const double elec = avg(Architecture::kElec2p5D).power_w;
+  EXPECT_LT(elec, mono);
+  EXPECT_LT(mono, siph);
+}
+
+TEST_F(PaperClaims, SiphPowerPremiumInBand) {
+  const double ratio = avg(Architecture::kSiph2p5D).power_w /
+                       avg(Architecture::kMonolithicCrossLight).power_w;
+  EXPECT_GE(ratio, 1.1);  // paper: 1.77x
+  EXPECT_LE(ratio, 2.2);
+}
+
+// --- Claim 3: energy-per-bit (paper: 2.8x and 15.8x better for SiPh) ---
+
+TEST_F(PaperClaims, SiphHasBestEpb) {
+  const double siph = avg(Architecture::kSiph2p5D).epb_j_per_bit;
+  EXPECT_LT(siph, avg(Architecture::kMonolithicCrossLight).epb_j_per_bit);
+  EXPECT_LT(siph, avg(Architecture::kElec2p5D).epb_j_per_bit);
+}
+
+TEST_F(PaperClaims, ElecHasWorstEpb) {
+  const double elec = avg(Architecture::kElec2p5D).epb_j_per_bit;
+  EXPECT_GT(elec, avg(Architecture::kMonolithicCrossLight).epb_j_per_bit);
+}
+
+TEST_F(PaperClaims, SiphVsMonoEpbRatioInBand) {
+  const double ratio =
+      avg(Architecture::kMonolithicCrossLight).epb_j_per_bit /
+      avg(Architecture::kSiph2p5D).epb_j_per_bit;
+  EXPECT_GE(ratio, 1.7);  // paper: 2.8x
+  EXPECT_LE(ratio, 4.5);
+}
+
+TEST_F(PaperClaims, SiphVsElecEpbRatioStrong) {
+  const double ratio = avg(Architecture::kElec2p5D).epb_j_per_bit /
+                       avg(Architecture::kSiph2p5D).epb_j_per_bit;
+  EXPECT_GE(ratio, 3.0);  // paper: 15.8x; see EXPERIMENTS.md
+}
+
+// --- Claim 4: the LeNet5 inversion (paper §VI) ---
+
+TEST_F(PaperClaims, LeNetEpbInversion) {
+  const auto& siph = run_of(Architecture::kSiph2p5D, "LeNet5");
+  const auto& mono = run_of(Architecture::kMonolithicCrossLight, "LeNet5");
+  EXPECT_GT(siph.epb_j_per_bit, mono.epb_j_per_bit)
+      << "SiPh must LOSE on energy efficiency for very small models";
+}
+
+TEST_F(PaperClaims, LeNetLatencyInversion) {
+  const auto& siph = run_of(Architecture::kSiph2p5D, "LeNet5");
+  const auto& mono = run_of(Architecture::kMonolithicCrossLight, "LeNet5");
+  EXPECT_GT(siph.latency_s, mono.latency_s);
+}
+
+TEST_F(PaperClaims, SiphWinsLatencyOnAllLargeModels) {
+  for (const char* model :
+       {"ResNet50", "DenseNet121", "VGG16", "MobileNetV2"}) {
+    EXPECT_LT(run_of(Architecture::kSiph2p5D, model).latency_s,
+              run_of(Architecture::kMonolithicCrossLight, model).latency_s)
+        << model;
+    EXPECT_LT(run_of(Architecture::kSiph2p5D, model).latency_s,
+              run_of(Architecture::kElec2p5D, model).latency_s)
+        << model;
+  }
+}
+
+TEST_F(PaperClaims, SiphWinsEpbOnAllLargeModels) {
+  for (const char* model :
+       {"ResNet50", "DenseNet121", "VGG16", "MobileNetV2"}) {
+    EXPECT_LT(run_of(Architecture::kSiph2p5D, model).epb_j_per_bit,
+              run_of(Architecture::kMonolithicCrossLight, model)
+                  .epb_j_per_bit)
+        << model;
+  }
+}
+
+// --- Claim 5: ReSiPI deactivates gateways for small models ---
+
+TEST_F(PaperClaims, ResipiLowersSiphPowerOnLeNet) {
+  const auto& lenet = run_of(Architecture::kSiph2p5D, "LeNet5");
+  const auto& vgg = run_of(Architecture::kSiph2p5D, "VGG16");
+  EXPECT_LT(lenet.average_power_w, vgg.average_power_w);
+}
+
+TEST_F(PaperClaims, ResipiUsesFewerGatewaysOnLeNet) {
+  const auto& lenet = run_of(Architecture::kSiph2p5D, "LeNet5");
+  const auto& vgg = run_of(Architecture::kSiph2p5D, "VGG16");
+  EXPECT_LT(lenet.mean_active_gateways, vgg.mean_active_gateways);
+  // LeNet stays near the 8-gateway floor (1 per chiplet).
+  EXPECT_LT(lenet.mean_active_gateways, 12.0);
+}
+
+TEST_F(PaperClaims, ResipiReconfiguresOnLargeModels) {
+  const auto& resnet = run_of(Architecture::kSiph2p5D, "ResNet50");
+  EXPECT_GT(resnet.resipi_reconfigurations, 0u);
+  EXPECT_GT(resnet.resipi_energy_j, 0.0);
+}
+
+// --- Claim 6: Table-3 reference platform ordering is checked in
+//     tests/baselines; here we pin the headline normalized figure ---
+
+TEST_F(PaperClaims, NormalizedFig7SeriesAreConsistent) {
+  std::vector<RunResult> all;
+  for (const auto& [arch, runs] : *results_) {
+    all.insert(all.end(), runs.begin(), runs.end());
+  }
+  const auto points = normalize_to_monolithic(all);
+  for (const auto& p : points) {
+    if (p.arch == Architecture::kMonolithicCrossLight) {
+      EXPECT_DOUBLE_EQ(p.power, 1.0);
+      EXPECT_DOUBLE_EQ(p.latency, 1.0);
+      EXPECT_DOUBLE_EQ(p.epb, 1.0);
+    } else {
+      EXPECT_GT(p.power, 0.0);
+      EXPECT_GT(p.latency, 0.0);
+      EXPECT_GT(p.epb, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optiplet::core

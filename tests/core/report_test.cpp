@@ -1,0 +1,78 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::core {
+namespace {
+
+RunResult make_run(const std::string& model, accel::Architecture arch,
+                   double power, double latency, double epb) {
+  RunResult r;
+  r.model_name = model;
+  r.arch = arch;
+  r.average_power_w = power;
+  r.latency_s = latency;
+  r.epb_j_per_bit = epb;
+  return r;
+}
+
+TEST(Normalize, MonolithicBaselineIsUnity) {
+  std::vector<RunResult> runs;
+  runs.push_back(make_run("m", accel::Architecture::kMonolithicCrossLight,
+                          50.0, 8e-3, 3.6e-9));
+  runs.push_back(
+      make_run("m", accel::Architecture::kSiph2p5D, 90.0, 1.2e-3, 1.3e-9));
+  const auto points = normalize_to_monolithic(runs);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].power, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].latency, 1.0);
+  EXPECT_NEAR(points[1].power, 1.8, 1e-9);
+  EXPECT_NEAR(points[1].latency, 0.15, 1e-9);
+  EXPECT_NEAR(points[1].epb, 1.3 / 3.6, 1e-9);
+}
+
+TEST(Normalize, PerModelBaselines) {
+  std::vector<RunResult> runs;
+  runs.push_back(make_run("a", accel::Architecture::kMonolithicCrossLight,
+                          10.0, 1e-3, 1e-9));
+  runs.push_back(make_run("b", accel::Architecture::kMonolithicCrossLight,
+                          20.0, 2e-3, 2e-9));
+  runs.push_back(
+      make_run("a", accel::Architecture::kElec2p5D, 5.0, 2e-3, 2e-9));
+  runs.push_back(
+      make_run("b", accel::Architecture::kElec2p5D, 5.0, 2e-3, 2e-9));
+  const auto points = normalize_to_monolithic(runs);
+  EXPECT_NEAR(points[2].power, 0.5, 1e-9);   // 5/10 against model a
+  EXPECT_NEAR(points[3].power, 0.25, 1e-9);  // 5/20 against model b
+  EXPECT_NEAR(points[2].latency, 2.0, 1e-9);
+  EXPECT_NEAR(points[3].latency, 1.0, 1e-9);
+}
+
+TEST(Normalize, MissingBaselineThrows) {
+  std::vector<RunResult> runs;
+  runs.push_back(
+      make_run("a", accel::Architecture::kSiph2p5D, 1.0, 1.0, 1.0));
+  EXPECT_THROW(normalize_to_monolithic(runs), std::invalid_argument);
+}
+
+TEST(Average, ArithmeticMeansAcrossModels) {
+  std::vector<RunResult> runs;
+  runs.push_back(
+      make_run("a", accel::Architecture::kSiph2p5D, 10.0, 1e-3, 1e-9));
+  runs.push_back(
+      make_run("b", accel::Architecture::kSiph2p5D, 30.0, 3e-3, 3e-9));
+  const auto avg = average_runs("SiPh", runs);
+  EXPECT_EQ(avg.platform, "SiPh");
+  EXPECT_DOUBLE_EQ(avg.power_w, 20.0);
+  EXPECT_DOUBLE_EQ(avg.latency_s, 2e-3);
+  EXPECT_DOUBLE_EQ(avg.epb_j_per_bit, 2e-9);
+}
+
+TEST(Average, RejectsEmpty) {
+  EXPECT_THROW(average_runs("x", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::core

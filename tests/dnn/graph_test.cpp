@@ -1,0 +1,162 @@
+#include "dnn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::dnn {
+namespace {
+
+TEST(ShapeInference, SamePaddingCeilDivision) {
+  EXPECT_EQ(conv_output_dim(224, 7, 2, Padding::kSame), 112u);
+  EXPECT_EQ(conv_output_dim(112, 3, 2, Padding::kSame), 56u);
+  EXPECT_EQ(conv_output_dim(7, 3, 1, Padding::kSame), 7u);
+}
+
+TEST(ShapeInference, ValidPadding) {
+  EXPECT_EQ(conv_output_dim(32, 5, 1, Padding::kValid), 28u);
+  EXPECT_EQ(conv_output_dim(28, 2, 2, Padding::kValid), 14u);
+  EXPECT_EQ(conv_output_dim(5, 5, 1, Padding::kValid), 1u);
+}
+
+TEST(ShapeInference, ValidPaddingRejectsOversizedKernel) {
+  EXPECT_THROW(conv_output_dim(3, 5, 1, Padding::kValid),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConvShapeAndParams) {
+  GraphBuilder g("t", {32, 32, 3});
+  const TensorId c = g.conv2d(g.input_id(), 6, 5, 1, Padding::kValid, true);
+  EXPECT_EQ(g.shape_of(c), (TensorShape{28, 28, 6}));
+  // (5*5*3 + 1) * 6 = 456 — the LeNet5 C1 layer of Table 2.
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers().back().param_count, 456u);
+  EXPECT_EQ(m.layers().back().mac_count,
+            28ull * 28 * 6 * 5 * 5 * 3);
+}
+
+TEST(GraphBuilder, ConvWithoutBias) {
+  GraphBuilder g("t", {8, 8, 4});
+  g.conv2d(g.input_id(), 16, 3, 1, Padding::kSame, false);
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers().back().param_count, 3ull * 3 * 4 * 16);
+}
+
+TEST(GraphBuilder, DepthwiseConvParamsAndMacs) {
+  GraphBuilder g("t", {16, 16, 32});
+  g.depthwise_conv2d(g.input_id(), 3, 1, Padding::kSame, false);
+  Model m = std::move(g).build();
+  const Layer& l = m.layers().back();
+  EXPECT_EQ(l.param_count, 3ull * 3 * 32);
+  EXPECT_EQ(l.mac_count, 16ull * 16 * 32 * 9);
+  EXPECT_EQ(l.output_shape.c, 32u);
+}
+
+TEST(GraphBuilder, DenseParamsAndShape) {
+  GraphBuilder g("t", {1, 1, 100});
+  g.dense(g.input_id(), 10, true);
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers().back().param_count, 1010u);
+  EXPECT_EQ(m.layers().back().output_shape, (TensorShape{1, 1, 10}));
+}
+
+TEST(GraphBuilder, BatchNormCountsFourPerChannel) {
+  GraphBuilder g("t", {8, 8, 64});
+  g.batch_norm(g.input_id());
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers().back().param_count, 256u);  // Keras "Total params"
+}
+
+TEST(GraphBuilder, PoolingShapes) {
+  GraphBuilder g("t", {28, 28, 6});
+  const TensorId p = g.max_pool(g.input_id(), 2, 2, Padding::kValid);
+  EXPECT_EQ(g.shape_of(p), (TensorShape{14, 14, 6}));
+  const TensorId q = g.avg_pool(p, 2, 2, Padding::kValid);
+  EXPECT_EQ(g.shape_of(q), (TensorShape{7, 7, 6}));
+  const TensorId r = g.global_avg_pool(q);
+  EXPECT_EQ(g.shape_of(r), (TensorShape{1, 1, 6}));
+}
+
+TEST(GraphBuilder, FlattenPreservesElements) {
+  GraphBuilder g("t", {5, 5, 16});
+  const TensorId f = g.flatten(g.input_id());
+  EXPECT_EQ(g.shape_of(f), (TensorShape{1, 1, 400}));
+}
+
+TEST(GraphBuilder, AddRequiresMatchingShapes) {
+  GraphBuilder g("t", {8, 8, 16});
+  const TensorId a = g.conv2d(g.input_id(), 16, 3, 1, Padding::kSame, true);
+  const TensorId b = g.conv2d(g.input_id(), 16, 3, 1, Padding::kSame, true);
+  const TensorId c = g.conv2d(g.input_id(), 8, 3, 1, Padding::kSame, true);
+  EXPECT_NO_THROW(g.add({a, b}));
+  EXPECT_THROW(g.add({a, c}), std::invalid_argument);
+  EXPECT_THROW(g.add({a}), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConcatSumsChannels) {
+  GraphBuilder g("t", {8, 8, 16});
+  const TensorId a = g.conv2d(g.input_id(), 32, 1, 1, Padding::kValid, false);
+  const TensorId c = g.concat({g.input_id(), a});
+  EXPECT_EQ(g.shape_of(c), (TensorShape{8, 8, 48}));
+}
+
+TEST(GraphBuilder, ConcatRequiresMatchingSpatialDims) {
+  GraphBuilder g("t", {8, 8, 16});
+  const TensorId small = g.max_pool(g.input_id(), 2, 2, Padding::kValid);
+  EXPECT_THROW(g.concat({g.input_id(), small}), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ActivationIsParameterFree) {
+  GraphBuilder g("t", {8, 8, 16});
+  g.relu(g.input_id());
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers().back().param_count, 0u);
+  EXPECT_EQ(m.layers().back().mac_count, 0u);
+}
+
+TEST(Model, CountsComputeLayersOnly) {
+  GraphBuilder g("t", {8, 8, 3});
+  auto x = g.conv2d(g.input_id(), 4, 3, 1, Padding::kSame, true);
+  x = g.batch_norm(x);
+  x = g.relu(x);
+  x = g.flatten(x);
+  x = g.dense(x, 10, true);
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.conv_layer_count(), 1u);
+  EXPECT_EQ(m.fc_layer_count(), 1u);
+  EXPECT_EQ(m.compute_layer_indices().size(), 2u);
+}
+
+TEST(Model, WeightBitsScaleWithPrecision) {
+  GraphBuilder g("t", {1, 1, 10});
+  g.dense(g.input_id(), 10, false);
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.weight_bits(8), 800u);
+  EXPECT_EQ(m.weight_bits(4), 400u);
+}
+
+TEST(Model, KernelSizeAccessor) {
+  GraphBuilder g("t", {8, 8, 3});
+  g.conv2d(g.input_id(), 4, 5, 1, Padding::kSame, true);
+  g.dense(g.flatten(1), 10, true);
+  Model m = std::move(g).build();
+  EXPECT_EQ(m.layers()[1].kernel_size(), 5u);
+  EXPECT_EQ(m.layers().back().kernel_size(), 0u);  // dense reports 0
+}
+
+TEST(GraphBuilder, RejectsInvalidIds) {
+  GraphBuilder g("t", {8, 8, 3});
+  EXPECT_THROW((void)g.shape_of(99), std::invalid_argument);
+  EXPECT_THROW(g.conv2d(99, 4, 3, 1, Padding::kSame, true),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsDegenerateLayers) {
+  GraphBuilder g("t", {8, 8, 3});
+  EXPECT_THROW(g.conv2d(g.input_id(), 0, 3, 1, Padding::kSame, true),
+               std::invalid_argument);
+  EXPECT_THROW(g.dense(g.input_id(), 0, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::dnn

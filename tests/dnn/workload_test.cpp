@@ -1,0 +1,117 @@
+#include "dnn/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dnn/zoo.hpp"
+
+namespace optiplet::dnn {
+namespace {
+
+TEST(Workload, OnlyComputeLayersIncluded) {
+  const Model m = zoo::make_lenet5();
+  const Workload w = compute_workload(m, 8);
+  EXPECT_EQ(w.layers.size(), 5u);  // 3 conv + 2 fc
+}
+
+TEST(Workload, TotalsMatchModel) {
+  const Model m = zoo::make_resnet50();
+  const Workload w = compute_workload(m, 8);
+  std::uint64_t macs = 0;
+  for (const auto& l : w.layers) {
+    macs += l.macs;
+  }
+  EXPECT_EQ(macs, w.total_macs);
+  // Compute-layer MACs dominate the model total (BN adds a small tail).
+  EXPECT_GT(w.total_macs, m.total_macs() * 9 / 10);
+}
+
+TEST(Workload, WeightBitsScaleWithPrecision) {
+  const Model m = zoo::make_lenet5();
+  const Workload w8 = compute_workload(m, 8);
+  const Workload w4 = compute_workload(m, 4);
+  EXPECT_EQ(w8.total_weight_bits, 2 * w4.total_weight_bits);
+}
+
+TEST(Workload, DotLengthsMatchLayerKind) {
+  const Model m = zoo::make_mobilenetv2();
+  const Workload w = compute_workload(m, 8);
+  for (const auto& l : w.layers) {
+    switch (l.kind) {
+      case LayerKind::kDepthwiseConv2d:
+        EXPECT_EQ(l.dot_length, 9u);
+        break;
+      case LayerKind::kConv2d:
+        EXPECT_EQ(l.dot_length % (l.kernel * l.kernel), 0u);
+        break;
+      case LayerKind::kDense:
+        EXPECT_GT(l.dot_length, 0u);
+        break;
+      default:
+        FAIL() << "non-compute layer in workload";
+    }
+    EXPECT_EQ(l.dot_count * l.dot_length, l.macs);
+  }
+}
+
+TEST(Workload, TrafficIsWeightsPlusActivations) {
+  const Model m = zoo::make_vgg16();
+  const Workload w = compute_workload(m, 8);
+  EXPECT_EQ(w.total_traffic_bits(),
+            w.total_weight_bits + w.total_activation_bits);
+  // VGG16 weights (8-bit) are ~1.1 Gb.
+  EXPECT_NEAR(static_cast<double>(w.total_weight_bits), 1.107e9, 0.01e9);
+}
+
+TEST(Workload, ActivationTrafficNontrivialForMobileNet) {
+  // MobileNetV2 is activation-dominated: its expansion layers blow up the
+  // intermediate tensors while weights stay small.
+  const Workload w = compute_workload(zoo::make_mobilenetv2(), 8);
+  EXPECT_GT(w.total_activation_bits, 2 * w.total_weight_bits);
+}
+
+TEST(Workload, VggIsWeightDominated) {
+  const Workload w = compute_workload(zoo::make_vgg16(), 8);
+  EXPECT_GT(w.total_weight_bits, 2 * w.total_activation_bits);
+}
+
+TEST(Workload, RejectsBadPrecision) {
+  const Model m = zoo::make_lenet5();
+  EXPECT_THROW(compute_workload(m, 0), std::invalid_argument);
+  EXPECT_THROW(compute_workload(m, 64), std::invalid_argument);
+}
+
+TEST(Workload, LayerIndicesPointIntoModel) {
+  const Model m = zoo::make_densenet121();
+  const Workload w = compute_workload(m, 8);
+  for (const auto& l : w.layers) {
+    ASSERT_LT(l.layer_index, m.layers().size());
+    EXPECT_TRUE(m.layers()[l.layer_index].is_compute());
+  }
+}
+
+/// Property sweep: for every zoo model, per-layer invariants hold.
+class WorkloadModelSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadModelSweep, PerLayerInvariants) {
+  const Model m = zoo::by_name(GetParam());
+  const Workload w = compute_workload(m, 8);
+  for (const auto& l : w.layers) {
+    ASSERT_GT(l.macs, 0u);
+    ASSERT_GT(l.weight_bits, 0u);
+    ASSERT_GT(l.input_bits, 0u);
+    ASSERT_GT(l.output_bits, 0u);
+    ASSERT_GT(l.dot_length, 0u);
+    // A dot product cannot be longer than the work it contributes.
+    ASSERT_LE(l.dot_length, l.macs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, WorkloadModelSweep,
+                         ::testing::Values("LeNet5", "ResNet50",
+                                           "DenseNet121", "VGG16",
+                                           "MobileNetV2"));
+
+}  // namespace
+}  // namespace optiplet::dnn

@@ -1,0 +1,175 @@
+#include "dnn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+namespace optiplet::dnn::zoo {
+namespace {
+
+/// THE Table-2 reproduction test: model name -> (CONV layers, FC layers,
+/// exact Keras "Total params"). These are the paper's numbers verbatim.
+using Table2Row = std::tuple<const char*, std::size_t, std::size_t,
+                             std::uint64_t>;
+
+class Table2 : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2, ConvFcAndParameterCountsExact) {
+  const auto& [name, convs, fcs, params] = GetParam();
+  const Model m = by_name(name);
+  EXPECT_EQ(m.conv_layer_count(), convs) << name;
+  EXPECT_EQ(m.fc_layer_count(), fcs) << name;
+  EXPECT_EQ(m.total_params(), params) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable2, Table2,
+    ::testing::Values(Table2Row{"LeNet5", 3, 2, 62'006},
+                      Table2Row{"ResNet50", 53, 1, 25'636'712},
+                      Table2Row{"DenseNet121", 120, 1, 8'062'504},
+                      Table2Row{"VGG16", 13, 3, 138'357'544},
+                      Table2Row{"MobileNetV2", 52, 1, 3'538'984}));
+
+TEST(Zoo, AllModelsReturnsPaperOrder) {
+  const auto models = all_models();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].name(), "LeNet5");
+  EXPECT_EQ(models[1].name(), "ResNet50");
+  EXPECT_EQ(models[2].name(), "DenseNet121");
+  EXPECT_EQ(models[3].name(), "VGG16");
+  EXPECT_EQ(models[4].name(), "MobileNetV2");
+}
+
+TEST(Zoo, ByNameRejectsUnknown) {
+  EXPECT_THROW(by_name("AlexNet"), std::invalid_argument);
+  EXPECT_THROW(by_name("resnet50"), std::invalid_argument);  // case matters
+}
+
+TEST(Zoo, ModelNamesMatchesAllModels) {
+  const auto names = model_names();
+  const auto models = all_models();
+  ASSERT_EQ(names.size(), models.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], models[i].name());
+  }
+}
+
+// --- MAC counts against the published per-model compute volumes ---
+
+TEST(ZooMacs, ResNet50AboutFourGigaMacs) {
+  const auto m = make_resnet50();
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 3.87e9, 0.15e9);
+}
+
+TEST(ZooMacs, Vgg16AboutFifteenGigaMacs) {
+  const auto m = make_vgg16();
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 15.47e9, 0.2e9);
+}
+
+TEST(ZooMacs, MobileNetV2AboutThreeHundredMegaMacs) {
+  const auto m = make_mobilenetv2();
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 3.07e8, 0.2e8);
+}
+
+TEST(ZooMacs, DenseNet121AboutThreeGigaMacs) {
+  const auto m = make_densenet121();
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 2.85e9, 0.15e9);
+}
+
+TEST(ZooMacs, LeNetUnderAMegaMac) {
+  const auto m = make_lenet5();
+  EXPECT_LT(m.total_macs(), 1'000'000u);
+  EXPECT_GT(m.total_macs(), 400'000u);
+}
+
+// --- Architecture structure spot checks ---
+
+TEST(ZooStructure, ResNet50EndsIn2048Features) {
+  const auto m = make_resnet50();
+  // The dense classifier's fan-in is the conv5 channel width.
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDense) {
+      EXPECT_EQ(l.input_shape.c, 2048u);
+      EXPECT_EQ(l.output_shape.c, 1000u);
+    }
+  }
+}
+
+TEST(ZooStructure, DenseNet121EndsIn1024Features) {
+  const auto m = make_densenet121();
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDense) {
+      EXPECT_EQ(l.input_shape.c, 1024u);
+    }
+  }
+}
+
+TEST(ZooStructure, Vgg16ClassifierDominatesParams) {
+  const auto m = make_vgg16();
+  std::uint64_t fc_params = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDense) {
+      fc_params += l.param_count;
+    }
+  }
+  // The three FC layers hold ~89% of VGG16's parameters.
+  EXPECT_GT(static_cast<double>(fc_params),
+            0.85 * static_cast<double>(m.total_params()));
+}
+
+TEST(ZooStructure, MobileNetV2HasResidualAdds) {
+  const auto m = make_mobilenetv2();
+  std::size_t adds = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kAdd) {
+      ++adds;
+    }
+  }
+  // Inverted residual blocks with stride 1 and matching widths: 10 of 17.
+  EXPECT_EQ(adds, 10u);
+}
+
+TEST(ZooStructure, DenseNetHasConcatPerDenseLayer) {
+  const auto m = make_densenet121();
+  std::size_t concats = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kConcat) {
+      ++concats;
+    }
+  }
+  EXPECT_EQ(concats, 6u + 12u + 24u + 16u);
+}
+
+TEST(ZooStructure, LeNetUsesCifarLikeInput) {
+  // Table 2's 62,006 pins the 3-channel 32x32 input (DESIGN.md).
+  const auto m = make_lenet5();
+  EXPECT_EQ(m.layers().front().output_shape, (TensorShape{32, 32, 3}));
+}
+
+TEST(ZooStructure, MobileNetDepthwiseLayersCounted) {
+  const auto m = make_mobilenetv2();
+  std::size_t dw = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDepthwiseConv2d) {
+      ++dw;
+    }
+  }
+  EXPECT_EQ(dw, 17u);  // one per inverted-residual block
+}
+
+TEST(ZooStructure, ResNetSpatialPyramid) {
+  // Input 224 -> conv1/2 -> 112 -> pool/2 -> 56 -> stages -> 7 before GAP.
+  const auto m = make_resnet50();
+  const Layer* last_conv = nullptr;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kConv2d) {
+      last_conv = &l;
+    }
+  }
+  ASSERT_NE(last_conv, nullptr);
+  EXPECT_EQ(last_conv->output_shape.h, 7u);
+}
+
+}  // namespace
+}  // namespace optiplet::dnn::zoo

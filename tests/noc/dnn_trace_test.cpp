@@ -1,0 +1,136 @@
+#include "noc/dnn_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dnn/zoo.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+dnn::LayerWork sample_layer() {
+  // A ResNet50 3x3 conv layer, pulled from the real workload.
+  const auto workload = dnn::compute_workload(dnn::zoo::make_resnet50(), 8);
+  for (const auto& l : workload.layers) {
+    if (l.kernel == 3) {
+      return l;
+    }
+  }
+  throw std::logic_error("no 3x3 layer");
+}
+
+TEST(DnnTrace, CoversWeightsInputsAndOutputs) {
+  const auto layer = sample_layer();
+  const MeshPlacement placement;
+  const auto trace = build_layer_trace(layer, 3, placement, 64);
+  ASSERT_FALSE(trace.empty());
+  std::uint64_t to_compute = 0;
+  std::uint64_t to_memory = 0;
+  for (const auto& m : trace) {
+    if (m.src == placement.memory_node) {
+      to_compute += m.bits;
+    } else {
+      EXPECT_EQ(m.dst, placement.memory_node);
+      to_memory += m.bits;
+    }
+  }
+  // Reads ~ weights/64 + 3 input copies/64; writes ~ outputs/64.
+  const double expected_reads =
+      static_cast<double>(layer.weight_bits) / 64.0 +
+      3.0 * static_cast<double>(layer.input_bits) / 64.0;
+  EXPECT_NEAR(static_cast<double>(to_compute), expected_reads,
+              0.02 * expected_reads + 8192);
+  EXPECT_GT(to_memory, 0u);
+}
+
+TEST(DnnTrace, ChunksRespectMaxMessageBits) {
+  const auto layer = sample_layer();
+  const auto trace = build_layer_trace(layer, 3, MeshPlacement{}, 64, 2048);
+  for (const auto& m : trace) {
+    EXPECT_LE(m.bits, 2048u);
+    EXPECT_GE(m.bits, 1u);
+  }
+}
+
+TEST(DnnTrace, InputReplicationScalesWithChiplets) {
+  const auto layer = sample_layer();
+  const auto trace1 = build_layer_trace(layer, 1, MeshPlacement{}, 64);
+  const auto trace3 = build_layer_trace(layer, 3, MeshPlacement{}, 64);
+  std::uint64_t bits1 = 0;
+  std::uint64_t bits3 = 0;
+  for (const auto& m : trace1) {
+    bits1 += m.bits;
+  }
+  for (const auto& m : trace3) {
+    bits3 += m.bits;
+  }
+  // Three chiplets replicate inputs 3x (weights/outputs shard): more bits.
+  EXPECT_GT(bits3, bits1);
+}
+
+TEST(DnnTrace, RejectsInvalidArguments) {
+  const auto layer = sample_layer();
+  EXPECT_THROW(build_layer_trace(layer, 0, MeshPlacement{}, 64),
+               std::invalid_argument);
+  EXPECT_THROW(build_layer_trace(layer, 9, MeshPlacement{}, 64),
+               std::invalid_argument);
+  EXPECT_THROW(build_layer_trace(layer, 3, MeshPlacement{}, 0),
+               std::invalid_argument);
+}
+
+TEST(DnnTraceReplay, DeliversEverything) {
+  const auto layer = sample_layer();
+  const auto trace = build_layer_trace(layer, 3, MeshPlacement{}, 256);
+  ElectricalMesh mesh(MeshConfig{}, power::ElectricalTech{});
+  const auto result = replay_trace(mesh, trace);
+  EXPECT_EQ(result.packets, trace.size());
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.mean_packet_latency_cycles, 0.0);
+}
+
+TEST(DnnTraceReplay, DeliveredBandwidthBelowPortLimits) {
+  // Reads stream out of the memory node's 128-bit port while writes stream
+  // into it on the opposite channel: aggregate delivery is bounded by the
+  // two directions combined (256 bits/cycle), with reads port-limited.
+  const auto layer = sample_layer();
+  const auto trace = build_layer_trace(layer, 3, MeshPlacement{}, 128);
+  ElectricalMesh mesh(MeshConfig{}, power::ElectricalTech{});
+  const auto result = replay_trace(mesh, trace);
+  EXPECT_LT(result.delivered_bits_per_cycle, 257.0);
+  // ...and the hotspot should still keep the port reasonably busy.
+  EXPECT_GT(result.delivered_bits_per_cycle, 60.0);
+}
+
+TEST(DnnTraceReplay, MatchesTransactionModelWithinFactor) {
+  // The grounding check at layer granularity: cycle-accurate replay time
+  // vs the analytic hotspot-efficiency model, same volume.
+  const auto layer = sample_layer();
+  constexpr std::uint64_t kSubsample = 64;
+  const auto trace = build_layer_trace(layer, 3, MeshPlacement{},
+                                       kSubsample);
+  ElectricalMesh mesh(MeshConfig{}, power::ElectricalTech{});
+  const auto result = replay_trace(mesh, trace);
+
+  std::uint64_t read_bits = 0;
+  for (const auto& m : trace) {
+    if (m.src == MeshPlacement{}.memory_node) {
+      read_bits += m.bits;
+    }
+  }
+  // Analytic: read volume / (port * hotspot_efficiency), in cycles — the
+  // reads bound the replay (writes overlap on the reverse channels, and
+  // the replay streams DMA-style, so use the streaming bound).
+  const double analytic_cycles =
+      static_cast<double>(read_bits) / (128.0 * 0.62);
+  EXPECT_GT(static_cast<double>(result.cycles), 0.5 * analytic_cycles);
+  EXPECT_LT(static_cast<double>(result.cycles), 2.0 * analytic_cycles);
+}
+
+TEST(DnnTraceReplay, RejectsEmptyTrace) {
+  ElectricalMesh mesh(MeshConfig{}, power::ElectricalTech{});
+  EXPECT_THROW(replay_trace(mesh, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::noc

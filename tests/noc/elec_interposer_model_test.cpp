@@ -1,0 +1,97 @@
+#include "noc/elec_interposer_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::noc {
+namespace {
+
+ElecInterposerModel make_model(
+    ElecInterposerModelConfig cfg = ElecInterposerModelConfig{}) {
+  return ElecInterposerModel(cfg, power::ElectricalTech{});
+}
+
+TEST(ElecModel, PortBandwidthIsWidthTimesClock) {
+  const auto m = make_model();
+  EXPECT_NEAR(m.port_bandwidth_bps(), 128.0 * 2e9, 1.0);  // Table 1
+}
+
+TEST(ElecModel, EffectiveBandwidthBelowRaw) {
+  const auto m = make_model();
+  EXPECT_LT(m.effective_read_bandwidth_bps(), m.port_bandwidth_bps());
+  EXPECT_GT(m.effective_read_bandwidth_bps(), 0.0);
+}
+
+TEST(ElecModel, RoundTripGrowsWithHops) {
+  const auto m = make_model();
+  EXPECT_GT(m.read_round_trip_s(4.0), m.read_round_trip_s(1.0));
+  // 2 hops: ~2*(2+12)+4 = 32 cycles at 2 GHz = 16 ns.
+  EXPECT_NEAR(m.read_round_trip_s(2.0), 16e-9, 1e-9);
+}
+
+TEST(ElecModel, ChipletReadBandwidthMshrLimited) {
+  const auto m = make_model();
+  // 1 outstanding 128-bit word per 16 ns RTT = 8 Gb/s (blocking reads).
+  EXPECT_NEAR(m.chiplet_read_bandwidth_bps(2.0), 8e9, 0.5e9);
+  // Far below the photonic gateway's 192 Gb/s: the paper's latency story.
+  EXPECT_LT(m.chiplet_read_bandwidth_bps(2.0), 192e9 / 5.0);
+}
+
+TEST(ElecModel, LayerBandwidthScalesWithReadersUntilPortCap) {
+  const auto m = make_model();
+  const double one = m.layer_read_bandwidth_bps(1, 2.0);
+  const double three = m.layer_read_bandwidth_bps(3, 2.0);
+  EXPECT_NEAR(three, 3.0 * one, 1e6);
+  // Many readers eventually hit the memory port limit.
+  const double many = m.layer_read_bandwidth_bps(100, 2.0);
+  EXPECT_NEAR(many, m.effective_read_bandwidth_bps(), 1.0);
+}
+
+TEST(ElecModel, TransferLatencyHasPipelineAndSerialization) {
+  const auto m = make_model();
+  const double small = m.transfer_latency_s(128, 2.0);
+  const double large = m.transfer_latency_s(128 * 1000, 2.0);
+  EXPECT_GT(large, small);
+  // Zero-size-ish transfer still pays the hop pipeline.
+  EXPECT_GT(small, 2.0 * 6.0 / 2e9 * 0.9);
+}
+
+TEST(ElecModel, TransferEnergyScalesWithBitsAndHops) {
+  const auto m = make_model();
+  EXPECT_NEAR(m.transfer_energy_j(2000, 2.0),
+              2.0 * m.transfer_energy_j(1000, 2.0), 1e-18);
+  EXPECT_GT(m.transfer_energy_j(1000, 4.0), m.transfer_energy_j(1000, 1.0));
+}
+
+TEST(ElecModel, StaticPowerCountsAllRouters) {
+  const auto m = make_model();
+  const power::ElectricalTech tech;
+  EXPECT_NEAR(m.static_power_w(), 9.0 * tech.router_static_w, 1e-12);
+}
+
+TEST(ElecModel, RejectsInvalidConfig) {
+  ElecInterposerModelConfig bad;
+  bad.hotspot_efficiency = 0.0;
+  EXPECT_THROW(make_model(bad), std::invalid_argument);
+  bad = ElecInterposerModelConfig{};
+  bad.hotspot_efficiency = 1.5;
+  EXPECT_THROW(make_model(bad), std::invalid_argument);
+  bad = ElecInterposerModelConfig{};
+  bad.average_hops = 0.5;
+  EXPECT_THROW(make_model(bad), std::invalid_argument);
+  const auto m = make_model();
+  EXPECT_THROW((void)m.layer_read_bandwidth_bps(0, 2.0), std::invalid_argument);
+}
+
+TEST(ElecModel, MoreOutstandingWordsMoreBandwidth) {
+  ElecInterposerModelConfig few;
+  few.outstanding_read_words = 1.0;
+  ElecInterposerModelConfig many;
+  many.outstanding_read_words = 8.0;
+  EXPECT_GT(make_model(many).chiplet_read_bandwidth_bps(2.0),
+            make_model(few).chiplet_read_bandwidth_bps(2.0));
+}
+
+}  // namespace
+}  // namespace optiplet::noc

@@ -1,0 +1,197 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "power/tech_params.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+MeshConfig small_mesh_config() {
+  MeshConfig c;
+  c.width = 3;
+  c.height = 3;
+  return c;
+}
+
+ElectricalMesh make_mesh(MeshConfig c = small_mesh_config()) {
+  return ElectricalMesh(c, power::ElectricalTech{});
+}
+
+TEST(Mesh, SinglePacketIsDelivered) {
+  auto mesh = make_mesh();
+  mesh.inject(0, 8, 128);
+  ASSERT_TRUE(mesh.run_until_drained(10'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, 1u);
+  EXPECT_EQ(mesh.stats().packets_injected, 1u);
+}
+
+TEST(Mesh, SelfTrafficStaysLocal) {
+  auto mesh = make_mesh();
+  mesh.inject(4, 4, 128);
+  ASSERT_TRUE(mesh.run_until_drained(1'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, 1u);
+  // Only the local router is traversed: no inter-router link use.
+  EXPECT_EQ(mesh.stats().link_traversals, 0u);
+}
+
+TEST(Mesh, ZeroLoadLatencyMatchesModel) {
+  auto mesh = make_mesh();
+  // 1 hop: node 0 -> node 1, single flit.
+  mesh.inject(0, 1, 128);
+  ASSERT_TRUE(mesh.run_until_drained(1'000));
+  const double measured = mesh.stats().packet_latency_cycles.mean();
+  EXPECT_NEAR(measured,
+              static_cast<double>(mesh.zero_load_latency_cycles(128, 1)),
+              1.0);
+}
+
+TEST(Mesh, ZeroLoadLatencyGrowsWithHops) {
+  // Corner to corner on 3x3: 4 hops.
+  auto mesh = make_mesh();
+  mesh.inject(0, 8, 128);
+  ASSERT_TRUE(mesh.run_until_drained(1'000));
+  const double corner = mesh.stats().packet_latency_cycles.mean();
+
+  auto mesh2 = make_mesh();
+  mesh2.inject(0, 1, 128);
+  ASSERT_TRUE(mesh2.run_until_drained(1'000));
+  const double adjacent = mesh2.stats().packet_latency_cycles.mean();
+  EXPECT_GT(corner, adjacent);
+  EXPECT_NEAR(corner - adjacent, 3.0 * 6.0, 1.0);  // 3 extra hops x 6 cyc
+}
+
+TEST(Mesh, SerializationAddsBodyFlits) {
+  auto mesh = make_mesh();
+  mesh.inject(0, 1, 128 * 10);  // 10 flits
+  ASSERT_TRUE(mesh.run_until_drained(1'000));
+  const double ten_flit = mesh.stats().packet_latency_cycles.mean();
+
+  auto mesh2 = make_mesh();
+  mesh2.inject(0, 1, 128);
+  ASSERT_TRUE(mesh2.run_until_drained(1'000));
+  EXPECT_NEAR(ten_flit - mesh2.stats().packet_latency_cycles.mean(), 9.0,
+              1.0);
+}
+
+TEST(Mesh, HopDistanceIsManhattan) {
+  auto mesh = make_mesh();
+  EXPECT_EQ(mesh.hop_distance(0, 8), 4u);
+  EXPECT_EQ(mesh.hop_distance(0, 0), 0u);
+  EXPECT_EQ(mesh.hop_distance(3, 5), 2u);
+  EXPECT_EQ(mesh.hop_distance(1, 7), 2u);
+}
+
+TEST(Mesh, AllPacketsDeliveredExactlyOnce) {
+  auto mesh = make_mesh();
+  // Every node sends to every other node.
+  for (NodeId s = 0; s < 9; ++s) {
+    for (NodeId d = 0; d < 9; ++d) {
+      if (s != d) {
+        mesh.inject(s, d, 256);
+      }
+    }
+  }
+  ASSERT_TRUE(mesh.run_until_drained(100'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, 72u);
+  EXPECT_EQ(mesh.stats().packets_injected, 72u);
+}
+
+TEST(Mesh, HeavyHotspotEventuallyDrains) {
+  // All 8 nodes read-pattern from node 4 (the memory chiplet hotspot).
+  auto mesh = make_mesh();
+  for (int rep = 0; rep < 50; ++rep) {
+    for (NodeId d = 0; d < 9; ++d) {
+      if (d != 4) {
+        mesh.inject(4, d, 512);
+      }
+    }
+  }
+  ASSERT_TRUE(mesh.run_until_drained(1'000'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, 400u);
+}
+
+TEST(Mesh, WiderLinksReduceSerialization) {
+  MeshConfig wide = small_mesh_config();
+  wide.link_width_bits = 512;
+  auto mesh_wide = ElectricalMesh(wide, power::ElectricalTech{});
+  auto mesh_narrow = make_mesh();
+  mesh_wide.inject(0, 2, 4096);
+  mesh_narrow.inject(0, 2, 4096);
+  ASSERT_TRUE(mesh_wide.run_until_drained(10'000));
+  ASSERT_TRUE(mesh_narrow.run_until_drained(10'000));
+  EXPECT_LT(mesh_wide.stats().packet_latency_cycles.mean(),
+            mesh_narrow.stats().packet_latency_cycles.mean());
+}
+
+TEST(Mesh, EnergyLedgerTracksActivity) {
+  auto mesh = make_mesh();
+  mesh.inject(0, 8, 1024);
+  ASSERT_TRUE(mesh.run_until_drained(10'000));
+  const auto ledger = mesh.energy();
+  EXPECT_GT(ledger.total_dynamic_energy_j(), 0.0);
+  EXPECT_GT(ledger.total_static_power_w(), 0.0);
+  // Router energy scales with flit-hops: 8 flits x 5 routers traversed.
+  EXPECT_GT(mesh.stats().flit_hops, 0u);
+}
+
+TEST(Mesh, DrainedReportsInFlightTraffic) {
+  auto mesh = make_mesh();
+  EXPECT_TRUE(mesh.drained());
+  mesh.inject(0, 8, 128);
+  EXPECT_FALSE(mesh.drained());
+}
+
+TEST(Mesh, RejectsInvalidInjection) {
+  auto mesh = make_mesh();
+  EXPECT_THROW(mesh.inject(99, 0, 128), std::invalid_argument);
+  EXPECT_THROW(mesh.inject(0, 99, 128), std::invalid_argument);
+  EXPECT_THROW(mesh.inject(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Mesh, RectangularMeshWorks) {
+  MeshConfig c;
+  c.width = 4;
+  c.height = 2;
+  ElectricalMesh mesh(c, power::ElectricalTech{});
+  mesh.inject(0, 7, 256);
+  ASSERT_TRUE(mesh.run_until_drained(10'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, 1u);
+}
+
+TEST(Mesh, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto mesh = make_mesh();
+    for (NodeId s = 0; s < 9; ++s) {
+      mesh.inject(s, static_cast<NodeId>((s + 4) % 9), 384);
+    }
+    mesh.run_until_drained(100'000);
+    return mesh.stats().packet_latency_cycles.mean();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+/// Property: XY routing distributes every (src,dst) pair without loss on
+/// varying mesh sizes.
+class MeshSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshSizeSweep, AllToAllDelivery) {
+  MeshConfig c;
+  c.width = static_cast<std::uint16_t>(GetParam());
+  c.height = static_cast<std::uint16_t>(GetParam());
+  ElectricalMesh mesh(c, power::ElectricalTech{});
+  const auto n = static_cast<NodeId>(mesh.node_count());
+  for (NodeId s = 0; s < n; ++s) {
+    mesh.inject(s, static_cast<NodeId>(n - 1 - s), 256);
+  }
+  ASSERT_TRUE(mesh.run_until_drained(200'000));
+  EXPECT_EQ(mesh.stats().packets_ejected, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizeSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace optiplet::noc

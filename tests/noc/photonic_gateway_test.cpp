@@ -1,0 +1,102 @@
+#include "noc/photonic_gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "photonics/wavelength.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+using optiplet::units::Gbps;
+
+PhotonicGateway make_gateway(std::size_t wavelengths = 16,
+                             std::size_t filter_rows = 1) {
+  GatewayConfig cfg;
+  cfg.wavelength_count = wavelengths;
+  static const photonics::WdmGrid grid = photonics::make_cband_grid(64);
+  return PhotonicGateway(cfg, power::PhotonicTech{}, grid, 0, 1, filter_rows);
+}
+
+TEST(Gateway, BandwidthIsWavelengthsTimesRate) {
+  const auto gw = make_gateway(16);
+  EXPECT_NEAR(gw.bandwidth_bps(), 16 * 12.0 * Gbps, 1.0);
+}
+
+TEST(Gateway, Table1GatewayIs192Gbps) {
+  // 64 wavelengths / 4 gateways = 16 lambda x 12 Gb/s.
+  const auto gw = make_gateway(16);
+  EXPECT_NEAR(gw.bandwidth_bps(), 192e9, 1.0);
+}
+
+TEST(Gateway, SerializationTimeLinear) {
+  const auto gw = make_gateway(16);
+  const double t1 = gw.serialization_time_s(192'000);
+  EXPECT_NEAR(t1, 1e-6, 1e-12);  // 192 kb at 192 Gb/s = 1 us
+  EXPECT_NEAR(gw.serialization_time_s(384'000), 2.0 * t1, 1e-12);
+}
+
+TEST(Gateway, StoreForwardLatencySubMicrosecond) {
+  const auto gw = make_gateway();
+  EXPECT_GT(gw.store_forward_latency_s(), 0.0);
+  EXPECT_LT(gw.store_forward_latency_s(), 1e-6);
+}
+
+TEST(Gateway, TransmitAndReceiveEnergyScaleWithBits) {
+  const auto gw = make_gateway();
+  EXPECT_DOUBLE_EQ(gw.transmit_energy_j(0), 0.0);
+  EXPECT_NEAR(gw.transmit_energy_j(2000), 2.0 * gw.transmit_energy_j(1000),
+              1e-18);
+  EXPECT_NEAR(gw.receive_energy_j(2000), 2.0 * gw.receive_energy_j(1000),
+              1e-18);
+}
+
+TEST(Gateway, EnergyPerBitInPicojouleClass) {
+  const auto gw = make_gateway();
+  const double epb =
+      (gw.transmit_energy_j(1'000'000) + gw.receive_energy_j(1'000'000)) /
+      1e6;
+  EXPECT_GT(epb, 0.1e-12);
+  EXPECT_LT(epb, 5e-12);
+}
+
+TEST(Gateway, StaticPowerIncludesRingsAndSerdes) {
+  const auto gw = make_gateway();
+  const power::PhotonicTech tech;
+  EXPECT_GT(gw.active_static_power_w(), tech.gateway_static_w);
+  EXPECT_NEAR(gw.active_static_power_w(),
+              tech.gateway_static_w + gw.mrg().static_tuning_power_w(),
+              1e-12);
+}
+
+TEST(Gateway, MemoryGatewayHasMoreRings) {
+  const auto compute = make_gateway(16, 1);
+  const auto memory = make_gateway(16, 32);
+  EXPECT_GT(memory.mrg().ring_count(), compute.mrg().ring_count());
+  EXPECT_GT(memory.active_static_power_w(),
+            compute.active_static_power_w());
+}
+
+TEST(Gateway, RejectsRatesBeyondPhotodetector) {
+  GatewayConfig cfg;
+  cfg.wavelength_count = 4;
+  cfg.data_rate_per_wavelength_bps = 100.0 * Gbps;  // > PD bandwidth
+  const photonics::WdmGrid grid = photonics::make_cband_grid(16);
+  EXPECT_THROW(
+      PhotonicGateway(cfg, power::PhotonicTech{}, grid, 0, 1, 1),
+      std::invalid_argument);
+}
+
+TEST(Gateway, RejectsZeroWavelengths) {
+  GatewayConfig cfg;
+  cfg.wavelength_count = 0;
+  const photonics::WdmGrid grid = photonics::make_cband_grid(16);
+  EXPECT_THROW(
+      PhotonicGateway(cfg, power::PhotonicTech{}, grid, 0, 1, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::noc

@@ -1,0 +1,164 @@
+#include "noc/photonic_interposer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+using optiplet::units::Gbps;
+
+PhotonicInterposer make_interposer() {
+  return PhotonicInterposer(PhotonicInterposerConfig{},
+                            power::PhotonicTech{});
+}
+
+TEST(Interposer, Table1Bandwidths) {
+  const auto ip = make_interposer();
+  EXPECT_EQ(ip.wavelengths_per_gateway(), 16u);
+  EXPECT_NEAR(ip.gateway_bandwidth_bps(), 192e9, 1.0);
+  EXPECT_NEAR(ip.swmr_bandwidth_bps(64), 768e9, 1.0);  // 64 x 12 Gb/s
+  EXPECT_NEAR(ip.swsr_bandwidth_bps(4), 768e9, 1.0);
+}
+
+TEST(Interposer, BandwidthScalesWithActivation) {
+  const auto ip = make_interposer();
+  EXPECT_NEAR(ip.swmr_bandwidth_bps(32), 0.5 * ip.swmr_bandwidth_bps(64),
+              1.0);
+  EXPECT_NEAR(ip.swsr_bandwidth_bps(2), 2.0 * ip.swsr_bandwidth_bps(1),
+              1.0);
+}
+
+TEST(Interposer, TotalComputeGateways) {
+  const auto ip = make_interposer();
+  EXPECT_EQ(ip.total_compute_gateways(), 32u);  // 8 chiplets x 4
+}
+
+TEST(Interposer, TimeOfFlightIsNanoseconds) {
+  const auto ip = make_interposer();
+  // 150 mm of SOI waveguide: ~2 ns of flight time.
+  EXPECT_GT(ip.time_of_flight_s(), 0.5e-9);
+  EXPECT_LT(ip.time_of_flight_s(), 5e-9);
+}
+
+TEST(Interposer, TransferLatencyDominatedBySerialization) {
+  const auto ip = make_interposer();
+  const std::uint64_t bits = 10'000'000;  // 10 Mb
+  const double t = ip.transfer_latency_s(bits, 768e9);
+  EXPECT_NEAR(t, bits / 768e9, 0.5e-6);
+  EXPECT_GT(t, bits / 768e9);  // store-forward + ToF add on top
+}
+
+TEST(Interposer, SwmrBudgetCoversExpectedLossTerms) {
+  const auto ip = make_interposer();
+  const auto& budget = ip.swmr_budget();
+  // The broadcast path must include the 8-way split and the MRG pass-bys.
+  EXPECT_GE(budget.elements().size(), 5u);
+  EXPECT_GT(budget.total_loss_db(), 10.0);
+  EXPECT_LT(budget.total_loss_db(), 40.0);
+}
+
+TEST(Interposer, SwsrCheaperThanSwmr) {
+  const auto ip = make_interposer();
+  // The point-to-point write path has no broadcast split: less loss, less
+  // laser power per wavelength.
+  EXPECT_LT(ip.swsr_budget().total_loss_db(),
+            ip.swmr_budget().total_loss_db());
+  EXPECT_LT(ip.swsr_laser_power_per_wavelength_w(),
+            ip.swmr_laser_power_per_wavelength_w());
+}
+
+TEST(Interposer, LaserPowerScalesWithActivation) {
+  const auto ip = make_interposer();
+  const double full = ip.laser_electrical_power_w(64, 32);
+  const double half = ip.laser_electrical_power_w(32, 16);
+  const double min = ip.laser_electrical_power_w(1, 8);
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, min);
+}
+
+TEST(Interposer, NetworkStaticPowerScalesWithGateways) {
+  const auto ip = make_interposer();
+  const double full = ip.network_static_power_w(64, 32);
+  const double min = ip.network_static_power_w(1, 8);
+  EXPECT_GT(full, min);
+  // The ReSiPI dynamic range must be large enough to matter (>2x).
+  EXPECT_GT(full, 2.0 * min);
+}
+
+TEST(Interposer, NetworkPowerInPlausibleRange) {
+  const auto ip = make_interposer();
+  const double full = ip.network_static_power_w(64, 32);
+  EXPECT_GT(full, 5.0);    // a real photonic NoC is watts, not milliwatts
+  EXPECT_LT(full, 60.0);   // and not hundreds of watts
+}
+
+TEST(Interposer, TransferEnergyScalesWithBits) {
+  const auto ip = make_interposer();
+  EXPECT_NEAR(ip.transfer_energy_j(2'000'000),
+              2.0 * ip.transfer_energy_j(1'000'000), 1e-15);
+}
+
+TEST(Interposer, MemoryGatewayHasFilterRowPerComputeGateway) {
+  const auto ip = make_interposer();
+  // Fig. 6: MRGm = 1 modulator row + one filter row per compute gateway.
+  EXPECT_EQ(ip.memory_gateway().mrg().ring_count(),
+            (1u + 32u) * 64u);
+}
+
+TEST(Interposer, RejectsUnevenWavelengthSplit) {
+  PhotonicInterposerConfig cfg;
+  cfg.total_wavelengths = 62;  // not divisible by 4 gateways
+  EXPECT_THROW(PhotonicInterposer(cfg, power::PhotonicTech{}),
+               std::invalid_argument);
+}
+
+TEST(Interposer, RejectsOverActivation) {
+  const auto ip = make_interposer();
+  EXPECT_THROW((void)ip.swmr_bandwidth_bps(65), std::invalid_argument);
+  EXPECT_THROW((void)ip.swsr_bandwidth_bps(5), std::invalid_argument);
+  EXPECT_THROW((void)ip.laser_electrical_power_w(64, 33), std::invalid_argument);
+}
+
+TEST(Interposer, Table1DesignIsFeasible) {
+  const auto ip = make_interposer();
+  EXPECT_TRUE(ip.link_budget_feasible());
+}
+
+TEST(Interposer, WideRowsExceedFsrAndBecomeInfeasible) {
+  // 128 wavelengths across 4 gateways = 32-channel rows spanning 25.6 nm,
+  // beyond the ~13 nm ring FSR: rings alias onto foreign channels.
+  PhotonicInterposerConfig cfg;
+  cfg.total_wavelengths = 128;
+  const PhotonicInterposer ip(cfg, power::PhotonicTech{});
+  EXPECT_FALSE(ip.link_budget_feasible());
+}
+
+TEST(Interposer, WideGridFeasibleWithMoreGateways) {
+  PhotonicInterposerConfig cfg;
+  cfg.total_wavelengths = 128;
+  cfg.gateways_per_chiplet = 8;  // 16-channel rows again
+  const PhotonicInterposer ip(cfg, power::PhotonicTech{});
+  EXPECT_TRUE(ip.link_budget_feasible());
+}
+
+/// Property: wavelength-count scaling (the §VII DSE axis) keeps per-gateway
+/// bandwidth proportional.
+class WavelengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WavelengthSweep, GatewayBandwidthProportional) {
+  PhotonicInterposerConfig cfg;
+  cfg.total_wavelengths = GetParam();
+  const PhotonicInterposer ip(cfg, power::PhotonicTech{});
+  EXPECT_NEAR(ip.gateway_bandwidth_bps(),
+              static_cast<double>(GetParam()) / 4.0 * 12.0 * Gbps, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, WavelengthSweep,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace optiplet::noc

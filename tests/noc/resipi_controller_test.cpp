@@ -1,0 +1,156 @@
+#include "noc/resipi_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+using optiplet::units::Gbps;
+
+ResipiController make_controller(ResipiConfig cfg = ResipiConfig{}) {
+  return ResipiController(cfg, /*chiplets=*/8, /*gateways=*/4,
+                          /*gateway_bw=*/192.0 * Gbps,
+                          photonics::PcmCouplerDesign{});
+}
+
+TEST(Resipi, StartsAtMinimumGateways) {
+  const auto c = make_controller();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(c.active_gateways(i), 1u);
+  }
+  EXPECT_EQ(c.total_active_gateways(), 8u);
+}
+
+TEST(Resipi, RequiredGatewaysCoversDemand) {
+  const auto c = make_controller();
+  EXPECT_EQ(c.required_gateways(0.0), 1u);
+  EXPECT_EQ(c.required_gateways(100.0 * Gbps), 1u);
+  // 300 Gb/s at 85% target utilization needs 2 gateways (2 x 192 x .85).
+  EXPECT_EQ(c.required_gateways(300.0 * Gbps), 2u);
+  EXPECT_EQ(c.required_gateways(500.0 * Gbps), 4u);
+  // Demand beyond capacity clamps at the per-chiplet maximum.
+  EXPECT_EQ(c.required_gateways(10'000.0 * Gbps), 4u);
+}
+
+TEST(Resipi, UpshiftsImmediately) {
+  auto c = make_controller();
+  std::vector<double> demand(8, 0.0);
+  demand[3] = 600.0 * Gbps;
+  const std::size_t changes = c.observe_epoch(demand);
+  EXPECT_EQ(c.active_gateways(3), 4u);
+  EXPECT_EQ(changes, 3u);  // 1 -> 4
+}
+
+TEST(Resipi, HysteresisDelaysDownshift) {
+  ResipiConfig cfg;
+  cfg.downshift_utilization = 0.6;
+  auto c = make_controller(cfg);
+  std::vector<double> demand(8, 0.0);
+  demand[0] = 600.0 * Gbps;
+  c.observe_epoch(demand);
+  ASSERT_EQ(c.active_gateways(0), 4u);
+  // Demand drops to a level needing 3 gateways at 85% but utilization at 3
+  // would be 0.7 > 0.6: hold at 4 (no thrash).
+  demand[0] = 404.0 * Gbps;
+  c.observe_epoch(demand);
+  EXPECT_EQ(c.active_gateways(0), 4u);
+  // Demand collapses: now the downshift goes through.
+  demand[0] = 50.0 * Gbps;
+  c.observe_epoch(demand);
+  EXPECT_EQ(c.active_gateways(0), 1u);
+}
+
+TEST(Resipi, ReconfigurationCostsPcmEnergy) {
+  auto c = make_controller();
+  EXPECT_DOUBLE_EQ(c.reconfiguration_energy_j(), 0.0);
+  std::vector<double> demand(8, 600.0 * Gbps);
+  c.observe_epoch(demand);
+  const double e = c.reconfiguration_energy_j();
+  EXPECT_GT(e, 0.0);
+  // 8 chiplets x 3 gateway activations x write energy.
+  EXPECT_NEAR(e, 24.0 * photonics::PcmCouplerDesign{}.write_energy_j,
+              1e-15);
+  EXPECT_EQ(c.reconfiguration_count(), 24u);
+}
+
+TEST(Resipi, SteadyDemandCausesNoChurn) {
+  auto c = make_controller();
+  std::vector<double> demand(8, 300.0 * Gbps);
+  c.observe_epoch(demand);
+  const auto count = c.reconfiguration_count();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c.observe_epoch(demand), 0u);
+  }
+  EXPECT_EQ(c.reconfiguration_count(), count);
+}
+
+TEST(Resipi, PerChipletIndependence) {
+  auto c = make_controller();
+  std::vector<double> demand(8, 0.0);
+  demand[1] = 700.0 * Gbps;
+  demand[6] = 250.0 * Gbps;
+  c.observe_epoch(demand);
+  EXPECT_EQ(c.active_gateways(1), 4u);
+  EXPECT_EQ(c.active_gateways(6), 2u);
+  EXPECT_EQ(c.active_gateways(0), 1u);
+}
+
+TEST(Resipi, MinActiveGatewaysRespected) {
+  ResipiConfig cfg;
+  cfg.min_active_gateways = 2;
+  auto c = ResipiController(cfg, 4, 4, 192.0 * Gbps,
+                            photonics::PcmCouplerDesign{});
+  std::vector<double> demand(4, 0.0);
+  c.observe_epoch(demand);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.active_gateways(i), 2u);
+  }
+}
+
+TEST(Resipi, RejectsInvalidConfiguration) {
+  EXPECT_THROW(ResipiController(ResipiConfig{}, 0, 4, 192e9,
+                                photonics::PcmCouplerDesign{}),
+               std::invalid_argument);
+  EXPECT_THROW(ResipiController(ResipiConfig{}, 8, 0, 192e9,
+                                photonics::PcmCouplerDesign{}),
+               std::invalid_argument);
+  EXPECT_THROW(ResipiController(ResipiConfig{}, 8, 4, 0.0,
+                                photonics::PcmCouplerDesign{}),
+               std::invalid_argument);
+  ResipiConfig bad;
+  bad.min_active_gateways = 5;  // > gateways per chiplet
+  EXPECT_THROW(ResipiController(bad, 8, 4, 192e9,
+                                photonics::PcmCouplerDesign{}),
+               std::invalid_argument);
+  bad = ResipiConfig{};
+  bad.target_utilization = 0.0;
+  EXPECT_THROW(ResipiController(bad, 8, 4, 192e9,
+                                photonics::PcmCouplerDesign{}),
+               std::invalid_argument);
+}
+
+TEST(Resipi, RejectsMismatchedDemandVector) {
+  auto c = make_controller();
+  std::vector<double> demand(3, 0.0);
+  EXPECT_THROW(c.observe_epoch(demand), std::invalid_argument);
+}
+
+/// Property: required gateways is monotone non-decreasing in demand.
+class ResipiDemandSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResipiDemandSweep, MonotoneInDemand) {
+  const auto c = make_controller();
+  const double d1 = GetParam() * 50.0 * Gbps;
+  const double d2 = d1 + 50.0 * Gbps;
+  EXPECT_LE(c.required_gateways(d1), c.required_gateways(d2));
+}
+
+INSTANTIATE_TEST_SUITE_P(DemandSteps, ResipiDemandSweep,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace optiplet::noc

@@ -1,0 +1,166 @@
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::noc {
+namespace {
+
+Flit make_flit(NodeId dst, bool head = true, bool tail = true) {
+  Flit f;
+  f.dst = dst;
+  f.head = head;
+  f.tail = tail;
+  return f;
+}
+
+TEST(Router, RoutesXBeforeY) {
+  // 3x3 mesh, router 4 (center). Destination 2 (x=2,y=0): go East first.
+  Router r(4, 3, 3, RouterConfig{});
+  r.receive_flit(kLocal, 0, make_flit(2));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].out_port, kEast);
+}
+
+TEST(Router, EjectsAtDestination) {
+  Router r(4, 3, 3, RouterConfig{});
+  r.receive_flit(kNorth, 0, make_flit(4));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_EQ(flits[0].out_port, kLocal);
+}
+
+TEST(Router, AllFourDirections) {
+  struct Case {
+    NodeId dst;
+    std::uint8_t expected;
+  };
+  // From center (node 4) of a 3x3 mesh.
+  for (const Case c : {Case{3, kWest}, Case{5, kEast}, Case{1, kNorth},
+                       Case{7, kSouth}}) {
+    Router r(4, 3, 3, RouterConfig{});
+    r.receive_flit(kLocal, 0, make_flit(c.dst));
+    std::vector<StagedFlit> flits;
+    std::vector<StagedCredit> credits;
+    r.tick(flits, credits);
+    ASSERT_EQ(flits.size(), 1u);
+    EXPECT_EQ(flits[0].out_port, c.expected) << "dst " << c.dst;
+  }
+}
+
+TEST(Router, OneFlitPerOutputPerCycle) {
+  Router r(4, 3, 3, RouterConfig{.vc_count = 2, .vc_depth = 4});
+  // Two flits from different inputs, both heading East.
+  r.receive_flit(kWest, 0, make_flit(5));
+  r.receive_flit(kLocal, 0, make_flit(5));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  EXPECT_EQ(flits.size(), 1u);  // arbitration grants one
+  flits.clear();
+  credits.clear();
+  r.tick(flits, credits);
+  EXPECT_EQ(flits.size(), 1u);  // the loser wins next cycle
+}
+
+TEST(Router, BlocksWithoutCredits) {
+  RouterConfig cfg;
+  cfg.vc_count = 1;
+  cfg.vc_depth = 2;
+  Router r(4, 3, 3, cfg);
+  // Exhaust East credits: send 2 flits of a 3-flit packet without returning
+  // credits.
+  r.receive_flit(kLocal, 0, make_flit(5, true, false));
+  r.receive_flit(kLocal, 0, make_flit(5, false, false));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  r.tick(flits, credits);
+  EXPECT_EQ(flits.size(), 2u);  // both credits consumed
+  r.receive_flit(kLocal, 0, make_flit(5, false, true));
+  flits.clear();
+  r.tick(flits, credits);
+  EXPECT_TRUE(flits.empty());  // stalled: no downstream space
+  // Returning a credit unblocks the tail flit.
+  r.receive_credit(kEast, 0);
+  r.tick(flits, credits);
+  EXPECT_EQ(flits.size(), 1u);
+  EXPECT_TRUE(flits[0].flit.tail);
+}
+
+TEST(Router, WormholeKeepsPacketOnOneOutputVc) {
+  Router r(4, 3, 3, RouterConfig{.vc_count = 2, .vc_depth = 8});
+  r.receive_flit(kLocal, 0, make_flit(5, true, false));
+  r.receive_flit(kLocal, 0, make_flit(5, false, false));
+  r.receive_flit(kLocal, 0, make_flit(5, false, true));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  r.tick(flits, credits);
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 3u);
+  EXPECT_EQ(flits[0].out_vc, flits[1].out_vc);
+  EXPECT_EQ(flits[1].out_vc, flits[2].out_vc);
+}
+
+TEST(Router, TailFreesOutputVc) {
+  RouterConfig cfg;
+  cfg.vc_count = 1;
+  cfg.vc_depth = 4;
+  Router r(4, 3, 3, cfg);
+  // Packet A occupies the single East VC; packet B on another input must
+  // wait until A's tail passes.
+  r.receive_flit(kWest, 0, make_flit(5, true, false));
+  r.receive_flit(kLocal, 0, make_flit(5, true, true));  // packet B
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 1u);  // A head
+  EXPECT_FALSE(flits[0].flit.tail);
+  flits.clear();
+  r.tick(flits, credits);
+  EXPECT_TRUE(flits.empty());  // B cannot allocate the busy VC; A starved
+  r.receive_flit(kWest, 0, make_flit(5, false, true));  // A tail arrives
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 1u);
+  EXPECT_TRUE(flits[0].flit.tail);  // A completes
+  flits.clear();
+  r.tick(flits, credits);
+  ASSERT_EQ(flits.size(), 1u);  // now B proceeds
+}
+
+TEST(Router, CreditsEmittedPerForwardedFlit) {
+  Router r(4, 3, 3, RouterConfig{});
+  r.receive_flit(kNorth, 1, make_flit(7));
+  std::vector<StagedFlit> flits;
+  std::vector<StagedCredit> credits;
+  r.tick(flits, credits);
+  ASSERT_EQ(credits.size(), 1u);
+  EXPECT_EQ(credits[0].in_port, kNorth);
+  EXPECT_EQ(credits[0].vc, 1u);
+}
+
+TEST(Router, BufferedFlitCount) {
+  Router r(4, 3, 3, RouterConfig{});
+  EXPECT_EQ(r.buffered_flits(), 0u);
+  r.receive_flit(kNorth, 0, make_flit(7));
+  r.receive_flit(kSouth, 0, make_flit(1));
+  EXPECT_EQ(r.buffered_flits(), 2u);
+}
+
+TEST(Router, RejectsInvalidConfig) {
+  EXPECT_THROW(Router(0, 3, 3, RouterConfig{.vc_count = 0, .vc_depth = 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Router(0, 3, 3, RouterConfig{.vc_count = 1, .vc_depth = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Router(0, 0, 3, RouterConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::noc

@@ -1,0 +1,101 @@
+#include "photonics/laser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::mW;
+
+TEST(Laser, StartsDark) {
+  const LaserSource laser{LaserDesign{}, 8};
+  EXPECT_EQ(laser.active_channel_count(), 0u);
+  EXPECT_DOUBLE_EQ(laser.total_optical_power_w(), 0.0);
+  EXPECT_DOUBLE_EQ(laser.electrical_power_w(), 0.0);
+}
+
+TEST(Laser, ChannelPowersAccumulate) {
+  LaserSource laser{LaserDesign{}, 4};
+  laser.set_channel_power_w(0, 1.0 * mW);
+  laser.set_channel_power_w(2, 2.0 * mW);
+  EXPECT_EQ(laser.active_channel_count(), 2u);
+  EXPECT_NEAR(laser.total_optical_power_w(), 3.0 * mW, 1e-12);
+}
+
+TEST(Laser, ElectricalPowerIncludesCouplingEfficiencyAndTec) {
+  LaserDesign design;
+  design.wall_plug_efficiency = 0.1;
+  design.tec_overhead_factor = 2.0;
+  design.coupling_loss_db = 3.0103;  // x2 source power for delivered power
+  design.bias_overhead_w = 0.0;
+  LaserSource laser{design, 1};
+  laser.set_channel_power_w(0, 1.0 * mW);
+  // delivered 1 mW -> source 2 mW -> electrical 20 mW -> TEC x2 = 40 mW.
+  EXPECT_NEAR(laser.electrical_power_w(), 40.0 * mW, 0.1 * mW);
+}
+
+TEST(Laser, BiasOverheadOnlyWhenLit) {
+  LaserDesign design;
+  design.bias_overhead_w = 50.0 * mW;
+  LaserSource laser{design, 2};
+  EXPECT_DOUBLE_EQ(laser.electrical_power_w(), 0.0);
+  laser.set_channel_power_w(0, 1.0 * mW);
+  EXPECT_GT(laser.electrical_power_w(), 50.0 * mW);
+  laser.set_channel_power_w(0, 0.0);
+  EXPECT_DOUBLE_EQ(laser.electrical_power_w(), 0.0);
+}
+
+TEST(Laser, DisablingChannelsSavesPower) {
+  // The PROWAVES mechanism: fewer lit wavelengths, less wall-plug power.
+  LaserSource laser{LaserDesign{}, 8};
+  for (std::size_t i = 0; i < 8; ++i) {
+    laser.set_channel_power_w(i, 1.0 * mW);
+  }
+  const double full = laser.electrical_power_w();
+  for (std::size_t i = 4; i < 8; ++i) {
+    laser.set_channel_power_w(i, 0.0);
+  }
+  EXPECT_LT(laser.electrical_power_w(), full);
+  EXPECT_EQ(laser.active_channel_count(), 4u);
+}
+
+TEST(Laser, OnChipVcselSkipsCouplingLoss) {
+  LaserDesign off;
+  off.kind = LaserKind::kOffChipCombBank;
+  off.bias_overhead_w = 0.0;
+  LaserDesign on = off;
+  on.kind = LaserKind::kOnChipVcselArray;
+  LaserSource l_off{off, 1};
+  LaserSource l_on{on, 1};
+  l_off.set_channel_power_w(0, 1.0 * mW);
+  l_on.set_channel_power_w(0, 1.0 * mW);
+  EXPECT_GT(l_off.electrical_power_w(), l_on.electrical_power_w());
+}
+
+TEST(Laser, EnforcesChannelPowerCapability) {
+  LaserDesign design;
+  design.max_power_per_channel_w = 10.0 * mW;
+  LaserSource laser{design, 1};
+  EXPECT_THROW(laser.set_channel_power_w(0, 20.0 * mW),
+               std::invalid_argument);
+}
+
+TEST(Laser, RejectsInvalidUse) {
+  LaserSource laser{LaserDesign{}, 2};
+  EXPECT_THROW(laser.set_channel_power_w(2, 1.0 * mW),
+               std::invalid_argument);
+  EXPECT_THROW(laser.set_channel_power_w(0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)laser.channel_power_w(5), std::invalid_argument);
+  EXPECT_THROW(LaserSource(LaserDesign{}, 0), std::invalid_argument);
+  LaserDesign bad;
+  bad.wall_plug_efficiency = 0.0;
+  EXPECT_THROW(LaserSource(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

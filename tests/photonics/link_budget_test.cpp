@@ -1,0 +1,111 @@
+#include "photonics/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::nm;
+
+TEST(LinkBudget, LossesAccumulate) {
+  LinkBudget budget;
+  budget.add_loss("coupler", 1.5);
+  budget.add_loss("waveguide", 2.5);
+  budget.add_loss("drop", 0.7);
+  EXPECT_NEAR(budget.total_loss_db(), 4.7, 1e-12);
+  EXPECT_EQ(budget.elements().size(), 3u);
+}
+
+TEST(LinkBudget, EmptyBudgetIsLossless) {
+  LinkBudget budget;
+  EXPECT_DOUBLE_EQ(budget.total_loss_db(), 0.0);
+}
+
+TEST(LinkBudget, RejectsNegativeLoss) {
+  LinkBudget budget;
+  EXPECT_THROW(budget.add_loss("gain?", -1.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, RequiredLaserPowerFormula) {
+  LinkBudget budget;
+  budget.add_loss("path", 20.0);
+  // sensitivity -26 dBm + 20 dB loss + 1 dB XT + 3 dB margin = -2 dBm.
+  EXPECT_NEAR(budget.required_laser_power_dbm(-26.0, 1.0, 3.0), -2.0, 1e-12);
+  EXPECT_NEAR(budget.required_laser_power_w(-26.0, 1.0, 3.0),
+              util::dbm_to_watts(-2.0), 1e-12);
+}
+
+TEST(LinkBudget, MoreLossNeedsMorePower) {
+  LinkBudget small;
+  small.add_loss("path", 10.0);
+  LinkBudget big;
+  big.add_loss("path", 20.0);
+  EXPECT_GT(big.required_laser_power_w(-26.0, 0.0, 3.0),
+            small.required_laser_power_w(-26.0, 0.0, 3.0));
+}
+
+TEST(LinkBudget, RejectsNegativePenaltyOrMargin) {
+  LinkBudget budget;
+  EXPECT_THROW((void)budget.required_laser_power_dbm(-26.0, -1.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)budget.required_laser_power_dbm(-26.0, 0.0, -3.0),
+               std::invalid_argument);
+}
+
+TEST(LinkBudget, CrosstalkZeroForSingleChannel) {
+  const MicroringResonator filter(MicroringDesign{}, MicroringTuning{},
+                                  1550.0 * nm);
+  const WdmGrid grid = make_cband_grid(16);
+  EXPECT_DOUBLE_EQ(
+      LinkBudget::crosstalk_penalty_db(filter, grid, 8, 1), 0.0);
+}
+
+TEST(LinkBudget, CrosstalkGrowsWithActiveChannels) {
+  const WdmGrid grid = make_cband_grid(16);
+  const MicroringResonator filter(MicroringDesign{}, MicroringTuning{},
+                                  grid.wavelength_m(8));
+  const double xt4 = LinkBudget::crosstalk_penalty_db(filter, grid, 8, 4);
+  const double xt16 = LinkBudget::crosstalk_penalty_db(filter, grid, 8, 16);
+  EXPECT_GE(xt16, xt4);
+  EXPECT_GT(xt16, 0.0);
+}
+
+TEST(LinkBudget, CrosstalkSmallForHighQFilters) {
+  // The default ring's Q ~ 9000 keeps DWDM crosstalk well under 1 dB.
+  const WdmGrid grid = make_cband_grid(16);
+  const MicroringResonator filter(MicroringDesign{}, MicroringTuning{},
+                                  grid.wavelength_m(8));
+  const double xt = LinkBudget::crosstalk_penalty_db(filter, grid, 8, 16);
+  EXPECT_LT(xt, 1.0);
+}
+
+TEST(LinkBudget, CrosstalkWorseForLowQFilters) {
+  const WdmGrid grid = make_cband_grid(16);
+  MicroringDesign low_q;
+  low_q.self_coupling_in = 0.90;   // stronger coupling -> broader line
+  low_q.self_coupling_drop = 0.90;
+  const MicroringResonator broad(low_q, MicroringTuning{},
+                                 grid.wavelength_m(8));
+  const MicroringResonator sharp(MicroringDesign{}, MicroringTuning{},
+                                 grid.wavelength_m(8));
+  EXPECT_GT(LinkBudget::crosstalk_penalty_db(broad, grid, 8, 16),
+            LinkBudget::crosstalk_penalty_db(sharp, grid, 8, 16));
+}
+
+TEST(LinkBudget, CrosstalkValidatesArguments) {
+  const WdmGrid grid = make_cband_grid(8);
+  const MicroringResonator filter(MicroringDesign{}, MicroringTuning{},
+                                  grid.wavelength_m(0));
+  EXPECT_THROW((void)LinkBudget::crosstalk_penalty_db(filter, grid, 9, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)LinkBudget::crosstalk_penalty_db(filter, grid, 0, 9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

@@ -1,0 +1,203 @@
+#include "photonics/microring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::nm;
+using optiplet::units::um;
+
+MicroringResonator make_default_ring(double resonance = 1550.0 * nm) {
+  return MicroringResonator(MicroringDesign{}, MicroringTuning{}, resonance);
+}
+
+TEST(Microring, DropPeaksAtResonance) {
+  const auto ring = make_default_ring();
+  const double at_res = ring.drop_transmission(1550.0 * nm);
+  const double off_res = ring.drop_transmission(1550.0 * nm + 2.0 * nm);
+  EXPECT_GT(at_res, 0.5);          // strong drop at resonance
+  EXPECT_LT(off_res, 0.05 * at_res);  // strong rejection off resonance
+}
+
+TEST(Microring, ThroughDipsAtResonance) {
+  const auto ring = make_default_ring();
+  const double at_res = ring.through_transmission(1550.0 * nm);
+  const double off_res = ring.through_transmission(1550.0 * nm + 2.0 * nm);
+  EXPECT_LT(at_res, 0.2);
+  EXPECT_GT(off_res, 0.9);
+}
+
+TEST(Microring, EnergyConservation) {
+  // Drop + through never exceeds unity anywhere in the band (passive).
+  const auto ring = make_default_ring();
+  for (int i = -200; i <= 200; ++i) {
+    const double wl = 1550.0 * nm + i * 0.01 * nm;
+    const double total =
+        ring.drop_transmission(wl) + ring.through_transmission(wl);
+    ASSERT_LE(total, 1.0 + 1e-9) << "at offset " << i;
+    ASSERT_GE(total, 0.0);
+  }
+}
+
+TEST(Microring, TransferIsPeriodicWithFsr) {
+  const auto ring = make_default_ring();
+  const double fsr = ring.fsr_m();
+  const double d0 = ring.drop_transmission(1550.0 * nm);
+  // Second-order dispersion shifts the neighbouring longitudinal mode by a
+  // fraction of the linewidth; scan a +/-0.3 nm window around lambda+FSR
+  // for the peak instead of sampling one point.
+  double best = 0.0;
+  for (int i = -300; i <= 300; ++i) {
+    best = std::max(best, ring.drop_transmission(1550.0 * nm + fsr +
+                                                 i * 0.001 * nm));
+  }
+  EXPECT_GT(best, 0.8 * d0);
+}
+
+TEST(Microring, FsrMatchesTextbookFormula) {
+  const auto ring = make_default_ring();
+  const double lambda = 1550.0 * nm;
+  const double circumference =
+      2.0 * 3.14159265358979 * MicroringDesign{}.radius_m;
+  const double expected = lambda * lambda / (4.2 * circumference);
+  EXPECT_NEAR(ring.fsr_m(), expected, 1e-4 * expected);
+  // The default geometry must hold a 16-channel 0.8 nm sub-band per FSR.
+  EXPECT_GT(ring.fsr_m(), 16 * 0.8 * nm);
+}
+
+TEST(Microring, SmallerRingLargerFsr) {
+  MicroringDesign small;
+  small.radius_m = 4.0 * um;
+  MicroringDesign large;
+  large.radius_m = 10.0 * um;
+  const MicroringResonator r_small(small, MicroringTuning{}, 1550.0 * nm);
+  const MicroringResonator r_large(large, MicroringTuning{}, 1550.0 * nm);
+  EXPECT_GT(r_small.fsr_m(), r_large.fsr_m());
+}
+
+TEST(Microring, QualityFactorInDesignRange) {
+  const auto ring = make_default_ring();
+  // Add-drop filters for DWDM sit in the 5k-20k loaded-Q range.
+  EXPECT_GT(ring.quality_factor(), 3'000.0);
+  EXPECT_LT(ring.quality_factor(), 30'000.0);
+}
+
+TEST(Microring, WeakerCouplingRaisesQ) {
+  MicroringDesign weak;
+  weak.self_coupling_in = 0.995;
+  weak.self_coupling_drop = 0.995;
+  const MicroringResonator r_weak(weak, MicroringTuning{}, 1550.0 * nm);
+  const auto r_ref = make_default_ring();
+  EXPECT_GT(r_weak.quality_factor(), r_ref.quality_factor());
+}
+
+TEST(Microring, FwhmConsistentWithQ) {
+  const auto ring = make_default_ring();
+  EXPECT_NEAR(ring.quality_factor(), 1550.0 * nm / ring.fwhm_m(), 1e-6);
+}
+
+TEST(Microring, RetuneMovesResonance) {
+  auto ring = make_default_ring();
+  ring.retune(1551.0 * nm);
+  EXPECT_DOUBLE_EQ(ring.resonance_m(), 1551.0 * nm);
+  EXPECT_GT(ring.drop_transmission(1551.0 * nm), 0.5);
+  EXPECT_LT(ring.drop_transmission(1550.0 * nm), 0.1);
+}
+
+TEST(Microring, TuningWithinEoRangeNeedsNoHeater) {
+  auto ring = make_default_ring();
+  const double base = ring.thermal_tuning_power_w();
+  ring.retune(1550.0 * nm + 0.1 * nm);  // within the 0.2 nm EO range
+  EXPECT_NEAR(ring.thermal_tuning_power_w(), base, 1e-12);
+}
+
+TEST(Microring, LargeShiftsDrawHeaterPower) {
+  auto ring = make_default_ring();
+  const double base = ring.thermal_tuning_power_w();
+  ring.retune(1550.0 * nm + 1.0 * nm);
+  const double shifted = ring.thermal_tuning_power_w();
+  EXPECT_GT(shifted, base);
+  // 0.8 nm of thermal shift at 0.25 nm/mW -> 3.2 mW.
+  EXPECT_NEAR(shifted - base, 3.2e-3, 0.2e-3);
+}
+
+TEST(Microring, ModulationEnergyScalesWithBits) {
+  const auto ring = make_default_ring();
+  EXPECT_DOUBLE_EQ(ring.modulation_energy_j(0), 0.0);
+  EXPECT_NEAR(ring.modulation_energy_j(1000),
+              1000.0 * ring.tuning().eo_energy_per_bit_j, 1e-20);
+}
+
+TEST(Microring, RejectsInvalidDesigns) {
+  MicroringTuning tuning;
+  MicroringDesign bad;
+  bad.self_coupling_in = 1.5;
+  EXPECT_THROW(MicroringResonator(bad, tuning, 1550.0 * nm),
+               std::invalid_argument);
+  bad = MicroringDesign{};
+  bad.radius_m = -1.0;
+  EXPECT_THROW(MicroringResonator(bad, tuning, 1550.0 * nm),
+               std::invalid_argument);
+  bad = MicroringDesign{};
+  bad.group_index = 1.0;  // below effective index
+  EXPECT_THROW(MicroringResonator(bad, tuning, 1550.0 * nm),
+               std::invalid_argument);
+  EXPECT_THROW(MicroringResonator(MicroringDesign{}, tuning, -5.0),
+               std::invalid_argument);
+}
+
+TEST(Microring, RejectsNonPositiveQueries) {
+  const auto ring = make_default_ring();
+  EXPECT_THROW((void)ring.drop_transmission(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ring.through_transmission(-1.0), std::invalid_argument);
+}
+
+TEST(Microdisk, MoreCompactButLossier) {
+  const auto disk = make_microdisk(1550.0 * nm, MicroringTuning{});
+  const auto ring = make_default_ring();
+  // "More compact": ~3x smaller circumference, hence larger FSR.
+  EXPECT_LT(disk.circumference_m(), ring.circumference_m());
+  EXPECT_GT(disk.fsr_m(), ring.fsr_m());
+  // "Higher operating loss": the design carries ~3x the intrinsic
+  // waveguide loss (the drop-port *peak* can still be high because disks
+  // are more strongly coupled; what degrades is Q and round-trip loss).
+  EXPECT_GT(disk.design().ring_loss_db_per_m, ring.design().ring_loss_db_per_m);
+  EXPECT_LT(disk.quality_factor(), ring.quality_factor());
+}
+
+/// Property sweep: the drop peak tracks the tuned resonance across the
+/// C-band channel grid.
+class MicroringChannelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicroringChannelSweep, DropPeakTracksChannel) {
+  const double wl = 1530.0 * nm + GetParam() * 0.8 * nm;
+  const MicroringResonator ring(MicroringDesign{}, MicroringTuning{}, wl);
+  EXPECT_GT(ring.drop_transmission(wl), 0.5) << "channel " << GetParam();
+  EXPECT_LT(ring.through_transmission(wl), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(CBandChannels, MicroringChannelSweep,
+                         ::testing::Range(0, 64, 4));
+
+/// Property sweep: off-resonance rejection improves monotonically with
+/// spectral distance (Lorentzian tails).
+class MicroringDetuneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicroringDetuneSweep, RejectionGrowsWithDetune) {
+  const auto ring = make_default_ring();
+  const double d1 = GetParam() * 0.2 * nm;
+  const double d2 = d1 + 0.2 * nm;
+  EXPECT_GE(ring.drop_transmission(1550.0 * nm + d1) + 1e-12,
+            ring.drop_transmission(1550.0 * nm + d2));
+}
+
+INSTANTIATE_TEST_SUITE_P(DetuneSteps, MicroringDetuneSweep,
+                         ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace optiplet::photonics

@@ -1,0 +1,110 @@
+#include "photonics/mzi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Mzi, ZeroPhaseRoutesToCross) {
+  MachZehnderInterferometer mzi{MziDesign{}};
+  mzi.set_phase(0.0);
+  EXPECT_GT(mzi.cross_transmission(), 0.8);
+  EXPECT_LT(mzi.bar_transmission(), 0.01);
+}
+
+TEST(Mzi, PiPhaseRoutesToBar) {
+  MachZehnderInterferometer mzi{MziDesign{}};
+  mzi.set_phase(kPi);
+  EXPECT_GT(mzi.bar_transmission(), 0.8);
+  EXPECT_LT(mzi.cross_transmission(), 0.01);
+}
+
+TEST(Mzi, HalfPiSplitsEvenly) {
+  MachZehnderInterferometer mzi{MziDesign{}};
+  mzi.set_phase(kPi / 2.0);
+  EXPECT_NEAR(mzi.bar_transmission(), mzi.cross_transmission(), 1e-9);
+}
+
+TEST(Mzi, OutputsNeverExceedUnity) {
+  MachZehnderInterferometer mzi{MziDesign{}};
+  for (int i = 0; i <= 32; ++i) {
+    mzi.set_phase(i * kPi / 16.0);
+    const double total = mzi.bar_transmission() + mzi.cross_transmission();
+    ASSERT_LE(total, 1.0);
+    ASSERT_GE(mzi.bar_transmission(), 0.0);
+    ASSERT_GE(mzi.cross_transmission(), 0.0);
+  }
+}
+
+TEST(Mzi, ExtinctionRatioBoundsOffState) {
+  MziDesign design;
+  design.extinction_ratio_db = 20.0;
+  MachZehnderInterferometer mzi{design};
+  mzi.set_phase(0.0);
+  // Off-port leakage floors at -20 dB of the pass transmission scale.
+  EXPECT_GE(mzi.bar_transmission(),
+            util::from_db(-20.0 - design.insertion_loss_db) * 0.99);
+}
+
+TEST(Mzi, ThermoOpticHoldPowerProportionalToPhase) {
+  MziDesign design;
+  design.shifter = PhaseShifterKind::kThermoOptic;
+  design.to_p_pi_w = 20e-3;
+  MachZehnderInterferometer mzi{design};
+  mzi.set_phase(kPi);
+  EXPECT_NEAR(mzi.static_power_w(), 20e-3, 1e-9);
+  mzi.set_phase(kPi / 2.0);
+  EXPECT_NEAR(mzi.static_power_w(), 10e-3, 1e-9);
+  mzi.set_phase(0.0);
+  EXPECT_DOUBLE_EQ(mzi.static_power_w(), 0.0);
+}
+
+TEST(Mzi, ElectroOpticHasNoStaticPowerButSwitchEnergy) {
+  MziDesign design;
+  design.shifter = PhaseShifterKind::kElectroOptic;
+  MachZehnderInterferometer mzi{design};
+  mzi.set_phase(0.0);
+  EXPECT_DOUBLE_EQ(mzi.static_power_w(), 0.0);
+  EXPECT_NEAR(mzi.switching_energy_j(kPi), design.eo_switch_energy_j, 1e-20);
+  EXPECT_DOUBLE_EQ(mzi.switching_energy_j(0.0), 0.0);
+}
+
+TEST(Mzi, ElectroOpticPaysExcessLoss) {
+  MziDesign eo;
+  eo.shifter = PhaseShifterKind::kElectroOptic;
+  MziDesign to;
+  to.shifter = PhaseShifterKind::kThermoOptic;
+  MachZehnderInterferometer m_eo{eo};
+  MachZehnderInterferometer m_to{to};
+  m_eo.set_phase(0.0);
+  m_to.set_phase(0.0);
+  EXPECT_LT(m_eo.cross_transmission(), m_to.cross_transmission());
+}
+
+TEST(Mzi, PhaseWrapsModulo2Pi) {
+  MachZehnderInterferometer mzi{MziDesign{}};
+  mzi.set_phase(2.0 * kPi + 0.3);
+  EXPECT_NEAR(mzi.phase(), 0.3, 1e-12);
+}
+
+TEST(Mzi, RejectsInvalidDesign) {
+  MziDesign bad;
+  bad.insertion_loss_db = -1.0;
+  EXPECT_THROW(MachZehnderInterferometer{bad}, std::invalid_argument);
+  bad = MziDesign{};
+  bad.to_p_pi_w = 0.0;
+  EXPECT_THROW(MachZehnderInterferometer{bad}, std::invalid_argument);
+  bad = MziDesign{};
+  bad.extinction_ratio_db = 0.0;
+  EXPECT_THROW(MachZehnderInterferometer{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

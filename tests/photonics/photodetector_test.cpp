@@ -1,0 +1,78 @@
+#include "photonics/photodetector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::Gbps;
+
+TEST(Photodetector, SensitivityAtReferenceRate) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_NEAR(pd.sensitivity_dbm(10.0 * Gbps), -26.0, 1e-9);
+}
+
+TEST(Photodetector, SensitivityDegradesWithRate) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  // One octave up costs the configured slope.
+  EXPECT_NEAR(pd.sensitivity_dbm(20.0 * Gbps), -26.0 + 1.7, 1e-9);
+  // Lower rates are easier to detect.
+  EXPECT_LT(pd.sensitivity_dbm(5.0 * Gbps), -26.0);
+}
+
+TEST(Photodetector, SensitivityWattsMatchesDbm) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_NEAR(pd.sensitivity_w(10.0 * Gbps),
+              util::dbm_to_watts(-26.0), 1e-12);
+}
+
+TEST(Photodetector, PhotocurrentLinearInPower) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_NEAR(pd.photocurrent_a(1e-3), 1.1e-3, 1e-9);
+  EXPECT_NEAR(pd.photocurrent_a(2e-3), 2.2e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(pd.photocurrent_a(0.0), 0.0);
+}
+
+TEST(Photodetector, AccumulationSumsWavelengths) {
+  // The analog MAC reduction: photocurrents of different wavelengths add.
+  const Photodetector pd{PhotodetectorDesign{}};
+  const std::vector<double> powers{1e-3, 2e-3, 3e-3};
+  EXPECT_NEAR(pd.accumulate_a(powers), 1.1 * 6e-3, 1e-9);
+}
+
+TEST(Photodetector, AccumulationOfNothingIsZero) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_DOUBLE_EQ(pd.accumulate_a({}), 0.0);
+}
+
+TEST(Photodetector, ReceiveEnergyScalesWithBits) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_DOUBLE_EQ(pd.receive_energy_j(0), 0.0);
+  EXPECT_NEAR(pd.receive_energy_j(1'000'000),
+              1e6 * PhotodetectorDesign{}.receiver_energy_per_bit_j, 1e-15);
+}
+
+TEST(Photodetector, BandwidthGatesDataRate) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_TRUE(pd.supports_rate(12.0 * Gbps));    // Table-1 rate
+  EXPECT_TRUE(pd.supports_rate(40.0 * Gbps));
+  EXPECT_FALSE(pd.supports_rate(100.0 * Gbps));  // beyond 30 GHz O/E BW
+}
+
+TEST(Photodetector, RejectsInvalidInputs) {
+  const Photodetector pd{PhotodetectorDesign{}};
+  EXPECT_THROW((void)pd.sensitivity_dbm(0.0), std::invalid_argument);
+  EXPECT_THROW((void)pd.photocurrent_a(-1.0), std::invalid_argument);
+  PhotodetectorDesign bad;
+  bad.responsivity_a_per_w = 0.0;
+  EXPECT_THROW(Photodetector{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

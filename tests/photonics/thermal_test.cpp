@@ -1,0 +1,105 @@
+#include "photonics/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::pm;
+
+TEST(Thermal, NoDriftAtCalibrationPoint) {
+  const ThermalModel model;
+  EXPECT_DOUBLE_EQ(thermal_drift_m(model, 300.0), 0.0);
+}
+
+TEST(Thermal, DriftLinearInTemperature) {
+  const ThermalModel model;
+  EXPECT_NEAR(thermal_drift_m(model, 310.0), 690.0 * pm, 1.0 * pm);
+  EXPECT_NEAR(thermal_drift_m(model, 290.0), -690.0 * pm, 1.0 * pm);
+}
+
+TEST(Thermal, HoldPowerFreeWithinEoRange) {
+  const ThermalModel model;
+  const MicroringTuning tuning;  // 0.2 nm EO range
+  // +-2 K drift (~140 pm) stays inside the EO range: driver power only.
+  EXPECT_NEAR(hold_power_w(model, tuning, 302.0), tuning.driver_static_w,
+              1e-9);
+}
+
+TEST(Thermal, HoldPowerGrowsBeyondEoRange) {
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  const double at_hot = hold_power_w(model, tuning, 320.0);  // ~1.38 nm
+  EXPECT_GT(at_hot, tuning.driver_static_w);
+  // 1.38 - 0.2 nm thermal at 0.25 nm/mW ~ 4.7 mW.
+  EXPECT_NEAR(at_hot - tuning.driver_static_w, 4.72e-3, 0.3e-3);
+}
+
+TEST(Thermal, HoldPowerSymmetricInDriftSign) {
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  EXPECT_NEAR(hold_power_w(model, tuning, 320.0),
+              hold_power_w(model, tuning, 280.0), 1e-9);
+}
+
+TEST(Thermal, BankPowerExceedsIsolatedSum) {
+  // Thermal crosstalk makes an N-ring bank cost more than N isolated
+  // rings — the CrossLight tuning-overhead argument.
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  const double isolated = 16.0 * hold_power_w(model, tuning, 320.0);
+  const double bank = bank_hold_power_w(model, tuning, 320.0, 16);
+  EXPECT_GT(bank, isolated);
+  EXPECT_LT(bank, 2.5 * isolated);  // bounded feedback
+}
+
+TEST(Thermal, BankPowerScalesWithRingCount) {
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  EXPECT_NEAR(bank_hold_power_w(model, tuning, 310.0, 32),
+              2.0 * bank_hold_power_w(model, tuning, 310.0, 16), 1e-9);
+}
+
+TEST(Thermal, NoCrosstalkMeansNoOverhead) {
+  ThermalModel model;
+  model.neighbour_coupling = 0.0;
+  const MicroringTuning tuning;
+  EXPECT_NEAR(bank_hold_power_w(model, tuning, 320.0, 8),
+              8.0 * hold_power_w(model, tuning, 320.0), 1e-12);
+}
+
+TEST(Thermal, ChannelEscapeTemperature) {
+  const ThermalModel model;
+  // 0.8 nm / 69 pm/K ~ 11.6 K above calibration.
+  EXPECT_NEAR(channel_escape_temperature_k(model), 311.6, 0.5);
+}
+
+TEST(Thermal, RejectsNonPhysicalInputs) {
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  EXPECT_THROW((void)thermal_drift_m(model, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)bank_hold_power_w(model, tuning, 310.0, 0),
+               std::invalid_argument);
+}
+
+/// Property: hold power is monotone non-decreasing in |T - T_cal|.
+class ThermalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThermalSweep, HoldPowerMonotoneInDrift) {
+  const ThermalModel model;
+  const MicroringTuning tuning;
+  const double t1 = 300.0 + GetParam() * 2.0;
+  const double t2 = t1 + 2.0;
+  EXPECT_LE(hold_power_w(model, tuning, t1),
+            hold_power_w(model, tuning, t2) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(TemperatureSteps, ThermalSweep,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace optiplet::photonics

@@ -1,0 +1,68 @@
+#include "photonics/waveguide.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::c0;
+using optiplet::units::cm;
+using optiplet::units::mm;
+
+TEST(Waveguide, StraightPropagationLoss) {
+  const Waveguide wg(10.0 * cm, 0, 0, WaveguideTech{});
+  // 30 dB/m * 0.1 m = 3 dB.
+  EXPECT_NEAR(wg.insertion_loss_db(), 3.0, 1e-12);
+}
+
+TEST(Waveguide, BendAndCrossingLossesAdd) {
+  WaveguideTech tech;
+  const Waveguide wg(0.0, 10, 4, tech);
+  EXPECT_NEAR(wg.insertion_loss_db(),
+              10 * tech.bend_loss_db + 4 * tech.crossing_loss_db, 1e-12);
+}
+
+TEST(Waveguide, ZeroLengthZeroLoss) {
+  const Waveguide wg(0.0, 0, 0, WaveguideTech{});
+  EXPECT_DOUBLE_EQ(wg.insertion_loss_db(), 0.0);
+  EXPECT_DOUBLE_EQ(wg.time_of_flight_s(), 0.0);
+}
+
+TEST(Waveguide, TimeOfFlightUsesGroupIndex) {
+  WaveguideTech tech;
+  tech.group_index = 4.2;
+  const Waveguide wg(10.0 * mm, 0, 0, tech);
+  EXPECT_NEAR(wg.time_of_flight_s(), 0.01 * 4.2 / c0, 1e-18);
+  // Sanity: ~140 ps over 1 cm of SOI.
+  EXPECT_NEAR(wg.time_of_flight_s(), 140e-12, 10e-12);
+}
+
+TEST(Waveguide, LossScalesLinearlyWithLength) {
+  const Waveguide a(1.0 * cm, 0, 0, WaveguideTech{});
+  const Waveguide b(2.0 * cm, 0, 0, WaveguideTech{});
+  EXPECT_NEAR(b.insertion_loss_db(), 2.0 * a.insertion_loss_db(), 1e-12);
+}
+
+TEST(Waveguide, RejectsInvalidInputs) {
+  EXPECT_THROW(Waveguide(-1.0, 0, 0, WaveguideTech{}), std::invalid_argument);
+  WaveguideTech bad;
+  bad.propagation_loss_db_per_m = -1.0;
+  EXPECT_THROW(Waveguide(1.0, 0, 0, bad), std::invalid_argument);
+  bad = WaveguideTech{};
+  bad.group_index = 0.5;
+  EXPECT_THROW(Waveguide(1.0, 0, 0, bad), std::invalid_argument);
+}
+
+TEST(Waveguide, AccessorsReflectConstruction) {
+  const Waveguide wg(5.0 * mm, 3, 2, WaveguideTech{});
+  EXPECT_DOUBLE_EQ(wg.length_m(), 5.0 * mm);
+  EXPECT_EQ(wg.bend_count(), 3u);
+  EXPECT_EQ(wg.crossing_count(), 2u);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

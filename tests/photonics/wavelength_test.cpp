@@ -1,0 +1,88 @@
+#include "photonics/wavelength.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace optiplet::photonics {
+namespace {
+
+using optiplet::units::nm;
+
+TEST(WdmGrid, ChannelCountAndSpacing) {
+  const WdmGrid grid = make_cband_grid(64);
+  EXPECT_EQ(grid.channel_count(), 64u);
+  EXPECT_NEAR(grid.channel_spacing_m(), 0.8 * nm, 1e-15);
+}
+
+TEST(WdmGrid, ChannelsAscendUniformly) {
+  const WdmGrid grid = make_cband_grid(16);
+  for (std::size_t i = 1; i < grid.channel_count(); ++i) {
+    EXPECT_NEAR(grid.wavelength_m(i) - grid.wavelength_m(i - 1), 0.8 * nm,
+                1e-15);
+  }
+}
+
+TEST(WdmGrid, GridIsCentered) {
+  const WdmGrid grid = make_cband_grid(65);  // odd count: exact center
+  EXPECT_NEAR(grid.wavelength_m(32), 1550.0 * nm, 1e-15);
+}
+
+TEST(WdmGrid, BandSpanMatchesChannelCount) {
+  const WdmGrid grid = make_cband_grid(64);
+  EXPECT_NEAR(grid.band_span_m(), 63 * 0.8 * nm, 1e-15);
+}
+
+TEST(WdmGrid, SingleChannelGrid) {
+  const WdmGrid grid = make_cband_grid(1);
+  EXPECT_EQ(grid.channel_count(), 1u);
+  EXPECT_NEAR(grid.wavelength_m(0), 1550.0 * nm, 1e-15);
+  EXPECT_DOUBLE_EQ(grid.band_span_m(), 0.0);
+}
+
+TEST(WdmGrid, NearestChannelExactHit) {
+  const WdmGrid grid = make_cband_grid(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(grid.nearest_channel(grid.wavelength_m(i)), i);
+  }
+}
+
+TEST(WdmGrid, NearestChannelMidpointsAndEdges) {
+  const WdmGrid grid = make_cband_grid(8);
+  // Just below channel 0 and above channel 7 clamp to the edges.
+  EXPECT_EQ(grid.nearest_channel(grid.wavelength_m(0) - 5.0 * nm), 0u);
+  EXPECT_EQ(grid.nearest_channel(grid.wavelength_m(7) + 5.0 * nm), 7u);
+  // 0.3 nm above channel 2 is still nearest to channel 2.
+  EXPECT_EQ(grid.nearest_channel(grid.wavelength_m(2) + 0.3 * nm), 2u);
+  // 0.5 nm above channel 2 is nearer to channel 3.
+  EXPECT_EQ(grid.nearest_channel(grid.wavelength_m(2) + 0.5 * nm), 3u);
+}
+
+TEST(WdmGrid, RejectsInvalidConstruction) {
+  EXPECT_THROW(WdmGrid(0, 1550.0 * nm, 0.8 * nm), std::invalid_argument);
+  EXPECT_THROW(WdmGrid(8, -1.0, 0.8 * nm), std::invalid_argument);
+  EXPECT_THROW(WdmGrid(8, 1550.0 * nm, 0.0), std::invalid_argument);
+  EXPECT_THROW(WdmGrid(8, 1550.0 * nm, -0.8 * nm), std::invalid_argument);
+}
+
+TEST(WdmGrid, RejectsOutOfRangeChannel) {
+  const WdmGrid grid = make_cband_grid(4);
+  EXPECT_THROW((void)grid.wavelength_m(4), std::invalid_argument);
+}
+
+/// Table-1 context: 64 channels at 0.8 nm fit comfortably inside one FSR of
+/// the default ring design (no aliasing between channels).
+TEST(WdmGrid, GridFitsInsideRingFsr) {
+  const WdmGrid grid = make_cband_grid(64);
+  // Default ring FSR ~ 13 nm < span 50.4 nm: a 7 um ring cannot serve the
+  // full 64-channel grid alone — which is exactly why gateways are assigned
+  // 16-channel sub-bands (64/4 gateways, DESIGN.md §9).
+  const WdmGrid subband = make_cband_grid(16);
+  EXPECT_LT(subband.band_span_m(), 13.0 * nm);
+  EXPECT_GT(grid.band_span_m(), 13.0 * nm);
+}
+
+}  // namespace
+}  // namespace optiplet::photonics

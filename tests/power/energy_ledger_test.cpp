@@ -1,0 +1,86 @@
+#include "power/energy_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::power {
+namespace {
+
+TEST(EnergyLedger, StartsEmpty) {
+  EnergyLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.total_dynamic_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_static_power_w(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_energy_j(1.0), 0.0);
+}
+
+TEST(EnergyLedger, DynamicEnergyAccumulatesPerCategory) {
+  EnergyLedger ledger;
+  ledger.charge_energy("laser", 1.0);
+  ledger.charge_energy("laser", 2.0);
+  ledger.charge_energy("rings", 0.5);
+  EXPECT_DOUBLE_EQ(ledger.total_dynamic_energy_j(), 3.5);
+  EXPECT_DOUBLE_EQ(ledger.entries().at("laser").dynamic_energy_j, 3.0);
+}
+
+TEST(EnergyLedger, StaticPowerIntegratesOverDuration) {
+  EnergyLedger ledger;
+  ledger.add_static_power("router", 2.0);
+  EXPECT_DOUBLE_EQ(ledger.total_energy_j(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.average_power_w(3.0), 2.0);
+}
+
+TEST(EnergyLedger, ChargePowerForDutyCycledComponents) {
+  EnergyLedger ledger;
+  ledger.charge_power_for("gateway", 10.0, 0.25);
+  EXPECT_DOUBLE_EQ(ledger.total_dynamic_energy_j(), 2.5);
+}
+
+TEST(EnergyLedger, MixedStaticAndDynamic) {
+  EnergyLedger ledger;
+  ledger.add_static_power("noc", 1.0);
+  ledger.charge_energy("noc", 4.0);
+  EXPECT_DOUBLE_EQ(ledger.total_energy_j(2.0), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.average_power_w(2.0), 3.0);
+}
+
+TEST(EnergyLedger, EnergyPerBit) {
+  EnergyLedger ledger;
+  ledger.charge_energy("x", 1e-6);
+  EXPECT_DOUBLE_EQ(ledger.energy_per_bit_j(1.0, 1000), 1e-9);
+}
+
+TEST(EnergyLedger, MergeCombinesCategories) {
+  EnergyLedger a;
+  a.charge_energy("laser", 1.0);
+  a.add_static_power("laser", 2.0);
+  EnergyLedger b;
+  b.charge_energy("laser", 3.0);
+  b.charge_energy("rings", 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.entries().at("laser").dynamic_energy_j, 4.0);
+  EXPECT_DOUBLE_EQ(a.entries().at("laser").static_power_w, 2.0);
+  EXPECT_DOUBLE_EQ(a.entries().at("rings").dynamic_energy_j, 1.0);
+}
+
+TEST(EnergyLedger, ResetClearsEverything) {
+  EnergyLedger ledger;
+  ledger.charge_energy("x", 1.0);
+  ledger.reset();
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+TEST(EnergyLedger, RejectsInvalidCharges) {
+  EnergyLedger ledger;
+  EXPECT_THROW(ledger.charge_energy("x", -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.add_static_power("x", -1.0), std::invalid_argument);
+  EXPECT_THROW(ledger.charge_power_for("x", -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(ledger.charge_power_for("x", 1.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ledger.average_power_w(0.0), std::invalid_argument);
+  EXPECT_THROW((void)ledger.energy_per_bit_j(1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::power

@@ -1,0 +1,57 @@
+#include "power/tech_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optiplet::power {
+namespace {
+
+TEST(TechParams, DefaultsAreSane) {
+  const TechParams t = default_tech();
+  // Electrical
+  EXPECT_GT(t.electrical.router_energy_per_bit_j, 0.0);
+  EXPECT_LT(t.electrical.router_energy_per_bit_j, 10e-12);
+  EXPECT_GE(t.electrical.router_pipeline_cycles, 1u);
+  EXPECT_GE(t.electrical.link_cycles_per_hop, 1u);
+  // Photonic
+  EXPECT_GT(t.photonic.laser.wall_plug_efficiency, 0.0);
+  EXPECT_LE(t.photonic.laser.wall_plug_efficiency, 1.0);
+  EXPECT_GE(t.photonic.laser.tec_overhead_factor, 1.0);
+  EXPECT_GT(t.photonic.system_margin_db, 0.0);
+  // Compute
+  EXPECT_GT(t.compute.mac_symbol_rate_hz, 0.0);
+  EXPECT_GT(t.compute.mac_utilization, 0.0);
+  EXPECT_LE(t.compute.mac_utilization, 1.0);
+  EXPECT_EQ(t.compute.parameter_bits, 8u);
+}
+
+TEST(TechParams, InterposerWaveguideIsLowLoss) {
+  const TechParams t = default_tech();
+  // Interposer-grade waveguides must be at least 2x better than the
+  // chiplet-internal strip waveguides, or the interposer story collapses.
+  EXPECT_LT(t.photonic.waveguide.propagation_loss_db_per_m * 2.0,
+            t.compute.chip_waveguide_loss_db_per_m);
+}
+
+TEST(TechParams, PhotodetectorSupportsTable1Rate) {
+  const TechParams t = default_tech();
+  photonics::Photodetector pd(t.photonic.photodetector);
+  EXPECT_TRUE(pd.supports_rate(12e9));
+}
+
+TEST(TechParams, HbmFasterThanInterposer) {
+  const TechParams t = default_tech();
+  // HBM internal bandwidth must exceed the 64x12G interposer broadcast, or
+  // the memory chiplet would be the bottleneck instead of the network.
+  EXPECT_GT(t.compute.hbm_bandwidth_bps, 64.0 * 12e9);
+}
+
+TEST(TechParams, EnergiesArePicojouleClass) {
+  const TechParams t = default_tech();
+  EXPECT_LT(t.compute.dac_energy_per_conversion_j, 10e-12);
+  EXPECT_LT(t.compute.adc_energy_per_conversion_j, 10e-12);
+  EXPECT_LT(t.photonic.gateway_digital_energy_per_bit_j, 10e-12);
+  EXPECT_LT(t.electrical.phy_energy_per_bit_j, 10e-12);
+}
+
+}  // namespace
+}  // namespace optiplet::power

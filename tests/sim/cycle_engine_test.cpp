@@ -1,0 +1,73 @@
+#include "sim/cycle_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace optiplet::sim {
+namespace {
+
+/// Component that records the phase interleaving it observes.
+class ProbeComponent : public CycleComponent {
+ public:
+  explicit ProbeComponent(std::vector<std::string>& log, std::string name)
+      : log_(log), name_(std::move(name)) {}
+
+  void evaluate(std::uint64_t) override { log_.push_back(name_ + ".eval"); }
+  void commit(std::uint64_t) override { log_.push_back(name_ + ".commit"); }
+
+ private:
+  std::vector<std::string>& log_;
+  std::string name_;
+};
+
+TEST(CycleEngine, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(CycleEngine(0.0), std::invalid_argument);
+  EXPECT_THROW(CycleEngine(-1.0), std::invalid_argument);
+}
+
+TEST(CycleEngine, AllEvaluatesPrecedeAllCommits) {
+  std::vector<std::string> log;
+  ProbeComponent a(log, "a");
+  ProbeComponent b(log, "b");
+  CycleEngine engine(1e9);
+  engine.register_component(a);
+  engine.register_component(b);
+  engine.step();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a.eval");
+  EXPECT_EQ(log[1], "b.eval");
+  EXPECT_EQ(log[2], "a.commit");
+  EXPECT_EQ(log[3], "b.commit");
+}
+
+TEST(CycleEngine, RunAdvancesCycleCount) {
+  CycleEngine engine(2e9);
+  engine.run(100);
+  EXPECT_EQ(engine.cycle(), 100u);
+}
+
+TEST(CycleEngine, TimeTracksFrequency) {
+  CycleEngine engine(2e9);  // 2 GHz -> 0.5 ns per cycle
+  engine.run(1000);
+  EXPECT_NEAR(engine.time_s(), 500e-9, 1e-15);
+}
+
+TEST(CycleEngine, RunUntilStopsOnPredicate) {
+  CycleEngine engine(1e9);
+  int counter = 0;
+  const std::uint64_t ran =
+      engine.run_until([&] { return ++counter > 10; }, 1000);
+  EXPECT_EQ(ran, 10u);
+}
+
+TEST(CycleEngine, RunUntilHonoursMaxCycles) {
+  CycleEngine engine(1e9);
+  const std::uint64_t ran = engine.run_until([] { return false; }, 42);
+  EXPECT_EQ(ran, 42u);
+  EXPECT_EQ(engine.cycle(), 42u);
+}
+
+}  // namespace
+}  // namespace optiplet::sim

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace optiplet::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(2.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] {
+    ++fired;
+    q.schedule_in(1.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunHonoursEventBudget) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  const std::uint64_t processed = q.run(4);
+  EXPECT_EQ(processed, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(EventQueue, SelfPerpetuatingChainBounded) {
+  EventQueue q;
+  std::uint64_t count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 1000) {
+      q.schedule_in(0.001, tick);
+    }
+  };
+  q.schedule_at(0.0, tick);
+  q.run();
+  EXPECT_EQ(count, 1000u);
+  EXPECT_NEAR(q.now(), 0.999, 1e-9);
+}
+
+}  // namespace
+}  // namespace optiplet::sim

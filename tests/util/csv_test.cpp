@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace optiplet::util {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "optiplet_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"model", "latency_ms"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"ResNet50", "1.21"});
+  }
+  EXPECT_EQ(read_all(path_), "model,latency_ms\nResNet50,1.21\n");
+}
+
+TEST_F(CsvTest, QuotesCellsWithCommas) {
+  {
+    CsvWriter w(path_, {"a"});
+    w.add_row({"x,y"});
+  }
+  EXPECT_EQ(read_all(path_), "a\n\"x,y\"\n");
+}
+
+TEST_F(CsvTest, EscapesEmbeddedQuotes) {
+  {
+    CsvWriter w(path_, {"a"});
+    w.add_row({"say \"hi\""});
+  }
+  EXPECT_EQ(read_all(path_), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, QuotesNewlines) {
+  {
+    CsvWriter w(path_, {"a"});
+    w.add_row({"line1\nline2"});
+  }
+  EXPECT_EQ(read_all(path_), "a\n\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterBadPath, ReportsNotOk) {
+  CsvWriter w("/nonexistent-dir-xyz/file.csv", {"a"});
+  EXPECT_FALSE(w.ok());
+  w.add_row({"ignored"});  // must not crash
+}
+
+}  // namespace
+}  // namespace optiplet::util

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optiplet::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Model", "Params"});
+  t.add_row({"LeNet5", "62,006"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("LeNet5"), std::string::npos);
+  EXPECT_NE(out.find("62,006"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+TEST(TextTable, SeparatorAddsHorizontalLine) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header line + top/bottom + separator = 4 horizontal rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, ColumnsPadToWidestCell) {
+  TextTable t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+  // Every rendered row has the same length.
+  std::size_t first_len = out.find('\n');
+  for (std::size_t start = 0; start < out.size();) {
+    const std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) {
+      break;
+    }
+    EXPECT_EQ(end - start, first_len);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, SetAlignValidatesColumn) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.set_align(3, Align::kLeft), std::invalid_argument);
+}
+
+TEST(FormatFixed, RespectsDigits) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+}
+
+TEST(FormatSi, ChoosesSensiblePrecision) {
+  EXPECT_EQ(format_si(123.456), "123.5");
+  EXPECT_EQ(format_si(12.345), "12.35");
+  EXPECT_EQ(format_si(1.2345), "1.234");
+  EXPECT_EQ(format_si(0.0), "0.000");
+}
+
+TEST(FormatSi, ScientificOutsideRange) {
+  EXPECT_NE(format_si(1e-6).find('e'), std::string::npos);
+  EXPECT_NE(format_si(1e9).find('e'), std::string::npos);
+}
+
+TEST(FormatGrouped, InsertsThousandsSeparators) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(25636712), "25,636,712");
+  EXPECT_EQ(format_grouped(138357544), "138,357,544");
+}
+
+}  // namespace
+}  // namespace optiplet::util
