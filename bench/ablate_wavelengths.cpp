@@ -3,44 +3,60 @@
 /// channel count of the photonic interposer and report the SiPh platform's
 /// latency / power / EPB per model. Shows where extra bandwidth stops
 /// paying (compute-bound region) and where laser power starts hurting.
+/// Runs as one engine::ScenarioGrid; infeasible channel counts (MRG row
+/// exceeding the ring FSR) are pre-filtered by the grid and reported as
+/// such. Dumps ablate_wavelengths.csv next to the binary.
 
 #include <cstdio>
+#include <vector>
 
-#include "core/system_simulator.hpp"
 #include "dnn/zoo.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace optiplet;
-  using accel::Architecture;
 
   std::printf(
       "ABLATION A1: wavelength count sweep (2.5D-CrossLight-SiPh)\n"
       "Table-1 default: 64 wavelengths.\n\n");
 
+  const std::vector<std::size_t> axis{8, 16, 32, 64, 128};
+  engine::ScenarioGrid grid;
+  grid.wavelengths = axis;
+  grid.architectures = {accel::Architecture::kSiph2p5D};
+  engine::SweepRunner runner(core::default_system_config());
+  const engine::ResultStore store(runner.run(grid));
+
   util::TextTable t({"Wavelengths", "Model", "Latency (ms)", "Power (W)",
                      "EPB (pJ/bit)"});
-  for (const std::size_t wavelengths : {8u, 16u, 32u, 64u, 128u}) {
-    core::SystemConfig cfg = core::default_system_config();
-    cfg.photonic.total_wavelengths = wavelengths;
-    const noc::PhotonicInterposer probe(cfg.photonic, cfg.tech.photonic);
-    if (!probe.link_budget_feasible()) {
+  for (const std::size_t wavelengths : axis) {
+    bool any = false;
+    for (const auto& r : store.results()) {
+      if (r.spec.wavelengths != wavelengths) {
+        continue;
+      }
+      any = true;
+      t.add_row({std::to_string(wavelengths), r.run.model_name,
+                 util::format_fixed(r.run.latency_s * 1e3, 4),
+                 util::format_fixed(r.run.average_power_w, 2),
+                 util::format_fixed(r.run.epb_j_per_bit * 1e12, 1)});
+    }
+    if (!any) {
       t.add_row({std::to_string(wavelengths),
                  "infeasible: MRG row exceeds ring FSR", "-", "-", "-"});
-      t.add_separator();
-      continue;
-    }
-    const core::SystemSimulator sim(cfg);
-    for (const auto& model : dnn::zoo::all_models()) {
-      const auto r = sim.run(model, Architecture::kSiph2p5D);
-      t.add_row({std::to_string(wavelengths), r.model_name,
-                 util::format_fixed(r.latency_s * 1e3, 4),
-                 util::format_fixed(r.average_power_w, 2),
-                 util::format_fixed(r.epb_j_per_bit * 1e12, 1)});
     }
     t.add_separator();
   }
   std::fputs(t.render().c_str(), stdout);
+
+  if (store.write_csv("ablate_wavelengths.csv")) {
+    std::printf("\nSeries written to ablate_wavelengths.csv\n");
+  } else {
+    std::fprintf(stderr, "\nwarning: could not write ablate_wavelengths.csv\n");
+  }
   std::printf(
       "\nReading: below ~32 wavelengths the weight-heavy models (VGG16)\n"
       "turn communication-bound; 64 is the sweet spot; at 128 wavelengths\n"

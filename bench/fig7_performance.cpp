@@ -9,8 +9,9 @@
 #include <vector>
 
 #include "core/report.hpp"
-#include "core/system_simulator.hpp"
 #include "dnn/zoo.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -18,14 +19,17 @@ int main() {
   using namespace optiplet;
   using accel::Architecture;
 
-  const core::SystemSimulator sim(core::default_system_config());
+  // (architecture x model) grid, evaluated in parallel by the sweep
+  // engine; expansion order is architecture-major, model-minor.
+  engine::ScenarioGrid grid;
+  grid.architectures = {Architecture::kMonolithicCrossLight,
+                        Architecture::kElec2p5D, Architecture::kSiph2p5D};
+  engine::SweepRunner runner(core::default_system_config());
+  const auto results = runner.run(grid);
   std::vector<core::RunResult> runs;
-  for (const auto arch :
-       {Architecture::kMonolithicCrossLight, Architecture::kElec2p5D,
-        Architecture::kSiph2p5D}) {
-    for (const auto& model : dnn::zoo::all_models()) {
-      runs.push_back(sim.run(model, arch));
-    }
+  runs.reserve(results.size());
+  for (const auto& r : results) {
+    runs.push_back(r.run);
   }
   const auto points = core::normalize_to_monolithic(runs);
 
@@ -76,17 +80,15 @@ int main() {
   }
   std::fputs(abs.render().c_str(), stdout);
 
+  const auto fmt = [](double v) { return util::format_general(v); };
   util::CsvWriter csv("fig7.csv", {"model", "architecture", "power_w",
                                    "latency_s", "epb_j_per_bit",
                                    "norm_power", "norm_latency", "norm_epb"});
   for (std::size_t i = 0; i < runs.size(); ++i) {
     csv.add_row({runs[i].model_name, accel::to_string(runs[i].arch),
-                 std::to_string(runs[i].average_power_w),
-                 std::to_string(runs[i].latency_s),
-                 std::to_string(runs[i].epb_j_per_bit),
-                 std::to_string(points[i].power),
-                 std::to_string(points[i].latency),
-                 std::to_string(points[i].epb)});
+                 fmt(runs[i].average_power_w), fmt(runs[i].latency_s),
+                 fmt(runs[i].epb_j_per_bit), fmt(points[i].power),
+                 fmt(points[i].latency), fmt(points[i].epb)});
   }
   std::printf("\nSeries written to fig7.csv\n");
   return 0;

@@ -5,19 +5,21 @@
 /// Table-2 models. Also prints the §VI headline ratios.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "baselines/reference_platforms.hpp"
 #include "core/report.hpp"
-#include "core/system_simulator.hpp"
 #include "dnn/zoo.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace optiplet;
   using accel::Architecture;
 
-  const core::SystemSimulator sim(core::default_system_config());
   const auto models = dnn::zoo::all_models();
 
   std::printf(
@@ -29,7 +31,28 @@ int main() {
   util::TextTable t({"Platform", "Power (W)", "Latency (ms)",
                      "EPB (pJ/bit)", "Paper P/L/EPB"});
 
-  std::vector<core::PlatformAverages> ours;
+  // The three simulated architectures over the five models, as one
+  // engine grid; ResultStore reproduces the Table-3 per-platform means.
+  engine::ScenarioGrid grid;
+  grid.architectures = {Architecture::kMonolithicCrossLight,
+                        Architecture::kElec2p5D, Architecture::kSiph2p5D};
+  engine::SweepRunner runner(core::default_system_config());
+  const engine::ResultStore store(runner.run(grid));
+  const std::vector<core::PlatformAverages> ours = store.by_architecture();
+
+  const auto averages_for = [&ours](Architecture arch) {
+    for (const auto& avg : ours) {
+      if (avg.platform == accel::to_string(arch)) {
+        return &avg;
+      }
+    }
+    std::fprintf(stderr,
+                 "table3: no feasible runs for %s at the default config\n",
+                 accel::to_string(arch));
+    std::exit(1);
+    return static_cast<const core::PlatformAverages*>(nullptr);
+  };
+
   struct PaperRef {
     Architecture arch;
     const char* paper;
@@ -38,16 +61,10 @@ int main() {
        {PaperRef{Architecture::kMonolithicCrossLight, "50.8 / 8 / 3600"},
         PaperRef{Architecture::kElec2p5D, "45.3 / 41.4 / 20500"},
         PaperRef{Architecture::kSiph2p5D, "89.7 / 1.21 / 1300"}}) {
-    std::vector<core::RunResult> runs;
-    runs.reserve(models.size());
-    for (const auto& m : models) {
-      runs.push_back(sim.run(m, arch));
-    }
-    const auto avg = core::average_runs(accel::to_string(arch), runs);
-    ours.push_back(avg);
-    t.add_row({avg.platform, util::format_fixed(avg.power_w, 1),
-               util::format_fixed(avg.latency_s * 1e3, 2),
-               util::format_fixed(avg.epb_j_per_bit * 1e12, 1), paper});
+    const auto* avg = averages_for(arch);
+    t.add_row({avg->platform, util::format_fixed(avg->power_w, 1),
+               util::format_fixed(avg->latency_s * 1e3, 2),
+               util::format_fixed(avg->epb_j_per_bit * 1e12, 1), paper});
   }
   t.add_separator();
 
@@ -82,9 +99,9 @@ int main() {
   }
   std::fputs(t.render().c_str(), stdout);
 
-  const auto& mono = ours[0];
-  const auto& elec = ours[1];
-  const auto& siph = ours[2];
+  const auto& mono = *averages_for(Architecture::kMonolithicCrossLight);
+  const auto& elec = *averages_for(Architecture::kElec2p5D);
+  const auto& siph = *averages_for(Architecture::kSiph2p5D);
   std::printf(
       "\nHeadline ratios (paper Section VI in parentheses):\n"
       "  2.5D-SiPh vs monolithic CrossLight: %.1fx lower latency (6.6x), "

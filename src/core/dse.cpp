@@ -2,6 +2,8 @@
 
 #include "core/report.hpp"
 #include "dnn/zoo.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
 #include "noc/photonic_interposer.hpp"
 #include "util/require.hpp"
 
@@ -16,45 +18,70 @@ std::vector<DsePoint> explore(const DseOptions& options,
 
   const std::vector<std::string> model_names =
       options.models.empty() ? dnn::zoo::model_names() : options.models;
-  std::vector<dnn::Model> models;
-  models.reserve(model_names.size());
-  for (const auto& name : model_names) {
-    models.push_back(dnn::zoo::by_name(name));
-  }
 
-  std::vector<DsePoint> points;
+  // Enumerate the feasible (wavelengths, gateways, modulation) combos in
+  // nested-loop order; each combo fans out into one scenario per model.
+  struct Combo {
+    std::size_t wavelengths;
+    std::size_t gateways;
+    photonics::ModulationFormat modulation;
+  };
+  std::vector<Combo> combos;
+  std::vector<engine::ScenarioSpec> specs;
   for (const std::size_t wavelengths : options.wavelengths) {
     for (const std::size_t gateways : options.gateways_per_chiplet) {
       if (gateways == 0 || wavelengths % gateways != 0) {
         continue;
       }
       for (const auto modulation : options.modulations) {
-        SystemConfig cfg = base;
-        cfg.photonic.total_wavelengths = wavelengths;
-        cfg.photonic.gateways_per_chiplet = gateways;
-        cfg.photonic.modulation = modulation;
-        const noc::PhotonicInterposer probe(cfg.photonic,
-                                            cfg.tech.photonic);
+        engine::ScenarioSpec spec;
+        spec.arch = options.arch;
+        spec.batch_size = base.batch_size;
+        spec.wavelengths = wavelengths;
+        spec.gateways_per_chiplet = gateways;
+        spec.modulation = modulation;
+        // DSE discards spectrally infeasible interposer shapes for every
+        // architecture option, matching the pre-engine behavior.
+        SystemConfig probe_cfg = base;
+        spec.apply(probe_cfg);
+        const noc::PhotonicInterposer probe(probe_cfg.photonic,
+                                            probe_cfg.tech.photonic);
         if (!probe.link_budget_feasible()) {
           continue;
         }
-        const SystemSimulator sim(cfg);
-        std::vector<RunResult> runs;
-        runs.reserve(models.size());
-        for (const auto& model : models) {
-          runs.push_back(sim.run(model, options.arch));
+        combos.push_back(Combo{wavelengths, gateways, modulation});
+        for (const auto& name : model_names) {
+          spec.model = name;
+          specs.push_back(spec);
         }
-        const auto avg = average_runs("dse", runs);
-        DsePoint p;
-        p.wavelengths = wavelengths;
-        p.gateways_per_chiplet = gateways;
-        p.modulation = modulation;
-        p.latency_s = avg.latency_s;
-        p.power_w = avg.power_w;
-        p.epb_j_per_bit = avg.epb_j_per_bit;
-        points.push_back(p);
       }
     }
+  }
+
+  engine::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  engine::SweepRunner runner(base, sweep_options);
+  const auto results = runner.run(specs);
+
+  // Results come back in submission order: one models-sized block per
+  // feasible combo.
+  std::vector<DsePoint> points;
+  points.reserve(combos.size());
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    std::vector<RunResult> runs;
+    runs.reserve(model_names.size());
+    for (std::size_t m = 0; m < model_names.size(); ++m) {
+      runs.push_back(results[c * model_names.size() + m].run);
+    }
+    const auto avg = average_runs("dse", runs);
+    DsePoint p;
+    p.wavelengths = combos[c].wavelengths;
+    p.gateways_per_chiplet = combos[c].gateways;
+    p.modulation = combos[c].modulation;
+    p.latency_s = avg.latency_s;
+    p.power_w = avg.power_w;
+    p.epb_j_per_bit = avg.epb_j_per_bit;
+    points.push_back(p);
   }
   mark_pareto(points);
   return points;

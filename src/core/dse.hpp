@@ -42,11 +42,17 @@ struct DseOptions {
   /// Model names to average over (Table-2 names); empty = all five.
   std::vector<std::string> models{};
   accel::Architecture arch = accel::Architecture::kSiph2p5D;
+  /// Worker threads for the sweep (0 = hardware concurrency). Results are
+  /// deterministic and identical for any thread count.
+  std::size_t threads = 0;
 };
 
 /// Evaluate every feasible combination of the sweep axes on top of `base`.
 /// Combinations where the wavelengths do not divide across the gateways,
-/// or whose link budget cannot close, are skipped.
+/// or whose link budget cannot close, are skipped. Runs on the
+/// engine::SweepRunner worker pool; point order is the deterministic
+/// nested-loop order (wavelengths, then gateways, then modulation)
+/// regardless of thread count.
 [[nodiscard]] std::vector<DsePoint> explore(const DseOptions& options,
                                             const SystemConfig& base);
 

@@ -1,0 +1,110 @@
+#include "engine/result_store.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace optiplet::engine {
+namespace {
+
+std::string overrides_to_string(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : spec.overrides) {
+    if (!first) {
+      os << ' ';
+    }
+    os << name << '=' << value;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void ResultStore::add_all(const std::vector<ScenarioResult>& results) {
+  results_.insert(results_.end(), results.begin(), results.end());
+}
+
+std::vector<core::PlatformAverages> ResultStore::by_architecture() const {
+  std::vector<accel::Architecture> order;
+  std::map<accel::Architecture, std::vector<core::RunResult>> groups;
+  for (const auto& r : results_) {
+    if (groups.find(r.spec.arch) == groups.end()) {
+      order.push_back(r.spec.arch);
+    }
+    groups[r.spec.arch].push_back(r.run);
+  }
+  std::vector<core::PlatformAverages> averages;
+  averages.reserve(order.size());
+  for (const auto arch : order) {
+    averages.push_back(
+        core::average_runs(accel::to_string(arch), groups.at(arch)));
+  }
+  return averages;
+}
+
+const ScenarioResult* ResultStore::best_by(
+    const std::function<double(const ScenarioResult&)>& metric) const {
+  const ScenarioResult* best = nullptr;
+  double best_value = 0.0;
+  for (const auto& r : results_) {
+    const double value = metric(r);
+    if (best == nullptr || value < best_value) {
+      best = &r;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> ResultStore::csv_header() {
+  return {"model",
+          "architecture",
+          "batch_size",
+          "wavelengths",
+          "gateways_per_chiplet",
+          "modulation",
+          "overrides",
+          "latency_s",
+          "power_w",
+          "energy_j",
+          "epb_j_per_bit",
+          "traffic_bits",
+          "resipi_reconfigurations",
+          "mean_active_gateways"};
+}
+
+std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
+  const auto& s = result.spec;
+  const auto& r = result.run;
+  return {s.model,
+          accel::to_string(s.arch),
+          std::to_string(s.batch_size),
+          std::to_string(s.wavelengths),
+          std::to_string(s.gateways_per_chiplet),
+          photonics::to_string(s.modulation),
+          overrides_to_string(s),
+          util::format_general(r.latency_s),
+          util::format_general(r.average_power_w),
+          util::format_general(r.energy_j),
+          util::format_general(r.epb_j_per_bit),
+          std::to_string(r.traffic_bits),
+          std::to_string(r.resipi_reconfigurations),
+          util::format_general(r.mean_active_gateways)};
+}
+
+bool ResultStore::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, csv_header());
+  if (!csv.ok()) {
+    return false;
+  }
+  for (const auto& r : results_) {
+    csv.add_row(csv_row(r));
+  }
+  return true;
+}
+
+}  // namespace optiplet::engine

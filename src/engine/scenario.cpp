@@ -1,0 +1,305 @@
+#include "engine/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <sstream>
+
+#include "dnn/zoo.hpp"
+#include "noc/photonic_interposer.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace optiplet::engine {
+namespace {
+
+struct OverrideEntry {
+  const char* name;
+  void (*set)(core::SystemConfig&, double);
+};
+
+/// Registry of sweepable SystemConfig fields, sorted by name. Values are
+/// doubles; integral fields round via static_cast after a range check is
+/// left to OPTIPLET_REQUIRE in the consumers.
+constexpr std::array<OverrideEntry, 12> kOverrides{{
+    {"idle_power_fraction",
+     [](core::SystemConfig& c, double v) { c.idle_power_fraction = v; }},
+    {"layer_overhead_2p5d_s",
+     [](core::SystemConfig& c, double v) { c.layer_overhead_2p5d_s = v; }},
+    {"layer_overhead_monolithic_s",
+     [](core::SystemConfig& c, double v) {
+       c.layer_overhead_monolithic_s = v;
+     }},
+    {"monolithic_memory_bandwidth_bps",
+     [](core::SystemConfig& c, double v) {
+       c.monolithic_memory_bandwidth_bps = v;
+     }},
+    {"monolithic_onchip_buffer_bits",
+     [](core::SystemConfig& c, double v) {
+       c.monolithic_onchip_buffer_bits = static_cast<std::uint64_t>(v);
+     }},
+    {"parameter_bits",
+     [](core::SystemConfig& c, double v) {
+       c.parameter_bits = static_cast<unsigned>(v);
+     }},
+    {"photonic.data_rate_per_wavelength_bps",
+     [](core::SystemConfig& c, double v) {
+       c.photonic.data_rate_per_wavelength_bps = v;
+     }},
+    {"photonic.gateway_clock_hz",
+     [](core::SystemConfig& c, double v) {
+       c.photonic.gateway_clock_hz = v;
+     }},
+    {"photonic.interposer_span_m",
+     [](core::SystemConfig& c, double v) {
+       c.photonic.interposer_span_m = v;
+     }},
+    {"resipi.epoch_s",
+     [](core::SystemConfig& c, double v) { c.resipi.epoch_s = v; }},
+    {"resipi.min_active_gateways",
+     [](core::SystemConfig& c, double v) {
+       c.resipi.min_active_gateways = static_cast<std::size_t>(v);
+     }},
+    {"resipi.target_utilization",
+     [](core::SystemConfig& c, double v) {
+       c.resipi.target_utilization = v;
+     }},
+}};
+
+}  // namespace
+
+bool apply_override(core::SystemConfig& config, const std::string& name,
+                    double value) {
+  for (const auto& entry : kOverrides) {
+    if (name == entry.name) {
+      entry.set(config, value);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> override_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kOverrides.size());
+  for (const auto& entry : kOverrides) {
+    keys.emplace_back(entry.name);
+  }
+  return keys;
+}
+
+void ScenarioSpec::apply(core::SystemConfig& config) const {
+  config.photonic.total_wavelengths = wavelengths;
+  config.photonic.gateways_per_chiplet = gateways_per_chiplet;
+  config.photonic.modulation = modulation;
+  config.batch_size = batch_size;
+  for (const auto& [name, value] : overrides) {
+    OPTIPLET_REQUIRE(apply_override(config, name, value),
+                     "unknown SystemConfig override key: " + name);
+  }
+}
+
+std::string ScenarioSpec::key() const {
+  // Collapse duplicate override keys to the last occurrence first — the
+  // effective value under apply()'s last-write-wins — then sort, so the
+  // key never conflates specs whose application order differs.
+  std::vector<std::pair<std::string, double>> sorted;
+  for (const auto& entry : overrides) {
+    const auto it =
+        std::find_if(sorted.begin(), sorted.end(), [&entry](const auto& e) {
+          return e.first == entry.first;
+        });
+    if (it != sorted.end()) {
+      it->second = entry.second;
+    } else {
+      sorted.push_back(entry);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream os;
+  os << "model=" << model << ";arch=" << accel::to_string(arch)
+     << ";batch=" << batch_size << ";wl=" << wavelengths
+     << ";gw=" << gateways_per_chiplet
+     << ";mod=" << photonics::to_string(modulation);
+  for (const auto& [name, value] : sorted) {
+    // 17 significant digits round-trip the double, keeping the key exact.
+    os << ';' << name << '=' << util::format_general(value, 17);
+  }
+  return os.str();
+}
+
+std::uint64_t ScenarioSpec::hash() const {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : key()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool feasible(const ScenarioSpec& spec, const core::SystemConfig& base) {
+  if (spec.gateways_per_chiplet == 0 ||
+      spec.wavelengths % spec.gateways_per_chiplet != 0) {
+    return false;
+  }
+  if (spec.arch != accel::Architecture::kSiph2p5D) {
+    return true;  // the photonic link budget only gates the SiPh platform
+  }
+  core::SystemConfig cfg = base;
+  spec.apply(cfg);
+  const noc::PhotonicInterposer probe(cfg.photonic, cfg.tech.photonic);
+  return probe.link_budget_feasible();
+}
+
+std::size_t ScenarioGrid::raw_size() const {
+  const auto axis = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  std::size_t size = axis(models.empty() ? dnn::zoo::model_names().size()
+                                         : models.size());
+  size *= axis(architectures.size());
+  size *= axis(batch_sizes.size());
+  size *= axis(wavelengths.size());
+  size *= axis(gateways_per_chiplet.size());
+  size *= axis(modulations.size());
+  for (const auto& [name, values] : override_axes) {
+    (void)name;
+    size *= axis(values.size());
+  }
+  return size;
+}
+
+std::vector<ScenarioSpec> ScenarioGrid::expand(
+    const core::SystemConfig& base) const {
+  const std::vector<std::string> model_axis =
+      models.empty() ? dnn::zoo::model_names() : models;
+  for (const auto& name : model_axis) {
+    (void)dnn::zoo::by_name(name);  // fail fast on unknown model names
+  }
+  const std::vector<accel::Architecture> arch_axis =
+      architectures.empty()
+          ? std::vector<accel::Architecture>{accel::Architecture::kSiph2p5D}
+          : architectures;
+  const std::vector<unsigned> batch_axis =
+      batch_sizes.empty() ? std::vector<unsigned>{base.batch_size}
+                          : batch_sizes;
+  const std::vector<std::size_t> wl_axis =
+      wavelengths.empty()
+          ? std::vector<std::size_t>{base.photonic.total_wavelengths}
+          : wavelengths;
+  const std::vector<std::size_t> gw_axis =
+      gateways_per_chiplet.empty()
+          ? std::vector<std::size_t>{base.photonic.gateways_per_chiplet}
+          : gateways_per_chiplet;
+  const std::vector<photonics::ModulationFormat> mod_axis =
+      modulations.empty()
+          ? std::vector<photonics::ModulationFormat>{base.photonic.modulation}
+          : modulations;
+
+  const auto keys = override_keys();
+  for (std::size_t i = 0; i < override_axes.size(); ++i) {
+    const auto& [name, values] = override_axes[i];
+    OPTIPLET_REQUIRE(
+        std::find(keys.begin(), keys.end(), name) != keys.end(),
+        "unknown SystemConfig override key: " + name);
+    OPTIPLET_REQUIRE(!values.empty(),
+                     "empty override axis for key: " + name);
+    for (std::size_t j = 0; j < i; ++j) {
+      OPTIPLET_REQUIRE(override_axes[j].first != name,
+                       "duplicate override axis for key: " + name);
+    }
+  }
+
+  std::vector<ScenarioSpec> specs;
+  // Recursive cartesian product over the override axes; the first-class
+  // axes nest around it (see header for the documented order).
+  std::vector<std::pair<std::string, double>> current_overrides;
+  const std::function<void(std::size_t, const ScenarioSpec&)> expand_axis =
+      [&](std::size_t axis_index, const ScenarioSpec& partial) {
+        if (axis_index < override_axes.size()) {
+          const auto& [name, values] = override_axes[axis_index];
+          for (const double value : values) {
+            current_overrides.emplace_back(name, value);
+            expand_axis(axis_index + 1, partial);
+            current_overrides.pop_back();
+          }
+          return;
+        }
+        // Feasibility depends only on the interposer shape (plus, for
+        // SiPh, the applied overrides) — never on the model — so probe
+        // once per shape, not once per (architecture, model).
+        ScenarioSpec shape = partial;
+        shape.overrides = current_overrides;
+        const bool divisible =
+            shape.gateways_per_chiplet != 0 &&
+            shape.wavelengths % shape.gateways_per_chiplet == 0;
+        bool siph_feasible = false;
+        bool siph_probed = false;
+        for (const auto arch : arch_axis) {
+          bool shape_ok = divisible;
+          if (shape_ok && arch == accel::Architecture::kSiph2p5D) {
+            if (!siph_probed) {
+              shape.arch = accel::Architecture::kSiph2p5D;
+              siph_feasible = feasible(shape, base);
+              siph_probed = true;
+            }
+            shape_ok = siph_feasible;
+          }
+          if (!shape_ok) {
+            continue;
+          }
+          for (const auto& model : model_axis) {
+            ScenarioSpec spec = partial;
+            spec.model = model;
+            spec.arch = arch;
+            spec.overrides = current_overrides;
+            specs.push_back(std::move(spec));
+          }
+        }
+      };
+
+  for (const std::size_t wl : wl_axis) {
+    for (const std::size_t gw : gw_axis) {
+      for (const auto mod : mod_axis) {
+        for (const unsigned batch : batch_axis) {
+          ScenarioSpec partial;
+          partial.wavelengths = wl;
+          partial.gateways_per_chiplet = gw;
+          partial.modulation = mod;
+          partial.batch_size = batch;
+          expand_axis(0, partial);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::optional<accel::Architecture> architecture_from_string(
+    std::string_view name) {
+  if (name == "mono" || name == "crosslight" ||
+      name == accel::to_string(accel::Architecture::kMonolithicCrossLight)) {
+    return accel::Architecture::kMonolithicCrossLight;
+  }
+  if (name == "elec" ||
+      name == accel::to_string(accel::Architecture::kElec2p5D)) {
+    return accel::Architecture::kElec2p5D;
+  }
+  if (name == "siph" ||
+      name == accel::to_string(accel::Architecture::kSiph2p5D)) {
+    return accel::Architecture::kSiph2p5D;
+  }
+  return std::nullopt;
+}
+
+std::optional<photonics::ModulationFormat> modulation_from_string(
+    std::string_view name) {
+  if (name == "ook" || name == "OOK") {
+    return photonics::ModulationFormat::kOok;
+  }
+  if (name == "pam4" || name == "PAM-4" || name == "PAM4") {
+    return photonics::ModulationFormat::kPam4;
+  }
+  return std::nullopt;
+}
+
+}  // namespace optiplet::engine

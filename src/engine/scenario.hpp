@@ -1,0 +1,112 @@
+#pragma once
+/// \file scenario.hpp
+/// Declarative scenario grids for the sweep engine.
+///
+/// A `ScenarioSpec` is one fully-resolved experiment point: a Table-2 model
+/// on one architecture with a concrete photonic-interposer shape (wavelength
+/// count, gateways per chiplet, modulation), a batch size, and an optional
+/// set of named `SystemConfig` overrides (e.g. "resipi.epoch_s"). A
+/// `ScenarioGrid` is the cartesian product of per-axis value lists; its
+/// `expand()` resolves empty axes to the base configuration's values and
+/// pre-filters combinations that are spectrally infeasible (paper §VII:
+/// wavelengths must divide across a chiplet's gateways, and the per-gateway
+/// MRG row must fit inside one microring FSR for the link budget to close).
+///
+/// Specs are value types with a canonical string key, which is what the
+/// SweepRunner's memoization cache is keyed on: two specs with equal keys
+/// are by construction the same simulation.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "accel/platform.hpp"
+#include "core/system_config.hpp"
+#include "photonics/modulation.hpp"
+
+namespace optiplet::engine {
+
+/// One fully-resolved experiment point.
+struct ScenarioSpec {
+  std::string model;  ///< Table-2 name, resolved via dnn::zoo::by_name.
+  accel::Architecture arch = accel::Architecture::kSiph2p5D;
+  unsigned batch_size = 1;
+  std::size_t wavelengths = 64;
+  std::size_t gateways_per_chiplet = 4;
+  photonics::ModulationFormat modulation =
+      photonics::ModulationFormat::kOok;
+  /// Named SystemConfig overrides, applied after the first-class fields.
+  /// Keys must come from override_keys(); kept sorted by apply()/key().
+  std::vector<std::pair<std::string, double>> overrides;
+
+  /// Imprint this spec onto a configuration (photonic shape, batch size,
+  /// then named overrides). Throws std::invalid_argument on unknown
+  /// override keys.
+  void apply(core::SystemConfig& config) const;
+
+  /// Canonical identity string: equal keys == identical simulation inputs
+  /// (relative to a shared base config). Matches apply() semantics exactly:
+  /// duplicate override keys collapse to the last occurrence (last write
+  /// wins) before sorting, so two specs share a key only when they imprint
+  /// the same configuration.
+  [[nodiscard]] std::string key() const;
+
+  /// FNV-1a digest of key() — a compact scenario id for logs and labels.
+  /// The SweepRunner memo cache keys on the full key() string (collision
+  /// proof); this is the short form of the same identity.
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// Apply one named override to a configuration. Returns false when `name`
+/// is not a registered override key.
+bool apply_override(core::SystemConfig& config, const std::string& name,
+                    double value);
+
+/// The registered override key names, sorted.
+[[nodiscard]] std::vector<std::string> override_keys();
+
+/// True when the scenario can physically run on `base`: gateways divide the
+/// wavelengths and, for the photonic architecture, the link budget closes
+/// with the spec's shape applied.
+[[nodiscard]] bool feasible(const ScenarioSpec& spec,
+                            const core::SystemConfig& base);
+
+/// Declarative cartesian grid. Every empty axis means "keep the base
+/// configuration's value" (and, for `models`, "all five Table-2 models").
+struct ScenarioGrid {
+  /// Table-2 model names; empty = all five.
+  std::vector<std::string> models;
+  std::vector<accel::Architecture> architectures;
+  std::vector<unsigned> batch_sizes;
+  std::vector<std::size_t> wavelengths;
+  std::vector<std::size_t> gateways_per_chiplet;
+  std::vector<photonics::ModulationFormat> modulations;
+  /// Extra sweep axes over named SystemConfig overrides
+  /// (e.g. {"resipi.epoch_s", {5e-6, 10e-6, 20e-6}}).
+  std::vector<std::pair<std::string, std::vector<double>>> override_axes;
+
+  /// Grid size before feasibility filtering.
+  [[nodiscard]] std::size_t raw_size() const;
+
+  /// Expand to the feasible spec list. Nesting order (outer to inner):
+  /// wavelengths, gateways, modulation, batch, override axes, architecture,
+  /// model — so a fixed interposer shape yields a contiguous
+  /// (architecture-major, model-minor) block, the layout the benches
+  /// consume. Throws std::invalid_argument for unknown override keys or
+  /// unknown model names.
+  [[nodiscard]] std::vector<ScenarioSpec> expand(
+      const core::SystemConfig& base) const;
+};
+
+/// Parse helpers for CLIs: accept the canonical to_string() names plus the
+/// short aliases "mono"/"crosslight", "elec", "siph" and "ook", "pam4".
+[[nodiscard]] std::optional<accel::Architecture> architecture_from_string(
+    std::string_view name);
+[[nodiscard]] std::optional<photonics::ModulationFormat>
+modulation_from_string(std::string_view name);
+
+}  // namespace optiplet::engine

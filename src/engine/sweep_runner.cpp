@@ -1,0 +1,130 @@
+#include "engine/sweep_runner.hpp"
+
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "dnn/zoo.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace optiplet::engine {
+
+SweepRunner::SweepRunner(core::SystemConfig base, SweepOptions options)
+    : base_(std::move(base)),
+      options_(std::move(options)),
+      threads_(ThreadPool::resolve_threads(options_.threads)) {}
+
+core::RunResult SweepRunner::evaluate(const core::SystemConfig& base,
+                                      const ScenarioSpec& spec) {
+  core::SystemConfig cfg = base;
+  spec.apply(cfg);
+  const core::SystemSimulator sim(cfg);
+  return sim.run(dnn::zoo::by_name(spec.model), spec.arch);
+}
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) {
+  const std::size_t total = specs.size();
+  std::vector<ScenarioResult> results(total);
+  if (total == 0) {
+    return results;
+  }
+
+  // One evaluation per distinct uncached key; duplicates and prior-run
+  // repeats ride along as cache hits.
+  struct Pending {
+    std::string key;
+    const ScenarioSpec* spec = nullptr;
+    std::size_t rider_count = 1;  // specs resolved by this evaluation
+    std::future<core::RunResult> future;
+  };
+
+  std::vector<std::string> keys;
+  keys.reserve(total);
+  std::vector<bool> from_cache(total, false);
+  std::vector<Pending> pending;
+  std::unordered_map<std::string, std::size_t> pending_index;
+  std::size_t resolved_upfront = 0;  // served by a previous run() call
+  for (std::size_t i = 0; i < total; ++i) {
+    keys.push_back(specs[i].key());
+    if (cache_.count(keys[i]) != 0) {
+      from_cache[i] = true;
+      ++cache_hits_;
+      ++resolved_upfront;
+      continue;
+    }
+    if (const auto it = pending_index.find(keys[i]);
+        it != pending_index.end()) {
+      ++pending[it->second].rider_count;
+      from_cache[i] = true;
+      ++cache_hits_;
+      continue;
+    }
+    pending_index.emplace(keys[i], pending.size());
+    pending.push_back(Pending{keys[i], &specs[i], 1, {}});
+  }
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  const auto report = [&](std::size_t increment) {
+    if (!options_.progress) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    done += increment;
+    options_.progress(done, total);
+  };
+
+  if (resolved_upfront != 0) {
+    report(resolved_upfront);
+  }
+  {
+    ThreadPool pool(threads_);
+    for (auto& p : pending) {
+      const ScenarioSpec* spec = p.spec;
+      // In-batch duplicates resolve with their evaluation.
+      const std::size_t increment = p.rider_count;
+      p.future = pool.submit([this, spec, increment, &report] {
+        try {
+          core::RunResult run = evaluate(base_, *spec);
+          report(increment);
+          return run;
+        } catch (...) {
+          report(increment);
+          throw;
+        }
+      });
+    }
+  }  // pool joins here; every future below is ready
+
+  // Settle every in-flight evaluation, then surface the first failure in
+  // submission order (failed scenarios are not cached).
+  std::exception_ptr first_error;
+  for (auto& p : pending) {
+    try {
+      cache_.emplace(p.key, std::make_shared<const core::RunResult>(
+                                p.future.get()));
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  for (std::size_t i = 0; i < total; ++i) {
+    results[i].spec = specs[i];
+    results[i].from_cache = from_cache[i];
+    results[i].run = *cache_.at(keys[i]);
+  }
+  return results;
+}
+
+std::vector<ScenarioResult> SweepRunner::run(const ScenarioGrid& grid) {
+  return run(grid.expand(base_));
+}
+
+}  // namespace optiplet::engine

@@ -1,0 +1,80 @@
+#pragma once
+/// \file sweep_runner.hpp
+/// Parallel scenario-grid evaluation on a ThreadPool.
+///
+/// Guarantees:
+///  * **Determinism** — results come back in submission order and each
+///    scenario is a pure function of (base config, spec), so the output is
+///    bit-identical for 1 or N worker threads.
+///  * **Memoization** — evaluations are cached by ScenarioSpec::key();
+///    repeated points (within a batch or across run() calls on the same
+///    runner) are never re-simulated.
+///  * **Exception safety** — a scenario that throws does not poison the
+///    pool; run() rethrows the first failure in submission order after all
+///    in-flight work has settled.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "core/system_simulator.hpp"
+#include "engine/scenario.hpp"
+
+namespace optiplet::engine {
+
+/// One evaluated scenario.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  core::RunResult run;
+  /// True when this result was served from the memo cache (either a
+  /// duplicate inside the batch or a repeat from an earlier run() call).
+  bool from_cache = false;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency.
+  std::size_t threads = 0;
+  /// Progress callback, invoked as `progress(done, total)` once per
+  /// scenario of the current batch (cache hits report immediately).
+  /// Calls are serialized by the runner; the callback itself need not be
+  /// thread-safe, but it runs on worker threads — keep it cheap.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(core::SystemConfig base, SweepOptions options = {});
+
+  /// Evaluate the specs in parallel; results are in spec order.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<ScenarioSpec>& specs);
+
+  /// Expand the grid against the base config and evaluate it.
+  [[nodiscard]] std::vector<ScenarioResult> run(const ScenarioGrid& grid);
+
+  /// Evaluate one scenario synchronously (no cache, no pool): the
+  /// reference semantics every parallel path must reproduce exactly.
+  [[nodiscard]] static core::RunResult evaluate(
+      const core::SystemConfig& base, const ScenarioSpec& spec);
+
+  [[nodiscard]] const core::SystemConfig& base() const { return base_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  /// Scenarios served from cache so far (across run() calls).
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+  /// Distinct scenarios simulated so far.
+  [[nodiscard]] std::size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  core::SystemConfig base_;
+  SweepOptions options_;
+  std::size_t threads_ = 1;
+  std::unordered_map<std::string, std::shared_ptr<const core::RunResult>>
+      cache_;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace optiplet::engine

@@ -1,0 +1,48 @@
+#include "engine/thread_pool.hpp"
+
+namespace optiplet::engine {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_threads(threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+}  // namespace optiplet::engine

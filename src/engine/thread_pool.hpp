@@ -1,0 +1,72 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size worker pool over std::thread — the concurrency substrate of
+/// the sweep engine. Tasks are submitted as callables and return
+/// std::future handles; exceptions thrown inside a task are captured by
+/// the packaged_task and rethrown at future::get(), so a crashing scenario
+/// never takes a worker (or the process) down with it.
+///
+/// The pool is deliberately simple: one shared FIFO queue, no work
+/// stealing. Sweep tasks are coarse (one full-system simulation each), so
+/// queue contention is negligible next to task runtime.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace optiplet::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 selects std::thread::hardware_concurrency
+  /// (with a floor of 1 when the runtime cannot report a count).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed before the workers
+  /// join (submitted work is never dropped).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; the returned future yields its result or rethrows
+  /// its exception.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Resolve a requested thread count: 0 -> hardware_concurrency (>= 1).
+  [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace optiplet::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -81,6 +82,12 @@ std::string format_fixed(double value, int digits) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(digits) << value;
   return os.str();
+}
+
+std::string format_general(double value, int significant) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant, value);
+  return buf;
 }
 
 std::string format_si(double value) {

@@ -47,6 +47,11 @@ class TextTable {
 /// Format a double with `digits` significant decimal places, trimming noise.
 [[nodiscard]] std::string format_fixed(double value, int digits);
 
+/// printf %g formatting with `significant` digits: compact, switches to
+/// scientific where needed, keeps sub-picojoule metrics legible in CSVs
+/// (17 significant digits round-trips a double exactly).
+[[nodiscard]] std::string format_general(double value, int significant = 9);
+
 /// Format a double choosing a sensible precision for table display
 /// (3 significant figures, switching to scientific outside [1e-3, 1e6)).
 [[nodiscard]] std::string format_si(double value);

@@ -1,0 +1,71 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+namespace optiplet::engine {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+}
+
+TEST(ThreadPool, SpawnsRequestedWorkerCount) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, ReturnsTaskResultsThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, TaskExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("scenario blew up"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing task must not take its worker down.
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DestructorCompletesAllSubmittedWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&completed] { ++completed; });
+    }
+  }  // join
+  EXPECT_EQ(completed.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace optiplet::engine

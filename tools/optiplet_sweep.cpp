@@ -1,0 +1,271 @@
+/// \file optiplet_sweep.cpp
+/// Command-line front end of the sweep engine: declare an arbitrary
+/// scenario grid with flags, evaluate it on a worker pool, print the
+/// per-architecture summary, and dump the full grid as CSV.
+///
+/// Examples:
+///   optiplet_sweep --models LeNet5,VGG16 --archs all --out grid.csv
+///   optiplet_sweep --wavelengths 16,32,64 --gateways 2,4 \
+///       --modulations ook,pam4 --threads 4
+///   optiplet_sweep --models LeNet5 --set resipi.epoch_s=5e-6,1e-5,2e-5
+///   optiplet_sweep --list-overrides
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dnn/zoo.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+constexpr const char* kUsage = R"(optiplet_sweep — parallel scenario-grid evaluation
+
+Every flag below adds one axis to a cartesian grid; unset axes keep the
+Table-1 default configuration. Infeasible combinations (wavelengths not
+divisible by gateways; SiPh link budget that cannot close) are skipped.
+
+  --models NAMES       comma list of Table-2 models, or "all" (default all)
+  --archs NAMES        comma list of mono|elec|siph, or "all" (default siph)
+  --batch-sizes LIST   comma list of batch sizes
+  --wavelengths LIST   comma list of WDM channel counts
+  --gateways LIST      comma list of gateways per chiplet
+  --modulations LIST   comma list of ook|pam4
+  --set KEY=V1,V2,...  sweep axis over a named SystemConfig override
+                       (repeatable; see --list-overrides)
+  --threads N          worker threads (default 0 = hardware concurrency)
+  --out FILE           output CSV path (default sweep.csv)
+  --quiet              suppress the progress meter
+  --list-overrides     print the valid --set keys and exit
+  --help               this text
+)";
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::size_t> parse_count(const std::string& text) {
+  const auto value = parse_double(text);
+  if (!value || *value < 0 ||
+      *value != static_cast<double>(static_cast<std::size_t>(*value))) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*value);
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "optiplet_sweep: %s\n", message.c_str());
+  std::fprintf(stderr, "Run with --help for usage.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  engine::ScenarioGrid grid;
+  std::size_t threads = 0;
+  std::string out_path = "sweep.csv";
+  bool quiet = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list-overrides") {
+      for (const auto& key : engine::override_keys()) {
+        std::printf("%s\n", key.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    const bool known_value_flag =
+        arg == "--models" || arg == "--archs" || arg == "--batch-sizes" ||
+        arg == "--wavelengths" || arg == "--gateways" ||
+        arg == "--modulations" || arg == "--set" || arg == "--threads" ||
+        arg == "--out";
+    if (!known_value_flag) {
+      return fail("unknown flag: " + arg);
+    }
+    const auto value = next_value();
+    if (!value) {
+      return fail("missing value for " + arg);
+    }
+    if (arg == "--models") {
+      if (*value != "all") {
+        grid.models = split(*value, ',');
+      }
+    } else if (arg == "--archs") {
+      if (*value == "all") {
+        grid.architectures = {accel::Architecture::kMonolithicCrossLight,
+                              accel::Architecture::kElec2p5D,
+                              accel::Architecture::kSiph2p5D};
+      } else {
+        for (const auto& name : split(*value, ',')) {
+          const auto arch = engine::architecture_from_string(name);
+          if (!arch) {
+            return fail("unknown architecture: " + name);
+          }
+          grid.architectures.push_back(*arch);
+        }
+      }
+    } else if (arg == "--batch-sizes") {
+      for (const auto& text : split(*value, ',')) {
+        const auto batch = parse_count(text);
+        if (!batch || *batch == 0) {
+          return fail("bad batch size: " + text);
+        }
+        grid.batch_sizes.push_back(static_cast<unsigned>(*batch));
+      }
+    } else if (arg == "--wavelengths") {
+      for (const auto& text : split(*value, ',')) {
+        const auto count = parse_count(text);
+        if (!count || *count == 0) {
+          return fail("bad wavelength count: " + text);
+        }
+        grid.wavelengths.push_back(*count);
+      }
+    } else if (arg == "--gateways") {
+      for (const auto& text : split(*value, ',')) {
+        const auto count = parse_count(text);
+        if (!count || *count == 0) {
+          return fail("bad gateway count: " + text);
+        }
+        grid.gateways_per_chiplet.push_back(*count);
+      }
+    } else if (arg == "--modulations") {
+      for (const auto& name : split(*value, ',')) {
+        const auto mod = engine::modulation_from_string(name);
+        if (!mod) {
+          return fail("unknown modulation: " + name);
+        }
+        grid.modulations.push_back(*mod);
+      }
+    } else if (arg == "--set") {
+      const auto eq = value->find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail("--set expects KEY=V1,V2,... got: " + *value);
+      }
+      std::pair<std::string, std::vector<double>> axis;
+      axis.first = value->substr(0, eq);
+      for (const auto& text : split(value->substr(eq + 1), ',')) {
+        const auto v = parse_double(text);
+        if (!v) {
+          return fail("bad override value for " + axis.first + ": " + text);
+        }
+        axis.second.push_back(*v);
+      }
+      grid.override_axes.push_back(std::move(axis));
+    } else if (arg == "--threads") {
+      const auto count = parse_count(*value);
+      if (!count) {
+        return fail("bad thread count: " + *value);
+      }
+      threads = *count;
+    } else {  // --out, the last known_value_flag
+      out_path = *value;
+    }
+  }
+
+  engine::SweepOptions options;
+  options.threads = threads;
+  if (!quiet) {
+    options.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r%zu/%zu scenarios", done, total);
+      if (done == total) {
+        std::fputc('\n', stderr);
+      }
+    };
+  }
+
+  engine::SweepRunner runner(core::default_system_config(), options);
+  engine::ResultStore store;
+  try {
+    store.add_all(runner.run(grid));
+  } catch (const std::exception& e) {
+    return fail(std::string("sweep failed: ") + e.what());
+  }
+
+  const std::size_t raw = grid.raw_size();
+  std::printf("Grid: %zu scenarios (%zu raw, %zu infeasible skipped), "
+              "%zu threads, %zu simulated, %zu cache hits\n\n",
+              store.size(), raw, raw - store.size(), runner.threads(),
+              runner.cache_entries(), runner.cache_hits());
+  if (store.empty()) {
+    std::printf("No feasible scenarios — nothing to report.\n");
+    return 1;
+  }
+
+  util::TextTable summary(
+      {"Architecture", "Runs", "Power (W)", "Latency (ms)", "EPB (pJ/bit)"});
+  for (const auto& avg : store.by_architecture()) {
+    std::size_t count = 0;
+    for (const auto& r : store.results()) {
+      count += accel::to_string(r.spec.arch) == avg.platform ? 1 : 0;
+    }
+    summary.add_row({avg.platform, std::to_string(count),
+                     util::format_fixed(avg.power_w, 2),
+                     util::format_fixed(avg.latency_s * 1e3, 4),
+                     util::format_fixed(avg.epb_j_per_bit * 1e12, 1)});
+  }
+  std::fputs(summary.render().c_str(), stdout);
+
+  const auto* fastest = store.best_by(
+      [](const engine::ScenarioResult& r) { return r.run.latency_s; });
+  const auto* greenest = store.best_by(
+      [](const engine::ScenarioResult& r) { return r.run.epb_j_per_bit; });
+  std::printf("\nFastest scenario:  %s  (%.4f ms)\n",
+              fastest->spec.key().c_str(), fastest->run.latency_s * 1e3);
+  std::printf("Lowest-EPB scenario: %s  (%.1f pJ/bit)\n",
+              greenest->spec.key().c_str(),
+              greenest->run.epb_j_per_bit * 1e12);
+
+  if (!store.write_csv(out_path)) {
+    return fail("cannot write " + out_path);
+  }
+  std::printf("\nFull grid written to %s\n", out_path.c_str());
+  return 0;
+}
