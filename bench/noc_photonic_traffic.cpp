@@ -1,0 +1,141 @@
+/// \file noc_photonic_traffic.cpp
+/// Photonic counterpart of ablation A5: cycle-accurate latency vs offered
+/// load on the SWMR/SWSR interposer (PhotonicCycleNet, Table-1 shape —
+/// 64 wavelengths at 12 Gb/s OOK, 8 chiplets x 4 gateways at 2 GHz).
+///
+/// Two sections:
+///   * gateways pinned (ReSiPI off): the pure medium — broadcast reads
+///     contend for the shared wavelength set, writes ride the dedicated
+///     return waveguides, so read latency climbs toward saturation while
+///     write latency stays flat;
+///   * ReSiPI on: the same read sweep with epoch-based gateway activation,
+///     showing the provisioning transients (upshift lag, PCM write stalls)
+///     the transaction-level model charges as a half-epoch constant.
+///
+/// Dumps noc_photonic_traffic.csv next to the binary for plotting.
+
+#include <cstdio>
+
+#include "noc/photonic_cycle_net.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+struct LoadPoint {
+  double offered = 0.0;      ///< fraction of the SWMR medium bandwidth
+  double mean_read = 0.0;    ///< mean read latency [cycles]
+  double mean_write = 0.0;   ///< mean write latency [cycles]
+  double delivered = 0.0;    ///< read bits delivered / SWMR medium capacity
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t stall_cycles = 0;
+};
+
+/// Drive one load point: Bernoulli packet injection for `measure` cycles
+/// (reads to uniform-random chiplets, writes from uniform-random chiplets
+/// at half the read load), then a bounded drain.
+LoadPoint run_point(double offered, bool resipi_enabled,
+                    std::uint64_t measure_cycles) {
+  noc::PhotonicCycleNetConfig cfg;
+  cfg.resipi_enabled = resipi_enabled;
+  cfg.resipi.epoch_s = 2.0 * units::us;  // a few epochs per window
+  noc::PhotonicCycleNet net(cfg, power::PhotonicTech{});
+
+  constexpr std::uint32_t kPacketBits = 16'384;  // one gateway buffer
+  const double medium_bits_per_cycle =
+      static_cast<double>(cfg.interposer.total_wavelengths) *
+      net.bits_per_cycle_per_channel();
+  // Packets per cycle that saturate the medium, scaled by the offered load.
+  const double read_rate =
+      offered * medium_bits_per_cycle / static_cast<double>(kPacketBits);
+  const double write_rate = read_rate / 2.0;
+
+  util::Xoshiro256 rng(0x5eed);
+  for (std::uint64_t c = 0; c < measure_cycles; ++c) {
+    if (rng.next_bool(read_rate)) {
+      net.inject_read(rng.next_below(net.chiplet_count()), kPacketBits);
+    }
+    if (rng.next_bool(write_rate)) {
+      net.inject_write(rng.next_below(net.chiplet_count()), kPacketBits);
+    }
+    net.step();
+  }
+  OPTIPLET_REQUIRE(net.run_until_drained(4'000'000),
+                   "photonic traffic bench failed to drain");
+
+  LoadPoint p;
+  p.offered = offered;
+  p.mean_read = net.stats().read_latency_cycles.mean();
+  p.mean_write = net.stats().write_latency_cycles.mean();
+  // Writes ride their own SWSR waveguides; only reads consume the shared
+  // broadcast medium, so the delivered fraction counts read bits alone.
+  p.delivered = static_cast<double>(net.stats().read_bits_delivered) /
+                (static_cast<double>(net.cycle()) * medium_bits_per_cycle);
+  p.reconfigurations = net.controller().reconfiguration_count();
+  p.stall_cycles = net.stats().stall_cycles;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "PHOTONIC NOC: cycle-accurate SWMR/SWSR interposer, latency vs "
+      "offered load\n"
+      "(64 wavelengths @ 12 Gb/s OOK, 8 chiplets x 4 gateways @ 2 GHz; "
+      "16384-bit packets)\n\n");
+
+  util::CsvWriter csv("noc_photonic_traffic.csv",
+                      {"mode", "offered_fraction", "mean_read_cycles",
+                       "mean_write_cycles", "delivered_fraction",
+                       "reconfigurations", "stall_cycles"});
+  const auto fmt = [](double v) { return util::format_fixed(v, 3); };
+
+  constexpr double kRates[] = {0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 0.95};
+
+  util::TextTable pinned({"Offered (frac of SWMR bw)", "Read lat (cycles)",
+                          "Write lat (cycles)", "Delivered (frac)"});
+  for (const double rate : kRates) {
+    const LoadPoint p = run_point(rate, /*resipi_enabled=*/false, 30'000);
+    pinned.add_row({fmt(p.offered), util::format_fixed(p.mean_read, 1),
+                    util::format_fixed(p.mean_write, 1), fmt(p.delivered)});
+    csv.add_row({"pinned", fmt(p.offered),
+                 util::format_fixed(p.mean_read, 1),
+                 util::format_fixed(p.mean_write, 1), fmt(p.delivered),
+                 std::to_string(p.reconfigurations),
+                 std::to_string(p.stall_cycles)});
+  }
+  std::printf("Gateways pinned active (ReSiPI off):\n");
+  std::fputs(pinned.render().c_str(), stdout);
+
+  util::TextTable resipi({"Offered (frac of SWMR bw)", "Read lat (cycles)",
+                          "Delivered (frac)", "PCMC writes",
+                          "Stall cycles"});
+  for (const double rate : kRates) {
+    const LoadPoint p = run_point(rate, /*resipi_enabled=*/true, 30'000);
+    resipi.add_row({fmt(p.offered), util::format_fixed(p.mean_read, 1),
+                    fmt(p.delivered), std::to_string(p.reconfigurations),
+                    std::to_string(p.stall_cycles)});
+    csv.add_row({"resipi", fmt(p.offered),
+                 util::format_fixed(p.mean_read, 1),
+                 util::format_fixed(p.mean_write, 1), fmt(p.delivered),
+                 std::to_string(p.reconfigurations),
+                 std::to_string(p.stall_cycles)});
+  }
+  std::printf("\nReSiPI epoch-driven activation (2 us epochs):\n");
+  std::fputs(resipi.render().c_str(), stdout);
+
+  std::printf(
+      "\nReading: reads share the broadcast medium, so their latency climbs\n"
+      "with load while the dedicated SWSR write channels stay near\n"
+      "zero-load; with ReSiPI on, low loads run on fewer gateways (higher\n"
+      "latency, lower static power) and reconfiguration stalls appear as\n"
+      "epoch-boundary latency spikes the analytical model cannot see.\n"
+      "\nSeries written to noc_photonic_traffic.csv\n");
+  return 0;
+}

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "noc/photonic_cycle_net.hpp"
 #include "util/math.hpp"
 #include "util/require.hpp"
 
@@ -184,6 +186,20 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
       config_.resipi, chiplet_count, config_.photonic.gateways_per_chiplet,
       interposer.gateway_bandwidth_bps(), config_.tech.photonic.pcm);
 
+  // High-fidelity photonic path: drive every transfer through the
+  // cycle-accurate interposer; its embedded controller sees real demand at
+  // real epoch boundaries (the outer `controller` then stays unused).
+  const bool cycle_siph =
+      siph && config_.fidelity == Fidelity::kCycleAccurate;
+  std::optional<noc::PhotonicCycleNet> net;
+  if (cycle_siph) {
+    noc::PhotonicCycleNetConfig net_cfg;
+    net_cfg.interposer = config_.photonic;
+    net_cfg.resipi = config_.resipi;
+    net_cfg.chiplet_count = chiplet_count;
+    net.emplace(net_cfg, config_.tech.photonic);
+  }
+
   // First chiplet index of each group (groups are laid out contiguously).
   std::vector<std::size_t> group_first_chiplet;
   {
@@ -211,7 +227,107 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
     const std::uint64_t reads = lw.weight_bits + lw.input_bits;
     const std::uint64_t writes = lw.output_bits;
 
-    if (siph) {
+    std::size_t group_index = 0;
+    for (std::size_t g = 0; g < platform.groups().size(); ++g) {
+      if (platform.groups()[g].chiplet.kind() == a.group) {
+        group_index = g;
+        break;
+      }
+    }
+
+    if (cycle_siph) {
+      // --- Cycle-accurate photonic path: inject the layer's transfers and
+      // let the interposer arbitrate them. Weights are striped (one read
+      // per assigned chiplet), inputs broadcast once over the SWMR medium,
+      // writes return per chiplet over the SWSR waveguides.
+      const std::uint64_t cycle0 = net->cycle();
+      const std::size_t completed0 = net->completed().size();
+      std::vector<std::size_t> targets;
+      targets.reserve(a.chiplets_used);
+      for (std::size_t c = 0; c < a.chiplets_used; ++c) {
+        targets.push_back(group_first_chiplet[group_index] + c);
+      }
+      const std::uint64_t weight_slice =
+          (lw.weight_bits + a.chiplets_used - 1) / a.chiplets_used;
+      const std::uint64_t write_slice =
+          (writes + a.chiplets_used - 1) / a.chiplets_used;
+      for (const std::size_t t : targets) {
+        if (weight_slice > 0) {
+          net->inject_read(t, weight_slice);
+        }
+        if (write_slice > 0) {
+          net->inject_write(t, write_slice);
+        }
+      }
+      if (lw.input_bits > 0) {
+        net->inject_broadcast(targets, lw.input_bits);
+      }
+      // Drain bound: the whole layer at the minimum single-gateway rate,
+      // with slack for store-and-forward and reconfiguration stalls.
+      const double min_rate = static_cast<double>(
+                                  interposer.wavelengths_per_gateway()) *
+                              net->bits_per_cycle_per_channel();
+      const auto drain_limit = static_cast<std::uint64_t>(
+          4.0 * static_cast<double>(reads + writes) / min_rate + 1e6);
+      OPTIPLET_REQUIRE(net->run_until_drained(drain_limit),
+                       "photonic cycle net failed to drain a layer");
+      // Wall-clock read/write completion, measured from comm start and
+      // including photon time of flight.
+      double read_done_cycles = 0.0;
+      double write_done_cycles = 0.0;
+      for (std::size_t k = completed0; k < net->completed().size(); ++k) {
+        const auto& done = net->completed()[k];
+        const auto rel = static_cast<double>(done.done_cycle - cycle0);
+        if (done.is_write) {
+          write_done_cycles = std::max(write_done_cycles, rel);
+        } else {
+          read_done_cycles = std::max(read_done_cycles, rel);
+        }
+      }
+      lr.read_s = read_done_cycles / net->clock_hz();
+      lr.write_s = write_done_cycles / net->clock_hz();
+      const double comm_s = std::max(lr.read_s, lr.write_s);
+      // Epoch transients (PCM write stalls, provisioning lag) are already
+      // inside comm_s; only the layer barrier overhead remains.
+      lr.overhead_s = config_.layer_overhead_2p5d_s;
+      lr.total_s = std::max(lr.compute_s, comm_s) + lr.overhead_s;
+
+      const std::size_t gw = net->controller().active_gateways(
+          group_first_chiplet[group_index]);
+      lr.gateways_per_chiplet = gw;
+
+      // Static power in two phases with consistent (time, activation)
+      // pairs: the comm phase at the drain-time configuration, then the
+      // network-idle compute tail — fast-forwarded so ReSiPI sees the
+      // low-demand epochs — at the post-downshift configuration. (Within
+      // each phase the activation is an epoch-granular snapshot.)
+      const auto charge_static = [&](std::size_t chiplet_gw,
+                                     std::size_t total_gw, double seconds) {
+        const auto active_lambda = std::clamp<std::size_t>(
+            chiplet_gw * interposer.wavelengths_per_gateway(), 1,
+            config_.photonic.total_wavelengths);
+        result.ledger.charge_power_for(
+            "network.static",
+            interposer.network_static_power_w(active_lambda, total_gw),
+            seconds);
+        gateway_time_weight += static_cast<double>(total_gw) * seconds;
+      };
+      const double elapsed_s =
+          static_cast<double>(net->cycle() - cycle0) / net->clock_hz();
+      const double comm_phase_s = std::min(elapsed_s, lr.total_s);
+      charge_static(gw, net->controller().total_active_gateways(),
+                    comm_phase_s);
+      if (lr.total_s > elapsed_s) {
+        net->advance_idle_s(lr.total_s - elapsed_s);
+        charge_static(net->controller().active_gateways(
+                          group_first_chiplet[group_index]),
+                      net->controller().total_active_gateways(),
+                      lr.total_s - elapsed_s);
+      }
+      result.ledger.charge_energy("network.transfer",
+                                  interposer.transfer_energy_j(
+                                      reads + writes));
+    } else if (siph) {
       // --- ReSiPI provisioning: demand per assigned chiplet if the layer
       // ran at compute speed (weights striped, inputs broadcast).
       const double per_chiplet_bits =
@@ -225,13 +341,6 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
           per_chiplet_bits / std::max(lr.compute_s, config_.resipi.epoch_s);
 
       std::vector<double> demands(chiplet_count, 0.0);
-      std::size_t group_index = 0;
-      for (std::size_t g = 0; g < platform.groups().size(); ++g) {
-        if (platform.groups()[g].chiplet.kind() == a.group) {
-          group_index = g;
-          break;
-        }
-      }
       for (std::size_t c = 0; c < platform.groups()[group_index].chiplet_count;
            ++c) {
         demands[group_first_chiplet[group_index] + c] = demand_bps;
@@ -329,8 +438,10 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
                                  config_.tech.compute.hbm_static_w,
                                  result.latency_s);
   if (siph) {
-    result.resipi_reconfigurations = controller.reconfiguration_count();
-    result.resipi_energy_j = controller.reconfiguration_energy_j();
+    const noc::ResipiController& resipi =
+        cycle_siph ? net->controller() : controller;
+    result.resipi_reconfigurations = resipi.reconfiguration_count();
+    result.resipi_energy_j = resipi.reconfiguration_energy_j();
     result.ledger.charge_energy("network.pcm_reconfig",
                                 result.resipi_energy_j);
     result.mean_active_gateways =

@@ -13,6 +13,12 @@
 ///      (laser, rings, DAC/ADC, gateways, routers, HBM, controller),
 ///   5. reports average power, end-to-end latency, and energy-per-bit —
 ///      the three metrics of Fig. 7 and Table 3.
+///
+/// Communication time honors SystemConfig::fidelity: the analytical path
+/// uses the closed-form interposer models; at Fidelity::kCycleAccurate the
+/// SiPh transfers are injected into noc::PhotonicCycleNet and measured
+/// cycle by cycle (ReSiPI epochs, PCM stalls, and reader-gateway
+/// contention included).
 
 #include <string>
 #include <vector>

@@ -67,6 +67,7 @@ std::vector<std::string> ResultStore::csv_header() {
           "wavelengths",
           "gateways_per_chiplet",
           "modulation",
+          "fidelity",
           "overrides",
           "latency_s",
           "power_w",
@@ -86,6 +87,7 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
           std::to_string(s.wavelengths),
           std::to_string(s.gateways_per_chiplet),
           photonics::to_string(s.modulation),
+          core::to_string(s.fidelity),
           overrides_to_string(s),
           util::format_general(r.latency_s),
           util::format_general(r.average_power_w),

@@ -92,6 +92,7 @@ void ScenarioSpec::apply(core::SystemConfig& config) const {
   config.photonic.total_wavelengths = wavelengths;
   config.photonic.gateways_per_chiplet = gateways_per_chiplet;
   config.photonic.modulation = modulation;
+  config.fidelity = fidelity;
   config.batch_size = batch_size;
   for (const auto& [name, value] : overrides) {
     OPTIPLET_REQUIRE(apply_override(config, name, value),
@@ -120,7 +121,8 @@ std::string ScenarioSpec::key() const {
   os << "model=" << model << ";arch=" << accel::to_string(arch)
      << ";batch=" << batch_size << ";wl=" << wavelengths
      << ";gw=" << gateways_per_chiplet
-     << ";mod=" << photonics::to_string(modulation);
+     << ";mod=" << photonics::to_string(modulation)
+     << ";fid=" << core::to_string(fidelity);
   for (const auto& [name, value] : sorted) {
     // 17 significant digits round-trip the double, keeping the key exact.
     os << ';' << name << '=' << util::format_general(value, 17);
@@ -161,6 +163,7 @@ std::size_t ScenarioGrid::raw_size() const {
   size *= axis(wavelengths.size());
   size *= axis(gateways_per_chiplet.size());
   size *= axis(modulations.size());
+  size *= axis(fidelities.size());
   for (const auto& [name, values] : override_axes) {
     (void)name;
     size *= axis(values.size());
@@ -194,6 +197,9 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       modulations.empty()
           ? std::vector<photonics::ModulationFormat>{base.photonic.modulation}
           : modulations;
+  const std::vector<core::Fidelity> fid_axis =
+      fidelities.empty() ? std::vector<core::Fidelity>{base.fidelity}
+                         : fidelities;
 
   const auto keys = override_keys();
   for (std::size_t i = 0; i < override_axes.size(); ++i) {
@@ -257,16 +263,19 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
         }
       };
 
-  for (const std::size_t wl : wl_axis) {
-    for (const std::size_t gw : gw_axis) {
-      for (const auto mod : mod_axis) {
-        for (const unsigned batch : batch_axis) {
-          ScenarioSpec partial;
-          partial.wavelengths = wl;
-          partial.gateways_per_chiplet = gw;
-          partial.modulation = mod;
-          partial.batch_size = batch;
-          expand_axis(0, partial);
+  for (const auto fid : fid_axis) {
+    for (const std::size_t wl : wl_axis) {
+      for (const std::size_t gw : gw_axis) {
+        for (const auto mod : mod_axis) {
+          for (const unsigned batch : batch_axis) {
+            ScenarioSpec partial;
+            partial.fidelity = fid;
+            partial.wavelengths = wl;
+            partial.gateways_per_chiplet = gw;
+            partial.modulation = mod;
+            partial.batch_size = batch;
+            expand_axis(0, partial);
+          }
         }
       }
     }
@@ -298,6 +307,16 @@ std::optional<photonics::ModulationFormat> modulation_from_string(
   }
   if (name == "pam4" || name == "PAM-4" || name == "PAM4") {
     return photonics::ModulationFormat::kPam4;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::Fidelity> fidelity_from_string(std::string_view name) {
+  if (name == "analytical" || name == "tlm") {
+    return core::Fidelity::kAnalytical;
+  }
+  if (name == "cycle" || name == "cycle-accurate") {
+    return core::Fidelity::kCycleAccurate;
   }
   return std::nullopt;
 }

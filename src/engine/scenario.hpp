@@ -39,6 +39,9 @@ struct ScenarioSpec {
   std::size_t gateways_per_chiplet = 4;
   photonics::ModulationFormat modulation =
       photonics::ModulationFormat::kOok;
+  /// Interconnect fidelity: analytical transaction model or the
+  /// cycle-accurate photonic interposer (noc::PhotonicCycleNet).
+  core::Fidelity fidelity = core::Fidelity::kAnalytical;
   /// Named SystemConfig overrides, applied after the first-class fields.
   /// Keys must come from override_keys(); kept sorted by apply()/key().
   std::vector<std::pair<std::string, double>> overrides;
@@ -85,6 +88,8 @@ struct ScenarioGrid {
   std::vector<std::size_t> wavelengths;
   std::vector<std::size_t> gateways_per_chiplet;
   std::vector<photonics::ModulationFormat> modulations;
+  /// Fidelity axis; empty = the base configuration's fidelity.
+  std::vector<core::Fidelity> fidelities;
   /// Extra sweep axes over named SystemConfig overrides
   /// (e.g. {"resipi.epoch_s", {5e-6, 10e-6, 20e-6}}).
   std::vector<std::pair<std::string, std::vector<double>>> override_axes;
@@ -93,8 +98,8 @@ struct ScenarioGrid {
   [[nodiscard]] std::size_t raw_size() const;
 
   /// Expand to the feasible spec list. Nesting order (outer to inner):
-  /// wavelengths, gateways, modulation, batch, override axes, architecture,
-  /// model — so a fixed interposer shape yields a contiguous
+  /// fidelity, wavelengths, gateways, modulation, batch, override axes,
+  /// architecture, model — so a fixed interposer shape yields a contiguous
   /// (architecture-major, model-minor) block, the layout the benches
   /// consume. Throws std::invalid_argument for unknown override keys or
   /// unknown model names.
@@ -103,10 +108,13 @@ struct ScenarioGrid {
 };
 
 /// Parse helpers for CLIs: accept the canonical to_string() names plus the
-/// short aliases "mono"/"crosslight", "elec", "siph" and "ook", "pam4".
+/// short aliases "mono"/"crosslight", "elec", "siph" and "ook", "pam4",
+/// and "analytical"/"tlm", "cycle"/"cycle-accurate".
 [[nodiscard]] std::optional<accel::Architecture> architecture_from_string(
     std::string_view name);
 [[nodiscard]] std::optional<photonics::ModulationFormat>
 modulation_from_string(std::string_view name);
+[[nodiscard]] std::optional<core::Fidelity> fidelity_from_string(
+    std::string_view name);
 
 }  // namespace optiplet::engine

@@ -1,0 +1,247 @@
+#pragma once
+/// \file photonic_cycle_net.hpp
+/// Cycle-accurate photonic interposer network (paper §V, Fig. 6) on the
+/// two-phase sim::CycleEngine — the high-fidelity counterpart of the
+/// closed-form PhotonicInterposer transaction model.
+///
+/// What the analytical model cannot see, this one simulates per gateway
+/// clock cycle:
+///   * **SWMR broadcast arbitration** — the memory writer serializes read
+///     transfers onto the shared WDM medium; each transfer is granted a
+///     wavelength slice bounded by the destination reader's active filter
+///     rows (active_gateways * wavelengths_per_gateway) and by the channels
+///     still free on the bus, so contention at reader gateways queues
+///     transfers instead of averaging them away;
+///   * **SWSR return channels** — one dedicated waveguide per compute
+///     chiplet back to the memory chiplet, serialized at the chiplet's
+///     currently active gateway bandwidth;
+///   * **serialization** at the configured symbol rate and modulation
+///     (line_rate / gateway_clock bits per channel per cycle), plus
+///     store-and-forward buffering and photon time of flight;
+///   * **ReSiPI epochs in-cycle** — the embedded ResipiController observes
+///     real injected demand at epoch boundaries; gateway activation changes
+///     take effect at the epoch commit and stall the affected chiplet's
+///     gateways for the PCM write latency (the reconfiguration transient).
+///
+/// Determinism: no randomness, fixed iteration orders, and the two-phase
+/// evaluate/commit contract — results are bit-identical for any component
+/// registration order and across SweepRunner thread counts.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/photonic_interposer.hpp"
+#include "noc/resipi_controller.hpp"
+#include "power/tech_params.hpp"
+#include "sim/cycle_engine.hpp"
+#include "sim/stats.hpp"
+
+namespace optiplet::noc {
+
+struct PhotonicCycleNetConfig {
+  PhotonicInterposerConfig interposer{};
+  ResipiConfig resipi{};
+  /// Chiplets managed as read/write endpoints (defaults to
+  /// interposer.compute_chiplets when 0).
+  std::size_t chiplet_count = 0;
+  /// When false, every gateway is pinned active and no epochs run — the
+  /// pure-medium characterization mode used by the traffic bench.
+  bool resipi_enabled = true;
+};
+
+/// One retired transfer, for per-layer latency accounting.
+struct CompletedTransfer {
+  std::uint64_t id = 0;
+  bool is_write = false;
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t done_cycle = 0;  ///< delivery incl. time of flight
+};
+
+/// Aggregate statistics over the run so far.
+struct PhotonicCycleNetStats {
+  sim::RunningStat read_latency_cycles;
+  sim::RunningStat write_latency_cycles;
+  std::uint64_t read_bits_delivered = 0;
+  std::uint64_t write_bits_delivered = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t epochs = 0;
+  /// Cycles during which at least one chiplet was stalled on a PCM write.
+  std::uint64_t stall_cycles = 0;
+};
+
+/// The cycle-accurate photonic interposer.
+class PhotonicCycleNet {
+ public:
+  PhotonicCycleNet(const PhotonicCycleNetConfig& config,
+                   const power::PhotonicTech& tech);
+
+  // ---- traffic ----
+
+  /// Queue a memory->chiplet read transfer; returns its id.
+  std::uint64_t inject_read(std::size_t chiplet, std::uint64_t bits);
+
+  /// Queue one broadcast read transfer delivered to every chiplet in
+  /// `targets` simultaneously (the SWMR input broadcast); returns its id.
+  std::uint64_t inject_broadcast(const std::vector<std::size_t>& targets,
+                                 std::uint64_t bits);
+
+  /// Queue a chiplet->memory write transfer; returns its id.
+  std::uint64_t inject_write(std::size_t chiplet, std::uint64_t bits);
+
+  // ---- simulation ----
+
+  /// Advance one gateway clock cycle (both engine phases).
+  void step();
+
+  /// True when no transfer is queued or in flight.
+  [[nodiscard]] bool drained() const;
+
+  /// Run until drained or `max_cycles` elapse; returns true when drained.
+  bool run_until_drained(std::uint64_t max_cycles);
+
+  /// Fast-forward `cycles` of traffic-free time (compute phases between
+  /// layers): epoch boundaries still fire — with whatever demand the
+  /// partial epoch accumulated, then zero — so ReSiPI downshifts exactly as
+  /// it would under per-cycle stepping, without stepping per cycle.
+  /// Requires drained().
+  void advance_idle(std::uint64_t cycles);
+
+  /// advance_idle() in seconds of the gateway clock domain.
+  void advance_idle_s(double seconds);
+
+  // ---- observability ----
+
+  [[nodiscard]] std::uint64_t cycle() const { return now_; }
+  [[nodiscard]] double clock_hz() const {
+    return config_.interposer.gateway_clock_hz;
+  }
+  [[nodiscard]] double time_s() const {
+    return static_cast<double>(now_) / clock_hz();
+  }
+  [[nodiscard]] const PhotonicCycleNetStats& stats() const { return stats_; }
+  /// Retired transfers in completion order (grows monotonically; callers
+  /// track their own read index for windowed accounting).
+  [[nodiscard]] const std::vector<CompletedTransfer>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const ResipiController& controller() const {
+    return controller_;
+  }
+  /// Sum over elapsed cycles of total active gateways (time-weighted
+  /// activation integral, for static-power accounting).
+  [[nodiscard]] std::uint64_t gateway_cycle_weight() const {
+    return gateway_cycle_weight_;
+  }
+  [[nodiscard]] std::size_t chiplet_count() const { return chiplets_.size(); }
+  [[nodiscard]] double bits_per_cycle_per_channel() const {
+    return bits_per_cycle_per_channel_;
+  }
+  [[nodiscard]] std::uint64_t store_forward_cycles() const {
+    return store_forward_cycles_;
+  }
+  [[nodiscard]] std::uint64_t time_of_flight_cycles() const {
+    return tof_cycles_;
+  }
+  [[nodiscard]] std::uint64_t epoch_cycles() const { return epoch_cycles_; }
+  [[nodiscard]] const PhotonicCycleNetConfig& config() const {
+    return config_;
+  }
+  /// True while `chiplet`'s gateways are dark mid-PCM-write.
+  [[nodiscard]] bool stalled(std::size_t chiplet) const;
+
+ private:
+  struct ReadTransfer {
+    std::uint64_t id = 0;
+    std::vector<std::size_t> targets;
+    std::uint64_t payload_bits = 0;
+    double remaining_bits = 0.0;
+    std::uint64_t inject_cycle = 0;
+    std::uint64_t eligible_cycle = 0;  ///< after store-and-forward fill
+    std::size_t channels = 0;          ///< granted wavelength slice
+    bool granted = false;
+  };
+  struct WriteTransfer {
+    std::uint64_t id = 0;
+    std::uint64_t payload_bits = 0;
+    double remaining_bits = 0.0;
+    std::uint64_t inject_cycle = 0;
+    std::uint64_t eligible_cycle = 0;
+  };
+  struct ChipletState {
+    std::vector<WriteTransfer> write_queue;  ///< FIFO, head serializing
+    std::size_t read_channels_in_use = 0;
+    std::uint64_t stall_until_cycle = 0;
+    std::uint64_t epoch_demand_bits = 0;
+  };
+
+  /// Phase hooks for the three engine components. The net is the single
+  /// owner of all state; the component objects only dispatch into it.
+  void evaluate_broadcast();
+  void commit_broadcast();
+  void evaluate_returns();
+  void commit_returns();
+  void commit_epoch();
+
+  void run_epoch_boundary(std::uint64_t boundary_cycle);
+  [[nodiscard]] std::size_t reader_capacity(std::size_t chiplet) const;
+  [[nodiscard]] std::size_t active_gateways(std::size_t chiplet) const;
+  void retire(std::uint64_t id, bool is_write, std::uint64_t inject_cycle,
+              std::uint64_t bits);
+
+  /// Adapter binding one evaluate/commit pair to the engine.
+  class Component : public sim::CycleComponent {
+   public:
+    using Hook = void (PhotonicCycleNet::*)();
+    Component(PhotonicCycleNet& net, Hook evaluate, Hook commit)
+        : net_(net), evaluate_(evaluate), commit_(commit) {}
+    void evaluate(std::uint64_t) override {
+      if (evaluate_ != nullptr) (net_.*evaluate_)();
+    }
+    void commit(std::uint64_t) override {
+      if (commit_ != nullptr) (net_.*commit_)();
+    }
+
+   private:
+    PhotonicCycleNet& net_;
+    Hook evaluate_;
+    Hook commit_;
+  };
+
+  PhotonicCycleNetConfig config_;
+  PhotonicInterposer interposer_;
+  ResipiController controller_;
+  sim::CycleEngine engine_;
+  Component broadcast_component_;
+  Component return_component_;
+  Component epoch_component_;
+
+  // Derived timing constants (gateway clock domain).
+  double bits_per_cycle_per_channel_ = 0.0;
+  std::uint64_t store_forward_cycles_ = 0;
+  std::uint64_t tof_cycles_ = 0;
+  std::uint64_t epoch_cycles_ = 0;
+  std::uint64_t pcm_write_cycles_ = 0;
+
+  /// The authoritative clock: engine cycles plus idle fast-forward. All
+  /// transfer timing uses this so advance_idle() keeps epochs and
+  /// latencies aligned (engine_.cycle() lags it after a fast-forward).
+  std::uint64_t now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t free_channels_ = 0;
+
+  std::vector<ReadTransfer> reads_;  ///< FIFO: granted + waiting
+  std::vector<ChipletState> chiplets_;
+
+  // Staged during evaluate, applied at commit (two-phase contract).
+  std::vector<std::size_t> retired_read_slots_;
+  std::vector<std::size_t> granted_read_slots_;
+  std::vector<std::size_t> granted_read_channels_;
+  std::vector<std::size_t> retired_write_chiplets_;
+
+  std::vector<CompletedTransfer> completed_;
+  PhotonicCycleNetStats stats_;
+  std::uint64_t gateway_cycle_weight_ = 0;
+};
+
+}  // namespace optiplet::noc

@@ -1,0 +1,115 @@
+/// \file photonic_calibration_test.cpp
+/// Cross-checks the closed-form PhotonicInterposer transaction model
+/// against the cycle-accurate PhotonicCycleNet — the photonic counterpart
+/// of calibration_test.cpp. At low load the two fidelities must agree
+/// within a tolerance band, or Fig. 7 / Table 3 results produced at
+/// analytical fidelity are not grounded in the cycle model (and vice
+/// versa); under contention the cycle model is allowed to be slower, never
+/// faster, than the contention-free analytical bound.
+
+#include <gtest/gtest.h>
+
+#include "core/system_config.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/zoo.hpp"
+#include "noc/photonic_cycle_net.hpp"
+#include "noc/photonic_interposer.hpp"
+
+namespace optiplet::core {
+namespace {
+
+noc::PhotonicCycleNetConfig pinned_config() {
+  noc::PhotonicCycleNetConfig cfg;
+  cfg.resipi_enabled = false;
+  return cfg;
+}
+
+TEST(PhotonicCalibration, ZeroLoadLatencyAgreesWithCycleSim) {
+  const noc::PhotonicCycleNetConfig cfg = pinned_config();
+  const noc::PhotonicInterposer interposer(cfg.interposer,
+                                           power::PhotonicTech{});
+  noc::PhotonicCycleNet net(cfg, power::PhotonicTech{});
+
+  constexpr std::uint64_t kBits = 16'384;
+  net.inject_read(0, kBits);
+  ASSERT_TRUE(net.run_until_drained(100'000));
+  const double measured_s =
+      static_cast<double>(net.completed().front().done_cycle) /
+      net.clock_hz();
+  const double analytic_s = interposer.transfer_latency_s(
+      kBits,
+      interposer.swmr_bandwidth_bps(cfg.interposer.total_wavelengths));
+  // The cycle model quantizes store-and-forward, grant turnaround, and
+  // serialization to gateway cycles; the analytical form is continuous.
+  // At zero load they must sit within 5% of each other.
+  EXPECT_GT(analytic_s, measured_s * 0.95);
+  EXPECT_LT(analytic_s, measured_s * 1.05);
+}
+
+TEST(PhotonicCalibration, SaturatedReadsReachAnalyticalBandwidth) {
+  const noc::PhotonicCycleNetConfig cfg = pinned_config();
+  const noc::PhotonicInterposer interposer(cfg.interposer,
+                                           power::PhotonicTech{});
+  noc::PhotonicCycleNet net(cfg, power::PhotonicTech{});
+  constexpr std::uint64_t kBits = 16'384;
+  constexpr std::size_t kPackets = 100;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    net.inject_read(i % net.chiplet_count(), kBits);
+  }
+  ASSERT_TRUE(net.run_until_drained(1'000'000));
+  const double delivered_bps =
+      static_cast<double>(net.stats().read_bits_delivered) /
+      net.time_s();
+  const double analytic_bps =
+      interposer.swmr_bandwidth_bps(cfg.interposer.total_wavelengths);
+  // The cycle model may not deliver more than the physical medium, and
+  // back-to-back transfers must come within 10% of it (the loss is the
+  // initial buffer fill plus per-grant turnaround cycles).
+  EXPECT_LE(delivered_bps, analytic_bps);
+  EXPECT_GT(delivered_bps, 0.9 * analytic_bps);
+}
+
+TEST(PhotonicCalibration, SystemRunAgreesAtLowLoad) {
+  // LeNet5 is the low-load case: every layer fits in minimum-gateway
+  // provisioning, so no epoch transients fire and the two fidelities must
+  // track each other tightly.
+  SystemConfig analytical = default_system_config();
+  SystemConfig cycle = analytical;
+  cycle.fidelity = Fidelity::kCycleAccurate;
+  const auto model = dnn::zoo::by_name("LeNet5");
+  const auto a = SystemSimulator(analytical).run(
+      model, accel::Architecture::kSiph2p5D);
+  const auto c = SystemSimulator(cycle).run(
+      model, accel::Architecture::kSiph2p5D);
+  ASSERT_EQ(a.traffic_bits, c.traffic_bits);
+  EXPECT_GT(c.latency_s, a.latency_s * 0.95);
+  EXPECT_LT(c.latency_s, a.latency_s * 1.05);
+  EXPECT_GT(c.energy_j, a.energy_j * 0.95);
+  EXPECT_LT(c.energy_j, a.energy_j * 1.05);
+}
+
+TEST(PhotonicCalibration, ContentionOnlySlowsTheCycleModelWithinBounds) {
+  // MobileNetV2 provisions gateways up and down across its 52 layers: the
+  // cycle model sees reader-gateway contention and ReSiPI transients the
+  // analytical model averages away, so it may run slower — bounded, and
+  // never faster than half the analytical estimate would suggest.
+  SystemConfig analytical = default_system_config();
+  SystemConfig cycle = analytical;
+  cycle.fidelity = Fidelity::kCycleAccurate;
+  const auto model = dnn::zoo::by_name("MobileNetV2");
+  const auto a = SystemSimulator(analytical).run(
+      model, accel::Architecture::kSiph2p5D);
+  const auto c = SystemSimulator(cycle).run(
+      model, accel::Architecture::kSiph2p5D);
+  ASSERT_EQ(a.traffic_bits, c.traffic_bits);
+  EXPECT_GT(c.latency_s, a.latency_s * 0.9);
+  EXPECT_LT(c.latency_s, a.latency_s * 1.5);
+  EXPECT_GT(c.energy_j, a.energy_j * 0.9);
+  EXPECT_LT(c.energy_j, a.energy_j * 1.3);
+  // The cycle path must actually exercise the epoch machinery.
+  EXPECT_GT(c.resipi_reconfigurations, 0u);
+  EXPECT_GT(c.mean_active_gateways, 8.0);  // above the 8-chiplet minimum
+}
+
+}  // namespace
+}  // namespace optiplet::core

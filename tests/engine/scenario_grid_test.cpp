@@ -44,6 +44,9 @@ TEST(ScenarioSpec, KeyDistinguishesEveryField) {
   other.modulation = photonics::ModulationFormat::kPam4;
   EXPECT_NE(base.key(), other.key());
   other = base;
+  other.fidelity = core::Fidelity::kCycleAccurate;
+  EXPECT_NE(base.key(), other.key());
+  other = base;
   other.overrides = {{"resipi.epoch_s", 5e-6}};
   EXPECT_NE(base.key(), other.key());
 }
@@ -69,6 +72,7 @@ TEST(ScenarioSpec, ApplyImprintsConfig) {
   spec.wavelengths = 32;
   spec.gateways_per_chiplet = 2;
   spec.modulation = photonics::ModulationFormat::kPam4;
+  spec.fidelity = core::Fidelity::kCycleAccurate;
   spec.overrides = {{"resipi.epoch_s", 5e-6}};
   core::SystemConfig cfg = core::default_system_config();
   spec.apply(cfg);
@@ -76,6 +80,7 @@ TEST(ScenarioSpec, ApplyImprintsConfig) {
   EXPECT_EQ(cfg.photonic.total_wavelengths, 32u);
   EXPECT_EQ(cfg.photonic.gateways_per_chiplet, 2u);
   EXPECT_EQ(cfg.photonic.modulation, photonics::ModulationFormat::kPam4);
+  EXPECT_EQ(cfg.fidelity, core::Fidelity::kCycleAccurate);
   EXPECT_DOUBLE_EQ(cfg.resipi.epoch_s, 5e-6);
 }
 

@@ -58,6 +58,37 @@ TEST(SweepRunner, DeterministicAcrossThreadCounts) {
   expect_identical(outcomes[0], outcomes[2]);
 }
 
+TEST(SweepRunner, CycleFidelityDeterministicAcrossThreadCounts) {
+  // The cycle-accurate photonic path drives ReSiPI epochs from simulated
+  // traffic; its per-run state (controller activation, PCM stalls) must
+  // stay confined to the scenario so results are bit-identical no matter
+  // how the pool schedules them.
+  ScenarioGrid grid;
+  grid.models = {"LeNet5", "MobileNetV2"};
+  grid.architectures = {accel::Architecture::kSiph2p5D};
+  grid.fidelities = {core::Fidelity::kCycleAccurate};
+  const auto base = core::default_system_config();
+  const std::size_t hw = ThreadPool::resolve_threads(0);
+  std::vector<std::vector<ScenarioResult>> outcomes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    SweepRunner runner(base, SweepOptions{.threads = threads});
+    outcomes.push_back(runner.run(grid));
+  }
+  expect_identical(outcomes[0], outcomes[1]);
+  expect_identical(outcomes[0], outcomes[2]);
+  for (std::size_t i = 0; i < outcomes[0].size(); ++i) {
+    // Epoch-path observables, bit-identical too.
+    EXPECT_EQ(outcomes[0][i].run.resipi_reconfigurations,
+              outcomes[1][i].run.resipi_reconfigurations);
+    EXPECT_EQ(outcomes[0][i].run.resipi_reconfigurations,
+              outcomes[2][i].run.resipi_reconfigurations);
+    EXPECT_EQ(outcomes[0][i].run.mean_active_gateways,
+              outcomes[1][i].run.mean_active_gateways);
+    EXPECT_EQ(outcomes[0][i].run.mean_active_gateways,
+              outcomes[2][i].run.mean_active_gateways);
+  }
+}
+
 TEST(SweepRunner, EvaluateMatchesDirectSimulatorRun) {
   const auto base = core::default_system_config();
   ScenarioSpec spec;

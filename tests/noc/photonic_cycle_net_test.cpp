@@ -1,0 +1,228 @@
+#include "noc/photonic_cycle_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace optiplet::noc {
+namespace {
+
+PhotonicCycleNetConfig pinned_config() {
+  PhotonicCycleNetConfig cfg;
+  cfg.resipi_enabled = false;  // all gateways lit: pure-medium behavior
+  return cfg;
+}
+
+/// Expected zero-load latency [cycles] for one transfer serialized over
+/// `channels` wavelengths: store-and-forward fill, grant turnaround, the
+/// serialization itself, and photon time of flight.
+std::uint64_t expected_zero_load_cycles(const PhotonicCycleNet& net,
+                                        std::uint64_t bits,
+                                        std::size_t channels) {
+  const auto serialize = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(bits) /
+                (static_cast<double>(channels) *
+                 net.bits_per_cycle_per_channel())));
+  return net.store_forward_cycles() + serialize + 1 +
+         net.time_of_flight_cycles();
+}
+
+TEST(PhotonicCycleNet, ZeroLoadReadLatencyIsExact) {
+  PhotonicCycleNet net(pinned_config(), power::PhotonicTech{});
+  const std::uint64_t bits = 16'384;
+  net.inject_read(0, bits);
+  ASSERT_TRUE(net.run_until_drained(100'000));
+  ASSERT_EQ(net.stats().reads_completed, 1u);
+  // Full activation: the reader's 4x16-channel filter bank covers the whole
+  // 64-wavelength medium.
+  EXPECT_EQ(net.completed().front().done_cycle,
+            expected_zero_load_cycles(net, bits, 64));
+  EXPECT_EQ(net.stats().read_bits_delivered, bits);
+}
+
+TEST(PhotonicCycleNet, ZeroLoadWriteMatchesReadPath) {
+  PhotonicCycleNet net(pinned_config(), power::PhotonicTech{});
+  const std::uint64_t bits = 16'384;
+  net.inject_write(3, bits);
+  ASSERT_TRUE(net.run_until_drained(100'000));
+  ASSERT_EQ(net.stats().writes_completed, 1u);
+  EXPECT_EQ(net.completed().front().done_cycle,
+            expected_zero_load_cycles(net, bits, 64));
+}
+
+TEST(PhotonicCycleNet, BroadcastDeliversOnceOverSharedMedium) {
+  PhotonicCycleNet net(pinned_config(), power::PhotonicTech{});
+  const std::uint64_t bits = 16'384;
+  net.inject_broadcast({0, 1, 2}, bits);
+  ASSERT_TRUE(net.run_until_drained(100'000));
+  // One medium transfer, not one per reader: the SWMR bus carries the
+  // payload once and every listed reader filter-drops it.
+  EXPECT_EQ(net.stats().reads_completed, 1u);
+  EXPECT_EQ(net.stats().read_bits_delivered, bits);
+  EXPECT_EQ(net.completed().front().done_cycle,
+            expected_zero_load_cycles(net, bits, 64));
+}
+
+TEST(PhotonicCycleNet, ReadsContendForTheMediumWritesDoNot) {
+  // Two same-size reads to different chiplets share the 64-channel medium
+  // FIFO-granted, so the second finishes roughly a serialization later;
+  // two writes ride dedicated SWSR waveguides and finish together.
+  const std::uint64_t bits = 16'384;
+  PhotonicCycleNet reads(pinned_config(), power::PhotonicTech{});
+  reads.inject_read(0, bits);
+  reads.inject_read(1, bits);
+  ASSERT_TRUE(reads.run_until_drained(100'000));
+  ASSERT_EQ(reads.stats().reads_completed, 2u);
+  const auto first = reads.completed()[0].done_cycle;
+  const auto second = reads.completed()[1].done_cycle;
+  EXPECT_GT(second, first);  // medium was occupied by the first grant
+
+  PhotonicCycleNet writes(pinned_config(), power::PhotonicTech{});
+  writes.inject_write(0, bits);
+  writes.inject_write(1, bits);
+  ASSERT_TRUE(writes.run_until_drained(100'000));
+  ASSERT_EQ(writes.stats().writes_completed, 2u);
+  EXPECT_EQ(writes.completed()[0].done_cycle,
+            writes.completed()[1].done_cycle);
+}
+
+TEST(PhotonicCycleNet, SaturatedReadsApproachMediumBandwidth) {
+  PhotonicCycleNet net(pinned_config(), power::PhotonicTech{});
+  const std::uint64_t bits = 16'384;
+  const std::size_t packets = 100;
+  for (std::size_t i = 0; i < packets; ++i) {
+    net.inject_read(i % net.chiplet_count(), bits);
+  }
+  ASSERT_TRUE(net.run_until_drained(1'000'000));
+  const double medium_bits_per_cycle =
+      64.0 * net.bits_per_cycle_per_channel();
+  const double delivered_fraction =
+      static_cast<double>(net.stats().read_bits_delivered) /
+      (static_cast<double>(net.cycle()) * medium_bits_per_cycle);
+  // Back-to-back transfers keep the medium busy outside the initial
+  // store-and-forward fill and the per-grant turnaround cycles.
+  EXPECT_GT(delivered_fraction, 0.9);
+  EXPECT_LE(delivered_fraction, 1.0);
+}
+
+TEST(PhotonicCycleNet, EpochDrivenUpshiftHysteresisAndDownshift) {
+  PhotonicCycleNetConfig cfg;
+  cfg.resipi.epoch_s = 1.0 * units::us;  // 2000 gateway cycles
+  power::PhotonicTech tech;
+  tech.pcm.write_time_s = 50.0 * units::ns;  // short stalls for the test
+  PhotonicCycleNet net(cfg, tech);
+  const double gw_bw = 16.0 * net.bits_per_cycle_per_channel() *
+                       net.clock_hz();  // one gateway, bits/s
+  ASSERT_NEAR(gw_bw, 192e9, 1e6);
+
+  // Epoch 1: demand worth 3 gateways (2.45x one gateway at 85% target).
+  net.inject_read(0, 400'000);
+  // Provisioning lag: the controller cannot react before the boundary.
+  while (net.cycle() < net.epoch_cycles() - 1) {
+    net.step();
+  }
+  EXPECT_EQ(net.controller().active_gateways(0), 1u);
+  net.step();  // commits the first epoch boundary
+  EXPECT_EQ(net.controller().active_gateways(0), 3u);
+  EXPECT_EQ(net.controller().reconfiguration_count(), 2u);
+
+  // Epoch 2: demand needs only 2 gateways but would run them at 78% —
+  // above the 60% downshift threshold, so hysteresis holds at 3.
+  net.inject_read(0, 300'000);
+  while (net.cycle() < 2 * net.epoch_cycles()) {
+    net.step();
+  }
+  EXPECT_EQ(net.controller().active_gateways(0), 3u);
+  EXPECT_EQ(net.controller().reconfiguration_count(), 2u);
+
+  // Epoch 3: demand at 52% of a single gateway — below the threshold, so
+  // the boundary downshifts to the minimum.
+  net.inject_read(0, 100'000);
+  while (net.cycle() < 3 * net.epoch_cycles()) {
+    net.step();
+  }
+  EXPECT_EQ(net.controller().active_gateways(0), 1u);
+  EXPECT_EQ(net.controller().reconfiguration_count(), 4u);
+
+  // The PCM writes darkened chiplet 0's gateways for the write latency.
+  EXPECT_GT(net.stats().stall_cycles, 0u);
+  ASSERT_TRUE(net.run_until_drained(1'000'000));
+  EXPECT_EQ(net.stats().epochs, 3u);
+}
+
+TEST(PhotonicCycleNet, PcmStallPausesInFlightTraffic) {
+  PhotonicCycleNetConfig cfg;
+  cfg.resipi.epoch_s = 1.0 * units::us;
+  PhotonicCycleNet with_stall(cfg, power::PhotonicTech{});  // 1 us PCM write
+  power::PhotonicTech instant;
+  instant.pcm.write_time_s = 0.0;
+  PhotonicCycleNet no_stall(cfg, instant);
+  // Demand large enough to upshift at the first boundary and still be
+  // serializing when the PCM write lands.
+  with_stall.inject_read(0, 400'000);
+  no_stall.inject_read(0, 400'000);
+  ASSERT_TRUE(with_stall.run_until_drained(1'000'000));
+  ASSERT_TRUE(no_stall.run_until_drained(1'000'000));
+  EXPECT_GT(with_stall.stats().stall_cycles, 0u);
+  EXPECT_EQ(no_stall.stats().stall_cycles, 0u);
+  EXPECT_GT(with_stall.completed().front().done_cycle,
+            no_stall.completed().front().done_cycle);
+}
+
+TEST(PhotonicCycleNet, AdvanceIdleDownshiftsThroughEpochBoundaries) {
+  PhotonicCycleNetConfig cfg;
+  cfg.resipi.epoch_s = 1.0 * units::us;
+  power::PhotonicTech tech;
+  tech.pcm.write_time_s = 50.0 * units::ns;
+  PhotonicCycleNet net(cfg, tech);
+  // Epoch 1 upshifts to 3 gateways; epoch 2's demand keeps hysteresis
+  // holding them. All traffic drains inside epoch 3.
+  net.inject_read(0, 400'000);
+  while (net.cycle() < net.epoch_cycles()) {
+    net.step();
+  }
+  net.inject_read(0, 300'000);
+  while (net.cycle() < 2 * net.epoch_cycles() + 800) {
+    net.step();
+  }
+  ASSERT_TRUE(net.drained());
+  ASSERT_EQ(net.controller().active_gateways(0), 3u);
+  const std::uint64_t cycle_before = net.cycle();
+  // Two fast-forwarded epochs: the boundary inside the window must fire
+  // with zero demand and park the extra gateways.
+  net.advance_idle(2 * net.epoch_cycles());
+  EXPECT_EQ(net.cycle(), cycle_before + 2 * net.epoch_cycles());
+  EXPECT_EQ(net.controller().active_gateways(0), 1u);
+  EXPECT_GE(net.stats().epochs, 3u);
+}
+
+TEST(PhotonicCycleNet, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    PhotonicCycleNetConfig cfg;
+    cfg.resipi.epoch_s = 1.0 * units::us;
+    PhotonicCycleNet net(cfg, power::PhotonicTech{});
+    for (std::size_t i = 0; i < 32; ++i) {
+      net.inject_read(i % net.chiplet_count(), 10'000 + 1'000 * i);
+      net.inject_write((i + 3) % net.chiplet_count(), 5'000 + 500 * i);
+    }
+    EXPECT_TRUE(net.run_until_drained(1'000'000));
+    return std::tuple{net.cycle(), net.stats().read_latency_cycles.mean(),
+                      net.stats().write_latency_cycles.mean(),
+                      net.controller().reconfiguration_count(),
+                      net.gateway_cycle_weight()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PhotonicCycleNet, GatewayWeightTracksActivation) {
+  // Pinned mode: every cycle carries chiplets * gateways_per_chiplet.
+  PhotonicCycleNet net(pinned_config(), power::PhotonicTech{});
+  net.inject_read(0, 16'384);
+  ASSERT_TRUE(net.run_until_drained(100'000));
+  EXPECT_EQ(net.gateway_cycle_weight(), net.cycle() * 8u * 4u);
+}
+
+}  // namespace
+}  // namespace optiplet::noc

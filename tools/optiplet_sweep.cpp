@@ -39,6 +39,10 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.
   --wavelengths LIST   comma list of WDM channel counts
   --gateways LIST      comma list of gateways per chiplet
   --modulations LIST   comma list of ook|pam4
+  --fidelity LIST      comma list of analytical|cycle (default analytical).
+                       "cycle" drives the SiPh interposer cycle-accurately
+                       (SWMR/SWSR arbitration + in-cycle ReSiPI epochs);
+                       other architectures always use the analytical model
   --set KEY=V1,V2,...  sweep axis over a named SystemConfig override
                        (repeatable; see --list-overrides)
   --threads N          worker threads (default 0 = hardware concurrency)
@@ -46,6 +50,8 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.
   --quiet              suppress the progress meter
   --list-overrides     print the valid --set keys and exit
   --help               this text
+
+Value flags also accept the --flag=value spelling (e.g. --fidelity=cycle).
 )";
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -101,13 +107,29 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
+    std::string arg = args[i];
+    // --flag=value spelling: split once; --set keeps its own KEY=... value.
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      }
+    }
     const auto next_value = [&]() -> std::optional<std::string> {
+      if (inline_value) {
+        return inline_value;
+      }
       if (i + 1 >= args.size()) {
         return std::nullopt;
       }
       return args[++i];
     };
+    if (inline_value &&
+        (arg == "--help" || arg == "-h" || arg == "--quiet" ||
+         arg == "--list-overrides")) {
+      return fail("flag does not take a value: " + arg);
+    }
     if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
@@ -125,8 +147,8 @@ int main(int argc, char** argv) {
     const bool known_value_flag =
         arg == "--models" || arg == "--archs" || arg == "--batch-sizes" ||
         arg == "--wavelengths" || arg == "--gateways" ||
-        arg == "--modulations" || arg == "--set" || arg == "--threads" ||
-        arg == "--out";
+        arg == "--modulations" || arg == "--fidelity" || arg == "--set" ||
+        arg == "--threads" || arg == "--out";
     if (!known_value_flag) {
       return fail("unknown flag: " + arg);
     }
@@ -183,6 +205,14 @@ int main(int argc, char** argv) {
           return fail("unknown modulation: " + name);
         }
         grid.modulations.push_back(*mod);
+      }
+    } else if (arg == "--fidelity") {
+      for (const auto& name : split(*value, ',')) {
+        const auto fid = engine::fidelity_from_string(name);
+        if (!fid) {
+          return fail("unknown fidelity: " + name);
+        }
+        grid.fidelities.push_back(*fid);
       }
     } else if (arg == "--set") {
       const auto eq = value->find('=');
