@@ -1,0 +1,120 @@
+/// \file serving_load_sweep.cpp
+/// Request-level serving characterization: per-request latency versus
+/// offered load, per batching policy, with the ReSiPI controller in its
+/// default adaptive mode and pinned to full gateway provisioning.
+///
+/// The open-loop arrival process makes the expected hockey-stick visible:
+/// below the capacity knee, latency sits near the batch service time; past
+/// it the queue grows for the whole (finite) run and the tail explodes.
+/// Batching policies push the knee to higher offered loads by amortizing
+/// weight traffic and per-layer overheads across the batch — the
+/// throughput/latency trade the serving simulator exists to quantify.
+///
+/// Dumps serving_load_sweep.csv next to the binary for plotting.
+
+#include <cstdio>
+
+#include "dnn/zoo.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "serve/service_time.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+constexpr const char* kModel = "LeNet5";
+constexpr std::uint64_t kRequestsPerPoint = 1500;
+
+/// Offered load as a fraction of the no-batch capacity 1/D(1).
+constexpr double kUtilizations[] = {0.2, 0.4, 0.6, 0.8,
+                                    0.9, 1.0, 1.1, 1.3};
+
+}  // namespace
+
+int main() {
+  const core::SystemConfig base = core::default_system_config();
+
+  // The no-batch capacity anchor: one request's service time in isolation.
+  serve::ServiceTimeOracle oracle(
+      {{dnn::zoo::by_name(kModel), base}}, accel::Architecture::kSiph2p5D);
+  const double service_s = oracle.batch_run(0, 1).latency_s;
+  const double capacity_rps = 1.0 / service_s;
+  std::printf("%s on 2.5D-CrossLight-SiPh: batch-1 service %.1f us, "
+              "no-batch capacity %.0f requests/s\n\n",
+              kModel, service_s * 1e6, capacity_rps);
+
+  engine::ScenarioGrid grid;
+  grid.tenant_mixes = {kModel};
+  grid.architectures = {accel::Architecture::kSiph2p5D};
+  grid.batch_policies = {serve::BatchPolicy::kNone,
+                         serve::BatchPolicy::kFixedSize,
+                         serve::BatchPolicy::kDeadline};
+  for (const double util : kUtilizations) {
+    grid.arrival_rates_rps.push_back(util * capacity_rps);
+  }
+  // Section axis: ReSiPI adaptive (min 1 active gateway) vs pinned to the
+  // full complement (no reconfiguration, maximum static provisioning).
+  const auto gateways =
+      static_cast<double>(base.photonic.gateways_per_chiplet);
+  grid.override_axes = {{"resipi.min_active_gateways", {1.0, gateways}}};
+  grid.serving_defaults.requests = kRequestsPerPoint;
+  grid.serving_defaults.max_batch = 8;
+  grid.serving_defaults.max_wait_s = 200e-6;
+
+  engine::SweepRunner runner(base);
+  const engine::ResultStore store(runner.run(grid));
+  OPTIPLET_REQUIRE(!store.empty(), "serving load sweep produced no results");
+
+  util::CsvWriter csv("serving_load_sweep.csv",
+                      {"resipi_mode", "policy", "offered_rps",
+                       "offered_util", "throughput_rps", "mean_s", "p50_s",
+                       "p95_s", "p99_s", "sla_violation_rate", "mean_batch",
+                       "utilization", "energy_per_request_j"});
+  OPTIPLET_REQUIRE(csv.ok(), "cannot write serving_load_sweep.csv");
+
+  for (const bool pinned : {false, true}) {
+    std::printf("=== ReSiPI %s ===\n",
+                pinned ? "pinned (all gateways active)" : "adaptive");
+    util::TextTable table({"Policy", "Offered (r/s)", "Util", "Thpt (r/s)",
+                           "p50 (us)", "p99 (us)", "E/req (mJ)"});
+    for (const auto& r : store.results()) {
+      OPTIPLET_REQUIRE(r.serving.has_value(),
+                       "serving sweep row without serving metrics");
+      const bool row_pinned = r.spec.overrides.front().second == gateways;
+      if (row_pinned != pinned) {
+        continue;
+      }
+      const auto& m = *r.serving;
+      const double offered = r.spec.serving->arrival_rps;
+      table.add_row({serve::to_string(r.spec.serving->policy),
+                     util::format_fixed(offered, 0),
+                     util::format_fixed(offered / capacity_rps, 2),
+                     util::format_fixed(m.throughput_rps, 0),
+                     util::format_fixed(m.p50_s * 1e6, 1),
+                     util::format_fixed(m.p99_s * 1e6, 1),
+                     util::format_fixed(m.energy_per_request_j * 1e3, 3)});
+      csv.add_row({pinned ? "pinned" : "adaptive",
+                   serve::to_string(r.spec.serving->policy),
+                   util::format_general(offered),
+                   util::format_general(offered / capacity_rps),
+                   util::format_general(m.throughput_rps),
+                   util::format_general(m.mean_latency_s),
+                   util::format_general(m.p50_s),
+                   util::format_general(m.p95_s),
+                   util::format_general(m.p99_s),
+                   util::format_general(m.sla_violation_rate),
+                   util::format_general(m.mean_batch),
+                   util::format_general(m.utilization),
+                   util::format_general(m.energy_per_request_j)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  std::printf("Full sweep written to serving_load_sweep.csv\n");
+  return 0;
+}

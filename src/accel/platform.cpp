@@ -62,11 +62,9 @@ Platform::Platform(const PlatformSpec& spec, const power::TechParams& tech)
     OPTIPLET_REQUIRE(g.chiplet_count >= 1, "empty chiplet group");
     groups_.push_back(Group{ComputeChiplet(g.chiplet, tech), g.chiplet_count});
   }
-  // Every MAC kind must be served (the mapper assumes it).
-  for (MacKind kind : {MacKind::kDense100, MacKind::kConv7, MacKind::kConv5,
-                       MacKind::kConv3}) {
-    (void)group_for(kind);
-  }
+  // Kinds are validated lazily by group_for(): a platform only needs the
+  // MAC kinds its workloads map to, which lets serving tenants run on
+  // partial chiplet partitions (serve::partition_pool).
 }
 
 const Platform::Group& Platform::group_for(MacKind kind) const {

@@ -75,27 +75,70 @@ std::vector<std::string> ResultStore::csv_header() {
           "epb_j_per_bit",
           "traffic_bits",
           "resipi_reconfigurations",
-          "mean_active_gateways"};
+          "mean_active_gateways",
+          // Serving columns; empty for single-inference rows.
+          "serving",
+          "arrival_rps",
+          "batch_policy",
+          "max_batch",
+          "tenant_mix",
+          "requests",
+          "throughput_rps",
+          "mean_latency_s",
+          "p50_s",
+          "p95_s",
+          "p99_s",
+          "sla_violation_rate",
+          "mean_batch",
+          "utilization",
+          "energy_per_request_j"};
 }
 
 std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
   const auto& s = result.spec;
   const auto& r = result.run;
-  return {s.model,
-          accel::to_string(s.arch),
-          std::to_string(s.batch_size),
-          std::to_string(s.wavelengths),
-          std::to_string(s.gateways_per_chiplet),
-          photonics::to_string(s.modulation),
-          core::to_string(s.fidelity),
-          overrides_to_string(s),
-          util::format_general(r.latency_s),
-          util::format_general(r.average_power_w),
-          util::format_general(r.energy_j),
-          util::format_general(r.epb_j_per_bit),
-          std::to_string(r.traffic_bits),
-          std::to_string(r.resipi_reconfigurations),
-          util::format_general(r.mean_active_gateways)};
+  std::vector<std::string> row = {
+      s.model,
+      accel::to_string(s.arch),
+      std::to_string(s.batch_size),
+      std::to_string(s.wavelengths),
+      std::to_string(s.gateways_per_chiplet),
+      photonics::to_string(s.modulation),
+      core::to_string(s.fidelity),
+      overrides_to_string(s),
+      util::format_general(r.latency_s),
+      util::format_general(r.average_power_w),
+      util::format_general(r.energy_j),
+      util::format_general(r.epb_j_per_bit),
+      std::to_string(r.traffic_bits),
+      std::to_string(r.resipi_reconfigurations),
+      util::format_general(r.mean_active_gateways)};
+  if (s.serving && result.serving) {
+    const auto& spec = *s.serving;
+    const auto& m = *result.serving;
+    row.insert(row.end(),
+               {"1",
+                util::format_general(spec.arrival_rps),
+                serve::to_string(spec.policy),
+                std::to_string(spec.max_batch),
+                spec.tenant_mix,
+                std::to_string(spec.requests),
+                util::format_general(m.throughput_rps),
+                util::format_general(m.mean_latency_s),
+                util::format_general(m.p50_s),
+                util::format_general(m.p95_s),
+                util::format_general(m.p99_s),
+                util::format_general(m.sla_violation_rate),
+                util::format_general(m.mean_batch),
+                util::format_general(m.utilization),
+                util::format_general(m.energy_per_request_j)});
+  } else {
+    static const std::size_t kColumns = csv_header().size();
+    const std::size_t serving_col = row.size();
+    row.insert(row.end(), kColumns - row.size(), "");
+    row[serving_col] = "0";
+  }
+  return row;
 }
 
 bool ResultStore::write_csv(const std::string& path) const {

@@ -127,6 +127,22 @@ std::string ScenarioSpec::key() const {
     // 17 significant digits round-trip the double, keeping the key exact.
     os << ';' << name << '=' << util::format_general(value, 17);
   }
+  if (serving) {
+    os << ";serve.policy=" << serve::to_string(serving->policy)
+       << ";serve.batch=" << serving->max_batch
+       << ";serve.wait=" << util::format_general(serving->max_wait_s, 17)
+       << ";serve.mix=" << serving->tenant_mix
+       << ";serve.sla=" << util::format_general(serving->sla_s, 17);
+    if (serving->trace_path.empty()) {
+      os << ";serve.rate=" << util::format_general(serving->arrival_rps, 17)
+         << ";serve.n=" << serving->requests
+         << ";serve.seed=" << serving->seed;
+    } else {
+      // A replayed trace fully determines the arrivals: rate, request
+      // count, and seed are ignored, so they must not split the memo key.
+      os << ";serve.trace=" << serving->trace_path;
+    }
+  }
   return os.str();
 }
 
@@ -168,16 +184,41 @@ std::size_t ScenarioGrid::raw_size() const {
     (void)name;
     size *= axis(values.size());
   }
+  if (serving_mode()) {
+    // `models` is replaced by the tenant-mix axis in serving mode.
+    size /= axis(models.empty() ? dnn::zoo::model_names().size()
+                                : models.size());
+    size *= axis(tenant_mixes.size());
+    size *= axis(arrival_rates_rps.size());
+    size *= axis(batch_policies.size());
+  }
   return size;
 }
 
 std::vector<ScenarioSpec> ScenarioGrid::expand(
     const core::SystemConfig& base) const {
+  const bool serving = serving_mode();
+  // In serving mode the "model" axis enumerates tenant mixes; every mix
+  // component must still resolve in the zoo.
   const std::vector<std::string> model_axis =
-      models.empty() ? dnn::zoo::model_names() : models;
+      serving ? (tenant_mixes.empty()
+                     ? std::vector<std::string>{serving_defaults.tenant_mix}
+                     : tenant_mixes)
+              : (models.empty() ? dnn::zoo::model_names() : models);
   for (const auto& name : model_axis) {
-    (void)dnn::zoo::by_name(name);  // fail fast on unknown model names
+    for (const auto& component :
+         serving ? serve::split_mix(name) : std::vector<std::string>{name}) {
+      (void)dnn::zoo::by_name(component);  // fail fast on unknown models
+    }
   }
+  const std::vector<double> rate_axis =
+      arrival_rates_rps.empty()
+          ? std::vector<double>{serving_defaults.arrival_rps}
+          : arrival_rates_rps;
+  const std::vector<serve::BatchPolicy> policy_axis =
+      batch_policies.empty()
+          ? std::vector<serve::BatchPolicy>{serving_defaults.policy}
+          : batch_policies;
   const std::vector<accel::Architecture> arch_axis =
       architectures.empty()
           ? std::vector<accel::Architecture>{accel::Architecture::kSiph2p5D}
@@ -258,6 +299,9 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
             spec.model = model;
             spec.arch = arch;
             spec.overrides = current_overrides;
+            if (spec.serving) {
+              spec.serving->tenant_mix = model;
+            }
             specs.push_back(std::move(spec));
           }
         }
@@ -274,7 +318,18 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
             partial.gateways_per_chiplet = gw;
             partial.modulation = mod;
             partial.batch_size = batch;
-            expand_axis(0, partial);
+            if (!serving) {
+              expand_axis(0, partial);
+              continue;
+            }
+            for (const double rate : rate_axis) {
+              for (const serve::BatchPolicy policy : policy_axis) {
+                partial.serving = serving_defaults;
+                partial.serving->arrival_rps = rate;
+                partial.serving->policy = policy;
+                expand_axis(0, partial);
+              }
+            }
           }
         }
       }

@@ -27,12 +27,15 @@
 #include "accel/platform.hpp"
 #include "core/system_config.hpp"
 #include "photonics/modulation.hpp"
+#include "serve/serving_spec.hpp"
 
 namespace optiplet::engine {
 
 /// One fully-resolved experiment point.
 struct ScenarioSpec {
-  std::string model;  ///< Table-2 name, resolved via dnn::zoo::by_name.
+  /// Table-2 name, resolved via dnn::zoo::by_name — or, for serving
+  /// scenarios, the '+'-joined tenant mix (every component resolved).
+  std::string model;
   accel::Architecture arch = accel::Architecture::kSiph2p5D;
   unsigned batch_size = 1;
   std::size_t wavelengths = 64;
@@ -45,6 +48,10 @@ struct ScenarioSpec {
   /// Named SystemConfig overrides, applied after the first-class fields.
   /// Keys must come from override_keys(); kept sorted by apply()/key().
   std::vector<std::pair<std::string, double>> overrides;
+  /// Request-level serving block: when set, the scenario is evaluated by
+  /// serve::simulate() (arrivals + batching + co-location) instead of a
+  /// single inference, and `model` names the tenant mix.
+  std::optional<serve::ServingSpec> serving;
 
   /// Imprint this spec onto a configuration (photonic shape, batch size,
   /// then named overrides). Throws std::invalid_argument on unknown
@@ -93,6 +100,21 @@ struct ScenarioGrid {
   /// Extra sweep axes over named SystemConfig overrides
   /// (e.g. {"resipi.epoch_s", {5e-6, 10e-6, 20e-6}}).
   std::vector<std::pair<std::string, std::vector<double>>> override_axes;
+
+  /// --- serving axes ---
+  /// Any non-empty serving axis switches the grid to serving mode: every
+  /// expanded spec carries a serve::ServingSpec and `models` is replaced by
+  /// `tenant_mixes` (empty = the defaults' mix). Unswept serving fields
+  /// (max_batch, requests, seed, ...) come from `serving_defaults`.
+  std::vector<double> arrival_rates_rps;
+  std::vector<serve::BatchPolicy> batch_policies;
+  std::vector<std::string> tenant_mixes;
+  serve::ServingSpec serving_defaults;
+
+  [[nodiscard]] bool serving_mode() const {
+    return !arrival_rates_rps.empty() || !batch_policies.empty() ||
+           !tenant_mixes.empty();
+  }
 
   /// Grid size before feasibility filtering.
   [[nodiscard]] std::size_t raw_size() const;

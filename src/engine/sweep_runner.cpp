@@ -7,6 +7,7 @@
 
 #include "dnn/zoo.hpp"
 #include "engine/thread_pool.hpp"
+#include "serve/serving_simulator.hpp"
 
 namespace optiplet::engine {
 
@@ -15,12 +16,37 @@ SweepRunner::SweepRunner(core::SystemConfig base, SweepOptions options)
       options_(std::move(options)),
       threads_(ThreadPool::resolve_threads(options_.threads)) {}
 
-core::RunResult SweepRunner::evaluate(const core::SystemConfig& base,
-                                      const ScenarioSpec& spec) {
+SweepRunner::EvalOutcome SweepRunner::evaluate_outcome(
+    const core::SystemConfig& base, const ScenarioSpec& spec) {
   core::SystemConfig cfg = base;
   spec.apply(cfg);
+  EvalOutcome outcome;
+  if (spec.serving) {
+    const serve::ServingReport report =
+        serve::simulate(serve::make_serving_config(cfg, spec.arch,
+                                                   *spec.serving));
+    outcome.serving = report.metrics;
+    // Summary view so architecture averages and best_by() stay usable:
+    // latency = mean request latency, energy/power over the makespan.
+    outcome.run.model_name = spec.model;
+    outcome.run.arch = spec.arch;
+    outcome.run.latency_s = report.metrics.mean_latency_s;
+    outcome.run.energy_j = report.metrics.energy_j;
+    outcome.run.average_power_w =
+        report.metrics.makespan_s > 0.0
+            ? report.metrics.energy_j / report.metrics.makespan_s
+            : 0.0;
+    outcome.run.ledger = report.ledger;
+    return outcome;
+  }
   const core::SystemSimulator sim(cfg);
-  return sim.run(dnn::zoo::by_name(spec.model), spec.arch);
+  outcome.run = sim.run(dnn::zoo::by_name(spec.model), spec.arch);
+  return outcome;
+}
+
+core::RunResult SweepRunner::evaluate(const core::SystemConfig& base,
+                                      const ScenarioSpec& spec) {
+  return evaluate_outcome(base, spec).run;
 }
 
 std::vector<ScenarioResult> SweepRunner::run(
@@ -37,7 +63,7 @@ std::vector<ScenarioResult> SweepRunner::run(
     std::string key;
     const ScenarioSpec* spec = nullptr;
     std::size_t rider_count = 1;  // specs resolved by this evaluation
-    std::future<core::RunResult> future;
+    std::future<EvalOutcome> future;
   };
 
   std::vector<std::string> keys;
@@ -87,9 +113,9 @@ std::vector<ScenarioResult> SweepRunner::run(
       const std::size_t increment = p.rider_count;
       p.future = pool.submit([this, spec, increment, &report] {
         try {
-          core::RunResult run = evaluate(base_, *spec);
+          EvalOutcome outcome = evaluate_outcome(base_, *spec);
           report(increment);
-          return run;
+          return outcome;
         } catch (...) {
           report(increment);
           throw;
@@ -103,8 +129,8 @@ std::vector<ScenarioResult> SweepRunner::run(
   std::exception_ptr first_error;
   for (auto& p : pending) {
     try {
-      cache_.emplace(p.key, std::make_shared<const core::RunResult>(
-                                p.future.get()));
+      cache_.emplace(p.key,
+                     std::make_shared<const EvalOutcome>(p.future.get()));
     } catch (...) {
       if (!first_error) {
         first_error = std::current_exception();
@@ -118,7 +144,9 @@ std::vector<ScenarioResult> SweepRunner::run(
   for (std::size_t i = 0; i < total; ++i) {
     results[i].spec = specs[i];
     results[i].from_cache = from_cache[i];
-    results[i].run = *cache_.at(keys[i]);
+    const EvalOutcome& outcome = *cache_.at(keys[i]);
+    results[i].run = outcome.run;
+    results[i].serving = outcome.serving;
   }
   return results;
 }

@@ -20,16 +20,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "core/system_config.hpp"
 #include "core/system_simulator.hpp"
 #include "engine/scenario.hpp"
+#include "serve/serving_report.hpp"
 
 namespace optiplet::engine {
 
 /// One evaluated scenario.
 struct ScenarioResult {
   ScenarioSpec spec;
+  /// Single-inference result — or, for serving scenarios, a summary view
+  /// (latency = mean request latency, energy/power over the makespan).
   core::RunResult run;
+  /// Request-level metrics; set exactly when spec.serving is set.
+  std::optional<serve::ServingMetrics> serving;
   /// True when this result was served from the memo cache (either a
   /// duplicate inside the batch or a repeat from an earlier run() call).
   bool from_cache = false;
@@ -56,8 +63,20 @@ class SweepRunner {
   /// Expand the grid against the base config and evaluate it.
   [[nodiscard]] std::vector<ScenarioResult> run(const ScenarioGrid& grid);
 
+  /// Full outcome of one scenario evaluation (serving metrics attached
+  /// when the spec carries a serving block).
+  struct EvalOutcome {
+    core::RunResult run;
+    std::optional<serve::ServingMetrics> serving;
+  };
+
   /// Evaluate one scenario synchronously (no cache, no pool): the
   /// reference semantics every parallel path must reproduce exactly.
+  [[nodiscard]] static EvalOutcome evaluate_outcome(
+      const core::SystemConfig& base, const ScenarioSpec& spec);
+
+  /// Single-inference view of evaluate_outcome() (kept for callers that
+  /// never sweep serving axes).
   [[nodiscard]] static core::RunResult evaluate(
       const core::SystemConfig& base, const ScenarioSpec& spec);
 
@@ -72,8 +91,7 @@ class SweepRunner {
   core::SystemConfig base_;
   SweepOptions options_;
   std::size_t threads_ = 1;
-  std::unordered_map<std::string, std::shared_ptr<const core::RunResult>>
-      cache_;
+  std::unordered_map<std::string, std::shared_ptr<const EvalOutcome>> cache_;
   std::size_t cache_hits_ = 0;
 };
 

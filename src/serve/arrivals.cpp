@@ -1,0 +1,82 @@
+#include "serve/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace optiplet::serve {
+
+std::vector<double> poisson_arrivals(double rate_rps, std::uint64_t count,
+                                     std::uint64_t seed) {
+  OPTIPLET_REQUIRE(rate_rps > 0.0, "arrival rate must be positive");
+  util::Xoshiro256 rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Inverse-CDF exponential draw; next_double() < 1 keeps the log finite.
+    t += -std::log(1.0 - rng.next_double()) / rate_rps;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::vector<TraceEvent> load_arrival_trace(const std::string& path) {
+  const auto doc = util::read_csv_file(path);
+  if (!doc) {
+    throw std::invalid_argument("cannot read arrival trace: " + path);
+  }
+  const auto time_col = doc->column("arrival_s");
+  if (!time_col) {
+    throw std::invalid_argument("arrival trace missing arrival_s column: " +
+                                path);
+  }
+  const auto tenant_col = doc->column("tenant");
+  std::vector<TraceEvent> events;
+  events.reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    if (row.size() <= *time_col) {
+      throw std::invalid_argument("short row in arrival trace: " + path);
+    }
+    TraceEvent e;
+    try {
+      std::size_t used = 0;
+      e.arrival_s = std::stod(row[*time_col], &used);
+      if (used != row[*time_col].size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad arrival_s value in trace: \"" +
+                                  row[*time_col] + "\"");
+    }
+    if (e.arrival_s < 0.0) {
+      throw std::invalid_argument("negative arrival_s in trace: " + path);
+    }
+    if (tenant_col && row.size() > *tenant_col) {
+      e.tenant = row[*tenant_col];
+    }
+    events.push_back(std::move(e));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return events;
+}
+
+std::vector<double> trace_arrivals_for(const std::vector<TraceEvent>& events,
+                                       const std::string& tenant) {
+  std::vector<double> arrivals;
+  for (const auto& e : events) {
+    if (e.tenant.empty() || e.tenant == tenant) {
+      arrivals.push_back(e.arrival_s);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace optiplet::serve

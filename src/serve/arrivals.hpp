@@ -1,0 +1,45 @@
+#pragma once
+/// \file arrivals.hpp
+/// Open-loop request arrival generation for the serving simulator.
+///
+/// Two sources, both producing absolute arrival times in seconds:
+///   * a deterministic-seed Poisson process (exponential inter-arrivals
+///     drawn from util::Xoshiro256, so every run is reproducible
+///     bit-for-bit), and
+///   * a CSV trace replayer (columns `arrival_s[,tenant]`) for serving
+///     recorded production traffic through the simulator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optiplet::serve {
+
+/// `count` arrival times of a Poisson process with rate `rate_rps`
+/// [requests/s], starting at t=0 (the first arrival is one inter-arrival
+/// in). Same (rate, count, seed) -> identical sequence.
+[[nodiscard]] std::vector<double> poisson_arrivals(double rate_rps,
+                                                   std::uint64_t count,
+                                                   std::uint64_t seed);
+
+/// One replayed arrival: absolute time plus the tenant it belongs to
+/// (empty when the trace has no `tenant` column).
+struct TraceEvent {
+  double arrival_s = 0.0;
+  std::string tenant;
+};
+
+/// Load an arrival trace CSV. The header must contain `arrival_s`; a
+/// `tenant` column is optional. Events are returned sorted by arrival time
+/// (stable, so equal-time events keep file order). Throws
+/// std::invalid_argument on a missing file, missing column, or an
+/// unparseable arrival time.
+[[nodiscard]] std::vector<TraceEvent> load_arrival_trace(
+    const std::string& path);
+
+/// Filter `events` down to the arrival times of `tenant`. Events with an
+/// empty tenant label match every tenant (single-stream traces feed all).
+[[nodiscard]] std::vector<double> trace_arrivals_for(
+    const std::vector<TraceEvent>& events, const std::string& tenant);
+
+}  // namespace optiplet::serve

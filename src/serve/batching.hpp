@@ -1,0 +1,66 @@
+#pragma once
+/// \file batching.hpp
+/// Per-tenant admission/batching queue.
+///
+/// The queue owns the policy decision only — *when* is a batch ready and
+/// *which* requests form it — so the three policies are unit-testable
+/// without the event loop. The serving simulator polls `ready()` whenever
+/// the tenant's executor goes idle or a request arrives, and uses
+/// `next_deadline()` to arm the kDeadline dispatch timer.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/serving_spec.hpp"
+
+namespace optiplet::serve {
+
+/// One queued inference request.
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;
+};
+
+struct BatchingConfig {
+  BatchPolicy policy = BatchPolicy::kNone;
+  /// Batch size: exact for kFixedSize, upper bound for kDeadline; kNone
+  /// always dispatches singletons.
+  unsigned max_batch = 8;
+  /// kDeadline: maximum wait of the oldest queued request [s].
+  double max_wait_s = 1.0e-3;
+};
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(const BatchingConfig& config);
+
+  void push(const Request& request) { queue_.push_back(request); }
+
+  /// True when the policy would dispatch a batch at time `now`.
+  /// `arrivals_done` marks the end of the tenant's arrival stream: every
+  /// policy then flushes whatever is queued (a fixed-size batcher must not
+  /// hold a partial batch forever).
+  [[nodiscard]] bool ready(double now, bool arrivals_done) const;
+
+  /// The absolute time at which the queue becomes ready by timeout alone
+  /// (kDeadline with a non-empty queue); nullopt when no timer is needed.
+  [[nodiscard]] std::optional<double> next_deadline() const;
+
+  /// Pop the requests of one batch in FIFO order. Call only when ready().
+  [[nodiscard]] std::vector<Request> take(bool arrivals_done);
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] const BatchingConfig& config() const { return config_; }
+
+ private:
+  /// Requests the policy would put in the next batch.
+  [[nodiscard]] std::size_t batch_size(bool arrivals_done) const;
+
+  BatchingConfig config_;
+  std::deque<Request> queue_;
+};
+
+}  // namespace optiplet::serve

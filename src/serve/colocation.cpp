@@ -1,0 +1,164 @@
+#include "serve/colocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "accel/mapper.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::serve {
+
+std::vector<accel::MacKind> needed_kinds(const dnn::Workload& workload) {
+  std::vector<accel::MacKind> kinds;
+  for (const auto& layer : workload.layers) {
+    const accel::MacKind k = accel::affinity(layer);
+    if (std::find(kinds.begin(), kinds.end(), k) == kinds.end()) {
+      kinds.push_back(k);
+    }
+  }
+  return kinds;
+}
+
+std::vector<std::size_t> ColocationPlan::occupancy(std::size_t tenant) const {
+  const TenantPartition& p = tenants.at(tenant);
+  std::vector<std::size_t> ids = p.owned_chiplets;
+  if (!p.shared_kinds.empty()) {
+    ids.insert(ids.end(), shared_chiplets.begin(), shared_chiplets.end());
+  }
+  return ids;
+}
+
+ColocationPlan partition_pool(const accel::PlatformSpec& pool,
+                              const std::vector<TenantDemand>& demands,
+                              const power::TechParams& tech) {
+  OPTIPLET_REQUIRE(!demands.empty(), "co-location needs at least one tenant");
+  ColocationPlan plan;
+  plan.tenants.resize(demands.size());
+
+  const auto needs = [&](std::size_t t, accel::MacKind k) {
+    const auto& kinds = demands[t].needed_kinds;
+    return std::find(kinds.begin(), kinds.end(), k) != kinds.end();
+  };
+
+  // Validate demand against the pool before assigning anything.
+  for (std::size_t t = 0; t < demands.size(); ++t) {
+    for (const accel::MacKind k : demands[t].needed_kinds) {
+      const bool provisioned = std::any_of(
+          pool.groups.begin(), pool.groups.end(),
+          [k](const accel::ChipletGroup& g) { return g.chiplet.kind == k; });
+      if (!provisioned) {
+        throw std::invalid_argument(
+            std::string("tenant needs MAC kind the pool lacks: ") +
+            accel::to_string(k));
+      }
+    }
+  }
+
+  // Per-tenant owned chiplet count for each pool group, filled below.
+  std::vector<std::vector<std::size_t>> owned_counts(
+      pool.groups.size(), std::vector<std::size_t>(demands.size(), 0));
+  std::vector<bool> group_shared(pool.groups.size(), false);
+
+  std::size_t next_id = 0;
+  for (std::size_t gi = 0; gi < pool.groups.size(); ++gi) {
+    const accel::ChipletGroup& group = pool.groups[gi];
+    const std::size_t n = group.chiplet_count;
+    const std::size_t first_id = next_id;
+    next_id += n;
+
+    std::vector<std::size_t> needing;
+    for (std::size_t t = 0; t < demands.size(); ++t) {
+      if (needs(t, group.chiplet.kind)) {
+        needing.push_back(t);
+      }
+    }
+    if (needing.empty()) {
+      continue;  // nobody maps here; the chiplets sit idle
+    }
+    if (needing.size() > n) {
+      // Scarce group: shared-serial access for every needing tenant.
+      group_shared[gi] = true;
+      for (std::size_t c = 0; c < n; ++c) {
+        plan.shared_chiplets.push_back(first_id + c);
+      }
+      for (const std::size_t t : needing) {
+        plan.tenants[t].shared_kinds.push_back(group.chiplet.kind);
+      }
+      continue;
+    }
+    // Exclusive split: one chiplet each, remainder by weight with largest
+    // remainder (ties toward earlier tenants for determinism).
+    std::vector<std::size_t> quota(needing.size(), 1);
+    std::size_t remaining = n - needing.size();
+    if (remaining > 0) {
+      double total_weight = 0.0;
+      for (const std::size_t t : needing) {
+        total_weight += std::max(demands[t].weight, 0.0);
+      }
+      std::vector<double> remainder(needing.size(), 0.0);
+      std::size_t handed = 0;
+      for (std::size_t i = 0; i < needing.size(); ++i) {
+        const double w = std::max(demands[needing[i]].weight, 0.0);
+        const double share =
+            total_weight > 0.0
+                ? static_cast<double>(remaining) * w / total_weight
+                : static_cast<double>(remaining) /
+                      static_cast<double>(needing.size());
+        const auto whole = static_cast<std::size_t>(std::floor(share));
+        quota[i] += whole;
+        handed += whole;
+        remainder[i] = share - static_cast<double>(whole);
+      }
+      while (handed < remaining) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < needing.size(); ++i) {
+          if (remainder[i] > remainder[best]) {
+            best = i;
+          }
+        }
+        quota[best] += 1;
+        remainder[best] = -1.0;
+        ++handed;
+      }
+    }
+    std::size_t cursor = first_id;
+    for (std::size_t i = 0; i < needing.size(); ++i) {
+      const std::size_t t = needing[i];
+      owned_counts[gi][t] = quota[i];
+      for (std::size_t c = 0; c < quota[i]; ++c) {
+        plan.tenants[t].owned_chiplets.push_back(cursor++);
+      }
+    }
+    OPTIPLET_ASSERT(cursor == first_id + n, "partition must cover the group");
+  }
+
+  // Per-chiplet active power for idle accounting (pool-global id order).
+  for (const auto& group : pool.groups) {
+    const accel::ComputeChiplet model(group.chiplet, tech);
+    for (std::size_t c = 0; c < group.chiplet_count; ++c) {
+      plan.chiplet_active_power_w.push_back(model.active_power_w());
+    }
+  }
+
+  // Assemble each tenant's effective platform spec.
+  for (std::size_t t = 0; t < demands.size(); ++t) {
+    TenantPartition& part = plan.tenants[t];
+    for (std::size_t gi = 0; gi < pool.groups.size(); ++gi) {
+      const accel::ChipletGroup& group = pool.groups[gi];
+      if (owned_counts[gi][t] > 0) {
+        accel::ChipletGroup slice = group;
+        slice.chiplet_count = owned_counts[gi][t];
+        part.platform.groups.push_back(slice);
+      } else if (group_shared[gi] && needs(t, group.chiplet.kind)) {
+        part.platform.groups.push_back(group);  // full group, lock-guarded
+      }
+    }
+    part.platform.monolithic_memory_bandwidth_bps =
+        pool.monolithic_memory_bandwidth_bps;
+  }
+  return plan;
+}
+
+}  // namespace optiplet::serve

@@ -1,0 +1,72 @@
+#pragma once
+/// \file colocation.hpp
+/// Chiplet-pool partitioning for multi-model co-location.
+///
+/// Concurrently resident models split the Table-1 compute pool at chiplet
+/// granularity. For each MAC-kind group the scheduler looks at which
+/// tenants actually need the kind (from the model's layer affinities):
+///
+///   * enough chiplets for every needing tenant -> the group is split into
+///     disjoint *owned* slices (everyone gets at least one; the remainder
+///     goes by tenant weight, largest remainder first);
+///   * more needing tenants than chiplets (e.g. the single 7x7 chiplet
+///     under two ResNet-class tenants) -> the whole group becomes a
+///     *shared-serial* resource: batches that touch it hold an exclusive
+///     lock for their service time, so the chiplets are never double-booked.
+///
+/// Each tenant's effective platform (owned slices + shared groups it
+/// needs) is what the service-time oracle simulates; kinds the model never
+/// uses are simply absent from the tenant's spec.
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/platform.hpp"
+#include "dnn/workload.hpp"
+
+namespace optiplet::serve {
+
+/// One tenant's resource demand: which MAC kinds its model exercises, and
+/// its share weight for splitting contended groups.
+struct TenantDemand {
+  std::vector<accel::MacKind> needed_kinds;
+  double weight = 1.0;
+};
+
+/// MAC kinds `workload` exercises, in first-use order.
+[[nodiscard]] std::vector<accel::MacKind> needed_kinds(
+    const dnn::Workload& workload);
+
+/// One tenant's slice of the pool.
+struct TenantPartition {
+  /// Pool-global chiplet ids this tenant owns exclusively.
+  std::vector<std::size_t> owned_chiplets;
+  /// Shared-serial kinds this tenant's batches must lock.
+  std::vector<accel::MacKind> shared_kinds;
+  /// Owned groups + needed shared groups: the PlatformSpec the tenant's
+  /// service-time oracle runs against.
+  accel::PlatformSpec platform;
+};
+
+/// The whole pool split: per-tenant partitions plus the shared-serial pool.
+struct ColocationPlan {
+  std::vector<TenantPartition> tenants;
+  /// Pool-global ids of every shared-serial chiplet.
+  std::vector<std::size_t> shared_chiplets;
+  /// Active power [W] of each pool chiplet, indexed by pool-global id
+  /// (for idle-power accounting in the serving ledger).
+  std::vector<double> chiplet_active_power_w;
+
+  /// Chiplets a batch of `tenant` occupies: its owned set, plus the shared
+  /// pool when the tenant has shared kinds.
+  [[nodiscard]] std::vector<std::size_t> occupancy(std::size_t tenant) const;
+};
+
+/// Partition `pool` among `demands` (tenant order is preserved and ties
+/// break toward earlier tenants, so the plan is deterministic). Throws
+/// std::invalid_argument when a tenant needs a kind the pool lacks.
+[[nodiscard]] ColocationPlan partition_pool(
+    const accel::PlatformSpec& pool, const std::vector<TenantDemand>& demands,
+    const power::TechParams& tech);
+
+}  // namespace optiplet::serve

@@ -1,0 +1,30 @@
+#include "serve/service_time.hpp"
+
+#include "util/require.hpp"
+
+namespace optiplet::serve {
+
+ServiceTimeOracle::ServiceTimeOracle(std::vector<Tenant> tenants,
+                                     accel::Architecture arch)
+    : tenants_(std::move(tenants)), arch_(arch) {
+  OPTIPLET_REQUIRE(!tenants_.empty(), "oracle needs at least one tenant");
+}
+
+const core::RunResult& ServiceTimeOracle::batch_run(std::size_t tenant,
+                                                    unsigned batch) {
+  OPTIPLET_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  OPTIPLET_REQUIRE(batch >= 1, "batch must be >= 1");
+  const auto key = std::make_pair(tenant, batch);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  core::SystemConfig config = tenants_[tenant].config;
+  config.batch_size = batch;
+  const core::SystemSimulator simulator(config);
+  return cache_.emplace(key, simulator.run(tenants_[tenant].model, arch_))
+      .first->second;
+}
+
+}  // namespace optiplet::serve

@@ -1,0 +1,61 @@
+#pragma once
+/// \file service_time.hpp
+/// Memoized batch service-time oracle over core::SystemSimulator.
+///
+/// A serving simulation asks for the same (tenant, batch-size) service
+/// time millions of times; the underlying full-system simulation is a pure
+/// function of (tenant platform, model, batch, fidelity), so each distinct
+/// point is simulated exactly once and the cached core::RunResult —
+/// latency, energy ledger, ReSiPI reconfiguration count — is reused. This
+/// is what keeps million-request serving runs fast even at cycle-accurate
+/// fidelity.
+///
+/// Batch semantics come from SystemConfig::batch_size: weights stream once
+/// per batch while compute and activation traffic scale with it, so batch
+/// service time grows sublinearly — the amortization every batching policy
+/// trades latency for.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "core/system_simulator.hpp"
+#include "dnn/graph.hpp"
+
+namespace optiplet::serve {
+
+class ServiceTimeOracle {
+ public:
+  /// One tenant the oracle can serve: its model plus the SystemConfig the
+  /// batch runs use (the tenant's partitioned `compute_2p5d` already
+  /// applied). The config's batch_size field is overridden per lookup.
+  struct Tenant {
+    dnn::Model model;
+    core::SystemConfig config;
+  };
+
+  ServiceTimeOracle(std::vector<Tenant> tenants, accel::Architecture arch);
+
+  /// Service profile of one batch of `batch` requests on `tenant`
+  /// (simulating on first use, cached thereafter). The reference stays
+  /// valid for the oracle's lifetime.
+  [[nodiscard]] const core::RunResult& batch_run(std::size_t tenant,
+                                                 unsigned batch);
+
+  [[nodiscard]] accel::Architecture arch() const { return arch_; }
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+  /// Lookups served from the cache / simulated fresh, across all tenants.
+  [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
+
+ private:
+  std::vector<Tenant> tenants_;
+  accel::Architecture arch_;
+  std::map<std::pair<std::size_t, unsigned>, core::RunResult> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace optiplet::serve

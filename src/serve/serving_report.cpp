@@ -1,0 +1,24 @@
+#include "serve/serving_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace optiplet::serve {
+
+double exact_quantile(std::vector<double> values, double q) {
+  OPTIPLET_REQUIRE(q > 0.0 && q <= 1.0, "quantile must be in (0,1]");
+  if (values.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  const std::size_t index = std::min(values.size(), std::max<std::size_t>(
+                                                        rank, 1)) -
+                            1;
+  std::nth_element(values.begin(), values.begin() + index, values.end());
+  return values[index];
+}
+
+}  // namespace optiplet::serve

@@ -1,0 +1,100 @@
+#pragma once
+/// \file serving_report.hpp
+/// Result types of a serving simulation: per-tenant and aggregate
+/// tail-latency/throughput/energy metrics, plus the optional per-batch
+/// execution trace the co-location invariant tests consume.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/energy_ledger.hpp"
+
+namespace optiplet::serve {
+
+/// Compact aggregate metrics — the engine/CSV face of a serving run.
+struct ServingMetrics {
+  std::uint64_t offered = 0;    ///< requests that arrived
+  std::uint64_t completed = 0;  ///< requests that finished
+  double makespan_s = 0.0;      ///< first arrival to last completion
+  double throughput_rps = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_latency_s = 0.0;
+  /// Fraction of completed requests whose latency exceeded their tenant's
+  /// SLA deadline.
+  double sla_violation_rate = 0.0;
+  double mean_batch = 0.0;
+  /// Mean chiplet-pool busy fraction over the makespan.
+  double utilization = 0.0;
+  /// Total energy [J]: every batch's full-system energy plus the idle
+  /// static burn of the pool between batches.
+  double energy_j = 0.0;
+  double energy_per_request_j = 0.0;
+  /// Cross-tenant ReSiPI reconfigurations that had to wait their turn.
+  std::uint64_t resipi_conflicts = 0;
+  double resipi_wait_s = 0.0;
+  /// Service-time oracle cache behavior.
+  std::uint64_t service_cache_hits = 0;
+  std::uint64_t service_cache_misses = 0;
+};
+
+/// Per-tenant serving outcome.
+struct TenantReport {
+  std::string name;
+  std::string model;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  double throughput_rps = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_latency_s = 0.0;
+  double sla_s = 0.0;  ///< effective deadline (auto-derived when spec <= 0)
+  double sla_violation_rate = 0.0;
+  double mean_batch = 0.0;
+  double busy_s = 0.0;        ///< executor busy time
+  double utilization = 0.0;   ///< busy_s / makespan
+  double energy_j = 0.0;      ///< sum of the tenant's batch energies
+  double energy_per_request_j = 0.0;
+  double shared_wait_s = 0.0;  ///< waiting on the shared-serial chiplets
+  double resipi_wait_s = 0.0;  ///< waiting on another tenant's reconfig
+  std::uint64_t resipi_conflicts = 0;
+};
+
+/// One executed batch (recorded when ServingConfig::record_batches):
+/// enough to audit chiplet occupancy and reconfiguration serialization.
+struct BatchTrace {
+  std::size_t tenant = 0;
+  unsigned size = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<std::size_t> chiplets;  ///< pool-global occupancy
+  /// ReSiPI reconfiguration window ([0,0) when the batch reconfigured
+  /// nothing).
+  double resipi_start_s = 0.0;
+  double resipi_end_s = 0.0;
+};
+
+/// Everything a serving simulation produces.
+struct ServingReport {
+  ServingMetrics metrics;
+  std::vector<TenantReport> tenants;
+  /// Serving-level energy ledger: every batch's ledger merged, plus the
+  /// "serving.idle" category for the pool's idle static burn.
+  power::EnergyLedger ledger;
+  /// Busy seconds per pool chiplet (pool-global id order).
+  std::vector<double> chiplet_busy_s;
+  /// Per-batch execution trace; empty unless record_batches was set.
+  std::vector<BatchTrace> batches;
+};
+
+/// Exact nearest-rank quantile of `values` (copied and sorted internally);
+/// q in (0, 1]. Returns 0 for an empty sample.
+[[nodiscard]] double exact_quantile(std::vector<double> values, double q);
+
+}  // namespace optiplet::serve

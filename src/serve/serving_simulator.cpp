@@ -1,0 +1,455 @@
+#include "serve/serving_simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "dnn/zoo.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/colocation.hpp"
+#include "serve/service_time.hpp"
+#include "sim/event_queue.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::serve {
+namespace {
+
+constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+/// Mutable per-tenant simulation state.
+struct TenantState {
+  BatchQueue queue;
+  std::vector<double> arrivals;  ///< absolute times, ascending
+  std::size_t next_arrival = 0;
+  std::uint64_t next_id = 0;
+  bool arrivals_done = false;
+  bool busy = false;
+  bool timer_armed = false;
+  /// Batch formed but waiting for the shared-serial chiplets.
+  std::vector<Request> pending;
+  double pending_since = 0.0;
+  bool needs_shared = false;
+  std::vector<std::size_t> occupancy;
+  std::vector<double> latencies;
+  TenantReport report;
+
+  explicit TenantState(const BatchingConfig& batching) : queue(batching) {}
+};
+
+/// The event-driven serving engine: all state one simulate() call touches.
+struct Engine {
+  const ServingConfig& config;
+  ServiceTimeOracle& oracle;
+  const ColocationPlan& plan;
+  sim::EventQueue events;
+  std::vector<TenantState> tenants;
+  ServingReport report;
+
+  // Shared-serial chiplet pool: exclusive, FIFO-granted.
+  bool shared_busy = false;
+  std::deque<std::size_t> shared_waiters;
+
+  // ReSiPI serialization: one reconfiguration window at a time on the
+  // shared interposer; a tenant never conflicts with itself (its own
+  // reconfigurations are part of its serialized batches).
+  std::size_t resipi_holder = kNoTenant;
+  double resipi_free_at = 0.0;
+
+  double last_completion_s = 0.0;
+
+  Engine(const ServingConfig& cfg, ServiceTimeOracle& orc,
+         const ColocationPlan& pln)
+      : config(cfg), oracle(orc), plan(pln) {}
+
+  void schedule_arrival(std::size_t t) {
+    TenantState& ts = tenants[t];
+    const std::size_t i = ts.next_arrival;
+    events.schedule_at(ts.arrivals[i], [this, t, i] {
+      TenantState& state = tenants[t];
+      state.queue.push(Request{state.next_id++, events.now()});
+      state.report.offered += 1;
+      state.next_arrival = i + 1;
+      if (state.next_arrival < state.arrivals.size()) {
+        schedule_arrival(t);
+      } else {
+        state.arrivals_done = true;
+      }
+      try_dispatch(t);
+    });
+  }
+
+  void try_dispatch(std::size_t t) {
+    TenantState& ts = tenants[t];
+    if (ts.busy) {
+      return;
+    }
+    const double now = events.now();
+    if (!ts.queue.ready(now, ts.arrivals_done)) {
+      // kDeadline: arm the timeout dispatch for the queue head.
+      const auto deadline = ts.queue.next_deadline();
+      if (deadline && !ts.timer_armed) {
+        ts.timer_armed = true;
+        events.schedule_at(std::max(*deadline, now), [this, t] {
+          tenants[t].timer_armed = false;
+          try_dispatch(t);
+        });
+      }
+      return;
+    }
+    std::vector<Request> batch = ts.queue.take(ts.arrivals_done);
+    ts.busy = true;
+    if (ts.needs_shared) {
+      if (shared_busy) {
+        ts.pending = std::move(batch);
+        ts.pending_since = now;
+        shared_waiters.push_back(t);
+        return;
+      }
+      shared_busy = true;
+    }
+    begin_execution(t, std::move(batch));
+  }
+
+  void begin_execution(std::size_t t, std::vector<Request> batch) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    const auto batch_size = static_cast<unsigned>(batch.size());
+    const core::RunResult& run = oracle.batch_run(t, batch_size);
+
+    double start = now;
+    double resipi_window_s = 0.0;
+    if (config.arch == accel::Architecture::kSiph2p5D &&
+        run.resipi_reconfigurations > 0) {
+      if (resipi_holder != t && resipi_free_at > start) {
+        const double wait = resipi_free_at - start;
+        start += wait;
+        ts.report.resipi_wait_s += wait;
+        ts.report.resipi_conflicts += 1;
+      }
+      // The PCM writes happen inside the run (they are charged in its
+      // latency); the window only excludes *other* tenants' writes.
+      resipi_window_s =
+          std::min(run.latency_s,
+                   static_cast<double>(run.resipi_reconfigurations) *
+                       config.system.tech.photonic.pcm.write_time_s);
+      resipi_holder = t;
+      resipi_free_at = start + resipi_window_s;
+    }
+    const double end = start + run.latency_s;
+
+    for (const std::size_t c : ts.occupancy) {
+      report.chiplet_busy_s[c] += end - start;
+    }
+    ts.report.busy_s += end - start;
+    ts.report.energy_j += run.energy_j;
+    ts.report.batches += 1;
+    report.ledger.merge(run.ledger);
+    if (config.record_batches) {
+      BatchTrace trace;
+      trace.tenant = t;
+      trace.size = batch_size;
+      trace.start_s = start;
+      trace.end_s = end;
+      trace.chiplets = ts.occupancy;
+      trace.resipi_start_s = start;
+      trace.resipi_end_s = start + resipi_window_s;
+      report.batches.push_back(std::move(trace));
+    }
+    events.schedule_at(end, [this, t, b = std::move(batch)] {
+      complete(t, b);
+    });
+  }
+
+  void complete(std::size_t t, const std::vector<Request>& batch) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    for (const Request& r : batch) {
+      ts.latencies.push_back(now - r.arrival_s);
+    }
+    ts.report.completed += batch.size();
+    ts.busy = false;
+    last_completion_s = std::max(last_completion_s, now);
+    if (ts.needs_shared) {
+      // Release the shared pool; grant FIFO to the next waiting tenant.
+      if (shared_waiters.empty()) {
+        shared_busy = false;
+      } else {
+        const std::size_t w = shared_waiters.front();
+        shared_waiters.pop_front();
+        TenantState& waiter = tenants[w];
+        waiter.report.shared_wait_s += now - waiter.pending_since;
+        begin_execution(w, std::move(waiter.pending));
+        waiter.pending.clear();
+      }
+    }
+    try_dispatch(t);
+  }
+};
+
+/// Shared-everything plan for the monolithic die: every tenant serializes
+/// on the whole chip (there is no chiplet pool to partition).
+ColocationPlan monolithic_plan(const core::SystemConfig& system,
+                               const std::vector<TenantDemand>& demands) {
+  ColocationPlan plan;
+  plan.tenants.resize(demands.size());
+  const accel::PlatformSpec spec =
+      accel::make_monolithic_spec(system.monolithic_scale_divisor);
+  std::size_t id = 0;
+  for (const auto& group : spec.groups) {
+    const accel::ComputeChiplet model(group.chiplet, system.tech);
+    for (std::size_t c = 0; c < group.chiplet_count; ++c) {
+      plan.shared_chiplets.push_back(id++);
+      plan.chiplet_active_power_w.push_back(model.active_power_w());
+    }
+  }
+  for (std::size_t t = 0; t < demands.size(); ++t) {
+    plan.tenants[t].shared_kinds = demands[t].needed_kinds;
+    plan.tenants[t].platform = spec;
+  }
+  return plan;
+}
+
+void finalize_tenant(TenantState& ts, double makespan_s) {
+  TenantReport& r = ts.report;
+  if (makespan_s > 0.0) {
+    r.throughput_rps = static_cast<double>(r.completed) / makespan_s;
+    r.utilization = r.busy_s / makespan_s;
+  }
+  if (!ts.latencies.empty()) {
+    double sum = 0.0;
+    std::uint64_t violations = 0;
+    for (const double l : ts.latencies) {
+      sum += l;
+      r.max_latency_s = std::max(r.max_latency_s, l);
+      violations += l > r.sla_s ? 1 : 0;
+    }
+    r.mean_latency_s = sum / static_cast<double>(ts.latencies.size());
+    r.p50_s = exact_quantile(ts.latencies, 0.50);
+    r.p95_s = exact_quantile(ts.latencies, 0.95);
+    r.p99_s = exact_quantile(ts.latencies, 0.99);
+    r.sla_violation_rate = static_cast<double>(violations) /
+                           static_cast<double>(ts.latencies.size());
+  }
+  if (r.completed > 0) {
+    r.energy_per_request_j = r.energy_j / static_cast<double>(r.completed);
+    r.mean_batch = static_cast<double>(r.completed) /
+                   static_cast<double>(std::max<std::uint64_t>(r.batches, 1));
+  }
+}
+
+}  // namespace
+
+ServingReport simulate(const ServingConfig& config) {
+  OPTIPLET_REQUIRE(!config.tenants.empty(), "serving needs >= 1 tenant");
+
+  // Resolve models and resource demands.
+  std::vector<dnn::Model> models;
+  std::vector<TenantDemand> demands;
+  models.reserve(config.tenants.size());
+  for (const auto& setup : config.tenants) {
+    models.push_back(dnn::zoo::by_name(setup.model));
+    TenantDemand demand;
+    demand.needed_kinds = needed_kinds(
+        dnn::compute_workload(models.back(), config.system.parameter_bits));
+    demand.weight = setup.weight;
+    demands.push_back(std::move(demand));
+  }
+
+  const bool monolithic =
+      config.arch == accel::Architecture::kMonolithicCrossLight;
+  const ColocationPlan plan =
+      monolithic ? monolithic_plan(config.system, demands)
+                 : partition_pool(config.system.compute_2p5d, demands,
+                                  config.system.tech);
+
+  // Service-time oracle: each tenant simulates on its own partition.
+  std::vector<ServiceTimeOracle::Tenant> oracle_tenants;
+  oracle_tenants.reserve(config.tenants.size());
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    ServiceTimeOracle::Tenant ot{models[t], config.system};
+    if (!monolithic) {
+      ot.config.compute_2p5d = plan.tenants[t].platform;
+    }
+    oracle_tenants.push_back(std::move(ot));
+  }
+  ServiceTimeOracle oracle(std::move(oracle_tenants), config.arch);
+
+  Engine engine(config, oracle, plan);
+  engine.report.chiplet_busy_s.assign(plan.chiplet_active_power_w.size(),
+                                      0.0);
+  engine.tenants.reserve(config.tenants.size());
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    const TenantSetup& setup = config.tenants[t];
+    TenantState state(setup.batching);
+    state.arrivals = setup.replay_trace
+                         ? setup.trace_arrivals
+                         : poisson_arrivals(setup.arrival_rps, setup.requests,
+                                            setup.seed);
+    state.arrivals_done = state.arrivals.empty();
+    state.needs_shared = !plan.tenants[t].shared_kinds.empty();
+    state.occupancy = plan.occupancy(t);
+    state.report.name = setup.name.empty() ? setup.model : setup.name;
+    state.report.model = setup.model;
+    // The batch-1 run pins the effective SLA (and pre-warms the cache with
+    // the reference service time).
+    state.report.sla_s = setup.sla_s > 0.0
+                             ? setup.sla_s
+                             : 10.0 * oracle.batch_run(t, 1).latency_s;
+    engine.tenants.push_back(std::move(state));
+  }
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    if (!engine.tenants[t].arrivals.empty()) {
+      engine.schedule_arrival(t);
+    }
+  }
+
+  engine.events.run();
+  OPTIPLET_ASSERT(engine.shared_waiters.empty(),
+                  "serving drained with tenants still queued on the pool");
+
+  // --- assemble the report ---
+  // The measured window runs from the first arrival to the last
+  // completion: replayed traces may start at an arbitrary absolute time,
+  // which must not count as idle serving time.
+  double first_arrival = engine.last_completion_s;
+  for (const TenantState& ts : engine.tenants) {
+    if (!ts.arrivals.empty()) {
+      first_arrival = std::min(first_arrival, ts.arrivals.front());
+    }
+  }
+  ServingReport out = std::move(engine.report);
+  const double makespan =
+      std::max(engine.last_completion_s - first_arrival, 0.0);
+  ServingMetrics& m = out.metrics;
+  m.makespan_s = makespan;
+
+  std::vector<double> all_latencies;
+  std::uint64_t violations = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t t = 0; t < engine.tenants.size(); ++t) {
+    TenantState& ts = engine.tenants[t];
+    finalize_tenant(ts, makespan);
+    m.offered += ts.report.offered;
+    m.completed += ts.report.completed;
+    m.energy_j += ts.report.energy_j;
+    m.resipi_conflicts += ts.report.resipi_conflicts;
+    m.resipi_wait_s += ts.report.resipi_wait_s;
+    batches += ts.report.batches;
+    for (const double l : ts.latencies) {
+      violations += l > ts.report.sla_s ? 1 : 0;
+    }
+    all_latencies.insert(all_latencies.end(), ts.latencies.begin(),
+                         ts.latencies.end());
+    out.tenants.push_back(ts.report);
+  }
+  if (!all_latencies.empty()) {
+    double sum = 0.0;
+    for (const double l : all_latencies) {
+      sum += l;
+      m.max_latency_s = std::max(m.max_latency_s, l);
+    }
+    m.mean_latency_s = sum / static_cast<double>(all_latencies.size());
+    m.p50_s = exact_quantile(all_latencies, 0.50);
+    m.p95_s = exact_quantile(all_latencies, 0.95);
+    m.p99_s = exact_quantile(all_latencies, 0.99);
+    m.sla_violation_rate = static_cast<double>(violations) /
+                           static_cast<double>(all_latencies.size());
+  }
+  if (makespan > 0.0) {
+    m.throughput_rps = static_cast<double>(m.completed) / makespan;
+    // Idle static burn of the whole pool between batches.
+    double busy_fraction_sum = 0.0;
+    for (std::size_t c = 0; c < out.chiplet_busy_s.size(); ++c) {
+      const double busy = std::min(out.chiplet_busy_s[c], makespan);
+      busy_fraction_sum += busy / makespan;
+      out.ledger.charge_power_for("serving.idle",
+                                  plan.chiplet_active_power_w[c] *
+                                      config.system.idle_power_fraction,
+                                  makespan - busy);
+    }
+    if (!out.chiplet_busy_s.empty()) {
+      m.utilization =
+          busy_fraction_sum / static_cast<double>(out.chiplet_busy_s.size());
+    }
+  }
+  const auto idle_it = out.ledger.entries().find("serving.idle");
+  if (idle_it != out.ledger.entries().end()) {
+    m.energy_j += idle_it->second.dynamic_energy_j;
+  }
+  if (m.completed > 0) {
+    m.energy_per_request_j = m.energy_j / static_cast<double>(m.completed);
+    m.mean_batch = static_cast<double>(m.completed) /
+                   static_cast<double>(std::max<std::uint64_t>(batches, 1));
+  }
+  m.service_cache_hits = oracle.cache_hits();
+  m.service_cache_misses = oracle.cache_misses();
+  return out;
+}
+
+ServingConfig make_serving_config(const core::SystemConfig& base,
+                                  accel::Architecture arch,
+                                  const ServingSpec& spec) {
+  ServingConfig config;
+  config.system = base;
+  config.arch = arch;
+
+  const std::vector<std::string> mix = spec.tenants();
+  OPTIPLET_REQUIRE(!mix.empty(), "empty tenant mix");
+  const auto n = mix.size();
+
+  std::vector<TraceEvent> trace;
+  if (!spec.trace_path.empty()) {
+    trace = load_arrival_trace(spec.trace_path);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    TenantSetup tenant;
+    tenant.model = mix[i];
+    // A model appearing more than once gets "#<mix-index>" appended to
+    // *every* occurrence, so trace `tenant` labels can address each copy
+    // unambiguously ("LeNet5#0", "LeNet5#1").
+    tenant.name = mix[i];
+    const auto copies =
+        static_cast<std::size_t>(std::count(mix.begin(), mix.end(), mix[i]));
+    if (copies > 1) {
+      tenant.name += "#" + std::to_string(i);
+    }
+    tenant.arrival_rps = spec.arrival_rps / static_cast<double>(n);
+    tenant.requests =
+        spec.requests / n + (i < spec.requests % n ? 1 : 0);
+    tenant.seed = spec.seed + i;
+    tenant.batching.policy = spec.policy;
+    tenant.batching.max_batch = spec.max_batch;
+    tenant.batching.max_wait_s = spec.max_wait_s;
+    tenant.sla_s = spec.sla_s;
+    if (!spec.trace_path.empty()) {
+      tenant.replay_trace = true;
+      tenant.trace_arrivals = trace_arrivals_for(trace, tenant.name);
+    }
+    config.tenants.push_back(std::move(tenant));
+  }
+  if (!spec.trace_path.empty()) {
+    // A trace that feeds nobody is a labeling mistake (e.g. rows labeled
+    // "LeNet5" against the duplicate-mix names "LeNet5#0"/"LeNet5#1"):
+    // fail loud instead of serving an empty run.
+    std::size_t fed = 0;
+    std::vector<std::string> names;
+    for (const auto& tenant : config.tenants) {
+      fed += tenant.trace_arrivals.empty() ? 0 : 1;
+      names.push_back(tenant.name);
+    }
+    if (fed == 0) {
+      std::string message =
+          "arrival trace feeds no tenant (tenant labels must be empty or "
+          "match one of:";
+      for (const auto& name : names) {
+        message += " " + name;
+      }
+      throw std::invalid_argument(message + "): " + spec.trace_path);
+    }
+  }
+  return config;
+}
+
+}  // namespace optiplet::serve

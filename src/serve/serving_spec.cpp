@@ -1,0 +1,28 @@
+#include "serve/serving_spec.hpp"
+
+#include "util/strings.hpp"
+
+namespace optiplet::serve {
+
+std::optional<BatchPolicy> batch_policy_from_string(std::string_view name) {
+  if (name == "none" || name == "fifo" || name == "no-batch") {
+    return BatchPolicy::kNone;
+  }
+  if (name == "size" || name == "fixed" || name == "fixed-size") {
+    return BatchPolicy::kFixedSize;
+  }
+  if (name == "deadline" || name == "dynamic") {
+    return BatchPolicy::kDeadline;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split_mix(std::string_view mix) {
+  return util::split(mix, '+');
+}
+
+std::vector<std::string> ServingSpec::tenants() const {
+  return split_mix(tenant_mix);
+}
+
+}  // namespace optiplet::serve

@@ -1,0 +1,83 @@
+#pragma once
+/// \file serving_spec.hpp
+/// The sweepable description of one request-level serving experiment.
+///
+/// A `ServingSpec` is to the serving simulator what the photonic-shape
+/// fields of an `engine::ScenarioSpec` are to a single inference: a compact
+/// value type naming every input that changes the outcome — offered load,
+/// batching policy, the co-located tenant mix, request count, seed, and the
+/// SLA — so two equal specs are by construction the same simulation. The
+/// engine embeds it as an optional block on `ScenarioSpec` and folds it
+/// into the scenario key.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optiplet::serve {
+
+/// Admission/batching policy of one tenant's queue.
+enum class BatchPolicy {
+  /// FIFO, one request per batch: the latency-optimal policy at low load.
+  kNone,
+  /// Wait for exactly `max_batch` requests (flushing the remainder when the
+  /// arrival stream ends): the throughput-optimal policy under saturation.
+  kFixedSize,
+  /// Deadline-bounded dynamic batching: dispatch when `max_batch` requests
+  /// are queued or the oldest has waited `max_wait_s`, whichever first.
+  kDeadline,
+};
+
+[[nodiscard]] constexpr const char* to_string(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kNone:
+      return "none";
+    case BatchPolicy::kFixedSize:
+      return "size";
+    case BatchPolicy::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+/// Accepts "none"/"fifo", "size"/"fixed", "deadline"/"dynamic".
+[[nodiscard]] std::optional<BatchPolicy> batch_policy_from_string(
+    std::string_view name);
+
+/// One fully-resolved serving experiment point.
+struct ServingSpec {
+  /// Aggregate offered load across all tenants [requests/s]; split evenly
+  /// over the tenant mix. Ignored when `trace_path` is set.
+  double arrival_rps = 200.0;
+  BatchPolicy policy = BatchPolicy::kNone;
+  /// Batch-size bound for kFixedSize (exact) and kDeadline (upper bound).
+  unsigned max_batch = 8;
+  /// kDeadline only: the oldest queued request's maximum wait [s].
+  double max_wait_s = 1.0e-3;
+  /// Co-located tenants as '+'-joined Table-2 model names ("LeNet5+VGG16").
+  /// Each tenant owns a disjoint slice of the chiplet pool (see
+  /// serve::partition_pool) and an equal share of the offered load.
+  std::string tenant_mix = "LeNet5";
+  /// Total request arrivals across the mix (split evenly; remainder to the
+  /// earlier tenants).
+  std::uint64_t requests = 2000;
+  /// Seed of the deterministic Poisson arrival processes (tenant i draws
+  /// from seed + i).
+  std::uint64_t seed = 42;
+  /// Per-request latency SLA [s]; <= 0 derives 10x the tenant's batch-1
+  /// service time (a conventional "10x isolated latency" serving SLO).
+  double sla_s = 0.0;
+  /// Optional CSV arrival trace replayed instead of the Poisson processes
+  /// (columns: arrival_s[,tenant]); see serve::load_arrival_trace.
+  std::string trace_path;
+
+  /// Tenant model names of `tenant_mix`, in order ("A+B" -> {"A", "B"}).
+  [[nodiscard]] std::vector<std::string> tenants() const;
+};
+
+/// Split a '+'-joined mix string into its tenant model names.
+[[nodiscard]] std::vector<std::string> split_mix(std::string_view mix);
+
+}  // namespace optiplet::serve

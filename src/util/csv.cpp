@@ -1,5 +1,8 @@
 #include "util/csv.hpp"
 
+#include <iterator>
+#include <sstream>
+
 namespace optiplet::util {
 
 CsvWriter::CsvWriter(const std::string& path,
@@ -41,6 +44,106 @@ std::string CsvWriter::escape(const std::string& cell) {
   }
   quoted += '"';
   return quoted;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  // True once the current record holds any content (a field character, a
+  // completed field, or an opening quote): distinguishes a lone "\n" (no
+  // record) from "" followed by "\n" (one record of one empty field).
+  bool record_started = false;
+
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    record_started = true;
+  };
+  const auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;  // commas, CR, LF all literal inside quotes
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          ++i;  // CRLF line ending
+        }
+        if (record_started || !record.empty()) {
+          end_record();
+        }
+        break;
+      case '\n':
+        // A fully empty line holds no record (blank separators and the
+        // trailing newline both land here).
+        if (record_started || !record.empty()) {
+          end_record();
+        }
+        break;
+      default:
+        field += c;
+        record_started = true;
+        break;
+    }
+  }
+  // Final record without a trailing newline.
+  if (record_started || !record.empty() || !field.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+std::optional<std::size_t> CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CsvDocument> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  auto records = parse_csv(os.str());
+  if (records.empty()) {
+    return std::nullopt;
+  }
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  doc.rows.assign(std::make_move_iterator(records.begin() + 1),
+                  std::make_move_iterator(records.end()));
+  return doc;
 }
 
 }  // namespace optiplet::util

@@ -1,9 +1,13 @@
 #pragma once
 /// \file csv.hpp
-/// Minimal CSV writer used by benches to dump figure series for plotting.
+/// Minimal CSV writer used by benches to dump figure series for plotting,
+/// plus the matching RFC 4180 parser the serving trace replayer and the
+/// result-store round-trip tests consume.
 
 #include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace optiplet::util {
@@ -28,5 +32,27 @@ class CsvWriter {
 
   std::ofstream out_;
 };
+
+/// Parse CSV text into records of fields (RFC 4180): quoted fields may
+/// contain commas, doubled quotes, and newlines; unquoted CR before LF is
+/// treated as a CRLF line ending; the final record may or may not end with
+/// a newline. Fully empty trailing lines are not records.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    std::string_view text);
+
+/// A parsed CSV file: the first record is the header, the rest are rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `name` in the header; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> column(
+      std::string_view name) const;
+};
+
+/// Read and parse `path`; nullopt when the file cannot be opened or holds
+/// no header record.
+[[nodiscard]] std::optional<CsvDocument> read_csv_file(
+    const std::string& path);
 
 }  // namespace optiplet::util

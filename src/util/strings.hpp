@@ -1,0 +1,42 @@
+#pragma once
+/// \file strings.hpp
+/// Small string helpers shared by the CLIs and the serving spec parser.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optiplet::util {
+
+/// Split `text` on `sep`. Adjacent separators and leading/trailing
+/// separators yield empty elements; the result is never empty.
+[[nodiscard]] inline std::vector<std::string> split(std::string_view text,
+                                                    char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// Join `parts` with `sep` ("a", "b" -> "a<sep>b").
+[[nodiscard]] inline std::string join(const std::vector<std::string>& parts,
+                                      const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace optiplet::util

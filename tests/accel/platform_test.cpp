@@ -122,15 +122,19 @@ TEST(Platform, RejectsEmptySpec) {
                std::invalid_argument);
 }
 
-TEST(Platform, RequiresAllMacKinds) {
+TEST(Platform, PartialPlatformsServeOnlyTheirKinds) {
+  // Serving tenants run on chiplet partitions that provision only the MAC
+  // kinds their model uses; the missing kinds fail at lookup, not at
+  // construction.
   PlatformSpec partial;
   ChipletDesign only_conv3;
   only_conv3.kind = MacKind::kConv3;
   only_conv3.units = 4;
   only_conv3.units_per_bus = 2;
   partial.groups.push_back({only_conv3, 1});
-  EXPECT_THROW(Platform(partial, power::default_tech()),
-               std::invalid_argument);
+  const Platform p(partial, power::default_tech());
+  EXPECT_EQ(p.group_for(MacKind::kConv3).chiplet_count, 1u);
+  EXPECT_THROW((void)p.group_for(MacKind::kConv7), std::invalid_argument);
 }
 
 TEST(PlatformSpec, RejectsZeroScaleDivisor) {

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/csv.hpp"
+
 namespace optiplet::engine {
 namespace {
 
@@ -104,6 +106,63 @@ TEST(ResultStore, WriteCsvProducesWellFormedFile) {
 TEST(ResultStore, WriteCsvFailsOnUnwritablePath) {
   ResultStore store;
   EXPECT_FALSE(store.write_csv("/no/such/dir/out.csv"));
+}
+
+TEST(ResultStore, CsvWriteParseRoundTrip) {
+  // The serving CSV consumers (trace tooling, plot scripts) parse what
+  // write_csv emits; pin the full write -> parse_csv round trip, including
+  // a serving row and an override string containing no quoting hazards.
+  ResultStore store;
+  auto plain = make_result("LeNet5", accel::Architecture::kSiph2p5D, 1.5e-3,
+                           12.0, 2e-12);
+  plain.spec.overrides = {{"resipi.epoch_s", 5e-6}};
+  store.add(plain);
+
+  auto serving = make_result("LeNet5+VGG16",
+                             accel::Architecture::kSiph2p5D, 2e-3, 15.0, 0);
+  serving.spec.serving = serve::ServingSpec{};
+  serving.spec.serving->tenant_mix = "LeNet5+VGG16";
+  serving.spec.serving->arrival_rps = 450.0;
+  serving.spec.serving->policy = serve::BatchPolicy::kDeadline;
+  serve::ServingMetrics metrics;
+  metrics.throughput_rps = 440.0;
+  metrics.p50_s = 1e-3;
+  metrics.p95_s = 2e-3;
+  metrics.p99_s = 3e-3;
+  metrics.sla_violation_rate = 0.125;
+  metrics.energy_per_request_j = 7e-4;
+  metrics.utilization = 0.5;
+  metrics.mean_batch = 3.5;
+  serving.serving = metrics;
+  store.add(serving);
+
+  const std::string path =
+      ::testing::TempDir() + "result_store_roundtrip.csv";
+  ASSERT_TRUE(store.write_csv(path));
+  const auto doc = util::read_csv_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->header, ResultStore::csv_header());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  for (const auto& row : doc->rows) {
+    EXPECT_EQ(row.size(), doc->header.size());
+  }
+
+  const auto cell = [&](std::size_t row, const std::string& column) {
+    return doc->rows[row][*doc->column(column)];
+  };
+  EXPECT_EQ(cell(0, "model"), "LeNet5");
+  EXPECT_EQ(cell(0, "serving"), "0");
+  EXPECT_EQ(cell(0, "throughput_rps"), "");
+  EXPECT_EQ(cell(0, "overrides"), "resipi.epoch_s=5e-06");
+  EXPECT_EQ(cell(1, "model"), "LeNet5+VGG16");
+  EXPECT_EQ(cell(1, "serving"), "1");
+  EXPECT_EQ(cell(1, "batch_policy"), "deadline");
+  EXPECT_DOUBLE_EQ(std::stod(cell(1, "arrival_rps")), 450.0);
+  EXPECT_DOUBLE_EQ(std::stod(cell(1, "throughput_rps")), 440.0);
+  EXPECT_DOUBLE_EQ(std::stod(cell(1, "p99_s")), 3e-3);
+  EXPECT_DOUBLE_EQ(std::stod(cell(1, "sla_violation_rate")), 0.125);
+  EXPECT_DOUBLE_EQ(std::stod(cell(1, "energy_per_request_j")), 7e-4);
 }
 
 }  // namespace

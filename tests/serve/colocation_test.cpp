@@ -1,0 +1,180 @@
+#include "serve/colocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dnn/workload.hpp"
+#include "dnn/zoo.hpp"
+
+namespace optiplet::serve {
+namespace {
+
+TenantDemand demand_for(const std::string& model, double weight = 1.0) {
+  TenantDemand d;
+  d.needed_kinds = needed_kinds(
+      dnn::compute_workload(dnn::zoo::by_name(model), 8));
+  d.weight = weight;
+  return d;
+}
+
+std::size_t pool_size(const accel::PlatformSpec& pool) {
+  std::size_t n = 0;
+  for (const auto& g : pool.groups) {
+    n += g.chiplet_count;
+  }
+  return n;
+}
+
+/// Invariant: every chiplet is owned by at most one tenant, and owned and
+/// shared sets never intersect.
+void expect_no_double_booking(const ColocationPlan& plan,
+                              std::size_t chiplets) {
+  std::set<std::size_t> seen(plan.shared_chiplets.begin(),
+                             plan.shared_chiplets.end());
+  EXPECT_EQ(seen.size(), plan.shared_chiplets.size());
+  for (const auto& tenant : plan.tenants) {
+    for (const std::size_t c : tenant.owned_chiplets) {
+      EXPECT_LT(c, chiplets);
+      EXPECT_TRUE(seen.insert(c).second)
+          << "chiplet " << c << " assigned twice";
+    }
+  }
+}
+
+TEST(NeededKinds, MatchModelStructure) {
+  // VGG16: 3x3 convs + FC layers only.
+  const auto vgg = demand_for("VGG16").needed_kinds;
+  EXPECT_NE(std::find(vgg.begin(), vgg.end(), accel::MacKind::kConv3),
+            vgg.end());
+  EXPECT_NE(std::find(vgg.begin(), vgg.end(), accel::MacKind::kDense100),
+            vgg.end());
+  EXPECT_EQ(std::find(vgg.begin(), vgg.end(), accel::MacKind::kConv7),
+            vgg.end());
+  // ResNet50 opens with a 7x7 conv.
+  const auto resnet = demand_for("ResNet50").needed_kinds;
+  EXPECT_NE(std::find(resnet.begin(), resnet.end(), accel::MacKind::kConv7),
+            resnet.end());
+}
+
+TEST(PartitionPool, SingleTenantOwnsItsKindsExclusively) {
+  const auto pool = accel::make_table1_spec();
+  const auto plan = partition_pool(pool, {demand_for("ResNet50")},
+                                   power::default_tech());
+  ASSERT_EQ(plan.tenants.size(), 1u);
+  EXPECT_TRUE(plan.shared_chiplets.empty());
+  EXPECT_TRUE(plan.tenants[0].shared_kinds.empty());
+  // ResNet50 maps to dense (1x1/FC), conv7, and conv3 — never 5x5 — so it
+  // owns those three groups outright (6 of the 8 chiplets) and the conv5
+  // pair stays unassigned (idle, but still in the idle-power table).
+  EXPECT_EQ(plan.tenants[0].owned_chiplets.size(), 6u);
+  const bool has_conv5 = std::any_of(
+      plan.tenants[0].platform.groups.begin(),
+      plan.tenants[0].platform.groups.end(),
+      [](const accel::ChipletGroup& g) {
+        return g.chiplet.kind == accel::MacKind::kConv5;
+      });
+  EXPECT_FALSE(has_conv5);
+  expect_no_double_booking(plan, pool_size(pool));
+}
+
+TEST(PartitionPool, TwoTenantsSplitDisjointly) {
+  const auto pool = accel::make_table1_spec();
+  // LeNet5 (conv5 + dense) and VGG16 (conv3 + dense): dense is contended
+  // (2 chiplets, 2 tenants -> 1 each), conv5/conv3 are exclusive.
+  const auto plan = partition_pool(
+      pool, {demand_for("LeNet5"), demand_for("VGG16")},
+      power::default_tech());
+  expect_no_double_booking(plan, pool_size(pool));
+  EXPECT_TRUE(plan.shared_chiplets.empty());
+  for (const auto& tenant : plan.tenants) {
+    EXPECT_FALSE(tenant.owned_chiplets.empty());
+    EXPECT_TRUE(tenant.shared_kinds.empty());
+    EXPECT_FALSE(tenant.platform.groups.empty());
+  }
+  // Each tenant's platform provisions exactly its needed kinds.
+  const auto& lenet = plan.tenants[0].platform;
+  EXPECT_EQ(lenet.groups.size(), 2u);  // conv5 + dense
+  for (const auto& g : lenet.groups) {
+    EXPECT_TRUE(g.chiplet.kind == accel::MacKind::kConv5 ||
+                g.chiplet.kind == accel::MacKind::kDense100);
+  }
+}
+
+TEST(PartitionPool, ScarceGroupBecomesSharedSerial) {
+  const auto pool = accel::make_table1_spec();
+  // ResNet50 and DenseNet121 both open with 7x7 convs; Table 1 has one
+  // conv7 chiplet, so it must be shared-serial, never double-owned.
+  const auto plan = partition_pool(
+      pool, {demand_for("ResNet50"), demand_for("DenseNet121")},
+      power::default_tech());
+  expect_no_double_booking(plan, pool_size(pool));
+  ASSERT_EQ(plan.shared_chiplets.size(), 1u);
+  for (const auto& tenant : plan.tenants) {
+    ASSERT_EQ(tenant.shared_kinds.size(), 1u);
+    EXPECT_EQ(tenant.shared_kinds[0], accel::MacKind::kConv7);
+    // The shared group still appears (at full strength) in the tenant's
+    // simulated platform, because batches lock it exclusively.
+    const bool has_conv7 = std::any_of(
+        tenant.platform.groups.begin(), tenant.platform.groups.end(),
+        [](const accel::ChipletGroup& g) {
+          return g.chiplet.kind == accel::MacKind::kConv7;
+        });
+    EXPECT_TRUE(has_conv7);
+  }
+  // Occupancy of each tenant covers its owned set plus the shared pool.
+  const auto occ = plan.occupancy(0);
+  for (const std::size_t c : plan.shared_chiplets) {
+    EXPECT_NE(std::find(occ.begin(), occ.end(), c), occ.end());
+  }
+}
+
+TEST(PartitionPool, WeightsSkewTheContendedSplit) {
+  const auto pool = accel::make_table1_spec();
+  // Both tenants are VGG16-shaped (conv3 + dense). conv3 has 3 chiplets:
+  // both get >= 1; the remainder goes to the heavier tenant.
+  const auto plan = partition_pool(
+      pool, {demand_for("VGG16", 3.0), demand_for("VGG16", 1.0)},
+      power::default_tech());
+  expect_no_double_booking(plan, pool_size(pool));
+  EXPECT_GT(plan.tenants[0].owned_chiplets.size(),
+            plan.tenants[1].owned_chiplets.size());
+}
+
+TEST(PartitionPool, DeterministicAcrossCalls) {
+  const auto pool = accel::make_table1_spec();
+  const std::vector<TenantDemand> demands = {demand_for("MobileNetV2"),
+                                             demand_for("ResNet50")};
+  const auto a = partition_pool(pool, demands, power::default_tech());
+  const auto b = partition_pool(pool, demands, power::default_tech());
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    EXPECT_EQ(a.tenants[t].owned_chiplets, b.tenants[t].owned_chiplets);
+    EXPECT_EQ(a.tenants[t].shared_kinds, b.tenants[t].shared_kinds);
+  }
+  EXPECT_EQ(a.shared_chiplets, b.shared_chiplets);
+}
+
+TEST(PartitionPool, ChipletPowerTableCoversThePool) {
+  const auto pool = accel::make_table1_spec();
+  const auto plan =
+      partition_pool(pool, {demand_for("LeNet5")}, power::default_tech());
+  ASSERT_EQ(plan.chiplet_active_power_w.size(), pool_size(pool));
+  for (const double w : plan.chiplet_active_power_w) {
+    EXPECT_GT(w, 0.0);
+  }
+}
+
+TEST(PartitionPool, RejectsUnservableDemand) {
+  accel::PlatformSpec pool;
+  accel::ChipletDesign conv3;
+  conv3.kind = accel::MacKind::kConv3;
+  pool.groups.push_back({conv3, 2});
+  EXPECT_THROW(partition_pool(pool, {demand_for("ResNet50")},
+                              power::default_tech()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optiplet::serve

@@ -1,0 +1,88 @@
+#pragma once
+/// \file cli_support.hpp
+/// Flag-parsing helpers shared by the optiplet command-line tools.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace optiplet::cli {
+
+using util::join;
+using util::split;
+
+inline std::optional<double> parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+inline std::optional<std::size_t> parse_count(const std::string& text) {
+  const auto value = parse_double(text);
+  if (!value || *value < 0 ||
+      *value != static_cast<double>(static_cast<std::size_t>(*value))) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*value);
+}
+
+/// Walks argv-style arguments with support for both the `--flag value`
+/// and `--flag=value` spellings.
+class FlagCursor {
+ public:
+  FlagCursor(int argc, char** argv) : args_(argv + 1, argv + argc) {}
+
+  /// Advance to the next argument; false at the end.
+  bool next() {
+    if (index_ >= args_.size()) {
+      return false;
+    }
+    flag_ = args_[index_++];
+    inline_value_.reset();
+    if (flag_.rfind("--", 0) == 0) {
+      if (const auto eq = flag_.find('='); eq != std::string::npos) {
+        inline_value_ = flag_.substr(eq + 1);
+        flag_ = flag_.substr(0, eq);
+      }
+    }
+    return true;
+  }
+
+  /// The current flag name (the part before '=' for --flag=value).
+  [[nodiscard]] const std::string& flag() const { return flag_; }
+
+  /// True when the current flag was spelled --flag=value (an error for
+  /// flags that take no value).
+  [[nodiscard]] bool has_inline_value() const {
+    return inline_value_.has_value();
+  }
+
+  /// The current flag's value: the inline part, or the next argument
+  /// (consumed). nullopt when neither exists.
+  [[nodiscard]] std::optional<std::string> value() {
+    if (inline_value_) {
+      return inline_value_;
+    }
+    if (index_ >= args_.size()) {
+      return std::nullopt;
+    }
+    return args_[index_++];
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::size_t index_ = 0;
+  std::string flag_;
+  std::optional<std::string> inline_value_;
+};
+
+}  // namespace optiplet::cli

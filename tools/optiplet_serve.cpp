@@ -1,0 +1,266 @@
+/// \file optiplet_serve.cpp
+/// Command-line front end of the request-level serving simulator: declare
+/// the tenant mix, offered-load points, and batching policies; evaluate
+/// the (rates x policies x fidelities) serving grid on a worker pool; and
+/// dump the tail-latency/throughput/energy columns as CSV.
+///
+/// Examples:
+///   optiplet_serve --tenants LeNet5 --rates 500,1000,2000
+///   optiplet_serve --tenants MobileNetV2,ResNet50 --rates 400 \
+///       --policies none,deadline --max-batch 8 --max-wait 2e-3
+///   optiplet_serve --tenants LeNet5 --rates 1000 --fidelity cycle
+///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli_support.hpp"
+#include "dnn/zoo.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+using cli::join;
+using cli::parse_count;
+using cli::parse_double;
+using cli::split;
+
+constexpr const char* kUsage = R"(optiplet_serve — request-level inference serving simulator
+
+Serves an open-loop request stream against the 2.5D platform: seeded
+Poisson (or replayed-trace) arrivals per tenant, an admission/batching
+policy, chiplet-pool partitioning between co-located tenants, and the
+full-system simulator as the (memoized) batch service-time oracle.
+Reports throughput, p50/p95/p99 latency, SLA violations, utilization,
+and energy per request.
+
+  --tenants NAMES      comma list of co-located Table-2 models
+                       (default LeNet5; see --list-models)
+  --rates LIST         comma list of aggregate offered loads [requests/s]
+                       (default 200; split evenly over the tenants)
+  --policies LIST      comma list of none|size|deadline (default none)
+  --max-batch K        batch bound for size/deadline policies (default 8)
+  --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
+  --requests N         total arrivals across tenants (default 2000)
+  --seed S             arrival-process seed (default 42)
+  --sla S              latency SLA [s]; 0 derives 10x the batch-1 service
+                       time per tenant (default 0)
+  --trace FILE         replay a CSV arrival trace (arrival_s[,tenant])
+                       instead of Poisson arrivals
+  --arch NAME          mono|elec|siph (default siph)
+  --fidelity LIST      comma list of analytical|cycle (default analytical)
+  --threads N          worker threads (default 0 = hardware concurrency)
+  --out FILE           output CSV path (default serve.csv)
+  --quiet              suppress the progress meter
+  --list-models        print the Table-2 model names and exit
+  --help               this text
+
+Value flags also accept the --flag=value spelling (e.g. --rates=500).
+)";
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "optiplet_serve: %s\n", message.c_str());
+  std::fprintf(stderr, "Run with --help for usage.\n");
+  return 2;
+}
+
+std::string format_us(double seconds) {
+  return util::format_fixed(seconds * 1e6, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  engine::ScenarioGrid grid;
+  grid.serving_defaults.requests = 2000;
+  std::vector<std::string> tenants = {"LeNet5"};
+  accel::Architecture arch = accel::Architecture::kSiph2p5D;
+  std::size_t threads = 0;
+  std::string out_path = "serve.csv";
+  bool quiet = false;
+
+  cli::FlagCursor cursor(argc, argv);
+  while (cursor.next()) {
+    const std::string& arg = cursor.flag();
+    if (cursor.has_inline_value() &&
+        (arg == "--help" || arg == "-h" || arg == "--quiet" ||
+         arg == "--list-models")) {
+      return fail("flag does not take a value: " + arg);
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list-models") {
+      for (const auto& name : dnn::zoo::model_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    const bool known_value_flag =
+        arg == "--tenants" || arg == "--rates" || arg == "--policies" ||
+        arg == "--max-batch" || arg == "--max-wait" ||
+        arg == "--requests" || arg == "--seed" || arg == "--sla" ||
+        arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
+        arg == "--threads" || arg == "--out";
+    if (!known_value_flag) {
+      return fail("unknown flag: " + arg);
+    }
+    const auto value = cursor.value();
+    if (!value) {
+      return fail("missing value for " + arg);
+    }
+    if (arg == "--tenants") {
+      const auto known = dnn::zoo::model_names();
+      tenants = split(*value, ',');
+      for (const auto& name : tenants) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          return fail("unknown model: " + name +
+                      " (valid: " + join(known, ", ") + ")");
+        }
+      }
+    } else if (arg == "--rates") {
+      for (const auto& text : split(*value, ',')) {
+        const auto rate = parse_double(text);
+        if (!rate || *rate <= 0.0) {
+          return fail("bad arrival rate: " + text);
+        }
+        grid.arrival_rates_rps.push_back(*rate);
+      }
+    } else if (arg == "--policies") {
+      for (const auto& name : split(*value, ',')) {
+        const auto policy = serve::batch_policy_from_string(name);
+        if (!policy) {
+          return fail("unknown batch policy: " + name +
+                      " (valid: none, size, deadline)");
+        }
+        grid.batch_policies.push_back(*policy);
+      }
+    } else if (arg == "--max-batch") {
+      const auto k = parse_count(*value);
+      if (!k || *k == 0) {
+        return fail("bad max batch: " + *value);
+      }
+      grid.serving_defaults.max_batch = static_cast<unsigned>(*k);
+    } else if (arg == "--max-wait") {
+      const auto wait = parse_double(*value);
+      if (!wait || *wait < 0.0) {
+        return fail("bad max wait: " + *value);
+      }
+      grid.serving_defaults.max_wait_s = *wait;
+    } else if (arg == "--requests") {
+      const auto n = parse_count(*value);
+      if (!n || *n == 0) {
+        return fail("bad request count: " + *value);
+      }
+      grid.serving_defaults.requests = *n;
+    } else if (arg == "--seed") {
+      const auto seed = parse_count(*value);
+      if (!seed) {
+        return fail("bad seed: " + *value);
+      }
+      grid.serving_defaults.seed = *seed;
+    } else if (arg == "--sla") {
+      const auto sla = parse_double(*value);
+      if (!sla || *sla < 0.0) {
+        return fail("bad SLA: " + *value);
+      }
+      grid.serving_defaults.sla_s = *sla;
+    } else if (arg == "--trace") {
+      grid.serving_defaults.trace_path = *value;
+    } else if (arg == "--arch") {
+      const auto parsed = engine::architecture_from_string(*value);
+      if (!parsed) {
+        return fail("unknown architecture: " + *value +
+                    " (valid: mono, elec, siph)");
+      }
+      arch = *parsed;
+    } else if (arg == "--fidelity") {
+      for (const auto& name : split(*value, ',')) {
+        const auto fid = engine::fidelity_from_string(name);
+        if (!fid) {
+          return fail("unknown fidelity: " + name +
+                      " (valid: analytical, cycle)");
+        }
+        grid.fidelities.push_back(*fid);
+      }
+    } else if (arg == "--threads") {
+      const auto count = parse_count(*value);
+      if (!count) {
+        return fail("bad thread count: " + *value);
+      }
+      threads = *count;
+    } else {  // --out, the last known_value_flag
+      out_path = *value;
+    }
+  }
+
+  grid.architectures = {arch};
+  grid.tenant_mixes = {join(tenants, "+")};
+  if (grid.arrival_rates_rps.empty()) {
+    grid.arrival_rates_rps = {grid.serving_defaults.arrival_rps};
+  }
+  if (grid.batch_policies.empty()) {
+    grid.batch_policies = {grid.serving_defaults.policy};
+  }
+
+  engine::SweepOptions options;
+  options.threads = threads;
+  if (!quiet) {
+    options.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r%zu/%zu serving scenarios", done, total);
+      if (done == total) {
+        std::fputc('\n', stderr);
+      }
+    };
+  }
+
+  engine::SweepRunner runner(core::default_system_config(), options);
+  engine::ResultStore store;
+  try {
+    store.add_all(runner.run(grid));
+  } catch (const std::exception& e) {
+    return fail(std::string("serving sweep failed: ") + e.what());
+  }
+  if (store.empty()) {
+    std::printf("No feasible serving scenarios — nothing to report.\n");
+    return 1;
+  }
+
+  util::TextTable table({"Rate (r/s)", "Policy", "Fid", "Thpt (r/s)",
+                         "p50 (us)", "p95 (us)", "p99 (us)", "SLA viol",
+                         "Util", "E/req (mJ)"});
+  for (const auto& r : store.results()) {
+    const auto& m = *r.serving;
+    table.add_row({util::format_fixed(r.spec.serving->arrival_rps, 0),
+                   serve::to_string(r.spec.serving->policy),
+                   core::to_string(r.spec.fidelity),
+                   util::format_fixed(m.throughput_rps, 0),
+                   format_us(m.p50_s), format_us(m.p95_s),
+                   format_us(m.p99_s),
+                   util::format_fixed(m.sla_violation_rate, 3),
+                   util::format_fixed(m.utilization, 3),
+                   util::format_fixed(m.energy_per_request_j * 1e3, 3)});
+  }
+  std::printf("Serving %s on %s, %zu scenarios (%zu threads)\n\n",
+              grid.tenant_mixes.front().c_str(), accel::to_string(arch),
+              store.size(), runner.threads());
+  std::fputs(table.render().c_str(), stdout);
+
+  if (!store.write_csv(out_path)) {
+    return fail("cannot write " + out_path);
+  }
+  std::printf("\nServing grid written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -10,6 +10,7 @@
 ///   optiplet_sweep --models LeNet5 --set resipi.epoch_s=5e-6,1e-5,2e-5
 ///   optiplet_sweep --list-overrides
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -17,15 +18,21 @@
 #include <string_view>
 #include <vector>
 
+#include "cli_support.hpp"
 #include "dnn/zoo.hpp"
 #include "engine/result_store.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace optiplet;
+using cli::join;
+using cli::parse_count;
+using cli::parse_double;
+using cli::split;
 
 constexpr const char* kUsage = R"(optiplet_sweep — parallel scenario-grid evaluation
 
@@ -33,7 +40,8 @@ Every flag below adds one axis to a cartesian grid; unset axes keep the
 Table-1 default configuration. Infeasible combinations (wavelengths not
 divisible by gateways; SiPh link budget that cannot close) are skipped.
 
-  --models NAMES       comma list of Table-2 models, or "all" (default all)
+  --models NAMES       comma list of Table-2 models, or "all" (default all;
+                       see --list-models)
   --archs NAMES        comma list of mono|elec|siph, or "all" (default siph)
   --batch-sizes LIST   comma list of batch sizes
   --wavelengths LIST   comma list of WDM channel counts
@@ -47,54 +55,63 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.
                        (repeatable; see --list-overrides)
   --threads N          worker threads (default 0 = hardware concurrency)
   --out FILE           output CSV path (default sweep.csv)
+  --per-layer FILE     also dump the per-layer timing/provisioning
+                       breakdown of every scenario as CSV
   --quiet              suppress the progress meter
+  --list-models        print the Table-2 model names and exit
   --list-overrides     print the valid --set keys and exit
   --help               this text
 
 Value flags also accept the --flag=value spelling (e.g. --fidelity=cycle).
 )";
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::string current;
-  for (const char c : text) {
-    if (c == sep) {
-      parts.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  parts.push_back(current);
-  return parts;
-}
-
-std::optional<double> parse_double(const std::string& text) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) {
-      return std::nullopt;
-    }
-    return value;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
-std::optional<std::size_t> parse_count(const std::string& text) {
-  const auto value = parse_double(text);
-  if (!value || *value < 0 ||
-      *value != static_cast<double>(static_cast<std::size_t>(*value))) {
-    return std::nullopt;
-  }
-  return static_cast<std::size_t>(*value);
-}
-
 int fail(const std::string& message) {
   std::fprintf(stderr, "optiplet_sweep: %s\n", message.c_str());
   std::fprintf(stderr, "Run with --help for usage.\n");
   return 2;
+}
+
+/// Dump every scenario's per-layer breakdown (computed by the simulator on
+/// each run, but unreachable from the CLI before this flag existed).
+bool write_per_layer_csv(const std::string& path,
+                         const engine::ResultStore& store) {
+  util::CsvWriter csv(path,
+                      {"model", "architecture", "batch_size", "wavelengths",
+                       "gateways_per_chiplet", "modulation", "fidelity",
+                       "overrides", "layer_index", "group", "chiplets_used",
+                       "compute_s", "read_s", "write_s", "overhead_s",
+                       "total_s", "gateways_active"});
+  if (!csv.ok()) {
+    return false;
+  }
+  const auto overrides_cell = [](const engine::ScenarioSpec& spec) {
+    std::vector<std::string> parts;
+    for (const auto& [name, value] : spec.overrides) {
+      parts.push_back(name + "=" + util::format_general(value));
+    }
+    return join(parts, " ");
+  };
+  for (const auto& r : store.results()) {
+    for (const auto& layer : r.run.layers) {
+      csv.add_row({r.spec.model, accel::to_string(r.spec.arch),
+                   std::to_string(r.spec.batch_size),
+                   std::to_string(r.spec.wavelengths),
+                   std::to_string(r.spec.gateways_per_chiplet),
+                   photonics::to_string(r.spec.modulation),
+                   core::to_string(r.spec.fidelity),
+                   overrides_cell(r.spec),
+                   std::to_string(layer.layer_index),
+                   accel::to_string(layer.group),
+                   std::to_string(layer.chiplets_used),
+                   util::format_general(layer.compute_s),
+                   util::format_general(layer.read_s),
+                   util::format_general(layer.write_s),
+                   util::format_general(layer.overhead_s),
+                   util::format_general(layer.total_s),
+                   std::to_string(layer.gateways_per_chiplet)});
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -103,35 +120,27 @@ int main(int argc, char** argv) {
   engine::ScenarioGrid grid;
   std::size_t threads = 0;
   std::string out_path = "sweep.csv";
+  std::string per_layer_path;
   bool quiet = false;
 
-  const std::vector<std::string> args(argv + 1, argv + argc);
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    std::string arg = args[i];
-    // --flag=value spelling: split once; --set keeps its own KEY=... value.
-    std::optional<std::string> inline_value;
-    if (arg.rfind("--", 0) == 0) {
-      if (const auto eq = arg.find('='); eq != std::string::npos) {
-        inline_value = arg.substr(eq + 1);
-        arg = arg.substr(0, eq);
-      }
-    }
-    const auto next_value = [&]() -> std::optional<std::string> {
-      if (inline_value) {
-        return inline_value;
-      }
-      if (i + 1 >= args.size()) {
-        return std::nullopt;
-      }
-      return args[++i];
-    };
-    if (inline_value &&
+  // --flag=value spelling handled by the cursor; --set keeps its own
+  // KEY=... value (the cursor only splits the first '=' of the flag).
+  cli::FlagCursor cursor(argc, argv);
+  while (cursor.next()) {
+    const std::string& arg = cursor.flag();
+    if (cursor.has_inline_value() &&
         (arg == "--help" || arg == "-h" || arg == "--quiet" ||
-         arg == "--list-overrides")) {
+         arg == "--list-models" || arg == "--list-overrides")) {
       return fail("flag does not take a value: " + arg);
     }
     if (arg == "--help" || arg == "-h") {
       std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--list-models") {
+      for (const auto& name : dnn::zoo::model_names()) {
+        std::printf("%s\n", name.c_str());
+      }
       return 0;
     }
     if (arg == "--list-overrides") {
@@ -148,16 +157,23 @@ int main(int argc, char** argv) {
         arg == "--models" || arg == "--archs" || arg == "--batch-sizes" ||
         arg == "--wavelengths" || arg == "--gateways" ||
         arg == "--modulations" || arg == "--fidelity" || arg == "--set" ||
-        arg == "--threads" || arg == "--out";
+        arg == "--threads" || arg == "--out" || arg == "--per-layer";
     if (!known_value_flag) {
       return fail("unknown flag: " + arg);
     }
-    const auto value = next_value();
+    const auto value = cursor.value();
     if (!value) {
       return fail("missing value for " + arg);
     }
     if (arg == "--models") {
       if (*value != "all") {
+        const auto known = dnn::zoo::model_names();
+        for (const auto& name : split(*value, ',')) {
+          if (std::find(known.begin(), known.end(), name) == known.end()) {
+            return fail("unknown model: " + name +
+                        " (valid: " + join(known, ", ") + ")");
+          }
+        }
         grid.models = split(*value, ',');
       }
     } else if (arg == "--archs") {
@@ -169,7 +185,8 @@ int main(int argc, char** argv) {
         for (const auto& name : split(*value, ',')) {
           const auto arch = engine::architecture_from_string(name);
           if (!arch) {
-            return fail("unknown architecture: " + name);
+            return fail("unknown architecture: " + name +
+                        " (valid: mono, elec, siph, all)");
           }
           grid.architectures.push_back(*arch);
         }
@@ -202,7 +219,8 @@ int main(int argc, char** argv) {
       for (const auto& name : split(*value, ',')) {
         const auto mod = engine::modulation_from_string(name);
         if (!mod) {
-          return fail("unknown modulation: " + name);
+          return fail("unknown modulation: " + name +
+                      " (valid: ook, pam4)");
         }
         grid.modulations.push_back(*mod);
       }
@@ -210,7 +228,8 @@ int main(int argc, char** argv) {
       for (const auto& name : split(*value, ',')) {
         const auto fid = engine::fidelity_from_string(name);
         if (!fid) {
-          return fail("unknown fidelity: " + name);
+          return fail("unknown fidelity: " + name +
+                      " (valid: analytical, cycle)");
         }
         grid.fidelities.push_back(*fid);
       }
@@ -235,6 +254,8 @@ int main(int argc, char** argv) {
         return fail("bad thread count: " + *value);
       }
       threads = *count;
+    } else if (arg == "--per-layer") {
+      per_layer_path = *value;
     } else {  // --out, the last known_value_flag
       out_path = *value;
     }
@@ -297,5 +318,12 @@ int main(int argc, char** argv) {
     return fail("cannot write " + out_path);
   }
   std::printf("\nFull grid written to %s\n", out_path.c_str());
+  if (!per_layer_path.empty()) {
+    if (!write_per_layer_csv(per_layer_path, store)) {
+      return fail("cannot write " + per_layer_path);
+    }
+    std::printf("Per-layer breakdown written to %s\n",
+                per_layer_path.c_str());
+  }
   return 0;
 }
