@@ -10,7 +10,14 @@
 /// weight traffic and per-layer overheads across the batch — the
 /// throughput/latency trade the serving simulator exists to quantify.
 ///
-/// Dumps serving_load_sweep.csv next to the binary for plotting.
+/// A second section sweeps a co-located scarce-group mix (ResNet50 +
+/// DenseNet121, both needing the single 7x7 chiplet) in batch-granular
+/// (blocked) versus layer-granular (SET-style pipelined) execution,
+/// quantifying the utilization and tail-latency win of handing the scarce
+/// group off at layer boundaries instead of locking it per batch.
+///
+/// Dumps serving_load_sweep.csv next to the binary for plotting; CI's
+/// tools/check_bench_csv.py trips on sanity violations in it.
 
 #include <cstdio>
 
@@ -19,6 +26,7 @@
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
 #include "serve/service_time.hpp"
+#include "serve/serving_simulator.hpp"
 #include "util/csv.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
@@ -33,6 +41,28 @@ constexpr std::uint64_t kRequestsPerPoint = 1500;
 /// Offered load as a fraction of the no-batch capacity 1/D(1).
 constexpr double kUtilizations[] = {0.2, 0.4, 0.6, 0.8,
                                     0.9, 1.0, 1.1, 1.3};
+
+/// The pipelined-vs-blocked section: a scarce-group co-location swept
+/// from half the blocked capacity to deep saturation.
+constexpr const char* kMix = "ResNet50+DenseNet121";
+constexpr std::uint64_t kMixRequestsPerPoint = 240;
+constexpr double kMixUtilizations[] = {0.5, 1.0, 2.0, 4.0};
+
+/// Batch-granular capacity anchor of a fully-serialized shared-group mix:
+/// every batch locks the scarce pool, so the executors alternate and the
+/// aggregate capacity is n / (sum of co-located batch-1 service times) —
+/// computed on the exact partitions the simulator serves.
+double mix_capacity(const core::SystemConfig& base, const char* mix) {
+  serve::ColocatedSetup setup = serve::make_colocated_setup(
+      base, accel::Architecture::kSiph2p5D, serve::split_mix(mix));
+  serve::ServiceTimeOracle oracle(std::move(setup.oracle_tenants),
+                                  accel::Architecture::kSiph2p5D);
+  double service_sum_s = 0.0;
+  for (std::size_t t = 0; t < oracle.tenant_count(); ++t) {
+    service_sum_s += oracle.batch_run(t, 1).latency_s;
+  }
+  return static_cast<double>(oracle.tenant_count()) / service_sum_s;
+}
 
 }  // namespace
 
@@ -71,11 +101,31 @@ int main() {
   OPTIPLET_REQUIRE(!store.empty(), "serving load sweep produced no results");
 
   util::CsvWriter csv("serving_load_sweep.csv",
-                      {"resipi_mode", "policy", "offered_rps",
-                       "offered_util", "throughput_rps", "mean_s", "p50_s",
-                       "p95_s", "p99_s", "sla_violation_rate", "mean_batch",
-                       "utilization", "energy_per_request_j"});
+                      {"resipi_mode", "policy", "pipeline", "tenant_mix",
+                       "offered_rps", "offered_util", "throughput_rps",
+                       "mean_s", "p50_s", "p95_s", "p99_s",
+                       "sla_violation_rate", "mean_batch", "utilization",
+                       "energy_per_request_j"});
   OPTIPLET_REQUIRE(csv.ok(), "cannot write serving_load_sweep.csv");
+  const auto emit = [&csv](const char* resipi_mode,
+                           const engine::ScenarioResult& r,
+                           double capacity) {
+    const auto& m = *r.serving;
+    const double offered = r.spec.serving->arrival_rps;
+    csv.add_row({resipi_mode, serve::to_string(r.spec.serving->policy),
+                 serve::to_string(r.spec.serving->pipeline),
+                 r.spec.serving->tenant_mix, util::format_general(offered),
+                 util::format_general(offered / capacity),
+                 util::format_general(m.throughput_rps),
+                 util::format_general(m.mean_latency_s),
+                 util::format_general(m.p50_s),
+                 util::format_general(m.p95_s),
+                 util::format_general(m.p99_s),
+                 util::format_general(m.sla_violation_rate),
+                 util::format_general(m.mean_batch),
+                 util::format_general(m.utilization),
+                 util::format_general(m.energy_per_request_j)});
+  };
 
   for (const bool pinned : {false, true}) {
     std::printf("=== ReSiPI %s ===\n",
@@ -98,23 +148,56 @@ int main() {
                      util::format_fixed(m.p50_s * 1e6, 1),
                      util::format_fixed(m.p99_s * 1e6, 1),
                      util::format_fixed(m.energy_per_request_j * 1e3, 3)});
-      csv.add_row({pinned ? "pinned" : "adaptive",
-                   serve::to_string(r.spec.serving->policy),
-                   util::format_general(offered),
-                   util::format_general(offered / capacity_rps),
-                   util::format_general(m.throughput_rps),
-                   util::format_general(m.mean_latency_s),
-                   util::format_general(m.p50_s),
-                   util::format_general(m.p95_s),
-                   util::format_general(m.p99_s),
-                   util::format_general(m.sla_violation_rate),
-                   util::format_general(m.mean_batch),
-                   util::format_general(m.utilization),
-                   util::format_general(m.energy_per_request_j)});
+      emit(pinned ? "pinned" : "adaptive", r, capacity_rps);
     }
     std::fputs(table.render().c_str(), stdout);
     std::fputc('\n', stdout);
   }
-  std::printf("Full sweep written to serving_load_sweep.csv\n");
+
+  // --- Pipelined vs blocked on a scarce-group co-location ---
+  // ResNet50 + DenseNet121 both need the single 7x7 chiplet, so the
+  // batch-granular pool serializes whole batches on it; layer-granular
+  // execution hands it off at layer boundaries (one ReSiPI retune per
+  // cross-tenant handoff) and pipelines everything else.
+  const double mix_capacity_rps = mix_capacity(base, kMix);
+  engine::ScenarioGrid pipeline_grid;
+  pipeline_grid.tenant_mixes = {kMix};
+  pipeline_grid.architectures = {accel::Architecture::kSiph2p5D};
+  pipeline_grid.batch_policies = {serve::BatchPolicy::kNone};
+  pipeline_grid.pipeline_modes = {serve::PipelineMode::kBatchGranular,
+                                  serve::PipelineMode::kLayerGranular};
+  for (const double util : kMixUtilizations) {
+    pipeline_grid.arrival_rates_rps.push_back(util * mix_capacity_rps);
+  }
+  pipeline_grid.serving_defaults.requests = kMixRequestsPerPoint;
+
+  const engine::ResultStore pipeline_store(runner.run(pipeline_grid));
+  OPTIPLET_REQUIRE(!pipeline_store.empty(),
+                   "pipelined serving sweep produced no results");
+
+  std::printf("=== %s: blocked (batch-granular) vs pipelined "
+              "(layer-granular) ===\n",
+              kMix);
+  util::TextTable pipe_table({"Pipeline", "Offered (r/s)", "Util",
+                              "Thpt (r/s)", "Pool util", "p50 (us)",
+                              "p99 (us)", "Handoffs"});
+  for (const auto& r : pipeline_store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value(),
+                     "serving sweep row without serving metrics");
+    const auto& m = *r.serving;
+    const double offered = r.spec.serving->arrival_rps;
+    pipe_table.add_row(
+        {serve::to_string(r.spec.serving->pipeline),
+         util::format_fixed(offered, 0),
+         util::format_fixed(offered / mix_capacity_rps, 2),
+         util::format_fixed(m.throughput_rps, 0),
+         util::format_fixed(m.utilization, 3),
+         util::format_fixed(m.p50_s * 1e6, 1),
+         util::format_fixed(m.p99_s * 1e6, 1),
+         std::to_string(m.shared_handoffs)});
+    emit("adaptive", r, mix_capacity_rps);
+  }
+  std::fputs(pipe_table.render().c_str(), stdout);
+  std::printf("\nFull sweep written to serving_load_sweep.csv\n");
   return 0;
 }

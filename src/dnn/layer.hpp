@@ -2,7 +2,8 @@
 /// \file layer.hpp
 /// DNN layer descriptor.
 ///
-/// The accelerator never executes real arithmetic — it schedules *dataflow* —
+/// The accelerator never executes real arithmetic — it schedules
+/// *dataflow* —
 /// so a layer is fully described by its kind, geometry, parameter count and
 /// MAC count. Parameter counts follow Keras "Total params" conventions
 /// (batch-norm contributes 4 per channel: gamma, beta, moving mean/variance),

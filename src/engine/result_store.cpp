@@ -80,6 +80,7 @@ std::vector<std::string> ResultStore::csv_header() {
           "serving",
           "arrival_rps",
           "batch_policy",
+          "pipeline",
           "max_batch",
           "tenant_mix",
           "requests",
@@ -120,6 +121,7 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
                {"1",
                 util::format_general(spec.arrival_rps),
                 serve::to_string(spec.policy),
+                serve::to_string(spec.pipeline),
                 std::to_string(spec.max_batch),
                 spec.tenant_mix,
                 std::to_string(spec.requests),

@@ -129,6 +129,7 @@ std::string ScenarioSpec::key() const {
   }
   if (serving) {
     os << ";serve.policy=" << serve::to_string(serving->policy)
+       << ";serve.pipe=" << serve::to_string(serving->pipeline)
        << ";serve.batch=" << serving->max_batch
        << ";serve.wait=" << util::format_general(serving->max_wait_s, 17)
        << ";serve.mix=" << serving->tenant_mix
@@ -191,6 +192,7 @@ std::size_t ScenarioGrid::raw_size() const {
     size *= axis(tenant_mixes.size());
     size *= axis(arrival_rates_rps.size());
     size *= axis(batch_policies.size());
+    size *= axis(pipeline_modes.size());
   }
   return size;
 }
@@ -219,6 +221,10 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       batch_policies.empty()
           ? std::vector<serve::BatchPolicy>{serving_defaults.policy}
           : batch_policies;
+  const std::vector<serve::PipelineMode> pipeline_axis =
+      pipeline_modes.empty()
+          ? std::vector<serve::PipelineMode>{serving_defaults.pipeline}
+          : pipeline_modes;
   const std::vector<accel::Architecture> arch_axis =
       architectures.empty()
           ? std::vector<accel::Architecture>{accel::Architecture::kSiph2p5D}
@@ -324,10 +330,13 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
             }
             for (const double rate : rate_axis) {
               for (const serve::BatchPolicy policy : policy_axis) {
-                partial.serving = serving_defaults;
-                partial.serving->arrival_rps = rate;
-                partial.serving->policy = policy;
-                expand_axis(0, partial);
+                for (const serve::PipelineMode pipeline : pipeline_axis) {
+                  partial.serving = serving_defaults;
+                  partial.serving->arrival_rps = rate;
+                  partial.serving->policy = policy;
+                  partial.serving->pipeline = pipeline;
+                  expand_axis(0, partial);
+                }
               }
             }
           }

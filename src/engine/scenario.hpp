@@ -108,12 +108,14 @@ struct ScenarioGrid {
   /// (max_batch, requests, seed, ...) come from `serving_defaults`.
   std::vector<double> arrival_rates_rps;
   std::vector<serve::BatchPolicy> batch_policies;
+  /// Batch-granular (blocked) vs layer-granular (pipelined) execution.
+  std::vector<serve::PipelineMode> pipeline_modes;
   std::vector<std::string> tenant_mixes;
   serve::ServingSpec serving_defaults;
 
   [[nodiscard]] bool serving_mode() const {
     return !arrival_rates_rps.empty() || !batch_policies.empty() ||
-           !tenant_mixes.empty();
+           !pipeline_modes.empty() || !tenant_mixes.empty();
   }
 
   /// Grid size before feasibility filtering.

@@ -43,7 +43,8 @@ PhotonicCycleNet::PhotonicCycleNet(const PhotonicCycleNetConfig& config,
   const double clock = config_.interposer.gateway_clock_hz;
   bits_per_cycle_per_channel_ =
       photonics::line_rate_bps(config_.interposer.modulation,
-                               config_.interposer.data_rate_per_wavelength_bps) /
+                               config_.interposer
+                                   .data_rate_per_wavelength_bps) /
       clock;
   OPTIPLET_REQUIRE(bits_per_cycle_per_channel_ > 0.0,
                    "line rate must be positive");

@@ -23,7 +23,9 @@ class WdmGrid {
   WdmGrid(std::size_t channel_count, double center_wavelength_m,
           double channel_spacing_m);
 
-  [[nodiscard]] std::size_t channel_count() const { return wavelengths_.size(); }
+  [[nodiscard]] std::size_t channel_count() const {
+    return wavelengths_.size();
+  }
   [[nodiscard]] double channel_spacing_m() const { return spacing_m_; }
 
   /// Center wavelength of channel `i` [m].

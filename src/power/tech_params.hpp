@@ -4,7 +4,8 @@
 ///
 /// Every constant the simulators consume lives here, with the literature
 /// source it was taken from. The paper (§VI) states it employs "the power
-/// model and power parameters used in [11] and [37]" — PROWAVES and ReSiPI —
+/// model and power parameters used in [11] and [37]" — PROWAVES and
+/// ReSiPI —
 /// and the CrossLight [21] device stack for compute; this file encodes those
 /// parameter sets. Changing an entry here is the intended way to re-run the
 /// whole evaluation under a different technology assumption.

@@ -127,9 +127,14 @@ ColocationPlan partition_pool(const accel::PlatformSpec& pool,
     for (std::size_t i = 0; i < needing.size(); ++i) {
       const std::size_t t = needing[i];
       owned_counts[gi][t] = quota[i];
+      std::vector<std::size_t> ids;
       for (std::size_t c = 0; c < quota[i]; ++c) {
-        plan.tenants[t].owned_chiplets.push_back(cursor++);
+        ids.push_back(cursor++);
       }
+      plan.tenants[t].owned_chiplets.insert(
+          plan.tenants[t].owned_chiplets.end(), ids.begin(), ids.end());
+      plan.tenants[t].owned_by_kind.emplace_back(group.chiplet.kind,
+                                                 std::move(ids));
     }
     OPTIPLET_ASSERT(cursor == first_id + n, "partition must cover the group");
   }

@@ -19,6 +19,7 @@
 /// uses are simply absent from the tenant's spec.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "accel/platform.hpp"
@@ -41,6 +42,10 @@ struct TenantDemand {
 struct TenantPartition {
   /// Pool-global chiplet ids this tenant owns exclusively.
   std::vector<std::size_t> owned_chiplets;
+  /// The owned ids broken out per MAC kind (first-use order) — the
+  /// resource granularity the layer-granular serving engine locks at.
+  std::vector<std::pair<accel::MacKind, std::vector<std::size_t>>>
+      owned_by_kind;
   /// Shared-serial kinds this tenant's batches must lock.
   std::vector<accel::MacKind> shared_kinds;
   /// Owned groups + needed shared groups: the PlatformSpec the tenant's

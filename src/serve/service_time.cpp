@@ -10,6 +10,68 @@ ServiceTimeOracle::ServiceTimeOracle(std::vector<Tenant> tenants,
   OPTIPLET_REQUIRE(!tenants_.empty(), "oracle needs at least one tenant");
 }
 
+const LayerSchedule& ServiceTimeOracle::layer_schedule(std::size_t tenant,
+                                                       unsigned batch) {
+  const auto key = std::make_pair(tenant, batch);
+  if (const auto it = schedules_.find(key); it != schedules_.end()) {
+    return it->second;
+  }
+  const core::RunResult& run = batch_run(tenant, batch);
+
+  LayerSchedule schedule;
+  schedule.total_latency_s = run.latency_s;
+  schedule.total_energy_j = run.energy_j;
+
+  double layer_sum = 0.0;
+  for (const auto& lr : run.layers) {
+    layer_sum += lr.total_s;
+  }
+  // A run without a usable per-layer breakdown has no layer boundaries to
+  // pipeline on; fabricating a whole-batch stage would pin it to one
+  // arbitrary chiplet group. Fail loud — such runs must serve
+  // batch-granular.
+  OPTIPLET_REQUIRE(!run.layers.empty() && layer_sum > 0.0,
+                   "layer schedule needs a per-layer breakdown: " +
+                       run.model_name);
+  for (const auto& lr : run.layers) {
+    LayerSegment segment;
+    segment.layer_index = lr.layer_index;
+    segment.group = lr.group;
+    segment.latency_s = lr.total_s;
+    // Energy is apportioned by layer time; any run-level residual (e.g.
+    // the monolithic die's I/O epilogue) lands in the last stage via the
+    // end-offset pin below.
+    segment.energy_j = run.energy_j * (lr.total_s / layer_sum);
+    schedule.layers.push_back(segment);
+  }
+
+  // Stages: maximal runs of consecutive layers on one chiplet group.
+  for (std::size_t i = 0; i < schedule.layers.size(); ++i) {
+    const LayerSegment& segment = schedule.layers[i];
+    if (schedule.stages.empty() ||
+        schedule.stages.back().group != segment.group) {
+      PipelineStage stage;
+      stage.group = segment.group;
+      stage.first_layer = i;
+      schedule.stages.push_back(stage);
+    }
+    PipelineStage& stage = schedule.stages.back();
+    stage.layer_count += 1;
+    stage.latency_s += segment.latency_s;
+    stage.energy_j += segment.energy_j;
+  }
+  double offset = 0.0;
+  for (PipelineStage& stage : schedule.stages) {
+    stage.start_offset_s = offset;
+    offset += stage.latency_s;
+    stage.end_offset_s = offset;
+  }
+  // Pin the chain's end to the run latency exactly: an unstalled stage
+  // chain must complete at batch_start + latency_s bit-for-bit.
+  schedule.stages.back().end_offset_s = run.latency_s;
+  return schedules_.emplace(key, std::move(schedule)).first->second;
+}
+
 const core::RunResult& ServiceTimeOracle::batch_run(std::size_t tenant,
                                                     unsigned batch) {
   OPTIPLET_REQUIRE(tenant < tenants_.size(), "unknown tenant index");

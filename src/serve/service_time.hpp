@@ -14,6 +14,11 @@
 /// per batch while compute and activation traffic scale with it, so batch
 /// service time grows sublinearly — the amortization every batching policy
 /// trades latency for.
+///
+/// Besides the whole-batch RunResult, the oracle exposes the run's
+/// per-layer decomposition as a LayerSchedule: per-layer latency/energy
+/// segments plus the merged per-group pipeline stages the layer-granular
+/// serving engine executes (SET-style inter-layer pipelining).
 
 #include <cstdint>
 #include <map>
@@ -25,6 +30,41 @@
 #include "dnn/graph.hpp"
 
 namespace optiplet::serve {
+
+/// One layer of a batch's per-layer service schedule.
+struct LayerSegment {
+  std::size_t layer_index = 0;  ///< index into Model::layers()
+  accel::MacKind group = accel::MacKind::kConv3;
+  double latency_s = 0.0;
+  /// The batch's energy apportioned by layer time (sums to the run total).
+  double energy_j = 0.0;
+};
+
+/// A maximal run of consecutive layers on one chiplet group — the stage
+/// granularity at which the layer-granular serving engine acquires and
+/// releases resources.
+struct PipelineStage {
+  accel::MacKind group = accel::MacKind::kConv3;
+  std::size_t first_layer = 0;  ///< index into LayerSchedule::layers
+  std::size_t layer_count = 0;
+  double latency_s = 0.0;  ///< sum of the member layers
+  double energy_j = 0.0;
+  /// Prefix offsets within the batch. start_offset_s of stage k is exactly
+  /// end_offset_s of stage k-1, and the last stage's end_offset_s is
+  /// exactly the batch run's latency_s, so an unstalled stage chain
+  /// telescopes bit-for-bit to the batch-granular completion time.
+  double start_offset_s = 0.0;
+  double end_offset_s = 0.0;
+};
+
+/// Per-layer decomposition of one (tenant, batch) service time, derived
+/// from the full-system run's per-layer breakdown at either fidelity.
+struct LayerSchedule {
+  std::vector<LayerSegment> layers;
+  std::vector<PipelineStage> stages;
+  double total_latency_s = 0.0;  ///< == batch_run(...).latency_s exactly
+  double total_energy_j = 0.0;   ///< == batch_run(...).energy_j
+};
 
 class ServiceTimeOracle {
  public:
@@ -44,6 +84,14 @@ class ServiceTimeOracle {
   [[nodiscard]] const core::RunResult& batch_run(std::size_t tenant,
                                                  unsigned batch);
 
+  /// Per-layer schedule of the same batch run (built from batch_run's
+  /// per-layer breakdown on first use, cached thereafter). The reference
+  /// stays valid for the oracle's lifetime. Throws std::invalid_argument
+  /// for a run without a per-layer breakdown — it has no layer boundaries
+  /// to pipeline on and must serve batch-granular.
+  [[nodiscard]] const LayerSchedule& layer_schedule(std::size_t tenant,
+                                                    unsigned batch);
+
   [[nodiscard]] accel::Architecture arch() const { return arch_; }
   [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
   /// Lookups served from the cache / simulated fresh, across all tenants.
@@ -54,6 +102,7 @@ class ServiceTimeOracle {
   std::vector<Tenant> tenants_;
   accel::Architecture arch_;
   std::map<std::pair<std::size_t, unsigned>, core::RunResult> cache_;
+  std::map<std::pair<std::size_t, unsigned>, LayerSchedule> schedules_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -27,7 +27,9 @@ struct ServingMetrics {
   /// SLA deadline.
   double sla_violation_rate = 0.0;
   double mean_batch = 0.0;
-  /// Mean chiplet-pool busy fraction over the makespan.
+  /// Mean chiplet-pool busy fraction over the makespan (executor-busy
+  /// semantics in both pipeline modes; per-chiplet fractions clamp at 1
+  /// when layer-granular overlap keeps an executor saturated).
   double utilization = 0.0;
   /// Total energy [J]: every batch's full-system energy plus the idle
   /// static burn of the pool between batches.
@@ -36,6 +38,10 @@ struct ServingMetrics {
   /// Cross-tenant ReSiPI reconfigurations that had to wait their turn.
   std::uint64_t resipi_conflicts = 0;
   double resipi_wait_s = 0.0;
+  /// Layer-granular mode: cross-tenant handoffs of a shared-serial group
+  /// at layer boundaries, and the ReSiPI retuning latency they charged.
+  std::uint64_t shared_handoffs = 0;
+  double handoff_resipi_s = 0.0;
   /// Service-time oracle cache behavior.
   std::uint64_t service_cache_hits = 0;
   std::uint64_t service_cache_misses = 0;
@@ -64,20 +70,33 @@ struct TenantReport {
   double shared_wait_s = 0.0;  ///< waiting on the shared-serial chiplets
   double resipi_wait_s = 0.0;  ///< waiting on another tenant's reconfig
   std::uint64_t resipi_conflicts = 0;
+  /// Layer-granular mode: shared-group handoffs this tenant paid for, and
+  /// the per-handoff ReSiPI retuning time charged to its layers.
+  std::uint64_t shared_handoffs = 0;
+  double handoff_resipi_s = 0.0;
 };
 
-/// One executed batch (recorded when ServingConfig::record_batches):
-/// enough to audit chiplet occupancy and reconfiguration serialization.
+/// One executed batch — or, in layer-granular mode, one pipeline stage of
+/// a batch — recorded when ServingConfig::record_batches: enough to audit
+/// chiplet occupancy and reconfiguration serialization.
 struct BatchTrace {
   std::size_t tenant = 0;
   unsigned size = 0;
   double start_s = 0.0;
   double end_s = 0.0;
-  std::vector<std::size_t> chiplets;  ///< pool-global occupancy
+  /// Pool-global ids actually locked for [start_s, end_s): the batch's
+  /// whole occupancy in batch-granular mode, the stage's chiplet group in
+  /// layer-granular mode.
+  std::vector<std::size_t> chiplets;
   /// ReSiPI reconfiguration window ([0,0) when the batch reconfigured
   /// nothing).
   double resipi_start_s = 0.0;
   double resipi_end_s = 0.0;
+  /// Layer-granular mode: which consecutive slice of the model's layers
+  /// this stage ran (layer_count == 0 means the whole batch).
+  std::size_t first_layer = 0;
+  std::size_t layer_count = 0;
+  std::uint64_t batch_id = 0;  ///< per-tenant dispatch sequence number
 };
 
 /// Everything a serving simulation produces.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +18,44 @@ namespace optiplet::serve {
 namespace {
 
 constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+/// One pipeline stage resolved against the engine's resource table:
+/// a maximal run of consecutive layers whose chiplet group maps to one
+/// exclusive resource (an owned group, or the shared-serial pool).
+struct ExecStage {
+  std::size_t resource = 0;
+  bool shared = false;
+  /// Prefix offsets within the batch (see serve::PipelineStage): an
+  /// unstalled chain telescopes exactly to the batch-granular end time.
+  double start_offset_s = 0.0;
+  double end_offset_s = 0.0;
+  std::size_t first_layer = 0;
+  std::size_t layer_count = 0;
+};
+
+/// One batch advancing through its stage chain in layer-granular mode.
+struct InFlightBatch {
+  std::size_t tenant = 0;
+  std::uint64_t id = 0;  ///< per-tenant dispatch sequence
+  std::vector<Request> requests;
+  const std::vector<ExecStage>* stages = nullptr;  ///< engine-cached
+  std::size_t stage = 0;
+  /// Start of stage 0 after ReSiPI adjustment: the anchor every
+  /// unstalled stage's end time telescopes from.
+  double batch_start_s = 0.0;
+  double wait_since_s = 0.0;  ///< when it queued on the current resource
+};
+
+/// An exclusive, FIFO-granted chiplet-group resource (layer mode).
+struct Resource {
+  bool busy = false;
+  bool shared = false;
+  std::vector<std::size_t> chiplets;  ///< pool-global ids
+  std::deque<std::shared_ptr<InFlightBatch>> waiters;
+  /// Last tenant that executed on this resource — a different acquirer
+  /// pays the cross-tenant handoff retune (shared resources only).
+  std::size_t last_tenant = kNoTenant;
+};
 
 /// Mutable per-tenant simulation state.
 struct TenantState {
@@ -33,6 +73,18 @@ struct TenantState {
   std::vector<std::size_t> occupancy;
   std::vector<double> latencies;
   TenantReport report;
+
+  // --- layer-granular mode ---
+  /// Owned-group resource ids by MAC kind (shared kinds resolve to the
+  /// pool-global shared resource instead).
+  std::vector<std::pair<accel::MacKind, std::size_t>> kind_resource;
+  /// Resolved stage chains per batch size (pointers into this map are
+  /// handed to in-flight batches; std::map keeps them stable).
+  std::map<unsigned, std::vector<ExecStage>> stage_cache;
+  /// Batches in flight; bounded by the stage chain's distinct resources.
+  std::size_t inflight = 0;
+  std::size_t pipeline_depth = 1;
+  std::uint64_t batch_seq = 0;
 
   explicit TenantState(const BatchingConfig& batching) : queue(batching) {}
 };
@@ -55,6 +107,10 @@ struct Engine {
   // reconfigurations are part of its serialized batches).
   std::size_t resipi_holder = kNoTenant;
   double resipi_free_at = 0.0;
+
+  // Layer-granular mode: exclusive chiplet-group resources. Index 0 is
+  // the shared-serial pool; owned groups follow per tenant.
+  std::vector<Resource> resources;
 
   double last_completion_s = 0.0;
 
@@ -80,21 +136,34 @@ struct Engine {
   }
 
   void try_dispatch(std::size_t t) {
+    if (config.pipeline == PipelineMode::kLayerGranular) {
+      try_dispatch_layer(t);
+    } else {
+      try_dispatch_batch(t);
+    }
+  }
+
+  /// Arm the kDeadline timeout dispatch for the queue head, if needed.
+  void arm_deadline_timer(std::size_t t) {
+    TenantState& ts = tenants[t];
+    const auto deadline = ts.queue.next_deadline();
+    if (deadline && !ts.timer_armed) {
+      ts.timer_armed = true;
+      events.schedule_at(std::max(*deadline, events.now()), [this, t] {
+        tenants[t].timer_armed = false;
+        try_dispatch(t);
+      });
+    }
+  }
+
+  void try_dispatch_batch(std::size_t t) {
     TenantState& ts = tenants[t];
     if (ts.busy) {
       return;
     }
     const double now = events.now();
     if (!ts.queue.ready(now, ts.arrivals_done)) {
-      // kDeadline: arm the timeout dispatch for the queue head.
-      const auto deadline = ts.queue.next_deadline();
-      if (deadline && !ts.timer_armed) {
-        ts.timer_armed = true;
-        events.schedule_at(std::max(*deadline, now), [this, t] {
-          tenants[t].timer_armed = false;
-          try_dispatch(t);
-        });
-      }
+      arm_deadline_timer(t);
       return;
     }
     std::vector<Request> batch = ts.queue.take(ts.arrivals_done);
@@ -185,6 +254,240 @@ struct Engine {
     }
     try_dispatch(t);
   }
+
+  // ------------------------------------------------------------------
+  // Layer-granular (SET-style pipelined) execution.
+
+  /// Resolve and cache the stage chain of one (tenant, batch-size) point:
+  /// the oracle's per-group pipeline stages mapped onto engine resources,
+  /// with consecutive same-resource stages merged so a batch never
+  /// re-acquires the lock it just released.
+  const std::vector<ExecStage>& exec_stages(std::size_t t, unsigned batch) {
+    TenantState& ts = tenants[t];
+    if (const auto it = ts.stage_cache.find(batch);
+        it != ts.stage_cache.end()) {
+      return it->second;
+    }
+    const LayerSchedule& schedule = oracle.layer_schedule(t, batch);
+    const auto& shared_kinds = plan.tenants[t].shared_kinds;
+    std::vector<ExecStage> stages;
+    for (const PipelineStage& ps : schedule.stages) {
+      const bool shared =
+          std::find(shared_kinds.begin(), shared_kinds.end(), ps.group) !=
+          shared_kinds.end();
+      std::size_t resource = 0;
+      if (!shared) {
+        const auto it = std::find_if(
+            ts.kind_resource.begin(), ts.kind_resource.end(),
+            [&ps](const auto& kr) { return kr.first == ps.group; });
+        OPTIPLET_ASSERT(it != ts.kind_resource.end(),
+                        "pipeline stage on a group the tenant neither owns "
+                        "nor shares");
+        resource = it->second;
+      }
+      if (!stages.empty() && stages.back().resource == resource) {
+        // Adjacent oracle stages always differ in group, so this merge
+        // only fires for shared kinds collapsing onto the shared pool.
+        ExecStage& merged = stages.back();
+        merged.end_offset_s = ps.end_offset_s;
+        merged.layer_count += ps.layer_count;
+      } else {
+        ExecStage stage;
+        stage.resource = resource;
+        stage.shared = shared;
+        stage.start_offset_s = ps.start_offset_s;
+        stage.end_offset_s = ps.end_offset_s;
+        stage.first_layer = ps.first_layer;
+        stage.layer_count = ps.layer_count;
+        stages.push_back(stage);
+      }
+    }
+    return ts.stage_cache.emplace(batch, std::move(stages)).first->second;
+  }
+
+  /// Distinct resources across a stage chain: the tenant's useful
+  /// pipeline depth (how many batches can make progress at once).
+  static std::size_t distinct_resources(const std::vector<ExecStage>& s) {
+    std::vector<std::size_t> seen;
+    for (const ExecStage& stage : s) {
+      if (std::find(seen.begin(), seen.end(), stage.resource) ==
+          seen.end()) {
+        seen.push_back(stage.resource);
+      }
+    }
+    return std::max<std::size_t>(seen.size(), 1);
+  }
+
+  void try_dispatch_layer(std::size_t t) {
+    TenantState& ts = tenants[t];
+    while (ts.inflight < ts.pipeline_depth) {
+      const double now = events.now();
+      if (!ts.queue.ready(now, ts.arrivals_done)) {
+        arm_deadline_timer(t);
+        return;
+      }
+      std::vector<Request> batch = ts.queue.take(ts.arrivals_done);
+      const auto batch_size = static_cast<unsigned>(batch.size());
+      auto b = std::make_shared<InFlightBatch>();
+      b->tenant = t;
+      b->id = ts.batch_seq++;
+      b->requests = std::move(batch);
+      b->stages = &exec_stages(t, batch_size);
+      ts.inflight += 1;
+      request_stage(std::move(b));
+    }
+  }
+
+  void request_stage(std::shared_ptr<InFlightBatch> b) {
+    Resource& r = resources[(*b->stages)[b->stage].resource];
+    if (r.busy) {
+      b->wait_since_s = events.now();
+      r.waiters.push_back(std::move(b));
+      return;
+    }
+    r.busy = true;
+    start_stage(std::move(b));
+  }
+
+  /// Run one granted stage: apply ReSiPI serialization (the batch window
+  /// at stage 0, a retune window on every cross-tenant shared handoff),
+  /// charge busy/energy accounting, and schedule the stage-end event.
+  void start_stage(std::shared_ptr<InFlightBatch> b) {
+    const std::size_t t = b->tenant;
+    TenantState& ts = tenants[t];
+    const ExecStage& s = (*b->stages)[b->stage];
+    Resource& r = resources[s.resource];
+    const auto batch_size = static_cast<unsigned>(b->requests.size());
+    const bool siph = config.arch == accel::Architecture::kSiph2p5D;
+
+    double start = events.now();
+    double resipi_window_s = 0.0;
+    if (b->stage == 0) {
+      const core::RunResult& run = oracle.batch_run(t, batch_size);
+      // The batch's own reconfiguration window, as in batch-granular mode:
+      // the PCM writes are charged inside the run's latency; the window
+      // only excludes *other* tenants' writes.
+      if (siph && run.resipi_reconfigurations > 0) {
+        if (resipi_holder != t && resipi_free_at > start) {
+          const double wait = resipi_free_at - start;
+          start += wait;
+          ts.report.resipi_wait_s += wait;
+          ts.report.resipi_conflicts += 1;
+        }
+        resipi_window_s =
+            std::min(run.latency_s,
+                     static_cast<double>(run.resipi_reconfigurations) *
+                         config.system.tech.photonic.pcm.write_time_s);
+        resipi_holder = t;
+        // Several of this tenant's batches can be in flight: never roll
+        // an earlier, longer reservation backwards.
+        resipi_free_at = std::max(resipi_free_at, start + resipi_window_s);
+      }
+      ts.report.energy_j += run.energy_j;
+      ts.report.batches += 1;
+      report.ledger.merge(run.ledger);
+    }
+    double handoff_s = 0.0;
+    if (s.shared && siph && r.last_tenant != kNoTenant &&
+        r.last_tenant != t) {
+      // Cross-tenant handoff of the scarce group: retune its gateways for
+      // the new tenant — one PCM write window, serialized on the shared
+      // interposer like any other reconfiguration.
+      if (resipi_holder != t && resipi_free_at > start) {
+        const double wait = resipi_free_at - start;
+        start += wait;
+        ts.report.resipi_wait_s += wait;
+        ts.report.resipi_conflicts += 1;
+      }
+      handoff_s = config.system.tech.photonic.pcm.write_time_s;
+      resipi_holder = t;
+      // A stage-0 shared handoff may follow the batch window set above;
+      // the interposer stays reserved until the *later* of the two.
+      resipi_free_at = std::max(resipi_free_at, start + handoff_s);
+      ts.report.shared_handoffs += 1;
+      ts.report.handoff_resipi_s += handoff_s;
+      resipi_window_s = std::max(resipi_window_s, handoff_s);
+    }
+    if (s.shared) {
+      r.last_tenant = t;
+    }
+    if (b->stage == 0) {
+      b->batch_start_s = start;
+    }
+    // An unstalled chain telescopes through the schedule's exact prefix
+    // offsets, so a lone batch completes bit-for-bit at the
+    // batch-granular time; a stalled or handed-off stage falls back to
+    // duration arithmetic from its actual start.
+    const double expected = b->batch_start_s + s.start_offset_s;
+    const double end =
+        (handoff_s == 0.0 && start == expected)
+            ? b->batch_start_s + s.end_offset_s
+            : start + (s.end_offset_s - s.start_offset_s) + handoff_s;
+
+    // Busy accounting keeps batch-granular executor semantics (the whole
+    // occupancy is "this tenant's executor working"), so utilization is
+    // comparable across modes; the trace below audits the stage's actual
+    // physical lock instead.
+    for (const std::size_t c : ts.occupancy) {
+      report.chiplet_busy_s[c] += end - start;
+    }
+    ts.report.busy_s += end - start;
+    if (config.record_batches) {
+      BatchTrace trace;
+      trace.tenant = t;
+      trace.size = batch_size;
+      trace.start_s = start;
+      trace.end_s = end;
+      trace.chiplets = r.chiplets;
+      trace.resipi_start_s = start;
+      trace.resipi_end_s = start + resipi_window_s;
+      trace.first_layer = s.first_layer;
+      trace.layer_count = s.layer_count;
+      trace.batch_id = b->id;
+      report.batches.push_back(std::move(trace));
+    }
+    events.schedule_at(end, [this, b = std::move(b)]() mutable {
+      end_stage(std::move(b));
+    });
+  }
+
+  void end_stage(std::shared_ptr<InFlightBatch> b) {
+    const ExecStage& s = (*b->stages)[b->stage];
+    release_resource(s.resource);
+    b->stage += 1;
+    if (b->stage < b->stages->size()) {
+      request_stage(std::move(b));
+    } else {
+      complete_layer_batch(std::move(b));
+    }
+  }
+
+  void release_resource(std::size_t id) {
+    Resource& r = resources[id];
+    if (r.waiters.empty()) {
+      r.busy = false;
+      return;
+    }
+    std::shared_ptr<InFlightBatch> next = std::move(r.waiters.front());
+    r.waiters.pop_front();
+    if (r.shared) {
+      tenants[next->tenant].report.shared_wait_s +=
+          events.now() - next->wait_since_s;
+    }
+    start_stage(std::move(next));  // the resource stays busy
+  }
+
+  void complete_layer_batch(std::shared_ptr<InFlightBatch> b) {
+    TenantState& ts = tenants[b->tenant];
+    const double now = events.now();
+    for (const Request& r : b->requests) {
+      ts.latencies.push_back(now - r.arrival_s);
+    }
+    ts.report.completed += b->requests.size();
+    ts.inflight -= 1;
+    last_completion_s = std::max(last_completion_s, now);
+    try_dispatch(b->tenant);
+  }
 };
 
 /// Shared-everything plan for the monolithic die: every tenant serializes
@@ -214,7 +517,10 @@ void finalize_tenant(TenantState& ts, double makespan_s) {
   TenantReport& r = ts.report;
   if (makespan_s > 0.0) {
     r.throughput_rps = static_cast<double>(r.completed) / makespan_s;
-    r.utilization = r.busy_s / makespan_s;
+    // Layer-granular overlap sums concurrent stage intervals into busy_s,
+    // so the executor's busy fraction saturates at 1 (mirrors the
+    // per-chiplet clamp in the pool metric).
+    r.utilization = std::min(r.busy_s, makespan_s) / makespan_s;
   }
   if (!ts.latencies.empty()) {
     double sum = 0.0;
@@ -240,40 +546,54 @@ void finalize_tenant(TenantState& ts, double makespan_s) {
 
 }  // namespace
 
-ServingReport simulate(const ServingConfig& config) {
-  OPTIPLET_REQUIRE(!config.tenants.empty(), "serving needs >= 1 tenant");
-
-  // Resolve models and resource demands.
-  std::vector<dnn::Model> models;
+ColocatedSetup make_colocated_setup(const core::SystemConfig& system,
+                                    accel::Architecture arch,
+                                    const std::vector<std::string>& model_names,
+                                    const std::vector<double>& weights) {
+  OPTIPLET_REQUIRE(weights.empty() || weights.size() == model_names.size(),
+                   "weights must be empty or match the model list");
+  ColocatedSetup setup;
   std::vector<TenantDemand> demands;
-  models.reserve(config.tenants.size());
-  for (const auto& setup : config.tenants) {
-    models.push_back(dnn::zoo::by_name(setup.model));
+  setup.models.reserve(model_names.size());
+  for (std::size_t t = 0; t < model_names.size(); ++t) {
+    setup.models.push_back(dnn::zoo::by_name(model_names[t]));
     TenantDemand demand;
     demand.needed_kinds = needed_kinds(
-        dnn::compute_workload(models.back(), config.system.parameter_bits));
-    demand.weight = setup.weight;
+        dnn::compute_workload(setup.models.back(), system.parameter_bits));
+    demand.weight = weights.empty() ? 1.0 : weights[t];
     demands.push_back(std::move(demand));
   }
 
-  const bool monolithic =
-      config.arch == accel::Architecture::kMonolithicCrossLight;
-  const ColocationPlan plan =
-      monolithic ? monolithic_plan(config.system, demands)
-                 : partition_pool(config.system.compute_2p5d, demands,
-                                  config.system.tech);
+  const bool monolithic = arch == accel::Architecture::kMonolithicCrossLight;
+  setup.plan = monolithic
+                   ? monolithic_plan(system, demands)
+                   : partition_pool(system.compute_2p5d, demands, system.tech);
 
   // Service-time oracle: each tenant simulates on its own partition.
-  std::vector<ServiceTimeOracle::Tenant> oracle_tenants;
-  oracle_tenants.reserve(config.tenants.size());
-  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
-    ServiceTimeOracle::Tenant ot{models[t], config.system};
+  setup.oracle_tenants.reserve(model_names.size());
+  for (std::size_t t = 0; t < model_names.size(); ++t) {
+    ServiceTimeOracle::Tenant ot{setup.models[t], system};
     if (!monolithic) {
-      ot.config.compute_2p5d = plan.tenants[t].platform;
+      ot.config.compute_2p5d = setup.plan.tenants[t].platform;
     }
-    oracle_tenants.push_back(std::move(ot));
+    setup.oracle_tenants.push_back(std::move(ot));
   }
-  ServiceTimeOracle oracle(std::move(oracle_tenants), config.arch);
+  return setup;
+}
+
+ServingReport simulate(const ServingConfig& config) {
+  OPTIPLET_REQUIRE(!config.tenants.empty(), "serving needs >= 1 tenant");
+
+  std::vector<std::string> model_names;
+  std::vector<double> weights;
+  for (const auto& setup : config.tenants) {
+    model_names.push_back(setup.model);
+    weights.push_back(setup.weight);
+  }
+  ColocatedSetup setup =
+      make_colocated_setup(config.system, config.arch, model_names, weights);
+  const ColocationPlan& plan = setup.plan;
+  ServiceTimeOracle oracle(std::move(setup.oracle_tenants), config.arch);
 
   Engine engine(config, oracle, plan);
   engine.report.chiplet_busy_s.assign(plan.chiplet_active_power_w.size(),
@@ -298,6 +618,36 @@ ServingReport simulate(const ServingConfig& config) {
                              : 10.0 * oracle.batch_run(t, 1).latency_s;
     engine.tenants.push_back(std::move(state));
   }
+  if (config.pipeline == PipelineMode::kLayerGranular) {
+    // Build the exclusive chiplet-group resource table: the shared-serial
+    // pool first, then every tenant's owned groups.
+    Resource shared;
+    shared.shared = true;
+    shared.chiplets = plan.shared_chiplets;
+    engine.resources.push_back(std::move(shared));
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+      TenantState& ts = engine.tenants[t];
+      for (const auto& [kind, ids] : plan.tenants[t].owned_by_kind) {
+        const auto it = std::find_if(
+            ts.kind_resource.begin(), ts.kind_resource.end(),
+            [kind = kind](const auto& kr) { return kr.first == kind; });
+        if (it != ts.kind_resource.end()) {
+          // A pool with two groups of one kind folds into one resource.
+          auto& chiplets = engine.resources[it->second].chiplets;
+          chiplets.insert(chiplets.end(), ids.begin(), ids.end());
+          continue;
+        }
+        Resource owned;
+        owned.chiplets = ids;
+        ts.kind_resource.emplace_back(kind, engine.resources.size());
+        engine.resources.push_back(std::move(owned));
+      }
+      // The stage structure is batch-size independent, so batch 1 (already
+      // simulated for the SLA) pins the tenant's pipeline depth.
+      ts.pipeline_depth =
+          Engine::distinct_resources(engine.exec_stages(t, 1));
+    }
+  }
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     if (!engine.tenants[t].arrivals.empty()) {
       engine.schedule_arrival(t);
@@ -307,6 +657,14 @@ ServingReport simulate(const ServingConfig& config) {
   engine.events.run();
   OPTIPLET_ASSERT(engine.shared_waiters.empty(),
                   "serving drained with tenants still queued on the pool");
+  for (const Resource& resource : engine.resources) {
+    OPTIPLET_ASSERT(!resource.busy && resource.waiters.empty(),
+                    "serving drained with a chiplet group still held");
+  }
+  for (const TenantState& ts : engine.tenants) {
+    OPTIPLET_ASSERT(ts.inflight == 0,
+                    "serving drained with batches still in flight");
+  }
 
   // --- assemble the report ---
   // The measured window runs from the first arrival to the last
@@ -335,6 +693,8 @@ ServingReport simulate(const ServingConfig& config) {
     m.energy_j += ts.report.energy_j;
     m.resipi_conflicts += ts.report.resipi_conflicts;
     m.resipi_wait_s += ts.report.resipi_wait_s;
+    m.shared_handoffs += ts.report.shared_handoffs;
+    m.handoff_resipi_s += ts.report.handoff_resipi_s;
     batches += ts.report.batches;
     for (const double l : ts.latencies) {
       violations += l > ts.report.sla_s ? 1 : 0;
@@ -393,6 +753,7 @@ ServingConfig make_serving_config(const core::SystemConfig& base,
   ServingConfig config;
   config.system = base;
   config.arch = arch;
+  config.pipeline = spec.pipeline;
 
   const std::vector<std::string> mix = spec.tenants();
   OPTIPLET_REQUIRE(!mix.empty(), "empty tenant mix");

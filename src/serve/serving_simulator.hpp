@@ -22,6 +22,18 @@
 ///     interposer are serialized: a batch that reconfigures gateways waits
 ///     for any other tenant's in-flight reconfiguration window.
 ///
+/// PipelineMode::kLayerGranular replaces the single batch-completion event
+/// with a layer-advance event chain (SET-style inter-layer pipelining):
+///   * a batch advances through the oracle's LayerSchedule stages, holding
+///     only the chiplet group of its current stage, so layer k of batch i
+///     overlaps layer k+1 of batch i-1 within a tenant (up to the model's
+///     distinct-group pipeline depth) and co-resident tenants overlap on
+///     disjoint groups;
+///   * scarce shared-serial groups are handed off between tenants at layer
+///     boundaries instead of locking for a whole batch; each cross-tenant
+///     handoff charges a ReSiPI retuning window (one PCM write time) that
+///     serializes on the shared interposer like any other reconfiguration.
+///
 /// The report carries throughput, utilization, p50/p95/p99 latency,
 /// SLA-violation rate, and energy per request (batch energies plus the
 /// pool's idle static burn) through power::EnergyLedger.
@@ -33,6 +45,8 @@
 #include "accel/platform.hpp"
 #include "core/system_config.hpp"
 #include "serve/batching.hpp"
+#include "serve/colocation.hpp"
+#include "serve/service_time.hpp"
 #include "serve/serving_report.hpp"
 #include "serve/serving_spec.hpp"
 
@@ -67,10 +81,32 @@ struct ServingConfig {
   core::SystemConfig system;
   accel::Architecture arch = accel::Architecture::kSiph2p5D;
   std::vector<TenantSetup> tenants;
-  /// Record the per-batch execution trace (occupancy, reconfiguration
-  /// windows) into the report — for tests; costs memory on long runs.
+  /// Batch-granular (blocked, the validated baseline) or layer-granular
+  /// (SET-style pipelined) execution — see the header comment.
+  PipelineMode pipeline = PipelineMode::kBatchGranular;
+  /// Record the per-batch (per-stage, in layer-granular mode) execution
+  /// trace (occupancy, reconfiguration windows) into the report — for
+  /// tests; costs memory on long runs.
   bool record_batches = false;
 };
+
+/// The co-location wiring simulate() runs on, exposed so benches and
+/// tools can anchor capacity numbers against the *exact* partitions the
+/// simulator serves: models resolved by name, the pool split by MAC-kind
+/// demand, and one oracle tenant per model with its partitioned platform
+/// applied (monolithic: every tenant on the shared die).
+struct ColocatedSetup {
+  std::vector<dnn::Model> models;
+  ColocationPlan plan;
+  std::vector<ServiceTimeOracle::Tenant> oracle_tenants;
+};
+
+/// Resolve `model_names` against the system's pool. `weights` sets the
+/// contended-group split shares (empty = all 1.0).
+[[nodiscard]] ColocatedSetup make_colocated_setup(
+    const core::SystemConfig& system, accel::Architecture arch,
+    const std::vector<std::string>& model_names,
+    const std::vector<double>& weights = {});
 
 /// Run one serving simulation to completion (all arrivals served).
 [[nodiscard]] ServingReport simulate(const ServingConfig& config);

@@ -17,6 +17,16 @@ std::optional<BatchPolicy> batch_policy_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<PipelineMode> pipeline_mode_from_string(std::string_view name) {
+  if (name == "batch" || name == "blocked") {
+    return PipelineMode::kBatchGranular;
+  }
+  if (name == "layer" || name == "pipelined") {
+    return PipelineMode::kLayerGranular;
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> split_mix(std::string_view mix) {
   return util::split(mix, '+');
 }

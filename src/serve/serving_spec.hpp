@@ -46,12 +46,40 @@ enum class BatchPolicy {
 [[nodiscard]] std::optional<BatchPolicy> batch_policy_from_string(
     std::string_view name);
 
+/// Execution granularity of a tenant's batches on its chiplet partition.
+enum class PipelineMode {
+  /// A batch occupies the whole partition (and any shared-serial group)
+  /// for its full service time — the validated baseline.
+  kBatchGranular,
+  /// SET-style inter-layer pipelining: a batch advances through per-layer
+  /// stages, so layer k of batch i overlaps layer k+1 of batch i-1 on
+  /// disjoint chiplet groups, and scarce shared-serial groups are handed
+  /// off between tenants at layer boundaries.
+  kLayerGranular,
+};
+
+[[nodiscard]] constexpr const char* to_string(PipelineMode m) {
+  switch (m) {
+    case PipelineMode::kBatchGranular:
+      return "batch";
+    case PipelineMode::kLayerGranular:
+      return "layer";
+  }
+  return "?";
+}
+
+/// Accepts "batch"/"blocked" and "layer"/"pipelined".
+[[nodiscard]] std::optional<PipelineMode> pipeline_mode_from_string(
+    std::string_view name);
+
 /// One fully-resolved serving experiment point.
 struct ServingSpec {
   /// Aggregate offered load across all tenants [requests/s]; split evenly
   /// over the tenant mix. Ignored when `trace_path` is set.
   double arrival_rps = 200.0;
   BatchPolicy policy = BatchPolicy::kNone;
+  /// Batch-granular (blocked) or layer-granular (pipelined) execution.
+  PipelineMode pipeline = PipelineMode::kBatchGranular;
   /// Batch-size bound for kFixedSize (exact) and kDeadline (upper bound).
   unsigned max_batch = 8;
   /// kDeadline only: the oldest queued request's maximum wait [s].

@@ -30,7 +30,9 @@ inline double watts_to_dbm(double watts) {
 }
 
 /// Convert dBm to absolute power in watts.
-inline double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+inline double dbm_to_watts(double dbm) {
+  return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
 
 /// Integer division rounding up; denominator must be positive.
 template <typename T>
@@ -47,7 +49,8 @@ inline double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
 /// Arithmetic mean of a non-empty range.
 inline double mean(std::span<const double> xs) {
   OPTIPLET_REQUIRE(!xs.empty(), "mean of empty range");
-  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
 }
 
 /// Geometric mean of a non-empty range of positive values. Used for

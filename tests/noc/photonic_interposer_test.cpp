@@ -120,7 +120,8 @@ TEST(Interposer, RejectsOverActivation) {
   const auto ip = make_interposer();
   EXPECT_THROW((void)ip.swmr_bandwidth_bps(65), std::invalid_argument);
   EXPECT_THROW((void)ip.swsr_bandwidth_bps(5), std::invalid_argument);
-  EXPECT_THROW((void)ip.laser_electrical_power_w(64, 33), std::invalid_argument);
+  EXPECT_THROW((void)ip.laser_electrical_power_w(64, 33),
+               std::invalid_argument);
 }
 
 TEST(Interposer, Table1DesignIsFeasible) {

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Bench-regression tripwire for CI's bench-smoke job.
+
+Parses the CSVs the characterization benches emit and fails on sanity
+violations instead of only uploading artifacts:
+
+serving_load_sweep.csv
+  * schema/finiteness, utilization in [0, 1], SLA-violation rate in [0, 1]
+  * p99 latency is non-decreasing with offered load for the no-batching
+    policy within each (resipi_mode, pipeline, tenant_mix) series (an
+    M/G/1-style queue cannot get faster under more load; batching policies
+    are exempt because a fuller batch *can* shorten the fill wait)
+  * at equal load, layer-granular (pipelined) execution must achieve at
+    least the batch-granular pool utilization, and no worse a p99
+
+noc_photonic_traffic.csv
+  * schema/finiteness, delivered fraction in (0, 1]
+  * mean read latency is non-decreasing with offered load per mode
+  * delivered fraction is non-decreasing with offered load per mode
+
+Usage: check_bench_csv.py FILE [FILE ...]
+Files are dispatched on their basename. Exits non-zero on any violation.
+"""
+
+import csv
+import math
+import os
+import sys
+
+# Multiplicative slack for "non-decreasing" trends: finite-run noise may
+# wiggle a point, a regression moves it.
+TREND_TOLERANCE = 0.98
+# Pipelined may not lose to blocked by more than float noise.
+PAIR_TOLERANCE = 1.0 - 1e-6
+
+failures = []
+
+
+def fail(path, message):
+    failures.append(f"{os.path.basename(path)}: {message}")
+
+
+def read_rows(path, required):
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        fail(path, "no data rows")
+        return []
+    missing = sorted(set(required) - set(rows[0].keys()))
+    if missing:
+        fail(path, f"missing columns: {', '.join(missing)}")
+        return []
+    return rows
+
+
+def numeric(path, row, column):
+    try:
+        value = float(row[column])
+    except (KeyError, TypeError, ValueError):
+        fail(path, f"non-numeric {column}: {row.get(column)!r}")
+        return None
+    if not math.isfinite(value):
+        fail(path, f"non-finite {column}: {value}")
+        return None
+    return value
+
+
+def check_trend(path, series, key, what):
+    """Values must be non-decreasing along the series within tolerance."""
+    ordered = sorted(series, key=lambda r: r["_load"])
+    for prev, cur in zip(ordered, ordered[1:]):
+        if cur[key] < prev[key] * TREND_TOLERANCE:
+            fail(
+                path,
+                f"{what}: {key} fell from {prev[key]:g} to {cur[key]:g} "
+                f"as load rose {prev['_load']:g} -> {cur['_load']:g}",
+            )
+
+
+def check_serving(path):
+    numeric_cols = [
+        "offered_rps",
+        "throughput_rps",
+        "mean_s",
+        "p50_s",
+        "p95_s",
+        "p99_s",
+        "sla_violation_rate",
+        "mean_batch",
+        "utilization",
+        "energy_per_request_j",
+    ]
+    rows = read_rows(
+        path,
+        ["resipi_mode", "policy", "pipeline", "tenant_mix"] + numeric_cols,
+    )
+    parsed = []
+    for row in rows:
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        values["_load"] = values["offered_rps"]
+        values["resipi_mode"] = row["resipi_mode"]
+        values["policy"] = row["policy"]
+        values["pipeline"] = row["pipeline"]
+        values["tenant_mix"] = row["tenant_mix"]
+        parsed.append(values)
+        if not 0.0 <= values["utilization"] <= 1.0 + 1e-6:
+            fail(path, f"utilization out of [0, 1]: {values['utilization']:g}")
+        if not 0.0 <= values["sla_violation_rate"] <= 1.0:
+            fail(
+                path,
+                f"SLA violation rate out of [0, 1]: "
+                f"{values['sla_violation_rate']:g}",
+            )
+
+    # p99 monotone in offered load for the queueing-only policy.
+    series = {}
+    for row in parsed:
+        if row["policy"] != "none":
+            continue
+        key = (row["resipi_mode"], row["pipeline"], row["tenant_mix"])
+        series.setdefault(key, []).append(row)
+    if not series:
+        fail(path, "no policy=none rows to check p99 monotonicity on")
+    for key, group in sorted(series.items()):
+        check_trend(path, group, "p99_s", f"series {'/'.join(key)}")
+
+    # Pipelined must not lose to blocked at equal load.
+    blocked = {}
+    pipelined = {}
+    for row in parsed:
+        key = (
+            row["resipi_mode"],
+            row["policy"],
+            row["tenant_mix"],
+            row["offered_rps"],
+        )
+        {"batch": blocked, "layer": pipelined}.setdefault(
+            row["pipeline"], {}
+        )[key] = row
+    pairs = sorted(set(blocked) & set(pipelined))
+    if pipelined and not pairs:
+        fail(path, "layer-granular rows have no batch-granular twin")
+    for key in pairs:
+        b, p = blocked[key], pipelined[key]
+        label = "/".join(str(k) for k in key)
+        if p["utilization"] < b["utilization"] * PAIR_TOLERANCE:
+            fail(
+                path,
+                f"pipelined utilization {p['utilization']:g} below "
+                f"blocked {b['utilization']:g} at {label}",
+            )
+        if p["p99_s"] > b["p99_s"] / TREND_TOLERANCE:
+            fail(
+                path,
+                f"pipelined p99 {p['p99_s']:g} above blocked "
+                f"{b['p99_s']:g} at {label}",
+            )
+
+
+def check_noc(path):
+    numeric_cols = [
+        "offered_fraction",
+        "mean_read_cycles",
+        "mean_write_cycles",
+        "delivered_fraction",
+    ]
+    rows = read_rows(path, ["mode"] + numeric_cols)
+    series = {}
+    for row in rows:
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        values["_load"] = values["offered_fraction"]
+        if values["mean_read_cycles"] <= 0:
+            fail(path, f"non-positive read latency: {values['mean_read_cycles']:g}")
+        if not 0.0 < values["delivered_fraction"] <= 1.0 + 1e-6:
+            fail(
+                path,
+                f"delivered fraction out of (0, 1]: "
+                f"{values['delivered_fraction']:g}",
+            )
+        series.setdefault(row["mode"], []).append(values)
+    for mode, group in sorted(series.items()):
+        if len(group) < 2:
+            fail(path, f"mode {mode}: fewer than 2 load points")
+            continue
+        check_trend(path, group, "mean_read_cycles", f"mode {mode}")
+        check_trend(path, group, "delivered_fraction", f"mode {mode}")
+
+
+CHECKERS = {
+    "serving_load_sweep.csv": check_serving,
+    "noc_photonic_traffic.csv": check_noc,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        checker = CHECKERS.get(os.path.basename(path))
+        if checker is None:
+            fail(path, f"no checker registered (known: {', '.join(CHECKERS)})")
+            continue
+        if not os.path.exists(path):
+            fail(path, "file not found")
+            continue
+        checker(path)
+    if failures:
+        print(f"check_bench_csv: {len(failures)} violation(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"check_bench_csv: {len(argv) - 1} file(s) sane")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

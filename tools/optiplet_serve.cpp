@@ -9,6 +9,8 @@
 ///   optiplet_serve --tenants MobileNetV2,ResNet50 --rates 400 \
 ///       --policies none,deadline --max-batch 8 --max-wait 2e-3
 ///   optiplet_serve --tenants LeNet5 --rates 1000 --fidelity cycle
+///   optiplet_serve --tenants ResNet50,DenseNet121 --rates 300 \
+///       --pipelines batch,layer
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
 
 #include <algorithm>
@@ -32,7 +34,8 @@ using cli::parse_count;
 using cli::parse_double;
 using cli::split;
 
-constexpr const char* kUsage = R"(optiplet_serve — request-level inference serving simulator
+constexpr const char* kUsage =
+    R"(optiplet_serve — request-level inference serving simulator
 
 Serves an open-loop request stream against the 2.5D platform: seeded
 Poisson (or replayed-trace) arrivals per tenant, an admission/batching
@@ -46,6 +49,9 @@ and energy per request.
   --rates LIST         comma list of aggregate offered loads [requests/s]
                        (default 200; split evenly over the tenants)
   --policies LIST      comma list of none|size|deadline (default none)
+  --pipelines LIST     comma list of batch|layer execution granularities
+                       (default batch; layer = SET-style inter-layer
+                       pipelining with scarce-group handoff)
   --max-batch K        batch bound for size/deadline policies (default 8)
   --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
   --requests N         total arrivals across tenants (default 2000)
@@ -110,7 +116,7 @@ int main(int argc, char** argv) {
     }
     const bool known_value_flag =
         arg == "--tenants" || arg == "--rates" || arg == "--policies" ||
-        arg == "--max-batch" || arg == "--max-wait" ||
+        arg == "--pipelines" || arg == "--max-batch" || arg == "--max-wait" ||
         arg == "--requests" || arg == "--seed" || arg == "--sla" ||
         arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
         arg == "--threads" || arg == "--out";
@@ -146,6 +152,15 @@ int main(int argc, char** argv) {
                       " (valid: none, size, deadline)");
         }
         grid.batch_policies.push_back(*policy);
+      }
+    } else if (arg == "--pipelines") {
+      for (const auto& name : split(*value, ',')) {
+        const auto mode = serve::pipeline_mode_from_string(name);
+        if (!mode) {
+          return fail("unknown pipeline mode: " + name +
+                      " (valid: batch, layer)");
+        }
+        grid.pipeline_modes.push_back(*mode);
       }
     } else if (arg == "--max-batch") {
       const auto k = parse_count(*value);
@@ -214,6 +229,9 @@ int main(int argc, char** argv) {
   if (grid.batch_policies.empty()) {
     grid.batch_policies = {grid.serving_defaults.policy};
   }
+  if (grid.pipeline_modes.empty()) {
+    grid.pipeline_modes = {grid.serving_defaults.pipeline};
+  }
 
   engine::SweepOptions options;
   options.threads = threads;
@@ -238,13 +256,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  util::TextTable table({"Rate (r/s)", "Policy", "Fid", "Thpt (r/s)",
-                         "p50 (us)", "p95 (us)", "p99 (us)", "SLA viol",
-                         "Util", "E/req (mJ)"});
+  util::TextTable table({"Rate (r/s)", "Policy", "Pipe", "Fid",
+                         "Thpt (r/s)", "p50 (us)", "p95 (us)", "p99 (us)",
+                         "SLA viol", "Util", "E/req (mJ)"});
   for (const auto& r : store.results()) {
     const auto& m = *r.serving;
     table.add_row({util::format_fixed(r.spec.serving->arrival_rps, 0),
                    serve::to_string(r.spec.serving->policy),
+                   serve::to_string(r.spec.serving->pipeline),
                    core::to_string(r.spec.fidelity),
                    util::format_fixed(m.throughput_rps, 0),
                    format_us(m.p50_s), format_us(m.p95_s),

@@ -34,7 +34,8 @@ using cli::parse_count;
 using cli::parse_double;
 using cli::split;
 
-constexpr const char* kUsage = R"(optiplet_sweep — parallel scenario-grid evaluation
+constexpr const char* kUsage =
+    R"(optiplet_sweep — parallel scenario-grid evaluation
 
 Every flag below adds one axis to a cartesian grid; unset axes keep the
 Table-1 default configuration. Infeasible combinations (wavelengths not
