@@ -16,10 +16,28 @@
 /// quantifying the utilization and tail-latency win of handing the scarce
 /// group off at layer boundaries instead of locking it per batch.
 ///
+/// A third section drives the same tenant through a closed-loop client
+/// pool (users x think time): offered load self-throttles, so throughput
+/// flattens at the capacity knee instead of the queue blowing up — the
+/// closed-loop hockey-stick is in throughput, not latency.
+///
+/// A fourth section pits SLA-aware admission control (shed) against the
+/// admit-all baseline across the knee: shedding converts an unbounded
+/// tail into bounded p99 at the cost of rejected requests, and goodput
+/// (SLA-met completions/s) replaces throughput as the honest metric.
+///
+/// Every section derives its capacity anchor through one shared
+/// make_colocated_setup-based helper — the exact partitions + oracle
+/// wiring serve::simulate() runs on — and the sweep reuses one
+/// SweepRunner so the scenario memo cache carries repeated points across
+/// sections (asserted below).
+///
 /// Dumps serving_load_sweep.csv next to the binary for plotting; CI's
 /// tools/check_bench_csv.py trips on sanity violations in it.
 
 #include <cstdio>
+#include <iterator>
+#include <string>
 
 #include "dnn/zoo.hpp"
 #include "engine/result_store.hpp"
@@ -48,11 +66,22 @@ constexpr const char* kMix = "ResNet50+DenseNet121";
 constexpr std::uint64_t kMixRequestsPerPoint = 240;
 constexpr double kMixUtilizations[] = {0.5, 1.0, 2.0, 4.0};
 
-/// Batch-granular capacity anchor of a fully-serialized shared-group mix:
-/// every batch locks the scarce pool, so the executors alternate and the
-/// aggregate capacity is n / (sum of co-located batch-1 service times) —
-/// computed on the exact partitions the simulator serves.
-double mix_capacity(const core::SystemConfig& base, const char* mix) {
+/// Closed-loop section: user-pool sizes around the capacity knee (think
+/// time is set so ~kClosedLoopKneeUsers users saturate the executor).
+constexpr unsigned kClosedLoopUsers[] = {4, 16, 64, 256};
+constexpr double kClosedLoopKneeUsers = 64.0;
+
+/// Shed-vs-no-shed section: load points shared with the hockey-stick
+/// sweep, so the admit-all rows are exact scenario-cache hits.
+constexpr double kShedUtilizations[] = {0.8, 1.0, 1.3};
+
+/// Batch-granular capacity anchor computed on the *exact* partitions the
+/// simulator serves — the one shared helper every section anchors on.
+/// Single tenant: 1 / D(1). Fully-serialized shared-group mix: every
+/// batch locks the scarce pool, so the executors alternate and the
+/// aggregate capacity is n / (sum of co-located batch-1 service times).
+double anchored_capacity_rps(const core::SystemConfig& base,
+                             const char* mix) {
   serve::ColocatedSetup setup = serve::make_colocated_setup(
       base, accel::Architecture::kSiph2p5D, serve::split_mix(mix));
   serve::ServiceTimeOracle oracle(std::move(setup.oracle_tenants),
@@ -70,10 +99,8 @@ int main() {
   const core::SystemConfig base = core::default_system_config();
 
   // The no-batch capacity anchor: one request's service time in isolation.
-  serve::ServiceTimeOracle oracle(
-      {{dnn::zoo::by_name(kModel), base}}, accel::Architecture::kSiph2p5D);
-  const double service_s = oracle.batch_run(0, 1).latency_s;
-  const double capacity_rps = 1.0 / service_s;
+  const double capacity_rps = anchored_capacity_rps(base, kModel);
+  const double service_s = 1.0 / capacity_rps;
   std::printf("%s on 2.5D-CrossLight-SiPh: batch-1 service %.1f us, "
               "no-batch capacity %.0f requests/s\n\n",
               kModel, service_s * 1e6, capacity_rps);
@@ -102,21 +129,42 @@ int main() {
 
   util::CsvWriter csv("serving_load_sweep.csv",
                       {"resipi_mode", "policy", "pipeline", "tenant_mix",
+                       "source", "users", "think_s", "admission",
                        "offered_rps", "offered_util", "throughput_rps",
-                       "mean_s", "p50_s", "p95_s", "p99_s",
-                       "sla_violation_rate", "mean_batch", "utilization",
+                       "goodput_rps", "shed", "shed_fraction", "mean_s",
+                       "p50_s", "p95_s", "p99_s", "sla_violation_rate",
+                       "mean_batch", "utilization",
                        "energy_per_request_j"});
   OPTIPLET_REQUIRE(csv.ok(), "cannot write serving_load_sweep.csv");
+  // One emitter for every section. Open-loop rows carry the spec's
+  // offered rate; closed-loop rows carry the client pool's upper bound
+  // (total users / think time) as their load axis, with `users` the
+  // total across the mix.
   const auto emit = [&csv](const char* resipi_mode,
                            const engine::ScenarioResult& r,
                            double capacity) {
     const auto& m = *r.serving;
-    const double offered = r.spec.serving->arrival_rps;
-    csv.add_row({resipi_mode, serve::to_string(r.spec.serving->policy),
-                 serve::to_string(r.spec.serving->pipeline),
-                 r.spec.serving->tenant_mix, util::format_general(offered),
+    const auto& s = *r.spec.serving;
+    const bool closed = s.source == serve::ArrivalSource::kClosedLoop;
+    const double users_total =
+        static_cast<double>(s.users) *
+        static_cast<double>(serve::split_mix(s.tenant_mix).size());
+    const double offered =
+        closed ? users_total / s.think_s : s.arrival_rps;
+    const double shed_fraction =
+        m.offered > 0
+            ? static_cast<double>(m.shed) / static_cast<double>(m.offered)
+            : 0.0;
+    csv.add_row({resipi_mode, serve::to_string(s.policy),
+                 serve::to_string(s.pipeline), s.tenant_mix,
+                 serve::to_string(s.source),
+                 closed ? util::format_general(users_total) : "0",
+                 closed ? util::format_general(s.think_s) : "0",
+                 serve::to_string(s.admission), util::format_general(offered),
                  util::format_general(offered / capacity),
                  util::format_general(m.throughput_rps),
+                 util::format_general(m.goodput_rps),
+                 std::to_string(m.shed), util::format_general(shed_fraction),
                  util::format_general(m.mean_latency_s),
                  util::format_general(m.p50_s),
                  util::format_general(m.p95_s),
@@ -159,7 +207,7 @@ int main() {
   // batch-granular pool serializes whole batches on it; layer-granular
   // execution hands it off at layer boundaries (one ReSiPI retune per
   // cross-tenant handoff) and pipelines everything else.
-  const double mix_capacity_rps = mix_capacity(base, kMix);
+  const double mix_capacity_rps = anchored_capacity_rps(base, kMix);
   engine::ScenarioGrid pipeline_grid;
   pipeline_grid.tenant_mixes = {kMix};
   pipeline_grid.architectures = {accel::Architecture::kSiph2p5D};
@@ -198,6 +246,103 @@ int main() {
     emit("adaptive", r, mix_capacity_rps);
   }
   std::fputs(pipe_table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  // --- Closed-loop client pool: the self-throttling hockey-stick ---
+  // Think time is pinned so kClosedLoopKneeUsers users offer exactly the
+  // open-loop capacity; past the knee, extra users queue inside the
+  // client pool (each waits for its response), so measured throughput
+  // flattens at capacity instead of the tail exploding.
+  engine::ScenarioGrid closed_grid;
+  closed_grid.tenant_mixes = {kModel};
+  closed_grid.architectures = {accel::Architecture::kSiph2p5D};
+  closed_grid.batch_policies = {serve::BatchPolicy::kNone};
+  closed_grid.arrival_sources = {serve::ArrivalSource::kClosedLoop};
+  closed_grid.user_counts.assign(std::begin(kClosedLoopUsers),
+                                 std::end(kClosedLoopUsers));
+  closed_grid.serving_defaults.think_s = kClosedLoopKneeUsers * service_s;
+  closed_grid.serving_defaults.requests = kRequestsPerPoint;
+
+  const engine::ResultStore closed_store(runner.run(closed_grid));
+  OPTIPLET_REQUIRE(!closed_store.empty(),
+                   "closed-loop serving sweep produced no results");
+
+  std::printf("=== %s closed-loop clients (think %.0f us) ===\n", kModel,
+              closed_grid.serving_defaults.think_s * 1e6);
+  util::TextTable closed_table({"Users", "Bound (r/s)", "Bound util",
+                                "Thpt (r/s)", "p50 (us)", "p99 (us)",
+                                "Util"});
+  for (const auto& r : closed_store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value(),
+                     "serving sweep row without serving metrics");
+    const auto& m = *r.serving;
+    const auto& s = *r.spec.serving;
+    const double bound_rps = static_cast<double>(s.users) / s.think_s;
+    closed_table.add_row({std::to_string(s.users),
+                          util::format_fixed(bound_rps, 0),
+                          util::format_fixed(bound_rps / capacity_rps, 2),
+                          util::format_fixed(m.throughput_rps, 0),
+                          util::format_fixed(m.p50_s * 1e6, 1),
+                          util::format_fixed(m.p99_s * 1e6, 1),
+                          util::format_fixed(m.utilization, 3)});
+    emit("adaptive", r, capacity_rps);
+  }
+  std::fputs(closed_table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  // --- SLA-aware shedding vs admit-all across the knee ---
+  // Same (rate, policy, ReSiPI) points as the hockey-stick sweep, so the
+  // admit-all rows must come straight from the scenario memo cache.
+  const std::size_t hits_before = runner.cache_hits();
+  engine::ScenarioGrid shed_grid;
+  shed_grid.tenant_mixes = {kModel};
+  shed_grid.architectures = {accel::Architecture::kSiph2p5D};
+  shed_grid.batch_policies = {serve::BatchPolicy::kNone};
+  shed_grid.admission_policies = {serve::AdmissionPolicy::kAdmitAll,
+                                  serve::AdmissionPolicy::kSlaShed};
+  for (const double util : kShedUtilizations) {
+    shed_grid.arrival_rates_rps.push_back(util * capacity_rps);
+  }
+  shed_grid.override_axes = {{"resipi.min_active_gateways", {1.0}}};
+  shed_grid.serving_defaults.requests = kRequestsPerPoint;
+  shed_grid.serving_defaults.max_batch = 8;
+  shed_grid.serving_defaults.max_wait_s = 200e-6;
+
+  const engine::ResultStore shed_store(runner.run(shed_grid));
+  OPTIPLET_REQUIRE(!shed_store.empty(),
+                   "shed serving sweep produced no results");
+  const std::size_t shed_hits = runner.cache_hits() - hits_before;
+  OPTIPLET_REQUIRE(
+      shed_hits >= std::size(kShedUtilizations),
+      "admit-all rows did not hit the scenario memo cache across sections");
+
+  std::printf("=== %s admit-all vs SLA-aware shedding (%zu cached "
+              "points reused) ===\n",
+              kModel, shed_hits);
+  util::TextTable shed_table({"Admission", "Offered (r/s)", "Util",
+                              "Thpt (r/s)", "Gput (r/s)", "Shed frac",
+                              "p99 (us)", "SLA viol"});
+  for (const auto& r : shed_store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value(),
+                     "serving sweep row without serving metrics");
+    const auto& m = *r.serving;
+    const auto& s = *r.spec.serving;
+    const double offered = s.arrival_rps;
+    const double shed_fraction =
+        m.offered > 0
+            ? static_cast<double>(m.shed) / static_cast<double>(m.offered)
+            : 0.0;
+    shed_table.add_row({serve::to_string(s.admission),
+                        util::format_fixed(offered, 0),
+                        util::format_fixed(offered / capacity_rps, 2),
+                        util::format_fixed(m.throughput_rps, 0),
+                        util::format_fixed(m.goodput_rps, 0),
+                        util::format_fixed(shed_fraction, 3),
+                        util::format_fixed(m.p99_s * 1e6, 1),
+                        util::format_fixed(m.sla_violation_rate, 3)});
+    emit("adaptive", r, capacity_rps);
+  }
+  std::fputs(shed_table.render().c_str(), stdout);
   std::printf("\nFull sweep written to serving_load_sweep.csv\n");
   return 0;
 }

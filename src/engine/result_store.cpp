@@ -92,7 +92,19 @@ std::vector<std::string> ResultStore::csv_header() {
           "sla_violation_rate",
           "mean_batch",
           "utilization",
-          "energy_per_request_j"};
+          "energy_per_request_j",
+          // Arrival-source / admission-control columns (PR 5). users and
+          // think_s are only populated for closed-loop rows (open-loop
+          // specs ignore them).
+          "arrival_source",
+          "users",
+          "think_s",
+          "admission",
+          "priority_mix",
+          "shed",
+          "goodput_rps",
+          "p99_hi_s",
+          "p99_lo_s"};
 }
 
 std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
@@ -134,6 +146,17 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
                 util::format_general(m.mean_batch),
                 util::format_general(m.utilization),
                 util::format_general(m.energy_per_request_j)});
+    const bool closed = spec.source == serve::ArrivalSource::kClosedLoop;
+    row.insert(row.end(),
+               {serve::to_string(spec.source),
+                closed ? std::to_string(spec.users) : std::string(),
+                closed ? util::format_general(spec.think_s) : std::string(),
+                serve::to_string(spec.admission),
+                spec.priority_mix,
+                std::to_string(m.shed),
+                util::format_general(m.goodput_rps),
+                util::format_general(m.p99_hi_s),
+                util::format_general(m.p99_lo_s)});
   } else {
     static const std::size_t kColumns = csv_header().size();
     const std::size_t serving_col = row.size();

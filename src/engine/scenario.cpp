@@ -133,15 +133,34 @@ std::string ScenarioSpec::key() const {
        << ";serve.batch=" << serving->max_batch
        << ";serve.wait=" << util::format_general(serving->max_wait_s, 17)
        << ";serve.mix=" << serving->tenant_mix
-       << ";serve.sla=" << util::format_general(serving->sla_s, 17);
-    if (serving->trace_path.empty()) {
-      os << ";serve.rate=" << util::format_general(serving->arrival_rps, 17)
+       << ";serve.sla=" << util::format_general(serving->sla_s, 17)
+       << ";serve.adm=" << serve::to_string(serving->admission);
+    if (!serving->priority_mix.empty()) {
+      // Empty means "all class 0"; an explicit mix is part of the
+      // experiment identity (priority orders shared-resource grants).
+      os << ";serve.prio=" << serving->priority_mix;
+    }
+    if (!serving->trace_path.empty()) {
+      // A replayed trace fully determines the arrivals: rate, request
+      // count, and seed are ignored, so they must not split the memo
+      // key. The source is NOT ignored — trace + closed loop is
+      // *rejected* at evaluation — so it stays in the key lest an
+      // invalid spec ride a valid spec's cached result (or vice versa,
+      // order-dependently).
+      os << ";serve.trace=" << serving->trace_path;
+      if (serving->source != serve::ArrivalSource::kOpenLoop) {
+        os << ";serve.src=" << serve::to_string(serving->source);
+      }
+    } else if (serving->source == serve::ArrivalSource::kClosedLoop) {
+      // Closed loop ignores the offered rate: load is users/think-time.
+      os << ";serve.src=closed;serve.users=" << serving->users
+         << ";serve.think=" << util::format_general(serving->think_s, 17)
          << ";serve.n=" << serving->requests
          << ";serve.seed=" << serving->seed;
     } else {
-      // A replayed trace fully determines the arrivals: rate, request
-      // count, and seed are ignored, so they must not split the memo key.
-      os << ";serve.trace=" << serving->trace_path;
+      os << ";serve.rate=" << util::format_general(serving->arrival_rps, 17)
+         << ";serve.n=" << serving->requests
+         << ";serve.seed=" << serving->seed;
     }
   }
   return os.str();
@@ -193,6 +212,9 @@ std::size_t ScenarioGrid::raw_size() const {
     size *= axis(arrival_rates_rps.size());
     size *= axis(batch_policies.size());
     size *= axis(pipeline_modes.size());
+    size *= axis(arrival_sources.size());
+    size *= axis(user_counts.size());
+    size *= axis(admission_policies.size());
   }
   return size;
 }
@@ -225,6 +247,17 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       pipeline_modes.empty()
           ? std::vector<serve::PipelineMode>{serving_defaults.pipeline}
           : pipeline_modes;
+  const std::vector<serve::ArrivalSource> source_axis =
+      arrival_sources.empty()
+          ? std::vector<serve::ArrivalSource>{serving_defaults.source}
+          : arrival_sources;
+  const std::vector<unsigned> users_axis =
+      user_counts.empty() ? std::vector<unsigned>{serving_defaults.users}
+                          : user_counts;
+  const std::vector<serve::AdmissionPolicy> admission_axis =
+      admission_policies.empty()
+          ? std::vector<serve::AdmissionPolicy>{serving_defaults.admission}
+          : admission_policies;
   const std::vector<accel::Architecture> arch_axis =
       architectures.empty()
           ? std::vector<accel::Architecture>{accel::Architecture::kSiph2p5D}
@@ -331,11 +364,21 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
             for (const double rate : rate_axis) {
               for (const serve::BatchPolicy policy : policy_axis) {
                 for (const serve::PipelineMode pipeline : pipeline_axis) {
-                  partial.serving = serving_defaults;
-                  partial.serving->arrival_rps = rate;
-                  partial.serving->policy = policy;
-                  partial.serving->pipeline = pipeline;
-                  expand_axis(0, partial);
+                  for (const serve::ArrivalSource source : source_axis) {
+                    for (const unsigned users : users_axis) {
+                      for (const serve::AdmissionPolicy admission :
+                           admission_axis) {
+                        partial.serving = serving_defaults;
+                        partial.serving->arrival_rps = rate;
+                        partial.serving->policy = policy;
+                        partial.serving->pipeline = pipeline;
+                        partial.serving->source = source;
+                        partial.serving->users = users;
+                        partial.serving->admission = admission;
+                        expand_axis(0, partial);
+                      }
+                    }
+                  }
                 }
               }
             }

@@ -111,11 +111,21 @@ struct ScenarioGrid {
   /// Batch-granular (blocked) vs layer-granular (pipelined) execution.
   std::vector<serve::PipelineMode> pipeline_modes;
   std::vector<std::string> tenant_mixes;
+  /// Open-loop (Poisson/trace) vs closed-loop (client pool) arrivals.
+  std::vector<serve::ArrivalSource> arrival_sources;
+  /// Closed-loop users-per-tenant axis; only meaningful combined with
+  /// serve::ArrivalSource::kClosedLoop (open-loop specs ignore it, and
+  /// their keys collapse in the memo cache).
+  std::vector<unsigned> user_counts;
+  /// Admit-all baseline vs SLA-aware shedding.
+  std::vector<serve::AdmissionPolicy> admission_policies;
   serve::ServingSpec serving_defaults;
 
   [[nodiscard]] bool serving_mode() const {
     return !arrival_rates_rps.empty() || !batch_policies.empty() ||
-           !pipeline_modes.empty() || !tenant_mixes.empty();
+           !pipeline_modes.empty() || !tenant_mixes.empty() ||
+           !arrival_sources.empty() || !user_counts.empty() ||
+           !admission_policies.empty();
   }
 
   /// Grid size before feasibility filtering.

@@ -18,8 +18,7 @@ std::vector<double> poisson_arrivals(double rate_rps, std::uint64_t count,
   arrivals.reserve(count);
   double t = 0.0;
   for (std::uint64_t i = 0; i < count; ++i) {
-    // Inverse-CDF exponential draw; next_double() < 1 keeps the log finite.
-    t += -std::log(1.0 - rng.next_double()) / rate_rps;
+    t += rng.next_exponential(1.0 / rate_rps);
     arrivals.push_back(t);
   }
   return arrivals;

@@ -16,8 +16,14 @@ namespace optiplet::serve {
 struct ServingMetrics {
   std::uint64_t offered = 0;    ///< requests that arrived
   std::uint64_t completed = 0;  ///< requests that finished
+  /// Requests rejected at admission (SLA-aware shedding); every offered
+  /// request is either completed or shed, so offered == completed + shed.
+  std::uint64_t shed = 0;
   double makespan_s = 0.0;      ///< first arrival to last completion
   double throughput_rps = 0.0;
+  /// Completions that met their tenant's SLA, per second of makespan —
+  /// the rate the operator actually gets paid for. goodput <= throughput.
+  double goodput_rps = 0.0;
   double mean_latency_s = 0.0;
   double p50_s = 0.0;
   double p95_s = 0.0;
@@ -45,16 +51,39 @@ struct ServingMetrics {
   /// Service-time oracle cache behavior.
   std::uint64_t service_cache_hits = 0;
   std::uint64_t service_cache_misses = 0;
+  /// p99 of the most-important (lowest-numbered) and least-important
+  /// priority classes present; equal when every tenant shares one class.
+  double p99_hi_s = 0.0;
+  double p99_lo_s = 0.0;
+};
+
+/// Aggregate outcome of one priority class (tenants grouped by their
+/// `priority` value; sorted ascending — class 0 is the most important).
+struct ClassReport {
+  unsigned priority = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  double p99_s = 0.0;
+  double sla_violation_rate = 0.0;
+  double goodput_rps = 0.0;
 };
 
 /// Per-tenant serving outcome.
 struct TenantReport {
   std::string name;
   std::string model;
+  /// Priority class (lower = more important) — orders grants of contended
+  /// shared resources.
+  unsigned priority = 0;
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
+  /// Arrivals rejected by SLA-aware admission control.
+  std::uint64_t shed = 0;
   std::uint64_t batches = 0;
   double throughput_rps = 0.0;
+  /// SLA-met completions per second of makespan.
+  double goodput_rps = 0.0;
   double mean_latency_s = 0.0;
   double p50_s = 0.0;
   double p95_s = 0.0;
@@ -103,6 +132,9 @@ struct BatchTrace {
 struct ServingReport {
   ServingMetrics metrics;
   std::vector<TenantReport> tenants;
+  /// Per-priority-class aggregates, sorted by class (ascending). Always
+  /// populated; a single-class run has exactly one entry.
+  std::vector<ClassReport> classes;
   /// Serving-level energy ledger: every batch's ledger merged, plus the
   /// "serving.idle" category for the pool's idle static burn.
   power::EnergyLedger ledger;

@@ -1,7 +1,9 @@
 #include "serve/serving_simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -13,6 +15,7 @@
 #include "serve/service_time.hpp"
 #include "sim/event_queue.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace optiplet::serve {
 namespace {
@@ -66,6 +69,21 @@ struct TenantState {
   bool arrivals_done = false;
   bool busy = false;
   bool timer_armed = false;
+
+  // --- closed-loop client pool ---
+  bool closed_loop = false;
+  std::uint64_t issue_budget = 0;  ///< total requests the users may issue
+  std::uint64_t issued = 0;        ///< think timers started (<= budget)
+  std::uint64_t arrived = 0;       ///< issued requests that have arrived
+  double think_mean_s = 0.0;
+  util::Xoshiro256 think_rng{0};
+
+  // --- admission control / priority ---
+  AdmissionPolicy admission = AdmissionPolicy::kAdmitAll;
+  unsigned priority = 0;
+  /// When the executor is expected to accept its next batch — the
+  /// oracle-backed backlog estimate kSlaShed's shed decision runs on.
+  double est_free_s = 0.0;
   /// Batch formed but waiting for the shared-serial chiplets.
   std::vector<Request> pending;
   double pending_since = 0.0;
@@ -113,25 +131,90 @@ struct Engine {
   std::vector<Resource> resources;
 
   double last_completion_s = 0.0;
+  /// Time of the first request to actually arrive, from any source — the
+  /// start of the measured serving window.
+  double first_arrival_s = std::numeric_limits<double>::infinity();
 
   Engine(const ServingConfig& cfg, ServiceTimeOracle& orc,
          const ColocationPlan& pln)
       : config(cfg), oracle(orc), plan(pln) {}
+
+  /// One request reaches the tenant: count it, run admission, enqueue or
+  /// shed, and poke the dispatcher. Shared by every arrival source.
+  void arrive(std::size_t t) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    first_arrival_s = std::min(first_arrival_s, now);
+    const Request request{ts.next_id++, now};
+    ts.report.offered += 1;
+    if (ts.admission == AdmissionPolicy::kSlaShed && !admit(t)) {
+      ts.report.shed += 1;
+      issue_closed(t);  // the user gets its rejection notice immediately
+      return;
+    }
+    ts.queue.push(request);
+    try_dispatch(t);
+  }
+
+  /// kSlaShed's enqueue-time prediction: serve the backlog ahead of this
+  /// request at the policy's dispatch size and see whether its completion
+  /// can still make the tenant's SLA. Service times come from the
+  /// memoized ServiceTimeOracle; layer-granular mode amortizes the queued
+  /// batches over the pipeline depth (the steady-state inter-completion
+  /// time), so the estimate is honest about overlap.
+  [[nodiscard]] bool admit(std::size_t t) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    const unsigned cap = ts.queue.config().policy == BatchPolicy::kNone
+                             ? 1
+                             : ts.queue.config().max_batch;
+    const double batch_s = oracle.batch_run(t, cap).latency_s;
+    const double amortized_s =
+        config.pipeline == PipelineMode::kLayerGranular
+            ? batch_s / static_cast<double>(
+                            std::max<std::size_t>(ts.pipeline_depth, 1))
+            : batch_s;
+    const auto queued_batches = static_cast<double>(ts.queue.size() / cap);
+    const double predicted_latency_s = std::max(ts.est_free_s - now, 0.0) +
+                                       queued_batches * amortized_s +
+                                       batch_s;
+    return predicted_latency_s <= ts.report.sla_s;
+  }
+
+  /// Closed loop: one user draws its think time and schedules its next
+  /// request, spending one unit of the tenant's issue budget. No-op for
+  /// open-loop tenants and once the budget is spent.
+  void issue_closed(std::size_t t) {
+    TenantState& ts = tenants[t];
+    if (!ts.closed_loop || ts.issued >= ts.issue_budget) {
+      return;
+    }
+    ts.issued += 1;
+    const double think_s = ts.think_rng.next_exponential(ts.think_mean_s);
+    events.schedule_in(think_s, [this, t] {
+      TenantState& state = tenants[t];
+      state.arrived += 1;
+      // The last budgeted issue has arrived: flush partial batches.
+      if (state.issued >= state.issue_budget &&
+          state.arrived == state.issued) {
+        state.arrivals_done = true;
+      }
+      arrive(t);
+    });
+  }
 
   void schedule_arrival(std::size_t t) {
     TenantState& ts = tenants[t];
     const std::size_t i = ts.next_arrival;
     events.schedule_at(ts.arrivals[i], [this, t, i] {
       TenantState& state = tenants[t];
-      state.queue.push(Request{state.next_id++, events.now()});
-      state.report.offered += 1;
       state.next_arrival = i + 1;
       if (state.next_arrival < state.arrivals.size()) {
         schedule_arrival(t);
       } else {
         state.arrivals_done = true;
       }
-      try_dispatch(t);
+      arrive(t);
     });
   }
 
@@ -206,6 +289,7 @@ struct Engine {
       resipi_free_at = start + resipi_window_s;
     }
     const double end = start + run.latency_s;
+    ts.est_free_s = end;
 
     for (const std::size_t c : ts.occupancy) {
       report.chiplet_busy_s[c] += end - start;
@@ -230,6 +314,30 @@ struct Engine {
     });
   }
 
+  /// Iterator to the next waiter to grant: highest priority class first
+  /// (lowest number wins; strict <, so FIFO within a class — a
+  /// single-class run grants in exactly the arrival order it always
+  /// did). `tenant_of` projects a waiter entry to its tenant index.
+  template <typename Deque, typename Proj>
+  auto best_waiter(Deque& waiters, Proj tenant_of) {
+    auto best = waiters.begin();
+    for (auto it = std::next(best); it != waiters.end(); ++it) {
+      if (tenants[tenant_of(*it)].priority <
+          tenants[tenant_of(*best)].priority) {
+        best = it;
+      }
+    }
+    return best;
+  }
+
+  std::size_t pop_shared_waiter() {
+    const auto best =
+        best_waiter(shared_waiters, [](std::size_t t) { return t; });
+    const std::size_t w = *best;
+    shared_waiters.erase(best);
+    return w;
+  }
+
   void complete(std::size_t t, const std::vector<Request>& batch) {
     TenantState& ts = tenants[t];
     const double now = events.now();
@@ -237,15 +345,17 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      issue_closed(t);  // each response frees one closed-loop user
+    }
     ts.busy = false;
     last_completion_s = std::max(last_completion_s, now);
     if (ts.needs_shared) {
-      // Release the shared pool; grant FIFO to the next waiting tenant.
+      // Release the shared pool; grant priority-first (FIFO in class).
       if (shared_waiters.empty()) {
         shared_busy = false;
       } else {
-        const std::size_t w = shared_waiters.front();
-        shared_waiters.pop_front();
+        const std::size_t w = pop_shared_waiter();
         TenantState& waiter = tenants[w];
         waiter.report.shared_wait_s += now - waiter.pending_since;
         begin_execution(w, std::move(waiter.pending));
@@ -386,6 +496,12 @@ struct Engine {
       ts.report.energy_j += run.energy_j;
       ts.report.batches += 1;
       report.ledger.merge(run.ledger);
+      // Admission estimate: with the pipeline full, completions are one
+      // bottleneck-amortized interval apart.
+      ts.est_free_s =
+          std::max(ts.est_free_s, start) +
+          run.latency_s / static_cast<double>(
+                              std::max<std::size_t>(ts.pipeline_depth, 1));
     }
     double handoff_s = 0.0;
     if (s.shared && siph && r.last_tenant != kNoTenant &&
@@ -468,8 +584,12 @@ struct Engine {
       r.busy = false;
       return;
     }
-    std::shared_ptr<InFlightBatch> next = std::move(r.waiters.front());
-    r.waiters.pop_front();
+    const auto best = best_waiter(
+        r.waiters, [](const std::shared_ptr<InFlightBatch>& b) {
+          return b->tenant;
+        });
+    std::shared_ptr<InFlightBatch> next = std::move(*best);
+    r.waiters.erase(best);
     if (r.shared) {
       tenants[next->tenant].report.shared_wait_s +=
           events.now() - next->wait_since_s;
@@ -484,6 +604,9 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += b->requests.size();
+    for (std::size_t i = 0; i < b->requests.size(); ++i) {
+      issue_closed(b->tenant);  // each response frees one closed-loop user
+    }
     ts.inflight -= 1;
     last_completion_s = std::max(last_completion_s, now);
     try_dispatch(b->tenant);
@@ -522,9 +645,9 @@ void finalize_tenant(TenantState& ts, double makespan_s) {
     // per-chiplet clamp in the pool metric).
     r.utilization = std::min(r.busy_s, makespan_s) / makespan_s;
   }
+  std::uint64_t violations = 0;
   if (!ts.latencies.empty()) {
     double sum = 0.0;
-    std::uint64_t violations = 0;
     for (const double l : ts.latencies) {
       sum += l;
       r.max_latency_s = std::max(r.max_latency_s, l);
@@ -536,6 +659,12 @@ void finalize_tenant(TenantState& ts, double makespan_s) {
     r.p99_s = exact_quantile(ts.latencies, 0.99);
     r.sla_violation_rate = static_cast<double>(violations) /
                            static_cast<double>(ts.latencies.size());
+  }
+  if (makespan_s > 0.0) {
+    // Every completion records one latency, so completed - violations is
+    // exactly the SLA-met count.
+    r.goodput_rps =
+        static_cast<double>(r.completed - violations) / makespan_s;
   }
   if (r.completed > 0) {
     r.energy_per_request_j = r.energy_j / static_cast<double>(r.completed);
@@ -602,15 +731,31 @@ ServingReport simulate(const ServingConfig& config) {
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     const TenantSetup& setup = config.tenants[t];
     TenantState state(setup.batching);
-    state.arrivals = setup.replay_trace
-                         ? setup.trace_arrivals
-                         : poisson_arrivals(setup.arrival_rps, setup.requests,
-                                            setup.seed);
-    state.arrivals_done = state.arrivals.empty();
+    state.closed_loop = setup.source == ArrivalSource::kClosedLoop;
+    if (state.closed_loop) {
+      OPTIPLET_REQUIRE(!setup.replay_trace,
+                       "closed-loop arrivals cannot replay a trace");
+      OPTIPLET_REQUIRE(setup.users >= 1, "closed loop needs >= 1 user");
+      OPTIPLET_REQUIRE(setup.think_s >= 0.0, "negative think time");
+      state.issue_budget = setup.requests;
+      state.think_mean_s = setup.think_s;
+      state.think_rng = util::Xoshiro256(setup.seed);
+      state.arrivals_done = state.issue_budget == 0;
+    } else {
+      state.arrivals =
+          setup.replay_trace
+              ? setup.trace_arrivals
+              : poisson_arrivals(setup.arrival_rps, setup.requests,
+                                 setup.seed);
+      state.arrivals_done = state.arrivals.empty();
+    }
+    state.admission = setup.admission;
+    state.priority = setup.priority;
     state.needs_shared = !plan.tenants[t].shared_kinds.empty();
     state.occupancy = plan.occupancy(t);
     state.report.name = setup.name.empty() ? setup.model : setup.name;
     state.report.model = setup.model;
+    state.report.priority = setup.priority;
     // The batch-1 run pins the effective SLA (and pre-warms the cache with
     // the reference service time).
     state.report.sla_s = setup.sla_s > 0.0
@@ -649,7 +794,14 @@ ServingReport simulate(const ServingConfig& config) {
     }
   }
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
-    if (!engine.tenants[t].arrivals.empty()) {
+    TenantState& ts = engine.tenants[t];
+    if (ts.closed_loop) {
+      // Every user starts in a think phase, so the pool desynchronizes
+      // naturally; issue_closed() stops at the tenant's budget.
+      for (unsigned u = 0; u < config.tenants[t].users; ++u) {
+        engine.issue_closed(t);
+      }
+    } else if (!ts.arrivals.empty()) {
       engine.schedule_arrival(t);
     }
   }
@@ -669,13 +821,12 @@ ServingReport simulate(const ServingConfig& config) {
   // --- assemble the report ---
   // The measured window runs from the first arrival to the last
   // completion: replayed traces may start at an arbitrary absolute time,
-  // which must not count as idle serving time.
-  double first_arrival = engine.last_completion_s;
-  for (const TenantState& ts : engine.tenants) {
-    if (!ts.arrivals.empty()) {
-      first_arrival = std::min(first_arrival, ts.arrivals.front());
-    }
-  }
+  // which must not count as idle serving time. Closed-loop arrivals have
+  // no precomputed arrival vector, so the engine tracks the first actual
+  // arrival event for every source.
+  const double first_arrival = std::isfinite(engine.first_arrival_s)
+                                   ? engine.first_arrival_s
+                                   : engine.last_completion_s;
   ServingReport out = std::move(engine.report);
   const double makespan =
       std::max(engine.last_completion_s - first_arrival, 0.0);
@@ -685,23 +836,57 @@ ServingReport simulate(const ServingConfig& config) {
   std::vector<double> all_latencies;
   std::uint64_t violations = 0;
   std::uint64_t batches = 0;
+  std::map<unsigned, ClassReport> classes;
+  std::map<unsigned, std::vector<double>> class_latencies;
+  std::map<unsigned, std::uint64_t> class_violations;
   for (std::size_t t = 0; t < engine.tenants.size(); ++t) {
     TenantState& ts = engine.tenants[t];
     finalize_tenant(ts, makespan);
     m.offered += ts.report.offered;
     m.completed += ts.report.completed;
+    m.shed += ts.report.shed;
     m.energy_j += ts.report.energy_j;
     m.resipi_conflicts += ts.report.resipi_conflicts;
     m.resipi_wait_s += ts.report.resipi_wait_s;
     m.shared_handoffs += ts.report.shared_handoffs;
     m.handoff_resipi_s += ts.report.handoff_resipi_s;
     batches += ts.report.batches;
+    ClassReport& cls = classes[ts.priority];
+    cls.priority = ts.priority;
+    cls.offered += ts.report.offered;
+    cls.completed += ts.report.completed;
+    cls.shed += ts.report.shed;
+    std::vector<double>& cls_lat = class_latencies[ts.priority];
+    cls_lat.insert(cls_lat.end(), ts.latencies.begin(), ts.latencies.end());
     for (const double l : ts.latencies) {
-      violations += l > ts.report.sla_s ? 1 : 0;
+      const std::uint64_t violated = l > ts.report.sla_s ? 1 : 0;
+      violations += violated;
+      class_violations[ts.priority] += violated;
     }
     all_latencies.insert(all_latencies.end(), ts.latencies.begin(),
                          ts.latencies.end());
     out.tenants.push_back(ts.report);
+  }
+  OPTIPLET_ASSERT(m.offered == m.completed + m.shed,
+                  "serving lost requests: offered != completed + shed");
+  for (auto& [priority, cls] : classes) {
+    const std::vector<double>& lat = class_latencies[priority];
+    if (!lat.empty()) {
+      cls.p99_s = exact_quantile(lat, 0.99);
+      cls.sla_violation_rate =
+          static_cast<double>(class_violations[priority]) /
+          static_cast<double>(lat.size());
+    }
+    if (makespan > 0.0) {
+      cls.goodput_rps = static_cast<double>(cls.completed -
+                                            class_violations[priority]) /
+                        makespan;
+    }
+    out.classes.push_back(cls);  // std::map iterates classes ascending
+  }
+  if (!out.classes.empty()) {
+    m.p99_hi_s = out.classes.front().p99_s;
+    m.p99_lo_s = out.classes.back().p99_s;
   }
   if (!all_latencies.empty()) {
     double sum = 0.0;
@@ -718,6 +903,7 @@ ServingReport simulate(const ServingConfig& config) {
   }
   if (makespan > 0.0) {
     m.throughput_rps = static_cast<double>(m.completed) / makespan;
+    m.goodput_rps = static_cast<double>(m.completed - violations) / makespan;
     // Idle static burn of the whole pool between batches.
     double busy_fraction_sum = 0.0;
     for (std::size_t c = 0; c < out.chiplet_busy_s.size(); ++c) {
@@ -758,7 +944,11 @@ ServingConfig make_serving_config(const core::SystemConfig& base,
   const std::vector<std::string> mix = spec.tenants();
   OPTIPLET_REQUIRE(!mix.empty(), "empty tenant mix");
   const auto n = mix.size();
+  const std::vector<unsigned> priorities = spec.priorities();
 
+  OPTIPLET_REQUIRE(spec.source != ArrivalSource::kClosedLoop ||
+                       spec.trace_path.empty(),
+                   "closed-loop arrivals cannot replay a trace");
   std::vector<TraceEvent> trace;
   if (!spec.trace_path.empty()) {
     trace = load_arrival_trace(spec.trace_path);
@@ -780,9 +970,14 @@ ServingConfig make_serving_config(const core::SystemConfig& base,
     tenant.requests =
         spec.requests / n + (i < spec.requests % n ? 1 : 0);
     tenant.seed = spec.seed + i;
+    tenant.source = spec.source;
+    tenant.users = spec.users;
+    tenant.think_s = spec.think_s;
     tenant.batching.policy = spec.policy;
     tenant.batching.max_batch = spec.max_batch;
     tenant.batching.max_wait_s = spec.max_wait_s;
+    tenant.admission = spec.admission;
+    tenant.priority = priorities[i];
     tenant.sla_s = spec.sla_s;
     if (!spec.trace_path.empty()) {
       tenant.replay_trace = true;

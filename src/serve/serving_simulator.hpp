@@ -10,8 +10,16 @@
 /// transparently.
 ///
 /// Mechanics per tenant:
-///   * arrivals (seeded Poisson or a replayed CSV trace) feed a
-///     serve::BatchQueue running one of three policies;
+///   * arrivals — seeded Poisson, a replayed CSV trace, or a closed-loop
+///     client pool (ArrivalSource::kClosedLoop: N users that think for an
+///     exponential time and reissue only after their response returns) —
+///     feed a serve::BatchQueue running one of three policies;
+///   * AdmissionPolicy::kSlaShed rejects an arrival at enqueue time when
+///     a ServiceTimeOracle-based backlog estimate predicts its completion
+///     past the tenant's SLA deadline (shed requests are counted, never
+///     executed, and — closed loop — return to their user immediately);
+///   * contended shared resources grant priority-class first (lower class
+///     wins, FIFO within a class);
 ///   * the tenant's executor is its chiplet partition
 ///     (serve::partition_pool): one batch in flight at a time, service
 ///     time = the oracle's batched full-system run (weights amortized,
@@ -59,16 +67,31 @@ struct TenantSetup {
   /// Poisson arrival rate [requests/s]; used when `trace_arrivals` is
   /// empty.
   double arrival_rps = 100.0;
-  /// Arrivals to generate for the Poisson process.
+  /// Arrivals to generate for the Poisson process — or, closed-loop, the
+  /// total request issue budget across the tenant's users.
   std::uint64_t requests = 1000;
-  /// Seed of this tenant's arrival process.
+  /// Seed of this tenant's arrival process (closed-loop: its think-time
+  /// draws).
   std::uint64_t seed = 42;
   /// Replay mode: `trace_arrivals` is the tenant's entire arrival stream
   /// (authoritative even when empty — a tenant absent from the trace
   /// serves nothing; it never falls back to the Poisson process).
   bool replay_trace = false;
   std::vector<double> trace_arrivals;
+  /// Open-loop (Poisson/trace) or closed-loop (client pool). kClosedLoop
+  /// is incompatible with `replay_trace` and ignores `arrival_rps`.
+  ArrivalSource source = ArrivalSource::kOpenLoop;
+  /// kClosedLoop: concurrent users; each issues, waits for its response
+  /// (or shed notice), thinks, and reissues until `requests` is spent.
+  unsigned users = 16;
+  /// kClosedLoop: mean exponential think time [s].
+  double think_s = 10.0e-3;
   BatchingConfig batching;
+  /// Admit-all or SLA-aware shedding at enqueue time.
+  AdmissionPolicy admission = AdmissionPolicy::kAdmitAll;
+  /// Priority class (lower = more important): orders grants of the
+  /// shared-serial pool and of layer-mode shared-group handoffs.
+  unsigned priority = 0;
   /// Latency SLA [s]; <= 0 derives 10x the tenant's batch-1 service time.
   double sla_s = 0.0;
   /// Share weight for splitting contended chiplet groups.

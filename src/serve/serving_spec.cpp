@@ -1,5 +1,7 @@
 #include "serve/serving_spec.hpp"
 
+#include <stdexcept>
+
 #include "util/strings.hpp"
 
 namespace optiplet::serve {
@@ -27,12 +29,65 @@ std::optional<PipelineMode> pipeline_mode_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<ArrivalSource> arrival_source_from_string(
+    std::string_view name) {
+  if (name == "open" || name == "poisson") {
+    return ArrivalSource::kOpenLoop;
+  }
+  if (name == "closed" || name == "closed-loop") {
+    return ArrivalSource::kClosedLoop;
+  }
+  return std::nullopt;
+}
+
+std::optional<AdmissionPolicy> admission_policy_from_string(
+    std::string_view name) {
+  if (name == "all" || name == "none" || name == "admit-all") {
+    return AdmissionPolicy::kAdmitAll;
+  }
+  if (name == "shed" || name == "sla-shed") {
+    return AdmissionPolicy::kSlaShed;
+  }
+  return std::nullopt;
+}
+
 std::vector<std::string> split_mix(std::string_view mix) {
   return util::split(mix, '+');
 }
 
 std::vector<std::string> ServingSpec::tenants() const {
   return split_mix(tenant_mix);
+}
+
+std::vector<unsigned> ServingSpec::priorities() const {
+  const std::size_t n = tenants().size();
+  if (priority_mix.empty()) {
+    return std::vector<unsigned>(n, 0u);
+  }
+  const std::vector<std::string> parts = util::split(priority_mix, '+');
+  if (parts.size() != n) {
+    throw std::invalid_argument(
+        "priority_mix \"" + priority_mix + "\" names " +
+        std::to_string(parts.size()) + " classes for " + std::to_string(n) +
+        " tenants");
+  }
+  std::vector<unsigned> classes;
+  classes.reserve(n);
+  for (const auto& part : parts) {
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(part, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != part.size() || part.empty() || value > 0xffffffffUL) {
+      throw std::invalid_argument("bad priority class in priority_mix: \"" +
+                                  part + "\"");
+    }
+    classes.push_back(static_cast<unsigned>(value));
+  }
+  return classes;
 }
 
 }  // namespace optiplet::serve

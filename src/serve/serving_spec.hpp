@@ -72,6 +72,60 @@ enum class PipelineMode {
 [[nodiscard]] std::optional<PipelineMode> pipeline_mode_from_string(
     std::string_view name);
 
+/// How a tenant's request stream is generated.
+enum class ArrivalSource {
+  /// Open loop: a seeded Poisson process (or a replayed trace) issues
+  /// requests regardless of how the system is doing — load never
+  /// self-throttles, so queues grow without bound past saturation.
+  kOpenLoop,
+  /// Closed loop: a pool of `users` concurrent clients per tenant. Each
+  /// user thinks for an exponential time (mean `think_s`), issues one
+  /// request, and only thinks again after its response (or shed notice)
+  /// returns — interactive traffic whose offered load flattens at
+  /// saturation instead of blowing the queue up.
+  kClosedLoop,
+};
+
+[[nodiscard]] constexpr const char* to_string(ArrivalSource s) {
+  switch (s) {
+    case ArrivalSource::kOpenLoop:
+      return "open";
+    case ArrivalSource::kClosedLoop:
+      return "closed";
+  }
+  return "?";
+}
+
+/// Accepts "open"/"poisson" and "closed"/"closed-loop".
+[[nodiscard]] std::optional<ArrivalSource> arrival_source_from_string(
+    std::string_view name);
+
+/// What happens to a request at enqueue time.
+enum class AdmissionPolicy {
+  /// Every arrival joins the queue — the validated baseline; SLA
+  /// violations are reported but never acted on.
+  kAdmitAll,
+  /// SLA-aware shedding: an arrival whose completion the service-time
+  /// oracle predicts past the tenant's SLA deadline is rejected
+  /// immediately (counted as shed, never executed), keeping the admitted
+  /// tail bounded the way a real operator's load shedder would.
+  kSlaShed,
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kAdmitAll:
+      return "all";
+    case AdmissionPolicy::kSlaShed:
+      return "shed";
+  }
+  return "?";
+}
+
+/// Accepts "all"/"none"/"admit-all" and "shed"/"sla-shed".
+[[nodiscard]] std::optional<AdmissionPolicy> admission_policy_from_string(
+    std::string_view name);
+
 /// One fully-resolved serving experiment point.
 struct ServingSpec {
   /// Aggregate offered load across all tenants [requests/s]; split evenly
@@ -100,9 +154,30 @@ struct ServingSpec {
   /// Optional CSV arrival trace replayed instead of the Poisson processes
   /// (columns: arrival_s[,tenant]); see serve::load_arrival_trace.
   std::string trace_path;
+  /// Open-loop (Poisson/trace) or closed-loop (client pool) arrivals.
+  /// kClosedLoop is incompatible with `trace_path` and ignores
+  /// `arrival_rps`; `requests` stays the total issue budget.
+  ArrivalSource source = ArrivalSource::kOpenLoop;
+  /// kClosedLoop: concurrent users per tenant.
+  unsigned users = 16;
+  /// kClosedLoop: mean exponential think time between a user's response
+  /// and its next request [s].
+  double think_s = 10.0e-3;
+  /// Admit-all baseline or SLA-aware shedding at enqueue time.
+  AdmissionPolicy admission = AdmissionPolicy::kAdmitAll;
+  /// '+'-joined per-tenant priority classes aligned with `tenant_mix`
+  /// ("0+1"); lower is more important. Empty = every tenant class 0.
+  /// Priority orders grants of contended shared resources (the
+  /// shared-serial chiplet pool and layer-mode group handoffs).
+  std::string priority_mix;
 
   /// Tenant model names of `tenant_mix`, in order ("A+B" -> {"A", "B"}).
   [[nodiscard]] std::vector<std::string> tenants() const;
+
+  /// Per-tenant priority classes resolved against `tenant_mix`: the parsed
+  /// `priority_mix`, or all zeros when it is empty. Throws
+  /// std::invalid_argument on a length mismatch or an unparseable class.
+  [[nodiscard]] std::vector<unsigned> priorities() const;
 };
 
 /// Split a '+'-joined mix string into its tenant model names.

@@ -8,6 +8,7 @@
 /// allocation-free, and much faster than std::mt19937_64.
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace optiplet::util {
@@ -74,6 +75,12 @@ class Xoshiro256 {
 
   /// Bernoulli draw with probability p (clamped to [0,1]).
   constexpr bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponential draw with the given mean (inverse CDF; next_double() < 1
+  /// keeps the log finite). mean <= 0 returns 0.
+  double next_exponential(double mean) {
+    return mean > 0.0 ? -std::log(1.0 - next_double()) * mean : 0.0;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

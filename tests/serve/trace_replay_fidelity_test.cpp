@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "serve/serving_simulator.hpp"
+#include "serve/tracegen.hpp"
+
+namespace optiplet::serve {
+namespace {
+
+/// The tracegen -> CSV -> replayer round trip at one fidelity: the
+/// simulation fed from the written file must be bit-identical to the
+/// simulation fed the in-memory events.
+void expect_roundtrip_bit_identical(core::Fidelity fidelity) {
+  TraceGenSpec gen;
+  gen.profile = TraceProfile::kDiurnal;
+  gen.base_rps = 4000.0;
+  gen.duration_s = 0.01;  // ~40 arrivals: one cycle-accurate oracle run
+  gen.tenants = {"LeNet5"};
+  const auto events = generate_trace(gen);
+  ASSERT_GT(events.size(), 10u);
+  const std::string path = ::testing::TempDir() +
+                           "trace_fidelity_" +
+                           std::string(core::to_string(fidelity)) + ".csv";
+  ASSERT_TRUE(write_arrival_trace(path, events));
+
+  core::SystemConfig base = core::default_system_config();
+  base.fidelity = fidelity;
+  ServingSpec spec;
+  spec.tenant_mix = "LeNet5";
+  spec.policy = BatchPolicy::kNone;
+  spec.trace_path = path;
+  const auto from_file = simulate(
+      make_serving_config(base, accel::Architecture::kSiph2p5D, spec));
+
+  ServingSpec direct = spec;
+  direct.trace_path.clear();
+  auto config =
+      make_serving_config(base, accel::Architecture::kSiph2p5D, direct);
+  config.tenants[0].replay_trace = true;
+  config.tenants[0].trace_arrivals = trace_arrivals_for(events, "LeNet5");
+  const auto from_memory = simulate(config);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(from_file.metrics.offered, events.size());
+  EXPECT_EQ(from_file.metrics.completed, from_memory.metrics.completed);
+  EXPECT_EQ(from_file.metrics.makespan_s, from_memory.metrics.makespan_s);
+  EXPECT_EQ(from_file.metrics.p50_s, from_memory.metrics.p50_s);
+  EXPECT_EQ(from_file.metrics.p99_s, from_memory.metrics.p99_s);
+  EXPECT_EQ(from_file.metrics.energy_j, from_memory.metrics.energy_j);
+  EXPECT_GT(from_file.metrics.p99_s, 0.0);
+}
+
+TEST(TraceReplayFidelity, AnalyticalRoundTrip) {
+  expect_roundtrip_bit_identical(core::Fidelity::kAnalytical);
+}
+
+TEST(TraceReplayFidelity, CycleAccurateRoundTrip) {
+  expect_roundtrip_bit_identical(core::Fidelity::kCycleAccurate);
+}
+
+}  // namespace
+}  // namespace optiplet::serve

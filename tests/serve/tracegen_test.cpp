@@ -1,0 +1,220 @@
+#include "serve/tracegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "serve/serving_simulator.hpp"
+
+namespace optiplet::serve {
+namespace {
+
+/// Index of dispersion (variance/mean) of per-bin arrival counts: ~1 for
+/// a homogeneous Poisson process, > 1 for bursty traffic.
+double dispersion(const std::vector<TraceEvent>& events, double duration_s,
+                  std::size_t bins) {
+  std::vector<double> counts(bins, 0.0);
+  for (const auto& e : events) {
+    const auto bin = std::min(
+        bins - 1, static_cast<std::size_t>(e.arrival_s / duration_s *
+                                           static_cast<double>(bins)));
+    counts[bin] += 1.0;
+  }
+  double mean = 0.0;
+  for (const double c : counts) {
+    mean += c;
+  }
+  mean /= static_cast<double>(bins);
+  double variance = 0.0;
+  for (const double c : counts) {
+    variance += (c - mean) * (c - mean);
+  }
+  variance /= static_cast<double>(bins);
+  return mean > 0.0 ? variance / mean : 0.0;
+}
+
+TEST(TraceGen, DeterministicSortedAndInRange) {
+  TraceGenSpec spec;
+  spec.profile = TraceProfile::kDiurnal;
+  spec.base_rps = 20000.0;
+  spec.duration_s = 0.1;
+  spec.seed = 7;
+  spec.tenants = {"LeNet5", "VGG16"};
+  const auto a = generate_trace(spec);
+  const auto b = generate_trace(spec);
+  ASSERT_GT(a.size(), 500u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);  // bit-for-bit
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_GE(a[i].arrival_s, 0.0);
+    EXPECT_LT(a[i].arrival_s, spec.duration_s);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+    EXPECT_TRUE(a[i].tenant == "LeNet5" || a[i].tenant == "VGG16");
+  }
+  // Both labels actually used (uniform assignment over ~500+ draws).
+  const auto lenet = trace_arrivals_for(a, "LeNet5");
+  EXPECT_GT(lenet.size(), a.size() / 4);
+  EXPECT_LT(lenet.size(), 3 * a.size() / 4);
+  // A different seed moves the draws.
+  spec.seed = 8;
+  const auto c = generate_trace(spec);
+  EXPECT_NE(a.front().arrival_s, c.front().arrival_s);
+}
+
+TEST(TraceGen, DiurnalModulatesTheRate) {
+  // One full sinusoid over the trace: the first half (sin >= 0) must
+  // carry clearly more arrivals than the second (sin <= 0).
+  TraceGenSpec spec;
+  spec.profile = TraceProfile::kDiurnal;
+  spec.base_rps = 40000.0;
+  spec.duration_s = 0.1;
+  spec.amplitude = 0.9;
+  const auto events = generate_trace(spec);
+  ASSERT_GT(events.size(), 1000u);
+  std::size_t first_half = 0;
+  for (const auto& e : events) {
+    first_half += e.arrival_s < spec.duration_s / 2.0 ? 1 : 0;
+  }
+  const std::size_t second_half = events.size() - first_half;
+  EXPECT_GT(first_half, 2 * second_half);
+  // Mean rate stays near base (the sinusoid integrates to zero).
+  const double mean_rps =
+      static_cast<double>(events.size()) / spec.duration_s;
+  EXPECT_NEAR(mean_rps, spec.base_rps, 0.15 * spec.base_rps);
+}
+
+TEST(TraceGen, BurstsAndMmppAreOverdispersed) {
+  TraceGenSpec poissonish;
+  poissonish.profile = TraceProfile::kDiurnal;
+  poissonish.amplitude = 0.0;  // degenerate diurnal = plain Poisson
+  poissonish.base_rps = 20000.0;
+  poissonish.duration_s = 0.2;
+  const auto flat = generate_trace(poissonish);
+  EXPECT_LT(dispersion(flat, poissonish.duration_s, 40), 2.0);
+
+  TraceGenSpec bursty = poissonish;
+  bursty.profile = TraceProfile::kBursts;
+  bursty.burst_multiplier = 10.0;
+  const auto bursts = generate_trace(bursty);
+  EXPECT_GT(bursts.size(), flat.size());  // episodes add load
+  EXPECT_GT(dispersion(bursts, bursty.duration_s, 40), 2.0);
+
+  TraceGenSpec mmpp = poissonish;
+  mmpp.profile = TraceProfile::kMmpp;
+  mmpp.on_rps = 40000.0;
+  mmpp.off_rps = 0.0;  // silent off periods
+  const auto onoff = generate_trace(mmpp);
+  ASSERT_GT(onoff.size(), 100u);
+  EXPECT_GT(dispersion(onoff, mmpp.duration_s, 40), 2.0);
+}
+
+TEST(TraceGen, ValidatesKnobs) {
+  TraceGenSpec spec;
+  spec.base_rps = 0.0;
+  EXPECT_THROW((void)generate_trace(spec), std::invalid_argument);
+  spec = TraceGenSpec{};
+  spec.duration_s = -1.0;
+  EXPECT_THROW((void)generate_trace(spec), std::invalid_argument);
+  spec = TraceGenSpec{};
+  spec.amplitude = 1.5;
+  EXPECT_THROW((void)generate_trace(spec), std::invalid_argument);
+  spec = TraceGenSpec{};
+  spec.profile = TraceProfile::kBursts;
+  spec.burst_multiplier = 0.5;
+  EXPECT_THROW((void)generate_trace(spec), std::invalid_argument);
+  spec = TraceGenSpec{};
+  spec.profile = TraceProfile::kMmpp;
+  spec.on_rps = -1.0;  // derives 2x base: fine
+  EXPECT_NO_THROW((void)generate_trace(spec));
+  // Exactly 0 is honored for either state, but not for both at once.
+  spec.on_rps = 0.0;
+  spec.off_rps = 30000.0;
+  EXPECT_GT(generate_trace(spec).size(), 0u);
+  spec.off_rps = 0.0;
+  EXPECT_THROW((void)generate_trace(spec), std::invalid_argument);
+}
+
+TEST(TraceGen, FileRoundTripIsBitExact) {
+  TraceGenSpec spec;
+  spec.profile = TraceProfile::kMmpp;
+  spec.base_rps = 10000.0;
+  spec.duration_s = 0.05;
+  spec.tenants = {"LeNet5", "VGG16"};
+  const auto events = generate_trace(spec);
+  ASSERT_FALSE(events.empty());
+
+  const std::string path = ::testing::TempDir() + "tracegen_roundtrip.csv";
+  ASSERT_TRUE(write_arrival_trace(path, events));
+  const auto loaded = load_arrival_trace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].arrival_s, events[i].arrival_s);  // bit-for-bit
+    EXPECT_EQ(loaded[i].tenant, events[i].tenant);
+  }
+}
+
+TEST(TraceGen, UnlabeledTracesOmitTheTenantColumn) {
+  TraceGenSpec spec;
+  spec.base_rps = 5000.0;
+  spec.duration_s = 0.02;
+  const auto events = generate_trace(spec);
+  const std::string path = ::testing::TempDir() + "tracegen_unlabeled.csv";
+  ASSERT_TRUE(write_arrival_trace(path, events));
+  const auto loaded = load_arrival_trace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), events.size());
+  for (const auto& e : loaded) {
+    EXPECT_TRUE(e.tenant.empty());  // feeds every tenant on replay
+  }
+}
+
+TEST(TraceGen, GeneratedTracesReplayBitIdentically) {
+  // The interchange contract: simulating from the written file must be
+  // bit-identical to simulating from the in-memory events — the CSV adds
+  // or loses nothing.
+  TraceGenSpec gen;
+  gen.profile = TraceProfile::kBursts;
+  gen.base_rps = 20000.0;
+  gen.duration_s = 0.02;
+  gen.tenants = {"LeNet5", "VGG16"};
+  const auto events = generate_trace(gen);
+  ASSERT_GT(events.size(), 100u);
+  const std::string path = ::testing::TempDir() + "tracegen_replay.csv";
+  ASSERT_TRUE(write_arrival_trace(path, events));
+
+  const core::SystemConfig base = core::default_system_config();
+  ServingSpec spec;
+  spec.tenant_mix = "LeNet5+VGG16";
+  spec.policy = BatchPolicy::kDeadline;
+  spec.trace_path = path;
+  const auto from_file = simulate(
+      make_serving_config(base, accel::Architecture::kSiph2p5D, spec));
+
+  ServingSpec direct = spec;
+  direct.trace_path.clear();
+  auto config =
+      make_serving_config(base, accel::Architecture::kSiph2p5D, direct);
+  for (auto& tenant : config.tenants) {
+    tenant.replay_trace = true;
+    tenant.trace_arrivals = trace_arrivals_for(events, tenant.name);
+  }
+  const auto from_memory = simulate(config);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(from_file.metrics.offered, events.size());
+  EXPECT_EQ(from_file.metrics.offered, from_memory.metrics.offered);
+  EXPECT_EQ(from_file.metrics.completed, from_memory.metrics.completed);
+  EXPECT_EQ(from_file.metrics.makespan_s, from_memory.metrics.makespan_s);
+  EXPECT_EQ(from_file.metrics.p99_s, from_memory.metrics.p99_s);
+  EXPECT_EQ(from_file.metrics.energy_j, from_memory.metrics.energy_j);
+}
+
+}  // namespace
+}  // namespace optiplet::serve

@@ -6,10 +6,20 @@ violations instead of only uploading artifacts:
 
 serving_load_sweep.csv
   * schema/finiteness, utilization in [0, 1], SLA-violation rate in [0, 1]
-  * p99 latency is non-decreasing with offered load for the no-batching
-    policy within each (resipi_mode, pipeline, tenant_mix) series (an
-    M/G/1-style queue cannot get faster under more load; batching policies
-    are exempt because a fuller batch *can* shorten the fill wait)
+  * shed fraction in [0, 1]; goodput never exceeds throughput
+  * p99 latency is non-decreasing with offered load for the open-loop,
+    admit-all, no-batching series within each (resipi_mode, pipeline,
+    tenant_mix) group (an M/G/1-style queue cannot get faster under more
+    load; batching policies are exempt because a fuller batch *can*
+    shorten the fill wait, shedding is exempt because it bounds the tail
+    by design, and closed-loop rows are exempt because the client pool
+    self-throttles)
+  * closed-loop rows: measured throughput cannot exceed the client pool's
+    upper bound users/think_s (users = total concurrent users across the
+    mix) beyond sampling slack — the bound holds in expectation, so a
+    finite run may overshoot by ~1/sqrt(requests-per-user) — and only
+    shed requests may be lost (completed + shed == offered is checked
+    in-simulator; here: goodput <= throughput <= bound * slack)
   * at equal load, layer-granular (pipelined) execution must achieve at
     least the batch-granular pool utilization, and no worse a p99
 
@@ -32,6 +42,13 @@ import sys
 TREND_TOLERANCE = 0.98
 # Pipelined may not lose to blocked by more than float noise.
 PAIR_TOLERANCE = 1.0 - 1e-6
+# The closed-loop bound users/think_s holds in expectation, not per
+# sample path: a finite run's realized think-time sum wobbles by
+# ~1/sqrt(requests-per-user), so measured throughput can legitimately
+# sit a few percent above the bound. 10% slack separates sampling noise
+# from a real self-throttling regression (which overshoots by the
+# user-pool factor, not percents).
+CLOSED_BOUND_SLACK = 1.10
 
 failures = []
 
@@ -80,7 +97,12 @@ def check_trend(path, series, key, what):
 def check_serving(path):
     numeric_cols = [
         "offered_rps",
+        "users",
+        "think_s",
         "throughput_rps",
+        "goodput_rps",
+        "shed",
+        "shed_fraction",
         "mean_s",
         "p50_s",
         "p95_s",
@@ -90,20 +112,17 @@ def check_serving(path):
         "utilization",
         "energy_per_request_j",
     ]
-    rows = read_rows(
-        path,
-        ["resipi_mode", "policy", "pipeline", "tenant_mix"] + numeric_cols,
-    )
+    string_cols = ["resipi_mode", "policy", "pipeline", "tenant_mix",
+                   "source", "admission"]
+    rows = read_rows(path, string_cols + numeric_cols)
     parsed = []
     for row in rows:
         values = {c: numeric(path, row, c) for c in numeric_cols}
         if any(v is None for v in values.values()):
             return
         values["_load"] = values["offered_rps"]
-        values["resipi_mode"] = row["resipi_mode"]
-        values["policy"] = row["policy"]
-        values["pipeline"] = row["pipeline"]
-        values["tenant_mix"] = row["tenant_mix"]
+        for col in string_cols:
+            values[col] = row[col]
         parsed.append(values)
         if not 0.0 <= values["utilization"] <= 1.0 + 1e-6:
             fail(path, f"utilization out of [0, 1]: {values['utilization']:g}")
@@ -113,16 +132,49 @@ def check_serving(path):
                 f"SLA violation rate out of [0, 1]: "
                 f"{values['sla_violation_rate']:g}",
             )
+        if not 0.0 <= values["shed_fraction"] <= 1.0:
+            fail(
+                path,
+                f"shed fraction out of [0, 1]: {values['shed_fraction']:g}",
+            )
+        if values["goodput_rps"] > values["throughput_rps"] / PAIR_TOLERANCE:
+            fail(
+                path,
+                f"goodput {values['goodput_rps']:g} exceeds throughput "
+                f"{values['throughput_rps']:g}",
+            )
+        if values["source"] == "closed":
+            if values["think_s"] <= 0 or values["users"] < 1:
+                fail(
+                    path,
+                    f"closed-loop row without users/think_s: "
+                    f"users={values['users']:g} think={values['think_s']:g}",
+                )
+            else:
+                bound = values["users"] / values["think_s"]
+                if values["throughput_rps"] > bound * CLOSED_BOUND_SLACK:
+                    fail(
+                        path,
+                        f"closed-loop throughput {values['throughput_rps']:g}"
+                        f" exceeds the client-pool bound {bound:g} "
+                        f"(users/think_s)",
+                    )
 
-    # p99 monotone in offered load for the queueing-only policy.
+    # p99 monotone in offered load for the open-loop queueing-only,
+    # admit-all series (closed loops self-throttle and shedding bounds
+    # the tail, so neither is required to be monotone).
     series = {}
     for row in parsed:
-        if row["policy"] != "none":
+        if (
+            row["policy"] != "none"
+            or row["source"] != "open"
+            or row["admission"] != "all"
+        ):
             continue
         key = (row["resipi_mode"], row["pipeline"], row["tenant_mix"])
         series.setdefault(key, []).append(row)
     if not series:
-        fail(path, "no policy=none rows to check p99 monotonicity on")
+        fail(path, "no open/admit-all policy=none rows to check p99 on")
     for key, group in sorted(series.items()):
         check_trend(path, group, "p99_s", f"series {'/'.join(key)}")
 
@@ -134,6 +186,8 @@ def check_serving(path):
             row["resipi_mode"],
             row["policy"],
             row["tenant_mix"],
+            row["source"],
+            row["admission"],
             row["offered_rps"],
         )
         {"batch": blocked, "layer": pipelined}.setdefault(

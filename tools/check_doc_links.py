@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Scans every markdown file passed on the command line for inline links and
+images (`[text](target)`), skips absolute URLs (any scheme) and pure
+in-page anchors (`#...`), strips anchor suffixes from the rest, resolves
+each target relative to its file's directory, and fails when the target
+does not exist. CI's docs job gates on it; a ctest (`doc_links`) runs the
+same check locally.
+
+Usage: check_doc_links.py FILE [FILE ...]
+Exits non-zero on any broken link (or an unreadable input file).
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links/images: [text](target "optional title").
+# Nested brackets in the text (e.g. badges: [![alt](img)](url)) are
+# handled by scanning for the '](' seam rather than matching the text.
+LINK_TARGET = re.compile(r"\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def check_file(path):
+    """Return a list of 'file: broken target' failure strings."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: cannot read ({error.strerror})"]
+    failures = []
+    base = os.path.dirname(os.path.abspath(path))
+    in_code_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_TARGET.finditer(line):
+            target = match.group(1)
+            if SCHEME.match(target) or target.startswith("#"):
+                continue  # external URL or in-page anchor
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not os.path.exists(os.path.join(base, relative)):
+                failures.append(
+                    f"{path}:{line_number}: broken relative link: {target}"
+                )
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        failures.extend(check_file(path))
+    if failures:
+        print(f"check_doc_links: {len(failures)} broken link(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"check_doc_links: {len(argv) - 1} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

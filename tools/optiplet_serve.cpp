@@ -11,6 +11,9 @@
 ///   optiplet_serve --tenants LeNet5 --rates 1000 --fidelity cycle
 ///   optiplet_serve --tenants ResNet50,DenseNet121 --rates 300 \
 ///       --pipelines batch,layer
+///   optiplet_serve --tenants LeNet5 --users 8,32,128 --think 5e-3
+///   optiplet_serve --tenants ResNet50,DenseNet121 --priorities 0,1 \
+///       --admission all,shed --rates 600
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
 
 #include <algorithm>
@@ -37,21 +40,36 @@ using cli::split;
 constexpr const char* kUsage =
     R"(optiplet_serve — request-level inference serving simulator
 
-Serves an open-loop request stream against the 2.5D platform: seeded
-Poisson (or replayed-trace) arrivals per tenant, an admission/batching
-policy, chiplet-pool partitioning between co-located tenants, and the
+Serves a request stream against the 2.5D platform: open-loop (seeded
+Poisson or replayed-trace) or closed-loop (client-pool) arrivals per
+tenant, an admission/batching policy with optional SLA-aware shedding,
+chiplet-pool partitioning between co-located tenants, and the
 full-system simulator as the (memoized) batch service-time oracle.
-Reports throughput, p50/p95/p99 latency, SLA violations, utilization,
-and energy per request.
+Reports throughput, goodput, p50/p95/p99 latency, SLA violations, shed
+counts, utilization, and energy per request.
 
   --tenants NAMES      comma list of co-located Table-2 models
                        (default LeNet5; see --list-models)
   --rates LIST         comma list of aggregate offered loads [requests/s]
-                       (default 200; split evenly over the tenants)
+                       (default 200; split evenly over the tenants;
+                       open-loop only)
   --policies LIST      comma list of none|size|deadline (default none)
   --pipelines LIST     comma list of batch|layer execution granularities
                        (default batch; layer = SET-style inter-layer
                        pipelining with scarce-group handoff)
+  --sources LIST       comma list of open|closed arrival sources
+                       (default open; closed = N users per tenant issuing
+                       one request each, thinking between responses)
+  --users LIST         comma list of closed-loop users per tenant
+                       (default 16; implies --sources closed when
+                       --sources is not given)
+  --think S            closed-loop mean exponential think time [s]
+                       (default 1e-2)
+  --admission LIST     comma list of all|shed (default all; shed rejects
+                       arrivals whose predicted completion misses the SLA)
+  --priorities LIST    comma list of per-tenant priority classes aligned
+                       with --tenants (lower = more important; default
+                       all 0); orders contended shared-resource grants
   --max-batch K        batch bound for size/deadline policies (default 8)
   --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
   --requests N         total arrivals across tenants (default 2000)
@@ -59,7 +77,7 @@ and energy per request.
   --sla S              latency SLA [s]; 0 derives 10x the batch-1 service
                        time per tenant (default 0)
   --trace FILE         replay a CSV arrival trace (arrival_s[,tenant])
-                       instead of Poisson arrivals
+                       instead of Poisson arrivals (see optiplet_tracegen)
   --arch NAME          mono|elec|siph (default siph)
   --fidelity LIST      comma list of analytical|cycle (default analytical)
   --threads N          worker threads (default 0 = hardware concurrency)
@@ -116,7 +134,9 @@ int main(int argc, char** argv) {
     }
     const bool known_value_flag =
         arg == "--tenants" || arg == "--rates" || arg == "--policies" ||
-        arg == "--pipelines" || arg == "--max-batch" || arg == "--max-wait" ||
+        arg == "--pipelines" || arg == "--sources" || arg == "--users" ||
+        arg == "--think" || arg == "--admission" || arg == "--priorities" ||
+        arg == "--max-batch" || arg == "--max-wait" ||
         arg == "--requests" || arg == "--seed" || arg == "--sla" ||
         arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
         arg == "--threads" || arg == "--out";
@@ -162,6 +182,40 @@ int main(int argc, char** argv) {
         }
         grid.pipeline_modes.push_back(*mode);
       }
+    } else if (arg == "--sources") {
+      for (const auto& name : split(*value, ',')) {
+        const auto source = serve::arrival_source_from_string(name);
+        if (!source) {
+          return fail("unknown arrival source: " + name +
+                      " (valid: open, closed)");
+        }
+        grid.arrival_sources.push_back(*source);
+      }
+    } else if (arg == "--users") {
+      for (const auto& text : split(*value, ',')) {
+        const auto users = parse_count(text);
+        if (!users || *users == 0) {
+          return fail("bad user count: " + text);
+        }
+        grid.user_counts.push_back(static_cast<unsigned>(*users));
+      }
+    } else if (arg == "--think") {
+      const auto think = parse_double(*value);
+      if (!think || *think < 0.0) {
+        return fail("bad think time: " + *value);
+      }
+      grid.serving_defaults.think_s = *think;
+    } else if (arg == "--admission") {
+      for (const auto& name : split(*value, ',')) {
+        const auto admission = serve::admission_policy_from_string(name);
+        if (!admission) {
+          return fail("unknown admission policy: " + name +
+                      " (valid: all, shed)");
+        }
+        grid.admission_policies.push_back(*admission);
+      }
+    } else if (arg == "--priorities") {
+      grid.serving_defaults.priority_mix = join(split(*value, ','), "+");
     } else if (arg == "--max-batch") {
       const auto k = parse_count(*value);
       if (!k || *k == 0) {
@@ -232,6 +286,13 @@ int main(int argc, char** argv) {
   if (grid.pipeline_modes.empty()) {
     grid.pipeline_modes = {grid.serving_defaults.pipeline};
   }
+  if (grid.arrival_sources.empty()) {
+    // A --users axis without --sources means closed loop: that is the
+    // only source the axis is meaningful for.
+    grid.arrival_sources = {grid.user_counts.empty()
+                                ? grid.serving_defaults.source
+                                : serve::ArrivalSource::kClosedLoop};
+  }
 
   engine::SweepOptions options;
   options.threads = threads;
@@ -256,17 +317,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  util::TextTable table({"Rate (r/s)", "Policy", "Pipe", "Fid",
-                         "Thpt (r/s)", "p50 (us)", "p95 (us)", "p99 (us)",
-                         "SLA viol", "Util", "E/req (mJ)"});
+  util::TextTable table({"Load", "Policy", "Pipe", "Adm", "Fid",
+                         "Thpt (r/s)", "Gput (r/s)", "Shed", "p50 (us)",
+                         "p99 (us)", "SLA viol", "Util", "E/req (mJ)"});
   for (const auto& r : store.results()) {
     const auto& m = *r.serving;
-    table.add_row({util::format_fixed(r.spec.serving->arrival_rps, 0),
-                   serve::to_string(r.spec.serving->policy),
-                   serve::to_string(r.spec.serving->pipeline),
+    const auto& s = *r.spec.serving;
+    // The load knob differs by source: offered rate (open loop) versus
+    // the user-pool size (closed loop).
+    const std::string load =
+        s.source == serve::ArrivalSource::kClosedLoop
+            ? std::to_string(s.users) + "u"
+            : util::format_fixed(s.arrival_rps, 0);
+    table.add_row({load, serve::to_string(s.policy),
+                   serve::to_string(s.pipeline),
+                   serve::to_string(s.admission),
                    core::to_string(r.spec.fidelity),
                    util::format_fixed(m.throughput_rps, 0),
-                   format_us(m.p50_s), format_us(m.p95_s),
+                   util::format_fixed(m.goodput_rps, 0),
+                   std::to_string(m.shed), format_us(m.p50_s),
                    format_us(m.p99_s),
                    util::format_fixed(m.sla_violation_rate, 3),
                    util::format_fixed(m.utilization, 3),
