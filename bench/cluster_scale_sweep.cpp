@@ -1,0 +1,181 @@
+/// \file cluster_scale_sweep.cpp
+/// Rack-scale characterization: aggregate throughput versus package count
+/// and front-end balancer policy under a diurnal arrival trace.
+///
+/// The sweep replays one generated diurnal trace (sinusoidal-rate Poisson,
+/// peak ~3x the single-package capacity knee) against racks of 1, 2, and 4
+/// interposer packages for each balancer policy, at two replication
+/// settings:
+///   * **replication tracking the rack** (factor 4, clamped to the package
+///     count) — every package hosts a replica, the balancer can always
+///     serve locally, and aggregate throughput scales with the rack;
+///   * **a single replica** (factor 1) — the tenant lives on one package,
+///     so extra packages only add ingress ports: off-ingress arrivals pay
+///     the photonic chip-to-chip transfer cost and throughput stays flat.
+///
+/// Dumps cluster_scale_sweep.csv next to the binary for plotting; CI's
+/// tools/check_bench_csv.py trips on scaling or utilization violations.
+
+#include <cstdio>
+#include <string>
+
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "serve/service_time.hpp"
+#include "serve/serving_simulator.hpp"
+#include "serve/tracegen.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+constexpr const char* kModel = "LeNet5";
+constexpr const char* kTracePath = "cluster_diurnal_trace.csv";
+constexpr std::size_t kTraceRequests = 600;
+/// Peak offered load as a multiple of one package's no-batch capacity:
+/// deep enough past the knee that a lone package saturates while a
+/// replicated 4-package rack still has headroom.
+constexpr double kPeakUtilization = 3.0;
+
+constexpr std::size_t kPackageCounts[] = {1, 2, 4};
+constexpr cluster::BalancerPolicy kBalancers[] = {
+    cluster::BalancerPolicy::kRoundRobin,
+    cluster::BalancerPolicy::kLeastLoaded,
+    cluster::BalancerPolicy::kLocalityAware};
+
+/// Single-tenant no-batch capacity on the exact oracle the simulator
+/// serves with (the same anchor serving_load_sweep uses).
+double anchored_capacity_rps(const core::SystemConfig& base) {
+  serve::ColocatedSetup setup = serve::make_colocated_setup(
+      base, accel::Architecture::kSiph2p5D, serve::split_mix(kModel));
+  serve::ServiceTimeOracle oracle(std::move(setup.oracle_tenants),
+                                  accel::Architecture::kSiph2p5D);
+  return 1.0 / oracle.batch_run(0, 1).latency_s;
+}
+
+}  // namespace
+
+int main() {
+  const core::SystemConfig base = core::default_system_config();
+  const double capacity_rps = anchored_capacity_rps(base);
+
+  // One shared diurnal trace: mean rate at the peak utilization target,
+  // one full sinusoid cycle over the whole trace.
+  serve::TraceGenSpec tracegen;
+  tracegen.profile = serve::TraceProfile::kDiurnal;
+  tracegen.base_rps = kPeakUtilization * capacity_rps;
+  tracegen.duration_s =
+      static_cast<double>(kTraceRequests) / tracegen.base_rps;
+  tracegen.seed = 42;
+  const auto events = serve::generate_trace(tracegen);
+  OPTIPLET_REQUIRE(!events.empty(), "diurnal trace generation was empty");
+  OPTIPLET_REQUIRE(serve::write_arrival_trace(kTracePath, events),
+                   "cannot write the diurnal arrival trace");
+  const double offered_rps =
+      static_cast<double>(events.size()) / tracegen.duration_s;
+  std::printf("%s rack sweep: capacity %.0f r/s per package, diurnal "
+              "trace of %zu arrivals (mean %.0f r/s over %.3f s)\n\n",
+              kModel, capacity_rps, events.size(), offered_rps,
+              tracegen.duration_s);
+
+  engine::ScenarioGrid grid;
+  grid.tenant_mixes = {kModel};
+  grid.architectures = {accel::Architecture::kSiph2p5D};
+  grid.package_counts.assign(std::begin(kPackageCounts),
+                             std::end(kPackageCounts));
+  grid.balancer_policies.assign(std::begin(kBalancers),
+                                std::end(kBalancers));
+  // Factor 4 clamps to the package count, so replication tracks the rack;
+  // factor 1 pins the tenant to one package at every rack size.
+  grid.replication_factors = {1, 4};
+  grid.serving_defaults.trace_path = kTracePath;
+  grid.arrival_rates_rps = {offered_rps};
+
+  engine::SweepRunner runner(base);
+  const engine::ResultStore store(runner.run(grid));
+  OPTIPLET_REQUIRE(!store.empty(), "cluster scale sweep produced no results");
+
+  util::CsvWriter csv("cluster_scale_sweep.csv",
+                      {"packages", "balancer", "replication", "offered_rps",
+                       "throughput_rps", "goodput_rps", "shed",
+                       "shed_fraction", "p50_s", "p99_s",
+                       "energy_per_request_j", "transfers",
+                       "transfer_latency_s", "transfer_energy_j",
+                       "util_min", "util_max"});
+  OPTIPLET_REQUIRE(csv.ok(), "cannot write cluster_scale_sweep.csv");
+
+  util::TextTable table({"Pkgs", "Balancer", "Rep", "Thpt (r/s)",
+                         "Gput (r/s)", "p99 (us)", "Xfers", "Xfer E (uJ)",
+                         "Util min", "Util max"});
+  double thpt_1pkg_locality = 0.0;
+  double thpt_4pkg_locality = 0.0;
+  std::uint64_t single_replica_transfers = 0;
+  for (const auto& r : store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value() && r.cluster.has_value(),
+                     "cluster sweep row without rack metrics");
+    const auto& m = *r.serving;
+    const auto& c = *r.cluster;
+    const auto& cs = *r.spec.cluster;
+    const double shed_fraction =
+        m.offered > 0
+            ? static_cast<double>(m.shed) / static_cast<double>(m.offered)
+            : 0.0;
+    csv.add_row({std::to_string(cs.packages),
+                 cluster::to_string(cs.balancer),
+                 std::to_string(cs.replication),
+                 util::format_general(offered_rps),
+                 util::format_general(m.throughput_rps),
+                 util::format_general(m.goodput_rps),
+                 std::to_string(m.shed), util::format_general(shed_fraction),
+                 util::format_general(m.p50_s), util::format_general(m.p99_s),
+                 util::format_general(m.energy_per_request_j),
+                 std::to_string(c.transfers),
+                 util::format_general(c.transfer_latency_s),
+                 util::format_general(c.transfer_energy_j),
+                 util::format_general(c.util_min),
+                 util::format_general(c.util_max)});
+    table.add_row({std::to_string(cs.packages),
+                   cluster::to_string(cs.balancer),
+                   std::to_string(cs.replication),
+                   util::format_fixed(m.throughput_rps, 0),
+                   util::format_fixed(m.goodput_rps, 0),
+                   util::format_fixed(m.p99_s * 1e6, 1),
+                   std::to_string(c.transfers),
+                   util::format_fixed(c.transfer_energy_j * 1e6, 3),
+                   util::format_fixed(c.util_min, 3),
+                   util::format_fixed(c.util_max, 3)});
+    if (cs.balancer == cluster::BalancerPolicy::kLocalityAware &&
+        cs.replication == 4) {
+      if (cs.packages == 1) {
+        thpt_1pkg_locality = m.throughput_rps;
+      } else if (cs.packages == 4) {
+        thpt_4pkg_locality = m.throughput_rps;
+      }
+    }
+    if (cs.replication == 1 && cs.packages > 1) {
+      single_replica_transfers += c.transfers;
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // The headline claims the tripwires also enforce: a replicated
+  // locality-aware rack scales, and a single replica behind many ingress
+  // ports really pays for photonic hops.
+  OPTIPLET_REQUIRE(thpt_4pkg_locality > thpt_1pkg_locality,
+                   "4-package locality-aware rack did not out-serve one "
+                   "package at saturating load");
+  OPTIPLET_REQUIRE(single_replica_transfers > 0,
+                   "single-replica racks recorded no inter-package "
+                   "transfers");
+
+  std::printf("\n4-package locality-aware rack: %.0f r/s vs %.0f r/s on "
+              "one package (%.2fx)\n",
+              thpt_4pkg_locality, thpt_1pkg_locality,
+              thpt_4pkg_locality / thpt_1pkg_locality);
+  std::printf("Full sweep written to cluster_scale_sweep.csv\n");
+  return 0;
+}

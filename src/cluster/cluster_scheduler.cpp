@@ -1,0 +1,85 @@
+#include "cluster/cluster_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/workload.hpp"
+#include "dnn/zoo.hpp"
+#include "serve/colocation.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::cluster {
+
+bool Placement::hosts(std::size_t package, std::size_t tenant) const {
+  return replica_index(tenant, package).has_value();
+}
+
+std::optional<std::size_t> Placement::replica_index(
+    std::size_t tenant, std::size_t package) const {
+  const auto& list = replicas[tenant];
+  const auto it = std::find(list.begin(), list.end(), package);
+  if (it == list.end()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(it - list.begin());
+}
+
+Placement place_tenants(const ClusterSpec& spec,
+                        const core::SystemConfig& system,
+                        accel::Architecture arch,
+                        const std::vector<std::string>& models,
+                        const std::vector<double>& weights) {
+  OPTIPLET_REQUIRE(spec.packages >= 1, "cluster needs at least one package");
+  OPTIPLET_REQUIRE(!models.empty(), "cluster needs at least one tenant");
+  OPTIPLET_REQUIRE(weights.size() == models.size(),
+                   "one pool weight per tenant");
+
+  const std::vector<std::size_t> factors = spec.replications(models.size());
+  Placement placement;
+  placement.packages = spec.packages;
+  placement.replicas.resize(models.size());
+  placement.package_tenants.resize(spec.packages);
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    const std::size_t primary = t % spec.packages;
+    for (std::size_t k = 0; k < factors[t]; ++k) {
+      const std::size_t package = (primary + k) % spec.packages;
+      placement.replicas[t].push_back(package);
+      placement.package_tenants[package].push_back(t);
+    }
+  }
+  for (auto& hosted : placement.package_tenants) {
+    std::sort(hosted.begin(), hosted.end());
+  }
+
+  // Dry-run the per-package pool split so infeasible placements fail here
+  // with package context. Only the 2.5D architectures partition a chiplet
+  // pool; the monolithic die always time-shares.
+  if (arch != accel::Architecture::kMonolithicCrossLight) {
+    for (std::size_t p = 0; p < spec.packages; ++p) {
+      const auto& hosted = placement.package_tenants[p];
+      if (hosted.empty()) {
+        continue;
+      }
+      std::vector<serve::TenantDemand> demands;
+      demands.reserve(hosted.size());
+      for (const std::size_t t : hosted) {
+        serve::TenantDemand demand;
+        demand.needed_kinds = serve::needed_kinds(dnn::compute_workload(
+            dnn::zoo::by_name(models[t]), system.parameter_bits));
+        demand.weight = weights[t];
+        demands.push_back(std::move(demand));
+      }
+      try {
+        (void)serve::partition_pool(system.compute_2p5d, demands,
+                                    system.tech);
+      } catch (const std::invalid_argument& error) {
+        throw std::invalid_argument("package " + std::to_string(p) +
+                                    " placement infeasible: " +
+                                    error.what());
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace optiplet::cluster

@@ -1,0 +1,49 @@
+#pragma once
+/// \file cluster_scheduler.hpp
+/// Shards tenants across the rack's packages and replicates hot models.
+///
+/// Placement is deterministic: tenant t's primary package is t mod N and
+/// its r replicas occupy the r consecutive packages starting there, so a
+/// single-package rack degenerates to the lone simulator and replicated
+/// tenants spread evenly. Every package's hosted set is validated against
+/// the per-package chiplet pool with the same `partition_pool` feasibility
+/// rules the serving simulator applies, so an infeasible placement fails
+/// at schedule time with a package-qualified error instead of mid-run.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/platform.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "core/system_config.hpp"
+
+namespace optiplet::cluster {
+
+/// Where every tenant's replicas live.
+struct Placement {
+  std::size_t packages = 1;
+  /// Per tenant: hosting package ids, primary first.
+  std::vector<std::vector<std::size_t>> replicas;
+  /// Per package: hosted tenant indices, ascending.
+  std::vector<std::vector<std::size_t>> package_tenants;
+
+  /// True when `package` hosts a replica of `tenant`.
+  [[nodiscard]] bool hosts(std::size_t package, std::size_t tenant) const;
+  /// Position of `package` in `tenant`'s replica list (nullopt if absent).
+  [[nodiscard]] std::optional<std::size_t> replica_index(
+      std::size_t tenant, std::size_t package) const;
+};
+
+/// Compute and validate the placement for `models` (Table-2 zoo names,
+/// cluster tenant order) with per-tenant pool weights. Throws
+/// std::invalid_argument when a package's hosted set cannot be partitioned
+/// over the per-package pool.
+[[nodiscard]] Placement place_tenants(const ClusterSpec& spec,
+                                      const core::SystemConfig& system,
+                                      accel::Architecture arch,
+                                      const std::vector<std::string>& models,
+                                      const std::vector<double>& weights);
+
+}  // namespace optiplet::cluster

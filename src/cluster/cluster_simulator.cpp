@@ -1,0 +1,347 @@
+#include "cluster/cluster_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "cluster/load_balancer.hpp"
+#include "cluster/package_link.hpp"
+#include "dnn/workload.hpp"
+#include "dnn/zoo.hpp"
+#include "engine/thread_pool.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/service_time.hpp"
+#include "serve/serving_simulator.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::cluster {
+
+namespace {
+
+/// Seed offset between replicas of one closed-loop tenant, so replica
+/// think-time streams are independent while replica 0 keeps the exact
+/// single-package stream (N=1 degeneracy).
+constexpr std::uint64_t kReplicaSeedStride = 7919;
+
+/// One arrival of the merged cluster-wide stream.
+struct ArrivalEvent {
+  double time_s = 0.0;
+  std::size_t tenant = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Per-tenant solo batch-1 service times — the balancer's expected-work
+/// weights — computed through the exact partition + oracle path the
+/// simulator uses, memoized per distinct model.
+std::vector<double> service_weights(const ClusterConfig& config,
+                                    const serve::ServingConfig& whole) {
+  std::map<std::string, double> by_model;
+  std::vector<double> weights;
+  weights.reserve(whole.tenants.size());
+  for (const auto& tenant : whole.tenants) {
+    auto it = by_model.find(tenant.model);
+    if (it == by_model.end()) {
+      serve::ColocatedSetup solo = serve::make_colocated_setup(
+          config.system, config.arch, {tenant.model});
+      serve::ServiceTimeOracle oracle(std::move(solo.oracle_tenants),
+                                      config.arch);
+      it = by_model.emplace(tenant.model, oracle.batch_run(0, 1).latency_s)
+               .first;
+    }
+    weights.push_back(it->second);
+  }
+  return weights;
+}
+
+}  // namespace
+
+ClusterReport simulate(const ClusterConfig& config) {
+  const ClusterSpec& spec = config.cluster;
+  const std::size_t packages = spec.packages;
+  OPTIPLET_REQUIRE(packages >= 1, "cluster needs at least one package");
+
+  // Resolve the cluster-wide tenant list exactly as a lone simulator
+  // would (names, load split, seeds, trace partitioning) — the front end
+  // then shards these authoritative streams.
+  const serve::ServingConfig whole =
+      serve::make_serving_config(config.system, config.arch, config.serving);
+  const std::size_t n = whole.tenants.size();
+
+  std::vector<std::string> models;
+  std::vector<double> pool_weights;
+  for (const auto& tenant : whole.tenants) {
+    models.push_back(tenant.model);
+    pool_weights.push_back(tenant.weight);
+  }
+  Placement placement =
+      place_tenants(spec, config.system, config.arch, models, pool_weights);
+
+  const PackageLink link = make_package_link(spec, config.system.photonic,
+                                             config.system.tech.photonic);
+  // Payload of one request/response crossing a link: the model's first
+  // layer consumes the request tensor, the last layer emits the response.
+  std::vector<std::uint64_t> request_bits(n, 0);
+  std::vector<std::uint64_t> response_bits(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const dnn::Workload workload = dnn::compute_workload(
+        dnn::zoo::by_name(models[t]), config.system.parameter_bits);
+    request_bits[t] = workload.layers.front().input_bits;
+    response_bits[t] = workload.layers.back().output_bits;
+  }
+
+  LoadBalancer balancer(spec.balancer, placement,
+                        service_weights(config, whole));
+
+  ClusterReport out;
+  ClusterMetrics& metrics = out.metrics;
+  metrics.packages = packages;
+
+  const bool closed =
+      whole.tenants.front().source == serve::ArrivalSource::kClosedLoop;
+
+  // --- front-end dispatch (deterministic, pre-simulation) ---
+  const auto charge_transfer = [&](std::size_t tenant, std::uint64_t count) {
+    metrics.transfers += count;
+    metrics.transfer_latency_s +=
+        static_cast<double>(count) *
+        (link.transfer_latency_s(request_bits[tenant]) +
+         link.transfer_latency_s(response_bits[tenant]));
+    metrics.transfer_energy_j +=
+        static_cast<double>(count) *
+        (link.transfer_energy_j(request_bits[tenant]) +
+         link.transfer_energy_j(response_bits[tenant]));
+  };
+
+  // Open loop: per-(package, tenant) arrival vectors after routing.
+  std::vector<std::vector<std::vector<double>>> arrivals(
+      packages, std::vector<std::vector<double>>(n));
+  // Closed loop: per-(package, tenant) user counts / issue budgets.
+  std::vector<std::vector<unsigned>> users(packages,
+                                           std::vector<unsigned>(n, 0));
+  std::vector<std::vector<std::uint64_t>> budgets(
+      packages, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::vector<std::uint64_t>> remote_users(
+      packages, std::vector<std::uint64_t>(n, 0));
+
+  if (!closed) {
+    std::vector<ArrivalEvent> events;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto& setup = whole.tenants[t];
+      const std::vector<double> stream =
+          setup.replay_trace
+              ? setup.trace_arrivals
+              : serve::poisson_arrivals(setup.arrival_rps, setup.requests,
+                                        setup.seed);
+      for (std::uint64_t k = 0; k < stream.size(); ++k) {
+        events.push_back({stream[k], t, k});
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                return std::tie(a.time_s, a.tenant, a.seq) <
+                       std::tie(b.time_s, b.tenant, b.seq);
+              });
+    std::uint64_t port = 0;
+    for (const ArrivalEvent& event : events) {
+      const std::size_t ingress = port++ % packages;
+      const std::size_t package = balancer.route(event.tenant, ingress);
+      double at = event.time_s;
+      if (package != ingress) {
+        // The request rides the photonic link to its replica; the
+        // response rides back. Only the forward hop delays service.
+        at += link.transfer_latency_s(request_bits[event.tenant]);
+        charge_transfer(event.tenant, 1);
+      }
+      arrivals[package][event.tenant].push_back(at);
+    }
+    for (auto& package : arrivals) {
+      for (auto& stream : package) {
+        std::sort(stream.begin(), stream.end());
+      }
+    }
+  } else {
+    // Closed loop: the front end pins each user to one replica for its
+    // whole session; per-user issue budgets follow the user.
+    std::uint64_t port = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto& setup = whole.tenants[t];
+      const auto user_count = static_cast<std::uint64_t>(setup.users);
+      for (std::uint64_t u = 0; u < user_count; ++u) {
+        const std::size_t ingress = port++ % packages;
+        const std::size_t package = balancer.route(t, ingress);
+        users[package][t] += 1;
+        if (package != ingress) {
+          remote_users[package][t] += 1;
+        }
+        budgets[package][t] +=
+            setup.requests / user_count +
+            (u < setup.requests % user_count ? 1 : 0);
+      }
+    }
+  }
+
+  // --- per-package serving configs ---
+  std::vector<std::optional<serve::ServingConfig>> configs(packages);
+  for (std::size_t p = 0; p < packages; ++p) {
+    const auto& hosted = placement.package_tenants[p];
+    if (hosted.empty()) {
+      continue;
+    }
+    serve::ServingConfig package;
+    package.system = whole.system;
+    package.arch = whole.arch;
+    package.pipeline = whole.pipeline;
+    for (const std::size_t t : hosted) {
+      serve::TenantSetup tenant = whole.tenants[t];
+      if (closed) {
+        // A replica the user split skipped still shapes the pool
+        // partition; one idle user with a zero budget serves nothing.
+        tenant.users = std::max(users[p][t], 1u);
+        tenant.requests = budgets[p][t];
+        tenant.seed = whole.tenants[t].seed +
+                      kReplicaSeedStride * *placement.replica_index(t, p);
+      } else {
+        tenant.replay_trace = true;
+        tenant.trace_arrivals = std::move(arrivals[p][t]);
+      }
+      package.tenants.push_back(std::move(tenant));
+    }
+    configs[p] = std::move(package);
+  }
+
+  // --- run the packages in parallel, one per worker ---
+  engine::ThreadPool pool(config.threads);
+  std::vector<std::optional<std::future<serve::ServingReport>>> futures(
+      packages);
+  for (std::size_t p = 0; p < packages; ++p) {
+    if (configs[p]) {
+      futures[p] = pool.submit(
+          [&config = *configs[p]] { return serve::simulate(config); });
+    }
+  }
+
+  // --- merge per-package reports into the rack view ---
+  out.placement = std::move(placement);
+  out.packages.resize(packages);
+  serve::ServingMetrics& rack = metrics.rack;
+  double first_arrival = std::numeric_limits<double>::infinity();
+  double last_completion = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t violations = 0;
+  std::vector<double> all_latencies;
+  std::map<unsigned, std::vector<double>> class_latencies;
+  double util_sum = 0.0;
+  metrics.util_min = std::numeric_limits<double>::infinity();
+  metrics.util_max = 0.0;
+
+  for (std::size_t p = 0; p < packages; ++p) {
+    PackageBreakdown& breakdown = out.packages[p];
+    breakdown.package = p;
+    breakdown.dispatched = balancer.dispatched()[p];
+    for (const std::size_t t : out.placement.package_tenants[p]) {
+      breakdown.tenants.push_back(whole.tenants[t].name.empty()
+                                      ? whole.tenants[t].model
+                                      : whole.tenants[t].name);
+    }
+    double utilization = 0.0;
+    if (futures[p]) {
+      breakdown.report = futures[p]->get();
+      breakdown.active = true;
+      const serve::ServingMetrics& pm = breakdown.report.metrics;
+      rack.offered += pm.offered;
+      rack.completed += pm.completed;
+      rack.shed += pm.shed;
+      rack.energy_j += pm.energy_j;
+      rack.resipi_conflicts += pm.resipi_conflicts;
+      rack.resipi_wait_s += pm.resipi_wait_s;
+      rack.shared_handoffs += pm.shared_handoffs;
+      rack.handoff_resipi_s += pm.handoff_resipi_s;
+      rack.service_cache_hits += pm.service_cache_hits;
+      rack.service_cache_misses += pm.service_cache_misses;
+      utilization = pm.utilization;
+      if (pm.offered > 0) {
+        first_arrival = std::min(first_arrival, pm.first_arrival_abs_s);
+        last_completion = std::max(last_completion, pm.last_completion_abs_s);
+      }
+      for (std::size_t i = 0; i < breakdown.report.tenants.size(); ++i) {
+        const serve::TenantReport& tenant = breakdown.report.tenants[i];
+        batches += tenant.batches;
+        const auto& latencies = breakdown.report.tenant_latencies[i];
+        all_latencies.insert(all_latencies.end(), latencies.begin(),
+                             latencies.end());
+        auto& cls = class_latencies[tenant.priority];
+        cls.insert(cls.end(), latencies.begin(), latencies.end());
+        for (const double latency : latencies) {
+          violations += latency > tenant.sla_s ? 1 : 0;
+        }
+        if (closed) {
+          // Users pinned off their ingress port pay the link per
+          // completed request; charged as the user-share expectation.
+          const std::size_t t = out.placement.package_tenants[p][i];
+          if (remote_users[p][t] > 0 && users[p][t] > 0) {
+            const auto remote = static_cast<std::uint64_t>(std::llround(
+                static_cast<double>(tenant.completed) *
+                static_cast<double>(remote_users[p][t]) /
+                static_cast<double>(users[p][t])));
+            charge_transfer(t, remote);
+          }
+        }
+      }
+    }
+    util_sum += utilization;
+    metrics.util_min = std::min(metrics.util_min, utilization);
+    metrics.util_max = std::max(metrics.util_max, utilization);
+  }
+
+  rack.first_arrival_abs_s =
+      std::isfinite(first_arrival) ? first_arrival : last_completion;
+  rack.last_completion_abs_s = last_completion;
+  rack.makespan_s =
+      std::max(last_completion - rack.first_arrival_abs_s, 0.0);
+  rack.energy_j += metrics.transfer_energy_j;
+  if (!all_latencies.empty()) {
+    double sum = 0.0;
+    for (const double latency : all_latencies) {
+      sum += latency;
+      rack.max_latency_s = std::max(rack.max_latency_s, latency);
+    }
+    rack.mean_latency_s = sum / static_cast<double>(all_latencies.size());
+    rack.p50_s = serve::exact_quantile(all_latencies, 0.50);
+    rack.p95_s = serve::exact_quantile(all_latencies, 0.95);
+    rack.p99_s = serve::exact_quantile(all_latencies, 0.99);
+    rack.sla_violation_rate = static_cast<double>(violations) /
+                              static_cast<double>(all_latencies.size());
+  }
+  if (!class_latencies.empty()) {
+    rack.p99_hi_s =
+        serve::exact_quantile(class_latencies.begin()->second, 0.99);
+    rack.p99_lo_s =
+        serve::exact_quantile(class_latencies.rbegin()->second, 0.99);
+  }
+  if (rack.makespan_s > 0.0) {
+    rack.throughput_rps =
+        static_cast<double>(rack.completed) / rack.makespan_s;
+    rack.goodput_rps =
+        static_cast<double>(rack.completed - violations) / rack.makespan_s;
+  }
+  if (rack.completed > 0) {
+    rack.energy_per_request_j =
+        rack.energy_j / static_cast<double>(rack.completed);
+    rack.mean_batch = static_cast<double>(rack.completed) /
+                      static_cast<double>(std::max<std::uint64_t>(batches, 1));
+  }
+  // Idle packages count as utilization 0 — the rack average is honest
+  // about unused capacity.
+  rack.utilization = util_sum / static_cast<double>(packages);
+  if (!std::isfinite(metrics.util_min)) {
+    metrics.util_min = 0.0;
+  }
+  return out;
+}
+
+}  // namespace optiplet::cluster

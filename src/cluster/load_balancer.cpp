@@ -1,0 +1,56 @@
+#include "cluster/load_balancer.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace optiplet::cluster {
+
+LoadBalancer::LoadBalancer(BalancerPolicy policy, const Placement& placement,
+                           std::vector<double> service_weights)
+    : policy_(policy),
+      placement_(placement),
+      weights_(std::move(service_weights)),
+      load_(placement.packages, 0.0),
+      dispatched_(placement.packages, 0),
+      rr_(placement.replicas.size(), 0) {
+  OPTIPLET_REQUIRE(weights_.size() == placement_.replicas.size(),
+                   "one service weight per tenant");
+}
+
+std::size_t LoadBalancer::least_loaded(
+    const std::vector<std::size_t>& replicas) const {
+  // Ties break toward the earlier replica in placement order, which keeps
+  // the choice independent of package numbering quirks.
+  std::size_t best = replicas.front();
+  for (const std::size_t package : replicas) {
+    if (load_[package] < load_[best]) {
+      best = package;
+    }
+  }
+  return best;
+}
+
+std::size_t LoadBalancer::route(std::size_t tenant, std::size_t ingress) {
+  const auto& replicas = placement_.replicas[tenant];
+  std::size_t package = replicas.front();
+  switch (policy_) {
+    case BalancerPolicy::kRoundRobin:
+      package = replicas[rr_[tenant]++ % replicas.size()];
+      break;
+    case BalancerPolicy::kLeastLoaded:
+      package = least_loaded(replicas);
+      break;
+    case BalancerPolicy::kLocalityAware:
+      package = std::find(replicas.begin(), replicas.end(), ingress) !=
+                        replicas.end()
+                    ? ingress
+                    : least_loaded(replicas);
+      break;
+  }
+  load_[package] += weights_[tenant];
+  ++dispatched_[package];
+  return package;
+}
+
+}  // namespace optiplet::cluster

@@ -1,0 +1,52 @@
+#pragma once
+/// \file load_balancer.hpp
+/// Front-end dispatch of the shared arrival stream onto tenant replicas.
+///
+/// The balancer is a pure, deterministic routing function: given the
+/// tenant and the ingress package of one arrival (or one closed-loop
+/// user), it picks the serving replica and updates its load book-keeping.
+/// Load is the accumulated expected work — dispatch count times the
+/// tenant's solo batch-1 service time — which keeps the policy free of
+/// simulator feedback and therefore reproducible across rack thread
+/// counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_scheduler.hpp"
+#include "cluster/cluster_spec.hpp"
+
+namespace optiplet::cluster {
+
+class LoadBalancer {
+ public:
+  /// `service_weights[t]` is tenant t's expected per-request work [s].
+  LoadBalancer(BalancerPolicy policy, const Placement& placement,
+               std::vector<double> service_weights);
+
+  /// Route one arrival of `tenant` entering the rack at `ingress`.
+  /// Returns the serving package and charges the expected work to it.
+  std::size_t route(std::size_t tenant, std::size_t ingress);
+
+  /// Expected accumulated work per package [s].
+  [[nodiscard]] const std::vector<double>& load() const { return load_; }
+
+  /// Requests dispatched per package.
+  [[nodiscard]] const std::vector<std::uint64_t>& dispatched() const {
+    return dispatched_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t least_loaded(
+      const std::vector<std::size_t>& replicas) const;
+
+  BalancerPolicy policy_;
+  const Placement& placement_;
+  std::vector<double> weights_;
+  std::vector<double> load_;
+  std::vector<std::uint64_t> dispatched_;
+  std::vector<std::uint64_t> rr_;
+};
+
+}  // namespace optiplet::cluster

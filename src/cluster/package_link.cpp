@@ -1,0 +1,114 @@
+#include "cluster/package_link.hpp"
+
+#include "photonics/photodetector.hpp"
+#include "photonics/waveguide.hpp"
+#include "util/math.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::cluster {
+
+namespace {
+
+noc::GatewayConfig make_gateway_config(const PackageLinkConfig& c) {
+  noc::GatewayConfig g;
+  g.wavelength_count = c.wavelengths;
+  g.data_rate_per_wavelength_bps =
+      photonics::line_rate_bps(c.modulation, c.data_rate_per_wavelength_bps);
+  g.clock_hz = c.clock_hz;
+  return g;
+}
+
+photonics::Waveguide board_path(const PackageLinkConfig& c,
+                                const power::PhotonicTech& tech) {
+  // Board routes cross nothing: each package pair gets its own
+  // waveguide/fiber, so the only geometric terms are length and bends.
+  return photonics::Waveguide(c.length_m, c.bends, /*crossings=*/0,
+                              tech.waveguide);
+}
+
+}  // namespace
+
+PackageLink::PackageLink(const PackageLinkConfig& config,
+                         const power::PhotonicTech& tech)
+    : config_(config),
+      tech_(tech),
+      grid_(photonics::make_cband_grid(config.wavelengths)),
+      gateway_(make_gateway_config(config), tech, grid_, 0,
+               photonics::modulator_rings_per_channel(config.modulation),
+               /*filter_rows=*/1) {
+  OPTIPLET_REQUIRE(config.wavelengths >= 1, "link needs wavelengths");
+  OPTIPLET_REQUIRE(config.length_m > 0.0, "link length must be positive");
+
+  // Writer package -> board waveguide -> reader package, mirroring the
+  // interposer's SWSR stack with two extra facet couplers for the
+  // off-package and on-package transitions.
+  budget_ = photonics::LinkBudget{};
+  budget_.add_loss("laser-to-chip coupler", tech_.laser.coupling_loss_db);
+  budget_.add_loss("modulator insertion",
+                   gateway_.mrg().drop_loss_db() * 0.5);
+  budget_.add_loss("egress facet coupler", tech_.laser.coupling_loss_db);
+  budget_.add_loss("board propagation",
+                   board_path(config_, tech_).insertion_loss_db());
+  budget_.add_loss("ingress facet coupler", tech_.laser.coupling_loss_db);
+  budget_.add_loss("reader filter drop", gateway_.mrg().drop_loss_db());
+
+  crosstalk_db_ = photonics::LinkBudget::crosstalk_penalty_db(
+      gateway_.mrg().reference_ring(), grid_,
+      /*reader_channel=*/grid_.channel_count() / 2,
+      /*active_channels=*/grid_.channel_count());
+}
+
+double PackageLink::bandwidth_bps() const { return gateway_.bandwidth_bps(); }
+
+double PackageLink::transfer_latency_s(std::uint64_t bits) const {
+  return gateway_.store_forward_latency_s() +
+         gateway_.serialization_time_s(bits) +
+         board_path(config_, tech_).time_of_flight_s();
+}
+
+double PackageLink::laser_power_per_wavelength_w() const {
+  const double sensitivity_dbm =
+      photonics::Photodetector(tech_.photodetector)
+          .sensitivity_dbm(config_.data_rate_per_wavelength_bps) +
+      photonics::receiver_penalty_db(config_.modulation);
+  return budget_.required_laser_power_w(sensitivity_dbm, crosstalk_db_,
+                                        tech_.system_margin_db);
+}
+
+double PackageLink::laser_electrical_power_w() const {
+  const double optical = static_cast<double>(config_.wavelengths) *
+                         laser_power_per_wavelength_w();
+  const double coupling = util::from_db(tech_.laser.coupling_loss_db);
+  return optical * coupling / tech_.laser.wall_plug_efficiency +
+         tech_.laser.bias_overhead_w;
+}
+
+double PackageLink::transfer_energy_j(std::uint64_t bits) const {
+  return gateway_.transmit_energy_j(bits) + gateway_.receive_energy_j(bits) +
+         laser_electrical_power_w() * gateway_.serialization_time_s(bits);
+}
+
+bool PackageLink::feasible(double max_loss_db) const {
+  const auto& ring = gateway_.mrg().reference_ring();
+  const double row_span =
+      static_cast<double>(config_.wavelengths) * grid_.channel_spacing_m();
+  if (row_span >= ring.fsr_m()) {
+    return false;
+  }
+  return budget_.total_loss_db() + crosstalk_db_ <= max_loss_db;
+}
+
+PackageLink make_package_link(const ClusterSpec& spec,
+                              const noc::PhotonicInterposerConfig& interposer,
+                              const power::PhotonicTech& tech) {
+  PackageLinkConfig config;
+  config.length_m = spec.link_length_m;
+  config.wavelengths = spec.link_wavelengths;
+  config.data_rate_per_wavelength_bps =
+      interposer.data_rate_per_wavelength_bps;
+  config.clock_hz = interposer.gateway_clock_hz;
+  config.modulation = interposer.modulation;
+  return PackageLink(config, tech);
+}
+
+}  // namespace optiplet::cluster

@@ -1,0 +1,95 @@
+#pragma once
+/// \file package_link.hpp
+/// Chip-to-chip photonic link between two interposer packages.
+///
+/// Reuses the interposer's optical building blocks — gateway SerDes and
+/// MRG modulator/filter rows, waveguide propagation, the Lorentzian
+/// crosstalk model, PD sensitivity, and the laser wall-plug chain — to
+/// price one board-level hop: a writer gateway on the source package
+/// modulates its WDM band onto a board waveguide/fiber, and a reader
+/// gateway on the destination package filters and detects. The solved
+/// link budget yields the per-wavelength laser power, and from it the
+/// per-transfer latency and energy the cluster charges whenever a request
+/// is served off its ingress package.
+
+#include <cstdint>
+
+#include "cluster/cluster_spec.hpp"
+#include "noc/photonic_gateway.hpp"
+#include "noc/photonic_interposer.hpp"
+#include "photonics/link_budget.hpp"
+#include "photonics/modulation.hpp"
+#include "photonics/wavelength.hpp"
+#include "power/tech_params.hpp"
+
+namespace optiplet::cluster {
+
+/// Geometry + signalling of one package-to-package link direction.
+struct PackageLinkConfig {
+  /// Board waveguide/fiber length between the two packages [m].
+  double length_m = 0.25;
+  /// WDM channels per direction.
+  std::size_t wavelengths = 16;
+  /// Per-wavelength symbol rate [baud] (shared with the interposer).
+  double data_rate_per_wavelength_bps = 12.0e9;
+  /// Gateway digital clock [Hz].
+  double clock_hz = 2.0e9;
+  /// Modulation format (shared with the interposer network).
+  photonics::ModulationFormat modulation =
+      photonics::ModulationFormat::kOok;
+  /// Waveguide bends along the board route.
+  std::size_t bends = 4;
+};
+
+/// One direction of a package-to-package photonic link, with its solved
+/// budget and derived transfer costs.
+class PackageLink {
+ public:
+  PackageLink(const PackageLinkConfig& config,
+              const power::PhotonicTech& tech);
+
+  /// Aggregate serialization bandwidth [bit/s].
+  [[nodiscard]] double bandwidth_bps() const;
+
+  /// Latency to move `bits` across one hop [s]: gateway store-and-forward,
+  /// serialization at the link rate, and waveguide time of flight.
+  [[nodiscard]] double transfer_latency_s(std::uint64_t bits) const;
+
+  /// Energy to move `bits` across one hop [J]: transmit + receive gateway
+  /// dynamic energy plus the laser's electrical draw for the serialization
+  /// window, all derived from the solved link budget.
+  [[nodiscard]] double transfer_energy_j(std::uint64_t bits) const;
+
+  /// Required per-wavelength laser power at the laser output [W].
+  [[nodiscard]] double laser_power_per_wavelength_w() const;
+
+  /// Laser electrical power while the link is lit [W] (wall-plug chain).
+  [[nodiscard]] double laser_electrical_power_w() const;
+
+  /// True when the worst-case reader closes the link at `max_loss_db`.
+  [[nodiscard]] bool feasible(double max_loss_db = 45.0) const;
+
+  /// The solved loss stack, for benches and tests.
+  [[nodiscard]] const photonics::LinkBudget& budget() const {
+    return budget_;
+  }
+  [[nodiscard]] double crosstalk_penalty_db() const { return crosstalk_db_; }
+  [[nodiscard]] const PackageLinkConfig& config() const { return config_; }
+
+ private:
+  PackageLinkConfig config_;
+  power::PhotonicTech tech_;
+  photonics::WdmGrid grid_;
+  noc::PhotonicGateway gateway_;
+  photonics::LinkBudget budget_;
+  double crosstalk_db_ = 0.0;
+};
+
+/// The link both the rack engine and the CLIs build: `spec` contributes the
+/// geometry (length, channel count) and the system's interposer network
+/// contributes the signalling (rate, clock, modulation).
+[[nodiscard]] PackageLink make_package_link(
+    const ClusterSpec& spec, const noc::PhotonicInterposerConfig& interposer,
+    const power::PhotonicTech& tech);
+
+}  // namespace optiplet::cluster

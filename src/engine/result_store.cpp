@@ -104,7 +104,14 @@ std::vector<std::string> ResultStore::csv_header() {
           "shed",
           "goodput_rps",
           "p99_hi_s",
-          "p99_lo_s"};
+          "p99_lo_s",
+          // Rack scale-out columns (PR 6); empty for non-cluster rows.
+          "packages",
+          "balancer",
+          "replication",
+          "transfers",
+          "transfer_latency_s",
+          "transfer_energy_j"};
 }
 
 std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
@@ -157,12 +164,24 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
                 util::format_general(m.goodput_rps),
                 util::format_general(m.p99_hi_s),
                 util::format_general(m.p99_lo_s)});
+    if (s.cluster && result.cluster) {
+      const auto& cs = *s.cluster;
+      const auto& cm = *result.cluster;
+      row.insert(row.end(),
+                 {std::to_string(cs.packages),
+                  std::string(cluster::to_string(cs.balancer)),
+                  cs.replication_mix.empty() ? std::to_string(cs.replication)
+                                             : cs.replication_mix,
+                  std::to_string(cm.transfers),
+                  util::format_general(cm.transfer_latency_s),
+                  util::format_general(cm.transfer_energy_j)});
+    }
   } else {
-    static const std::size_t kColumns = csv_header().size();
-    const std::size_t serving_col = row.size();
-    row.insert(row.end(), kColumns - row.size(), "");
-    row[serving_col] = "0";
+    row.push_back("0");  // "serving" flag column
   }
+  // Pad non-cluster rows out to the full schema width.
+  static const std::size_t kColumns = csv_header().size();
+  row.insert(row.end(), kColumns - row.size(), "");
   return row;
 }
 

@@ -163,6 +163,18 @@ std::string ScenarioSpec::key() const {
          << ";serve.seed=" << serving->seed;
     }
   }
+  if (cluster) {
+    os << ";cluster.pkgs=" << cluster->packages
+       << ";cluster.bal=" << cluster::to_string(cluster->balancer)
+       << ";cluster.rep=" << cluster->replication
+       << ";cluster.len=" << util::format_general(cluster->link_length_m, 17)
+       << ";cluster.linkwl=" << cluster->link_wavelengths;
+    if (!cluster->replication_mix.empty()) {
+      // An explicit per-tenant mix overrides the scalar factor, so it is
+      // part of the experiment identity.
+      os << ";cluster.repmix=" << cluster->replication_mix;
+    }
+  }
   return os.str();
 }
 
@@ -216,6 +228,11 @@ std::size_t ScenarioGrid::raw_size() const {
     size *= axis(user_counts.size());
     size *= axis(admission_policies.size());
   }
+  if (cluster_mode()) {
+    size *= axis(package_counts.size());
+    size *= axis(balancer_policies.size());
+    size *= axis(replication_factors.size());
+  }
   return size;
 }
 
@@ -258,6 +275,18 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       admission_policies.empty()
           ? std::vector<serve::AdmissionPolicy>{serving_defaults.admission}
           : admission_policies;
+  const std::vector<std::size_t> package_axis =
+      package_counts.empty()
+          ? std::vector<std::size_t>{cluster_defaults.packages}
+          : package_counts;
+  const std::vector<cluster::BalancerPolicy> balancer_axis =
+      balancer_policies.empty()
+          ? std::vector<cluster::BalancerPolicy>{cluster_defaults.balancer}
+          : balancer_policies;
+  const std::vector<std::size_t> replication_axis =
+      replication_factors.empty()
+          ? std::vector<std::size_t>{cluster_defaults.replication}
+          : replication_factors;
   const std::vector<accel::Architecture> arch_axis =
       architectures.empty()
           ? std::vector<accel::Architecture>{accel::Architecture::kSiph2p5D}
@@ -375,7 +404,22 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
                         partial.serving->source = source;
                         partial.serving->users = users;
                         partial.serving->admission = admission;
-                        expand_axis(0, partial);
+                        if (!cluster_mode()) {
+                          expand_axis(0, partial);
+                          continue;
+                        }
+                        for (const std::size_t packages : package_axis) {
+                          for (const auto balancer : balancer_axis) {
+                            for (const std::size_t replication :
+                                 replication_axis) {
+                              partial.cluster = cluster_defaults;
+                              partial.cluster->packages = packages;
+                              partial.cluster->balancer = balancer;
+                              partial.cluster->replication = replication;
+                              expand_axis(0, partial);
+                            }
+                          }
+                        }
                       }
                     }
                   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "accel/platform.hpp"
+#include "cluster/cluster_spec.hpp"
 #include "core/system_config.hpp"
 #include "photonics/modulation.hpp"
 #include "serve/serving_spec.hpp"
@@ -52,6 +53,10 @@ struct ScenarioSpec {
   /// serve::simulate() (arrivals + batching + co-location) instead of a
   /// single inference, and `model` names the tenant mix.
   std::optional<serve::ServingSpec> serving;
+  /// Rack scale-out block: when set (requires `serving`), the scenario is
+  /// evaluated by cluster::simulate() — N packages behind a front-end
+  /// load balancer — and the serving metrics become the merged rack view.
+  std::optional<cluster::ClusterSpec> cluster;
 
   /// Imprint this spec onto a configuration (photonic shape, batch size,
   /// then named overrides). Throws std::invalid_argument on unknown
@@ -121,11 +126,27 @@ struct ScenarioGrid {
   std::vector<serve::AdmissionPolicy> admission_policies;
   serve::ServingSpec serving_defaults;
 
+  /// --- cluster axes ---
+  /// Any non-empty cluster axis switches the grid to cluster mode (which
+  /// implies serving mode): every expanded spec carries a
+  /// cluster::ClusterSpec on top of its serving block. Unswept cluster
+  /// fields (link geometry, replication mix, ...) come from
+  /// `cluster_defaults`.
+  std::vector<std::size_t> package_counts;
+  std::vector<cluster::BalancerPolicy> balancer_policies;
+  std::vector<std::size_t> replication_factors;
+  cluster::ClusterSpec cluster_defaults;
+
+  [[nodiscard]] bool cluster_mode() const {
+    return !package_counts.empty() || !balancer_policies.empty() ||
+           !replication_factors.empty();
+  }
+
   [[nodiscard]] bool serving_mode() const {
-    return !arrival_rates_rps.empty() || !batch_policies.empty() ||
-           !pipeline_modes.empty() || !tenant_mixes.empty() ||
-           !arrival_sources.empty() || !user_counts.empty() ||
-           !admission_policies.empty();
+    return cluster_mode() || !arrival_rates_rps.empty() ||
+           !batch_policies.empty() || !pipeline_modes.empty() ||
+           !tenant_mixes.empty() || !arrival_sources.empty() ||
+           !user_counts.empty() || !admission_policies.empty();
   }
 
   /// Grid size before feasibility filtering.

@@ -3,8 +3,10 @@
 #include <exception>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
+#include "cluster/cluster_simulator.hpp"
 #include "dnn/zoo.hpp"
 #include "engine/thread_pool.hpp"
 #include "serve/serving_simulator.hpp"
@@ -21,6 +23,28 @@ SweepRunner::EvalOutcome SweepRunner::evaluate_outcome(
   core::SystemConfig cfg = base;
   spec.apply(cfg);
   EvalOutcome outcome;
+  if (spec.cluster) {
+    if (!spec.serving) {
+      throw std::invalid_argument(
+          "cluster scenario requires a serving block");
+    }
+    // Rack workers stay at 1 here: the SweepRunner already parallelizes
+    // across scenarios, and cluster::simulate is thread-count invariant.
+    const cluster::ClusterReport report = cluster::simulate(
+        cluster::ClusterConfig{cfg, spec.arch, *spec.serving, *spec.cluster,
+                               /*threads=*/1});
+    outcome.serving = report.metrics.rack;
+    outcome.cluster = report.metrics;
+    outcome.run.model_name = spec.model;
+    outcome.run.arch = spec.arch;
+    outcome.run.latency_s = report.metrics.rack.mean_latency_s;
+    outcome.run.energy_j = report.metrics.rack.energy_j;
+    outcome.run.average_power_w =
+        report.metrics.rack.makespan_s > 0.0
+            ? report.metrics.rack.energy_j / report.metrics.rack.makespan_s
+            : 0.0;
+    return outcome;
+  }
   if (spec.serving) {
     const serve::ServingReport report =
         serve::simulate(serve::make_serving_config(cfg, spec.arch,
@@ -147,6 +171,7 @@ std::vector<ScenarioResult> SweepRunner::run(
     const EvalOutcome& outcome = *cache_.at(keys[i]);
     results[i].run = outcome.run;
     results[i].serving = outcome.serving;
+    results[i].cluster = outcome.cluster;
   }
   return results;
 }

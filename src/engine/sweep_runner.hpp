@@ -22,6 +22,7 @@
 
 #include <optional>
 
+#include "cluster/cluster_report.hpp"
 #include "core/system_config.hpp"
 #include "core/system_simulator.hpp"
 #include "engine/scenario.hpp"
@@ -35,8 +36,11 @@ struct ScenarioResult {
   /// Single-inference result — or, for serving scenarios, a summary view
   /// (latency = mean request latency, energy/power over the makespan).
   core::RunResult run;
-  /// Request-level metrics; set exactly when spec.serving is set.
+  /// Request-level metrics; set exactly when spec.serving is set. For
+  /// cluster scenarios this is the merged rack view.
   std::optional<serve::ServingMetrics> serving;
+  /// Rack-level metrics; set exactly when spec.cluster is set.
+  std::optional<cluster::ClusterMetrics> cluster;
   /// True when this result was served from the memo cache (either a
   /// duplicate inside the batch or a repeat from an earlier run() call).
   bool from_cache = false;
@@ -68,6 +72,7 @@ class SweepRunner {
   struct EvalOutcome {
     core::RunResult run;
     std::optional<serve::ServingMetrics> serving;
+    std::optional<cluster::ClusterMetrics> cluster;
   };
 
   /// Evaluate one scenario synchronously (no cache, no pool): the

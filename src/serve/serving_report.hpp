@@ -55,6 +55,12 @@ struct ServingMetrics {
   /// priority classes present; equal when every tenant shares one class.
   double p99_hi_s = 0.0;
   double p99_lo_s = 0.0;
+  /// Absolute simulation times bounding the measured window (both 0 when
+  /// nothing arrived). `makespan_s` is their difference; the rack engine
+  /// needs the absolute endpoints to merge windows across packages whose
+  /// traces start at different times.
+  double first_arrival_abs_s = 0.0;
+  double last_completion_abs_s = 0.0;
 };
 
 /// Aggregate outcome of one priority class (tenants grouped by their
@@ -140,6 +146,10 @@ struct ServingReport {
   power::EnergyLedger ledger;
   /// Busy seconds per pool chiplet (pool-global id order).
   std::vector<double> chiplet_busy_s;
+  /// Raw completion latencies per tenant (tenant order, completion order)
+  /// — the samples behind the percentile metrics, exported so rack-level
+  /// reports can pool them and recompute exact quantiles.
+  std::vector<std::vector<double>> tenant_latencies;
   /// Per-batch execution trace; empty unless record_batches was set.
   std::vector<BatchTrace> batches;
 };

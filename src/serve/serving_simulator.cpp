@@ -84,6 +84,10 @@ struct TenantState {
   /// When the executor is expected to accept its next batch — the
   /// oracle-backed backlog estimate kSlaShed's shed decision runs on.
   double est_free_s = 0.0;
+  /// Inter-arrival EMA [s] feeding the shed estimate's batch-fill-wait
+  /// term; 0 until two arrivals have been observed.
+  double interarrival_ema_s = 0.0;
+  double last_arrival_s = -1.0;
   /// Batch formed but waiting for the shared-serial chiplets.
   std::vector<Request> pending;
   double pending_since = 0.0;
@@ -134,6 +138,9 @@ struct Engine {
   /// Time of the first request to actually arrive, from any source — the
   /// start of the measured serving window.
   double first_arrival_s = std::numeric_limits<double>::infinity();
+  /// When the shared-serial chiplet group is expected to free up — feeds
+  /// the cross-tenant contention term of the kSlaShed backlog estimate.
+  double shared_est_free_s = 0.0;
 
   Engine(const ServingConfig& cfg, ServiceTimeOracle& orc,
          const ColocationPlan& pln)
@@ -147,6 +154,13 @@ struct Engine {
     first_arrival_s = std::min(first_arrival_s, now);
     const Request request{ts.next_id++, now};
     ts.report.offered += 1;
+    if (ts.last_arrival_s >= 0.0) {
+      const double gap = now - ts.last_arrival_s;
+      ts.interarrival_ema_s = ts.interarrival_ema_s == 0.0
+                                  ? gap
+                                  : 0.25 * gap + 0.75 * ts.interarrival_ema_s;
+    }
+    ts.last_arrival_s = now;
     if (ts.admission == AdmissionPolicy::kSlaShed && !admit(t)) {
       ts.report.shed += 1;
       issue_closed(t);  // the user gets its rejection notice immediately
@@ -161,13 +175,20 @@ struct Engine {
   /// can still make the tenant's SLA. Service times come from the
   /// memoized ServiceTimeOracle; layer-granular mode amortizes the queued
   /// batches over the pipeline depth (the steady-state inter-completion
-  /// time), so the estimate is honest about overlap.
+  /// time), so the estimate is honest about overlap. Two refinements keep
+  /// the estimate honest *below* the knee, where false sheds cost goodput:
+  ///   * batching tenants charge the batch-fill wait (inter-arrival EMA
+  ///     times the seats left in the tail batch, capped by the deadline
+  ///     policy's max wait) and price the request's own batch at its
+  ///     *expected* dispatch size instead of always max_batch;
+  ///   * tenants on the scarce shared-serial group start their backlog at
+  ///     the group's expected free time when another tenant holds it.
   [[nodiscard]] bool admit(std::size_t t) {
     TenantState& ts = tenants[t];
     const double now = events.now();
-    const unsigned cap = ts.queue.config().policy == BatchPolicy::kNone
-                             ? 1
-                             : ts.queue.config().max_batch;
+    const BatchingConfig& batching = ts.queue.config();
+    const unsigned cap =
+        batching.policy == BatchPolicy::kNone ? 1 : batching.max_batch;
     const double batch_s = oracle.batch_run(t, cap).latency_s;
     const double amortized_s =
         config.pipeline == PipelineMode::kLayerGranular
@@ -175,9 +196,41 @@ struct Engine {
                             std::max<std::size_t>(ts.pipeline_depth, 1))
             : batch_s;
     const auto queued_batches = static_cast<double>(ts.queue.size() / cap);
-    const double predicted_latency_s = std::max(ts.est_free_s - now, 0.0) +
+    double backlog_start_s = ts.est_free_s;
+    if (ts.needs_shared) {
+      backlog_start_s = std::max(backlog_start_s, shared_est_free_s);
+    }
+    // The request joins the tail partial batch at `position`; `need` more
+    // arrivals fill it.
+    const auto position = static_cast<unsigned>(ts.queue.size() % cap) + 1;
+    const unsigned need = cap - position;
+    const double gap = ts.interarrival_ema_s;
+    double fill_s = 0.0;
+    unsigned dispatch_size = cap;
+    if (batching.policy == BatchPolicy::kDeadline) {
+      const double fill_eta_s =
+          gap > 0.0 ? static_cast<double>(need) * gap
+                    : std::numeric_limits<double>::infinity();
+      if (fill_eta_s <= batching.max_wait_s) {
+        fill_s = fill_eta_s;
+      } else {
+        // The deadline fires first: the batch goes out partial.
+        fill_s = batching.max_wait_s;
+        dispatch_size =
+            position +
+            (gap > 0.0
+                 ? static_cast<unsigned>(batching.max_wait_s / gap)
+                 : 0);
+      }
+    } else if (batching.policy == BatchPolicy::kFixedSize) {
+      fill_s = gap > 0.0 ? static_cast<double>(need) * gap : 0.0;
+    }
+    const double own_batch_s =
+        dispatch_size == cap ? batch_s
+                             : oracle.batch_run(t, dispatch_size).latency_s;
+    const double predicted_latency_s = std::max(backlog_start_s - now, 0.0) +
                                        queued_batches * amortized_s +
-                                       batch_s;
+                                       fill_s + own_batch_s;
     return predicted_latency_s <= ts.report.sla_s;
   }
 
@@ -290,6 +343,9 @@ struct Engine {
     }
     const double end = start + run.latency_s;
     ts.est_free_s = end;
+    if (ts.needs_shared) {
+      shared_est_free_s = std::max(shared_est_free_s, end);
+    }
 
     for (const std::size_t c : ts.occupancy) {
       report.chiplet_busy_s[c] += end - start;
@@ -539,6 +595,10 @@ struct Engine {
         (handoff_s == 0.0 && start == expected)
             ? b->batch_start_s + s.end_offset_s
             : start + (s.end_offset_s - s.start_offset_s) + handoff_s;
+    if (s.shared) {
+      // Feed the admission estimate's cross-tenant contention term.
+      shared_est_free_s = std::max(shared_est_free_s, end);
+    }
 
     // Busy accounting keeps batch-granular executor semantics (the whole
     // occupancy is "this tenant's executor working"), so utilization is
@@ -832,6 +892,8 @@ ServingReport simulate(const ServingConfig& config) {
       std::max(engine.last_completion_s - first_arrival, 0.0);
   ServingMetrics& m = out.metrics;
   m.makespan_s = makespan;
+  m.first_arrival_abs_s = first_arrival;
+  m.last_completion_abs_s = engine.last_completion_s;
 
   std::vector<double> all_latencies;
   std::uint64_t violations = 0;
@@ -866,6 +928,7 @@ ServingReport simulate(const ServingConfig& config) {
     all_latencies.insert(all_latencies.end(), ts.latencies.begin(),
                          ts.latencies.end());
     out.tenants.push_back(ts.report);
+    out.tenant_latencies.push_back(std::move(ts.latencies));
   }
   OPTIPLET_ASSERT(m.offered == m.completed + m.shed,
                   "serving lost requests: offered != completed + shed");

@@ -1,0 +1,56 @@
+#include "cluster/cluster_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system_config.hpp"
+#include "serve/serving_simulator.hpp"
+
+namespace optiplet::cluster {
+namespace {
+
+/// Rack-on-cycle-fidelity coverage: every package's service-time oracle
+/// drives the cycle-accurate photonic interposer. Labeled `slow` in CMake
+/// (with the other cycle-accurate tests) so the sanitizer CI legs skip it.
+TEST(ClusterCycleFidelity, RackIsDeterministicAcrossThreadsAtCycleFidelity) {
+  ClusterConfig config;
+  config.system = core::default_system_config();
+  config.system.fidelity = core::Fidelity::kCycleAccurate;
+  config.serving.tenant_mix = "LeNet5+MobileNetV2";
+  config.serving.arrival_rps = 600.0;
+  config.serving.requests = 120;
+  config.cluster.packages = 2;
+  config.cluster.balancer = BalancerPolicy::kLeastLoaded;
+  config.cluster.replication = 2;
+
+  config.threads = 1;
+  const ClusterReport one = simulate(config);
+  config.threads = 2;
+  const ClusterReport two = simulate(config);
+
+  EXPECT_EQ(one.metrics.rack.offered, 120u);
+  EXPECT_EQ(one.metrics.rack.completed, 120u);
+  EXPECT_EQ(one.metrics.rack.completed, two.metrics.rack.completed);
+  EXPECT_EQ(one.metrics.rack.makespan_s, two.metrics.rack.makespan_s);
+  EXPECT_EQ(one.metrics.rack.mean_latency_s,
+            two.metrics.rack.mean_latency_s);
+  EXPECT_EQ(one.metrics.rack.p99_s, two.metrics.rack.p99_s);
+  EXPECT_EQ(one.metrics.rack.energy_j, two.metrics.rack.energy_j);
+  EXPECT_EQ(one.metrics.transfers, two.metrics.transfers);
+  EXPECT_EQ(one.metrics.transfer_energy_j, two.metrics.transfer_energy_j);
+
+  // The cycle-fidelity rack still degenerates: one package, same config,
+  // bit-identical to the lone cycle-accurate simulator.
+  config.cluster.packages = 1;
+  config.cluster.replication = 1;
+  config.threads = 1;
+  const ClusterReport rack = simulate(config);
+  const serve::ServingReport lone = serve::simulate(serve::make_serving_config(
+      config.system, config.arch, config.serving));
+  EXPECT_EQ(rack.metrics.rack.completed, lone.metrics.completed);
+  EXPECT_EQ(rack.metrics.rack.makespan_s, lone.metrics.makespan_s);
+  EXPECT_EQ(rack.metrics.rack.p99_s, lone.metrics.p99_s);
+  EXPECT_EQ(rack.metrics.rack.energy_j, lone.metrics.energy_j);
+}
+
+}  // namespace
+}  // namespace optiplet::cluster

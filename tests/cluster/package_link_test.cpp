@@ -1,0 +1,68 @@
+#include "cluster/package_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system_config.hpp"
+
+namespace optiplet::cluster {
+namespace {
+
+PackageLink default_link(double length_m = 0.25,
+                         std::size_t wavelengths = 16) {
+  const core::SystemConfig base = core::default_system_config();
+  ClusterSpec spec;
+  spec.link_length_m = length_m;
+  spec.link_wavelengths = wavelengths;
+  return make_package_link(spec, base.photonic, base.tech.photonic);
+}
+
+TEST(PackageLink, BudgetClosesAtBoardScale) {
+  const PackageLink link = default_link();
+  EXPECT_TRUE(link.feasible());
+  EXPECT_GT(link.budget().total_loss_db(), 0.0);
+  EXPECT_GE(link.crosstalk_penalty_db(), 0.0);
+  EXPECT_GT(link.laser_power_per_wavelength_w(), 0.0);
+  // The wall-plug chain always costs more electrically than the optical
+  // power it emits.
+  EXPECT_GT(link.laser_electrical_power_w(),
+            static_cast<double>(link.config().wavelengths) *
+                link.laser_power_per_wavelength_w());
+}
+
+TEST(PackageLink, TransferCostsScaleWithPayload) {
+  const PackageLink link = default_link();
+  // Zero payload still pays the store-and-forward + time-of-flight floor.
+  EXPECT_GT(link.transfer_latency_s(0), 0.0);
+  const double small = link.transfer_latency_s(1 << 10);
+  const double large = link.transfer_latency_s(1 << 20);
+  EXPECT_GT(large, small);
+  // The serialization term is linear: the payload delta costs exactly
+  // its bits at the aggregate link bandwidth.
+  const double delta_bits = static_cast<double>((1 << 20) - (1 << 10));
+  EXPECT_NEAR(large - small, delta_bits / link.bandwidth_bps(),
+              1e-9 * (large - small));
+  EXPECT_GT(link.transfer_energy_j(1 << 20),
+            link.transfer_energy_j(1 << 10));
+}
+
+TEST(PackageLink, LongerBoardRouteCostsMoreLossAndLatency) {
+  const PackageLink near = default_link(0.05);
+  const PackageLink far = default_link(0.50);
+  EXPECT_GT(far.budget().total_loss_db(), near.budget().total_loss_db());
+  EXPECT_GT(far.transfer_latency_s(1 << 10),
+            near.transfer_latency_s(1 << 10));
+  // More propagation loss means a hotter laser, so the same payload
+  // costs more energy on the longer route.
+  EXPECT_GT(far.transfer_energy_j(1 << 16),
+            near.transfer_energy_j(1 << 16));
+}
+
+TEST(PackageLink, BandwidthTracksChannelCount) {
+  const PackageLink narrow = default_link(0.25, 8);
+  const PackageLink wide = default_link(0.25, 16);
+  EXPECT_NEAR(wide.bandwidth_bps(), 2.0 * narrow.bandwidth_bps(),
+              1e-6 * wide.bandwidth_bps());
+}
+
+}  // namespace
+}  // namespace optiplet::cluster

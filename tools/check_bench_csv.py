@@ -28,6 +28,18 @@ noc_photonic_traffic.csv
   * mean read latency is non-decreasing with offered load per mode
   * delivered fraction is non-decreasing with offered load per mode
 
+cluster_scale_sweep.csv
+  * schema/finiteness, per-package utilization spread in [0, 1] with
+    util_min <= util_max, shed fraction in [0, 1], goodput never exceeds
+    throughput, transfer charges non-negative (and consistent: zero
+    transfers means zero transfer latency/energy)
+  * rack throughput is non-decreasing in package count at fixed
+    (balancer, replication, offered load) — adding packages must not
+    cost aggregate throughput
+  * at equal (packages, replication, offered load), the locality-aware
+    balancer achieves at least the round-robin goodput (it only deviates
+    from the fallback policy to avoid photonic transfer hops)
+
 Usage: check_bench_csv.py FILE [FILE ...]
 Files are dispatched on their basename. Exits non-zero on any violation.
 """
@@ -244,9 +256,102 @@ def check_noc(path):
         check_trend(path, group, "delivered_fraction", f"mode {mode}")
 
 
+def check_cluster(path):
+    numeric_cols = [
+        "packages",
+        "replication",
+        "offered_rps",
+        "throughput_rps",
+        "goodput_rps",
+        "shed",
+        "shed_fraction",
+        "p50_s",
+        "p99_s",
+        "energy_per_request_j",
+        "transfers",
+        "transfer_latency_s",
+        "transfer_energy_j",
+        "util_min",
+        "util_max",
+    ]
+    parsed = []
+    for row in read_rows(path, ["balancer"] + numeric_cols):
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        values["balancer"] = row["balancer"]
+        values["_load"] = values["packages"]
+        parsed.append(values)
+        if not 0.0 <= values["util_min"] <= values["util_max"] <= 1.0 + 1e-6:
+            fail(
+                path,
+                f"utilization spread out of [0, 1]: "
+                f"[{values['util_min']:g}, {values['util_max']:g}]",
+            )
+        if not 0.0 <= values["shed_fraction"] <= 1.0:
+            fail(
+                path,
+                f"shed fraction out of [0, 1]: {values['shed_fraction']:g}",
+            )
+        if values["goodput_rps"] > values["throughput_rps"] / PAIR_TOLERANCE:
+            fail(
+                path,
+                f"goodput {values['goodput_rps']:g} exceeds throughput "
+                f"{values['throughput_rps']:g}",
+            )
+        if values["transfer_latency_s"] < 0 or values["transfer_energy_j"] < 0:
+            fail(
+                path,
+                f"negative transfer charge: latency "
+                f"{values['transfer_latency_s']:g} energy "
+                f"{values['transfer_energy_j']:g}",
+            )
+        if values["transfers"] == 0 and (
+            values["transfer_latency_s"] > 0 or values["transfer_energy_j"] > 0
+        ):
+            fail(path, "transfer charges without any recorded transfers")
+
+    # Rack throughput monotone in package count at fixed load: the trend
+    # key is the package count, so adding packages must not cost
+    # aggregate throughput within each (balancer, replication, load)
+    # series.
+    series = {}
+    for row in parsed:
+        key = (row["balancer"], row["replication"], row["offered_rps"])
+        series.setdefault(key, []).append(row)
+    for key, group in sorted(series.items()):
+        if len(group) < 2:
+            fail(path, f"series {key}: fewer than 2 package counts")
+            continue
+        label = "/".join(str(k) for k in key)
+        check_trend(path, group, "throughput_rps", f"series {label}")
+
+    # Locality-aware must not lose goodput to round-robin at equal load.
+    rr = {}
+    locality = {}
+    for row in parsed:
+        key = (row["packages"], row["replication"], row["offered_rps"])
+        {"rr": rr, "locality": locality}.setdefault(row["balancer"], {})[
+            key
+        ] = row
+    pairs = sorted(set(rr) & set(locality))
+    if locality and not pairs:
+        fail(path, "locality-aware rows have no round-robin twin")
+    for key in pairs:
+        base, better = rr[key], locality[key]
+        if better["goodput_rps"] < base["goodput_rps"] * TREND_TOLERANCE:
+            label = "/".join(str(k) for k in key)
+            fail(
+                path,
+                f"locality-aware goodput {better['goodput_rps']:g} below "
+                f"round-robin {base['goodput_rps']:g} at {label}",
+            )
+
+
 CHECKERS = {
     "serving_load_sweep.csv": check_serving,
     "noc_photonic_traffic.csv": check_noc,
+    "cluster_scale_sweep.csv": check_cluster,
 }
 
 

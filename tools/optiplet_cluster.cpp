@@ -1,20 +1,16 @@
-/// \file optiplet_serve.cpp
-/// Command-line front end of the request-level serving simulator: declare
-/// the tenant mix, offered-load points, and batching policies; evaluate
-/// the (rates x policies x fidelities) serving grid on a worker pool; and
-/// dump the tail-latency/throughput/energy columns as CSV.
+/// \file optiplet_cluster.cpp
+/// Command-line front end of the rack-scale cluster simulator: declare
+/// the tenant mix and the rack shape (package count, balancer policy,
+/// replication), evaluate the cluster grid on a worker pool, and dump
+/// the rack throughput/tail-latency/transfer columns as CSV.
 ///
 /// Examples:
-///   optiplet_serve --tenants LeNet5 --rates 500,1000,2000
-///   optiplet_serve --tenants MobileNetV2,ResNet50 --rates 400 \
-///       --policies none,deadline --max-batch 8 --max-wait 2e-3
-///   optiplet_serve --tenants LeNet5 --rates 1000 --fidelity cycle
-///   optiplet_serve --tenants ResNet50,DenseNet121 --rates 300 \
-///       --pipelines batch,layer
-///   optiplet_serve --tenants LeNet5 --users 8,32,128 --think 5e-3
-///   optiplet_serve --tenants ResNet50,DenseNet121 --priorities 0,1 \
-///       --admission all,shed --rates 600
-///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
+///   optiplet_cluster --tenants LeNet5 --packages 1,2,4 --rates 2000
+///   optiplet_cluster --tenants ResNet50,LeNet5 --packages 2 \
+///       --balancers rr,least --replication-mix 1+2
+///   optiplet_cluster --tenants LeNet5 --packages 4 --replication 4 \
+///       --balancers locality --rates 4000
+///   optiplet_cluster --trace arrivals.csv --tenants LeNet5 --packages 2
 
 #include <algorithm>
 #include <cstdio>
@@ -38,38 +34,36 @@ using cli::parse_double;
 using cli::split;
 
 constexpr const char* kUsage =
-    R"(optiplet_serve — request-level inference serving simulator
+    R"(optiplet_cluster — multi-package rack serving simulator
 
-Serves a request stream against the 2.5D platform: open-loop (seeded
-Poisson or replayed-trace) or closed-loop (client-pool) arrivals per
-tenant, an admission/batching policy with optional SLA-aware shedding,
-chiplet-pool partitioning between co-located tenants, and the
-full-system simulator as the (memoized) batch service-time oracle.
-Reports throughput, goodput, p50/p95/p99 latency, SLA violations, shed
-counts, utilization, and energy per request.
+Runs one shared arrival stream against a rack of N interposer packages
+(each a full Table-1 chiplet pool wrapping its own serving simulator)
+joined by board-level photonic links. A front-end load balancer picks
+the serving replica per request; off-ingress requests pay the photonic
+link-budget transfer cost. Reports the merged rack throughput, goodput,
+tail latency, shed counts, transfer charges, and energy per request.
 
   --tenants NAMES      comma list of co-located Table-2 models
                        (default LeNet5; see --list-models)
   --rates LIST         comma list of aggregate offered loads [requests/s]
                        (default 200; split evenly over the tenants;
                        open-loop only)
+  --packages LIST      comma list of rack package counts (default 4)
+  --balancers LIST     comma list of rr|least|locality (default locality)
+  --replication LIST   comma list of replicas per tenant, each clamped to
+                       the package count (default 1)
+  --replication-mix M  '+'-joined per-tenant replication factors aligned
+                       with --tenants (e.g. 1+2); overrides --replication
+  --link-length M      board-level link length between packages [m]
+                       (default 0.25)
+  --link-wavelengths N WDM channels per inter-package link (default 16)
   --policies LIST      comma list of none|size|deadline (default none)
-  --pipelines LIST     comma list of batch|layer execution granularities
-                       (default batch; layer = SET-style inter-layer
-                       pipelining with scarce-group handoff)
+  --admission LIST     comma list of all|shed (default all)
   --sources LIST       comma list of open|closed arrival sources
-                       (default open; closed = N users per tenant issuing
-                       one request each, thinking between responses)
+                       (default open)
   --users LIST         comma list of closed-loop users per tenant
                        (default 16; implies --sources closed when
                        --sources is not given)
-  --think S            closed-loop mean exponential think time [s]
-                       (default 1e-2)
-  --admission LIST     comma list of all|shed (default all; shed rejects
-                       arrivals whose predicted completion misses the SLA)
-  --priorities LIST    comma list of per-tenant priority classes aligned
-                       with --tenants (lower = more important; default
-                       all 0); orders contended shared-resource grants
   --max-batch K        batch bound for size/deadline policies (default 8)
   --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
   --requests N         total arrivals across tenants (default 2000)
@@ -82,16 +76,16 @@ counts, utilization, and energy per request.
   --fidelity LIST      comma list of analytical|cycle (default analytical)
   --threads N          worker threads; must be a positive integer
                        (default: hardware concurrency)
-  --out FILE           output CSV path (default serve.csv)
+  --out FILE           output CSV path (default cluster.csv)
   --quiet              suppress the progress meter
   --list-models        print the Table-2 model names and exit
   --help               this text
 
-Value flags also accept the --flag=value spelling (e.g. --rates=500).
+Value flags also accept the --flag=value spelling (e.g. --packages=1,4).
 )";
 
 int fail(const std::string& message) {
-  std::fprintf(stderr, "optiplet_serve: %s\n", message.c_str());
+  std::fprintf(stderr, "optiplet_cluster: %s\n", message.c_str());
   std::fprintf(stderr, "Run with --help for usage.\n");
   return 2;
 }
@@ -105,10 +99,11 @@ std::string format_us(double seconds) {
 int main(int argc, char** argv) {
   engine::ScenarioGrid grid;
   grid.serving_defaults.requests = 2000;
+  grid.cluster_defaults.packages = 4;
   std::vector<std::string> tenants = {"LeNet5"};
   accel::Architecture arch = accel::Architecture::kSiph2p5D;
   std::size_t threads = 0;
-  std::string out_path = "serve.csv";
+  std::string out_path = "cluster.csv";
   bool quiet = false;
 
   cli::FlagCursor cursor(argc, argv);
@@ -134,9 +129,11 @@ int main(int argc, char** argv) {
       continue;
     }
     const bool known_value_flag =
-        arg == "--tenants" || arg == "--rates" || arg == "--policies" ||
-        arg == "--pipelines" || arg == "--sources" || arg == "--users" ||
-        arg == "--think" || arg == "--admission" || arg == "--priorities" ||
+        arg == "--tenants" || arg == "--rates" || arg == "--packages" ||
+        arg == "--balancers" || arg == "--replication" ||
+        arg == "--replication-mix" || arg == "--link-length" ||
+        arg == "--link-wavelengths" || arg == "--policies" ||
+        arg == "--admission" || arg == "--sources" || arg == "--users" ||
         arg == "--max-batch" || arg == "--max-wait" ||
         arg == "--requests" || arg == "--seed" || arg == "--sla" ||
         arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
@@ -165,6 +162,45 @@ int main(int argc, char** argv) {
         }
         grid.arrival_rates_rps.push_back(*rate);
       }
+    } else if (arg == "--packages") {
+      for (const auto& text : split(*value, ',')) {
+        const auto count = parse_count(text);
+        if (!count || *count == 0) {
+          return fail("bad package count: " + text);
+        }
+        grid.package_counts.push_back(*count);
+      }
+    } else if (arg == "--balancers") {
+      for (const auto& name : split(*value, ',')) {
+        const auto policy = cluster::balancer_policy_from_string(name);
+        if (!policy) {
+          return fail("unknown balancer policy: " + name +
+                      " (valid: rr, least, locality)");
+        }
+        grid.balancer_policies.push_back(*policy);
+      }
+    } else if (arg == "--replication") {
+      for (const auto& text : split(*value, ',')) {
+        const auto factor = parse_count(text);
+        if (!factor || *factor == 0) {
+          return fail("bad replication factor: " + text);
+        }
+        grid.replication_factors.push_back(*factor);
+      }
+    } else if (arg == "--replication-mix") {
+      grid.cluster_defaults.replication_mix = *value;
+    } else if (arg == "--link-length") {
+      const auto length = parse_double(*value);
+      if (!length || *length <= 0.0) {
+        return fail("bad link length: " + *value);
+      }
+      grid.cluster_defaults.link_length_m = *length;
+    } else if (arg == "--link-wavelengths") {
+      const auto count = parse_count(*value);
+      if (!count || *count == 0) {
+        return fail("bad link wavelength count: " + *value);
+      }
+      grid.cluster_defaults.link_wavelengths = *count;
     } else if (arg == "--policies") {
       for (const auto& name : split(*value, ',')) {
         const auto policy = serve::batch_policy_from_string(name);
@@ -174,14 +210,14 @@ int main(int argc, char** argv) {
         }
         grid.batch_policies.push_back(*policy);
       }
-    } else if (arg == "--pipelines") {
+    } else if (arg == "--admission") {
       for (const auto& name : split(*value, ',')) {
-        const auto mode = serve::pipeline_mode_from_string(name);
-        if (!mode) {
-          return fail("unknown pipeline mode: " + name +
-                      " (valid: batch, layer)");
+        const auto admission = serve::admission_policy_from_string(name);
+        if (!admission) {
+          return fail("unknown admission policy: " + name +
+                      " (valid: all, shed)");
         }
-        grid.pipeline_modes.push_back(*mode);
+        grid.admission_policies.push_back(*admission);
       }
     } else if (arg == "--sources") {
       for (const auto& name : split(*value, ',')) {
@@ -200,23 +236,6 @@ int main(int argc, char** argv) {
         }
         grid.user_counts.push_back(static_cast<unsigned>(*users));
       }
-    } else if (arg == "--think") {
-      const auto think = parse_double(*value);
-      if (!think || *think < 0.0) {
-        return fail("bad think time: " + *value);
-      }
-      grid.serving_defaults.think_s = *think;
-    } else if (arg == "--admission") {
-      for (const auto& name : split(*value, ',')) {
-        const auto admission = serve::admission_policy_from_string(name);
-        if (!admission) {
-          return fail("unknown admission policy: " + name +
-                      " (valid: all, shed)");
-        }
-        grid.admission_policies.push_back(*admission);
-      }
-    } else if (arg == "--priorities") {
-      grid.serving_defaults.priority_mix = join(split(*value, ','), "+");
     } else if (arg == "--max-batch") {
       const auto k = parse_count(*value);
       if (!k || *k == 0) {
@@ -280,18 +299,13 @@ int main(int argc, char** argv) {
 
   grid.architectures = {arch};
   grid.tenant_mixes = {join(tenants, "+")};
+  if (grid.package_counts.empty()) {
+    grid.package_counts = {grid.cluster_defaults.packages};
+  }
   if (grid.arrival_rates_rps.empty()) {
     grid.arrival_rates_rps = {grid.serving_defaults.arrival_rps};
   }
-  if (grid.batch_policies.empty()) {
-    grid.batch_policies = {grid.serving_defaults.policy};
-  }
-  if (grid.pipeline_modes.empty()) {
-    grid.pipeline_modes = {grid.serving_defaults.pipeline};
-  }
   if (grid.arrival_sources.empty()) {
-    // A --users axis without --sources means closed loop: that is the
-    // only source the axis is meaningful for.
     grid.arrival_sources = {grid.user_counts.empty()
                                 ? grid.serving_defaults.source
                                 : serve::ArrivalSource::kClosedLoop};
@@ -301,7 +315,7 @@ int main(int argc, char** argv) {
   options.threads = threads;
   if (!quiet) {
     options.progress = [](std::size_t done, std::size_t total) {
-      std::fprintf(stderr, "\r%zu/%zu serving scenarios", done, total);
+      std::fprintf(stderr, "\r%zu/%zu cluster scenarios", done, total);
       if (done == total) {
         std::fputc('\n', stderr);
       }
@@ -317,38 +331,38 @@ int main(int argc, char** argv) {
   try {
     store.add_all(runner.run(grid));
   } catch (const std::exception& e) {
-    return fail(std::string("serving sweep failed: ") + e.what());
+    return fail(std::string("cluster sweep failed: ") + e.what());
   }
   if (store.empty()) {
-    std::printf("No feasible serving scenarios — nothing to report.\n");
+    std::printf("No feasible cluster scenarios — nothing to report.\n");
     return 1;
   }
 
-  util::TextTable table({"Load", "Policy", "Pipe", "Adm", "Fid",
-                         "Thpt (r/s)", "Gput (r/s)", "Shed", "p50 (us)",
-                         "p99 (us)", "SLA viol", "Util", "E/req (mJ)"});
+  util::TextTable table({"Pkgs", "Balancer", "Rep", "Load", "Thpt (r/s)",
+                         "Gput (r/s)", "Shed", "p99 (us)", "Xfers",
+                         "Xfer E (mJ)", "E/req (mJ)"});
   for (const auto& r : store.results()) {
     const auto& m = *r.serving;
+    const auto& c = *r.cluster;
+    const auto& cs = *r.spec.cluster;
     const auto& s = *r.spec.serving;
-    // The load knob differs by source: offered rate (open loop) versus
-    // the user-pool size (closed loop).
     const std::string load =
         s.source == serve::ArrivalSource::kClosedLoop
             ? std::to_string(s.users) + "u"
             : util::format_fixed(s.arrival_rps, 0);
-    table.add_row({load, serve::to_string(s.policy),
-                   serve::to_string(s.pipeline),
-                   serve::to_string(s.admission),
-                   core::to_string(r.spec.fidelity),
-                   util::format_fixed(m.throughput_rps, 0),
+    table.add_row({std::to_string(cs.packages),
+                   cluster::to_string(cs.balancer),
+                   cs.replication_mix.empty()
+                       ? std::to_string(cs.replication)
+                       : cs.replication_mix,
+                   load, util::format_fixed(m.throughput_rps, 0),
                    util::format_fixed(m.goodput_rps, 0),
-                   std::to_string(m.shed), format_us(m.p50_s),
-                   format_us(m.p99_s),
-                   util::format_fixed(m.sla_violation_rate, 3),
-                   util::format_fixed(m.utilization, 3),
+                   std::to_string(m.shed), format_us(m.p99_s),
+                   std::to_string(c.transfers),
+                   util::format_fixed(c.transfer_energy_j * 1e3, 3),
                    util::format_fixed(m.energy_per_request_j * 1e3, 3)});
   }
-  std::printf("Serving %s on %s, %zu scenarios (%zu threads)\n\n",
+  std::printf("Rack serving %s on %s, %zu scenarios (%zu threads)\n\n",
               grid.tenant_mixes.front().c_str(), accel::to_string(arch),
               store.size(), runner.threads());
   std::fputs(table.render().c_str(), stdout);
@@ -356,6 +370,6 @@ int main(int argc, char** argv) {
   if (!store.write_csv(out_path)) {
     return fail("cannot write " + out_path);
   }
-  std::printf("\nServing grid written to %s\n", out_path.c_str());
+  std::printf("\nCluster grid written to %s\n", out_path.c_str());
   return 0;
 }

@@ -54,7 +54,8 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.
                        other architectures always use the analytical model
   --set KEY=V1,V2,...  sweep axis over a named SystemConfig override
                        (repeatable; see --list-overrides)
-  --threads N          worker threads (default 0 = hardware concurrency)
+  --threads N          worker threads; must be a positive integer
+                       (default: hardware concurrency)
   --out FILE           output CSV path (default sweep.csv)
   --per-layer FILE     also dump the per-layer timing/provisioning
                        breakdown of every scenario as CSV
@@ -251,8 +252,10 @@ int main(int argc, char** argv) {
       grid.override_axes.push_back(std::move(axis));
     } else if (arg == "--threads") {
       const auto count = parse_count(*value);
-      if (!count) {
-        return fail("bad thread count: " + *value);
+      if (!count || *count == 0) {
+        return fail("bad thread count: " + *value +
+                    " (need a positive integer; omit the flag for "
+                    "hardware concurrency)");
       }
       threads = *count;
     } else if (arg == "--per-layer") {
@@ -274,6 +277,10 @@ int main(int argc, char** argv) {
   }
 
   engine::SweepRunner runner(core::default_system_config(), options);
+  if (!quiet) {
+    std::fprintf(stderr, "Running on %zu worker threads\n",
+                 runner.threads());
+  }
   engine::ResultStore store;
   try {
     store.add_all(runner.run(grid));
