@@ -1,0 +1,161 @@
+/// \file sim_speed_sweep.cpp
+/// Simulator self-benchmark: requests simulated per wall-second at each
+/// interconnect fidelity, on the serving load sweep the fidelity modes
+/// exist to accelerate.
+///
+/// One heavyweight tenant (DenseNet121 — deep enough that the per-layer
+/// cycle loop dominates cycle-accurate wall time) is served at the same
+/// sub-knee load points under kAnalytical, kCycleAccurate, and kSampled.
+/// Each fidelity runs on a fresh SweepRunner so its wall-clock includes
+/// the ServiceTimeOracle warm-up (the memoized per-(tenant, batch) system
+/// runs where fidelity cost actually lives) plus the request event loop.
+///
+/// The CSV makes the speed/accuracy contract measurable: sampled fidelity
+/// must stay within the calibration tolerance bands of the cycle-accurate
+/// latencies while simulating requests an order of magnitude faster.
+/// tools/check_bench_csv.py trips CI when either side regresses
+/// (sampled < 10x cycle requests/wall-s, or sampled latency outside the
+/// cycle bands).
+///
+/// Dumps sim_speed_sweep.csv next to the binary.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fidelity.hpp"
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "serve/service_time.hpp"
+#include "serve/serving_simulator.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+constexpr const char* kModel = "DenseNet121";
+constexpr std::uint64_t kRequestsPerPoint = 400;
+
+/// Sub-knee load points: latency tracks the batch service time here, so
+/// the sampled-vs-cycle comparison measures model agreement. Near the
+/// knee, queueing would amplify a few percent of service-time error into
+/// tens of percent of latency error (waits scale like 1/(1 - rho)) and
+/// the band would gate queueing theory instead of fidelity.
+constexpr double kUtilizations[] = {0.3, 0.6};
+
+/// The sampled operating point the CI gate is calibrated for: 8 windows
+/// keeps the worst-case DenseNet121 latency error inside the calibration
+/// bands (see tests/serve/batch_calibration_test.cpp) while the cycle
+/// loop runs only on ~6% of the layers.
+core::FidelitySpec sampled_spec() {
+  core::FidelitySpec spec(core::Fidelity::kSampled);
+  spec.windows = 8;
+  spec.seed = 3;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const core::SystemConfig base = core::default_system_config();
+
+  // One shared capacity anchor (analytical batch-1 service time) so every
+  // fidelity serves the exact same offered rates.
+  const double capacity_rps = [&base] {
+    serve::ColocatedSetup setup = serve::make_colocated_setup(
+        base, accel::Architecture::kSiph2p5D, serve::split_mix(kModel));
+    serve::ServiceTimeOracle oracle(std::move(setup.oracle_tenants),
+                                    accel::Architecture::kSiph2p5D);
+    return 1.0 / oracle.batch_run(0, 1).latency_s;
+  }();
+  std::printf("%s on 2.5D-CrossLight-SiPh: no-batch capacity %.0f "
+              "requests/s (analytical anchor)\n\n",
+              kModel, capacity_rps);
+
+  const std::vector<core::FidelitySpec> fidelities = {
+      core::Fidelity::kAnalytical, core::Fidelity::kCycleAccurate,
+      sampled_spec()};
+
+  util::CsvWriter csv("sim_speed_sweep.csv",
+                      {"fidelity", "policy", "offered_rps", "offered_util",
+                       "requests", "wall_s", "requests_per_wall_s",
+                       "throughput_rps", "mean_s", "p50_s", "p95_s", "p99_s",
+                       "mean_batch"});
+  OPTIPLET_REQUIRE(csv.ok(), "cannot write sim_speed_sweep.csv");
+
+  util::TextTable table({"Fidelity", "Wall (s)", "Req/wall-s", "Points",
+                         "p50 @0.3 (us)", "p50 @0.6 (us)"});
+  for (const core::FidelitySpec& fidelity : fidelities) {
+    engine::ScenarioGrid grid;
+    grid.tenant_mixes = {kModel};
+    grid.architectures = {accel::Architecture::kSiph2p5D};
+    grid.fidelities = {fidelity};
+    // kNone serves batch 1, kFixedSize batch 8 (plus a partial tail): the
+    // oracle warms several distinct batch sizes per fidelity, the axis the
+    // memoized cycle cost scales along.
+    grid.batch_policies = {serve::BatchPolicy::kNone,
+                           serve::BatchPolicy::kFixedSize};
+    for (const double util : kUtilizations) {
+      grid.arrival_rates_rps.push_back(util * capacity_rps);
+    }
+    grid.serving_defaults.requests = kRequestsPerPoint;
+    grid.serving_defaults.max_batch = 8;
+    grid.serving_defaults.max_wait_s = 500e-6;
+
+    // Fresh runner per fidelity: the wall-clock below is this fidelity's
+    // full cost — oracle warm-up included — with no cross-fidelity memo
+    // reuse.
+    engine::SweepRunner runner(base);
+    const auto t0 = std::chrono::steady_clock::now();
+    const engine::ResultStore store(runner.run(grid));
+    const auto t1 = std::chrono::steady_clock::now();
+    OPTIPLET_REQUIRE(!store.empty(), "sim speed sweep produced no results");
+
+    const double wall_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    OPTIPLET_REQUIRE(wall_s > 0.0, "zero wall time for a fidelity sweep");
+    const double simulated_requests = static_cast<double>(
+        kRequestsPerPoint * store.results().size());
+    const double requests_per_wall_s = simulated_requests / wall_s;
+
+    const std::string fidelity_name = core::to_string(fidelity);
+    double p50_low = 0.0;
+    double p50_high = 0.0;
+    for (const auto& r : store.results()) {
+      OPTIPLET_REQUIRE(r.serving.has_value(),
+                       "sim speed row without serving metrics");
+      const auto& m = *r.serving;
+      const auto& s = *r.spec.serving;
+      const double util = s.arrival_rps / capacity_rps;
+      if (s.policy == serve::BatchPolicy::kNone) {
+        (util < 0.45 ? p50_low : p50_high) = m.p50_s;
+      }
+      csv.add_row({fidelity_name, serve::to_string(s.policy),
+                   util::format_general(s.arrival_rps),
+                   util::format_general(util),
+                   std::to_string(kRequestsPerPoint),
+                   util::format_general(wall_s),
+                   util::format_general(requests_per_wall_s),
+                   util::format_general(m.throughput_rps),
+                   util::format_general(m.mean_latency_s),
+                   util::format_general(m.p50_s),
+                   util::format_general(m.p95_s),
+                   util::format_general(m.p99_s),
+                   util::format_general(m.mean_batch)});
+    }
+    table.add_row({fidelity_name, util::format_fixed(wall_s, 3),
+                   util::format_fixed(requests_per_wall_s, 0),
+                   std::to_string(store.results().size()),
+                   util::format_fixed(p50_low * 1e6, 1),
+                   util::format_fixed(p50_high * 1e6, 1)});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nFull sweep written to sim_speed_sweep.csv\n");
+  return 0;
+}

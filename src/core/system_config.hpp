@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "accel/platform.hpp"
+#include "core/fidelity.hpp"
 #include "noc/elec_interposer_model.hpp"
 #include "noc/photonic_interposer.hpp"
 #include "noc/resipi_controller.hpp"
@@ -15,32 +16,12 @@
 
 namespace optiplet::core {
 
-/// Interconnect modeling fidelity. Analytical is the closed-form
-/// transaction-level model (fast, contention-free); CycleAccurate drives
-/// the photonic interposer through noc::PhotonicCycleNet, making reader-
-/// gateway contention and ReSiPI epoch transients visible. Architectures
-/// without a cycle model (monolithic, electrical 2.5D) always run the
-/// analytical path.
-enum class Fidelity {
-  kAnalytical,
-  kCycleAccurate,
-};
-
-[[nodiscard]] constexpr const char* to_string(Fidelity f) {
-  switch (f) {
-    case Fidelity::kAnalytical:
-      return "analytical";
-    case Fidelity::kCycleAccurate:
-      return "cycle";
-  }
-  return "?";
-}
-
 struct SystemConfig {
   power::TechParams tech{};
 
-  /// Interconnect fidelity for SystemSimulator runs.
-  Fidelity fidelity = Fidelity::kAnalytical;
+  /// Interconnect fidelity for SystemSimulator runs: the mode (analytical /
+  /// cycle / sampled) plus the sampling knobs — see core/fidelity.hpp.
+  FidelitySpec fidelity = Fidelity::kAnalytical;
 
   /// Photonic interposer (Table 1: 64 wavelengths at 12 Gb/s, 2 GHz
   /// gateways; 8 compute chiplets x 4 gateways).

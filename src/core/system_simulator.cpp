@@ -16,6 +16,18 @@ namespace {
 /// (DDR4-class; the 2.5D platforms use the HBM chiplet instead).
 constexpr double kDdrEnergyPerBit = 15.0e-12;
 
+/// Closed-form SiPh layer estimate: what the analytical path charges for
+/// one layer. Under kSampled this is evaluated for *every* layer (keeping
+/// the estimator's ReSiPI controller marching through a continuous demand
+/// history) and doubles as the denominator of the correction ratio.
+struct SiphEstimate {
+  double read_s = 0.0;
+  double write_s = 0.0;
+  double overhead_s = 0.0;
+  std::size_t gateways = 0;      ///< active per assigned chiplet
+  std::size_t total_active = 0;  ///< across all chiplets
+};
+
 }  // namespace
 
 SystemSimulator::SystemSimulator(const SystemConfig& config)
@@ -186,13 +198,24 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
       config_.resipi, chiplet_count, config_.photonic.gateways_per_chiplet,
       interposer.gateway_bandwidth_bps(), config_.tech.photonic.pcm);
 
-  // High-fidelity photonic path: drive every transfer through the
+  // High-fidelity photonic path: drive transfers through the
   // cycle-accurate interposer; its embedded controller sees real demand at
-  // real epoch boundaries (the outer `controller` then stays unused).
+  // real epoch boundaries. kCycleAccurate routes every layer through it
+  // (the outer `controller` then stays unused); kSampled routes the seeded
+  // window subset and fast-forwards the rest on the analytical estimator.
   const bool cycle_siph =
-      siph && config_.fidelity == Fidelity::kCycleAccurate;
+      siph && config_.fidelity.mode == Fidelity::kCycleAccurate;
+  const bool sampled_siph =
+      siph && config_.fidelity.mode == Fidelity::kSampled;
+  const std::vector<bool> sample_mask =
+      sampled_siph ? sampled_layer_mask(workload.layers.size(),
+                                        config_.fidelity, config_.batch_size)
+                   : std::vector<bool>(workload.layers.size(), false);
+  const bool any_sampled =
+      std::find(sample_mask.begin(), sample_mask.end(), true) !=
+      sample_mask.end();
   std::optional<noc::PhotonicCycleNet> net;
-  if (cycle_siph) {
+  if (cycle_siph || any_sampled) {
     noc::PhotonicCycleNetConfig net_cfg;
     net_cfg.interposer = config_.photonic;
     net_cfg.resipi = config_.resipi;
@@ -211,7 +234,111 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
   }
 
   double gateway_time_weight = 0.0;  // sum over layers of gw_active * t
-  std::uint64_t prev_reconfigs = 0;
+
+  // Closed-form SiPh communication time for one layer at a given gateway
+  // provisioning (pure function of the layer and the activation state).
+  // Shared by the analytical estimate and by the sampled mode, which
+  // re-evaluates it at the cycle net's own activation state so
+  // fast-forwarded layers see the provisioning a continuous cycle run
+  // would actually have reached.
+  const auto siph_comm_at = [&](const dnn::LayerWork& lw,
+                                const accel::LayerAssignment& a,
+                                std::size_t gateways) {
+    const double chiplets = static_cast<double>(a.chiplets_used);
+    const std::uint64_t reads = lw.weight_bits + lw.input_bits;
+    const std::uint64_t writes = lw.output_bits;
+    const double chiplet_recv_bw = interposer.swsr_bandwidth_bps(gateways);
+    const double read_bw =
+        std::min(interposer.swmr_bandwidth_bps(
+                     config_.photonic.total_wavelengths),
+                 chiplets * chiplet_recv_bw);
+    // Broadcast medium carries reads once; each chiplet's filter rows
+    // must also keep up with its share + the broadcast inputs.
+    const double per_chiplet_read_bits =
+        static_cast<double>(lw.weight_bits) / chiplets +
+        static_cast<double>(lw.input_bits);
+    const double read_s = std::max(
+        interposer.transfer_latency_s(reads, read_bw),
+        interposer.transfer_latency_s(
+            static_cast<std::uint64_t>(per_chiplet_read_bits),
+            chiplet_recv_bw));
+    const double write_s = interposer.transfer_latency_s(
+        static_cast<std::uint64_t>(static_cast<double>(writes) / chiplets),
+        chiplet_recv_bw);
+    return std::make_pair(read_s, write_s);
+  };
+
+  // Closed-form SiPh layer estimate. Marches the outer `controller`
+  // through the layer's epoch-averaged demand; pure computation otherwise
+  // — no ledger charges — so the sampled mode can also evaluate it for
+  // cycle-simulated layers (keeping the estimator's demand history
+  // continuous) without double-charging energy.
+  const auto estimate_siph_layer =
+      [&](const dnn::LayerWork& lw, const accel::LayerAssignment& a,
+          std::size_t group_index) -> SiphEstimate {
+    const double chiplets = static_cast<double>(a.chiplets_used);
+    const double compute_s = static_cast<double>(lw.macs) / a.macs_per_s;
+    const std::uint64_t writes = lw.output_bits;
+    // ReSiPI provisioning: demand per assigned chiplet if the layer ran at
+    // compute speed (weights striped, inputs broadcast). The controller
+    // sees epoch-averaged demand: layers shorter than an epoch cannot
+    // justify more bandwidth than their bits spread over one epoch (this
+    // is what keeps small models at minimum gateways).
+    const double per_chiplet_bits =
+        static_cast<double>(lw.weight_bits) / chiplets +
+        static_cast<double>(lw.input_bits) +
+        static_cast<double>(writes) / chiplets;
+    const double demand_bps =
+        per_chiplet_bits / std::max(compute_s, config_.resipi.epoch_s);
+    std::vector<double> demands(chiplet_count, 0.0);
+    for (std::size_t c = 0;
+         c < platform.groups()[group_index].chiplet_count; ++c) {
+      demands[group_first_chiplet[group_index] + c] = demand_bps;
+    }
+    const std::size_t changes = controller.observe_epoch(demands);
+    SiphEstimate est;
+    est.gateways =
+        controller.active_gateways(group_first_chiplet[group_index]);
+    est.total_active = controller.total_active_gateways();
+    std::tie(est.read_s, est.write_s) = siph_comm_at(lw, a, est.gateways);
+    // Epoch quantization: a configuration change takes effect at the next
+    // epoch boundary; charge the expected half-epoch lag.
+    est.overhead_s = config_.layer_overhead_2p5d_s +
+                     (changes > 0 ? config_.resipi.epoch_s / 2.0 : 0.0);
+    return est;
+  };
+
+  // Sampled-mode stitching state: running cycle/analytical ratio-of-sums
+  // corrections (exactly 1.0 until the first sample lands, so zero-window
+  // plans reproduce the analytical mode bit-for-bit) plus Welford moments
+  // of the per-layer comm ratios for the confidence band. Ratio-of-sums
+  // rather than a per-layer mean: it estimates the *time-weighted* ratio,
+  // so heavyweight layers dominate the calibration the same way they
+  // dominate the latency being corrected. Both the denominator here and
+  // the fast-forward estimates are evaluated at the cycle net's own
+  // gateway activation state (kept marching by warm_layer), so the
+  // correction measures residual serialization/arbitration error rather
+  // than provisioning mismatch. Comm and overhead calibrate separately
+  // because the cycle net folds reconfiguration transients into the
+  // measured transfer time while the analytical model charges them as a
+  // half-epoch stall in the layer overhead.
+  double sampled_cycle_comm_s = 0.0;
+  double sampled_est_comm_s = 0.0;
+  double sampled_cycle_overhead_s = 0.0;
+  double sampled_est_overhead_s = 0.0;
+  std::size_t ratio_count = 0;
+  double ratio_mean = 0.0;
+  double ratio_m2 = 0.0;
+  const auto comm_correction = [&] {
+    return sampled_est_comm_s > 0.0
+               ? sampled_cycle_comm_s / sampled_est_comm_s
+               : 1.0;
+  };
+  const auto overhead_correction = [&] {
+    return sampled_est_overhead_s > 0.0
+               ? sampled_cycle_overhead_s / sampled_est_overhead_s
+               : 1.0;
+  };
 
   for (std::size_t i = 0; i < workload.layers.size(); ++i) {
     const dnn::LayerWork& lw = workload.layers[i];
@@ -235,11 +362,24 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
       }
     }
 
-    if (cycle_siph) {
+    if (cycle_siph || sample_mask[i]) {
       // --- Cycle-accurate photonic path: inject the layer's transfers and
       // let the interposer arbitrate them. Weights are striped (one read
       // per assigned chiplet), inputs broadcast once over the SWMR medium,
       // writes return per chiplet over the SWSR waveguides.
+      std::optional<SiphEstimate> est;
+      double den_read_s = 0.0;
+      double den_write_s = 0.0;
+      if (sampled_siph) {
+        est = estimate_siph_layer(lw, a, group_index);
+        // Calibration denominator: the closed-form comm at the net's
+        // activation state on window entry — the same state
+        // fast-forwarded layers are estimated at.
+        std::tie(den_read_s, den_write_s) =
+            siph_comm_at(lw, a,
+                         net->controller().active_gateways(
+                             group_first_chiplet[group_index]));
+      }
       const std::uint64_t cycle0 = net->cycle();
       const std::size_t completed0 = net->completed().size();
       std::vector<std::size_t> targets;
@@ -327,76 +467,93 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
       result.ledger.charge_energy("network.transfer",
                                   interposer.transfer_energy_j(
                                       reads + writes));
-    } else if (siph) {
-      // --- ReSiPI provisioning: demand per assigned chiplet if the layer
-      // ran at compute speed (weights striped, inputs broadcast).
-      const double per_chiplet_bits =
-          static_cast<double>(lw.weight_bits) / chiplets +
-          static_cast<double>(lw.input_bits) +
-          static_cast<double>(writes) / chiplets;
-      // The controller sees epoch-averaged demand: layers shorter than an
-      // epoch cannot justify more bandwidth than their bits spread over
-      // one epoch (this is what keeps small models at minimum gateways).
-      const double demand_bps =
-          per_chiplet_bits / std::max(lr.compute_s, config_.resipi.epoch_s);
-
-      std::vector<double> demands(chiplet_count, 0.0);
-      for (std::size_t c = 0; c < platform.groups()[group_index].chiplet_count;
-           ++c) {
-        demands[group_first_chiplet[group_index] + c] = demand_bps;
+      if (est) {
+        // Calibrate the stitching corrections: accumulate the sampled
+        // cycle-vs-analytical comm and overhead times (their ratio-of-sums
+        // is the applied correction), with per-layer Welford moments of
+        // the comm ratio for the band.
+        const double analytic_comm = std::max(den_read_s, den_write_s);
+        const double cycle_comm = std::max(lr.read_s, lr.write_s);
+        if (analytic_comm > 0.0 && cycle_comm > 0.0) {
+          sampled_cycle_comm_s += cycle_comm;
+          sampled_est_comm_s += analytic_comm;
+          const double ratio = cycle_comm / analytic_comm;
+          ++ratio_count;
+          const double delta = ratio - ratio_mean;
+          ratio_mean += delta / static_cast<double>(ratio_count);
+          ratio_m2 += delta * (ratio - ratio_mean);
+        }
+        if (est->overhead_s > 0.0 && lr.overhead_s > 0.0) {
+          sampled_cycle_overhead_s += lr.overhead_s;
+          sampled_est_overhead_s += est->overhead_s;
+        }
+        ++result.sampled_layers;
       }
-      const std::size_t changes = controller.observe_epoch(demands);
-      const std::size_t gw = controller.active_gateways(
-          group_first_chiplet[group_index]);
+    } else if (siph) {
+      // --- Analytical photonic path (every layer at kAnalytical; the
+      // fast-forwarded layers at kSampled, with the sampled correction
+      // applied — an exact identity until the first sample lands).
+      const SiphEstimate est = estimate_siph_layer(lw, a, group_index);
+      std::size_t gw = est.gateways;
+      std::size_t total_gw = est.total_active;
+      double read_raw = est.read_s;
+      double write_raw = est.write_s;
+      if (sampled_siph && net) {
+        // Fast-forward at the cycle net's *own* activation state — the
+        // provisioning a continuous cycle run would actually be at, which
+        // the estimator's one-epoch-per-layer self-model systematically
+        // over-provisions. Zero-window plans never construct the net and
+        // all-window plans never reach this branch, so both degeneracies
+        // stay bit-exact.
+        gw = net->controller().active_gateways(
+            group_first_chiplet[group_index]);
+        total_gw = net->controller().total_active_gateways();
+        std::tie(read_raw, write_raw) = siph_comm_at(lw, a, gw);
+      }
       lr.gateways_per_chiplet = gw;
-
-      const double chiplet_recv_bw = interposer.swsr_bandwidth_bps(gw);
-      const double read_bw =
-          std::min(interposer.swmr_bandwidth_bps(
-                       config_.photonic.total_wavelengths),
-                   chiplets * chiplet_recv_bw);
-      // Broadcast medium carries reads once; each chiplet's filter rows
-      // must also keep up with its share + the broadcast inputs.
-      const double per_chiplet_read_bits =
-          static_cast<double>(lw.weight_bits) / chiplets +
-          static_cast<double>(lw.input_bits);
-      lr.read_s = std::max(
-          interposer.transfer_latency_s(reads, read_bw),
-          interposer.transfer_latency_s(
-              static_cast<std::uint64_t>(per_chiplet_read_bits),
-              chiplet_recv_bw));
-      lr.write_s = interposer.transfer_latency_s(
-          static_cast<std::uint64_t>(static_cast<double>(writes) / chiplets),
-          chiplet_recv_bw);
+      lr.read_s = read_raw * comm_correction();
+      lr.write_s = write_raw * comm_correction();
 
       // Reads and writes ride different waveguides: they overlap.
       const double comm_s = std::max(lr.read_s, lr.write_s);
-      // Epoch quantization: a configuration change takes effect at the next
-      // epoch boundary; charge the expected half-epoch lag.
-      lr.overhead_s = config_.layer_overhead_2p5d_s +
-                      (changes > 0 ? config_.resipi.epoch_s / 2.0 : 0.0);
+      lr.overhead_s = est.overhead_s * overhead_correction();
       lr.total_s = std::max(lr.compute_s, comm_s) + lr.overhead_s;
+
+      if (sampled_siph && net) {
+        // Book the layer's traffic into the net's epoch accounting and
+        // fast-forward its wall time: the embedded controller marches
+        // through the same clock-aligned epoch grid (upshifts, idle
+        // downshifts, cross-layer demand carry) as a continuous cycle
+        // run, so the next sampled window opens at realistic provisioning
+        // instead of a stale configuration that would poison the
+        // calibration.
+        std::vector<std::uint64_t> demand_bits(chiplet_count, 0);
+        const std::uint64_t weight_slice =
+            (lw.weight_bits + a.chiplets_used - 1) / a.chiplets_used;
+        const std::uint64_t write_slice =
+            (writes + a.chiplets_used - 1) / a.chiplets_used;
+        for (std::size_t c = 0; c < a.chiplets_used; ++c) {
+          demand_bits[group_first_chiplet[group_index] + c] =
+              weight_slice + write_slice + lw.input_bits;
+        }
+        net->warm_layer(demand_bits, lr.total_s);
+      }
 
       // --- network energy ---
       // ReSiPI gates gateways, not wavelengths: the broadcast keeps lit the
       // sub-bands of the most-provisioned active reader (each gateway
       // listens on wavelengths_per_gateway channels of the shared grid).
-      const std::size_t max_gw = controller.active_gateways(
-          group_first_chiplet[group_index]);
       const auto active_lambda = std::clamp<std::size_t>(
-          max_gw * interposer.wavelengths_per_gateway(), 1,
+          gw * interposer.wavelengths_per_gateway(), 1,
           config_.photonic.total_wavelengths);
       result.ledger.charge_power_for(
           "network.static",
-          interposer.network_static_power_w(
-              active_lambda, controller.total_active_gateways()),
+          interposer.network_static_power_w(active_lambda, total_gw),
           lr.total_s);
       result.ledger.charge_energy("network.transfer",
                                   interposer.transfer_energy_j(
                                       reads + writes));
-      gateway_time_weight +=
-          static_cast<double>(controller.total_active_gateways()) *
-          lr.total_s;
+      gateway_time_weight += static_cast<double>(total_gw) * lr.total_s;
     } else {
       // --- Electrical mesh interposer: weights striped, inputs replicated
       // to every assigned chiplet (no broadcast on a mesh), word-granular
@@ -438,15 +595,38 @@ RunResult SystemSimulator::run_2p5d(const dnn::Model& model,
                                  config_.tech.compute.hbm_static_w,
                                  result.latency_s);
   if (siph) {
+    // The net's controller executed every layer it exists for: real epochs
+    // under cycle-simulated layers and warm_layer epochs under
+    // fast-forwarded ones — a single continuous trajectory. Zero-window
+    // plans (and pure analytical) have no net, so the estimator's totals
+    // stand — which keeps all-window plans bit-identical to
+    // kCycleAccurate and zero-window plans bit-identical to kAnalytical.
     const noc::ResipiController& resipi =
-        cycle_siph ? net->controller() : controller;
+        net ? net->controller() : controller;
     result.resipi_reconfigurations = resipi.reconfiguration_count();
     result.resipi_energy_j = resipi.reconfiguration_energy_j();
     result.ledger.charge_energy("network.pcm_reconfig",
                                 result.resipi_energy_j);
     result.mean_active_gateways =
         result.latency_s > 0.0 ? gateway_time_weight / result.latency_s : 0.0;
-    (void)prev_reconfigs;
+  }
+  if (sampled_siph) {
+    result.correction_factor = comm_correction();
+    result.overhead_correction = overhead_correction();
+    result.correction_lo = result.correction_factor;
+    result.correction_hi = result.correction_factor;
+    if (ratio_count > 1) {
+      // Normal-quantile band from the Welford moments of the observed
+      // per-layer ratios, centered on the applied (ratio-of-sums)
+      // correction.
+      const double z =
+          util::normal_quantile(0.5 + config_.fidelity.confidence / 2.0);
+      const double se =
+          std::sqrt(ratio_m2 / (static_cast<double>(ratio_count) *
+                                static_cast<double>(ratio_count - 1)));
+      result.correction_lo = result.correction_factor - z * se;
+      result.correction_hi = result.correction_factor + z * se;
+    }
   }
 
   result.traffic_bits = workload.total_traffic_bits();

@@ -18,7 +18,12 @@
 /// uses the closed-form interposer models; at Fidelity::kCycleAccurate the
 /// SiPh transfers are injected into noc::PhotonicCycleNet and measured
 /// cycle by cycle (ReSiPI epochs, PCM stalls, and reader-gateway
-/// contention included).
+/// contention included). Fidelity::kSampled interleaves the two: a seeded
+/// subset of layer windows (core::sampled_layer_mask) runs on the cycle
+/// net while the rest fast-forward analytically, scaled by a calibrated
+/// cycle/analytical correction factor whose confidence band lands in
+/// RunResult — the Sniper-style sampling that makes cycle-quality sweeps
+/// affordable.
 
 #include <string>
 #include <vector>
@@ -65,6 +70,25 @@ struct RunResult {
   std::uint64_t resipi_reconfigurations = 0;
   double resipi_energy_j = 0.0;
   double mean_active_gateways = 0.0;  ///< time-weighted, across all chiplets
+
+  /// Sampled-fidelity stitching telemetry (Fidelity::kSampled on the SiPh
+  /// architecture only; defaults otherwise). The correction factor is the
+  /// ratio-of-sums of sampled cycle-vs-analytical communication times — a
+  /// time-weighted estimate, so heavyweight layers dominate the
+  /// calibration the same way they dominate the latency it corrects —
+  /// applied to fast-forwarded layers; [lo, hi] is its
+  /// FidelitySpec::confidence normal-quantile band over the per-layer
+  /// ratio samples.
+  std::size_t sampled_layers = 0;
+  double correction_factor = 1.0;
+  double correction_lo = 1.0;
+  double correction_hi = 1.0;
+  /// Ratio-of-sums of sampled cycle-vs-analytical layer overheads (the
+  /// cycle net folds reconfiguration transients into measured transfer
+  /// time, so its per-layer overhead is the bare barrier while the
+  /// analytical model charges a half-epoch stall — this factor reconciles
+  /// the two).
+  double overhead_correction = 1.0;
 };
 
 /// The simulator. Stateless across runs; all state lives in the RunResult.

@@ -306,8 +306,8 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       modulations.empty()
           ? std::vector<photonics::ModulationFormat>{base.photonic.modulation}
           : modulations;
-  const std::vector<core::Fidelity> fid_axis =
-      fidelities.empty() ? std::vector<core::Fidelity>{base.fidelity}
+  const std::vector<core::FidelitySpec> fid_axis =
+      fidelities.empty() ? std::vector<core::FidelitySpec>{base.fidelity}
                          : fidelities;
 
   const auto keys = override_keys();
@@ -458,16 +458,6 @@ std::optional<photonics::ModulationFormat> modulation_from_string(
   }
   if (name == "pam4" || name == "PAM-4" || name == "PAM4") {
     return photonics::ModulationFormat::kPam4;
-  }
-  return std::nullopt;
-}
-
-std::optional<core::Fidelity> fidelity_from_string(std::string_view name) {
-  if (name == "analytical" || name == "tlm") {
-    return core::Fidelity::kAnalytical;
-  }
-  if (name == "cycle" || name == "cycle-accurate") {
-    return core::Fidelity::kCycleAccurate;
   }
   return std::nullopt;
 }

@@ -43,9 +43,11 @@ struct ScenarioSpec {
   std::size_t gateways_per_chiplet = 4;
   photonics::ModulationFormat modulation =
       photonics::ModulationFormat::kOok;
-  /// Interconnect fidelity: analytical transaction model or the
-  /// cycle-accurate photonic interposer (noc::PhotonicCycleNet).
-  core::Fidelity fidelity = core::Fidelity::kAnalytical;
+  /// Interconnect fidelity: mode (analytical / cycle / sampled) plus the
+  /// sampling knobs — see core/fidelity.hpp. Encoded in key() via
+  /// core::to_string(FidelitySpec), so the pure modes keep their bare-enum
+  /// spellings and sampled plans carry their knobs into the identity.
+  core::FidelitySpec fidelity = core::Fidelity::kAnalytical;
   /// Named SystemConfig overrides, applied after the first-class fields.
   /// Keys must come from override_keys(); kept sorted by apply()/key().
   std::vector<std::pair<std::string, double>> overrides;
@@ -101,7 +103,7 @@ struct ScenarioGrid {
   std::vector<std::size_t> gateways_per_chiplet;
   std::vector<photonics::ModulationFormat> modulations;
   /// Fidelity axis; empty = the base configuration's fidelity.
-  std::vector<core::Fidelity> fidelities;
+  std::vector<core::FidelitySpec> fidelities;
   /// Extra sweep axes over named SystemConfig overrides
   /// (e.g. {"resipi.epoch_s", {5e-6, 10e-6, 20e-6}}).
   std::vector<std::pair<std::string, std::vector<double>>> override_axes;
@@ -163,13 +165,12 @@ struct ScenarioGrid {
 };
 
 /// Parse helpers for CLIs: accept the canonical to_string() names plus the
-/// short aliases "mono"/"crosslight", "elec", "siph" and "ook", "pam4",
-/// and "analytical"/"tlm", "cycle"/"cycle-accurate".
+/// short aliases "mono"/"crosslight", "elec", "siph" and "ook", "pam4".
+/// (Fidelity parsing lives next to FidelitySpec:
+/// core::fidelity_from_string.)
 [[nodiscard]] std::optional<accel::Architecture> architecture_from_string(
     std::string_view name);
 [[nodiscard]] std::optional<photonics::ModulationFormat>
 modulation_from_string(std::string_view name);
-[[nodiscard]] std::optional<core::Fidelity> fidelity_from_string(
-    std::string_view name);
 
 }  // namespace optiplet::engine

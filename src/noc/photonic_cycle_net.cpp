@@ -365,4 +365,21 @@ void PhotonicCycleNet::advance_idle_s(double seconds) {
   advance_idle(cycles_for(seconds, clock_hz()));
 }
 
+void PhotonicCycleNet::warm_layer(const std::vector<std::uint64_t>& demand_bits,
+                                  double duration_s) {
+  OPTIPLET_REQUIRE(drained(), "warm_layer requires a drained network");
+  OPTIPLET_REQUIRE(demand_bits.size() == chiplets_.size(),
+                   "warm_layer demand vector size mismatch");
+  OPTIPLET_REQUIRE(duration_s >= 0.0, "layer duration must be non-negative");
+  // Book the layer's traffic exactly as inject_* would, then fast-forward
+  // its wall time: epoch boundaries fire on the real (clock-aligned) grid
+  // with real cross-layer demand carry, so the controller upshifts,
+  // downshifts, and hysteresis-holds through the fast-forwarded span just
+  // as it would in a continuous cycle run.
+  for (std::size_t c = 0; c < chiplets_.size(); ++c) {
+    chiplets_[c].epoch_demand_bits += demand_bits[c];
+  }
+  advance_idle_s(duration_s);
+}
+
 }  // namespace optiplet::noc

@@ -110,6 +110,19 @@ class PhotonicCycleNet {
   /// advance_idle() in seconds of the gateway clock domain.
   void advance_idle_s(double seconds);
 
+  /// Sampled-fidelity fast-forward support: book one layer's per-chiplet
+  /// traffic demand (as inject_* would) and advance its wall-clock
+  /// duration without simulating the transfers. Epoch boundaries fire on
+  /// the real clock-aligned grid with real cross-layer demand carry, so
+  /// the embedded ReSiPI controller marches through the demand history of
+  /// layers the caller simulated analytically and a later cycle-simulated
+  /// window starts from the same activation state a continuous cycle run
+  /// would have reached (instead of a stale configuration that inflates
+  /// the window's measured transfer time). Requires drained();
+  /// reconfiguration counts/energy accrue to the controller as usual.
+  void warm_layer(const std::vector<std::uint64_t>& demand_bits,
+                  double duration_s);
+
   // ---- observability ----
 
   [[nodiscard]] std::uint64_t cycle() const { return now_; }

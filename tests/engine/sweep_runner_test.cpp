@@ -89,6 +89,67 @@ TEST(SweepRunner, CycleFidelityDeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(SweepRunner, SampledFidelityDeterministicAcrossThreadCounts) {
+  // The sampled window plan is seeded per scenario (core::sampled_layer_mask
+  // hashes seed/salt/layer count), so stitched results must be bit-identical
+  // however the pool schedules the mix of sampled and pure scenarios.
+  ScenarioGrid grid;
+  grid.models = {"LeNet5", "MobileNetV2"};
+  grid.architectures = {accel::Architecture::kSiph2p5D};
+  core::FidelitySpec sampled(core::Fidelity::kSampled);
+  sampled.windows = 4;
+  sampled.seed = 3;
+  grid.fidelities = {core::Fidelity::kAnalytical, sampled};
+  const auto base = core::default_system_config();
+  const std::size_t hw = ThreadPool::resolve_threads(0);
+  std::vector<std::vector<ScenarioResult>> outcomes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    SweepRunner runner(base, SweepOptions{.threads = threads});
+    outcomes.push_back(runner.run(grid));
+  }
+  expect_identical(outcomes[0], outcomes[1]);
+  expect_identical(outcomes[0], outcomes[2]);
+  bool saw_sampled = false;
+  for (std::size_t i = 0; i < outcomes[0].size(); ++i) {
+    for (const auto* other : {&outcomes[1], &outcomes[2]}) {
+      EXPECT_EQ(outcomes[0][i].run.sampled_layers,
+                (*other)[i].run.sampled_layers);
+      EXPECT_EQ(outcomes[0][i].run.correction_factor,
+                (*other)[i].run.correction_factor);
+      EXPECT_EQ(outcomes[0][i].run.resipi_reconfigurations,
+                (*other)[i].run.resipi_reconfigurations);
+      EXPECT_EQ(outcomes[0][i].run.mean_active_gateways,
+                (*other)[i].run.mean_active_gateways);
+    }
+    saw_sampled |= outcomes[0][i].run.sampled_layers > 0;
+  }
+  EXPECT_TRUE(saw_sampled);
+}
+
+TEST(SweepRunner, SampledSpecsMemoizeLikeAnyOther) {
+  // Equal FidelitySpecs name identical simulations, so a repeated sampled
+  // spec is a cache hit, while changing any sampling knob is a distinct
+  // scenario key (a different window plan is a different simulation).
+  core::FidelitySpec sampled(core::Fidelity::kSampled);
+  sampled.windows = 2;
+  sampled.seed = 3;
+  ScenarioSpec spec;
+  spec.model = "LeNet5";
+  spec.fidelity = sampled;
+  ScenarioSpec reseeded = spec;
+  reseeded.fidelity.seed = 4;
+  SweepRunner runner(core::default_system_config(),
+                     SweepOptions{.threads = 2});
+  const auto results = runner.run({spec, spec, reseeded});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(runner.cache_entries(), 2u);
+  EXPECT_EQ(runner.cache_hits(), 1u);
+  EXPECT_FALSE(results[0].from_cache);
+  EXPECT_TRUE(results[1].from_cache);
+  EXPECT_FALSE(results[2].from_cache);
+  EXPECT_EQ(results[0].run.latency_s, results[1].run.latency_s);
+}
+
 TEST(SweepRunner, EvaluateMatchesDirectSimulatorRun) {
   const auto base = core::default_system_config();
   ScenarioSpec spec;

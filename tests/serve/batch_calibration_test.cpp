@@ -15,7 +15,7 @@
 namespace optiplet::core {
 namespace {
 
-RunResult run_at(Fidelity fidelity, unsigned batch,
+RunResult run_at(FidelitySpec fidelity, unsigned batch,
                  const std::string& model) {
   SystemConfig config = default_system_config();
   config.fidelity = fidelity;
@@ -74,6 +74,34 @@ TEST(BatchCalibration, ReconfiguringModelStaysInBandAtBatch4) {
   EXPECT_GT(c.energy_j, a.energy_j * 0.9);
   EXPECT_LT(c.energy_j, a.energy_j * 1.6);
   EXPECT_GT(c.resipi_reconfigurations, 0u);
+}
+
+TEST(BatchCalibration, SampledStaysInsideTheCycleBandsAcrossBatchSizes) {
+  // The sampled mode inherits the calibration contract it stitches from:
+  // at the bench operating point (8 windows), corrected latencies and
+  // energies must land within the same band of the cycle-accurate run
+  // that the cycle run keeps against the analytical one — otherwise the
+  // speedup is bought with accuracy the other tests promised.
+  FidelitySpec sampled(Fidelity::kSampled);
+  sampled.windows = 8;
+  sampled.seed = 3;
+  for (const unsigned batch : {1u, 4u, 8u}) {
+    const RunResult s = run_at(sampled, batch, "MobileNetV2");
+    const RunResult c =
+        run_at(Fidelity::kCycleAccurate, batch, "MobileNetV2");
+    ASSERT_EQ(s.traffic_bits, c.traffic_bits) << "batch " << batch;
+    EXPECT_GT(s.latency_s, c.latency_s * 0.90) << "batch " << batch;
+    EXPECT_LT(s.latency_s, c.latency_s * 1.10) << "batch " << batch;
+    EXPECT_GT(s.energy_j, c.energy_j * 0.90) << "batch " << batch;
+    EXPECT_LT(s.energy_j, c.energy_j * 1.10) << "batch " << batch;
+    // The stitching telemetry must describe a genuinely partial run whose
+    // calibration stayed near unity (the correction absorbs residual
+    // serialization error, not a provisioning mismatch).
+    EXPECT_GT(s.sampled_layers, 0u) << "batch " << batch;
+    EXPECT_LT(s.sampled_layers, s.layers.size()) << "batch " << batch;
+    EXPECT_GT(s.correction_factor, 0.7) << "batch " << batch;
+    EXPECT_LT(s.correction_factor, 1.5) << "batch " << batch;
+  }
 }
 
 }  // namespace

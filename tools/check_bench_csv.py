@@ -28,6 +28,17 @@ noc_photonic_traffic.csv
   * mean read latency is non-decreasing with offered load per mode
   * delivered fraction is non-decreasing with offered load per mode
 
+sim_speed_sweep.csv
+  * schema/finiteness; exactly one cycle-accurate and at least one
+    sampled fidelity group, each covering the same (policy, load) points
+  * the speed/accuracy contract of Fidelity::kSampled: every sampled
+    group simulates >= 10x the cycle-accurate requests per wall-second
+    (the whole point of sampling), while its mean and p50 latencies stay
+    within the calibration band of the cycle-accurate row at the same
+    (policy, load) point — fast alone is easy, the pair is the feature
+  * analytical must be at least as fast as sampled (sampling adds cycle
+    windows on top of the closed-form model, it cannot be cheaper)
+
 cluster_scale_sweep.csv
   * schema/finiteness, per-package utilization spread in [0, 1] with
     util_min <= util_max, shed fraction in [0, 1], goodput never exceeds
@@ -61,6 +72,18 @@ PAIR_TOLERANCE = 1.0 - 1e-6
 # from a real self-throttling regression (which overshoots by the
 # user-pool factor, not percents).
 CLOSED_BOUND_SLACK = 1.10
+# The sampled-fidelity acceptance gate: at least this many cycle-accurate
+# requests per wall-second per sampled one. The bench's operating point
+# (DenseNet121, windows=8) measures ~15x on a single core; 10x is the
+# contract, the headroom absorbs machine-to-machine variance.
+SIM_SPEEDUP_FLOOR = 10.0
+# Sampled latencies must sit within this relative band of the
+# cycle-accurate row at the same (policy, load) point — the same order
+# as the batch-calibration tolerance on service times. The bench pins
+# its load points below the capacity knee precisely so queueing does not
+# amplify service-time error past the band (waits scale like
+# 1/(1 - rho)); measured error at the operating point is ~4-6%.
+SIM_LATENCY_BAND = 0.10
 
 failures = []
 
@@ -348,10 +371,101 @@ def check_cluster(path):
             )
 
 
+def check_sim_speed(path):
+    numeric_cols = [
+        "offered_rps",
+        "offered_util",
+        "requests",
+        "wall_s",
+        "requests_per_wall_s",
+        "throughput_rps",
+        "mean_s",
+        "p50_s",
+        "p95_s",
+        "p99_s",
+        "mean_batch",
+    ]
+    groups = {}
+    for row in read_rows(path, ["fidelity", "policy"] + numeric_cols):
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        values["policy"] = row["policy"]
+        if values["wall_s"] <= 0 or values["requests_per_wall_s"] <= 0:
+            fail(
+                path,
+                f"non-positive wall time/rate: wall={values['wall_s']:g} "
+                f"rate={values['requests_per_wall_s']:g}",
+            )
+        groups.setdefault(row["fidelity"], []).append(values)
+
+    def mode_of(fidelity):
+        return fidelity.split(":", 1)[0]
+
+    cycle = {f: g for f, g in groups.items() if mode_of(f) == "cycle"}
+    sampled = {f: g for f, g in groups.items() if mode_of(f) == "sampled"}
+    analytical = {f: g for f, g in groups.items()
+                  if mode_of(f) == "analytical"}
+    if len(cycle) != 1:
+        fail(path, f"expected exactly one cycle group, got {sorted(cycle)}")
+        return
+    if not sampled:
+        fail(path, "no sampled fidelity group — the bench's entire point")
+        return
+    cycle_rows = next(iter(cycle.values()))
+    cycle_rate = cycle_rows[0]["requests_per_wall_s"]
+    cycle_points = {
+        (r["policy"], r["offered_rps"]): r for r in cycle_rows
+    }
+
+    for fidelity, rows in sorted(sampled.items()):
+        rate = rows[0]["requests_per_wall_s"]
+        if rate < cycle_rate * SIM_SPEEDUP_FLOOR:
+            fail(
+                path,
+                f"{fidelity}: {rate:g} requests/wall-s is only "
+                f"{rate / cycle_rate:.1f}x cycle-accurate ({cycle_rate:g}); "
+                f"the sampled contract is >= {SIM_SPEEDUP_FLOOR:g}x",
+            )
+        points = {(r["policy"], r["offered_rps"]): r for r in rows}
+        if set(points) != set(cycle_points):
+            fail(
+                path,
+                f"{fidelity}: load points differ from the cycle group's",
+            )
+            continue
+        for key in sorted(points):
+            ref, got = cycle_points[key], points[key]
+            label = f"{key[0]}@{got['offered_util']:g}"
+            for col in ("mean_s", "p50_s"):
+                rel = abs(got[col] - ref[col]) / ref[col]
+                if rel > SIM_LATENCY_BAND:
+                    fail(
+                        path,
+                        f"{fidelity}: {col} at {label} is {rel:.1%} off "
+                        f"cycle-accurate ({got[col]:g} vs {ref[col]:g}), "
+                        f"band is {SIM_LATENCY_BAND:.0%}",
+                    )
+
+    for fidelity, rows in sorted(analytical.items()):
+        rate = rows[0]["requests_per_wall_s"]
+        slowest_sampled = min(
+            g[0]["requests_per_wall_s"] for g in sampled.values()
+        )
+        if rate < slowest_sampled:
+            fail(
+                path,
+                f"{fidelity}: {rate:g} requests/wall-s is slower than a "
+                f"sampled group ({slowest_sampled:g}) — sampling adds cycle "
+                f"windows on top of the closed-form model",
+            )
+
+
 CHECKERS = {
     "serving_load_sweep.csv": check_serving,
     "noc_photonic_traffic.csv": check_noc,
     "cluster_scale_sweep.csv": check_cluster,
+    "sim_speed_sweep.csv": check_sim_speed,
 }
 
 

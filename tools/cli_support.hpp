@@ -1,11 +1,26 @@
 #pragma once
 /// \file cli_support.hpp
-/// Flag-parsing helpers shared by the optiplet command-line tools.
+/// Flag parsing shared by the optiplet command-line tools.
+///
+/// The tools declare their interface as an OptionSet: a table of flags,
+/// each with a placeholder, help text, and a parse action. The registry
+/// derives everything that used to be triplicated per tool — the
+/// `--flag value` / `--flag=value` walk, the generated `--help` listing,
+/// the "unknown flag" / "missing value" / "flag does not take a value"
+/// errors, and the valid-choice listings on bad enum values — so a new
+/// spelling (like `--fidelity sampled:windows=8,seed=1`) is implemented
+/// exactly once.
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/fidelity.hpp"
+#include "dnn/zoo.hpp"
 #include "util/strings.hpp"
 
 namespace optiplet::cli {
@@ -84,5 +99,385 @@ class FlagCursor {
   std::string flag_;
   std::optional<std::string> inline_value_;
 };
+
+/// Declarative flag table: parse + generated --help + consistent errors.
+class OptionSet {
+ public:
+  /// A value flag's parse action: consume the value, return an error
+  /// message to abort with, or nullopt on success.
+  using Parse = std::function<std::optional<std::string>(const std::string&)>;
+
+  /// `intro` is the prose printed between the "program — tagline" title
+  /// and the flag listing (the tool's semantic description).
+  OptionSet(std::string program, std::string intro)
+      : program_(std::move(program)), intro_(std::move(intro)) {}
+
+  /// A flag taking a value (shown as `--flag PLACEHOLDER` in --help).
+  OptionSet& add(std::string flag, std::string placeholder, std::string help,
+                 Parse parse) {
+    entries_.push_back({std::move(flag), std::move(placeholder),
+                        std::move(help), std::move(parse), nullptr, nullptr,
+                        {}});
+    return *this;
+  }
+
+  /// A boolean flag (no value; `on` runs when it appears).
+  OptionSet& add_toggle(std::string flag, std::string help,
+                        std::function<void()> on) {
+    entries_.push_back({std::move(flag), {}, std::move(help), nullptr,
+                        std::move(on), nullptr, {}});
+    return *this;
+  }
+
+  /// An immediate flag (no value; `run` runs and its result becomes the
+  /// process exit code — e.g. --list-models).
+  OptionSet& add_action(std::string flag, std::string help,
+                        std::function<int()> run) {
+    entries_.push_back({std::move(flag), {}, std::move(help), nullptr,
+                        nullptr, std::move(run), {}});
+    return *this;
+  }
+
+  /// Verbatim lines inside the flag listing (section headers like the
+  /// tracegen per-profile knob groups).
+  OptionSet& add_text(std::string raw) {
+    entries_.push_back({{}, {}, {}, nullptr, nullptr, nullptr,
+                        std::move(raw)});
+    return *this;
+  }
+
+  /// Trailing free-form help text (after the flag listing).
+  OptionSet& set_epilog(std::string epilog) {
+    epilog_ = std::move(epilog);
+    return *this;
+  }
+
+  /// Print the error, point at --help, exit code 2. Shared with the
+  /// tools' own post-parse validation for uniform diagnostics.
+  [[nodiscard]] int fail(const std::string& message) const {
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
+    std::fprintf(stderr, "Run with --help for usage.\n");
+    return 2;
+  }
+
+  [[nodiscard]] std::string help_text() const {
+    std::string out = intro_;
+    if (!out.empty() && out.back() != '\n') {
+      out += '\n';
+    }
+    out += '\n';
+    for (const auto& e : entries_) {
+      if (!e.raw.empty()) {
+        out += e.raw;
+        out += '\n';
+        continue;
+      }
+      std::string label = e.flag;
+      if (!e.placeholder.empty()) {
+        label += ' ';
+        label += e.placeholder;
+      }
+      out += "  " + label;
+      out += std::string(label.size() < 20 ? 20 - label.size() + 1 : 1, ' ');
+      // Continuation lines of multi-line help indent to the same column.
+      for (const char c : e.help) {
+        out += c;
+        if (c == '\n') {
+          out += std::string(23, ' ');
+        }
+      }
+      out += '\n';
+    }
+    out += "  --help               this text\n";
+    if (!epilog_.empty()) {
+      out += '\n';
+      out += epilog_;
+      if (epilog_.back() != '\n') {
+        out += '\n';
+      }
+    }
+    return out;
+  }
+
+  /// Walk argv and dispatch every flag. Returns nullopt when the tool
+  /// should proceed, or the exit code to return (0 after --help or an
+  /// action flag, 2 on any parse error).
+  [[nodiscard]] std::optional<int> parse(int argc, char** argv) const {
+    FlagCursor cursor(argc, argv);
+    while (cursor.next()) {
+      const std::string& arg = cursor.flag();
+      const bool is_help = arg == "--help" || arg == "-h";
+      const Entry* entry = nullptr;
+      for (const auto& e : entries_) {
+        if (!e.raw.empty() || e.flag != arg) {
+          continue;
+        }
+        entry = &e;
+        break;
+      }
+      if (!entry && !is_help) {
+        return fail("unknown flag: " + arg);
+      }
+      if (is_help || !entry->parse) {
+        if (cursor.has_inline_value()) {
+          return fail("flag does not take a value: " + arg);
+        }
+        if (is_help) {
+          std::fputs(help_text().c_str(), stdout);
+          return 0;
+        }
+        if (entry->action) {
+          return entry->action();
+        }
+        entry->toggle();
+        continue;
+      }
+      const auto value = cursor.value();
+      if (!value) {
+        return fail("missing value for " + arg);
+      }
+      if (const auto error = entry->parse(*value)) {
+        return fail(*error);
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Entry {
+    std::string flag;
+    std::string placeholder;
+    std::string help;
+    Parse parse;                 ///< value flags
+    std::function<void()> toggle;  ///< boolean flags
+    std::function<int()> action;   ///< immediate-exit flags
+    std::string raw;             ///< verbatim help lines
+  };
+
+  std::string program_;
+  std::string intro_;
+  std::string epilog_;
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------
+// Parse-action factories for the recurring flag shapes. Each returns an
+// OptionSet::Parse closure over the destination; error strings carry the
+// valid-choice listings the tools used to hand-roll.
+
+/// Comma list of named choices appended through `from_string`.
+template <typename T, typename F>
+OptionSet::Parse append_choices(std::vector<T>& out, F from_string,
+                                std::string what, std::string valid) {
+  return [&out, from_string, what = std::move(what),
+          valid = std::move(valid)](
+             const std::string& text) -> std::optional<std::string> {
+    for (const auto& name : split(text, ',')) {
+      const auto value = from_string(name);
+      if (!value) {
+        return "unknown " + what + ": " + name + " (valid: " + valid + ")";
+      }
+      out.push_back(*value);
+    }
+    return std::nullopt;
+  };
+}
+
+/// One named choice stored through `from_string`.
+template <typename T, typename F>
+OptionSet::Parse store_choice(T& out, F from_string, std::string what,
+                              std::string valid) {
+  return [&out, from_string, what = std::move(what),
+          valid = std::move(valid)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = from_string(text);
+    if (!value) {
+      return "unknown " + what + ": " + text + " (valid: " + valid + ")";
+    }
+    out = *value;
+    return std::nullopt;
+  };
+}
+
+/// Comma list of positive integers.
+template <typename T>
+OptionSet::Parse append_counts(std::vector<T>& out, std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    for (const auto& part : split(text, ',')) {
+      const auto value = parse_count(part);
+      if (!value || *value == 0) {
+        return "bad " + what + ": " + part;
+      }
+      out.push_back(static_cast<T>(*value));
+    }
+    return std::nullopt;
+  };
+}
+
+/// Comma list of strictly positive doubles.
+inline OptionSet::Parse append_positive_doubles(std::vector<double>& out,
+                                                std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    for (const auto& part : split(text, ',')) {
+      const auto value = parse_double(part);
+      if (!value || *value <= 0.0) {
+        return "bad " + what + ": " + part;
+      }
+      out.push_back(*value);
+    }
+    return std::nullopt;
+  };
+}
+
+/// One positive integer.
+template <typename T>
+OptionSet::Parse store_count(T& out, std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_count(text);
+    if (!value || *value == 0) {
+      return "bad " + what + ": " + text;
+    }
+    out = static_cast<T>(*value);
+    return std::nullopt;
+  };
+}
+
+/// One non-negative integer (seeds).
+template <typename T>
+OptionSet::Parse store_count_or_zero(T& out, std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_count(text);
+    if (!value) {
+      return "bad " + what + ": " + text;
+    }
+    out = static_cast<T>(*value);
+    return std::nullopt;
+  };
+}
+
+/// One double (any value).
+inline OptionSet::Parse store_double(double& out, std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_double(text);
+    if (!value) {
+      return "bad " + what + ": " + text;
+    }
+    out = *value;
+    return std::nullopt;
+  };
+}
+
+/// One strictly positive double.
+inline OptionSet::Parse store_positive_double(double& out, std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_double(text);
+    if (!value || *value <= 0.0) {
+      return "bad " + what + ": " + text;
+    }
+    out = *value;
+    return std::nullopt;
+  };
+}
+
+/// One non-negative double.
+inline OptionSet::Parse store_nonnegative_double(double& out,
+                                                 std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_double(text);
+    if (!value || *value < 0.0) {
+      return "bad " + what + ": " + text;
+    }
+    out = *value;
+    return std::nullopt;
+  };
+}
+
+/// One string, stored verbatim.
+inline OptionSet::Parse store_string(std::string& out) {
+  return [&out](const std::string& text) -> std::optional<std::string> {
+    out = text;
+    return std::nullopt;
+  };
+}
+
+/// Worker-thread count: positive, with the "omit the flag" hint.
+inline OptionSet::Parse store_threads(std::size_t& out) {
+  return [&out](const std::string& text) -> std::optional<std::string> {
+    const auto value = parse_count(text);
+    if (!value || *value == 0) {
+      return "bad thread count: " + text +
+             " (need a positive integer; omit the flag for "
+             "hardware concurrency)";
+    }
+    out = *value;
+    return std::nullopt;
+  };
+}
+
+/// Comma list of Table-2 model names, validated against the zoo and
+/// stored as the full list (later occurrences replace earlier ones).
+inline OptionSet::Parse store_model_list(std::vector<std::string>& out) {
+  return [&out](const std::string& text) -> std::optional<std::string> {
+    const auto known = dnn::zoo::model_names();
+    auto names = split(text, ',');
+    for (const auto& name : names) {
+      if (std::find(known.begin(), known.end(), name) == known.end()) {
+        return "unknown model: " + name + " (valid: " + join(known, ", ") +
+               ")";
+      }
+    }
+    out = std::move(names);
+    return std::nullopt;
+  };
+}
+
+/// The one --fidelity implementation all sim tools share: a comma list of
+/// FidelitySpec spellings, with sampled:knob=value groups folded back
+/// together by core::split_fidelity_list.
+inline OptionSet::Parse append_fidelities(
+    std::vector<core::FidelitySpec>& out) {
+  return [&out](const std::string& text) -> std::optional<std::string> {
+    for (const auto& name : core::split_fidelity_list(text)) {
+      const auto spec = core::fidelity_from_string(name);
+      if (!spec) {
+        return "unknown fidelity: " + name +
+               " (valid: analytical, cycle, "
+               "sampled[:windows=W,layers=L,seed=S,conf=C])";
+      }
+      out.push_back(*spec);
+    }
+    return std::nullopt;
+  };
+}
+
+/// Shared --fidelity help text (the axis is spelled identically in
+/// optiplet_sweep / optiplet_serve / optiplet_cluster).
+inline const char* fidelity_help() {
+  return "comma list of analytical|cycle|sampled (default\n"
+         "analytical). \"cycle\" drives the SiPh interposer\n"
+         "cycle-accurately (SWMR/SWSR arbitration + in-cycle\n"
+         "ReSiPI epochs); \"sampled\" cycle-simulates a seeded\n"
+         "subset of layer windows and fast-forwards the rest\n"
+         "analytically with a calibrated correction, e.g.\n"
+         "sampled:windows=8,layers=1,seed=1,conf=0.95. Other\n"
+         "architectures always use the analytical model";
+}
+
+/// Shared --list-models action.
+inline std::function<int()> list_models_action() {
+  return [] {
+    for (const auto& name : dnn::zoo::model_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  };
+}
 
 }  // namespace optiplet::cli

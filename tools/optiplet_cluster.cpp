@@ -10,11 +10,11 @@
 ///       --balancers rr,least --replication-mix 1+2
 ///   optiplet_cluster --tenants LeNet5 --packages 4 --replication 4 \
 ///       --balancers locality --rates 4000
+///   optiplet_cluster --tenants LeNet5 --packages 2 \
+///       --fidelity sampled:windows=4,seed=7
 ///   optiplet_cluster --trace arrivals.csv --tenants LeNet5 --packages 2
 
-#include <algorithm>
 #include <cstdio>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,66 +29,6 @@ namespace {
 
 using namespace optiplet;
 using cli::join;
-using cli::parse_count;
-using cli::parse_double;
-using cli::split;
-
-constexpr const char* kUsage =
-    R"(optiplet_cluster — multi-package rack serving simulator
-
-Runs one shared arrival stream against a rack of N interposer packages
-(each a full Table-1 chiplet pool wrapping its own serving simulator)
-joined by board-level photonic links. A front-end load balancer picks
-the serving replica per request; off-ingress requests pay the photonic
-link-budget transfer cost. Reports the merged rack throughput, goodput,
-tail latency, shed counts, transfer charges, and energy per request.
-
-  --tenants NAMES      comma list of co-located Table-2 models
-                       (default LeNet5; see --list-models)
-  --rates LIST         comma list of aggregate offered loads [requests/s]
-                       (default 200; split evenly over the tenants;
-                       open-loop only)
-  --packages LIST      comma list of rack package counts (default 4)
-  --balancers LIST     comma list of rr|least|locality (default locality)
-  --replication LIST   comma list of replicas per tenant, each clamped to
-                       the package count (default 1)
-  --replication-mix M  '+'-joined per-tenant replication factors aligned
-                       with --tenants (e.g. 1+2); overrides --replication
-  --link-length M      board-level link length between packages [m]
-                       (default 0.25)
-  --link-wavelengths N WDM channels per inter-package link (default 16)
-  --policies LIST      comma list of none|size|deadline (default none)
-  --admission LIST     comma list of all|shed (default all)
-  --sources LIST       comma list of open|closed arrival sources
-                       (default open)
-  --users LIST         comma list of closed-loop users per tenant
-                       (default 16; implies --sources closed when
-                       --sources is not given)
-  --max-batch K        batch bound for size/deadline policies (default 8)
-  --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
-  --requests N         total arrivals across tenants (default 2000)
-  --seed S             arrival-process seed (default 42)
-  --sla S              latency SLA [s]; 0 derives 10x the batch-1 service
-                       time per tenant (default 0)
-  --trace FILE         replay a CSV arrival trace (arrival_s[,tenant])
-                       instead of Poisson arrivals (see optiplet_tracegen)
-  --arch NAME          mono|elec|siph (default siph)
-  --fidelity LIST      comma list of analytical|cycle (default analytical)
-  --threads N          worker threads; must be a positive integer
-                       (default: hardware concurrency)
-  --out FILE           output CSV path (default cluster.csv)
-  --quiet              suppress the progress meter
-  --list-models        print the Table-2 model names and exit
-  --help               this text
-
-Value flags also accept the --flag=value spelling (e.g. --packages=1,4).
-)";
-
-int fail(const std::string& message) {
-  std::fprintf(stderr, "optiplet_cluster: %s\n", message.c_str());
-  std::fprintf(stderr, "Run with --help for usage.\n");
-  return 2;
-}
 
 std::string format_us(double seconds) {
   return util::format_fixed(seconds * 1e6, 1);
@@ -106,195 +46,111 @@ int main(int argc, char** argv) {
   std::string out_path = "cluster.csv";
   bool quiet = false;
 
-  cli::FlagCursor cursor(argc, argv);
-  while (cursor.next()) {
-    const std::string& arg = cursor.flag();
-    if (cursor.has_inline_value() &&
-        (arg == "--help" || arg == "-h" || arg == "--quiet" ||
-         arg == "--list-models")) {
-      return fail("flag does not take a value: " + arg);
-    }
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return 0;
-    }
-    if (arg == "--list-models") {
-      for (const auto& name : dnn::zoo::model_names()) {
-        std::printf("%s\n", name.c_str());
-      }
-      return 0;
-    }
-    if (arg == "--quiet") {
-      quiet = true;
-      continue;
-    }
-    const bool known_value_flag =
-        arg == "--tenants" || arg == "--rates" || arg == "--packages" ||
-        arg == "--balancers" || arg == "--replication" ||
-        arg == "--replication-mix" || arg == "--link-length" ||
-        arg == "--link-wavelengths" || arg == "--policies" ||
-        arg == "--admission" || arg == "--sources" || arg == "--users" ||
-        arg == "--max-batch" || arg == "--max-wait" ||
-        arg == "--requests" || arg == "--seed" || arg == "--sla" ||
-        arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
-        arg == "--threads" || arg == "--out";
-    if (!known_value_flag) {
-      return fail("unknown flag: " + arg);
-    }
-    const auto value = cursor.value();
-    if (!value) {
-      return fail("missing value for " + arg);
-    }
-    if (arg == "--tenants") {
-      const auto known = dnn::zoo::model_names();
-      tenants = split(*value, ',');
-      for (const auto& name : tenants) {
-        if (std::find(known.begin(), known.end(), name) == known.end()) {
-          return fail("unknown model: " + name +
-                      " (valid: " + join(known, ", ") + ")");
-        }
-      }
-    } else if (arg == "--rates") {
-      for (const auto& text : split(*value, ',')) {
-        const auto rate = parse_double(text);
-        if (!rate || *rate <= 0.0) {
-          return fail("bad arrival rate: " + text);
-        }
-        grid.arrival_rates_rps.push_back(*rate);
-      }
-    } else if (arg == "--packages") {
-      for (const auto& text : split(*value, ',')) {
-        const auto count = parse_count(text);
-        if (!count || *count == 0) {
-          return fail("bad package count: " + text);
-        }
-        grid.package_counts.push_back(*count);
-      }
-    } else if (arg == "--balancers") {
-      for (const auto& name : split(*value, ',')) {
-        const auto policy = cluster::balancer_policy_from_string(name);
-        if (!policy) {
-          return fail("unknown balancer policy: " + name +
-                      " (valid: rr, least, locality)");
-        }
-        grid.balancer_policies.push_back(*policy);
-      }
-    } else if (arg == "--replication") {
-      for (const auto& text : split(*value, ',')) {
-        const auto factor = parse_count(text);
-        if (!factor || *factor == 0) {
-          return fail("bad replication factor: " + text);
-        }
-        grid.replication_factors.push_back(*factor);
-      }
-    } else if (arg == "--replication-mix") {
-      grid.cluster_defaults.replication_mix = *value;
-    } else if (arg == "--link-length") {
-      const auto length = parse_double(*value);
-      if (!length || *length <= 0.0) {
-        return fail("bad link length: " + *value);
-      }
-      grid.cluster_defaults.link_length_m = *length;
-    } else if (arg == "--link-wavelengths") {
-      const auto count = parse_count(*value);
-      if (!count || *count == 0) {
-        return fail("bad link wavelength count: " + *value);
-      }
-      grid.cluster_defaults.link_wavelengths = *count;
-    } else if (arg == "--policies") {
-      for (const auto& name : split(*value, ',')) {
-        const auto policy = serve::batch_policy_from_string(name);
-        if (!policy) {
-          return fail("unknown batch policy: " + name +
-                      " (valid: none, size, deadline)");
-        }
-        grid.batch_policies.push_back(*policy);
-      }
-    } else if (arg == "--admission") {
-      for (const auto& name : split(*value, ',')) {
-        const auto admission = serve::admission_policy_from_string(name);
-        if (!admission) {
-          return fail("unknown admission policy: " + name +
-                      " (valid: all, shed)");
-        }
-        grid.admission_policies.push_back(*admission);
-      }
-    } else if (arg == "--sources") {
-      for (const auto& name : split(*value, ',')) {
-        const auto source = serve::arrival_source_from_string(name);
-        if (!source) {
-          return fail("unknown arrival source: " + name +
-                      " (valid: open, closed)");
-        }
-        grid.arrival_sources.push_back(*source);
-      }
-    } else if (arg == "--users") {
-      for (const auto& text : split(*value, ',')) {
-        const auto users = parse_count(text);
-        if (!users || *users == 0) {
-          return fail("bad user count: " + text);
-        }
-        grid.user_counts.push_back(static_cast<unsigned>(*users));
-      }
-    } else if (arg == "--max-batch") {
-      const auto k = parse_count(*value);
-      if (!k || *k == 0) {
-        return fail("bad max batch: " + *value);
-      }
-      grid.serving_defaults.max_batch = static_cast<unsigned>(*k);
-    } else if (arg == "--max-wait") {
-      const auto wait = parse_double(*value);
-      if (!wait || *wait < 0.0) {
-        return fail("bad max wait: " + *value);
-      }
-      grid.serving_defaults.max_wait_s = *wait;
-    } else if (arg == "--requests") {
-      const auto n = parse_count(*value);
-      if (!n || *n == 0) {
-        return fail("bad request count: " + *value);
-      }
-      grid.serving_defaults.requests = *n;
-    } else if (arg == "--seed") {
-      const auto seed = parse_count(*value);
-      if (!seed) {
-        return fail("bad seed: " + *value);
-      }
-      grid.serving_defaults.seed = *seed;
-    } else if (arg == "--sla") {
-      const auto sla = parse_double(*value);
-      if (!sla || *sla < 0.0) {
-        return fail("bad SLA: " + *value);
-      }
-      grid.serving_defaults.sla_s = *sla;
-    } else if (arg == "--trace") {
-      grid.serving_defaults.trace_path = *value;
-    } else if (arg == "--arch") {
-      const auto parsed = engine::architecture_from_string(*value);
-      if (!parsed) {
-        return fail("unknown architecture: " + *value +
-                    " (valid: mono, elec, siph)");
-      }
-      arch = *parsed;
-    } else if (arg == "--fidelity") {
-      for (const auto& name : split(*value, ',')) {
-        const auto fid = engine::fidelity_from_string(name);
-        if (!fid) {
-          return fail("unknown fidelity: " + name +
-                      " (valid: analytical, cycle)");
-        }
-        grid.fidelities.push_back(*fid);
-      }
-    } else if (arg == "--threads") {
-      const auto count = parse_count(*value);
-      if (!count || *count == 0) {
-        return fail("bad thread count: " + *value +
-                    " (need a positive integer; omit the flag for "
-                    "hardware concurrency)");
-      }
-      threads = *count;
-    } else {  // --out, the last known_value_flag
-      out_path = *value;
-    }
+  cli::OptionSet options_set(
+      "optiplet_cluster",
+      R"(optiplet_cluster — multi-package rack serving simulator
+
+Runs one shared arrival stream against a rack of N interposer packages
+(each a full Table-1 chiplet pool wrapping its own serving simulator)
+joined by board-level photonic links. A front-end load balancer picks
+the serving replica per request; off-ingress requests pay the photonic
+link-budget transfer cost. Reports the merged rack throughput, goodput,
+tail latency, shed counts, transfer charges, and energy per request.)");
+  options_set
+      .add("--tenants", "NAMES",
+           "comma list of co-located Table-2 models\n"
+           "(default LeNet5; see --list-models)",
+           cli::store_model_list(tenants))
+      .add("--rates", "LIST",
+           "comma list of aggregate offered loads [requests/s]\n"
+           "(default 200; split evenly over the tenants;\n"
+           "open-loop only)",
+           cli::append_positive_doubles(grid.arrival_rates_rps,
+                                        "arrival rate"))
+      .add("--packages", "LIST",
+           "comma list of rack package counts (default 4)",
+           cli::append_counts(grid.package_counts, "package count"))
+      .add("--balancers", "LIST",
+           "comma list of rr|least|locality (default locality)",
+           cli::append_choices(grid.balancer_policies,
+                               cluster::balancer_policy_from_string,
+                               "balancer policy", "rr, least, locality"))
+      .add("--replication", "LIST",
+           "comma list of replicas per tenant, each clamped to\n"
+           "the package count (default 1)",
+           cli::append_counts(grid.replication_factors,
+                              "replication factor"))
+      .add("--replication-mix", "M",
+           "'+'-joined per-tenant replication factors aligned\n"
+           "with --tenants (e.g. 1+2); overrides --replication",
+           cli::store_string(grid.cluster_defaults.replication_mix))
+      .add("--link-length", "M",
+           "board-level link length between packages [m]\n"
+           "(default 0.25)",
+           cli::store_positive_double(grid.cluster_defaults.link_length_m,
+                                      "link length"))
+      .add("--link-wavelengths", "N",
+           "WDM channels per inter-package link (default 16)",
+           cli::store_count(grid.cluster_defaults.link_wavelengths,
+                            "link wavelength count"))
+      .add("--policies", "LIST",
+           "comma list of none|size|deadline (default none)",
+           cli::append_choices(grid.batch_policies,
+                               serve::batch_policy_from_string,
+                               "batch policy", "none, size, deadline"))
+      .add("--admission", "LIST", "comma list of all|shed (default all)",
+           cli::append_choices(grid.admission_policies,
+                               serve::admission_policy_from_string,
+                               "admission policy", "all, shed"))
+      .add("--sources", "LIST",
+           "comma list of open|closed arrival sources\n"
+           "(default open)",
+           cli::append_choices(grid.arrival_sources,
+                               serve::arrival_source_from_string,
+                               "arrival source", "open, closed"))
+      .add("--users", "LIST",
+           "comma list of closed-loop users per tenant\n"
+           "(default 16; implies --sources closed when\n"
+           "--sources is not given)",
+           cli::append_counts(grid.user_counts, "user count"))
+      .add("--max-batch", "K",
+           "batch bound for size/deadline policies (default 8)",
+           cli::store_count(grid.serving_defaults.max_batch, "max batch"))
+      .add("--max-wait", "S",
+           "deadline policy: max queue wait [s] (default 1e-3)",
+           cli::store_nonnegative_double(grid.serving_defaults.max_wait_s,
+                                         "max wait"))
+      .add("--requests", "N", "total arrivals across tenants (default 2000)",
+           cli::store_count(grid.serving_defaults.requests, "request count"))
+      .add("--seed", "S", "arrival-process seed (default 42)",
+           cli::store_count_or_zero(grid.serving_defaults.seed, "seed"))
+      .add("--sla", "S",
+           "latency SLA [s]; 0 derives 10x the batch-1 service\n"
+           "time per tenant (default 0)",
+           cli::store_nonnegative_double(grid.serving_defaults.sla_s, "SLA"))
+      .add("--trace", "FILE",
+           "replay a CSV arrival trace (arrival_s[,tenant])\n"
+           "instead of Poisson arrivals (see optiplet_tracegen)",
+           cli::store_string(grid.serving_defaults.trace_path))
+      .add("--arch", "NAME", "mono|elec|siph (default siph)",
+           cli::store_choice(arch, engine::architecture_from_string,
+                             "architecture", "mono, elec, siph"))
+      .add("--fidelity", "LIST", cli::fidelity_help(),
+           cli::append_fidelities(grid.fidelities))
+      .add("--threads", "N",
+           "worker threads; must be a positive integer\n"
+           "(default: hardware concurrency)",
+           cli::store_threads(threads))
+      .add("--out", "FILE", "output CSV path (default cluster.csv)",
+           cli::store_string(out_path))
+      .add_toggle("--quiet", "suppress the progress meter",
+                  [&quiet] { quiet = true; })
+      .add_action("--list-models", "print the Table-2 model names and exit",
+                  cli::list_models_action())
+      .set_epilog("Value flags also accept the --flag=value spelling "
+                  "(e.g. --packages=1,4).");
+  if (const auto exit_code = options_set.parse(argc, argv)) {
+    return *exit_code;
   }
 
   grid.architectures = {arch};
@@ -331,7 +187,8 @@ int main(int argc, char** argv) {
   try {
     store.add_all(runner.run(grid));
   } catch (const std::exception& e) {
-    return fail(std::string("cluster sweep failed: ") + e.what());
+    return options_set.fail(std::string("cluster sweep failed: ") +
+                            e.what());
   }
   if (store.empty()) {
     std::printf("No feasible cluster scenarios — nothing to report.\n");
@@ -368,7 +225,7 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
 
   if (!store.write_csv(out_path)) {
-    return fail("cannot write " + out_path);
+    return options_set.fail("cannot write " + out_path);
   }
   std::printf("\nCluster grid written to %s\n", out_path.c_str());
   return 0;

@@ -9,6 +9,8 @@
 ///   optiplet_serve --tenants MobileNetV2,ResNet50 --rates 400 \
 ///       --policies none,deadline --max-batch 8 --max-wait 2e-3
 ///   optiplet_serve --tenants LeNet5 --rates 1000 --fidelity cycle
+///   optiplet_serve --tenants DenseNet121 --rates 300 \
+///       --fidelity sampled:windows=8,seed=1
 ///   optiplet_serve --tenants ResNet50,DenseNet121 --rates 300 \
 ///       --pipelines batch,layer
 ///   optiplet_serve --tenants LeNet5 --users 8,32,128 --think 5e-3
@@ -16,7 +18,6 @@
 ///       --admission all,shed --rates 600
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
 
-#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -33,68 +34,7 @@ namespace {
 
 using namespace optiplet;
 using cli::join;
-using cli::parse_count;
-using cli::parse_double;
 using cli::split;
-
-constexpr const char* kUsage =
-    R"(optiplet_serve — request-level inference serving simulator
-
-Serves a request stream against the 2.5D platform: open-loop (seeded
-Poisson or replayed-trace) or closed-loop (client-pool) arrivals per
-tenant, an admission/batching policy with optional SLA-aware shedding,
-chiplet-pool partitioning between co-located tenants, and the
-full-system simulator as the (memoized) batch service-time oracle.
-Reports throughput, goodput, p50/p95/p99 latency, SLA violations, shed
-counts, utilization, and energy per request.
-
-  --tenants NAMES      comma list of co-located Table-2 models
-                       (default LeNet5; see --list-models)
-  --rates LIST         comma list of aggregate offered loads [requests/s]
-                       (default 200; split evenly over the tenants;
-                       open-loop only)
-  --policies LIST      comma list of none|size|deadline (default none)
-  --pipelines LIST     comma list of batch|layer execution granularities
-                       (default batch; layer = SET-style inter-layer
-                       pipelining with scarce-group handoff)
-  --sources LIST       comma list of open|closed arrival sources
-                       (default open; closed = N users per tenant issuing
-                       one request each, thinking between responses)
-  --users LIST         comma list of closed-loop users per tenant
-                       (default 16; implies --sources closed when
-                       --sources is not given)
-  --think S            closed-loop mean exponential think time [s]
-                       (default 1e-2)
-  --admission LIST     comma list of all|shed (default all; shed rejects
-                       arrivals whose predicted completion misses the SLA)
-  --priorities LIST    comma list of per-tenant priority classes aligned
-                       with --tenants (lower = more important; default
-                       all 0); orders contended shared-resource grants
-  --max-batch K        batch bound for size/deadline policies (default 8)
-  --max-wait S         deadline policy: max queue wait [s] (default 1e-3)
-  --requests N         total arrivals across tenants (default 2000)
-  --seed S             arrival-process seed (default 42)
-  --sla S              latency SLA [s]; 0 derives 10x the batch-1 service
-                       time per tenant (default 0)
-  --trace FILE         replay a CSV arrival trace (arrival_s[,tenant])
-                       instead of Poisson arrivals (see optiplet_tracegen)
-  --arch NAME          mono|elec|siph (default siph)
-  --fidelity LIST      comma list of analytical|cycle (default analytical)
-  --threads N          worker threads; must be a positive integer
-                       (default: hardware concurrency)
-  --out FILE           output CSV path (default serve.csv)
-  --quiet              suppress the progress meter
-  --list-models        print the Table-2 model names and exit
-  --help               this text
-
-Value flags also accept the --flag=value spelling (e.g. --rates=500).
-)";
-
-int fail(const std::string& message) {
-  std::fprintf(stderr, "optiplet_serve: %s\n", message.c_str());
-  std::fprintf(stderr, "Run with --help for usage.\n");
-  return 2;
-}
 
 std::string format_us(double seconds) {
   return util::format_fixed(seconds * 1e6, 1);
@@ -111,171 +51,110 @@ int main(int argc, char** argv) {
   std::string out_path = "serve.csv";
   bool quiet = false;
 
-  cli::FlagCursor cursor(argc, argv);
-  while (cursor.next()) {
-    const std::string& arg = cursor.flag();
-    if (cursor.has_inline_value() &&
-        (arg == "--help" || arg == "-h" || arg == "--quiet" ||
-         arg == "--list-models")) {
-      return fail("flag does not take a value: " + arg);
-    }
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return 0;
-    }
-    if (arg == "--list-models") {
-      for (const auto& name : dnn::zoo::model_names()) {
-        std::printf("%s\n", name.c_str());
-      }
-      return 0;
-    }
-    if (arg == "--quiet") {
-      quiet = true;
-      continue;
-    }
-    const bool known_value_flag =
-        arg == "--tenants" || arg == "--rates" || arg == "--policies" ||
-        arg == "--pipelines" || arg == "--sources" || arg == "--users" ||
-        arg == "--think" || arg == "--admission" || arg == "--priorities" ||
-        arg == "--max-batch" || arg == "--max-wait" ||
-        arg == "--requests" || arg == "--seed" || arg == "--sla" ||
-        arg == "--trace" || arg == "--arch" || arg == "--fidelity" ||
-        arg == "--threads" || arg == "--out";
-    if (!known_value_flag) {
-      return fail("unknown flag: " + arg);
-    }
-    const auto value = cursor.value();
-    if (!value) {
-      return fail("missing value for " + arg);
-    }
-    if (arg == "--tenants") {
-      const auto known = dnn::zoo::model_names();
-      tenants = split(*value, ',');
-      for (const auto& name : tenants) {
-        if (std::find(known.begin(), known.end(), name) == known.end()) {
-          return fail("unknown model: " + name +
-                      " (valid: " + join(known, ", ") + ")");
-        }
-      }
-    } else if (arg == "--rates") {
-      for (const auto& text : split(*value, ',')) {
-        const auto rate = parse_double(text);
-        if (!rate || *rate <= 0.0) {
-          return fail("bad arrival rate: " + text);
-        }
-        grid.arrival_rates_rps.push_back(*rate);
-      }
-    } else if (arg == "--policies") {
-      for (const auto& name : split(*value, ',')) {
-        const auto policy = serve::batch_policy_from_string(name);
-        if (!policy) {
-          return fail("unknown batch policy: " + name +
-                      " (valid: none, size, deadline)");
-        }
-        grid.batch_policies.push_back(*policy);
-      }
-    } else if (arg == "--pipelines") {
-      for (const auto& name : split(*value, ',')) {
-        const auto mode = serve::pipeline_mode_from_string(name);
-        if (!mode) {
-          return fail("unknown pipeline mode: " + name +
-                      " (valid: batch, layer)");
-        }
-        grid.pipeline_modes.push_back(*mode);
-      }
-    } else if (arg == "--sources") {
-      for (const auto& name : split(*value, ',')) {
-        const auto source = serve::arrival_source_from_string(name);
-        if (!source) {
-          return fail("unknown arrival source: " + name +
-                      " (valid: open, closed)");
-        }
-        grid.arrival_sources.push_back(*source);
-      }
-    } else if (arg == "--users") {
-      for (const auto& text : split(*value, ',')) {
-        const auto users = parse_count(text);
-        if (!users || *users == 0) {
-          return fail("bad user count: " + text);
-        }
-        grid.user_counts.push_back(static_cast<unsigned>(*users));
-      }
-    } else if (arg == "--think") {
-      const auto think = parse_double(*value);
-      if (!think || *think < 0.0) {
-        return fail("bad think time: " + *value);
-      }
-      grid.serving_defaults.think_s = *think;
-    } else if (arg == "--admission") {
-      for (const auto& name : split(*value, ',')) {
-        const auto admission = serve::admission_policy_from_string(name);
-        if (!admission) {
-          return fail("unknown admission policy: " + name +
-                      " (valid: all, shed)");
-        }
-        grid.admission_policies.push_back(*admission);
-      }
-    } else if (arg == "--priorities") {
-      grid.serving_defaults.priority_mix = join(split(*value, ','), "+");
-    } else if (arg == "--max-batch") {
-      const auto k = parse_count(*value);
-      if (!k || *k == 0) {
-        return fail("bad max batch: " + *value);
-      }
-      grid.serving_defaults.max_batch = static_cast<unsigned>(*k);
-    } else if (arg == "--max-wait") {
-      const auto wait = parse_double(*value);
-      if (!wait || *wait < 0.0) {
-        return fail("bad max wait: " + *value);
-      }
-      grid.serving_defaults.max_wait_s = *wait;
-    } else if (arg == "--requests") {
-      const auto n = parse_count(*value);
-      if (!n || *n == 0) {
-        return fail("bad request count: " + *value);
-      }
-      grid.serving_defaults.requests = *n;
-    } else if (arg == "--seed") {
-      const auto seed = parse_count(*value);
-      if (!seed) {
-        return fail("bad seed: " + *value);
-      }
-      grid.serving_defaults.seed = *seed;
-    } else if (arg == "--sla") {
-      const auto sla = parse_double(*value);
-      if (!sla || *sla < 0.0) {
-        return fail("bad SLA: " + *value);
-      }
-      grid.serving_defaults.sla_s = *sla;
-    } else if (arg == "--trace") {
-      grid.serving_defaults.trace_path = *value;
-    } else if (arg == "--arch") {
-      const auto parsed = engine::architecture_from_string(*value);
-      if (!parsed) {
-        return fail("unknown architecture: " + *value +
-                    " (valid: mono, elec, siph)");
-      }
-      arch = *parsed;
-    } else if (arg == "--fidelity") {
-      for (const auto& name : split(*value, ',')) {
-        const auto fid = engine::fidelity_from_string(name);
-        if (!fid) {
-          return fail("unknown fidelity: " + name +
-                      " (valid: analytical, cycle)");
-        }
-        grid.fidelities.push_back(*fid);
-      }
-    } else if (arg == "--threads") {
-      const auto count = parse_count(*value);
-      if (!count || *count == 0) {
-        return fail("bad thread count: " + *value +
-                    " (need a positive integer; omit the flag for "
-                    "hardware concurrency)");
-      }
-      threads = *count;
-    } else {  // --out, the last known_value_flag
-      out_path = *value;
-    }
+  cli::OptionSet options_set(
+      "optiplet_serve",
+      R"(optiplet_serve — request-level inference serving simulator
+
+Serves a request stream against the 2.5D platform: open-loop (seeded
+Poisson or replayed-trace) or closed-loop (client-pool) arrivals per
+tenant, an admission/batching policy with optional SLA-aware shedding,
+chiplet-pool partitioning between co-located tenants, and the
+full-system simulator as the (memoized) batch service-time oracle.
+Reports throughput, goodput, p50/p95/p99 latency, SLA violations, shed
+counts, utilization, and energy per request.)");
+  options_set
+      .add("--tenants", "NAMES",
+           "comma list of co-located Table-2 models\n"
+           "(default LeNet5; see --list-models)",
+           cli::store_model_list(tenants))
+      .add("--rates", "LIST",
+           "comma list of aggregate offered loads [requests/s]\n"
+           "(default 200; split evenly over the tenants;\n"
+           "open-loop only)",
+           cli::append_positive_doubles(grid.arrival_rates_rps,
+                                        "arrival rate"))
+      .add("--policies", "LIST",
+           "comma list of none|size|deadline (default none)",
+           cli::append_choices(grid.batch_policies,
+                               serve::batch_policy_from_string,
+                               "batch policy", "none, size, deadline"))
+      .add("--pipelines", "LIST",
+           "comma list of batch|layer execution granularities\n"
+           "(default batch; layer = SET-style inter-layer\n"
+           "pipelining with scarce-group handoff)",
+           cli::append_choices(grid.pipeline_modes,
+                               serve::pipeline_mode_from_string,
+                               "pipeline mode", "batch, layer"))
+      .add("--sources", "LIST",
+           "comma list of open|closed arrival sources\n"
+           "(default open; closed = N users per tenant issuing\n"
+           "one request each, thinking between responses)",
+           cli::append_choices(grid.arrival_sources,
+                               serve::arrival_source_from_string,
+                               "arrival source", "open, closed"))
+      .add("--users", "LIST",
+           "comma list of closed-loop users per tenant\n"
+           "(default 16; implies --sources closed when\n"
+           "--sources is not given)",
+           cli::append_counts(grid.user_counts, "user count"))
+      .add("--think", "S",
+           "closed-loop mean exponential think time [s]\n"
+           "(default 1e-2)",
+           cli::store_nonnegative_double(grid.serving_defaults.think_s,
+                                         "think time"))
+      .add("--admission", "LIST",
+           "comma list of all|shed (default all; shed rejects\n"
+           "arrivals whose predicted completion misses the SLA)",
+           cli::append_choices(grid.admission_policies,
+                               serve::admission_policy_from_string,
+                               "admission policy", "all, shed"))
+      .add("--priorities", "LIST",
+           "comma list of per-tenant priority classes aligned\n"
+           "with --tenants (lower = more important; default\n"
+           "all 0); orders contended shared-resource grants",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             grid.serving_defaults.priority_mix = join(split(value, ','),
+                                                       "+");
+             return std::nullopt;
+           })
+      .add("--max-batch", "K",
+           "batch bound for size/deadline policies (default 8)",
+           cli::store_count(grid.serving_defaults.max_batch, "max batch"))
+      .add("--max-wait", "S",
+           "deadline policy: max queue wait [s] (default 1e-3)",
+           cli::store_nonnegative_double(grid.serving_defaults.max_wait_s,
+                                         "max wait"))
+      .add("--requests", "N", "total arrivals across tenants (default 2000)",
+           cli::store_count(grid.serving_defaults.requests, "request count"))
+      .add("--seed", "S", "arrival-process seed (default 42)",
+           cli::store_count_or_zero(grid.serving_defaults.seed, "seed"))
+      .add("--sla", "S",
+           "latency SLA [s]; 0 derives 10x the batch-1 service\n"
+           "time per tenant (default 0)",
+           cli::store_nonnegative_double(grid.serving_defaults.sla_s, "SLA"))
+      .add("--trace", "FILE",
+           "replay a CSV arrival trace (arrival_s[,tenant])\n"
+           "instead of Poisson arrivals (see optiplet_tracegen)",
+           cli::store_string(grid.serving_defaults.trace_path))
+      .add("--arch", "NAME", "mono|elec|siph (default siph)",
+           cli::store_choice(arch, engine::architecture_from_string,
+                             "architecture", "mono, elec, siph"))
+      .add("--fidelity", "LIST", cli::fidelity_help(),
+           cli::append_fidelities(grid.fidelities))
+      .add("--threads", "N",
+           "worker threads; must be a positive integer\n"
+           "(default: hardware concurrency)",
+           cli::store_threads(threads))
+      .add("--out", "FILE", "output CSV path (default serve.csv)",
+           cli::store_string(out_path))
+      .add_toggle("--quiet", "suppress the progress meter",
+                  [&quiet] { quiet = true; })
+      .add_action("--list-models", "print the Table-2 model names and exit",
+                  cli::list_models_action())
+      .set_epilog("Value flags also accept the --flag=value spelling "
+                  "(e.g. --rates=500).");
+  if (const auto exit_code = options_set.parse(argc, argv)) {
+    return *exit_code;
   }
 
   grid.architectures = {arch};
@@ -317,7 +196,8 @@ int main(int argc, char** argv) {
   try {
     store.add_all(runner.run(grid));
   } catch (const std::exception& e) {
-    return fail(std::string("serving sweep failed: ") + e.what());
+    return options_set.fail(std::string("serving sweep failed: ") +
+                            e.what());
   }
   if (store.empty()) {
     std::printf("No feasible serving scenarios — nothing to report.\n");
@@ -354,7 +234,7 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
 
   if (!store.write_csv(out_path)) {
-    return fail("cannot write " + out_path);
+    return options_set.fail("cannot write " + out_path);
   }
   std::printf("\nServing grid written to %s\n", out_path.c_str());
   return 0;

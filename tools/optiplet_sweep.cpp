@@ -7,15 +7,14 @@
 ///   optiplet_sweep --models LeNet5,VGG16 --archs all --out grid.csv
 ///   optiplet_sweep --wavelengths 16,32,64 --gateways 2,4 \
 ///       --modulations ook,pam4 --threads 4
+///   optiplet_sweep --models DenseNet121 --fidelity sampled:windows=8,seed=1
 ///   optiplet_sweep --models LeNet5 --set resipi.epoch_s=5e-6,1e-5,2e-5
 ///   optiplet_sweep --list-overrides
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "cli_support.hpp"
@@ -30,48 +29,8 @@ namespace {
 
 using namespace optiplet;
 using cli::join;
-using cli::parse_count;
 using cli::parse_double;
 using cli::split;
-
-constexpr const char* kUsage =
-    R"(optiplet_sweep — parallel scenario-grid evaluation
-
-Every flag below adds one axis to a cartesian grid; unset axes keep the
-Table-1 default configuration. Infeasible combinations (wavelengths not
-divisible by gateways; SiPh link budget that cannot close) are skipped.
-
-  --models NAMES       comma list of Table-2 models, or "all" (default all;
-                       see --list-models)
-  --archs NAMES        comma list of mono|elec|siph, or "all" (default siph)
-  --batch-sizes LIST   comma list of batch sizes
-  --wavelengths LIST   comma list of WDM channel counts
-  --gateways LIST      comma list of gateways per chiplet
-  --modulations LIST   comma list of ook|pam4
-  --fidelity LIST      comma list of analytical|cycle (default analytical).
-                       "cycle" drives the SiPh interposer cycle-accurately
-                       (SWMR/SWSR arbitration + in-cycle ReSiPI epochs);
-                       other architectures always use the analytical model
-  --set KEY=V1,V2,...  sweep axis over a named SystemConfig override
-                       (repeatable; see --list-overrides)
-  --threads N          worker threads; must be a positive integer
-                       (default: hardware concurrency)
-  --out FILE           output CSV path (default sweep.csv)
-  --per-layer FILE     also dump the per-layer timing/provisioning
-                       breakdown of every scenario as CSV
-  --quiet              suppress the progress meter
-  --list-models        print the Table-2 model names and exit
-  --list-overrides     print the valid --set keys and exit
-  --help               this text
-
-Value flags also accept the --flag=value spelling (e.g. --fidelity=cycle).
-)";
-
-int fail(const std::string& message) {
-  std::fprintf(stderr, "optiplet_sweep: %s\n", message.c_str());
-  std::fprintf(stderr, "Run with --help for usage.\n");
-  return 2;
-}
 
 /// Dump every scenario's per-layer breakdown (computed by the simulator on
 /// each run, but unreachable from the CLI before this flag existed).
@@ -125,144 +84,96 @@ int main(int argc, char** argv) {
   std::string per_layer_path;
   bool quiet = false;
 
-  // --flag=value spelling handled by the cursor; --set keeps its own
-  // KEY=... value (the cursor only splits the first '=' of the flag).
-  cli::FlagCursor cursor(argc, argv);
-  while (cursor.next()) {
-    const std::string& arg = cursor.flag();
-    if (cursor.has_inline_value() &&
-        (arg == "--help" || arg == "-h" || arg == "--quiet" ||
-         arg == "--list-models" || arg == "--list-overrides")) {
-      return fail("flag does not take a value: " + arg);
-    }
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return 0;
-    }
-    if (arg == "--list-models") {
-      for (const auto& name : dnn::zoo::model_names()) {
-        std::printf("%s\n", name.c_str());
-      }
-      return 0;
-    }
-    if (arg == "--list-overrides") {
-      for (const auto& key : engine::override_keys()) {
-        std::printf("%s\n", key.c_str());
-      }
-      return 0;
-    }
-    if (arg == "--quiet") {
-      quiet = true;
-      continue;
-    }
-    const bool known_value_flag =
-        arg == "--models" || arg == "--archs" || arg == "--batch-sizes" ||
-        arg == "--wavelengths" || arg == "--gateways" ||
-        arg == "--modulations" || arg == "--fidelity" || arg == "--set" ||
-        arg == "--threads" || arg == "--out" || arg == "--per-layer";
-    if (!known_value_flag) {
-      return fail("unknown flag: " + arg);
-    }
-    const auto value = cursor.value();
-    if (!value) {
-      return fail("missing value for " + arg);
-    }
-    if (arg == "--models") {
-      if (*value != "all") {
-        const auto known = dnn::zoo::model_names();
-        for (const auto& name : split(*value, ',')) {
-          if (std::find(known.begin(), known.end(), name) == known.end()) {
-            return fail("unknown model: " + name +
-                        " (valid: " + join(known, ", ") + ")");
-          }
-        }
-        grid.models = split(*value, ',');
-      }
-    } else if (arg == "--archs") {
-      if (*value == "all") {
-        grid.architectures = {accel::Architecture::kMonolithicCrossLight,
-                              accel::Architecture::kElec2p5D,
-                              accel::Architecture::kSiph2p5D};
-      } else {
-        for (const auto& name : split(*value, ',')) {
-          const auto arch = engine::architecture_from_string(name);
-          if (!arch) {
-            return fail("unknown architecture: " + name +
-                        " (valid: mono, elec, siph, all)");
-          }
-          grid.architectures.push_back(*arch);
-        }
-      }
-    } else if (arg == "--batch-sizes") {
-      for (const auto& text : split(*value, ',')) {
-        const auto batch = parse_count(text);
-        if (!batch || *batch == 0) {
-          return fail("bad batch size: " + text);
-        }
-        grid.batch_sizes.push_back(static_cast<unsigned>(*batch));
-      }
-    } else if (arg == "--wavelengths") {
-      for (const auto& text : split(*value, ',')) {
-        const auto count = parse_count(text);
-        if (!count || *count == 0) {
-          return fail("bad wavelength count: " + text);
-        }
-        grid.wavelengths.push_back(*count);
-      }
-    } else if (arg == "--gateways") {
-      for (const auto& text : split(*value, ',')) {
-        const auto count = parse_count(text);
-        if (!count || *count == 0) {
-          return fail("bad gateway count: " + text);
-        }
-        grid.gateways_per_chiplet.push_back(*count);
-      }
-    } else if (arg == "--modulations") {
-      for (const auto& name : split(*value, ',')) {
-        const auto mod = engine::modulation_from_string(name);
-        if (!mod) {
-          return fail("unknown modulation: " + name +
-                      " (valid: ook, pam4)");
-        }
-        grid.modulations.push_back(*mod);
-      }
-    } else if (arg == "--fidelity") {
-      for (const auto& name : split(*value, ',')) {
-        const auto fid = engine::fidelity_from_string(name);
-        if (!fid) {
-          return fail("unknown fidelity: " + name +
-                      " (valid: analytical, cycle)");
-        }
-        grid.fidelities.push_back(*fid);
-      }
-    } else if (arg == "--set") {
-      const auto eq = value->find('=');
-      if (eq == std::string::npos || eq == 0) {
-        return fail("--set expects KEY=V1,V2,... got: " + *value);
-      }
-      std::pair<std::string, std::vector<double>> axis;
-      axis.first = value->substr(0, eq);
-      for (const auto& text : split(value->substr(eq + 1), ',')) {
-        const auto v = parse_double(text);
-        if (!v) {
-          return fail("bad override value for " + axis.first + ": " + text);
-        }
-        axis.second.push_back(*v);
-      }
-      grid.override_axes.push_back(std::move(axis));
-    } else if (arg == "--threads") {
-      const auto count = parse_count(*value);
-      if (!count || *count == 0) {
-        return fail("bad thread count: " + *value +
-                    " (need a positive integer; omit the flag for "
-                    "hardware concurrency)");
-      }
-      threads = *count;
-    } else if (arg == "--per-layer") {
-      per_layer_path = *value;
-    } else {  // --out, the last known_value_flag
-      out_path = *value;
-    }
+  cli::OptionSet options_set(
+      "optiplet_sweep",
+      R"(optiplet_sweep — parallel scenario-grid evaluation
+
+Every flag below adds one axis to a cartesian grid; unset axes keep the
+Table-1 default configuration. Infeasible combinations (wavelengths not
+divisible by gateways; SiPh link budget that cannot close) are skipped.)");
+  options_set
+      .add("--models", "NAMES",
+           "comma list of Table-2 models, or \"all\" (default all;\n"
+           "see --list-models)",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             if (value == "all") {
+               grid.models.clear();
+               return std::nullopt;
+             }
+             return cli::store_model_list(grid.models)(value);
+           })
+      .add("--archs", "NAMES",
+           "comma list of mono|elec|siph, or \"all\" (default siph)",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             if (value == "all") {
+               grid.architectures = {
+                   accel::Architecture::kMonolithicCrossLight,
+                   accel::Architecture::kElec2p5D,
+                   accel::Architecture::kSiph2p5D};
+               return std::nullopt;
+             }
+             return cli::append_choices(grid.architectures,
+                                        engine::architecture_from_string,
+                                        "architecture",
+                                        "mono, elec, siph, all")(value);
+           })
+      .add("--batch-sizes", "LIST", "comma list of batch sizes",
+           cli::append_counts(grid.batch_sizes, "batch size"))
+      .add("--wavelengths", "LIST", "comma list of WDM channel counts",
+           cli::append_counts(grid.wavelengths, "wavelength count"))
+      .add("--gateways", "LIST", "comma list of gateways per chiplet",
+           cli::append_counts(grid.gateways_per_chiplet, "gateway count"))
+      .add("--modulations", "LIST", "comma list of ook|pam4",
+           cli::append_choices(grid.modulations,
+                               engine::modulation_from_string, "modulation",
+                               "ook, pam4"))
+      .add("--fidelity", "LIST", cli::fidelity_help(),
+           cli::append_fidelities(grid.fidelities))
+      .add("--set", "KEY=V1,V2,...",
+           "sweep axis over a named SystemConfig override\n"
+           "(repeatable; see --list-overrides)",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             const auto eq = value.find('=');
+             if (eq == std::string::npos || eq == 0) {
+               return "--set expects KEY=V1,V2,... got: " + value;
+             }
+             std::pair<std::string, std::vector<double>> axis;
+             axis.first = value.substr(0, eq);
+             for (const auto& text : split(value.substr(eq + 1), ',')) {
+               const auto v = parse_double(text);
+               if (!v) {
+                 return "bad override value for " + axis.first + ": " + text;
+               }
+               axis.second.push_back(*v);
+             }
+             grid.override_axes.push_back(std::move(axis));
+             return std::nullopt;
+           })
+      .add("--threads", "N",
+           "worker threads; must be a positive integer\n"
+           "(default: hardware concurrency)",
+           cli::store_threads(threads))
+      .add("--out", "FILE", "output CSV path (default sweep.csv)",
+           cli::store_string(out_path))
+      .add("--per-layer", "FILE",
+           "also dump the per-layer timing/provisioning\n"
+           "breakdown of every scenario as CSV",
+           cli::store_string(per_layer_path))
+      .add_toggle("--quiet", "suppress the progress meter",
+                  [&quiet] { quiet = true; })
+      .add_action("--list-models", "print the Table-2 model names and exit",
+                  cli::list_models_action())
+      .add_action("--list-overrides", "print the valid --set keys and exit",
+                  [] {
+                    for (const auto& key : engine::override_keys()) {
+                      std::printf("%s\n", key.c_str());
+                    }
+                    return 0;
+                  })
+      .set_epilog("Value flags also accept the --flag=value spelling "
+                  "(e.g. --fidelity=cycle).");
+  if (const auto exit_code = options_set.parse(argc, argv)) {
+    return *exit_code;
   }
 
   engine::SweepOptions options;
@@ -285,7 +196,7 @@ int main(int argc, char** argv) {
   try {
     store.add_all(runner.run(grid));
   } catch (const std::exception& e) {
-    return fail(std::string("sweep failed: ") + e.what());
+    return options_set.fail(std::string("sweep failed: ") + e.what());
   }
 
   const std::size_t raw = grid.raw_size();
@@ -323,12 +234,12 @@ int main(int argc, char** argv) {
               greenest->run.epb_j_per_bit * 1e12);
 
   if (!store.write_csv(out_path)) {
-    return fail("cannot write " + out_path);
+    return options_set.fail("cannot write " + out_path);
   }
   std::printf("\nFull grid written to %s\n", out_path.c_str());
   if (!per_layer_path.empty()) {
     if (!write_per_layer_csv(per_layer_path, store)) {
-      return fail("cannot write " + per_layer_path);
+      return options_set.fail("cannot write " + per_layer_path);
     }
     std::printf("Per-layer breakdown written to %s\n",
                 per_layer_path.c_str());
