@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "dnn/workload.hpp"
 #include "dnn/zoo.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/recorder.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/service_time.hpp"
 #include "serve/serving_simulator.hpp"
@@ -104,6 +107,17 @@ ClusterReport simulate(const ClusterConfig& config) {
   const bool closed =
       whole.tenants.front().source == serve::ArrivalSource::kClosedLoop;
 
+  // Frontend observability: inter-package hops live on their own
+  // pseudo-process, one pid past the last package, so package pids keep
+  // matching package indices.
+  obs::Recorder* const rec = config.recorder;
+  const int frontend_pid = static_cast<int>(packages);
+  std::uint64_t frontend_track = 0;
+  if (rec != nullptr && rec->tracing()) {
+    rec->trace().set_process_name(frontend_pid, "frontend");
+    frontend_track = rec->trace().track(frontend_pid, "links");
+  }
+
   // --- front-end dispatch (deterministic, pre-simulation) ---
   const auto charge_transfer = [&](std::size_t tenant, std::uint64_t count) {
     metrics.transfers += count;
@@ -115,6 +129,15 @@ ClusterReport simulate(const ClusterConfig& config) {
         static_cast<double>(count) *
         (link.transfer_energy_j(request_bits[tenant]) +
          link.transfer_energy_j(response_bits[tenant]));
+    if (rec != nullptr && rec->metering()) {
+      rec->metrics().add("cluster.transfers", static_cast<double>(count));
+      rec->metrics().add(
+          "cluster.transfer_bytes",
+          static_cast<double>(count) *
+              static_cast<double>(request_bits[tenant] +
+                                  response_bits[tenant]) /
+              8.0);
+    }
   };
 
   // Open loop: per-(package, tenant) arrival vectors after routing.
@@ -156,6 +179,19 @@ ClusterReport simulate(const ClusterConfig& config) {
         // response rides back. Only the forward hop delays service.
         at += link.transfer_latency_s(request_bits[event.tenant]);
         charge_transfer(event.tenant, 1);
+        if (rec != nullptr && rec->tracing()) {
+          rec->trace().add_complete(
+              "transfer", "cluster", event.time_s, at, frontend_pid,
+              frontend_track,
+              {obs::arg("tenant",
+                        whole.tenants[event.tenant].name.empty()
+                            ? whole.tenants[event.tenant].model
+                            : whole.tenants[event.tenant].name),
+               obs::arg("from_package",
+                        static_cast<std::uint64_t>(ingress)),
+               obs::arg("to_package",
+                        static_cast<std::uint64_t>(package))});
+        }
       }
       arrivals[package][event.tenant].push_back(at);
     }
@@ -187,6 +223,11 @@ ClusterReport simulate(const ClusterConfig& config) {
 
   // --- per-package serving configs ---
   std::vector<std::optional<serve::ServingConfig>> configs(packages);
+  // One child recorder per active package: written only by that package's
+  // worker, merged below (in package order) after the workers join. A
+  // single-package rack keeps the lone simulator's pid (0) and an empty
+  // series prefix, so its trace and metrics match a lone run exactly.
+  std::vector<std::unique_ptr<obs::Recorder>> children(packages);
   for (std::size_t p = 0; p < packages; ++p) {
     const auto& hosted = placement.package_tenants[p];
     if (hosted.empty()) {
@@ -196,6 +237,15 @@ ClusterReport simulate(const ClusterConfig& config) {
     package.system = whole.system;
     package.arch = whole.arch;
     package.pipeline = whole.pipeline;
+    if (rec != nullptr) {
+      obs::RecorderOptions child_options = rec->options();
+      child_options.pid = static_cast<int>(p);
+      child_options.process_name = "package" + std::to_string(p);
+      child_options.series_prefix =
+          packages > 1 ? "p" + std::to_string(p) + "." : "";
+      children[p] = std::make_unique<obs::Recorder>(child_options);
+      package.recorder = children[p].get();
+    }
     for (const std::size_t t : hosted) {
       serve::TenantSetup tenant = whole.tenants[t];
       if (closed) {
@@ -263,6 +313,9 @@ ClusterReport simulate(const ClusterConfig& config) {
       rack.handoff_resipi_s += pm.handoff_resipi_s;
       rack.service_cache_hits += pm.service_cache_hits;
       rack.service_cache_misses += pm.service_cache_misses;
+      rack.sim_events += pm.sim_events;
+      rack.sim_event_queue_peak =
+          std::max(rack.sim_event_queue_peak, pm.sim_event_queue_peak);
       utilization = pm.utilization;
       if (pm.offered > 0) {
         first_arrival = std::min(first_arrival, pm.first_arrival_abs_s);
@@ -296,6 +349,21 @@ ClusterReport simulate(const ClusterConfig& config) {
     util_sum += utilization;
     metrics.util_min = std::min(metrics.util_min, utilization);
     metrics.util_max = std::max(metrics.util_max, utilization);
+  }
+
+  if (rec != nullptr) {
+    // Every future has been joined above; fold the per-package recorders
+    // in package order (deterministic regardless of worker scheduling).
+    for (std::size_t p = 0; p < packages; ++p) {
+      if (children[p]) {
+        rec->merge_child(*children[p]);
+      }
+    }
+    if (rec->metering()) {
+      // One rack-level snapshot closes the run: the frontend's transfer
+      // counters only materialize as series here.
+      rec->metrics().snapshot(last_completion);
+    }
   }
 
   rack.first_arrival_abs_s =

@@ -25,6 +25,10 @@
 #include "core/system_config.hpp"
 #include "serve/serving_spec.hpp"
 
+namespace optiplet::obs {
+class Recorder;
+}  // namespace optiplet::obs
+
 namespace optiplet::cluster {
 
 struct ClusterConfig {
@@ -38,6 +42,12 @@ struct ClusterConfig {
   /// Rack worker threads (one package per worker); 0 = hardware
   /// concurrency. The result is bit-identical for any thread count.
   std::size_t threads = 0;
+  /// Observability sink. Each package gets a child recorder (pid = package
+  /// index, written by that package's worker only); children merge into
+  /// this recorder, in package order, after the workers join. Inter-package
+  /// transfers land on a "frontend" pseudo-process (pid = package count).
+  /// Null disables observability. Not owned; must outlive simulate().
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Run the rack to completion (every package drains its dispatched load).

@@ -111,7 +111,16 @@ std::vector<std::string> ResultStore::csv_header() {
           "replication",
           "transfers",
           "transfer_latency_s",
-          "transfer_energy_j"};
+          "transfer_energy_j",
+          // Self-profiling columns (PR 8). eval_wall_s and from_cache are
+          // populated for every row; the simulator-internals columns only
+          // for serving/cluster rows. eval_wall_s is NOT deterministic.
+          "eval_wall_s",
+          "from_cache",
+          "sim_events",
+          "event_queue_peak",
+          "oracle_cache_hits",
+          "oracle_cache_misses"};
 }
 
 std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
@@ -179,9 +188,21 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
   } else {
     row.push_back("0");  // "serving" flag column
   }
-  // Pad non-cluster rows out to the full schema width.
+  // Pad non-cluster rows up to the trailing self-profiling block, which
+  // applies to every row.
   static const std::size_t kColumns = csv_header().size();
-  row.insert(row.end(), kColumns - row.size(), "");
+  row.insert(row.end(), kColumns - 6 - row.size(), "");
+  row.push_back(util::format_general(result.eval_wall_s));
+  row.push_back(result.from_cache ? "1" : "0");
+  if (result.serving) {
+    const auto& m = *result.serving;
+    row.push_back(std::to_string(m.sim_events));
+    row.push_back(std::to_string(m.sim_event_queue_peak));
+    row.push_back(std::to_string(m.service_cache_hits));
+    row.push_back(std::to_string(m.service_cache_misses));
+  } else {
+    row.insert(row.end(), 4, "");
+  }
   return row;
 }
 

@@ -1,5 +1,6 @@
 #include "engine/sweep_runner.hpp"
 
+#include <chrono>
 #include <exception>
 #include <future>
 #include <mutex>
@@ -19,6 +20,16 @@ SweepRunner::SweepRunner(core::SystemConfig base, SweepOptions options)
       threads_(ThreadPool::resolve_threads(options_.threads)) {}
 
 SweepRunner::EvalOutcome SweepRunner::evaluate_outcome(
+    const core::SystemConfig& base, const ScenarioSpec& spec) {
+  const auto wall_t0 = std::chrono::steady_clock::now();
+  EvalOutcome outcome = evaluate_untimed(base, spec);
+  outcome.wall_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_t0)
+                       .count();
+  return outcome;
+}
+
+SweepRunner::EvalOutcome SweepRunner::evaluate_untimed(
     const core::SystemConfig& base, const ScenarioSpec& spec) {
   core::SystemConfig cfg = base;
   spec.apply(cfg);
@@ -95,13 +106,13 @@ std::vector<ScenarioResult> SweepRunner::run(
   std::vector<bool> from_cache(total, false);
   std::vector<Pending> pending;
   std::unordered_map<std::string, std::size_t> pending_index;
-  std::size_t resolved_upfront = 0;  // served by a previous run() call
+  std::vector<std::size_t> resolved_upfront;  // served by a prior run()
   for (std::size_t i = 0; i < total; ++i) {
     keys.push_back(specs[i].key());
     if (cache_.count(keys[i]) != 0) {
       from_cache[i] = true;
       ++cache_hits_;
-      ++resolved_upfront;
+      resolved_upfront.push_back(i);
       continue;
     }
     if (const auto it = pending_index.find(keys[i]);
@@ -117,31 +128,47 @@ std::vector<ScenarioResult> SweepRunner::run(
 
   std::mutex progress_mutex;
   std::size_t done = 0;
-  const auto report = [&](std::size_t increment) {
-    if (!options_.progress) {
+  const auto report = [&](std::size_t increment, const std::string& key,
+                          double wall_s, bool hit) {
+    if (!options_.progress && !options_.scenario_progress) {
       return;
     }
     const std::lock_guard<std::mutex> lock(progress_mutex);
     done += increment;
-    options_.progress(done, total);
+    if (options_.progress) {
+      options_.progress(done, total);
+    }
+    if (options_.scenario_progress) {
+      ScenarioProgress p;
+      p.done = done;
+      p.total = total;
+      p.key = key;
+      p.wall_s = wall_s;
+      p.from_cache = hit;
+      options_.scenario_progress(p);
+    }
   };
 
-  if (resolved_upfront != 0) {
-    report(resolved_upfront);
+  // Prior-run cache hits report one at a time so scenario_progress sees
+  // every key (a single bulk increment used to hide which scenarios were
+  // memoized).
+  for (const std::size_t i : resolved_upfront) {
+    report(1, keys[i], /*wall_s=*/0.0, /*hit=*/true);
   }
   {
     ThreadPool pool(threads_);
     for (auto& p : pending) {
       const ScenarioSpec* spec = p.spec;
+      const std::string* key = &p.key;
       // In-batch duplicates resolve with their evaluation.
       const std::size_t increment = p.rider_count;
-      p.future = pool.submit([this, spec, increment, &report] {
+      p.future = pool.submit([this, spec, key, increment, &report] {
         try {
           EvalOutcome outcome = evaluate_outcome(base_, *spec);
-          report(increment);
+          report(increment, *key, outcome.wall_s, /*hit=*/false);
           return outcome;
         } catch (...) {
-          report(increment);
+          report(increment, *key, /*wall_s=*/0.0, /*hit=*/false);
           throw;
         }
       });
@@ -172,6 +199,7 @@ std::vector<ScenarioResult> SweepRunner::run(
     results[i].run = outcome.run;
     results[i].serving = outcome.serving;
     results[i].cluster = outcome.cluster;
+    results[i].eval_wall_s = outcome.wall_s;
   }
   return results;
 }

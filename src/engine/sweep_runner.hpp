@@ -44,6 +44,21 @@ struct ScenarioResult {
   /// True when this result was served from the memo cache (either a
   /// duplicate inside the batch or a repeat from an earlier run() call).
   bool from_cache = false;
+  /// Wall-clock seconds of the evaluation that produced this outcome (the
+  /// original evaluation's cost when from_cache). Self-profiling only —
+  /// NOT deterministic; never compare it across runs.
+  double eval_wall_s = 0.0;
+};
+
+/// One per-scenario progress report (see SweepOptions::scenario_progress).
+struct ScenarioProgress {
+  std::size_t done = 0;   ///< scenarios resolved so far (riders included)
+  std::size_t total = 0;  ///< batch size
+  std::string key;        ///< ScenarioSpec::key() of the resolved scenario
+  /// Wall-clock seconds the evaluation took; 0 for cache hits and for
+  /// evaluations that threw.
+  double wall_s = 0.0;
+  bool from_cache = false;
 };
 
 struct SweepOptions {
@@ -54,6 +69,12 @@ struct SweepOptions {
   /// Calls are serialized by the runner; the callback itself need not be
   /// thread-safe, but it runs on worker threads — keep it cheap.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Detailed progress: one call per resolved scenario key — upfront cache
+  /// hits each report their own key (with wall_s = 0), live evaluations
+  /// report the measured wall-clock once they land (in-batch duplicates
+  /// ride along in `done` without their own call). Serialized with
+  /// `progress`; both callbacks may be set independently.
+  std::function<void(const ScenarioProgress&)> scenario_progress;
 };
 
 class SweepRunner {
@@ -73,6 +94,9 @@ class SweepRunner {
     core::RunResult run;
     std::optional<serve::ServingMetrics> serving;
     std::optional<cluster::ClusterMetrics> cluster;
+    /// Wall-clock seconds the evaluation took (self-profiling only; NOT
+    /// deterministic).
+    double wall_s = 0.0;
   };
 
   /// Evaluate one scenario synchronously (no cache, no pool): the
@@ -93,6 +117,10 @@ class SweepRunner {
   [[nodiscard]] std::size_t cache_entries() const { return cache_.size(); }
 
  private:
+  /// evaluate_outcome() minus the wall-clock stamp.
+  [[nodiscard]] static EvalOutcome evaluate_untimed(
+      const core::SystemConfig& base, const ScenarioSpec& spec);
+
   core::SystemConfig base_;
   SweepOptions options_;
   std::size_t threads_ = 1;

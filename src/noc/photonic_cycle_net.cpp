@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.hpp"
 #include "util/require.hpp"
 
 namespace optiplet::noc {
@@ -60,6 +61,13 @@ PhotonicCycleNet::PhotonicCycleNet(const PhotonicCycleNetConfig& config,
   engine_.register_component(broadcast_component_);
   engine_.register_component(return_component_);
   engine_.register_component(epoch_component_);
+
+  controller_.set_recorder(config_.recorder);
+  if (config_.recorder != nullptr && config_.recorder->tracing()) {
+    obs::Recorder& rec = *config_.recorder;
+    rec.trace().set_process_name(rec.pid(), "noc");
+    epoch_track_ = rec.trace().track(rec.pid(), "resipi");
+  }
 }
 
 std::size_t PhotonicCycleNet::active_gateways(std::size_t chiplet) const {
@@ -290,7 +298,7 @@ void PhotonicCycleNet::run_epoch_boundary(std::uint64_t boundary_cycle) {
   for (std::size_t c = 0; c < chiplets_.size(); ++c) {
     before[c] = controller_.active_gateways(c);
   }
-  controller_.observe_epoch(demands);
+  const std::size_t writes = controller_.observe_epoch(demands);
   for (std::size_t c = 0; c < chiplets_.size(); ++c) {
     chiplets_[c].epoch_demand_bits = 0;
     if (controller_.active_gateways(c) != before[c]) {
@@ -300,6 +308,23 @@ void PhotonicCycleNet::run_epoch_boundary(std::uint64_t boundary_cycle) {
     }
   }
   ++stats_.epochs;
+  if (config_.recorder != nullptr) {
+    obs::Recorder& rec = *config_.recorder;
+    const double end_s = static_cast<double>(boundary_cycle) / clock_hz();
+    if (rec.tracing()) {
+      const double start_s =
+          static_cast<double>(boundary_cycle - epoch_cycles_) / clock_hz();
+      rec.trace().add_complete(
+          "epoch", "noc", start_s, end_s, rec.pid(), epoch_track_,
+          {obs::arg("writes", static_cast<std::uint64_t>(writes)),
+           obs::arg("active_gateways", static_cast<std::uint64_t>(
+                                           controller_
+                                               .total_active_gateways()))});
+    }
+    if (rec.metering()) {
+      rec.metrics().snapshot(end_s);
+    }
+  }
 }
 
 // ---- driving ---------------------------------------------------------------

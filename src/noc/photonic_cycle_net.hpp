@@ -47,6 +47,11 @@ struct PhotonicCycleNetConfig {
   /// When false, every gateway is pinned active and no epochs run — the
   /// pure-medium characterization mode used by the traffic bench.
   bool resipi_enabled = true;
+  /// Observability sink, forwarded to the embedded ResipiController
+  /// (`noc.resipi.*` series) and used for per-epoch trace spans on an
+  /// "epoch" track plus a metrics snapshot at every epoch boundary. Null
+  /// disables observability. Not owned; must outlive the net.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One retired transfer, for per-layer latency accounting.
@@ -255,6 +260,10 @@ class PhotonicCycleNet {
   std::vector<CompletedTransfer> completed_;
   PhotonicCycleNetStats stats_;
   std::uint64_t gateway_cycle_weight_ = 0;
+
+  /// Trace track for epoch spans (allocated once when config_.recorder
+  /// traces; 0 otherwise).
+  std::uint64_t epoch_track_ = 0;
 };
 
 }  // namespace optiplet::noc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.hpp"
 #include "util/require.hpp"
 
 namespace optiplet::noc {
@@ -70,6 +71,13 @@ std::size_t ResipiController::observe_epoch(
       reconfigurations_ += delta;
       active_[c] = next;
     }
+  }
+  if (recorder_ != nullptr && recorder_->metering()) {
+    obs::MetricsRegistry& m = recorder_->metrics();
+    m.add("noc.resipi.epochs");
+    m.add("noc.resipi.writes", static_cast<double>(changes));
+    m.set("noc.resipi.active_gateways",
+          static_cast<double>(total_active_gateways()));
   }
   return changes;
 }

@@ -16,6 +16,10 @@
 #include "photonics/pcm_coupler.hpp"
 #include "util/units.hpp"
 
+namespace optiplet::obs {
+class Recorder;
+}  // namespace optiplet::obs
+
 namespace optiplet::noc {
 
 struct ResipiConfig {
@@ -74,6 +78,12 @@ class ResipiController {
     return gateway_bandwidth_bps_;
   }
 
+  /// Attach an observability sink: every observe_epoch() then records the
+  /// epoch's PCMC writes and the resulting activation level (series
+  /// `noc.resipi.*`). Null detaches. Not owned; must outlive the
+  /// controller's use.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   ResipiConfig config_;
   std::size_t gateways_per_chiplet_;
@@ -82,6 +92,7 @@ class ResipiController {
   std::vector<std::size_t> active_;
   double pcm_write_energy_j_ = 0.0;
   std::uint64_t reconfigurations_ = 0;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace optiplet::noc

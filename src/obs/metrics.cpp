@@ -1,0 +1,101 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace optiplet::obs {
+namespace {
+
+/// Histogram layout shared by every metric histogram: 1e-7 s .. 100 s at
+/// ~10 buckets/decade. Identical layout everywhere keeps per-package
+/// histograms mergeable.
+sim::LogHistogram make_histogram() {
+  return sim::LogHistogram(1e-7, 100.0, 90);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::string series_prefix)
+    : prefix_(std::move(series_prefix)) {}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, make_histogram()).first;
+  }
+  it->second.add(value);
+}
+
+void MetricsRegistry::emit(double t_s, const std::string& name,
+                           double value) {
+  samples_.push_back(MetricSample{t_s, prefix_ + name, value});
+}
+
+void MetricsRegistry::snapshot(double t_s) {
+  const double window_s = have_snapshot_ ? t_s - last_snapshot_t_s_ : t_s;
+  for (const auto& [name, value] : counters_) {
+    emit(t_s, name, value);
+    const double prev = counters_at_last_snapshot_.count(name)
+                            ? counters_at_last_snapshot_.at(name)
+                            : 0.0;
+    emit(t_s, name + ".rate",
+         window_s > 0.0 ? (value - prev) / window_s : 0.0);
+  }
+  counters_at_last_snapshot_ = counters_;
+  for (const auto& [name, value] : gauges_) {
+    emit(t_s, name, value);
+  }
+  for (const auto& [name, hist] : histograms_) {
+    emit(t_s, name + ".count", static_cast<double>(hist.stat().count()));
+    emit(t_s, name + ".mean", hist.stat().mean());
+    emit(t_s, name + ".p50", hist.quantile(0.50));
+    emit(t_s, name + ".p99", hist.quantile(0.99));
+  }
+  last_snapshot_t_s_ = t_s;
+  have_snapshot_ = true;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::map<std::string, bool> seen;
+  for (const MetricSample& s : samples_) {
+    seen[s.series] = true;
+  }
+  return seen.size();
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return false;
+  }
+  out << "t_s,series,value\n";
+  char buf[80];
+  for (const MetricSample& s : samples_) {
+    std::snprintf(buf, sizeof buf, "%.9g,", s.t_s);
+    out << buf << s.series;
+    std::snprintf(buf, sizeof buf, ",%.9g\n", s.value);
+    out << buf;
+  }
+  return out.good();
+}
+
+}  // namespace optiplet::obs

@@ -1,0 +1,79 @@
+#pragma once
+/// \file metrics.hpp
+/// Metrics registry: named counters, gauges, and log-scale histograms with
+/// periodic sim-time snapshots exported as a long-format time-series CSV.
+///
+/// Counters are monotone; every snapshot emits both the cumulative value
+/// (`<name>`) and the windowed rate since the previous snapshot
+/// (`<name>.rate`, per sim-second). Gauges emit their current value.
+/// Histograms emit `.mean`, `.p50`, `.p99`, and `.count` series, backed by
+/// sim::LogHistogram so per-package registries merge exactly.
+///
+/// Series names are dot-delimited (`serve.shed`, `resipi.active_gateways`);
+/// a registry-level prefix (e.g. `p3.`) namespaces per-package registries
+/// inside a rack run. See docs/observability.md for the series catalog.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace optiplet::obs {
+
+/// One row of the long-format export: (sim time, series name, value).
+struct MetricSample {
+  double t_s = 0.0;
+  std::string series;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::string series_prefix = "");
+
+  /// Increment the counter `name` by `delta` (counters are create-on-use).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Set the gauge `name` to `value`.
+  void set(const std::string& name, double value);
+
+  /// Observe `value` into the histogram `name`.
+  void observe(const std::string& name, double value);
+
+  /// Emit one sample row per live series at sim time `t_s`.
+  void snapshot(double t_s);
+
+  /// Append `other`'s emitted samples (its prefix is already baked into
+  /// its series names). Live counter/gauge state is not merged — merging
+  /// happens after the child registries have taken their final snapshots.
+  void merge(const MetricsRegistry& other);
+
+  [[nodiscard]] const std::vector<MetricSample>& samples() const {
+    return samples_;
+  }
+
+  /// Number of distinct series names across all emitted samples.
+  [[nodiscard]] std::size_t series_count() const;
+
+  /// Cumulative value of counter `name` (0 if never incremented).
+  [[nodiscard]] double counter(const std::string& name) const;
+
+  /// Write samples as CSV (`t_s,series,value`); false on I/O failure.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+
+ private:
+  void emit(double t_s, const std::string& name, double value);
+
+  std::string prefix_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> counters_at_last_snapshot_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, sim::LogHistogram> histograms_;
+  std::vector<MetricSample> samples_;
+  double last_snapshot_t_s_ = 0.0;
+  bool have_snapshot_ = false;
+};
+
+}  // namespace optiplet::obs

@@ -1,0 +1,15 @@
+#include "obs/recorder.hpp"
+
+#include <utility>
+
+namespace optiplet::obs {
+
+Recorder::Recorder(RecorderOptions options)
+    : options_(std::move(options)), metrics_(options_.series_prefix) {}
+
+void Recorder::merge_child(const Recorder& child) {
+  trace_.merge(child.trace_);
+  metrics_.merge(child.metrics_);
+}
+
+}  // namespace optiplet::obs

@@ -1,0 +1,66 @@
+#pragma once
+/// \file recorder.hpp
+/// The observability sink threaded through the simulators.
+///
+/// A `Recorder*` hangs off ServingConfig / ClusterConfig /
+/// PhotonicCycleNetConfig; nullptr (the default) disables observability and
+/// must stay near-zero overhead — every instrumentation site is one
+/// null-pointer branch on the hot path, and the sim_speed_sweep bench gates
+/// the disabled-path cost in CI. Attaching a recorder never changes
+/// simulation results: all hooks are read-only observers, and the snapshot
+/// events the serving engine schedules for an attached recorder do not
+/// touch engine state.
+///
+/// Threading model: one Recorder per simulated package, written by exactly
+/// one thread. cluster::simulate gives each package replica a child
+/// recorder (pid = package index) and merges them into the caller's
+/// recorder after the worker pool joins.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace optiplet::obs {
+
+struct RecorderOptions {
+  bool trace = true;    ///< collect trace-event spans
+  bool metrics = true;  ///< collect metric samples
+  /// Sim-time between metric snapshots; 0 picks ~64 snapshots across the
+  /// run's arrival span automatically.
+  double snapshot_period_s = 0.0;
+  int pid = 0;  ///< trace process id (package index)
+  /// Trace process name. The simulator that adopts the recorder emits the
+  /// process_name metadata lazily (empty means the simulator's default,
+  /// e.g. "serving"); metadata is first-wins, so the adopting simulator
+  /// decides the label.
+  std::string process_name;
+  std::string series_prefix;  ///< metric series prefix (e.g. "p3.")
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderOptions options = {});
+
+  [[nodiscard]] bool tracing() const { return options_.trace; }
+  [[nodiscard]] bool metering() const { return options_.metrics; }
+  [[nodiscard]] const RecorderOptions& options() const { return options_; }
+  [[nodiscard]] int pid() const { return options_.pid; }
+
+  [[nodiscard]] TraceBuffer& trace() { return trace_; }
+  [[nodiscard]] const TraceBuffer& trace() const { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Fold a per-package child recorder into this one (call after the
+  /// child's writer thread has joined).
+  void merge_child(const Recorder& child);
+
+ private:
+  RecorderOptions options_;
+  TraceBuffer trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace optiplet::obs

@@ -1,0 +1,235 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace optiplet::obs {
+namespace {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double us) {
+  char buf[40];
+  // Nanosecond resolution on a microsecond clock; trace-event readers
+  // accept fractional timestamps.
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":\"";
+  out += escape(e.name);
+  out += "\",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"ts\":";
+  out += format_us(e.ts_us);
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    out += format_us(e.dur_us);
+  }
+  out += ",\"pid\":";
+  out += std::to_string(e.pid);
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+  if (!e.cat.empty()) {
+    out += ",\"cat\":\"";
+    out += escape(e.cat);
+    out += "\"";
+  }
+  if (e.phase == 'i') {
+    out += ",\"s\":\"t\"";  // instant scope: thread
+  }
+  if (!e.args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& a : e.args) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += escape(a.key);
+      out += "\":";
+      if (a.quoted) {
+        out += '"';
+        out += escape(a.value);
+        out += '"';
+      } else {
+        out += a.value;
+      }
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), true};
+}
+
+TraceArg arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, true};
+}
+
+TraceArg arg(std::string key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return TraceArg{std::move(key), buf, false};
+}
+
+TraceArg arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), false};
+}
+
+void TraceBuffer::set_process_name(int pid, const std::string& name) {
+  for (const TraceEvent& m : metadata_) {
+    if (m.phase == 'M' && m.name == "process_name" && m.pid == pid) {
+      return;
+    }
+  }
+  TraceEvent e;
+  e.name = "process_name";
+  e.phase = 'M';
+  e.pid = pid;
+  e.args.push_back(arg("name", name));
+  metadata_.push_back(std::move(e));
+}
+
+std::uint64_t TraceBuffer::track(int pid, const std::string& name) {
+  std::uint64_t next = 1;
+  for (const auto& [key, tid] : tracks_) {
+    if (key.first == pid) {
+      if (key.second == name) {
+        return tid;
+      }
+      ++next;
+    }
+  }
+  tracks_.push_back({{pid, name}, next});
+  TraceEvent e;
+  e.name = "thread_name";
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = next;
+  e.args.push_back(arg("name", name));
+  metadata_.push_back(std::move(e));
+  return next;
+}
+
+void TraceBuffer::add_complete(std::string name, std::string cat,
+                               double start_s, double end_s, int pid,
+                               std::uint64_t tid,
+                               std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'X';
+  e.ts_us = start_s * 1e6;
+  e.dur_us = (end_s - start_s) * 1e6;
+  if (e.dur_us < 0.0) {
+    e.dur_us = 0.0;
+  }
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceBuffer::add_instant(std::string name, std::string cat, double t_s,
+                              int pid, std::uint64_t tid,
+                              std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'i';
+  e.ts_us = t_s * 1e6;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceBuffer::merge(const TraceBuffer& other) {
+  metadata_.insert(metadata_.end(), other.metadata_.begin(),
+                   other.metadata_.end());
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  tracks_.insert(tracks_.end(), other.tracks_.begin(), other.tracks_.end());
+}
+
+std::string TraceBuffer::to_json() const {
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& m : metadata_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    append_event(out, m);
+  }
+  for (const TraceEvent* e : ordered) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    append_event(out, *e);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceBuffer::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return false;
+  }
+  out << to_json();
+  return out.good();
+}
+
+}  // namespace optiplet::obs

@@ -1,0 +1,101 @@
+#pragma once
+/// \file trace.hpp
+/// Request-lifecycle trace buffer emitting Chrome trace-event JSON.
+///
+/// Spans use *simulated* time as the clock (microseconds, the trace-event
+/// unit), so a Perfetto / chrome://tracing load shows the simulated day,
+/// not the wall-clock of the simulation. Processes (pid) map to packages,
+/// threads (tid) to logical tracks within a package — tenants, chiplet
+/// groups, the ReSiPI controller — named via metadata events.
+///
+/// The buffer is append-only and single-writer: each simulated package owns
+/// one buffer (written from one worker thread), and a rack run merges the
+/// per-package buffers after the workers join. See docs/observability.md
+/// for the span taxonomy.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace optiplet::obs {
+
+/// One key/value pair in a trace event's `args` object. `value` is
+/// pre-rendered; `quoted` distinguishes JSON strings from bare numbers.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+[[nodiscard]] TraceArg arg(std::string key, std::string value);
+[[nodiscard]] TraceArg arg(std::string key, const char* value);
+[[nodiscard]] TraceArg arg(std::string key, double value);
+[[nodiscard]] TraceArg arg(std::string key, std::uint64_t value);
+
+/// One trace event. Phase 'X' = complete span, 'i' = instant, 'M' =
+/// metadata (process/thread names).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // complete spans only
+  int pid = 0;
+  std::uint64_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Append-only container of trace events with track bookkeeping and JSON
+/// serialization.
+class TraceBuffer {
+ public:
+  /// Name the process `pid` (idempotent; first name wins).
+  void set_process_name(int pid, const std::string& name);
+
+  /// Return the tid for the named track under `pid`, allocating it (and
+  /// emitting the thread_name metadata event) on first use. Allocation is
+  /// by call order, which is deterministic in a single-threaded simulation.
+  std::uint64_t track(int pid, const std::string& name);
+
+  /// Record a complete span [start_s, end_s] (sim seconds).
+  void add_complete(std::string name, std::string cat, double start_s,
+                    double end_s, int pid, std::uint64_t tid,
+                    std::vector<TraceArg> args = {});
+
+  /// Record an instant event at `t_s` (sim seconds).
+  void add_instant(std::string name, std::string cat, double t_s, int pid,
+                   std::uint64_t tid, std::vector<TraceArg> args = {});
+
+  /// Append all of `other`'s events (metadata first). Used to fold
+  /// per-package buffers into the rack buffer; pids are expected to be
+  /// disjoint already.
+  void merge(const TraceBuffer& other);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& metadata() const {
+    return metadata_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const {
+    return events_.empty() && metadata_.empty();
+  }
+
+  /// Serialize as a Chrome trace-event JSON object. Metadata events come
+  /// first; span/instant events are stably sorted by timestamp so ts is
+  /// monotone within every (pid, tid) track.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> metadata_;
+  // (pid, track name) -> tid, insertion-ordered per pid.
+  std::vector<std::pair<std::pair<int, std::string>, std::uint64_t>> tracks_;
+};
+
+}  // namespace optiplet::obs

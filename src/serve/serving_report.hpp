@@ -61,6 +61,13 @@ struct ServingMetrics {
   /// traces start at different times.
   double first_arrival_abs_s = 0.0;
   double last_completion_abs_s = 0.0;
+  /// Simulator self-profiling: events the discrete-event kernel executed
+  /// and its peak heap depth. Deterministic (pure functions of the
+  /// schedule) — though attaching an obs::Recorder adds its snapshot
+  /// events to the count. Rack runs sum events and take the max peak
+  /// across packages.
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_event_queue_peak = 0;
 };
 
 /// Aggregate outcome of one priority class (tenants grouped by their
@@ -152,6 +159,9 @@ struct ServingReport {
   std::vector<std::vector<double>> tenant_latencies;
   /// Per-batch execution trace; empty unless record_batches was set.
   std::vector<BatchTrace> batches;
+  /// Wall-clock the simulate() call took. *Not* deterministic — kept out
+  /// of ServingMetrics so determinism tests never compare it.
+  double wall_s = 0.0;
 };
 
 /// Exact nearest-rank quantile of `values` (copied and sorted internally);

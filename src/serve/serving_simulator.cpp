@@ -1,6 +1,7 @@
 #include "serve/serving_simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "dnn/zoo.hpp"
+#include "obs/recorder.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/colocation.hpp"
 #include "serve/service_time.hpp"
@@ -142,9 +144,165 @@ struct Engine {
   /// the cross-tenant contention term of the kSlaShed backlog estimate.
   double shared_est_free_s = 0.0;
 
+  // --- observability (null = disabled; every hook is one branch) ---
+  obs::Recorder* rec = nullptr;
+  int pid = 0;
+  std::vector<std::uint64_t> tenant_tracks;
+  std::vector<std::uint64_t> exec_tracks;      ///< batch-granular executors
+  std::vector<std::uint64_t> resource_tracks;  ///< layer-granular groups
+  std::uint64_t resipi_track = 0;
+
   Engine(const ServingConfig& cfg, ServiceTimeOracle& orc,
          const ColocationPlan& pln)
       : config(cfg), oracle(orc), plan(pln) {}
+
+  /// Shed trace span (zero duration, tagged with the shed reason) and
+  /// counter. kSlaShed has exactly one reject reason today; the tag keeps
+  /// the trace self-describing if more are added.
+  void record_shed(std::size_t t, double now) {
+    if (rec->metering()) {
+      rec->metrics().add("serve.shed");
+    }
+    if (rec->tracing()) {
+      rec->trace().add_complete(
+          "request", "request", now, now, pid, tenant_tracks[t],
+          {obs::arg("tenant", tenants[t].report.name),
+           obs::arg("outcome", "shed"),
+           obs::arg("shed_reason", "predicted_sla_miss")});
+    }
+  }
+
+  void record_resipi_conflict(double wait_s) {
+    if (rec != nullptr && rec->metering()) {
+      rec->metrics().add("resipi.conflicts");
+      rec->metrics().add("resipi.wait_s", wait_s);
+    }
+  }
+
+  /// Request spans ([arrival, completion], one per request) plus the
+  /// latency histograms (global and per priority class).
+  void record_completions(std::size_t t, const std::vector<Request>& batch,
+                          double now) {
+    TenantState& ts = tenants[t];
+    if (rec->metering()) {
+      obs::MetricsRegistry& m = rec->metrics();
+      m.add("serve.completed", static_cast<double>(batch.size()));
+      const std::string cls =
+          "serve.class" + std::to_string(ts.priority) + ".latency";
+      for (const Request& r : batch) {
+        m.observe("serve.latency", now - r.arrival_s);
+        m.observe(cls, now - r.arrival_s);
+      }
+    }
+    if (rec->tracing()) {
+      obs::TraceBuffer& tb = rec->trace();
+      for (const Request& r : batch) {
+        tb.add_complete("request", "request", r.arrival_s, now, pid,
+                        tenant_tracks[t],
+                        {obs::arg("tenant", ts.report.name),
+                         obs::arg("request", r.id),
+                         obs::arg("outcome", "completed"),
+                         obs::arg("latency_s", now - r.arrival_s)});
+      }
+    }
+  }
+
+  /// Per-dispatch metrics shared by both pipeline modes (`run` is the
+  /// batch's oracle result, in scope only at dispatch).
+  void record_dispatch_metrics(unsigned batch_size,
+                               const core::RunResult& run) {
+    if (rec->metering()) {
+      obs::MetricsRegistry& m = rec->metrics();
+      m.add("serve.batches");
+      m.observe("serve.batch_size", static_cast<double>(batch_size));
+      m.set("resipi.active_gateways", run.mean_active_gateways);
+      m.add("serve.energy_j", run.energy_j);
+    }
+  }
+
+  /// Batch-granular trace: per-request queue spans closing at the batch
+  /// start, the batch span on the tenant's executor track, and the ReSiPI
+  /// window on the interposer track.
+  void record_batch_trace(std::size_t t, const std::vector<Request>& batch,
+                          double start, double end, double resipi_window_s) {
+    if (!rec->tracing()) {
+      return;
+    }
+    TenantState& ts = tenants[t];
+    obs::TraceBuffer& tb = rec->trace();
+    for (const Request& r : batch) {
+      tb.add_complete("queue", "queue", r.arrival_s, start, pid,
+                      tenant_tracks[t], {obs::arg("request", r.id)});
+    }
+    tb.add_complete(
+        "batch", "exec", start, end, pid, exec_tracks[t],
+        {obs::arg("tenant", ts.report.name),
+         obs::arg("batch", ts.report.batches - 1),
+         obs::arg("size", static_cast<std::uint64_t>(batch.size()))});
+    if (resipi_window_s > 0.0) {
+      tb.add_complete("retune", "resipi", start, start + resipi_window_s,
+                      pid, resipi_track,
+                      {obs::arg("tenant", ts.report.name),
+                       obs::arg("kind", "batch_window")});
+    }
+  }
+
+  /// Layer-granular trace: stage spans live on their chiplet-group track
+  /// (exclusive FIFO resources, so spans never overlap within a track);
+  /// stage 0 also closes the batch's queue spans.
+  void record_stage_trace(const InFlightBatch& b, const ExecStage& s,
+                          double start, double end, double resipi_window_s,
+                          double handoff_s) {
+    if (!rec->tracing()) {
+      return;
+    }
+    const TenantState& ts = tenants[b.tenant];
+    obs::TraceBuffer& tb = rec->trace();
+    if (b.stage == 0) {
+      for (const Request& r : b.requests) {
+        tb.add_complete("queue", "queue", r.arrival_s, start, pid,
+                        tenant_tracks[b.tenant], {obs::arg("request", r.id)});
+      }
+    }
+    tb.add_complete(
+        "stage", "exec", start, end, pid, resource_tracks[s.resource],
+        {obs::arg("tenant", ts.report.name), obs::arg("batch", b.id),
+         obs::arg("size", static_cast<std::uint64_t>(b.requests.size())),
+         obs::arg("first_layer", static_cast<std::uint64_t>(s.first_layer)),
+         obs::arg("layer_count",
+                  static_cast<std::uint64_t>(s.layer_count))});
+    if (resipi_window_s > 0.0) {
+      tb.add_complete(
+          "retune", "resipi", start, start + resipi_window_s, pid,
+          resipi_track,
+          {obs::arg("tenant", ts.report.name),
+           obs::arg("kind", handoff_s > 0.0 ? "handoff" : "batch_window")});
+    }
+  }
+
+  /// Periodic metric snapshot: sample the queue-depth / in-flight gauges
+  /// and emit one row per live series, re-arming while any tenant is
+  /// active. Read-only observer — it never touches engine state, so an
+  /// attached recorder cannot change simulation results.
+  void metrics_tick(double period_s) {
+    bool active = false;
+    std::size_t depth = 0;
+    std::size_t inflight = 0;
+    for (const TenantState& ts : tenants) {
+      depth += ts.queue.size();
+      inflight += (ts.busy ? 1 : 0) + ts.inflight;
+      active = active || !ts.arrivals_done || ts.busy || ts.inflight > 0 ||
+               ts.queue.size() > 0 || !ts.pending.empty();
+    }
+    obs::MetricsRegistry& m = rec->metrics();
+    m.set("serve.queue_depth", static_cast<double>(depth));
+    m.set("serve.inflight_batches", static_cast<double>(inflight));
+    m.snapshot(events.now());
+    if (active) {
+      events.schedule_in(period_s,
+                         [this, period_s] { metrics_tick(period_s); });
+    }
+  }
 
   /// One request reaches the tenant: count it, run admission, enqueue or
   /// shed, and poke the dispatcher. Shared by every arrival source.
@@ -154,6 +312,9 @@ struct Engine {
     first_arrival_s = std::min(first_arrival_s, now);
     const Request request{ts.next_id++, now};
     ts.report.offered += 1;
+    if (rec != nullptr && rec->metering()) {
+      rec->metrics().add("serve.offered");
+    }
     if (ts.last_arrival_s >= 0.0) {
       const double gap = now - ts.last_arrival_s;
       ts.interarrival_ema_s = ts.interarrival_ema_s == 0.0
@@ -163,6 +324,9 @@ struct Engine {
     ts.last_arrival_s = now;
     if (ts.admission == AdmissionPolicy::kSlaShed && !admit(t)) {
       ts.report.shed += 1;
+      if (rec != nullptr) {
+        record_shed(t, now);
+      }
       issue_closed(t);  // the user gets its rejection notice immediately
       return;
     }
@@ -331,6 +495,7 @@ struct Engine {
         start += wait;
         ts.report.resipi_wait_s += wait;
         ts.report.resipi_conflicts += 1;
+        record_resipi_conflict(wait);
       }
       // The PCM writes happen inside the run (they are charged in its
       // latency); the window only excludes *other* tenants' writes.
@@ -364,6 +529,10 @@ struct Engine {
       trace.resipi_start_s = start;
       trace.resipi_end_s = start + resipi_window_s;
       report.batches.push_back(std::move(trace));
+    }
+    if (rec != nullptr) {
+      record_dispatch_metrics(batch_size, run);
+      record_batch_trace(t, batch, start, end, resipi_window_s);
     }
     events.schedule_at(end, [this, t, b = std::move(batch)] {
       complete(t, b);
@@ -401,6 +570,9 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += batch.size();
+    if (rec != nullptr) {
+      record_completions(t, batch, now);
+    }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       issue_closed(t);  // each response frees one closed-loop user
     }
@@ -539,6 +711,7 @@ struct Engine {
           start += wait;
           ts.report.resipi_wait_s += wait;
           ts.report.resipi_conflicts += 1;
+          record_resipi_conflict(wait);
         }
         resipi_window_s =
             std::min(run.latency_s,
@@ -552,6 +725,9 @@ struct Engine {
       ts.report.energy_j += run.energy_j;
       ts.report.batches += 1;
       report.ledger.merge(run.ledger);
+      if (rec != nullptr) {
+        record_dispatch_metrics(batch_size, run);
+      }
       // Admission estimate: with the pipeline full, completions are one
       // bottleneck-amortized interval apart.
       ts.est_free_s =
@@ -570,6 +746,7 @@ struct Engine {
         start += wait;
         ts.report.resipi_wait_s += wait;
         ts.report.resipi_conflicts += 1;
+        record_resipi_conflict(wait);
       }
       handoff_s = config.system.tech.photonic.pcm.write_time_s;
       resipi_holder = t;
@@ -578,6 +755,9 @@ struct Engine {
       resipi_free_at = std::max(resipi_free_at, start + handoff_s);
       ts.report.shared_handoffs += 1;
       ts.report.handoff_resipi_s += handoff_s;
+      if (rec != nullptr && rec->metering()) {
+        rec->metrics().add("resipi.handoffs");
+      }
       resipi_window_s = std::max(resipi_window_s, handoff_s);
     }
     if (s.shared) {
@@ -622,6 +802,9 @@ struct Engine {
       trace.batch_id = b->id;
       report.batches.push_back(std::move(trace));
     }
+    if (rec != nullptr) {
+      record_stage_trace(*b, s, start, end, resipi_window_s, handoff_s);
+    }
     events.schedule_at(end, [this, b = std::move(b)]() mutable {
       end_stage(std::move(b));
     });
@@ -664,6 +847,9 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += b->requests.size();
+    if (rec != nullptr) {
+      record_completions(b->tenant, b->requests, now);
+    }
     for (std::size_t i = 0; i < b->requests.size(); ++i) {
       issue_closed(b->tenant);  // each response frees one closed-loop user
     }
@@ -772,6 +958,7 @@ ColocatedSetup make_colocated_setup(const core::SystemConfig& system,
 
 ServingReport simulate(const ServingConfig& config) {
   OPTIPLET_REQUIRE(!config.tenants.empty(), "serving needs >= 1 tenant");
+  const auto wall_t0 = std::chrono::steady_clock::now();
 
   std::vector<std::string> model_names;
   std::vector<double> weights;
@@ -853,6 +1040,38 @@ ServingReport simulate(const ServingConfig& config) {
           Engine::distinct_resources(engine.exec_stages(t, 1));
     }
   }
+  obs::Recorder* const rec = config.recorder;
+  if (rec != nullptr) {
+    engine.rec = rec;
+    engine.pid = rec->pid();
+    if (rec->tracing()) {
+      obs::TraceBuffer& tb = rec->trace();
+      tb.set_process_name(engine.pid,
+                          rec->options().process_name.empty()
+                              ? "serving"
+                              : rec->options().process_name);
+      // Track allocation order is fixed (tenants, then executors/groups,
+      // then the interposer), so identical configs always produce
+      // identical tids.
+      for (const TenantState& ts : engine.tenants) {
+        engine.tenant_tracks.push_back(
+            tb.track(engine.pid, "tenant:" + ts.report.name));
+      }
+      if (config.pipeline == PipelineMode::kLayerGranular) {
+        for (std::size_t r = 0; r < engine.resources.size(); ++r) {
+          engine.resource_tracks.push_back(
+              tb.track(engine.pid, r == 0 ? std::string("group:shared")
+                                          : "group:" + std::to_string(r)));
+        }
+      } else {
+        for (const TenantState& ts : engine.tenants) {
+          engine.exec_tracks.push_back(
+              tb.track(engine.pid, "exec:" + ts.report.name));
+        }
+      }
+      engine.resipi_track = tb.track(engine.pid, "resipi");
+    }
+  }
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     TenantState& ts = engine.tenants[t];
     if (ts.closed_loop) {
@@ -864,6 +1083,32 @@ ServingReport simulate(const ServingConfig& config) {
     } else if (!ts.arrivals.empty()) {
       engine.schedule_arrival(t);
     }
+  }
+  if (rec != nullptr && rec->metering()) {
+    // Snapshot cadence: the option, or ~64 snapshots across the known
+    // arrival span (closed-loop runs have no precomputed span — fall back
+    // to the largest SLA, a natural timescale for queue dynamics).
+    double first = std::numeric_limits<double>::infinity();
+    double last = 0.0;
+    double max_sla_s = 0.0;
+    for (const TenantState& ts : engine.tenants) {
+      if (!ts.arrivals.empty()) {
+        first = std::min(first, ts.arrivals.front());
+        last = std::max(last, ts.arrivals.back());
+      }
+      max_sla_s = std::max(max_sla_s, ts.report.sla_s);
+    }
+    double period_s = rec->options().snapshot_period_s;
+    if (period_s <= 0.0) {
+      const double span_s =
+          std::isfinite(first) && last > first ? last - first : 0.0;
+      period_s =
+          span_s > 0.0 ? span_s / 64.0 : std::max(max_sla_s, 1e-6);
+    }
+    const double start_s = std::isfinite(first) ? first : 0.0;
+    engine.events.schedule_at(start_s + period_s, [&engine, period_s] {
+      engine.metrics_tick(period_s);
+    });
   }
 
   engine.events.run();
@@ -894,6 +1139,8 @@ ServingReport simulate(const ServingConfig& config) {
   m.makespan_s = makespan;
   m.first_arrival_abs_s = first_arrival;
   m.last_completion_abs_s = engine.last_completion_s;
+  m.sim_events = engine.events.processed();
+  m.sim_event_queue_peak = engine.events.peak_size();
 
   std::vector<double> all_latencies;
   std::uint64_t violations = 0;
@@ -993,6 +1240,28 @@ ServingReport simulate(const ServingConfig& config) {
   }
   m.service_cache_hits = oracle.cache_hits();
   m.service_cache_misses = oracle.cache_misses();
+  if (rec != nullptr) {
+    if (rec->metering()) {
+      // Final snapshot closing the run (the queue is drained by now).
+      rec->metrics().set("serve.queue_depth", 0.0);
+      rec->metrics().set("serve.inflight_batches", 0.0);
+      rec->metrics().snapshot(
+          std::max(engine.last_completion_s, engine.events.now()));
+    }
+    if (rec->tracing()) {
+      // One summary event per process: tools/check_trace_json.py
+      // reconciles span counts against these totals (offered == request
+      // spans == completed + shed).
+      rec->trace().add_instant(
+          "serving_totals", "summary", engine.last_completion_s, engine.pid,
+          rec->trace().track(engine.pid, "summary"),
+          {obs::arg("offered", m.offered), obs::arg("completed", m.completed),
+           obs::arg("shed", m.shed)});
+    }
+  }
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall_t0)
+                   .count();
   return out;
 }
 

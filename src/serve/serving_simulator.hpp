@@ -58,6 +58,10 @@
 #include "serve/serving_report.hpp"
 #include "serve/serving_spec.hpp"
 
+namespace optiplet::obs {
+class Recorder;
+}  // namespace optiplet::obs
+
 namespace optiplet::serve {
 
 /// One resident model and its traffic.
@@ -111,6 +115,11 @@ struct ServingConfig {
   /// trace (occupancy, reconfiguration windows) into the report — for
   /// tests; costs memory on long runs.
   bool record_batches = false;
+  /// Observability sink (request-lifecycle trace spans + metric
+  /// snapshots). Null disables observability at near-zero cost; attaching
+  /// a recorder never changes the simulation's results. Not owned; must
+  /// outlive simulate(). See obs/recorder.hpp for the threading contract.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// The co-location wiring simulate() runs on, exposed so benches and

@@ -25,6 +25,9 @@ class EventQueue {
   void schedule_at(double t, Callback cb) {
     OPTIPLET_REQUIRE(t >= now_, "cannot schedule in the past");
     heap_.push(Entry{t, next_seq_++, std::move(cb)});
+    if (heap_.size() > peak_size_) {
+      peak_size_ = heap_.size();
+    }
   }
 
   /// Schedule `cb` `dt` seconds from now; dt must be non-negative.
@@ -37,6 +40,12 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] double now() const { return now_; }
 
+  /// Self-profiling: events executed so far and the deepest the heap has
+  /// been. Both are deterministic (pure functions of the schedule), so they
+  /// may surface in reports that determinism tests compare.
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+
   /// Pop and run the earliest event; returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) {
@@ -46,6 +55,7 @@ class EventQueue {
     Entry e = heap_.top();
     heap_.pop();
     now_ = e.time;
+    ++processed_;
     e.cb();
     return true;
   }
@@ -76,6 +86,8 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace optiplet::sim

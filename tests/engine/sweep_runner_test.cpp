@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -217,6 +219,73 @@ TEST(SweepRunner, ProgressReachesTotalAndIsMonotone) {
     previous = done;
   }
   EXPECT_EQ(calls.back().first, results.size());
+}
+
+TEST(SweepRunner, ScenarioProgressReportsKeysWallClockAndCacheHits) {
+  const auto grid = small_grid();
+  SweepOptions options;
+  options.threads = 2;
+  std::vector<ScenarioProgress> calls;
+  options.scenario_progress = [&calls](const ScenarioProgress& p) {
+    calls.push_back(p);
+  };
+  SweepRunner runner(core::default_system_config(), options);
+  const auto results = runner.run(grid);
+  ASSERT_EQ(calls.size(), results.size());
+  std::size_t previous = 0;
+  std::set<std::string> keys;
+  for (const ScenarioProgress& p : calls) {
+    EXPECT_EQ(p.total, results.size());
+    EXPECT_GT(p.done, previous);
+    previous = p.done;
+    EXPECT_FALSE(p.key.empty());
+    EXPECT_FALSE(p.from_cache);  // a fresh runner simulates everything
+    EXPECT_GE(p.wall_s, 0.0);
+    keys.insert(p.key);
+  }
+  // Every scenario key reported exactly once.
+  EXPECT_EQ(keys.size(), results.size());
+  for (const auto& r : results) {
+    EXPECT_EQ(keys.count(r.spec.key()), 1u) << r.spec.key();
+    EXPECT_GE(r.eval_wall_s, 0.0);
+  }
+}
+
+TEST(SweepRunner, ScenarioProgressReportsUpfrontCacheHitsPerKey) {
+  const auto grid = small_grid();
+  std::vector<ScenarioProgress> calls;
+  SweepOptions options;
+  options.threads = 2;
+  options.scenario_progress = [&calls](const ScenarioProgress& p) {
+    calls.push_back(p);
+  };
+  SweepRunner runner(core::default_system_config(), options);
+  const auto first = runner.run(grid);  // warm the memo
+  calls.clear();
+
+  // Every scenario of the repeat resolves from the cross-run memo before
+  // the pool spins up — and each must still report its own key (a single
+  // bulk "done += n" would hide which scenarios were memoized).
+  const auto second = runner.run(grid);
+  ASSERT_EQ(calls.size(), second.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    EXPECT_TRUE(calls[i].from_cache) << calls[i].key;
+    EXPECT_DOUBLE_EQ(calls[i].wall_s, 0.0);
+    EXPECT_EQ(calls[i].done, i + 1);
+    EXPECT_EQ(calls[i].key, first[i].spec.key());
+  }
+
+  // In-batch duplicates report alongside their one evaluation.
+  calls.clear();
+  ScenarioSpec spec;
+  spec.model = "LeNet5";
+  SweepRunner dup_runner(core::default_system_config(), options);
+  const auto dups = dup_runner.run({spec, spec, spec});
+  ASSERT_EQ(dups.size(), 3u);
+  ASSERT_FALSE(calls.empty());
+  EXPECT_FALSE(calls.front().from_cache);
+  EXPECT_EQ(calls.front().key, dups[0].spec.key());
+  EXPECT_EQ(calls.back().done, 3u);
 }
 
 TEST(SweepRunner, ScenarioExceptionsPropagateAndRunnerSurvives) {

@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace optiplet::obs {
+namespace {
+
+/// Samples of one snapshot keyed by series name.
+std::map<std::string, double> at_time(const MetricsRegistry& registry,
+                                      double t_s) {
+  std::map<std::string, double> out;
+  for (const auto& s : registry.samples()) {
+    if (s.t_s == t_s) {
+      out[s.series] = s.value;
+    }
+  }
+  return out;
+}
+
+TEST(MetricsRegistry, CountersEmitCumulativeAndRate) {
+  MetricsRegistry registry;
+  registry.add("serve.offered", 10.0);
+  registry.snapshot(2.0);
+  registry.add("serve.offered", 30.0);
+  registry.snapshot(4.0);
+
+  const auto first = at_time(registry, 2.0);
+  EXPECT_DOUBLE_EQ(first.at("serve.offered"), 10.0);
+  EXPECT_DOUBLE_EQ(first.at("serve.offered.rate"), 5.0);  // 10 over [0,2]
+  const auto second = at_time(registry, 4.0);
+  EXPECT_DOUBLE_EQ(second.at("serve.offered"), 40.0);
+  EXPECT_DOUBLE_EQ(second.at("serve.offered.rate"), 15.0);  // 30 over [2,4]
+  EXPECT_DOUBLE_EQ(registry.counter("serve.offered"), 40.0);
+}
+
+TEST(MetricsRegistry, GaugesEmitCurrentValue) {
+  MetricsRegistry registry;
+  registry.set("serve.queue_depth", 7.0);
+  registry.snapshot(1.0);
+  registry.set("serve.queue_depth", 3.0);
+  registry.snapshot(2.0);
+  EXPECT_DOUBLE_EQ(at_time(registry, 1.0).at("serve.queue_depth"), 7.0);
+  EXPECT_DOUBLE_EQ(at_time(registry, 2.0).at("serve.queue_depth"), 3.0);
+}
+
+TEST(MetricsRegistry, HistogramsEmitCountMeanAndQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; ++i) {
+    registry.observe("serve.latency", 1e-3);
+  }
+  registry.observe("serve.latency", 50e-3);
+  registry.snapshot(1.0);
+  const auto snap = at_time(registry, 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("serve.latency.count"), 101.0);
+  EXPECT_NEAR(snap.at("serve.latency.mean"), (100 * 1e-3 + 50e-3) / 101.0,
+              1e-9);
+  EXPECT_NEAR(snap.at("serve.latency.p50"), 1e-3, 0.2e-3);
+  EXPECT_GT(snap.at("serve.latency.p99"), snap.at("serve.latency.p50"));
+}
+
+TEST(MetricsRegistry, PrefixNamespacesEverySeries) {
+  MetricsRegistry registry("p3.");
+  registry.add("serve.shed");
+  registry.set("serve.queue_depth", 1.0);
+  registry.snapshot(1.0);
+  for (const auto& s : registry.samples()) {
+    EXPECT_EQ(s.series.rfind("p3.", 0), 0u) << s.series;
+  }
+}
+
+TEST(MetricsRegistry, MergeAppendsChildSamples) {
+  MetricsRegistry parent;
+  parent.add("cluster.transfers", 2.0);
+  parent.snapshot(1.0);
+  MetricsRegistry child("p0.");
+  child.add("serve.offered", 5.0);
+  child.snapshot(1.0);
+
+  parent.merge(child);
+  const auto snap = at_time(parent, 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("cluster.transfers"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.at("p0.serve.offered"), 5.0);
+  EXPECT_EQ(parent.series_count(), 4u);  // two counters + two rates
+}
+
+TEST(MetricsRegistry, WriteCsvLongFormat) {
+  MetricsRegistry registry;
+  registry.add("serve.offered", 3.0);
+  registry.snapshot(0.5);
+  const std::string path = "metrics_registry_test_out.csv";
+  ASSERT_TRUE(registry.write_csv(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof line, file), nullptr);
+  EXPECT_STREQ(line, "t_s,series,value\n");
+  ASSERT_NE(std::fgets(line, sizeof line, file), nullptr);
+  EXPECT_STREQ(line, "0.5,serve.offered,3\n");
+  std::fclose(file);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace optiplet::obs

@@ -1,0 +1,223 @@
+/// End-to-end observability contract of the serving simulator: span
+/// schema, request-span reconciliation against the report, nesting,
+/// shed-reason tagging, rack/lone trace equivalence, and the guarantee
+/// that attaching a recorder never changes results.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/cluster_simulator.hpp"
+#include "core/system_config.hpp"
+#include "obs/recorder.hpp"
+#include "serve/service_time.hpp"
+#include "serve/serving_simulator.hpp"
+
+namespace optiplet::obs {
+namespace {
+
+serve::ServingSpec small_spec() {
+  serve::ServingSpec spec;
+  spec.tenant_mix = "LeNet5";
+  spec.arrival_rps = 2000.0;
+  spec.requests = 150;
+  return spec;
+}
+
+serve::ServingReport run_with(const serve::ServingSpec& spec,
+                              Recorder* recorder) {
+  serve::ServingConfig config = serve::make_serving_config(
+      core::default_system_config(), accel::Architecture::kSiph2p5D, spec);
+  config.recorder = recorder;
+  return serve::simulate(config);
+}
+
+const std::string* find_arg(const TraceEvent& event, const std::string& key) {
+  for (const TraceArg& a : event.args) {
+    if (a.key == key) {
+      return &a.value;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ServingTrace, EventsCarryTheTraceEventSchema) {
+  Recorder recorder;
+  (void)run_with(small_spec(), &recorder);
+  ASSERT_FALSE(recorder.trace().events().empty());
+  for (const TraceEvent& e : recorder.trace().events()) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.cat.empty());
+    EXPECT_TRUE(e.phase == 'X' || e.phase == 'i') << e.phase;
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_EQ(e.pid, 0);
+  }
+  // Every track referenced by an event was named via metadata.
+  std::map<std::uint64_t, bool> named;
+  for (const TraceEvent& m : recorder.trace().metadata()) {
+    if (m.name == "thread_name") {
+      named[m.tid] = true;
+    }
+  }
+  for (const TraceEvent& e : recorder.trace().events()) {
+    EXPECT_TRUE(named[e.tid]) << "unnamed tid " << e.tid;
+  }
+}
+
+TEST(ServingTrace, RequestSpansReconcileWithTheReport) {
+  serve::ServingSpec spec = small_spec();
+  // 1.5x the solo batch-1 capacity: past the knee, so shedding engages.
+  serve::ColocatedSetup setup = serve::make_colocated_setup(
+      core::default_system_config(), accel::Architecture::kSiph2p5D,
+      {"LeNet5"});
+  serve::ServiceTimeOracle oracle(std::move(setup.oracle_tenants),
+                                  accel::Architecture::kSiph2p5D);
+  spec.arrival_rps = 1.5 / oracle.batch_run(0, 1).latency_s;
+  spec.requests = 600;
+  spec.admission = serve::AdmissionPolicy::kSlaShed;
+  Recorder recorder;
+  const serve::ServingReport report = run_with(spec, &recorder);
+  ASSERT_GT(report.metrics.shed, 0u);
+  ASSERT_GT(report.metrics.completed, 0u);
+
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  const TraceEvent* totals = nullptr;
+  for (const TraceEvent& e : recorder.trace().events()) {
+    if (e.name == "request") {
+      const std::string* outcome = find_arg(e, "outcome");
+      ASSERT_NE(outcome, nullptr);
+      if (*outcome == "completed") {
+        ++completed;
+      } else if (*outcome == "shed") {
+        ++shed;
+        EXPECT_DOUBLE_EQ(e.dur_us, 0.0);
+        const std::string* reason = find_arg(e, "shed_reason");
+        ASSERT_NE(reason, nullptr);
+        EXPECT_EQ(*reason, "predicted_sla_miss");
+      } else {
+        FAIL() << "unknown outcome " << *outcome;
+      }
+    } else if (e.name == "serving_totals") {
+      totals = &e;
+    }
+  }
+  EXPECT_EQ(completed, report.metrics.completed);
+  EXPECT_EQ(shed, report.metrics.shed);
+  EXPECT_EQ(completed + shed, report.metrics.offered);
+
+  // The summary instant repeats the reconciliation inside the trace
+  // itself — what tools/check_trace_json.py verifies offline.
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(*find_arg(*totals, "offered"),
+            std::to_string(report.metrics.offered));
+  EXPECT_EQ(*find_arg(*totals, "completed"),
+            std::to_string(report.metrics.completed));
+  EXPECT_EQ(*find_arg(*totals, "shed"), std::to_string(report.metrics.shed));
+}
+
+TEST(ServingTrace, QueueSpansNestWithinTheirRequestSpans) {
+  Recorder recorder;
+  (void)run_with(small_spec(), &recorder);
+
+  // Request id -> [start, end] of its lifecycle span (microseconds).
+  std::map<std::string, std::pair<double, double>> requests;
+  for (const TraceEvent& e : recorder.trace().events()) {
+    if (e.name == "request") {
+      const std::string* id = find_arg(e, "request");
+      ASSERT_NE(id, nullptr);
+      requests[*id] = {e.ts_us, e.ts_us + e.dur_us};
+    }
+  }
+  std::size_t queue_spans = 0;
+  for (const TraceEvent& e : recorder.trace().events()) {
+    if (e.name != "queue") {
+      continue;
+    }
+    ++queue_spans;
+    const std::string* id = find_arg(e, "request");
+    ASSERT_NE(id, nullptr);
+    const auto it = requests.find(*id);
+    ASSERT_NE(it, requests.end()) << "queue span for unknown request " << *id;
+    // Sub-microsecond rounding of the shared "%.3f" clock aside, the
+    // wait must lie within the request's lifetime.
+    EXPECT_GE(e.ts_us, it->second.first - 1e-3);
+    EXPECT_LE(e.ts_us + e.dur_us, it->second.second + 1e-3);
+  }
+  EXPECT_GT(queue_spans, 0u);
+}
+
+TEST(ServingTrace, SinglePackageClusterTraceMatchesTheLoneSimulator) {
+  cluster::ClusterConfig config;
+  config.system = core::default_system_config();
+  config.serving.tenant_mix = "LeNet5";
+  config.serving.arrival_rps = 2000.0;
+  config.serving.requests = 120;
+  config.cluster.packages = 1;
+  config.threads = 1;
+  Recorder rack_recorder;
+  config.recorder = &rack_recorder;
+  (void)cluster::simulate(config);
+
+  Recorder lone_recorder;
+  serve::ServingConfig lone = serve::make_serving_config(
+      config.system, config.arch, config.serving);
+  lone.recorder = &lone_recorder;
+  (void)serve::simulate(lone);
+
+  // A 1-package rack routes nothing, so its merged trace is the lone
+  // simulator's, event for event (pid 0 both sides; only the frontend
+  // process-name metadata differs).
+  const auto& rack = rack_recorder.trace().events();
+  const auto& solo = lone_recorder.trace().events();
+  ASSERT_EQ(rack.size(), solo.size());
+  ASSERT_FALSE(solo.empty());
+  for (std::size_t i = 0; i < solo.size(); ++i) {
+    EXPECT_EQ(rack[i].name, solo[i].name) << i;
+    EXPECT_EQ(rack[i].cat, solo[i].cat) << i;
+    EXPECT_EQ(rack[i].phase, solo[i].phase) << i;
+    EXPECT_EQ(rack[i].ts_us, solo[i].ts_us) << i;
+    EXPECT_EQ(rack[i].dur_us, solo[i].dur_us) << i;
+    EXPECT_EQ(rack[i].pid, solo[i].pid) << i;
+    EXPECT_EQ(rack[i].tid, solo[i].tid) << i;
+    ASSERT_EQ(rack[i].args.size(), solo[i].args.size()) << i;
+    for (std::size_t j = 0; j < solo[i].args.size(); ++j) {
+      EXPECT_EQ(rack[i].args[j].key, solo[i].args[j].key) << i;
+      EXPECT_EQ(rack[i].args[j].value, solo[i].args[j].value) << i;
+    }
+  }
+}
+
+TEST(ServingTrace, MetricsCoverTheAdvertisedSeries) {
+  Recorder recorder;
+  (void)run_with(small_spec(), &recorder);
+  // The docs promise >= 10 series on any serving run (offered, completed,
+  // batches, latency quantiles, gauges, ...).
+  EXPECT_GE(recorder.metrics().series_count(), 10u);
+  EXPECT_GT(recorder.metrics().samples().size(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.metrics().counter("serve.offered"), 150.0);
+}
+
+TEST(ServingTrace, AttachingARecorderNeverChangesResults) {
+  const serve::ServingSpec spec = small_spec();
+  Recorder recorder;
+  const serve::ServingReport with = run_with(spec, &recorder);
+  const serve::ServingReport without = run_with(spec, nullptr);
+  EXPECT_EQ(with.metrics.offered, without.metrics.offered);
+  EXPECT_EQ(with.metrics.completed, without.metrics.completed);
+  EXPECT_EQ(with.metrics.shed, without.metrics.shed);
+  EXPECT_EQ(with.metrics.makespan_s, without.metrics.makespan_s);
+  EXPECT_EQ(with.metrics.throughput_rps, without.metrics.throughput_rps);
+  EXPECT_EQ(with.metrics.mean_latency_s, without.metrics.mean_latency_s);
+  EXPECT_EQ(with.metrics.p99_s, without.metrics.p99_s);
+  EXPECT_EQ(with.metrics.energy_j, without.metrics.energy_j);
+  EXPECT_EQ(with.metrics.mean_batch, without.metrics.mean_batch);
+  // The snapshot timer is the one permitted event-count delta.
+  EXPECT_GE(with.metrics.sim_events, without.metrics.sim_events);
+}
+
+}  // namespace
+}  // namespace optiplet::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace optiplet::obs {
+namespace {
+
+TEST(TraceBuffer, TracksAllocatePerPidInCallOrder) {
+  TraceBuffer buffer;
+  EXPECT_EQ(buffer.track(0, "tenant:a"), 1u);
+  EXPECT_EQ(buffer.track(0, "tenant:b"), 2u);
+  EXPECT_EQ(buffer.track(0, "tenant:a"), 1u);  // idempotent
+  EXPECT_EQ(buffer.track(1, "tenant:a"), 1u);  // tids are per pid
+  // One thread_name metadata event per distinct track.
+  std::size_t thread_names = 0;
+  for (const auto& e : buffer.metadata()) {
+    thread_names += e.name == "thread_name" ? 1 : 0;
+  }
+  EXPECT_EQ(thread_names, 3u);
+}
+
+TEST(TraceBuffer, ProcessNameIsFirstWins) {
+  TraceBuffer buffer;
+  buffer.set_process_name(0, "serving");
+  buffer.set_process_name(0, "other");
+  std::size_t count = 0;
+  for (const auto& e : buffer.metadata()) {
+    if (e.name == "process_name") {
+      ++count;
+      ASSERT_FALSE(e.args.empty());
+      EXPECT_EQ(e.args.front().value, "serving");
+    }
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(TraceBuffer, CompleteSpanConvertsToMicrosAndClampsDuration) {
+  TraceBuffer buffer;
+  const std::uint64_t tid = buffer.track(0, "t");
+  buffer.add_complete("span", "serve", 1e-3, 2.5e-3, 0, tid);
+  ASSERT_EQ(buffer.size(), 1u);
+  const TraceEvent& e = buffer.events().front();
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_DOUBLE_EQ(e.ts_us, 1000.0);
+  EXPECT_DOUBLE_EQ(e.dur_us, 1500.0);
+
+  // Rounding jitter must never produce a negative duration.
+  buffer.add_complete("tiny", "serve", 2.0, 2.0 - 1e-15, 0, tid);
+  EXPECT_GE(buffer.events().back().dur_us, 0.0);
+}
+
+TEST(TraceBuffer, JsonIsWellFormedAndSortedByTimestamp) {
+  TraceBuffer buffer;
+  buffer.set_process_name(0, "serving");
+  const std::uint64_t tid = buffer.track(0, "tenant:x");
+  buffer.add_complete("late", "serve", 2.0, 3.0, 0, tid);
+  buffer.add_complete("early", "serve", 0.5, 1.0, 0, tid,
+                      {arg("tenant", "x"), arg("latency_s", 0.5),
+                       arg("count", std::uint64_t{3})});
+  buffer.add_instant("marker", "serve", 1.5, 0, tid);
+  const std::string json = buffer.to_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Events are sorted: "early" precedes "marker" precedes "late".
+  EXPECT_LT(json.find("\"early\""), json.find("\"marker\""));
+  EXPECT_LT(json.find("\"marker\""), json.find("\"late\""));
+  // Metadata precedes all spans.
+  EXPECT_LT(json.find("process_name"), json.find("\"early\""));
+  // Instants carry the scope field; string args are quoted, numbers bare.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+TEST(TraceBuffer, JsonEscapesControlCharacters) {
+  TraceBuffer buffer;
+  const std::uint64_t tid = buffer.track(0, "t");
+  buffer.add_complete("quote\"back\\slash\nnewline", "serve", 0.0, 1.0, 0,
+                      tid);
+  const std::string json = buffer.to_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+TEST(TraceBuffer, MergeAppendsEventsAndMetadata) {
+  TraceBuffer parent;
+  parent.set_process_name(0, "package0");
+  parent.add_complete("a", "serve", 0.0, 1.0, 0, parent.track(0, "t"));
+
+  TraceBuffer child;
+  child.set_process_name(1, "package1");
+  child.add_complete("b", "serve", 0.5, 1.5, 1, child.track(1, "t"));
+
+  parent.merge(child);
+  EXPECT_EQ(parent.size(), 2u);
+  std::size_t process_names = 0;
+  for (const auto& e : parent.metadata()) {
+    process_names += e.name == "process_name" ? 1 : 0;
+  }
+  EXPECT_EQ(process_names, 2u);
+}
+
+}  // namespace
+}  // namespace optiplet::obs

@@ -77,6 +77,32 @@ TEST(EventQueue, RunHonoursEventBudget) {
   EXPECT_EQ(q.size(), 6u);
 }
 
+TEST(EventQueue, CountsProcessedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(static_cast<double>(i), [] {});
+  }
+  EXPECT_EQ(q.processed(), 0u);
+  q.step();
+  EXPECT_EQ(q.processed(), 1u);
+  q.run();
+  EXPECT_EQ(q.processed(), 5u);
+}
+
+TEST(EventQueue, TracksPeakSize) {
+  EventQueue q;
+  EXPECT_EQ(q.peak_size(), 0u);
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  q.schedule_at(3.0, [] {});
+  EXPECT_EQ(q.peak_size(), 3u);
+  q.run();
+  // The peak survives the drain; late scheduling below it does not move it.
+  EXPECT_EQ(q.peak_size(), 3u);
+  q.schedule_at(4.0, [] {});
+  EXPECT_EQ(q.peak_size(), 3u);
+}
+
 TEST(EventQueue, SelfPerpetuatingChainBounded) {
   EventQueue q;
   std::uint64_t count = 0;

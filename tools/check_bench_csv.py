@@ -84,6 +84,11 @@ SIM_SPEEDUP_FLOOR = 10.0
 # amplify service-time error past the band (waits scale like
 # 1/(1 - rho)); measured error at the operating point is ~4-6%.
 SIM_LATENCY_BAND = 0.10
+# The observability overhead contract (docs/observability.md): the
+# attached-recorder rate of the sim_speed obs pair must stay within 3%
+# of the detached rate. Both sides are best-of-N on the same scenario,
+# so what's left is genuinely recorder cost, not scheduler noise.
+OBS_OVERHEAD_FLOOR = 0.97
 
 failures = []
 
@@ -371,6 +376,26 @@ def check_cluster(path):
             )
 
 
+def check_obs_pair(path, pair):
+    """The attached-recorder rate must stay within 3% of detached."""
+    if not pair:
+        return  # pre-observability CSVs have no pair rows
+    missing = sorted({"pair-off", "pair-on"} - set(pair))
+    if missing:
+        fail(path, f"obs pair incomplete: missing {', '.join(missing)}")
+        return
+    off_rate = pair["pair-off"][0]["requests_per_wall_s"]
+    on_rate = pair["pair-on"][0]["requests_per_wall_s"]
+    if on_rate < off_rate * OBS_OVERHEAD_FLOOR:
+        fail(
+            path,
+            f"attached-recorder rate {on_rate:g} requests/wall-s is "
+            f"{1.0 - on_rate / off_rate:.1%} below the detached rate "
+            f"{off_rate:g}; the observability overhead budget is "
+            f"{1.0 - OBS_OVERHEAD_FLOOR:.0%}",
+        )
+
+
 def check_sim_speed(path):
     numeric_cols = [
         "offered_rps",
@@ -386,6 +411,7 @@ def check_sim_speed(path):
         "mean_batch",
     ]
     groups = {}
+    pair = {}
     for row in read_rows(path, ["fidelity", "policy"] + numeric_cols):
         values = {c: numeric(path, row, c) for c in numeric_cols}
         if any(v is None for v in values.values()):
@@ -397,7 +423,17 @@ def check_sim_speed(path):
                 f"non-positive wall time/rate: wall={values['wall_s']:g} "
                 f"rate={values['requests_per_wall_s']:g}",
             )
-        groups.setdefault(row["fidelity"], []).append(values)
+        # The observability overhead pair (obs=pair-off/pair-on) is a
+        # direct-simulate measurement outside the fidelity grid; keep it
+        # out of the fidelity grouping below. Rows without an obs column
+        # predate the recorder and are null-recorder rows.
+        obs = row.get("obs", "off") or "off"
+        if obs.startswith("pair-"):
+            pair.setdefault(obs, []).append(values)
+        else:
+            groups.setdefault(row["fidelity"], []).append(values)
+
+    check_obs_pair(path, pair)
 
     def mode_of(fidelity):
         return fidelity.split(":", 1)[0]

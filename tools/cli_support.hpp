@@ -12,6 +12,7 @@
 /// exactly once.
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <functional>
 #include <optional>
@@ -27,6 +28,82 @@ namespace optiplet::cli {
 
 using util::join;
 using util::split;
+
+// ---------------------------------------------------------------------
+// Leveled output shared by the tools. Three verbosity tiers:
+//   quiet  primary results only (tables, CSV paths) — what --quiet
+//          always kept
+//   info   plus the run narrative on stderr (progress meter, thread
+//          count, the profiling footer); the default
+//   debug  plus per-scenario detail (keys, wall-clock, cache hits)
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+inline std::optional<LogLevel> log_level_from_string(
+    const std::string& text) {
+  if (text == "quiet") {
+    return LogLevel::kQuiet;
+  }
+  if (text == "info") {
+    return LogLevel::kInfo;
+  }
+  if (text == "debug") {
+    return LogLevel::kDebug;
+  }
+  return std::nullopt;
+}
+
+/// The one printer every tool's ad-hoc printf routes through. Primary
+/// results go to stdout unconditionally; narrative and detail go to
+/// stderr gated by the level, so piping a tool's stdout into a file
+/// stays clean at any verbosity.
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::kInfo) : level_(level) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool info_enabled() const {
+    return level_ >= LogLevel::kInfo;
+  }
+  [[nodiscard]] bool debug_enabled() const {
+    return level_ >= LogLevel::kDebug;
+  }
+
+  /// Primary result output (tables, output-file confirmations): stdout,
+  /// printed at every level.
+  void result(const char* format, ...) const {
+    std::va_list args;
+    va_start(args, format);
+    std::vfprintf(stdout, format, args);
+    va_end(args);
+  }
+
+  /// Run narrative: stderr, printed at info and debug.
+  void info(const char* format, ...) const {
+    if (!info_enabled()) {
+      return;
+    }
+    std::va_list args;
+    va_start(args, format);
+    std::vfprintf(stderr, format, args);
+    va_end(args);
+  }
+
+  /// Per-scenario / internals detail: stderr, printed at debug only.
+  void debug(const char* format, ...) const {
+    if (!debug_enabled()) {
+      return;
+    }
+    std::va_list args;
+    va_start(args, format);
+    std::vfprintf(stderr, format, args);
+    va_end(args);
+  }
+
+ private:
+  LogLevel level_;
+};
 
 inline std::optional<double> parse_double(const std::string& text) {
   try {
@@ -468,6 +545,29 @@ inline const char* fidelity_help() {
          "analytically with a calibrated correction, e.g.\n"
          "sampled:windows=8,layers=1,seed=1,conf=0.95. Other\n"
          "architectures always use the analytical model";
+}
+
+/// Shared --log-level / --quiet registration. --quiet stays as the
+/// shorthand for --log-level quiet that scripts and the ctest smokes
+/// already use.
+inline OptionSet& add_log_flags(OptionSet& options, Logger& log) {
+  options
+      .add("--log-level", "LEVEL",
+           "quiet|info|debug (default info): quiet keeps only\n"
+           "the result output, debug adds per-scenario timing\n"
+           "and cache detail on stderr",
+           [&log](const std::string& text) -> std::optional<std::string> {
+             const auto level = log_level_from_string(text);
+             if (!level) {
+               return "unknown log level: " + text +
+                      " (valid: quiet, info, debug)";
+             }
+             log.set_level(*level);
+             return std::nullopt;
+           })
+      .add_toggle("--quiet", "shorthand for --log-level quiet",
+                  [&log] { log.set_level(LogLevel::kQuiet); });
+  return options;
 }
 
 /// Shared --list-models action.

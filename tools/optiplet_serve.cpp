@@ -18,6 +18,7 @@
 ///       --admission all,shed --rates 600
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
 
+#include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -28,6 +29,8 @@
 #include "engine/result_store.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep_runner.hpp"
+#include "obs/recorder.hpp"
+#include "serve/serving_simulator.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -49,7 +52,10 @@ int main(int argc, char** argv) {
   accel::Architecture arch = accel::Architecture::kSiph2p5D;
   std::size_t threads = 0;
   std::string out_path = "serve.csv";
-  bool quiet = false;
+  std::string trace_out;
+  std::string metrics_out;
+  double snapshot_period_s = 0.0;
+  cli::Logger log;
 
   cli::OptionSet options_set(
       "optiplet_serve",
@@ -147,8 +153,22 @@ counts, utilization, and energy per request.)");
            cli::store_threads(threads))
       .add("--out", "FILE", "output CSV path (default serve.csv)",
            cli::store_string(out_path))
-      .add_toggle("--quiet", "suppress the progress meter",
-                  [&quiet] { quiet = true; })
+      .add("--trace-out", "FILE",
+           "also run the first scenario with request-lifecycle\n"
+           "tracing and write a Chrome trace-event / Perfetto\n"
+           "JSON (see docs/observability.md)",
+           cli::store_string(trace_out))
+      .add("--metrics-out", "FILE",
+           "also run the first scenario with metric snapshots\n"
+           "and write the long-format time series CSV\n"
+           "(t_s,series,value)",
+           cli::store_string(metrics_out))
+      .add("--snapshot-period", "S",
+           "sim-time between metric snapshots [s] (default:\n"
+           "~64 snapshots across the arrival span)",
+           cli::store_positive_double(snapshot_period_s,
+                                      "snapshot period"));
+  cli::add_log_flags(options_set, log)
       .add_action("--list-models", "print the Table-2 model names and exit",
                   cli::list_models_action())
       .set_epilog("Value flags also accept the --flag=value spelling "
@@ -178,7 +198,19 @@ counts, utilization, and energy per request.)");
 
   engine::SweepOptions options;
   options.threads = threads;
-  if (!quiet) {
+  if (log.debug_enabled()) {
+    // Per-scenario lines replace the \r meter (they would interleave).
+    options.scenario_progress =
+        [&log](const engine::ScenarioProgress& p) {
+          if (p.from_cache) {
+            log.debug("[%zu/%zu] %s  (cache)\n", p.done, p.total,
+                      p.key.c_str());
+          } else {
+            log.debug("[%zu/%zu] %s  %.3f s\n", p.done, p.total,
+                      p.key.c_str(), p.wall_s);
+          }
+        };
+  } else if (log.info_enabled()) {
     options.progress = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\r%zu/%zu serving scenarios", done, total);
       if (done == total) {
@@ -188,10 +220,7 @@ counts, utilization, and energy per request.)");
   }
 
   engine::SweepRunner runner(core::default_system_config(), options);
-  if (!quiet) {
-    std::fprintf(stderr, "Running on %zu worker threads\n",
-                 runner.threads());
-  }
+  log.info("Running on %zu worker threads\n", runner.threads());
   engine::ResultStore store;
   try {
     store.add_all(runner.run(grid));
@@ -200,7 +229,7 @@ counts, utilization, and energy per request.)");
                             e.what());
   }
   if (store.empty()) {
-    std::printf("No feasible serving scenarios — nothing to report.\n");
+    log.result("No feasible serving scenarios — nothing to report.\n");
     return 1;
   }
 
@@ -228,14 +257,89 @@ counts, utilization, and energy per request.)");
                    util::format_fixed(m.utilization, 3),
                    util::format_fixed(m.energy_per_request_j * 1e3, 3)});
   }
-  std::printf("Serving %s on %s, %zu scenarios (%zu threads)\n\n",
-              grid.tenant_mixes.front().c_str(), accel::to_string(arch),
-              store.size(), runner.threads());
-  std::fputs(table.render().c_str(), stdout);
+  log.result("Serving %s on %s, %zu scenarios (%zu threads)\n\n",
+             grid.tenant_mixes.front().c_str(), accel::to_string(arch),
+             store.size(), runner.threads());
+  log.result("%s", table.render().c_str());
+
+  // Self-profiling footer: where the evaluation wall-clock went and how
+  // the memo layers behaved (per-scenario columns land in the CSV).
+  if (log.info_enabled()) {
+    double eval_wall_s = 0.0;
+    std::uint64_t sim_events = 0;
+    std::uint64_t oracle_hits = 0;
+    std::uint64_t oracle_misses = 0;
+    const engine::ScenarioResult* slowest = nullptr;
+    for (const auto& r : store.results()) {
+      if (r.from_cache) {
+        continue;
+      }
+      eval_wall_s += r.eval_wall_s;
+      if (slowest == nullptr || r.eval_wall_s > slowest->eval_wall_s) {
+        slowest = &r;
+      }
+      if (r.serving) {
+        sim_events += r.serving->sim_events;
+        oracle_hits += r.serving->service_cache_hits;
+        oracle_misses += r.serving->service_cache_misses;
+      }
+    }
+    log.info("\nProfile: %zu simulated + %zu memoized scenarios, %.2f s "
+             "eval wall, %llu sim events, oracle cache %llu hits / %llu "
+             "misses\n",
+             runner.cache_entries(), runner.cache_hits(), eval_wall_s,
+             static_cast<unsigned long long>(sim_events),
+             static_cast<unsigned long long>(oracle_hits),
+             static_cast<unsigned long long>(oracle_misses));
+    if (slowest != nullptr) {
+      log.info("Slowest scenario: %s (%.2f s)\n",
+               slowest->spec.key().c_str(), slowest->eval_wall_s);
+    }
+  }
 
   if (!store.write_csv(out_path)) {
     return options_set.fail("cannot write " + out_path);
   }
-  std::printf("\nServing grid written to %s\n", out_path.c_str());
+  log.result("\nServing grid written to %s\n", out_path.c_str());
+
+  // Observability exports re-run the FIRST scenario with a recorder
+  // attached; the grid results and CSV above are untouched (the recorder
+  // never changes simulation results, but the re-run keeps the sweep's
+  // wall-clock honest when tracing is off).
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    const engine::ScenarioSpec& spec = store.results().front().spec;
+    obs::RecorderOptions recorder_options;
+    recorder_options.trace = !trace_out.empty();
+    recorder_options.metrics = !metrics_out.empty();
+    recorder_options.snapshot_period_s = snapshot_period_s;
+    obs::Recorder recorder(recorder_options);
+    core::SystemConfig cfg = core::default_system_config();
+    spec.apply(cfg);
+    serve::ServingConfig serving_config =
+        serve::make_serving_config(cfg, spec.arch, *spec.serving);
+    serving_config.recorder = &recorder;
+    try {
+      (void)serve::simulate(serving_config);
+    } catch (const std::exception& e) {
+      return options_set.fail(std::string("instrumented run failed: ") +
+                              e.what());
+    }
+    if (!trace_out.empty()) {
+      if (!recorder.trace().write_json(trace_out)) {
+        return options_set.fail("cannot write " + trace_out);
+      }
+      log.result("Trace of %s (%zu spans) written to %s\n",
+                 spec.key().c_str(), recorder.trace().size(),
+                 trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      if (!recorder.metrics().write_csv(metrics_out)) {
+        return options_set.fail("cannot write " + metrics_out);
+      }
+      log.result("Metric snapshots of %s (%zu series) written to %s\n",
+                 spec.key().c_str(), recorder.metrics().series_count(),
+                 metrics_out.c_str());
+    }
+  }
   return 0;
 }

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   std::string out_path = "sweep.csv";
   std::string per_layer_path;
-  bool quiet = false;
+  cli::Logger log;
 
   cli::OptionSet options_set(
       "optiplet_sweep",
@@ -158,9 +158,8 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
       .add("--per-layer", "FILE",
            "also dump the per-layer timing/provisioning\n"
            "breakdown of every scenario as CSV",
-           cli::store_string(per_layer_path))
-      .add_toggle("--quiet", "suppress the progress meter",
-                  [&quiet] { quiet = true; })
+           cli::store_string(per_layer_path));
+  cli::add_log_flags(options_set, log)
       .add_action("--list-models", "print the Table-2 model names and exit",
                   cli::list_models_action())
       .add_action("--list-overrides", "print the valid --set keys and exit",
@@ -178,7 +177,19 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
 
   engine::SweepOptions options;
   options.threads = threads;
-  if (!quiet) {
+  if (log.debug_enabled()) {
+    // Per-scenario lines replace the \r meter (they would interleave).
+    options.scenario_progress =
+        [&log](const engine::ScenarioProgress& p) {
+          if (p.from_cache) {
+            log.debug("[%zu/%zu] %s  (cache)\n", p.done, p.total,
+                      p.key.c_str());
+          } else {
+            log.debug("[%zu/%zu] %s  %.3f s\n", p.done, p.total,
+                      p.key.c_str(), p.wall_s);
+          }
+        };
+  } else if (log.info_enabled()) {
     options.progress = [](std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\r%zu/%zu scenarios", done, total);
       if (done == total) {
@@ -188,10 +199,7 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
   }
 
   engine::SweepRunner runner(core::default_system_config(), options);
-  if (!quiet) {
-    std::fprintf(stderr, "Running on %zu worker threads\n",
-                 runner.threads());
-  }
+  log.info("Running on %zu worker threads\n", runner.threads());
   engine::ResultStore store;
   try {
     store.add_all(runner.run(grid));
@@ -200,12 +208,12 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
   }
 
   const std::size_t raw = grid.raw_size();
-  std::printf("Grid: %zu scenarios (%zu raw, %zu infeasible skipped), "
-              "%zu threads, %zu simulated, %zu cache hits\n\n",
-              store.size(), raw, raw - store.size(), runner.threads(),
-              runner.cache_entries(), runner.cache_hits());
+  log.result("Grid: %zu scenarios (%zu raw, %zu infeasible skipped), "
+             "%zu threads, %zu simulated, %zu cache hits\n\n",
+             store.size(), raw, raw - store.size(), runner.threads(),
+             runner.cache_entries(), runner.cache_hits());
   if (store.empty()) {
-    std::printf("No feasible scenarios — nothing to report.\n");
+    log.result("No feasible scenarios — nothing to report.\n");
     return 1;
   }
 
@@ -221,28 +229,49 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
                      util::format_fixed(avg.latency_s * 1e3, 4),
                      util::format_fixed(avg.epb_j_per_bit * 1e12, 1)});
   }
-  std::fputs(summary.render().c_str(), stdout);
+  log.result("%s", summary.render().c_str());
 
   const auto* fastest = store.best_by(
       [](const engine::ScenarioResult& r) { return r.run.latency_s; });
   const auto* greenest = store.best_by(
       [](const engine::ScenarioResult& r) { return r.run.epb_j_per_bit; });
-  std::printf("\nFastest scenario:  %s  (%.4f ms)\n",
-              fastest->spec.key().c_str(), fastest->run.latency_s * 1e3);
-  std::printf("Lowest-EPB scenario: %s  (%.1f pJ/bit)\n",
-              greenest->spec.key().c_str(),
-              greenest->run.epb_j_per_bit * 1e12);
+  log.result("\nFastest scenario:  %s  (%.4f ms)\n",
+             fastest->spec.key().c_str(), fastest->run.latency_s * 1e3);
+  log.result("Lowest-EPB scenario: %s  (%.1f pJ/bit)\n",
+             greenest->spec.key().c_str(),
+             greenest->run.epb_j_per_bit * 1e12);
+
+  // Self-profiling footer (per-scenario eval_wall_s lands in the CSV).
+  if (log.info_enabled()) {
+    double eval_wall_s = 0.0;
+    const engine::ScenarioResult* slowest = nullptr;
+    for (const auto& r : store.results()) {
+      if (r.from_cache) {
+        continue;
+      }
+      eval_wall_s += r.eval_wall_s;
+      if (slowest == nullptr || r.eval_wall_s > slowest->eval_wall_s) {
+        slowest = &r;
+      }
+    }
+    log.info("\nProfile: %.2f s eval wall across %zu simulated scenarios\n",
+             eval_wall_s, runner.cache_entries());
+    if (slowest != nullptr) {
+      log.info("Slowest scenario: %s (%.2f s)\n",
+               slowest->spec.key().c_str(), slowest->eval_wall_s);
+    }
+  }
 
   if (!store.write_csv(out_path)) {
     return options_set.fail("cannot write " + out_path);
   }
-  std::printf("\nFull grid written to %s\n", out_path.c_str());
+  log.result("\nFull grid written to %s\n", out_path.c_str());
   if (!per_layer_path.empty()) {
     if (!write_per_layer_csv(per_layer_path, store)) {
       return options_set.fail("cannot write " + per_layer_path);
     }
-    std::printf("Per-layer breakdown written to %s\n",
-                per_layer_path.c_str());
+    log.result("Per-layer breakdown written to %s\n",
+               per_layer_path.c_str());
   }
   return 0;
 }
