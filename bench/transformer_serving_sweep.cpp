@@ -1,0 +1,225 @@
+/// \file transformer_serving_sweep.cpp
+/// Autoregressive-serving characterization on the TinyGPT tenant: the
+/// context-length cost of decoding, the batching-policy trade at a
+/// saturating decode-heavy operating point, and KV-cache pressure.
+///
+/// Section 1 sweeps the prompt length at a fixed generation budget under
+/// continuous batching: every decode step re-streams the whole KV cache,
+/// so tokens/s falls monotonically as the context grows — the
+/// bandwidth-bound regime that motivates treating decode as its own
+/// phase instead of re-pricing the prefill graph.
+///
+/// Section 2 pits no-batching, fixed-size batching, and continuous
+/// (iteration-level) batching against each other at a saturating
+/// decode-heavy load with widely varied generation lengths. Fixed-size
+/// batches pad every member to the longest generation and make arrivals
+/// wait for whole-batch completion; continuous batching retires each
+/// sequence at its own token boundary and lands waiting prefills in the
+/// freed slots, so it must win goodput *and* tail latency here.
+///
+/// Section 3 tightens the per-tenant KV-cache budget until it, not
+/// max_batch, caps the concurrent decode set: peak KV occupancy must
+/// stay within the budget at any setting, and the tight budget trades
+/// throughput for the smaller activation buffer.
+///
+/// Dumps transformer_serving_sweep.csv next to the binary for plotting;
+/// CI's tools/check_bench_csv.py trips on sanity violations in it.
+
+#include <cstdio>
+#include <string>
+
+#include "engine/result_store.hpp"
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+#include "serve/serving_spec.hpp"
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace optiplet;
+
+constexpr const char* kModel = "TinyGPT";
+
+/// Section 1: prompt lengths at a fixed 64-token generation budget. The
+/// rate saturates the executor at every point so decode_tps measures
+/// capacity, not the offered load.
+constexpr std::uint32_t kContextTokens[] = {64, 256, 512, 1024};
+constexpr std::uint32_t kContextDecode = 64;
+constexpr double kContextRateRps = 400.0;
+constexpr std::uint64_t kContextRequests = 160;
+
+/// Section 2: the saturating decode-heavy policy grid. spread 0.6 makes
+/// generation lengths range over 96*(1 +/- 0.6) — the straggler spread
+/// continuous batching monetizes.
+constexpr std::uint32_t kGridPrefill = 32;
+constexpr std::uint32_t kGridDecode = 96;
+constexpr double kGridSpread = 0.6;
+constexpr double kGridRateRps = 300.0;
+constexpr std::uint64_t kGridRequests = 250;
+
+/// Section 3: KV budgets from decode-set-capping to effectively
+/// unconstrained (the 256 MiB serving default).
+constexpr double kKvBudgetsMb[] = {8.0, 256.0};
+constexpr std::uint32_t kKvPrefill = 256;
+constexpr std::uint32_t kKvDecode = 32;
+constexpr double kKvRateRps = 300.0;
+constexpr std::uint64_t kKvRequests = 150;
+
+}  // namespace
+
+int main() {
+  const core::SystemConfig base = core::default_system_config();
+  engine::SweepRunner runner(base);
+
+  util::CsvWriter csv(
+      "transformer_serving_sweep.csv",
+      {"section", "policy", "prefill_tokens", "decode_tokens",
+       "token_spread", "kv_cache_mb", "offered_rps", "throughput_rps",
+       "goodput_rps", "shed", "p50_s", "p99_s", "ttft_p99_s", "decode_tps",
+       "kv_peak_bytes", "kv_budget_bytes", "mean_batch", "utilization",
+       "energy_per_request_j"});
+  OPTIPLET_REQUIRE(csv.ok(), "cannot write transformer_serving_sweep.csv");
+  const auto emit = [&csv](const char* section,
+                           const engine::ScenarioResult& r) {
+    const auto& m = *r.serving;
+    const auto& s = *r.spec.serving;
+    csv.add_row({section, serve::to_string(s.policy),
+                 std::to_string(s.prefill_tokens),
+                 std::to_string(s.decode_tokens),
+                 util::format_general(s.token_spread),
+                 util::format_general(s.kv_cache_mb),
+                 util::format_general(s.arrival_rps),
+                 util::format_general(m.throughput_rps),
+                 util::format_general(m.goodput_rps),
+                 std::to_string(m.shed), util::format_general(m.p50_s),
+                 util::format_general(m.p99_s),
+                 util::format_general(m.ttft_p99_s),
+                 util::format_general(m.decode_tps),
+                 std::to_string(m.kv_peak_bytes),
+                 util::format_general(s.kv_cache_mb * 1024.0 * 1024.0),
+                 util::format_general(m.mean_batch),
+                 util::format_general(m.utilization),
+                 util::format_general(m.energy_per_request_j)});
+  };
+
+  // --- Section 1: decode throughput versus context length ---
+  engine::ScenarioGrid context_grid;
+  context_grid.tenant_mixes = {kModel};
+  context_grid.architectures = {accel::Architecture::kSiph2p5D};
+  context_grid.batch_policies = {serve::BatchPolicy::kContinuous};
+  context_grid.arrival_rates_rps = {kContextRateRps};
+  context_grid.prefill_token_counts.assign(std::begin(kContextTokens),
+                                           std::end(kContextTokens));
+  context_grid.decode_token_counts = {kContextDecode};
+  context_grid.serving_defaults.requests = kContextRequests;
+  context_grid.serving_defaults.max_batch = 8;
+
+  const engine::ResultStore context_store(runner.run(context_grid));
+  OPTIPLET_REQUIRE(!context_store.empty(),
+                   "context-length sweep produced no results");
+  std::printf("=== %s: decode cost versus context length "
+              "(cont, %u generated tokens) ===\n",
+              kModel, kContextDecode);
+  util::TextTable context_table({"Prefill", "Thpt (r/s)", "Decode (tok/s)",
+                                 "TTFT p99 (ms)", "p99 (ms)",
+                                 "KV peak (MiB)"});
+  for (const auto& r : context_store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value(),
+                     "serving sweep row without serving metrics");
+    const auto& m = *r.serving;
+    context_table.add_row(
+        {std::to_string(r.spec.serving->prefill_tokens),
+         util::format_fixed(m.throughput_rps, 0),
+         util::format_fixed(m.decode_tps, 0),
+         util::format_fixed(m.ttft_p99_s * 1e3, 2),
+         util::format_fixed(m.p99_s * 1e3, 2),
+         util::format_fixed(static_cast<double>(m.kv_peak_bytes) / (1 << 20),
+                            2)});
+    emit("context", r);
+  }
+  std::fputs(context_table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  // --- Section 2: batching policies at saturating decode-heavy load ---
+  engine::ScenarioGrid policy_grid;
+  policy_grid.tenant_mixes = {kModel};
+  policy_grid.architectures = {accel::Architecture::kSiph2p5D};
+  policy_grid.batch_policies = {serve::BatchPolicy::kNone,
+                                serve::BatchPolicy::kFixedSize,
+                                serve::BatchPolicy::kContinuous};
+  policy_grid.arrival_rates_rps = {kGridRateRps};
+  policy_grid.prefill_token_counts = {kGridPrefill};
+  policy_grid.decode_token_counts = {kGridDecode};
+  policy_grid.serving_defaults.requests = kGridRequests;
+  policy_grid.serving_defaults.max_batch = 8;
+  policy_grid.serving_defaults.token_spread = kGridSpread;
+
+  const engine::ResultStore policy_store(runner.run(policy_grid));
+  OPTIPLET_REQUIRE(!policy_store.empty(),
+                   "policy grid produced no results");
+  std::printf("=== %s: policies at saturating decode-heavy load "
+              "(%u+%u tokens, spread %.1f) ===\n",
+              kModel, kGridPrefill, kGridDecode, kGridSpread);
+  util::TextTable policy_table({"Policy", "Thpt (r/s)", "Gput (r/s)",
+                                "TTFT p99 (ms)", "p99 (ms)",
+                                "Decode (tok/s)", "E/req (mJ)"});
+  for (const auto& r : policy_store.results()) {
+    OPTIPLET_REQUIRE(r.serving.has_value(),
+                     "serving sweep row without serving metrics");
+    const auto& m = *r.serving;
+    policy_table.add_row(
+        {serve::to_string(r.spec.serving->policy),
+         util::format_fixed(m.throughput_rps, 0),
+         util::format_fixed(m.goodput_rps, 0),
+         util::format_fixed(m.ttft_p99_s * 1e3, 2),
+         util::format_fixed(m.p99_s * 1e3, 2),
+         util::format_fixed(m.decode_tps, 0),
+         util::format_fixed(m.energy_per_request_j * 1e3, 3)});
+    emit("policy", r);
+  }
+  std::fputs(policy_table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  // --- Section 3: KV-cache pressure under continuous batching ---
+  std::printf("=== %s: KV-cache budget pressure (cont, %u+%u tokens) ===\n",
+              kModel, kKvPrefill, kKvDecode);
+  util::TextTable kv_table({"Budget (MiB)", "Thpt (r/s)", "KV peak (MiB)",
+                            "Mean batch", "p99 (ms)"});
+  for (const double budget_mb : kKvBudgetsMb) {
+    engine::ScenarioGrid kv_grid;
+    kv_grid.tenant_mixes = {kModel};
+    kv_grid.architectures = {accel::Architecture::kSiph2p5D};
+    kv_grid.batch_policies = {serve::BatchPolicy::kContinuous};
+    kv_grid.arrival_rates_rps = {kKvRateRps};
+    kv_grid.prefill_token_counts = {kKvPrefill};
+    kv_grid.decode_token_counts = {kKvDecode};
+    kv_grid.serving_defaults.requests = kKvRequests;
+    kv_grid.serving_defaults.max_batch = 8;
+    kv_grid.serving_defaults.kv_cache_mb = budget_mb;
+
+    const engine::ResultStore kv_store(runner.run(kv_grid));
+    OPTIPLET_REQUIRE(!kv_store.empty(), "KV sweep produced no results");
+    for (const auto& r : kv_store.results()) {
+      OPTIPLET_REQUIRE(r.serving.has_value(),
+                       "serving sweep row without serving metrics");
+      const auto& m = *r.serving;
+      kv_table.add_row(
+          {util::format_fixed(budget_mb, 0),
+           util::format_fixed(m.throughput_rps, 0),
+           util::format_fixed(static_cast<double>(m.kv_peak_bytes) /
+                                  (1 << 20),
+                              2),
+           util::format_fixed(m.mean_batch, 2),
+           util::format_fixed(m.p99_s * 1e3, 2)});
+      emit("kv", r);
+    }
+  }
+  std::fputs(kv_table.render().c_str(), stdout);
+  std::fputc('\n', stdout);
+
+  std::puts("Transformer serving grid written to "
+            "transformer_serving_sweep.csv");
+  return 0;
+}

@@ -5,7 +5,11 @@
 namespace optiplet::accel {
 
 MacKind affinity(const dnn::LayerWork& layer) {
-  if (layer.kind == dnn::LayerKind::kDense) {
+  if (layer.kind == dnn::LayerKind::kDense ||
+      layer.kind == dnn::LayerKind::kAttention ||
+      layer.kind == dnn::LayerKind::kLinear) {
+    // Dense-affine work (fully connected, attention scores/mixes,
+    // token-wise linear): long channel-length dot products.
     return MacKind::kDense100;
   }
   if (layer.kind == dnn::LayerKind::kDepthwiseConv2d) {

@@ -21,6 +21,7 @@
 #include "serve/service_time.hpp"
 #include "serve/serving_simulator.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace optiplet::cluster {
 
@@ -36,6 +37,11 @@ struct ArrivalEvent {
   double time_s = 0.0;
   std::size_t tenant = 0;
   std::uint64_t seq = 0;
+  /// Token geometry assigned at the front end (variable-length tenants
+  /// only): the shape must follow the request to whichever replica serves
+  /// it, and a 1-package rack must reproduce the lone simulator's draw
+  /// stream bit-for-bit.
+  serve::RequestShape shape;
 };
 
 /// Per-tenant solo batch-1 service times — the balancer's expected-work
@@ -140,9 +146,12 @@ ClusterReport simulate(const ClusterConfig& config) {
     }
   };
 
-  // Open loop: per-(package, tenant) arrival vectors after routing.
-  std::vector<std::vector<std::vector<double>>> arrivals(
-      packages, std::vector<std::vector<double>>(n));
+  // Open loop: per-(package, tenant) routed arrivals, each time paired
+  // with its request shape so sorting by service time keeps the two
+  // aligned.
+  using RoutedArrival = std::pair<double, serve::RequestShape>;
+  std::vector<std::vector<std::vector<RoutedArrival>>> arrivals(
+      packages, std::vector<std::vector<RoutedArrival>>(n));
   // Closed loop: per-(package, tenant) user counts / issue budgets.
   std::vector<std::vector<unsigned>> users(packages,
                                            std::vector<unsigned>(n, 0));
@@ -160,8 +169,21 @@ ClusterReport simulate(const ClusterConfig& config) {
               ? setup.trace_arrivals
               : serve::poisson_arrivals(setup.arrival_rps, setup.requests,
                                         setup.seed);
+      // The front end fixes each request's token geometry before routing:
+      // replayed shapes verbatim, otherwise the same seeded draw stream
+      // the lone simulator would produce (see serve::draw_request_shape).
+      const bool var = setup.prefill_tokens > 0;
+      util::Xoshiro256 shape_rng(setup.seed ^ 0x746f6b656eULL);
       for (std::uint64_t k = 0; k < stream.size(); ++k) {
-        events.push_back({stream[k], t, k});
+        serve::RequestShape shape;
+        if (!setup.trace_shapes.empty()) {
+          shape = setup.trace_shapes[k];
+        } else if (var) {
+          shape = serve::draw_request_shape(setup.prefill_tokens,
+                                            setup.decode_tokens,
+                                            setup.token_spread, shape_rng);
+        }
+        events.push_back({stream[k], t, k, shape});
       }
     }
     std::sort(events.begin(), events.end(),
@@ -193,11 +215,16 @@ ClusterReport simulate(const ClusterConfig& config) {
                         static_cast<std::uint64_t>(package))});
         }
       }
-      arrivals[package][event.tenant].push_back(at);
+      arrivals[package][event.tenant].push_back({at, event.shape});
     }
     for (auto& package : arrivals) {
       for (auto& stream : package) {
-        std::sort(stream.begin(), stream.end());
+        // Stable: link-delayed ties keep their dispatch order, and each
+        // shape rides with its arrival time.
+        std::stable_sort(stream.begin(), stream.end(),
+                         [](const RoutedArrival& a, const RoutedArrival& b) {
+                           return a.first < b.first;
+                         });
       }
     }
   } else {
@@ -257,7 +284,16 @@ ClusterReport simulate(const ClusterConfig& config) {
                       kReplicaSeedStride * *placement.replica_index(t, p);
       } else {
         tenant.replay_trace = true;
-        tenant.trace_arrivals = std::move(arrivals[p][t]);
+        tenant.trace_arrivals.clear();
+        tenant.trace_shapes.clear();
+        const bool var = tenant.prefill_tokens > 0 ||
+                         !whole.tenants[t].trace_shapes.empty();
+        for (const RoutedArrival& routed : arrivals[p][t]) {
+          tenant.trace_arrivals.push_back(routed.first);
+          if (var) {
+            tenant.trace_shapes.push_back(routed.second);
+          }
+        }
       }
       package.tenants.push_back(std::move(tenant));
     }
@@ -316,6 +352,13 @@ ClusterReport simulate(const ClusterConfig& config) {
       rack.sim_events += pm.sim_events;
       rack.sim_event_queue_peak =
           std::max(rack.sim_event_queue_peak, pm.sim_event_queue_peak);
+      // Token-level rack view: generated throughput sums across packages;
+      // KV peak and TTFT p99 take the worst package (raw TTFT samples are
+      // not exported, so the pooled quantile is approximated by the max —
+      // exact for a 1-package rack).
+      rack.decode_tps += pm.decode_tps;
+      rack.kv_peak_bytes = std::max(rack.kv_peak_bytes, pm.kv_peak_bytes);
+      rack.ttft_p99_s = std::max(rack.ttft_p99_s, pm.ttft_p99_s);
       utilization = pm.utilization;
       if (pm.offered > 0) {
         first_arrival = std::min(first_arrival, pm.first_arrival_abs_s);

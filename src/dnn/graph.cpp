@@ -37,7 +37,7 @@ std::size_t Model::conv_layer_count() const {
 std::size_t Model::fc_layer_count() const {
   std::size_t n = 0;
   for (const auto& l : layers_) {
-    if (l.kind == LayerKind::kDense) {
+    if (l.kind == LayerKind::kDense || l.kind == LayerKind::kLinear) {
       ++n;
     }
   }
@@ -276,6 +276,68 @@ TensorId GraphBuilder::concat(const std::vector<TensorId>& ins,
   l.inputs = ins;
   l.input_shape = first;
   l.output_shape = {first.h, first.w, channels};
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::linear(TensorId in, std::uint32_t units, bool bias,
+                              std::string name) {
+  OPTIPLET_REQUIRE(units >= 1, "linear needs at least one unit");
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kLinear;
+  l.name = name.empty() ? auto_name("linear") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.has_bias = bias;
+  l.output_shape = {s.h, s.w, units};
+  // One weight matrix shared across the h*w token positions: parameters
+  // scale with c*units only, MACs with tokens * c * units.
+  l.param_count = static_cast<std::uint64_t>(s.c) * units + (bias ? units : 0);
+  l.mac_count = static_cast<std::uint64_t>(s.h) * s.w * s.c * units;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::attention(const std::vector<TensorId>& qkv,
+                                 std::uint32_t heads,
+                                 std::uint32_t past_tokens, std::string name) {
+  OPTIPLET_REQUIRE(qkv.size() == 3, "attention takes {q, k, v}");
+  const TensorShape s = shape_of(qkv[0]);
+  for (TensorId id : qkv) {
+    OPTIPLET_REQUIRE(shape_of(id) == s,
+                     "attention q/k/v must share one shape");
+  }
+  OPTIPLET_REQUIRE(heads >= 1 && s.c % heads == 0,
+                   "attention width must divide evenly into heads");
+  Layer l;
+  l.kind = LayerKind::kAttention;
+  l.name = name.empty() ? auto_name("attn") : std::move(name);
+  l.inputs = qkv;
+  l.input_shape = s;
+  l.output_shape = s;
+  l.heads = heads;
+  // Causal accounting: fresh token i (0-based) attends past_tokens + i + 1
+  // positions; QK^T and AV each cost d MACs per attended position.
+  const std::uint64_t tokens = static_cast<std::uint64_t>(s.h) * s.w;
+  const std::uint64_t attended =
+      tokens * past_tokens + tokens * (tokens + 1) / 2;
+  l.mac_count = 2 * attended * s.c;
+  // The cached keys and values of past tokens stream in from memory; the
+  // fresh tokens' K/V are produced on-chip by the projection layers.
+  l.extra_stream_values = 2ULL * past_tokens * s.c;
+  return push(std::move(l));
+}
+
+TensorId GraphBuilder::layer_norm(TensorId in, std::string name) {
+  const TensorShape s = shape_of(in);
+  Layer l;
+  l.kind = LayerKind::kLayerNorm;
+  l.name = name.empty() ? auto_name("ln") : std::move(name);
+  l.inputs = {in};
+  l.input_shape = s;
+  l.output_shape = s;
+  // gamma and beta per channel.
+  l.param_count = 2ULL * s.c;
+  l.mac_count = s.elements();
   return push(std::move(l));
 }
 

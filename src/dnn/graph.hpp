@@ -42,7 +42,8 @@ class Model {
   /// (Table 2 column "CONV layers").
   [[nodiscard]] std::size_t conv_layer_count() const;
 
-  /// Number of fully connected layers (Table 2 column "FC layers").
+  /// Number of fully connected layers (Table 2 column "FC layers");
+  /// token-wise linear layers count as fully connected.
   [[nodiscard]] std::size_t fc_layer_count() const;
 
   /// Total multiply-accumulate operations per inference.
@@ -87,6 +88,23 @@ class GraphBuilder {
   TensorId add(const std::vector<TensorId>& ins, std::string name = {});
   /// Channel concatenation; inputs must share spatial dims.
   TensorId concat(const std::vector<TensorId>& ins, std::string name = {});
+
+  // --- transformer layers (sequence tensors are laid out {1, tokens, d}) ---
+
+  /// Token-wise dense: the same `units x c` weight matrix applied to every
+  /// token of the sequence, so weights stream once while MACs scale with
+  /// the token count.
+  TensorId linear(TensorId in, std::uint32_t units, bool bias,
+                  std::string name = {});
+  /// Multi-head causal attention over {q, k, v} (all `{1, S, d}`).
+  /// `past_tokens` is the KV-cache depth the fresh tokens additionally
+  /// attend over; its K/V values are charged as an extra memory stream.
+  /// Scores and mixes are parameter-free: QKV/output projections are
+  /// separate linear layers.
+  TensorId attention(const std::vector<TensorId>& qkv, std::uint32_t heads,
+                     std::uint32_t past_tokens, std::string name = {});
+  /// Layer normalization: gamma/beta bookkeeping, no MAC-fabric work.
+  TensorId layer_norm(TensorId in, std::string name = {});
 
   /// Shape of a layer's output (usable mid-construction).
   [[nodiscard]] const TensorShape& shape_of(TensorId id) const;

@@ -30,6 +30,9 @@ enum class LayerKind {
   kAdd,              ///< residual addition
   kConcat,           ///< channel concatenation (DenseNet)
   kFlatten,
+  kAttention,        ///< multi-head scaled dot-product attention
+  kLinear,           ///< token-wise dense (weights shared across tokens)
+  kLayerNorm,        ///< layer normalization — bookkeeping, not MAC fabric
 };
 
 [[nodiscard]] constexpr const char* to_string(LayerKind kind) {
@@ -46,6 +49,9 @@ enum class LayerKind {
     case LayerKind::kAdd: return "Add";
     case LayerKind::kConcat: return "Concat";
     case LayerKind::kFlatten: return "Flatten";
+    case LayerKind::kAttention: return "Attention";
+    case LayerKind::kLinear: return "Linear";
+    case LayerKind::kLayerNorm: return "LayerNorm";
   }
   return "?";
 }
@@ -67,21 +73,35 @@ struct Layer {
   Padding padding = Padding::kSame;
   bool has_bias = false;
 
+  /// Attention head count (kAttention only; 1 elsewhere).
+  std::uint32_t heads = 1;
+  /// Values streamed from memory on top of the primary input activations
+  /// (the KV-cache read of a decode-phase attention layer). Counted into
+  /// the layer's input traffic at workload build time.
+  std::uint64_t extra_stream_values = 0;
+
   /// Keras-style total parameter count (weights + bias (+ BN statistics)).
   std::uint64_t param_count = 0;
   /// Multiply-accumulate operations for one inference.
   std::uint64_t mac_count = 0;
 
-  /// True for layers executed on the photonic MAC fabric (conv/dense);
-  /// everything else is electronic post-processing.
+  /// True for layers executed on the photonic MAC fabric
+  /// (conv/dense/attention/linear); everything else is electronic
+  /// post-processing.
   [[nodiscard]] bool is_compute() const {
     return kind == LayerKind::kConv2d ||
-           kind == LayerKind::kDepthwiseConv2d || kind == LayerKind::kDense;
+           kind == LayerKind::kDepthwiseConv2d ||
+           kind == LayerKind::kDense || kind == LayerKind::kAttention ||
+           kind == LayerKind::kLinear;
   }
 
-  /// Kernel size used for MAC-unit affinity (dense layers report 0).
+  /// Kernel size used for MAC-unit affinity (dense-affine layers —
+  /// dense, attention, token-wise linear — report 0).
   [[nodiscard]] std::uint32_t kernel_size() const {
-    return kind == LayerKind::kDense ? 0 : kernel_h;
+    return kind == LayerKind::kDense || kind == LayerKind::kAttention ||
+                   kind == LayerKind::kLinear
+               ? 0
+               : kernel_h;
   }
 };
 

@@ -1,0 +1,80 @@
+#include "dnn/registry.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace optiplet::dnn {
+
+ModelRegistry& ModelRegistry::instance() {
+  static ModelRegistry registry;
+  return registry;
+}
+
+ModelRegistry::ModelRegistry() {
+  // Bootstrap order is catalog order: Table-2 CNNs first (paper row
+  // order), then the transformer family.
+  detail::register_zoo_models(*this);
+  detail::register_transformer_models(*this);
+}
+
+void ModelRegistry::add(std::string name, ModelFamily family,
+                        std::function<Model()> factory,
+                        std::optional<TransformerSpec> transformer) {
+  OPTIPLET_REQUIRE(!name.empty(), "model name must be non-empty");
+  OPTIPLET_REQUIRE(index_.find(name) == index_.end(),
+                   "duplicate model registration: " + name);
+  ModelInfo info;
+  info.name = std::move(name);
+  info.family = family;
+  info.factory = std::move(factory);
+  info.transformer = std::move(transformer);
+  // Derive identity facts from one build so they cannot drift from the
+  // graph: the input layer's shape and the Keras-style parameter total.
+  const Model built = info.factory();
+  info.input_shape = built.layers().front().input_shape;
+  info.params = built.total_params();
+  index_.emplace(info.name, models_.size());
+  models_.push_back(std::move(info));
+}
+
+const ModelInfo* ModelRegistry::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &models_[it->second];
+}
+
+const ModelInfo& ModelRegistry::at(const std::string& name) const {
+  const ModelInfo* info = find(name);
+  if (info == nullptr) {
+    std::string known;
+    for (const ModelInfo& m : models_) {
+      known += known.empty() ? "" : ", ";
+      known += m.name;
+    }
+    OPTIPLET_REQUIRE(false,
+                     "unknown model name: " + name + " (known: " + known +
+                         ")");
+  }
+  return *info;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const ModelInfo& m : models_) {
+    out.push_back(m.name);
+  }
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::names(ModelFamily family) const {
+  std::vector<std::string> out;
+  for (const ModelInfo& m : models_) {
+    if (m.family == family) {
+      out.push_back(m.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace optiplet::dnn

@@ -1,0 +1,105 @@
+#pragma once
+/// \file registry.hpp
+/// The model registry: one named catalog every model ships itself into,
+/// replacing the hand-enumerated zoo free-function list + string-switch
+/// lookup.
+///
+/// Each model family self-registers at registry bootstrap through its
+/// module hook (`detail::register_zoo_models`,
+/// `detail::register_transformer_models` — defined next to the models
+/// they register), so adding a model is one `add()` call in its own
+/// module: lookup (`zoo::by_name`), enumeration (`optiplet_sweep
+/// --list-models`), and CLI validation all derive from the registry
+/// instead of parallel name lists. Registration order is the catalog
+/// order: the five Table-2 CNNs first, in the paper's row order, then the
+/// transformer family — so the historical CNN iteration order is
+/// bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.hpp"
+#include "dnn/transformer.hpp"
+
+namespace optiplet::dnn {
+
+enum class ModelFamily {
+  kCnn,          ///< fixed-shape Table-2 vision model
+  kTransformer,  ///< autoregressive decoder (prefill/decode phases)
+};
+
+[[nodiscard]] constexpr const char* to_string(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kCnn:
+      return "cnn";
+    case ModelFamily::kTransformer:
+      return "transformer";
+  }
+  return "?";
+}
+
+/// Catalog entry: identity plus the construction recipe. `input_shape`
+/// and `params` are derived from one factory build at registration, so
+/// they can never drift from the graph itself.
+struct ModelInfo {
+  std::string name;
+  ModelFamily family = ModelFamily::kCnn;
+  TensorShape input_shape;
+  std::uint64_t params = 0;
+  std::function<Model()> factory;
+  /// Set for transformer-family models: the phase-graph parameters the
+  /// serving oracle prices prefill/decode steps from.
+  std::optional<TransformerSpec> transformer;
+};
+
+/// Process-wide model catalog. Thread-safe for lookups after bootstrap
+/// (the instance is fully populated before first use; `add` is intended
+/// for registration hooks and tests).
+class ModelRegistry {
+ public:
+  /// The populated singleton.
+  [[nodiscard]] static ModelRegistry& instance();
+
+  /// Register a model. Derives `input_shape`/`params` by building once.
+  /// Throws std::invalid_argument on duplicate names.
+  void add(std::string name, ModelFamily family,
+           std::function<Model()> factory,
+           std::optional<TransformerSpec> transformer = std::nullopt);
+
+  /// Lookup; nullptr when absent.
+  [[nodiscard]] const ModelInfo* find(const std::string& name) const;
+
+  /// Lookup; throws std::invalid_argument ("unknown model name: ...")
+  /// listing the registered names.
+  [[nodiscard]] const ModelInfo& at(const std::string& name) const;
+
+  /// All entries, registration order.
+  [[nodiscard]] const std::vector<ModelInfo>& models() const {
+    return models_;
+  }
+
+  /// All names, registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Names of one family, registration order.
+  [[nodiscard]] std::vector<std::string> names(ModelFamily family) const;
+
+ private:
+  ModelRegistry();
+
+  std::vector<ModelInfo> models_;
+  std::map<std::string, std::size_t> index_;
+};
+
+namespace detail {
+/// Module registration hooks, called once at registry bootstrap. Each is
+/// defined in the module that owns the models it registers.
+void register_zoo_models(ModelRegistry& registry);
+void register_transformer_models(ModelRegistry& registry);
+}  // namespace detail
+
+}  // namespace optiplet::dnn

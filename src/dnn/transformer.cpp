@@ -1,0 +1,83 @@
+#include "dnn/transformer.hpp"
+
+#include <string>
+
+#include "dnn/registry.hpp"
+#include "util/require.hpp"
+
+namespace optiplet::dnn {
+
+namespace {
+
+/// One pre-LN decoder block: LN -> Q/K/V projections -> causal attention
+/// -> output projection -> residual, then LN -> FFN (d_ff, ReLU-ish) ->
+/// residual. Parameter accounting matches Keras layer conventions.
+TensorId decoder_block(GraphBuilder& g, TensorId x,
+                       const TransformerSpec& spec,
+                       std::uint32_t past_tokens, std::size_t index) {
+  const std::string stem = "block" + std::to_string(index);
+  TensorId ln1 = g.layer_norm(x, stem + "_ln1");
+  TensorId q = g.linear(ln1, spec.d_model, true, stem + "_q");
+  TensorId k = g.linear(ln1, spec.d_model, true, stem + "_k");
+  TensorId v = g.linear(ln1, spec.d_model, true, stem + "_v");
+  TensorId a =
+      g.attention({q, k, v}, spec.heads, past_tokens, stem + "_attn");
+  TensorId o = g.linear(a, spec.d_model, true, stem + "_proj");
+  x = g.add({x, o}, stem + "_res1");
+  TensorId ln2 = g.layer_norm(x, stem + "_ln2");
+  TensorId h = g.linear(ln2, spec.d_ff, true, stem + "_ff1");
+  h = g.relu(h, stem + "_gelu");
+  h = g.linear(h, spec.d_model, true, stem + "_ff2");
+  return g.add({x, h}, stem + "_res2");
+}
+
+Model make_graph(const TransformerSpec& spec, const std::string& name,
+                 std::uint32_t tokens, std::uint32_t past_tokens) {
+  OPTIPLET_REQUIRE(tokens >= 1, "transformer graph needs >= 1 token");
+  OPTIPLET_REQUIRE(spec.blocks >= 1, "transformer needs >= 1 block");
+  OPTIPLET_REQUIRE(
+      static_cast<std::uint64_t>(tokens) + past_tokens <= spec.max_context,
+      "sequence exceeds the transformer's context window");
+  GraphBuilder g(name, {1, tokens, spec.d_model});
+  TensorId x = g.input_id();
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    x = decoder_block(g, x, spec, past_tokens, b);
+  }
+  (void)g.layer_norm(x, "ln_final");
+  return std::move(g).build();
+}
+
+}  // namespace
+
+TransformerSpec tiny_gpt_spec() { return TransformerSpec{}; }
+
+Model make_prefill_graph(const TransformerSpec& spec, std::uint32_t tokens) {
+  return make_graph(spec, "TinyGPT", tokens, 0);
+}
+
+Model make_decode_graph(const TransformerSpec& spec,
+                        std::uint32_t kv_tokens) {
+  return make_graph(spec, "TinyGPT.decode", 1, kv_tokens);
+}
+
+std::uint64_t kv_bytes_per_token(const TransformerSpec& spec,
+                                 unsigned bits_per_value) {
+  // K and V, one d_model vector each per block; bits rounded up to bytes.
+  const std::uint64_t bits =
+      2ULL * spec.blocks * spec.d_model * bits_per_value;
+  return (bits + 7) / 8;
+}
+
+namespace detail {
+
+void register_transformer_models(ModelRegistry& registry) {
+  const TransformerSpec spec = tiny_gpt_spec();
+  registry.add(
+      "TinyGPT", ModelFamily::kTransformer,
+      [spec] { return make_prefill_graph(spec, spec.default_context); },
+      spec);
+}
+
+}  // namespace detail
+
+}  // namespace optiplet::dnn

@@ -1,0 +1,61 @@
+#pragma once
+/// \file transformer.hpp
+/// GPT-style decoder-only transformer: the architectural spec, per-phase
+/// graph builders, and KV-cache sizing.
+///
+/// Autoregressive inference has two phases with opposite bottlenecks:
+///
+///   * **prefill** — the prompt's S tokens run through every block at
+///     once. MAC-heavy (every linear does S token-sized dot batches) and
+///     batch-amortized: weights stream once per batch while compute
+///     scales, exactly like a CNN batch.
+///   * **decode** — one token per step. The MAC count per step is tiny
+///     (one token through the blocks) but every step re-streams the full
+///     weight set *and* reads the KV cache of all past tokens, so the
+///     phase is bandwidth-bound — the broadcast-heavy traffic the
+///     photonic interposer is built for.
+///
+/// Both phases are built as ordinary `dnn::Model` graphs (attention /
+/// linear / layer-norm layers) so `compute_workload` and the full-system
+/// simulator cost them at any fidelity with no special cases. Embedding
+/// lookup and the weight-tied LM head are omitted: table lookups, not
+/// MAC-fabric work.
+
+#include <cstdint>
+
+#include "dnn/graph.hpp"
+
+namespace optiplet::dnn {
+
+/// Architectural parameters of a decoder-only transformer.
+struct TransformerSpec {
+  std::uint32_t d_model = 512;
+  std::uint32_t heads = 8;
+  std::uint32_t blocks = 8;
+  std::uint32_t d_ff = 2048;
+  /// Hard context-window bound (prefill + decode tokens per request).
+  std::uint32_t max_context = 2048;
+  /// Sequence length the zoo's fixed-shape `Model` is built at.
+  std::uint32_t default_context = 256;
+};
+
+/// The small GPT-style decoder registered in the model zoo ("TinyGPT"):
+/// 8 blocks, d_model 512, 8 heads, d_ff 2048 — ~25M parameters.
+[[nodiscard]] TransformerSpec tiny_gpt_spec();
+
+/// Prefill-phase graph: `tokens` prompt tokens through every block, causal
+/// attention over the prompt itself (empty KV cache).
+[[nodiscard]] Model make_prefill_graph(const TransformerSpec& spec,
+                                       std::uint32_t tokens);
+
+/// Decode-step graph: one fresh token attending over a KV cache of
+/// `kv_tokens` past tokens (so the step's total context is kv_tokens + 1).
+[[nodiscard]] Model make_decode_graph(const TransformerSpec& spec,
+                                      std::uint32_t kv_tokens);
+
+/// KV-cache footprint of one sequence token: K and V vectors per block at
+/// `bits_per_value` precision, in bytes.
+[[nodiscard]] std::uint64_t kv_bytes_per_token(const TransformerSpec& spec,
+                                               unsigned bits_per_value);
+
+}  // namespace optiplet::dnn

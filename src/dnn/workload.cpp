@@ -19,7 +19,10 @@ Workload compute_workload(const Model& model, unsigned bits_per_value) {
     lw.kernel = l.kernel_size();
     lw.macs = l.mac_count;
     lw.weight_bits = l.param_count * bits_per_value;
-    lw.input_bits = l.input_shape.elements() * bits_per_value;
+    // extra_stream_values is the KV-cache read of a decode-phase attention
+    // layer: activation traffic on top of the layer's own input tensor.
+    lw.input_bits =
+        (l.input_shape.elements() + l.extra_stream_values) * bits_per_value;
     lw.output_bits = l.output_shape.elements() * bits_per_value;
 
     switch (l.kind) {
@@ -32,6 +35,13 @@ Workload compute_workload(const Model& model, unsigned bits_per_value) {
         break;
       case LayerKind::kDense:
         lw.dot_length = l.input_shape.elements();
+        break;
+      case LayerKind::kAttention:
+        // Per-head dot products: q_i . k_j over the head width.
+        lw.dot_length = l.input_shape.c / l.heads;
+        break;
+      case LayerKind::kLinear:
+        lw.dot_length = l.input_shape.c;
         break;
       default:
         break;

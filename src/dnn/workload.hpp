@@ -12,14 +12,17 @@
 
 namespace optiplet::dnn {
 
-/// Dataflow summary for one *compute* layer (conv/depthwise/dense).
+/// Dataflow summary for one *compute* layer (conv/depthwise/dense/
+/// attention/linear).
 struct LayerWork {
   std::size_t layer_index = 0;  ///< index into Model::layers()
   LayerKind kind = LayerKind::kConv2d;
   std::uint32_t kernel = 0;     ///< kernel size; 0 for dense layers
   std::uint64_t macs = 0;
   std::uint64_t weight_bits = 0;   ///< parameters streamed from memory
-  std::uint64_t input_bits = 0;    ///< activations read from memory
+  /// Activations read from memory (includes any extra stream the layer
+  /// declares, e.g. a decode-phase attention layer's KV-cache read).
+  std::uint64_t input_bits = 0;
   std::uint64_t output_bits = 0;   ///< activations written back to memory
   /// Output vector length of one dot product on the MAC fabric
   /// (k*k*C_in for conv, fan-in for dense, k*k for depthwise).

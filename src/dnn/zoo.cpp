@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "dnn/registry.hpp"
 #include "util/require.hpp"
 
 namespace optiplet::dnn::zoo {
@@ -211,26 +212,32 @@ Model make_mobilenetv2() {
 
 std::vector<Model> all_models() {
   std::vector<Model> models;
-  models.push_back(make_lenet5());
-  models.push_back(make_resnet50());
-  models.push_back(make_densenet121());
-  models.push_back(make_vgg16());
-  models.push_back(make_mobilenetv2());
+  for (const ModelInfo& info : ModelRegistry::instance().models()) {
+    if (info.family == ModelFamily::kCnn) {
+      models.push_back(info.factory());
+    }
+  }
   return models;
 }
 
 Model by_name(const std::string& name) {
-  if (name == "LeNet5") return make_lenet5();
-  if (name == "ResNet50") return make_resnet50();
-  if (name == "DenseNet121") return make_densenet121();
-  if (name == "VGG16") return make_vgg16();
-  if (name == "MobileNetV2") return make_mobilenetv2();
-  OPTIPLET_REQUIRE(false, "unknown model name: " + name);
-  return make_lenet5();  // unreachable
+  return ModelRegistry::instance().at(name).factory();
 }
 
 std::vector<std::string> model_names() {
-  return {"LeNet5", "ResNet50", "DenseNet121", "VGG16", "MobileNetV2"};
+  return ModelRegistry::instance().names(ModelFamily::kCnn);
 }
 
 }  // namespace optiplet::dnn::zoo
+
+namespace optiplet::dnn::detail {
+
+void register_zoo_models(ModelRegistry& registry) {
+  registry.add("LeNet5", ModelFamily::kCnn, zoo::make_lenet5);
+  registry.add("ResNet50", ModelFamily::kCnn, zoo::make_resnet50);
+  registry.add("DenseNet121", ModelFamily::kCnn, zoo::make_densenet121);
+  registry.add("VGG16", ModelFamily::kCnn, zoo::make_vgg16);
+  registry.add("MobileNetV2", ModelFamily::kCnn, zoo::make_mobilenetv2);
+}
+
+}  // namespace optiplet::dnn::detail

@@ -14,6 +14,11 @@
 /// CONV counts include 1x1 (pointwise), depthwise, and projection-shortcut
 /// convolutions, which is the only accounting that reproduces the paper's
 /// 53/120/52 numbers.
+///
+/// The zoo is a *view* of `dnn::ModelRegistry` (registry.hpp): the five
+/// CNNs self-register there in paper order (next to the transformer
+/// family), lookup goes through the registry, and the Table-2 helpers
+/// below keep their historical CNN-only contract.
 
 #include <string>
 #include <vector>
@@ -31,12 +36,14 @@ namespace optiplet::dnn::zoo {
 /// All five Table-2 models, in the paper's row order.
 [[nodiscard]] std::vector<Model> all_models();
 
-/// Case-sensitive lookup by the names used in the paper
-/// ("LeNet5", "ResNet50", "DenseNet121", "VGG16", "MobileNetV2").
-/// Throws std::invalid_argument for unknown names.
+/// Case-sensitive registry lookup by the names used in the paper
+/// ("LeNet5", "ResNet50", "DenseNet121", "VGG16", "MobileNetV2") plus any
+/// other registered model ("TinyGPT"). Throws std::invalid_argument for
+/// unknown names.
 [[nodiscard]] Model by_name(const std::string& name);
 
-/// The model names in Table-2 order.
+/// The Table-2 CNN names, in paper order (the transformer family is
+/// listed by `ModelRegistry::names()`).
 [[nodiscard]] std::vector<std::string> model_names();
 
 }  // namespace optiplet::dnn::zoo

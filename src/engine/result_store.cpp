@@ -105,6 +105,12 @@ std::vector<std::string> ResultStore::csv_header() {
           "goodput_rps",
           "p99_hi_s",
           "p99_lo_s",
+          // Transformer serving columns; empty for fixed-shape rows.
+          "prefill_tokens",
+          "decode_tokens",
+          "ttft_p99_s",
+          "decode_tps",
+          "kv_peak_bytes",
           // Rack scale-out columns (PR 6); empty for non-cluster rows.
           "packages",
           "balancer",
@@ -173,6 +179,16 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
                 util::format_general(m.goodput_rps),
                 util::format_general(m.p99_hi_s),
                 util::format_general(m.p99_lo_s)});
+    if (spec.prefill_tokens > 0) {
+      row.insert(row.end(),
+                 {std::to_string(spec.prefill_tokens),
+                  std::to_string(spec.decode_tokens),
+                  util::format_general(m.ttft_p99_s),
+                  util::format_general(m.decode_tps),
+                  std::to_string(m.kv_peak_bytes)});
+    } else {
+      row.insert(row.end(), 5, "");
+    }
     if (s.cluster && result.cluster) {
       const auto& cs = *s.cluster;
       const auto& cm = *result.cluster;

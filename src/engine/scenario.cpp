@@ -140,6 +140,17 @@ std::string ScenarioSpec::key() const {
       // experiment identity (priority orders shared-resource grants).
       os << ";serve.prio=" << serving->priority_mix;
     }
+    if (serving->prefill_tokens > 0) {
+      // Token geometry only exists for variable-length (transformer)
+      // scenarios; fixed-shape keys stay byte-identical to the pre-token
+      // schema so existing memo caches and goldens survive.
+      os << ";serve.prefill=" << serving->prefill_tokens
+         << ";serve.decode=" << serving->decode_tokens
+         << ";serve.spread="
+         << util::format_general(serving->token_spread, 17)
+         << ";serve.kv_mb="
+         << util::format_general(serving->kv_cache_mb, 17);
+    }
     if (!serving->trace_path.empty()) {
       // A replayed trace fully determines the arrivals: rate, request
       // count, and seed are ignored, so they must not split the memo
@@ -227,6 +238,8 @@ std::size_t ScenarioGrid::raw_size() const {
     size *= axis(arrival_sources.size());
     size *= axis(user_counts.size());
     size *= axis(admission_policies.size());
+    size *= axis(prefill_token_counts.size());
+    size *= axis(decode_token_counts.size());
   }
   if (cluster_mode()) {
     size *= axis(package_counts.size());
@@ -275,6 +288,14 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       admission_policies.empty()
           ? std::vector<serve::AdmissionPolicy>{serving_defaults.admission}
           : admission_policies;
+  const std::vector<std::uint32_t> prefill_axis =
+      prefill_token_counts.empty()
+          ? std::vector<std::uint32_t>{serving_defaults.prefill_tokens}
+          : prefill_token_counts;
+  const std::vector<std::uint32_t> decode_axis =
+      decode_token_counts.empty()
+          ? std::vector<std::uint32_t>{serving_defaults.decode_tokens}
+          : decode_token_counts;
   const std::vector<std::size_t> package_axis =
       package_counts.empty()
           ? std::vector<std::size_t>{cluster_defaults.packages}
@@ -397,26 +418,32 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
                     for (const unsigned users : users_axis) {
                       for (const serve::AdmissionPolicy admission :
                            admission_axis) {
-                        partial.serving = serving_defaults;
-                        partial.serving->arrival_rps = rate;
-                        partial.serving->policy = policy;
-                        partial.serving->pipeline = pipeline;
-                        partial.serving->source = source;
-                        partial.serving->users = users;
-                        partial.serving->admission = admission;
-                        if (!cluster_mode()) {
-                          expand_axis(0, partial);
-                          continue;
-                        }
-                        for (const std::size_t packages : package_axis) {
-                          for (const auto balancer : balancer_axis) {
-                            for (const std::size_t replication :
-                                 replication_axis) {
-                              partial.cluster = cluster_defaults;
-                              partial.cluster->packages = packages;
-                              partial.cluster->balancer = balancer;
-                              partial.cluster->replication = replication;
+                        for (const std::uint32_t prefill : prefill_axis) {
+                          for (const std::uint32_t decode : decode_axis) {
+                            partial.serving = serving_defaults;
+                            partial.serving->arrival_rps = rate;
+                            partial.serving->policy = policy;
+                            partial.serving->pipeline = pipeline;
+                            partial.serving->source = source;
+                            partial.serving->users = users;
+                            partial.serving->admission = admission;
+                            partial.serving->prefill_tokens = prefill;
+                            partial.serving->decode_tokens = decode;
+                            if (!cluster_mode()) {
                               expand_axis(0, partial);
+                              continue;
+                            }
+                            for (const std::size_t packages : package_axis) {
+                              for (const auto balancer : balancer_axis) {
+                                for (const std::size_t replication :
+                                     replication_axis) {
+                                  partial.cluster = cluster_defaults;
+                                  partial.cluster->packages = packages;
+                                  partial.cluster->balancer = balancer;
+                                  partial.cluster->replication = replication;
+                                  expand_axis(0, partial);
+                                }
+                              }
                             }
                           }
                         }

@@ -126,6 +126,11 @@ struct ScenarioGrid {
   std::vector<unsigned> user_counts;
   /// Admit-all baseline vs SLA-aware shedding.
   std::vector<serve::AdmissionPolicy> admission_policies;
+  /// Transformer token-geometry axes (mean prompt / generated tokens).
+  /// Only meaningful for mixes of transformer tenants; a zero prefill
+  /// keeps the spec fixed-shape.
+  std::vector<std::uint32_t> prefill_token_counts;
+  std::vector<std::uint32_t> decode_token_counts;
   serve::ServingSpec serving_defaults;
 
   /// --- cluster axes ---
@@ -148,7 +153,8 @@ struct ScenarioGrid {
     return cluster_mode() || !arrival_rates_rps.empty() ||
            !batch_policies.empty() || !pipeline_modes.empty() ||
            !tenant_mixes.empty() || !arrival_sources.empty() ||
-           !user_counts.empty() || !admission_policies.empty();
+           !user_counts.empty() || !admission_policies.empty() ||
+           !prefill_token_counts.empty() || !decode_token_counts.empty();
   }
 
   /// Grid size before feasibility filtering.

@@ -24,6 +24,26 @@ std::vector<double> poisson_arrivals(double rate_rps, std::uint64_t count,
   return arrivals;
 }
 
+namespace {
+
+/// Strict non-negative integer parse for trace token columns.
+std::uint32_t parse_token_count(const std::string& text) {
+  unsigned long value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoul(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || text.empty() || value > 0xffffffffUL) {
+    throw std::invalid_argument("bad token count in trace: \"" + text +
+                                "\"");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
 std::vector<TraceEvent> load_arrival_trace(const std::string& path) {
   const auto doc = util::read_csv_file(path);
   if (!doc) {
@@ -35,6 +55,14 @@ std::vector<TraceEvent> load_arrival_trace(const std::string& path) {
                                 path);
   }
   const auto tenant_col = doc->column("tenant");
+  const auto prefill_col = doc->column("prefill_tokens");
+  const auto decode_col = doc->column("decode_tokens");
+  if (prefill_col.has_value() != decode_col.has_value()) {
+    throw std::invalid_argument(
+        "arrival trace must carry both prefill_tokens and decode_tokens "
+        "or neither: " +
+        path);
+  }
   std::vector<TraceEvent> events;
   events.reserve(doc->rows.size());
   for (const auto& row : doc->rows) {
@@ -58,6 +86,17 @@ std::vector<TraceEvent> load_arrival_trace(const std::string& path) {
     if (tenant_col && row.size() > *tenant_col) {
       e.tenant = row[*tenant_col];
     }
+    if (prefill_col) {
+      if (row.size() <= *prefill_col || row.size() <= *decode_col) {
+        throw std::invalid_argument("short row in arrival trace: " + path);
+      }
+      e.shape.prefill_tokens = parse_token_count(row[*prefill_col]);
+      e.shape.decode_tokens = parse_token_count(row[*decode_col]);
+      if (e.shape.decode_tokens > 0 && e.shape.prefill_tokens == 0) {
+        throw std::invalid_argument(
+            "trace row generates tokens from an empty prompt: " + path);
+      }
+    }
     events.push_back(std::move(e));
   }
   std::stable_sort(events.begin(), events.end(),
@@ -76,6 +115,17 @@ std::vector<double> trace_arrivals_for(const std::vector<TraceEvent>& events,
     }
   }
   return arrivals;
+}
+
+std::vector<RequestShape> trace_shapes_for(
+    const std::vector<TraceEvent>& events, const std::string& tenant) {
+  std::vector<RequestShape> shapes;
+  for (const auto& e : events) {
+    if (e.tenant.empty() || e.tenant == tenant) {
+      shapes.push_back(e.shape);
+    }
+  }
+  return shapes;
 }
 
 }  // namespace optiplet::serve

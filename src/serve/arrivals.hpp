@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/serving_spec.hpp"
+
 namespace optiplet::serve {
 
 /// `count` arrival times of a Poisson process with rate `rate_rps`
@@ -23,23 +25,32 @@ namespace optiplet::serve {
                                                    std::uint64_t seed);
 
 /// One replayed arrival: absolute time plus the tenant it belongs to
-/// (empty when the trace has no `tenant` column).
+/// (empty when the trace has no `tenant` column) and, for autoregressive
+/// traces, the request's token geometry ({0, 0} when the trace has no
+/// token columns).
 struct TraceEvent {
   double arrival_s = 0.0;
   std::string tenant;
+  RequestShape shape;
 };
 
 /// Load an arrival trace CSV. The header must contain `arrival_s`; a
-/// `tenant` column is optional. Events are returned sorted by arrival time
-/// (stable, so equal-time events keep file order). Throws
-/// std::invalid_argument on a missing file, missing column, or an
-/// unparseable arrival time.
+/// `tenant` column and a `prefill_tokens`/`decode_tokens` column pair are
+/// optional. Events are returned sorted by arrival time (stable, so
+/// equal-time events keep file order). Throws std::invalid_argument on a
+/// missing file, missing column, an unparseable arrival time or token
+/// count, or when only one of the two token columns is present.
 [[nodiscard]] std::vector<TraceEvent> load_arrival_trace(
     const std::string& path);
 
 /// Filter `events` down to the arrival times of `tenant`. Events with an
 /// empty tenant label match every tenant (single-stream traces feed all).
 [[nodiscard]] std::vector<double> trace_arrivals_for(
+    const std::vector<TraceEvent>& events, const std::string& tenant);
+
+/// The request shapes of `tenant`'s events, aligned index-for-index with
+/// trace_arrivals_for (same filter, same order).
+[[nodiscard]] std::vector<RequestShape> trace_shapes_for(
     const std::vector<TraceEvent>& events, const std::string& tenant);
 
 }  // namespace optiplet::serve

@@ -20,6 +20,10 @@ bool BatchQueue::ready(double now, bool arrivals_done) const {
   }
   switch (config_.policy) {
     case BatchPolicy::kNone:
+    case BatchPolicy::kContinuous:
+      // Continuous batching admits from the queue at token boundaries;
+      // the queue itself is ready whenever it holds a request (and a
+      // fixed-shape tenant under kContinuous degrades to kNone).
       return true;
     case BatchPolicy::kFixedSize:
       return queue_.size() >= config_.max_batch;
@@ -41,13 +45,16 @@ std::optional<double> BatchQueue::next_deadline() const {
 }
 
 std::size_t BatchQueue::batch_size(bool arrivals_done) const {
-  const std::size_t cap =
-      config_.policy == BatchPolicy::kNone ? 1 : config_.max_batch;
+  const std::size_t cap = config_.policy == BatchPolicy::kNone ||
+                                  config_.policy == BatchPolicy::kContinuous
+                              ? 1
+                              : config_.max_batch;
   if (arrivals_done) {
     return std::min(queue_.size(), cap);
   }
   switch (config_.policy) {
     case BatchPolicy::kNone:
+    case BatchPolicy::kContinuous:
       return 1;
     case BatchPolicy::kFixedSize:
       return config_.max_batch;

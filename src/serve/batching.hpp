@@ -21,6 +21,8 @@ namespace optiplet::serve {
 struct Request {
   std::uint64_t id = 0;
   double arrival_s = 0.0;
+  /// Token geometry for autoregressive tenants; {0, 0} for fixed-shape.
+  RequestShape shape;
 };
 
 struct BatchingConfig {
@@ -50,6 +52,10 @@ class BatchQueue {
 
   /// Pop the requests of one batch in FIFO order. Call only when ready().
   [[nodiscard]] std::vector<Request> take(bool arrivals_done);
+
+  /// The oldest queued request; call only when !empty(). The continuous
+  /// engine peeks it to test the KV-budget fit before admitting.
+  [[nodiscard]] const Request& front() const { return queue_.front(); }
 
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
   [[nodiscard]] bool empty() const { return queue_.empty(); }

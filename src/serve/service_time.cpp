@@ -1,5 +1,7 @@
 #include "serve/service_time.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace optiplet::serve {
@@ -10,14 +12,7 @@ ServiceTimeOracle::ServiceTimeOracle(std::vector<Tenant> tenants,
   OPTIPLET_REQUIRE(!tenants_.empty(), "oracle needs at least one tenant");
 }
 
-const LayerSchedule& ServiceTimeOracle::layer_schedule(std::size_t tenant,
-                                                       unsigned batch) {
-  const auto key = std::make_pair(tenant, batch);
-  if (const auto it = schedules_.find(key); it != schedules_.end()) {
-    return it->second;
-  }
-  const core::RunResult& run = batch_run(tenant, batch);
-
+LayerSchedule ServiceTimeOracle::build_schedule(const core::RunResult& run) {
   LayerSchedule schedule;
   schedule.total_latency_s = run.latency_s;
   schedule.total_energy_j = run.energy_j;
@@ -69,7 +64,17 @@ const LayerSchedule& ServiceTimeOracle::layer_schedule(std::size_t tenant,
   // Pin the chain's end to the run latency exactly: an unstalled stage
   // chain must complete at batch_start + latency_s bit-for-bit.
   schedule.stages.back().end_offset_s = run.latency_s;
-  return schedules_.emplace(key, std::move(schedule)).first->second;
+  return schedule;
+}
+
+const LayerSchedule& ServiceTimeOracle::layer_schedule(std::size_t tenant,
+                                                       unsigned batch) {
+  const auto key = std::make_pair(tenant, batch);
+  if (const auto it = schedules_.find(key); it != schedules_.end()) {
+    return it->second;
+  }
+  return schedules_.emplace(key, build_schedule(batch_run(tenant, batch)))
+      .first->second;
 }
 
 const core::RunResult& ServiceTimeOracle::batch_run(std::size_t tenant,
@@ -86,6 +91,91 @@ const core::RunResult& ServiceTimeOracle::batch_run(std::size_t tenant,
   config.batch_size = batch;
   const core::SystemSimulator simulator(config);
   return cache_.emplace(key, simulator.run(tenants_[tenant].model, arch_))
+      .first->second;
+}
+
+std::uint32_t ServiceTimeOracle::kv_bucket(std::size_t tenant,
+                                           std::uint32_t kv_tokens) const {
+  OPTIPLET_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  const auto& spec = tenants_[tenant].transformer;
+  OPTIPLET_REQUIRE(spec.has_value(),
+                   "kv_bucket on a fixed-shape tenant: " +
+                       tenants_[tenant].model.name());
+  constexpr std::uint32_t kBucket = 64;
+  const std::uint64_t rounded =
+      (static_cast<std::uint64_t>(kv_tokens) + kBucket - 1) / kBucket *
+      kBucket;
+  // The decode graph prices 1 fresh token over `kv` past ones, so the
+  // bucket must leave room for the fresh token in the context window.
+  const std::uint64_t cap = spec->max_context - 1;
+  return static_cast<std::uint32_t>(std::min(rounded, cap));
+}
+
+const std::optional<dnn::TransformerSpec>& ServiceTimeOracle::transformer(
+    std::size_t tenant) const {
+  OPTIPLET_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  return tenants_[tenant].transformer;
+}
+
+const core::RunResult& ServiceTimeOracle::phase_run(std::size_t tenant,
+                                                    int phase, unsigned batch,
+                                                    std::uint32_t tokens) {
+  OPTIPLET_REQUIRE(tenant < tenants_.size(), "unknown tenant index");
+  OPTIPLET_REQUIRE(batch >= 1, "batch must be >= 1");
+  const auto& spec = tenants_[tenant].transformer;
+  OPTIPLET_REQUIRE(spec.has_value(),
+                   "phase pricing on a fixed-shape tenant: " +
+                       tenants_[tenant].model.name());
+  const PhaseKey key{tenant, phase, batch, tokens};
+  if (const auto it = phase_cache_.find(key); it != phase_cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const dnn::Model model = phase == 0
+                               ? dnn::make_prefill_graph(*spec, tokens)
+                               : dnn::make_decode_graph(*spec, tokens);
+  core::SystemConfig config = tenants_[tenant].config;
+  config.batch_size = batch;
+  const core::SystemSimulator simulator(config);
+  return phase_cache_.emplace(key, simulator.run(model, arch_))
+      .first->second;
+}
+
+const core::RunResult& ServiceTimeOracle::prefill_run(std::size_t tenant,
+                                                      unsigned batch,
+                                                      std::uint32_t tokens) {
+  OPTIPLET_REQUIRE(tokens >= 1, "prefill needs at least one token");
+  return phase_run(tenant, 0, batch, tokens);
+}
+
+const core::RunResult& ServiceTimeOracle::decode_run(
+    std::size_t tenant, unsigned batch, std::uint32_t kv_tokens) {
+  return phase_run(tenant, 1, batch, kv_bucket(tenant, kv_tokens));
+}
+
+const LayerSchedule& ServiceTimeOracle::prefill_schedule(
+    std::size_t tenant, unsigned batch, std::uint32_t tokens) {
+  const PhaseKey key{tenant, 0, batch, tokens};
+  if (const auto it = phase_schedules_.find(key);
+      it != phase_schedules_.end()) {
+    return it->second;
+  }
+  return phase_schedules_
+      .emplace(key, build_schedule(prefill_run(tenant, batch, tokens)))
+      .first->second;
+}
+
+const LayerSchedule& ServiceTimeOracle::decode_schedule(
+    std::size_t tenant, unsigned batch, std::uint32_t kv_tokens) {
+  const std::uint32_t bucket = kv_bucket(tenant, kv_tokens);
+  const PhaseKey key{tenant, 1, batch, bucket};
+  if (const auto it = phase_schedules_.find(key);
+      it != phase_schedules_.end()) {
+    return it->second;
+  }
+  return phase_schedules_
+      .emplace(key, build_schedule(decode_run(tenant, batch, bucket)))
       .first->second;
 }
 

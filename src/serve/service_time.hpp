@@ -22,12 +22,15 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/system_config.hpp"
 #include "core/system_simulator.hpp"
 #include "dnn/graph.hpp"
+#include "dnn/transformer.hpp"
 
 namespace optiplet::serve {
 
@@ -71,9 +74,12 @@ class ServiceTimeOracle {
   /// One tenant the oracle can serve: its model plus the SystemConfig the
   /// batch runs use (the tenant's partitioned `compute_2p5d` already
   /// applied). The config's batch_size field is overridden per lookup.
+  /// Autoregressive tenants additionally carry their TransformerSpec,
+  /// enabling the per-phase prefill/decode lookups below.
   struct Tenant {
     dnn::Model model;
     core::SystemConfig config;
+    std::optional<dnn::TransformerSpec> transformer;
   };
 
   ServiceTimeOracle(std::vector<Tenant> tenants, accel::Architecture arch);
@@ -92,6 +98,44 @@ class ServiceTimeOracle {
   [[nodiscard]] const LayerSchedule& layer_schedule(std::size_t tenant,
                                                     unsigned batch);
 
+  /// Service profile of one MAC-bound prefill over `tokens` prompt tokens
+  /// at batch size `batch` (weights stream once per batch, so prefill
+  /// amortizes exactly like a fixed-shape batch). Requires the tenant to
+  /// be a transformer. Cached per (tenant, batch, tokens).
+  [[nodiscard]] const core::RunResult& prefill_run(std::size_t tenant,
+                                                   unsigned batch,
+                                                   std::uint32_t tokens);
+
+  /// Service profile of one bandwidth-bound decode step — a single fresh
+  /// token per sequence attending a KV cache of `kv_tokens` — at batch
+  /// size `batch`. The KV length is bucketed (kv_bucket) before
+  /// simulation so a growing cache hits a bounded number of distinct
+  /// simulations; pass the raw length. Requires a transformer tenant.
+  [[nodiscard]] const core::RunResult& decode_run(std::size_t tenant,
+                                                  unsigned batch,
+                                                  std::uint32_t kv_tokens);
+
+  /// Per-layer schedule of a prefill/decode phase run, for layer-granular
+  /// execution (transformer compute is dense-affine throughout, so these
+  /// collapse to one kDense100 stage).
+  [[nodiscard]] const LayerSchedule& prefill_schedule(std::size_t tenant,
+                                                      unsigned batch,
+                                                      std::uint32_t tokens);
+  [[nodiscard]] const LayerSchedule& decode_schedule(std::size_t tenant,
+                                                     unsigned batch,
+                                                     std::uint32_t kv_tokens);
+
+  /// The memoization bucket a raw KV length prices at for `tenant`: the
+  /// length rounded up to a multiple of 64, clamped into the model's
+  /// context window ([0, max_context - 1]). Monotone in kv_tokens, so
+  /// bucketed decode cost stays non-decreasing in context length.
+  [[nodiscard]] std::uint32_t kv_bucket(std::size_t tenant,
+                                        std::uint32_t kv_tokens) const;
+
+  /// The tenant's TransformerSpec, or nullopt for fixed-shape tenants.
+  [[nodiscard]] const std::optional<dnn::TransformerSpec>& transformer(
+      std::size_t tenant) const;
+
   [[nodiscard]] accel::Architecture arch() const { return arch_; }
   [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
   /// Lookups served from the cache / simulated fresh, across all tenants.
@@ -99,10 +143,22 @@ class ServiceTimeOracle {
   [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
 
  private:
+  /// (tenant, phase, batch, tokens): phase 0 = prefill, 1 = decode;
+  /// tokens is the prompt length (prefill) or KV bucket (decode).
+  using PhaseKey = std::tuple<std::size_t, int, unsigned, std::uint32_t>;
+
+  [[nodiscard]] const core::RunResult& phase_run(std::size_t tenant,
+                                                 int phase, unsigned batch,
+                                                 std::uint32_t tokens);
+  [[nodiscard]] static LayerSchedule build_schedule(
+      const core::RunResult& run);
+
   std::vector<Tenant> tenants_;
   accel::Architecture arch_;
   std::map<std::pair<std::size_t, unsigned>, core::RunResult> cache_;
   std::map<std::pair<std::size_t, unsigned>, LayerSchedule> schedules_;
+  std::map<PhaseKey, core::RunResult> phase_cache_;
+  std::map<PhaseKey, LayerSchedule> phase_schedules_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

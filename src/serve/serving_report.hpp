@@ -68,6 +68,16 @@ struct ServingMetrics {
   /// across packages.
   std::uint64_t sim_events = 0;
   std::uint64_t sim_event_queue_peak = 0;
+  /// Variable-length (transformer) serving; all zero on fixed-shape runs.
+  /// p99 time-to-first-token: arrival to the end of the request's prefill
+  /// phase, pooled across tenants.
+  double ttft_p99_s = 0.0;
+  /// Generated tokens per second of makespan, summed over tenants.
+  double decode_tps = 0.0;
+  /// Peak KV-cache bytes reserved by any single tenant (each request
+  /// reserves its final-context footprint while in flight); always <=
+  /// the largest per-tenant kv_cache_mb budget.
+  std::uint64_t kv_peak_bytes = 0;
 };
 
 /// Aggregate outcome of one priority class (tenants grouped by their
@@ -116,6 +126,11 @@ struct TenantReport {
   /// the per-handoff ReSiPI retuning time charged to its layers.
   std::uint64_t shared_handoffs = 0;
   double handoff_resipi_s = 0.0;
+  /// Variable-length (transformer) serving; all zero for fixed-shape
+  /// tenants. See ServingMetrics for the field semantics.
+  double ttft_p99_s = 0.0;
+  double decode_tps = 0.0;
+  std::uint64_t kv_peak_bytes = 0;
 };
 
 /// One executed batch — or, in layer-granular mode, one pipeline stage of

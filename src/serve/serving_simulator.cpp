@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dnn/registry.hpp"
+#include "dnn/transformer.hpp"
 #include "dnn/zoo.hpp"
 #include "obs/recorder.hpp"
 #include "serve/arrivals.hpp"
@@ -57,9 +59,22 @@ struct Resource {
   bool shared = false;
   std::vector<std::size_t> chiplets;  ///< pool-global ids
   std::deque<std::shared_ptr<InFlightBatch>> waiters;
+  /// Tenant-level waiters (variable-length tenants serving batch-granular
+  /// or continuous iterations under layer mode): whole units of work
+  /// queued on this resource alongside the stage waiters above.
+  std::deque<std::size_t> tenant_waiters;
   /// Last tenant that executed on this resource — a different acquirer
   /// pays the cross-tenant handoff retune (shared resources only).
   std::size_t last_tenant = kNoTenant;
+};
+
+/// One admitted request in a continuous tenant's running set.
+struct ActiveSeq {
+  Request request;
+  std::uint32_t decode_left = 0;
+  /// Tokens resident in the KV cache: 0 until the prefill iteration lands
+  /// the whole prompt, then +1 per decode step.
+  std::uint32_t kv_tokens = 0;
 };
 
 /// Mutable per-tenant simulation state.
@@ -97,6 +112,49 @@ struct TenantState {
   std::vector<std::size_t> occupancy;
   std::vector<double> latencies;
   TenantReport report;
+
+  // --- variable-length (transformer) serving ---
+  /// Requests carry token shapes and are priced per phase (prefill +
+  /// decode steps) instead of through the fixed-shape batch run.
+  bool var_length = false;
+  /// Mean token lengths (synthetic draws and the admission estimate).
+  std::uint32_t prefill_mean = 0;
+  std::uint32_t decode_mean = 0;
+  double token_spread = 0.0;
+  util::Xoshiro256 shape_rng{0};
+  /// Replayed per-request shapes, consumed in arrival order.
+  std::vector<RequestShape> trace_shapes;
+  std::uint64_t shape_cursor = 0;
+  std::uint64_t kv_bytes_per_token = 0;
+  std::uint64_t kv_budget_bytes = 0;
+  /// Final-context footprint reserved by every in-flight request; the
+  /// budget bound is enforced on this reservation, so actual occupancy
+  /// (which only grows token by token) can never exceed it.
+  std::uint64_t kv_reserved_bytes = 0;
+  std::uint64_t kv_peak_bytes = 0;
+  std::uint64_t decode_tokens_done = 0;
+  std::vector<double> ttfts;  ///< arrival -> prefill end, per request
+  /// Memoized mean-shape batch service time by batch size (admission).
+  std::map<unsigned, double> nominal_cache;
+
+  // --- continuous (iteration-level) batching ---
+  bool continuous = false;
+  /// Concurrent decode slots the KV budget and max_batch allow (the
+  /// admission estimate's amortization factor).
+  unsigned cont_slots = 1;
+  std::vector<ActiveSeq> active;  ///< the running decode set
+  bool iter_running = false;
+  bool iter_waiting_shared = false;
+  /// Busy-period anchor + running accumulator: iteration k ends at
+  /// exactly origin + (accum += dt_k), so an unstalled single-request
+  /// period telescopes bit-for-bit to the static whole-request price.
+  double origin_s = 0.0;
+  double accum_s = 0.0;
+  /// Per-busy-period energy accumulator, flushed into report.energy_j at
+  /// the next re-anchor (and at finalize): the report total is then the
+  /// same per-period left-to-right fold begin_execution_tokens performs,
+  /// so the single-user degeneracy holds for energy bit-for-bit too.
+  double energy_accum_j = 0.0;
 
   // --- layer-granular mode ---
   /// Owned-group resource ids by MAC kind (shared kinds resolve to the
@@ -140,9 +198,15 @@ struct Engine {
   /// Time of the first request to actually arrive, from any source — the
   /// start of the measured serving window.
   double first_arrival_s = std::numeric_limits<double>::infinity();
-  /// When the shared-serial chiplet group is expected to free up — feeds
-  /// the cross-tenant contention term of the kSlaShed backlog estimate.
-  double shared_est_free_s = 0.0;
+  /// When the shared-serial chiplet group is expected to free up, per
+  /// priority class — the cross-tenant contention term of the kSlaShed
+  /// backlog estimate. Kept per class so a high-priority tenant's
+  /// estimate only counts equal-or-higher-priority occupancy: the
+  /// priority-first grant order means lower-priority backlog cannot delay
+  /// it, and charging it anyway over-sheds co-located below-knee streams.
+  std::map<unsigned, double> shared_est_free_by_class;
+  /// Total KV bytes reserved across tenants (the serve.kv_bytes gauge).
+  std::uint64_t kv_total_bytes = 0;
 
   // --- observability (null = disabled; every hook is one branch) ---
   obs::Recorder* rec = nullptr;
@@ -176,6 +240,144 @@ struct Engine {
     if (rec != nullptr && rec->metering()) {
       rec->metrics().add("resipi.conflicts");
       rec->metrics().add("resipi.wait_s", wait_s);
+    }
+  }
+
+  [[nodiscard]] bool layer_mode() const {
+    return config.pipeline == PipelineMode::kLayerGranular;
+  }
+
+  /// Record that a tenant of `priority` holds shared-serial capacity
+  /// until `end` (feeds the class-aware admission estimate).
+  void note_shared_busy_until(unsigned priority, double end) {
+    double& est = shared_est_free_by_class[priority];
+    est = std::max(est, end);
+  }
+
+  /// Expected shared-pool free time as seen by a tenant of `priority`:
+  /// only equal-or-higher-priority occupancy counts (grants are
+  /// priority-first, so lower-priority backlog never delays this tenant
+  /// beyond the batch already executing).
+  [[nodiscard]] double shared_est_for(unsigned priority) const {
+    double est = 0.0;
+    for (const auto& [cls, end] : shared_est_free_by_class) {
+      if (cls <= priority) {
+        est = std::max(est, end);
+      }
+    }
+    return est;
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes(const TenantState& ts,
+                                              const RequestShape& shape) {
+    return shape.total_tokens() * ts.kv_bytes_per_token;
+  }
+
+  /// Reserve (+) or release (-) KV bytes for tenant `t`, tracking the
+  /// per-tenant peak and the serve.kv_bytes gauge.
+  void kv_update(std::size_t t, std::uint64_t bytes, bool reserve) {
+    TenantState& ts = tenants[t];
+    if (reserve) {
+      ts.kv_reserved_bytes += bytes;
+      kv_total_bytes += bytes;
+      ts.kv_peak_bytes = std::max(ts.kv_peak_bytes, ts.kv_reserved_bytes);
+    } else {
+      OPTIPLET_ASSERT(ts.kv_reserved_bytes >= bytes && kv_total_bytes >= bytes,
+                      "KV release exceeds the outstanding reservation");
+      ts.kv_reserved_bytes -= bytes;
+      kv_total_bytes -= bytes;
+    }
+    if (rec != nullptr && rec->metering()) {
+      rec->metrics().set("serve.kv_bytes",
+                         static_cast<double>(kv_total_bytes));
+    }
+  }
+
+  /// Mean-shape batch service time of a variable-length tenant at batch
+  /// size `batch` (padding semantics: prefill at the mean prompt, one
+  /// decode step per mean generated token). Feeds the kSlaShed estimate
+  /// and the derived SLA; memoized per batch size.
+  double nominal_batch_s(std::size_t t, unsigned batch) {
+    TenantState& ts = tenants[t];
+    if (const auto it = ts.nominal_cache.find(batch);
+        it != ts.nominal_cache.end()) {
+      return it->second;
+    }
+    const std::uint32_t pm = std::max<std::uint32_t>(ts.prefill_mean, 1);
+    double total = oracle.prefill_run(t, batch, pm).latency_s;
+    for (std::uint32_t k = 0; k < ts.decode_mean; ++k) {
+      total += oracle.decode_run(t, batch, pm + k).latency_s;
+    }
+    ts.nominal_cache.emplace(batch, total);
+    return total;
+  }
+
+  /// Acquire the shared-serial pool for tenant-level work (a
+  /// variable-length batch or a continuous iteration); false = queued.
+  /// Batch mode uses the batch engine's lock; layer mode queues on the
+  /// shared Resource so stage-granular tenants and whole-batch tenants
+  /// contend on the same physical chiplets.
+  [[nodiscard]] bool acquire_shared_for_tenant(std::size_t t) {
+    if (layer_mode()) {
+      Resource& r = resources[0];
+      if (r.busy) {
+        r.tenant_waiters.push_back(t);
+        return false;
+      }
+      r.busy = true;
+      return true;
+    }
+    if (shared_busy) {
+      shared_waiters.push_back(t);
+      return false;
+    }
+    shared_busy = true;
+    return true;
+  }
+
+  /// Hand the (still-held) shared pool to a tenant-level waiter.
+  void grant_tenant_shared(std::size_t w, double now) {
+    TenantState& waiter = tenants[w];
+    waiter.report.shared_wait_s += now - waiter.pending_since;
+    if (waiter.iter_waiting_shared) {
+      waiter.iter_waiting_shared = false;
+      continuous_iterate(w);
+    } else {
+      std::vector<Request> pending = std::move(waiter.pending);
+      waiter.pending.clear();
+      begin_execution(w, std::move(pending));
+    }
+  }
+
+  /// Release the shared pool after tenant-level work (batch mode lock, or
+  /// the layer-mode shared Resource), granting priority-first.
+  void release_shared_from_tenant(double now) {
+    if (layer_mode()) {
+      release_resource(0);
+      return;
+    }
+    if (shared_waiters.empty()) {
+      shared_busy = false;
+      return;
+    }
+    grant_tenant_shared(pop_shared_waiter(), now);
+  }
+
+  /// Per-phase spans of a variable-length batch on the tenant's executor
+  /// track: the MAC-bound prefill and the bandwidth-bound decode tail.
+  void record_phase_spans(std::size_t t, double start, double prefill_end,
+                          double end) {
+    if (!rec->tracing()) {
+      return;
+    }
+    obs::TraceBuffer& tb = rec->trace();
+    tb.add_complete("prefill", "phase", start, prefill_end, pid,
+                    exec_tracks[t],
+                    {obs::arg("tenant", tenants[t].report.name)});
+    if (end > prefill_end) {
+      tb.add_complete("decode", "phase", prefill_end, end, pid,
+                      exec_tracks[t],
+                      {obs::arg("tenant", tenants[t].report.name)});
     }
   }
 
@@ -292,7 +494,9 @@ struct Engine {
       depth += ts.queue.size();
       inflight += (ts.busy ? 1 : 0) + ts.inflight;
       active = active || !ts.arrivals_done || ts.busy || ts.inflight > 0 ||
-               ts.queue.size() > 0 || !ts.pending.empty();
+               ts.queue.size() > 0 || !ts.pending.empty() ||
+               !ts.active.empty() || ts.iter_running ||
+               ts.iter_waiting_shared;
     }
     obs::MetricsRegistry& m = rec->metrics();
     m.set("serve.queue_depth", static_cast<double>(depth));
@@ -310,7 +514,22 @@ struct Engine {
     TenantState& ts = tenants[t];
     const double now = events.now();
     first_arrival_s = std::min(first_arrival_s, now);
-    const Request request{ts.next_id++, now};
+    Request request{ts.next_id++, now};
+    if (ts.var_length) {
+      // Replayed shapes are consumed in arrival-event order; rows without
+      // token columns (and synthetic arrivals) draw around the means.
+      if (ts.shape_cursor < ts.trace_shapes.size()) {
+        request.shape = ts.trace_shapes[ts.shape_cursor++];
+      }
+      if (!request.shape.variable_length()) {
+        request.shape = draw_request_shape(ts.prefill_mean, ts.decode_mean,
+                                           ts.token_spread, ts.shape_rng);
+      }
+      OPTIPLET_REQUIRE(request.shape.variable_length(),
+                       "variable-length tenant received a request without "
+                       "a prompt: " +
+                           ts.report.name);
+    }
     ts.report.offered += 1;
     if (rec != nullptr && rec->metering()) {
       rec->metrics().add("serve.offered");
@@ -351,18 +570,28 @@ struct Engine {
     TenantState& ts = tenants[t];
     const double now = events.now();
     const BatchingConfig& batching = ts.queue.config();
-    const unsigned cap =
-        batching.policy == BatchPolicy::kNone ? 1 : batching.max_batch;
-    const double batch_s = oracle.batch_run(t, cap).latency_s;
-    const double amortized_s =
-        config.pipeline == PipelineMode::kLayerGranular
+    const unsigned cap = batching.policy == BatchPolicy::kNone ||
+                                 batching.policy == BatchPolicy::kContinuous
+                             ? 1
+                             : batching.max_batch;
+    const double batch_s = ts.var_length
+                               ? nominal_batch_s(t, cap)
+                               : oracle.batch_run(t, cap).latency_s;
+    double amortized_s =
+        config.pipeline == PipelineMode::kLayerGranular && !ts.var_length
             ? batch_s / static_cast<double>(
                             std::max<std::size_t>(ts.pipeline_depth, 1))
             : batch_s;
+    if (ts.continuous) {
+      // Continuous batching drains the queue at slot parallelism: queued
+      // requests complete one amortized service apart, not back to back.
+      amortized_s =
+          batch_s / static_cast<double>(std::max<unsigned>(ts.cont_slots, 1));
+    }
     const auto queued_batches = static_cast<double>(ts.queue.size() / cap);
     double backlog_start_s = ts.est_free_s;
     if (ts.needs_shared) {
-      backlog_start_s = std::max(backlog_start_s, shared_est_free_s);
+      backlog_start_s = std::max(backlog_start_s, shared_est_for(ts.priority));
     }
     // The request joins the tail partial batch at `position`; `need` more
     // arrivals fill it.
@@ -390,8 +619,10 @@ struct Engine {
       fill_s = gap > 0.0 ? static_cast<double>(need) * gap : 0.0;
     }
     const double own_batch_s =
-        dispatch_size == cap ? batch_s
-                             : oracle.batch_run(t, dispatch_size).latency_s;
+        dispatch_size == cap
+            ? batch_s
+            : (ts.var_length ? nominal_batch_s(t, dispatch_size)
+                             : oracle.batch_run(t, dispatch_size).latency_s);
     const double predicted_latency_s = std::max(backlog_start_s - now, 0.0) +
                                        queued_batches * amortized_s +
                                        fill_s + own_batch_s;
@@ -436,9 +667,16 @@ struct Engine {
   }
 
   void try_dispatch(std::size_t t) {
-    if (config.pipeline == PipelineMode::kLayerGranular) {
+    TenantState& ts = tenants[t];
+    if (ts.continuous) {
+      continuous_step(t);
+    } else if (config.pipeline == PipelineMode::kLayerGranular &&
+               !ts.var_length) {
       try_dispatch_layer(t);
     } else {
+      // Batch-granular — including variable-length tenants under layer
+      // mode: their dense-affine stage chain collapses to one stage, so
+      // whole-batch execution is the pipelined schedule.
       try_dispatch_batch(t);
     }
   }
@@ -468,20 +706,20 @@ struct Engine {
     }
     std::vector<Request> batch = ts.queue.take(ts.arrivals_done);
     ts.busy = true;
-    if (ts.needs_shared) {
-      if (shared_busy) {
-        ts.pending = std::move(batch);
-        ts.pending_since = now;
-        shared_waiters.push_back(t);
-        return;
-      }
-      shared_busy = true;
+    if (ts.needs_shared && !acquire_shared_for_tenant(t)) {
+      ts.pending = std::move(batch);
+      ts.pending_since = now;
+      return;
     }
     begin_execution(t, std::move(batch));
   }
 
   void begin_execution(std::size_t t, std::vector<Request> batch) {
     TenantState& ts = tenants[t];
+    if (ts.var_length) {
+      begin_execution_tokens(t, std::move(batch));
+      return;
+    }
     const double now = events.now();
     const auto batch_size = static_cast<unsigned>(batch.size());
     const core::RunResult& run = oracle.batch_run(t, batch_size);
@@ -509,7 +747,7 @@ struct Engine {
     const double end = start + run.latency_s;
     ts.est_free_s = end;
     if (ts.needs_shared) {
-      shared_est_free_s = std::max(shared_est_free_s, end);
+      note_shared_busy_until(ts.priority, end);
     }
 
     for (const std::size_t c : ts.occupancy) {
@@ -533,6 +771,100 @@ struct Engine {
     if (rec != nullptr) {
       record_dispatch_metrics(batch_size, run);
       record_batch_trace(t, batch, start, end, resipi_window_s);
+    }
+    events.schedule_at(end, [this, t, b = std::move(batch)] {
+      complete(t, b);
+    });
+  }
+
+  /// Variable-length counterpart of begin_execution: the batch is priced
+  /// per phase with padding semantics — one prefill at the longest prompt
+  /// (weights amortize over the batch exactly as in a fixed-shape run),
+  /// then one decode step per generated token up to the longest
+  /// generation, each step attending the padded KV length. The total
+  /// accumulates left-to-right over (prefill, d1, d2, ...) — the same
+  /// fold the continuous engine's per-iteration accumulator performs — so
+  /// a single-request kNone batch and an unstalled continuous busy period
+  /// complete at bit-identical times. ReSiPI derives from the prefill run
+  /// only: decode steps re-stream the same weights through the same
+  /// gateway configuration, so nothing retunes between iterations.
+  void begin_execution_tokens(std::size_t t, std::vector<Request> batch) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    const auto batch_size = static_cast<unsigned>(batch.size());
+    std::uint32_t pmax = 1;
+    std::uint32_t dmax = 0;
+    std::uint64_t footprint = 0;
+    for (const Request& r : batch) {
+      pmax = std::max(pmax, r.shape.prefill_tokens);
+      dmax = std::max(dmax, r.shape.decode_tokens);
+      footprint += footprint_bytes(ts, r.shape);
+    }
+    const core::RunResult& pre = oracle.prefill_run(t, batch_size, pmax);
+
+    double start = now;
+    double resipi_window_s = 0.0;
+    if (config.arch == accel::Architecture::kSiph2p5D &&
+        pre.resipi_reconfigurations > 0) {
+      if (resipi_holder != t && resipi_free_at > start) {
+        const double wait = resipi_free_at - start;
+        start += wait;
+        ts.report.resipi_wait_s += wait;
+        ts.report.resipi_conflicts += 1;
+        record_resipi_conflict(wait);
+      }
+      resipi_window_s =
+          std::min(pre.latency_s,
+                   static_cast<double>(pre.resipi_reconfigurations) *
+                       config.system.tech.photonic.pcm.write_time_s);
+      resipi_holder = t;
+      resipi_free_at = start + resipi_window_s;
+    }
+
+    double total_s = pre.latency_s;
+    double energy_j = pre.energy_j;
+    report.ledger.merge(pre.ledger);
+    for (std::uint32_t k = 0; k < dmax; ++k) {
+      const core::RunResult& step = oracle.decode_run(t, batch_size, pmax + k);
+      total_s += step.latency_s;
+      energy_j += step.energy_j;
+      report.ledger.merge(step.ledger);
+    }
+    const double end = start + total_s;
+    const double prefill_end = start + pre.latency_s;
+    ts.est_free_s = end;
+    if (ts.needs_shared) {
+      note_shared_busy_until(ts.priority, end);
+    }
+    kv_update(t, footprint, true);
+    for (const Request& r : batch) {
+      ts.ttfts.push_back(prefill_end - r.arrival_s);
+      if (rec != nullptr && rec->metering()) {
+        rec->metrics().observe("serve.ttft", prefill_end - r.arrival_s);
+      }
+    }
+
+    for (const std::size_t c : ts.occupancy) {
+      report.chiplet_busy_s[c] += end - start;
+    }
+    ts.report.busy_s += end - start;
+    ts.report.energy_j += energy_j;
+    ts.report.batches += 1;
+    if (config.record_batches) {
+      BatchTrace trace;
+      trace.tenant = t;
+      trace.size = batch_size;
+      trace.start_s = start;
+      trace.end_s = end;
+      trace.chiplets = ts.occupancy;
+      trace.resipi_start_s = start;
+      trace.resipi_end_s = start + resipi_window_s;
+      report.batches.push_back(std::move(trace));
+    }
+    if (rec != nullptr) {
+      record_dispatch_metrics(batch_size, pre);
+      record_batch_trace(t, batch, start, end, resipi_window_s);
+      record_phase_spans(t, start, prefill_end, end);
     }
     events.schedule_at(end, [this, t, b = std::move(batch)] {
       complete(t, b);
@@ -570,6 +902,14 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += batch.size();
+    if (ts.var_length) {
+      std::uint64_t footprint = 0;
+      for (const Request& r : batch) {
+        footprint += footprint_bytes(ts, r.shape);
+        ts.decode_tokens_done += r.shape.decode_tokens;
+      }
+      kv_update(t, footprint, false);
+    }
     if (rec != nullptr) {
       record_completions(t, batch, now);
     }
@@ -580,17 +920,237 @@ struct Engine {
     last_completion_s = std::max(last_completion_s, now);
     if (ts.needs_shared) {
       // Release the shared pool; grant priority-first (FIFO in class).
-      if (shared_waiters.empty()) {
-        shared_busy = false;
-      } else {
-        const std::size_t w = pop_shared_waiter();
-        TenantState& waiter = tenants[w];
-        waiter.report.shared_wait_s += now - waiter.pending_since;
-        begin_execution(w, std::move(waiter.pending));
-        waiter.pending.clear();
-      }
+      release_shared_from_tenant(now);
     }
     try_dispatch(t);
+  }
+
+  // ------------------------------------------------------------------
+  // Continuous (iteration-level) batching: the tenant advances one
+  // iteration at a time — a prefill iteration lands newly admitted
+  // prompts, a decode iteration generates one token for every running
+  // sequence — and requests join/leave the set only at these token
+  // boundaries. Admission reserves each request's final-context KV
+  // footprint against the tenant's budget, so concurrent decode slots
+  // are capped by the activation buffer, not just max_batch.
+
+  /// Token-boundary scheduler: admit what fits, then run an iteration
+  /// (unless one is already in flight or queued on the shared pool).
+  void continuous_step(std::size_t t) {
+    TenantState& ts = tenants[t];
+    if (ts.iter_running || ts.iter_waiting_shared) {
+      return;
+    }
+    const double now = events.now();
+    while (!ts.queue.empty() &&
+           ts.active.size() < ts.queue.config().max_batch) {
+      const Request& head = ts.queue.front();
+      const std::uint64_t footprint = footprint_bytes(ts, head.shape);
+      if (ts.kv_reserved_bytes + footprint > ts.kv_budget_bytes) {
+        break;  // joins once completions release KV slots
+      }
+      const std::vector<Request> one = ts.queue.take(ts.arrivals_done);
+      OPTIPLET_ASSERT(one.size() == 1,
+                      "continuous admission takes one request at a time");
+      kv_update(t, footprint, true);
+      ActiveSeq seq;
+      seq.request = one.front();
+      seq.decode_left = seq.request.shape.decode_tokens;
+      ts.active.push_back(seq);
+      if (rec != nullptr && rec->tracing()) {
+        rec->trace().add_complete("queue", "queue", seq.request.arrival_s,
+                                  now, pid, tenant_tracks[t],
+                                  {obs::arg("request", seq.request.id)});
+      }
+    }
+    if (ts.active.empty()) {
+      return;  // busy period over; the next arrival restarts it
+    }
+    if (ts.needs_shared && !acquire_shared_for_tenant(t)) {
+      ts.iter_waiting_shared = true;
+      ts.pending_since = now;
+      return;
+    }
+    continuous_iterate(t);
+  }
+
+  /// Compose and run one iteration over the current set: a prefill
+  /// iteration when any admitted sequence has not prefilled yet (its
+  /// prompt is landed into the bubble before decoding resumes), a decode
+  /// iteration otherwise.
+  void continuous_iterate(std::size_t t) {
+    TenantState& ts = tenants[t];
+    std::vector<std::size_t> fresh;
+    for (std::size_t i = 0; i < ts.active.size(); ++i) {
+      if (ts.active[i].kv_tokens == 0) {
+        fresh.push_back(i);
+      }
+    }
+    run_cont_iteration(t, std::move(fresh));
+  }
+
+  /// Price and schedule one iteration. `fresh` names the sequences of a
+  /// prefill iteration (empty = decode iteration over the whole set).
+  /// Iteration ends accumulate as origin + (accum += dt): the identical
+  /// left-to-right fold begin_execution_tokens performs, so a lone
+  /// request's completion matches the static kNone price bit-for-bit.
+  void run_cont_iteration(std::size_t t, std::vector<std::size_t> fresh) {
+    TenantState& ts = tenants[t];
+    const bool prefill_phase = !fresh.empty();
+    double start = events.now();
+    const core::RunResult* run = nullptr;
+    double resipi_window_s = 0.0;
+    if (prefill_phase) {
+      std::uint32_t pmax = 1;
+      for (const std::size_t i : fresh) {
+        pmax = std::max(pmax, ts.active[i].request.shape.prefill_tokens);
+      }
+      run = &oracle.prefill_run(t, static_cast<unsigned>(fresh.size()),
+                                pmax);
+      // The prefill retunes gateways exactly like a batch dispatch;
+      // decode iterations reuse the configuration and never retune.
+      if (config.arch == accel::Architecture::kSiph2p5D &&
+          run->resipi_reconfigurations > 0) {
+        if (resipi_holder != t && resipi_free_at > start) {
+          const double wait = resipi_free_at - start;
+          start += wait;
+          ts.report.resipi_wait_s += wait;
+          ts.report.resipi_conflicts += 1;
+          record_resipi_conflict(wait);
+        }
+        resipi_window_s =
+            std::min(run->latency_s,
+                     static_cast<double>(run->resipi_reconfigurations) *
+                         config.system.tech.photonic.pcm.write_time_s);
+        resipi_holder = t;
+        resipi_free_at = start + resipi_window_s;
+      }
+      ts.report.batches += 1;  // one dispatch group per prefill iteration
+      if (rec != nullptr) {
+        record_dispatch_metrics(static_cast<unsigned>(fresh.size()), *run);
+      }
+    } else {
+      std::uint32_t kv_max = 0;
+      for (const ActiveSeq& seq : ts.active) {
+        kv_max = std::max(kv_max, seq.kv_tokens);
+      }
+      run = &oracle.decode_run(t, static_cast<unsigned>(ts.active.size()),
+                               kv_max);
+    }
+    // Busy-period anchoring: contiguous iterations telescope through the
+    // accumulator; any stall (idle gap, shared wait, ReSiPI wait)
+    // re-anchors the origin at the actual start.
+    if (start != ts.origin_s + ts.accum_s) {
+      ts.origin_s = start;
+      ts.accum_s = 0.0;
+      ts.report.energy_j += ts.energy_accum_j;
+      ts.energy_accum_j = 0.0;
+    }
+    ts.accum_s += run->latency_s;
+    const double end = ts.origin_s + ts.accum_s;
+    ts.est_free_s = end;
+    if (ts.needs_shared) {
+      // Only the current iteration is committed shared occupancy —
+      // admission control must not charge other tenants for this
+      // tenant's whole open-ended decode horizon.
+      note_shared_busy_until(ts.priority, end);
+    }
+    for (const std::size_t c : ts.occupancy) {
+      report.chiplet_busy_s[c] += end - start;
+    }
+    ts.report.busy_s += end - start;
+    ts.energy_accum_j += run->energy_j;
+    report.ledger.merge(run->ledger);
+    if (config.record_batches) {
+      BatchTrace trace;
+      trace.tenant = t;
+      trace.size = static_cast<unsigned>(prefill_phase ? fresh.size()
+                                                       : ts.active.size());
+      trace.start_s = start;
+      trace.end_s = end;
+      trace.chiplets = ts.occupancy;
+      trace.resipi_start_s = start;
+      trace.resipi_end_s = start + resipi_window_s;
+      report.batches.push_back(std::move(trace));
+    }
+    if (rec != nullptr && rec->tracing()) {
+      rec->trace().add_complete(
+          prefill_phase ? "prefill" : "decode", "phase", start, end, pid,
+          exec_tracks[t],
+          {obs::arg("tenant", ts.report.name),
+           obs::arg("size", static_cast<std::uint64_t>(
+                                prefill_phase ? fresh.size()
+                                              : ts.active.size()))});
+      if (resipi_window_s > 0.0) {
+        rec->trace().add_complete("retune", "resipi", start,
+                                  start + resipi_window_s, pid, resipi_track,
+                                  {obs::arg("tenant", ts.report.name),
+                                   obs::arg("kind", "batch_window")});
+      }
+    }
+    ts.iter_running = true;
+    events.schedule_at(end, [this, t, f = std::move(fresh)] {
+      end_cont_iteration(t, f);
+    });
+  }
+
+  /// Token boundary: land the iteration's tokens, retire finished
+  /// sequences, release/grant the shared pool, and schedule the next
+  /// iteration.
+  void end_cont_iteration(std::size_t t,
+                          const std::vector<std::size_t>& fresh) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
+    ts.iter_running = false;
+    if (!fresh.empty()) {
+      for (const std::size_t i : fresh) {
+        ActiveSeq& seq = ts.active[i];
+        seq.kv_tokens = seq.request.shape.prefill_tokens;
+        ts.ttfts.push_back(now - seq.request.arrival_s);
+        if (rec != nullptr && rec->metering()) {
+          rec->metrics().observe("serve.ttft",
+                                 now - seq.request.arrival_s);
+        }
+      }
+    } else {
+      for (ActiveSeq& seq : ts.active) {
+        seq.kv_tokens += 1;
+        seq.decode_left -= 1;
+        ts.decode_tokens_done += 1;
+      }
+    }
+    std::vector<Request> done;
+    std::uint64_t released = 0;
+    for (std::size_t i = 0; i < ts.active.size();) {
+      const ActiveSeq& seq = ts.active[i];
+      if (seq.kv_tokens >= seq.request.shape.prefill_tokens &&
+          seq.decode_left == 0) {
+        done.push_back(seq.request);
+        released += footprint_bytes(ts, seq.request.shape);
+        ts.active.erase(ts.active.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!done.empty()) {
+      for (const Request& r : done) {
+        ts.latencies.push_back(now - r.arrival_s);
+      }
+      ts.report.completed += done.size();
+      kv_update(t, released, false);
+      if (rec != nullptr) {
+        record_completions(t, done, now);
+      }
+      for (std::size_t i = 0; i < done.size(); ++i) {
+        issue_closed(t);  // each response frees one closed-loop user
+      }
+      last_completion_s = std::max(last_completion_s, now);
+    }
+    if (ts.needs_shared) {
+      release_shared_from_tenant(now);
+    }
+    continuous_step(t);
   }
 
   // ------------------------------------------------------------------
@@ -777,7 +1337,7 @@ struct Engine {
             : start + (s.end_offset_s - s.start_offset_s) + handoff_s;
     if (s.shared) {
       // Feed the admission estimate's cross-tenant contention term.
-      shared_est_free_s = std::max(shared_est_free_s, end);
+      note_shared_busy_until(ts.priority, end);
     }
 
     // Busy accounting keeps batch-granular executor semantics (the whole
@@ -823,16 +1383,39 @@ struct Engine {
 
   void release_resource(std::size_t id) {
     Resource& r = resources[id];
-    if (r.waiters.empty()) {
+    if (r.waiters.empty() && r.tenant_waiters.empty()) {
       r.busy = false;
       return;
     }
-    const auto best = best_waiter(
-        r.waiters, [](const std::shared_ptr<InFlightBatch>& b) {
-          return b->tenant;
-        });
-    std::shared_ptr<InFlightBatch> next = std::move(*best);
-    r.waiters.erase(best);
+    // Arbitrate across both waiter queues — stage-granular batches and
+    // whole-batch variable-length tenants contend on the same physical
+    // chiplets. Best priority class wins; stage waiters win ties (they
+    // hold upstream pipeline resources a stalled chain would deadlock).
+    const auto best_stage =
+        r.waiters.empty()
+            ? r.waiters.end()
+            : best_waiter(r.waiters,
+                          [](const std::shared_ptr<InFlightBatch>& b) {
+                            return b->tenant;
+                          });
+    const auto best_tenant =
+        r.tenant_waiters.empty()
+            ? r.tenant_waiters.end()
+            : best_waiter(r.tenant_waiters,
+                          [](std::size_t t) { return t; });
+    const bool take_tenant =
+        best_stage == r.waiters.end() ||
+        (best_tenant != r.tenant_waiters.end() &&
+         tenants[*best_tenant].priority <
+             tenants[(*best_stage)->tenant].priority);
+    if (take_tenant) {
+      const std::size_t w = *best_tenant;
+      r.tenant_waiters.erase(best_tenant);
+      grant_tenant_shared(w, events.now());  // the resource stays busy
+      return;
+    }
+    std::shared_ptr<InFlightBatch> next = std::move(*best_stage);
+    r.waiters.erase(best_stage);
     if (r.shared) {
       tenants[next->tenant].report.shared_wait_s +=
           events.now() - next->wait_since_s;
@@ -884,6 +1467,8 @@ ColocationPlan monolithic_plan(const core::SystemConfig& system,
 
 void finalize_tenant(TenantState& ts, double makespan_s) {
   TenantReport& r = ts.report;
+  r.energy_j += ts.energy_accum_j;  // the still-open busy period's fold
+  ts.energy_accum_j = 0.0;
   if (makespan_s > 0.0) {
     r.throughput_rps = static_cast<double>(r.completed) / makespan_s;
     // Layer-granular overlap sums concurrent stage intervals into busy_s,
@@ -916,6 +1501,14 @@ void finalize_tenant(TenantState& ts, double makespan_s) {
     r.energy_per_request_j = r.energy_j / static_cast<double>(r.completed);
     r.mean_batch = static_cast<double>(r.completed) /
                    static_cast<double>(std::max<std::uint64_t>(r.batches, 1));
+  }
+  if (ts.var_length) {
+    r.ttft_p99_s = exact_quantile(ts.ttfts, 0.99);
+    if (makespan_s > 0.0) {
+      r.decode_tps =
+          static_cast<double>(ts.decode_tokens_done) / makespan_s;
+    }
+    r.kv_peak_bytes = ts.kv_peak_bytes;
   }
 }
 
@@ -951,6 +1544,10 @@ ColocatedSetup make_colocated_setup(const core::SystemConfig& system,
     if (!monolithic) {
       ot.config.compute_2p5d = setup.plan.tenants[t].platform;
     }
+    // Transformer models carry their spec so the oracle can price
+    // variable-length phases (prefill/decode graphs per token count).
+    ot.transformer =
+        dnn::ModelRegistry::instance().at(model_names[t]).transformer;
     setup.oracle_tenants.push_back(std::move(ot));
   }
   return setup;
@@ -977,7 +1574,83 @@ ServingReport simulate(const ServingConfig& config) {
   engine.tenants.reserve(config.tenants.size());
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     const TenantSetup& setup = config.tenants[t];
-    TenantState state(setup.batching);
+    const std::optional<dnn::TransformerSpec>& tspec = oracle.transformer(t);
+    const bool traced_shapes =
+        std::any_of(setup.trace_shapes.begin(), setup.trace_shapes.end(),
+                    [](const RequestShape& s) { return s.variable_length(); });
+    const bool var = setup.prefill_tokens > 0 || traced_shapes;
+    BatchingConfig batching = setup.batching;
+    std::uint32_t prefill_mean = setup.prefill_tokens;
+    std::uint32_t decode_mean = setup.decode_tokens;
+    std::uint64_t kv_per_token = 0;
+    std::uint64_t kv_budget = 0;
+    if (var) {
+      OPTIPLET_REQUIRE(tspec.has_value(),
+                       "token geometry on a fixed-shape model: " +
+                           setup.model);
+      OPTIPLET_REQUIRE(
+          setup.token_spread >= 0.0 && setup.token_spread < 1.0,
+          "token_spread must be in [0, 1)");
+      OPTIPLET_REQUIRE(setup.kv_cache_mb > 0.0, "kv_cache_mb must be > 0");
+      OPTIPLET_REQUIRE(
+          setup.trace_shapes.empty() ||
+              setup.trace_shapes.size() == setup.trace_arrivals.size(),
+          "trace_shapes must align one-to-one with trace_arrivals");
+      // Worst-case per-request context (tokens resident at completion):
+      // the trace maximum when shapes are replayed, the top of the uniform
+      // spread when drawn. It must fit the model's context window, and it
+      // sizes the KV reservation that caps concurrent decode slots.
+      std::uint64_t worst_total = 0;
+      if (!setup.trace_shapes.empty()) {
+        std::uint64_t prefill_sum = 0;
+        std::uint64_t decode_sum = 0;
+        for (const RequestShape& s : setup.trace_shapes) {
+          worst_total = std::max(worst_total, s.total_tokens());
+          prefill_sum += s.prefill_tokens;
+          decode_sum += s.decode_tokens;
+        }
+        if (prefill_mean == 0) {
+          const auto n_shapes =
+              static_cast<double>(setup.trace_shapes.size());
+          prefill_mean = static_cast<std::uint32_t>(std::max<long>(
+              1, std::lround(static_cast<double>(prefill_sum) / n_shapes)));
+          decode_mean = static_cast<std::uint32_t>(std::lround(
+              static_cast<double>(decode_sum) / n_shapes));
+        }
+      } else {
+        const auto worst_of = [&](std::uint32_t mean) {
+          return static_cast<std::uint64_t>(
+              std::ceil(mean * (1.0 + setup.token_spread)));
+        };
+        worst_total = worst_of(prefill_mean) + worst_of(decode_mean);
+      }
+      OPTIPLET_REQUIRE(
+          worst_total <= tspec->max_context,
+          "request tokens exceed the model's max_context: " + setup.model);
+      kv_per_token =
+          dnn::kv_bytes_per_token(*tspec, config.system.parameter_bits);
+      kv_budget = static_cast<std::uint64_t>(setup.kv_cache_mb * 1024.0 *
+                                             1024.0);
+      const std::uint64_t slots =
+          kv_budget / std::max<std::uint64_t>(kv_per_token * worst_total, 1);
+      OPTIPLET_REQUIRE(slots >= 1,
+                       "kv_cache_mb cannot hold one worst-case request: " +
+                           setup.model);
+      // The KV budget caps concurrent sequences for every policy: static
+      // batches clamp their size, continuous batching clamps its slot
+      // count (and re-tests the fit per admitted request).
+      batching.max_batch = static_cast<unsigned>(std::min<std::uint64_t>(
+          batching.max_batch, slots));
+    } else {
+      OPTIPLET_REQUIRE(setup.decode_tokens == 0,
+                       "decode_tokens without prefill_tokens: " +
+                           setup.model);
+      OPTIPLET_REQUIRE(
+          batching.policy != BatchPolicy::kContinuous,
+          "kContinuous needs token geometry (prefill_tokens > 0): " +
+              setup.model);
+    }
+    TenantState state(batching);
     state.closed_loop = setup.source == ArrivalSource::kClosedLoop;
     if (state.closed_loop) {
       OPTIPLET_REQUIRE(!setup.replay_trace,
@@ -1003,11 +1676,33 @@ ServingReport simulate(const ServingConfig& config) {
     state.report.name = setup.name.empty() ? setup.model : setup.name;
     state.report.model = setup.model;
     state.report.priority = setup.priority;
-    // The batch-1 run pins the effective SLA (and pre-warms the cache with
-    // the reference service time).
-    state.report.sla_s = setup.sla_s > 0.0
-                             ? setup.sla_s
-                             : 10.0 * oracle.batch_run(t, 1).latency_s;
+    if (var) {
+      state.var_length = true;
+      state.prefill_mean = prefill_mean;
+      state.decode_mean = decode_mean;
+      state.token_spread = setup.token_spread;
+      state.shape_rng = util::Xoshiro256(setup.seed ^ 0x746f6b656eULL);
+      state.trace_shapes = setup.trace_shapes;
+      state.kv_bytes_per_token = kv_per_token;
+      state.kv_budget_bytes = kv_budget;
+      state.continuous = batching.policy == BatchPolicy::kContinuous;
+      state.cont_slots = batching.max_batch;
+      // The mean-shape single-request price pins the effective SLA (and
+      // pre-warms the phase cache with the reference service times).
+      const std::uint32_t pm = std::max<std::uint32_t>(prefill_mean, 1);
+      double nominal_s = oracle.prefill_run(t, 1, pm).latency_s;
+      for (std::uint32_t k = 0; k < decode_mean; ++k) {
+        nominal_s += oracle.decode_run(t, 1, pm + k).latency_s;
+      }
+      state.report.sla_s =
+          setup.sla_s > 0.0 ? setup.sla_s : 10.0 * nominal_s;
+    } else {
+      // The batch-1 run pins the effective SLA (and pre-warms the cache
+      // with the reference service time).
+      state.report.sla_s = setup.sla_s > 0.0
+                               ? setup.sla_s
+                               : 10.0 * oracle.batch_run(t, 1).latency_s;
+    }
     engine.tenants.push_back(std::move(state));
   }
   if (config.pipeline == PipelineMode::kLayerGranular) {
@@ -1036,8 +1731,13 @@ ServingReport simulate(const ServingConfig& config) {
       }
       // The stage structure is batch-size independent, so batch 1 (already
       // simulated for the SLA) pins the tenant's pipeline depth.
+      // Variable-length tenants are dense-affine throughout — their stage
+      // chain collapses to one group — so they serve batch-granular with
+      // depth 1 (no stage schedule to build).
       ts.pipeline_depth =
-          Engine::distinct_resources(engine.exec_stages(t, 1));
+          ts.var_length
+              ? 1
+              : Engine::distinct_resources(engine.exec_stages(t, 1));
     }
   }
   obs::Recorder* const rec = config.recorder;
@@ -1062,6 +1762,17 @@ ServingReport simulate(const ServingConfig& config) {
           engine.resource_tracks.push_back(
               tb.track(engine.pid, r == 0 ? std::string("group:shared")
                                           : "group:" + std::to_string(r)));
+        }
+        // Variable-length tenants serve batch-granular even in layer mode
+        // and emit phase spans on executor tracks.
+        const bool any_var = std::any_of(
+            engine.tenants.begin(), engine.tenants.end(),
+            [](const TenantState& ts) { return ts.var_length; });
+        if (any_var) {
+          for (const TenantState& ts : engine.tenants) {
+            engine.exec_tracks.push_back(
+                tb.track(engine.pid, "exec:" + ts.report.name));
+          }
         }
       } else {
         for (const TenantState& ts : engine.tenants) {
@@ -1115,12 +1826,16 @@ ServingReport simulate(const ServingConfig& config) {
   OPTIPLET_ASSERT(engine.shared_waiters.empty(),
                   "serving drained with tenants still queued on the pool");
   for (const Resource& resource : engine.resources) {
-    OPTIPLET_ASSERT(!resource.busy && resource.waiters.empty(),
+    OPTIPLET_ASSERT(!resource.busy && resource.waiters.empty() &&
+                        resource.tenant_waiters.empty(),
                     "serving drained with a chiplet group still held");
   }
   for (const TenantState& ts : engine.tenants) {
     OPTIPLET_ASSERT(ts.inflight == 0,
                     "serving drained with batches still in flight");
+    OPTIPLET_ASSERT(ts.active.empty() && !ts.iter_running &&
+                        !ts.iter_waiting_shared,
+                    "serving drained with sequences still decoding");
   }
 
   // --- assemble the report ---
@@ -1143,6 +1858,7 @@ ServingReport simulate(const ServingConfig& config) {
   m.sim_event_queue_peak = engine.events.peak_size();
 
   std::vector<double> all_latencies;
+  std::vector<double> all_ttfts;
   std::uint64_t violations = 0;
   std::uint64_t batches = 0;
   std::map<unsigned, ClassReport> classes;
@@ -1159,6 +1875,9 @@ ServingReport simulate(const ServingConfig& config) {
     m.resipi_wait_s += ts.report.resipi_wait_s;
     m.shared_handoffs += ts.report.shared_handoffs;
     m.handoff_resipi_s += ts.report.handoff_resipi_s;
+    m.decode_tps += ts.report.decode_tps;
+    m.kv_peak_bytes = std::max(m.kv_peak_bytes, ts.report.kv_peak_bytes);
+    all_ttfts.insert(all_ttfts.end(), ts.ttfts.begin(), ts.ttfts.end());
     batches += ts.report.batches;
     ClassReport& cls = classes[ts.priority];
     cls.priority = ts.priority;
@@ -1210,6 +1929,9 @@ ServingReport simulate(const ServingConfig& config) {
     m.p99_s = exact_quantile(all_latencies, 0.99);
     m.sla_violation_rate = static_cast<double>(violations) /
                            static_cast<double>(all_latencies.size());
+  }
+  if (!all_ttfts.empty()) {
+    m.ttft_p99_s = exact_quantile(std::move(all_ttfts), 0.99);
   }
   if (makespan > 0.0) {
     m.throughput_rps = static_cast<double>(m.completed) / makespan;
@@ -1311,9 +2033,14 @@ ServingConfig make_serving_config(const core::SystemConfig& base,
     tenant.admission = spec.admission;
     tenant.priority = priorities[i];
     tenant.sla_s = spec.sla_s;
+    tenant.prefill_tokens = spec.prefill_tokens;
+    tenant.decode_tokens = spec.decode_tokens;
+    tenant.token_spread = spec.token_spread;
+    tenant.kv_cache_mb = spec.kv_cache_mb;
     if (!spec.trace_path.empty()) {
       tenant.replay_trace = true;
       tenant.trace_arrivals = trace_arrivals_for(trace, tenant.name);
+      tenant.trace_shapes = trace_shapes_for(trace, tenant.name);
     }
     config.tenants.push_back(std::move(tenant));
   }

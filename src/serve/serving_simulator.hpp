@@ -42,6 +42,23 @@
 ///     handoff charges a ReSiPI retuning window (one PCM write time) that
 ///     serializes on the shared interposer like any other reconfiguration.
 ///
+/// Transformer tenants (TenantSetup::prefill_tokens > 0, or a trace with
+/// token columns) serve variable-length requests priced per phase through
+/// the oracle: a MAC-bound prefill over the prompt (batch-amortized like
+/// any fixed-shape batch) followed by one bandwidth-bound decode step per
+/// generated token, each re-streaming the weights and reading the growing
+/// KV cache. The per-tenant KV budget (kv_cache_mb) bounds the token
+/// footprint reserved by in-flight requests — the activation-buffer
+/// constraint that caps concurrent decode slots. Static policies batch
+/// with padding semantics (the batch prefills at the longest prompt and
+/// decodes for the longest generation); BatchPolicy::kContinuous replaces
+/// whole-batch dispatch with iteration-level scheduling — requests join
+/// and leave the running decode batch at token boundaries, and waiting
+/// prefills are admitted into the bubbles completions free. Transformer
+/// compute is dense-affine throughout, so its stage chain collapses to a
+/// single kDense100 stage and layer-granular mode serves these tenants
+/// batch-granular (through the same shared-group locks).
+///
 /// The report carries throughput, utilization, p50/p95/p99 latency,
 /// SLA-violation rate, and energy per request (batch energies plus the
 /// pool's idle static burn) through power::EnergyLedger.
@@ -91,6 +108,22 @@ struct TenantSetup {
   /// kClosedLoop: mean exponential think time [s].
   double think_s = 10.0e-3;
   BatchingConfig batching;
+  /// Mean token geometry for transformer tenants (0 = fixed-shape; the
+  /// only valid setting for CNN tenants). When positive, every request
+  /// carries a RequestShape and is priced per phase: a MAC-bound prefill
+  /// plus `decode_tokens` bandwidth-bound decode steps.
+  std::uint32_t prefill_tokens = 0;
+  std::uint32_t decode_tokens = 0;
+  /// Relative half-width of the per-request uniform token draw in [0, 1);
+  /// 0 = every request exactly the mean.
+  double token_spread = 0.0;
+  /// Per-tenant KV-cache (activation-buffer) budget [MiB]: bounds the
+  /// token footprint resident in the tenant's decode working set, which
+  /// caps its concurrent decode slots.
+  double kv_cache_mb = 256.0;
+  /// Replay mode: per-request shapes aligned with `trace_arrivals`
+  /// (empty = draw from the means above).
+  std::vector<RequestShape> trace_shapes;
   /// Admit-all or SLA-aware shedding at enqueue time.
   AdmissionPolicy admission = AdmissionPolicy::kAdmitAll;
   /// Priority class (lower = more important): orders grants of the

@@ -1,10 +1,43 @@
 #include "serve/serving_spec.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "util/require.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace optiplet::serve {
+
+namespace {
+
+std::uint32_t draw_token_count(std::uint32_t mean, double spread,
+                               util::Xoshiro256& rng) {
+  if (mean == 0) {
+    return 0;
+  }
+  const double u = 2.0 * rng.next_double() - 1.0;  // uniform in [-1, 1)
+  const double drawn = static_cast<double>(mean) * (1.0 + spread * u);
+  const auto rounded = static_cast<std::uint32_t>(std::lround(drawn));
+  return rounded < 1 ? 1 : rounded;
+}
+
+}  // namespace
+
+RequestShape draw_request_shape(std::uint32_t prefill_mean,
+                                std::uint32_t decode_mean, double spread,
+                                util::Xoshiro256& rng) {
+  OPTIPLET_REQUIRE(spread >= 0.0 && spread < 1.0,
+                   "token_spread must be in [0, 1)");
+  OPTIPLET_REQUIRE(prefill_mean > 0 || decode_mean == 0,
+                   "decode_tokens requires a positive prefill_tokens");
+  RequestShape shape{prefill_mean, decode_mean};
+  if (spread > 0.0) {
+    shape.prefill_tokens = draw_token_count(prefill_mean, spread, rng);
+    shape.decode_tokens = draw_token_count(decode_mean, spread, rng);
+  }
+  return shape;
+}
 
 std::optional<BatchPolicy> batch_policy_from_string(std::string_view name) {
   if (name == "none" || name == "fifo" || name == "no-batch") {
@@ -16,8 +49,13 @@ std::optional<BatchPolicy> batch_policy_from_string(std::string_view name) {
   if (name == "deadline" || name == "dynamic") {
     return BatchPolicy::kDeadline;
   }
+  if (name == "cont" || name == "continuous") {
+    return BatchPolicy::kContinuous;
+  }
   return std::nullopt;
 }
+
+const char* batch_policy_choices() { return "none, size, deadline, cont"; }
 
 std::optional<PipelineMode> pipeline_mode_from_string(std::string_view name) {
   if (name == "batch" || name == "blocked") {
@@ -28,6 +66,8 @@ std::optional<PipelineMode> pipeline_mode_from_string(std::string_view name) {
   }
   return std::nullopt;
 }
+
+const char* pipeline_mode_choices() { return "batch, layer"; }
 
 std::optional<ArrivalSource> arrival_source_from_string(
     std::string_view name) {
@@ -40,6 +80,8 @@ std::optional<ArrivalSource> arrival_source_from_string(
   return std::nullopt;
 }
 
+const char* arrival_source_choices() { return "open, closed"; }
+
 std::optional<AdmissionPolicy> admission_policy_from_string(
     std::string_view name) {
   if (name == "all" || name == "none" || name == "admit-all") {
@@ -50,6 +92,8 @@ std::optional<AdmissionPolicy> admission_policy_from_string(
   }
   return std::nullopt;
 }
+
+const char* admission_policy_choices() { return "all, shed"; }
 
 std::vector<std::string> split_mix(std::string_view mix) {
   return util::split(mix, '+');

@@ -16,6 +16,10 @@
 #include <string_view>
 #include <vector>
 
+namespace optiplet::util {
+class Xoshiro256;
+}
+
 namespace optiplet::serve {
 
 /// Admission/batching policy of one tenant's queue.
@@ -28,6 +32,12 @@ enum class BatchPolicy {
   /// Deadline-bounded dynamic batching: dispatch when `max_batch` requests
   /// are queued or the oldest has waited `max_wait_s`, whichever first.
   kDeadline,
+  /// Continuous (iteration-level) batching for autoregressive tenants:
+  /// requests join and leave the running decode batch at token
+  /// boundaries, and waiting prefills are admitted into the bubbles
+  /// freed by completions. Requires token geometry (prefill_tokens > 0);
+  /// fixed-shape tenants are rejected at setup.
+  kContinuous,
 };
 
 [[nodiscard]] constexpr const char* to_string(BatchPolicy p) {
@@ -38,13 +48,20 @@ enum class BatchPolicy {
       return "size";
     case BatchPolicy::kDeadline:
       return "deadline";
+    case BatchPolicy::kContinuous:
+      return "cont";
   }
   return "?";
 }
 
-/// Accepts "none"/"fifo", "size"/"fixed", "deadline"/"dynamic".
+/// Accepts "none"/"fifo", "size"/"fixed", "deadline"/"dynamic",
+/// "cont"/"continuous".
 [[nodiscard]] std::optional<BatchPolicy> batch_policy_from_string(
     std::string_view name);
+
+/// Canonical comma-joined choice list for CLI help and fail-fast
+/// messages ("none, size, deadline, cont").
+[[nodiscard]] const char* batch_policy_choices();
 
 /// Execution granularity of a tenant's batches on its chiplet partition.
 enum class PipelineMode {
@@ -71,6 +88,9 @@ enum class PipelineMode {
 /// Accepts "batch"/"blocked" and "layer"/"pipelined".
 [[nodiscard]] std::optional<PipelineMode> pipeline_mode_from_string(
     std::string_view name);
+
+/// Canonical choice list ("batch, layer").
+[[nodiscard]] const char* pipeline_mode_choices();
 
 /// How a tenant's request stream is generated.
 enum class ArrivalSource {
@@ -100,6 +120,9 @@ enum class ArrivalSource {
 [[nodiscard]] std::optional<ArrivalSource> arrival_source_from_string(
     std::string_view name);
 
+/// Canonical choice list ("open, closed").
+[[nodiscard]] const char* arrival_source_choices();
+
 /// What happens to a request at enqueue time.
 enum class AdmissionPolicy {
   /// Every arrival joins the queue — the validated baseline; SLA
@@ -125,6 +148,36 @@ enum class AdmissionPolicy {
 /// Accepts "all"/"none"/"admit-all" and "shed"/"sla-shed".
 [[nodiscard]] std::optional<AdmissionPolicy> admission_policy_from_string(
     std::string_view name);
+
+/// Canonical choice list ("all, shed").
+[[nodiscard]] const char* admission_policy_choices();
+
+/// Variable-length request geometry of an autoregressive tenant: prompt
+/// tokens costed in the MAC-bound prefill phase, generated tokens costed
+/// one bandwidth-bound decode step each. `{0, 0}` marks a fixed-shape
+/// (CNN) request.
+struct RequestShape {
+  std::uint32_t prefill_tokens = 0;
+  std::uint32_t decode_tokens = 0;
+
+  [[nodiscard]] bool variable_length() const { return prefill_tokens > 0; }
+  [[nodiscard]] std::uint64_t total_tokens() const {
+    return static_cast<std::uint64_t>(prefill_tokens) + decode_tokens;
+  }
+  [[nodiscard]] bool operator==(const RequestShape&) const = default;
+};
+
+/// Draw one request shape around the mean token counts: each count lands
+/// uniformly in mean*(1 ± spread), rounded to the nearest token and
+/// clamped to >= 1 when its mean is positive. `spread == 0` returns the
+/// exact means *without consuming the RNG* — bit-exact degeneracy tests
+/// and pre-token trace reproducibility rely on both properties. Shared by
+/// the trace generator and the simulator's synthetic arrival paths so a
+/// generated trace and an in-process draw price identically.
+[[nodiscard]] RequestShape draw_request_shape(std::uint32_t prefill_mean,
+                                              std::uint32_t decode_mean,
+                                              double spread,
+                                              util::Xoshiro256& rng);
 
 /// One fully-resolved serving experiment point.
 struct ServingSpec {
@@ -170,6 +223,23 @@ struct ServingSpec {
   /// Priority orders grants of contended shared resources (the
   /// shared-serial chiplet pool and layer-mode group handoffs).
   std::string priority_mix;
+  /// Mean prompt length for transformer tenants [tokens]. Zero (the
+  /// default) keeps every request fixed-shape, which is the only valid
+  /// setting for CNN tenants — scenario keys and CSV rows are then
+  /// byte-identical to the pre-token schema.
+  std::uint32_t prefill_tokens = 0;
+  /// Mean generated-token count for transformer tenants. Zero with
+  /// positive `prefill_tokens` prices requests as pure prefill.
+  std::uint32_t decode_tokens = 0;
+  /// Relative half-width of the per-request uniform token-count draw in
+  /// [0, 1): request lengths land in mean*(1 ± spread), seeded per
+  /// tenant. Zero makes every request exactly the mean (bit-exact
+  /// degeneracy tests rely on this).
+  double token_spread = 0.0;
+  /// Per-tenant KV-cache (activation-buffer) budget [MiB]. Bounds the
+  /// tokens resident in a tenant's decode working set and thereby caps
+  /// its concurrent decode slots.
+  double kv_cache_mb = 256.0;
 
   /// Tenant model names of `tenant_mix`, in order ("A+B" -> {"A", "B"}).
   [[nodiscard]] std::vector<std::string> tenants() const;

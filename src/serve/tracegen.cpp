@@ -167,6 +167,13 @@ std::vector<TraceEvent> generate_trace(const TraceGenSpec& spec) {
     if (!spec.tenants.empty()) {
       e.tenant = spec.tenants[rng.next_below(spec.tenants.size())];
     }
+    if (spec.prefill_tokens > 0) {
+      e.shape = draw_request_shape(spec.prefill_tokens, spec.decode_tokens,
+                                   spec.token_spread, rng);
+    } else {
+      OPTIPLET_REQUIRE(spec.decode_tokens == 0,
+                       "decode_tokens requires a positive prefill_tokens");
+    }
     events.push_back(std::move(e));
   }
   return events;
@@ -177,10 +184,18 @@ bool write_arrival_trace(const std::string& path,
   const bool labeled =
       std::any_of(events.begin(), events.end(),
                   [](const TraceEvent& e) { return !e.tenant.empty(); });
-  util::CsvWriter csv(path, labeled
-                                ? std::vector<std::string>{"arrival_s",
-                                                           "tenant"}
-                                : std::vector<std::string>{"arrival_s"});
+  const bool shaped = std::any_of(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return e.shape.variable_length(); });
+  std::vector<std::string> header = {"arrival_s"};
+  if (labeled) {
+    header.push_back("tenant");
+  }
+  if (shaped) {
+    header.push_back("prefill_tokens");
+    header.push_back("decode_tokens");
+  }
+  util::CsvWriter csv(path, header);
   if (!csv.ok()) {
     return false;
   }
@@ -188,6 +203,10 @@ bool write_arrival_trace(const std::string& path,
     std::vector<std::string> row = {util::format_general(e.arrival_s, 17)};
     if (labeled) {
       row.push_back(e.tenant);
+    }
+    if (shaped) {
+      row.push_back(std::to_string(e.shape.prefill_tokens));
+      row.push_back(std::to_string(e.shape.decode_tokens));
     }
     csv.add_row(row);
   }

@@ -66,6 +66,17 @@ struct TraceGenSpec {
   /// unlabeled rows (which feed every tenant on replay).
   std::vector<std::string> tenants;
 
+  // --- token geometry (autoregressive tenants) ---
+  /// Mean prompt length [tokens]. Zero (the default) emits fixed-shape
+  /// events and keeps the CSV schema byte-identical to the pre-token
+  /// format (no token columns, no extra RNG draws).
+  std::uint32_t prefill_tokens = 0;
+  /// Mean generated-token count; requires prefill_tokens > 0 when set.
+  std::uint32_t decode_tokens = 0;
+  /// Relative half-width of the per-event uniform token draw in [0, 1):
+  /// lengths land in mean*(1 ± spread). Zero emits the exact means.
+  double token_spread = 0.0;
+
   // --- diurnal ---
   /// Sinusoid period [s]; <= 0 derives one full cycle over duration_s.
   double period_s = 0.0;
@@ -99,9 +110,11 @@ struct TraceGenSpec {
     const TraceGenSpec& spec);
 
 /// Write `events` in the replayer's CSV format: header `arrival_s` plus a
-/// `tenant` column when any event is labeled; times at 17 significant
-/// digits so load_arrival_trace() round-trips them bit-exactly. Returns
-/// false when the file cannot be opened.
+/// `tenant` column when any event is labeled and a
+/// `prefill_tokens`/`decode_tokens` pair when any event is
+/// variable-length; times at 17 significant digits so
+/// load_arrival_trace() round-trips them bit-exactly. Returns false when
+/// the file cannot be opened.
 [[nodiscard]] bool write_arrival_trace(const std::string& path,
                                        const std::vector<TraceEvent>& events);
 

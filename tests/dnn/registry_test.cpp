@@ -1,0 +1,114 @@
+#include "dnn/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dnn/workload.hpp"
+#include "dnn/zoo.hpp"
+
+namespace optiplet::dnn {
+namespace {
+
+TEST(ModelRegistry, CatalogOrderIsPaperCnnsThenTransformer) {
+  const auto& registry = ModelRegistry::instance();
+  const std::vector<std::string> expected = {"LeNet5",      "ResNet50",
+                                             "DenseNet121", "VGG16",
+                                             "MobileNetV2", "TinyGPT"};
+  EXPECT_EQ(registry.names(), expected);
+  // The CNN view preserves the historical Table-2 iteration order.
+  const std::vector<std::string> cnns = {"LeNet5", "ResNet50",
+                                         "DenseNet121", "VGG16",
+                                         "MobileNetV2"};
+  EXPECT_EQ(registry.names(ModelFamily::kCnn), cnns);
+  EXPECT_EQ(zoo::model_names(), cnns);
+  EXPECT_EQ(registry.names(ModelFamily::kTransformer),
+            std::vector<std::string>{"TinyGPT"});
+}
+
+TEST(ModelRegistry, CnnFactoriesMatchZooBuildersBitIdentically) {
+  // The registry replaced the hand-enumerated make_*() switch; the graphs
+  // it constructs must be indistinguishable from the zoo builders' —
+  // layer for layer, parameter for parameter — so every downstream
+  // workload and simulation result is unchanged.
+  const auto& registry = ModelRegistry::instance();
+  const std::vector<Model> direct = {
+      zoo::make_lenet5(), zoo::make_resnet50(), zoo::make_densenet121(),
+      zoo::make_vgg16(), zoo::make_mobilenetv2()};
+  const auto names = registry.names(ModelFamily::kCnn);
+  ASSERT_EQ(direct.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Model from_registry = registry.at(names[i]).factory();
+    const Model from_lookup = zoo::by_name(names[i]);
+    const Model& reference = direct[i];
+    ASSERT_EQ(from_registry.layers().size(), reference.layers().size())
+        << names[i];
+    for (std::size_t l = 0; l < reference.layers().size(); ++l) {
+      const Layer& a = from_registry.layers()[l];
+      const Layer& b = reference.layers()[l];
+      EXPECT_EQ(a.kind, b.kind) << names[i] << " layer " << l;
+      EXPECT_EQ(a.param_count, b.param_count) << names[i] << " layer " << l;
+      EXPECT_EQ(a.mac_count, b.mac_count) << names[i] << " layer " << l;
+      EXPECT_EQ(a.output_shape, b.output_shape)
+          << names[i] << " layer " << l;
+    }
+    EXPECT_EQ(from_registry.total_params(), reference.total_params());
+    EXPECT_EQ(from_lookup.total_params(), reference.total_params());
+    // Same totals through the traffic accounting the simulator prices.
+    const Workload wa = compute_workload(from_registry, 8);
+    const Workload wb = compute_workload(reference, 8);
+    EXPECT_EQ(wa.total_macs, wb.total_macs) << names[i];
+    EXPECT_EQ(wa.total_traffic_bits(), wb.total_traffic_bits()) << names[i];
+  }
+}
+
+TEST(ModelRegistry, MetadataIsDerivedFromOneBuild) {
+  const auto& registry = ModelRegistry::instance();
+  for (const ModelInfo& info : registry.models()) {
+    const Model built = info.factory();
+    EXPECT_EQ(info.params, built.total_params()) << info.name;
+    EXPECT_EQ(info.input_shape,
+              built.layers().front().input_shape)
+        << info.name;
+    const bool is_transformer = info.family == ModelFamily::kTransformer;
+    EXPECT_EQ(info.transformer.has_value(), is_transformer) << info.name;
+  }
+}
+
+TEST(ModelRegistry, FindAndAtAgreeAndUnknownNamesFailFast) {
+  const auto& registry = ModelRegistry::instance();
+  EXPECT_NE(registry.find("LeNet5"), nullptr);
+  EXPECT_EQ(registry.find("lenet5"), nullptr);  // case-sensitive
+  EXPECT_EQ(registry.find("NoSuchModel"), nullptr);
+  try {
+    (void)registry.at("NoSuchModel");
+    FAIL() << "at() must throw for unknown names";
+  } catch (const std::invalid_argument& e) {
+    // The error lists the catalog so CLI users see their options.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NoSuchModel"), std::string::npos);
+    EXPECT_NE(what.find("LeNet5"), std::string::npos);
+    EXPECT_NE(what.find("TinyGPT"), std::string::npos);
+  }
+  EXPECT_THROW((void)zoo::by_name("NoSuchModel"), std::invalid_argument);
+}
+
+TEST(ModelRegistry, TransformerEntryCarriesPhaseSpec) {
+  const ModelInfo& info = ModelRegistry::instance().at("TinyGPT");
+  EXPECT_EQ(info.family, ModelFamily::kTransformer);
+  ASSERT_TRUE(info.transformer.has_value());
+  EXPECT_EQ(info.transformer->d_model, tiny_gpt_spec().d_model);
+  EXPECT_EQ(info.transformer->default_context,
+            tiny_gpt_spec().default_context);
+  // The zoo's fixed-shape build is the prefill graph at default context.
+  const Model fixed = info.factory();
+  const Model prefill =
+      make_prefill_graph(*info.transformer, info.transformer->default_context);
+  EXPECT_EQ(fixed.total_params(), prefill.total_params());
+  EXPECT_EQ(fixed.total_macs(), prefill.total_macs());
+}
+
+}  // namespace
+}  // namespace optiplet::dnn

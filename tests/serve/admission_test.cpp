@@ -179,6 +179,50 @@ TEST(Admission, PriorityClassOrdersSharedGroupGrants) {
   EXPECT_LT(report.metrics.p99_hi_s, report.metrics.p99_lo_s);
 }
 
+TEST(Admission, ClassAwareShedEstimateSparesHighPriorityColocation) {
+  // Regression for the admission estimate's priority blind spot: the old
+  // backlog formula kept a single "shared pool free at" horizon, so a
+  // saturated low-priority tenant's committed shared-serial windows were
+  // charged against every high-priority admission too — and a class-0
+  // stream running well below its own knee shed alongside its noisy
+  // neighbor. The estimate now tracks the committed horizon per priority
+  // class and charges an admission only with windows of classes at least
+  // as important as its own, matching the grant order the executor
+  // actually enforces. The below-knee class-0 stream must sail through
+  // unshed while the class-1 stream keeps shedding.
+  const core::SystemConfig base = core::default_system_config();
+  ServingSpec spec;
+  spec.tenant_mix = "ResNet50+DenseNet121";
+  spec.priority_mix = "0+1";
+  spec.policy = BatchPolicy::kNone;
+  spec.admission = AdmissionPolicy::kSlaShed;
+  spec.requests = 360;
+  auto config = make_serving_config(base, accel::Architecture::kSiph2p5D, spec);
+  ASSERT_EQ(config.tenants.size(), 2u);
+  // Per-tenant rates (the spec splits one aggregate evenly): the class-0
+  // stream idles far below its partitioned capacity; the class-1 stream
+  // is pushed well past its own knee so the shedder must stay busy.
+  config.tenants[0].arrival_rps =
+      0.15 / isolated_service_s("ResNet50", base);
+  config.tenants[0].requests = 120;
+  config.tenants[1].arrival_rps =
+      3.0 / isolated_service_s("DenseNet121", base);
+  config.tenants[1].requests = 240;
+  const auto report = simulate(config);
+  ASSERT_EQ(report.tenants.size(), 2u);
+  const TenantReport& hi = report.tenants[0];
+  const TenantReport& lo = report.tenants[1];
+  ASSERT_EQ(hi.priority, 0u);
+  EXPECT_EQ(hi.offered, 120u);
+  // The regression bite: no false sheds and a healthy SLA record for the
+  // protected class...
+  EXPECT_EQ(hi.shed, 0u);
+  EXPECT_EQ(hi.completed, hi.offered);
+  EXPECT_LT(hi.sla_violation_rate, 0.05);
+  // ...in the same run where the saturated class really is shedding.
+  EXPECT_GT(lo.shed, 0u);
+}
+
 TEST(Admission, SingleClassRunsMatchTheFifoBaseline) {
   // All-zero priorities must reproduce the historical FIFO grant order
   // bit-for-bit ("0+0" is the explicit spelling of the default).

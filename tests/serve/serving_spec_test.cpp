@@ -1,0 +1,114 @@
+#include "serve/serving_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace optiplet::serve {
+namespace {
+
+TEST(ServingSpecCodecs, BatchPolicyRoundTripsAndListsChoices) {
+  for (const BatchPolicy p :
+       {BatchPolicy::kNone, BatchPolicy::kFixedSize, BatchPolicy::kDeadline,
+        BatchPolicy::kContinuous}) {
+    const auto back = batch_policy_from_string(to_string(p));
+    ASSERT_TRUE(back.has_value()) << to_string(p);
+    EXPECT_EQ(*back, p);
+    // Every canonical spelling appears in the CLI choice list.
+    EXPECT_NE(std::string(batch_policy_choices()).find(to_string(p)),
+              std::string::npos);
+  }
+  // Aliases.
+  EXPECT_EQ(batch_policy_from_string("fifo"), BatchPolicy::kNone);
+  EXPECT_EQ(batch_policy_from_string("fixed"), BatchPolicy::kFixedSize);
+  EXPECT_EQ(batch_policy_from_string("dynamic"), BatchPolicy::kDeadline);
+  EXPECT_EQ(batch_policy_from_string("continuous"),
+            BatchPolicy::kContinuous);
+  EXPECT_FALSE(batch_policy_from_string("bogus").has_value());
+  EXPECT_FALSE(batch_policy_from_string("").has_value());
+}
+
+TEST(ServingSpecCodecs, PipelineModeRoundTrips) {
+  for (const PipelineMode m :
+       {PipelineMode::kBatchGranular, PipelineMode::kLayerGranular}) {
+    EXPECT_EQ(pipeline_mode_from_string(to_string(m)), m);
+    EXPECT_NE(std::string(pipeline_mode_choices()).find(to_string(m)),
+              std::string::npos);
+  }
+  EXPECT_EQ(pipeline_mode_from_string("blocked"),
+            PipelineMode::kBatchGranular);
+  EXPECT_EQ(pipeline_mode_from_string("pipelined"),
+            PipelineMode::kLayerGranular);
+  EXPECT_FALSE(pipeline_mode_from_string("bogus").has_value());
+}
+
+TEST(ServingSpecCodecs, ArrivalSourceRoundTrips) {
+  for (const ArrivalSource s :
+       {ArrivalSource::kOpenLoop, ArrivalSource::kClosedLoop}) {
+    EXPECT_EQ(arrival_source_from_string(to_string(s)), s);
+    EXPECT_NE(std::string(arrival_source_choices()).find(to_string(s)),
+              std::string::npos);
+  }
+  EXPECT_EQ(arrival_source_from_string("poisson"),
+            ArrivalSource::kOpenLoop);
+  EXPECT_EQ(arrival_source_from_string("closed-loop"),
+            ArrivalSource::kClosedLoop);
+  EXPECT_FALSE(arrival_source_from_string("bogus").has_value());
+}
+
+TEST(ServingSpecCodecs, AdmissionPolicyRoundTrips) {
+  for (const AdmissionPolicy p :
+       {AdmissionPolicy::kAdmitAll, AdmissionPolicy::kSlaShed}) {
+    EXPECT_EQ(admission_policy_from_string(to_string(p)), p);
+    EXPECT_NE(std::string(admission_policy_choices()).find(to_string(p)),
+              std::string::npos);
+  }
+  EXPECT_EQ(admission_policy_from_string("admit-all"),
+            AdmissionPolicy::kAdmitAll);
+  EXPECT_EQ(admission_policy_from_string("sla-shed"),
+            AdmissionPolicy::kSlaShed);
+  EXPECT_FALSE(admission_policy_from_string("bogus").has_value());
+}
+
+TEST(RequestShapeDraw, ZeroSpreadReturnsExactMeansWithoutConsumingRng) {
+  util::Xoshiro256 a(7);
+  util::Xoshiro256 b(7);
+  const RequestShape shape = draw_request_shape(64, 16, 0.0, a);
+  EXPECT_EQ(shape.prefill_tokens, 64u);
+  EXPECT_EQ(shape.decode_tokens, 16u);
+  // The RNG stream is untouched: both generators still agree.
+  EXPECT_EQ(a.next_double(), b.next_double());
+}
+
+TEST(RequestShapeDraw, SpreadStaysInBandAndIsSeedDeterministic) {
+  util::Xoshiro256 rng(42);
+  util::Xoshiro256 replay(42);
+  for (int i = 0; i < 200; ++i) {
+    const RequestShape s = draw_request_shape(100, 20, 0.5, rng);
+    // mean*(1 ± spread), rounded to the nearest token, floor 1.
+    EXPECT_GE(s.prefill_tokens, 50u);
+    EXPECT_LE(s.prefill_tokens, 150u);
+    EXPECT_GE(s.decode_tokens, 10u);
+    EXPECT_LE(s.decode_tokens, 30u);
+    EXPECT_EQ(s, draw_request_shape(100, 20, 0.5, replay));
+  }
+  // A zero decode mean stays zero under spread (pure-prefill streams).
+  util::Xoshiro256 rng2(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(draw_request_shape(100, 0, 0.5, rng2).decode_tokens, 0u);
+  }
+}
+
+TEST(RequestShape, TotalAndVariableLength) {
+  const RequestShape fixed{};
+  EXPECT_FALSE(fixed.variable_length());
+  EXPECT_EQ(fixed.total_tokens(), 0u);
+  const RequestShape var{256, 32};
+  EXPECT_TRUE(var.variable_length());
+  EXPECT_EQ(var.total_tokens(), 288u);
+}
+
+}  // namespace
+}  // namespace optiplet::serve

@@ -39,6 +39,18 @@ sim_speed_sweep.csv
   * analytical must be at least as fast as sampled (sampling adds cycle
     windows on top of the closed-form model, it cannot be cheaper)
 
+transformer_serving_sweep.csv
+  * schema/finiteness, utilization in [0, 1], goodput never exceeds
+    throughput, TTFT p99 never exceeds completion p99, and peak KV-cache
+    occupancy never exceeds the per-tenant budget (a hard reservation)
+  * context section: decode throughput (tokens/s) is non-increasing in
+    the prompt length — every decode step re-streams the whole KV cache
+  * policy section: at the saturating decode-heavy operating point,
+    continuous (iteration-level) batching beats fixed-size batching on
+    goodput AND p99 AND TTFT p99 — retiring sequences at token
+    boundaries instead of padding to the longest generation is the
+    feature under test
+
 cluster_scale_sweep.csv
   * schema/finiteness, per-package utilization spread in [0, 1] with
     util_min <= util_max, shed fraction in [0, 1], goodput never exceeds
@@ -497,11 +509,114 @@ def check_sim_speed(path):
             )
 
 
+def check_transformer(path):
+    numeric_cols = [
+        "prefill_tokens",
+        "decode_tokens",
+        "token_spread",
+        "kv_cache_mb",
+        "offered_rps",
+        "throughput_rps",
+        "goodput_rps",
+        "shed",
+        "p50_s",
+        "p99_s",
+        "ttft_p99_s",
+        "decode_tps",
+        "kv_peak_bytes",
+        "kv_budget_bytes",
+        "mean_batch",
+        "utilization",
+        "energy_per_request_j",
+    ]
+    rows = read_rows(path, ["section", "policy"] + numeric_cols)
+    parsed = []
+    for row in rows:
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        values["section"] = row["section"]
+        values["policy"] = row["policy"]
+        parsed.append(values)
+        if not 0.0 <= values["utilization"] <= 1.0 + 1e-6:
+            fail(path, f"utilization out of [0, 1]: {values['utilization']:g}")
+        if values["goodput_rps"] > values["throughput_rps"] * (1.0 + 1e-9):
+            fail(
+                path,
+                f"goodput {values['goodput_rps']:g} exceeds throughput "
+                f"{values['throughput_rps']:g}",
+            )
+        # The KV budget is a hard reservation cap: peak occupancy can
+        # never exceed it, at any setting.
+        if values["kv_peak_bytes"] > values["kv_budget_bytes"]:
+            fail(
+                path,
+                f"KV peak {values['kv_peak_bytes']:g} B exceeds the "
+                f"budget {values['kv_budget_bytes']:g} B",
+            )
+        # Every request's first token lands no later than its completion,
+        # so the TTFT tail is pointwise dominated by the latency tail.
+        if values["ttft_p99_s"] > values["p99_s"] * (1.0 + 1e-9):
+            fail(
+                path,
+                f"TTFT p99 {values['ttft_p99_s']:g} exceeds completion "
+                f"p99 {values['p99_s']:g}",
+            )
+
+    # Context sweep: every decode step re-streams the whole KV cache, so
+    # decode throughput must fall (or hold) as the prompt grows.
+    context = sorted(
+        (r for r in parsed if r["section"] == "context"),
+        key=lambda r: r["prefill_tokens"],
+    )
+    if len(context) < 2:
+        fail(path, "context section has fewer than 2 prompt lengths")
+    for prev, cur in zip(context, context[1:]):
+        if cur["decode_tps"] > prev["decode_tps"] / TREND_TOLERANCE:
+            fail(
+                path,
+                f"decode_tps rose from {prev['decode_tps']:g} to "
+                f"{cur['decode_tps']:g} as the context grew "
+                f"{prev['prefill_tokens']:g} -> {cur['prefill_tokens']:g} "
+                f"tokens",
+            )
+
+    # Policy grid at saturating decode-heavy load: continuous batching
+    # must beat fixed-size on goodput AND tail latency — retiring each
+    # sequence at its own token boundary instead of padding the batch to
+    # the longest generation is the feature under test.
+    policies = {r["policy"]: r for r in parsed if r["section"] == "policy"}
+    if not {"size", "cont"} <= set(policies):
+        fail(path, "policy section is missing the size/cont pair")
+    else:
+        size, cont = policies["size"], policies["cont"]
+        if cont["goodput_rps"] < size["goodput_rps"] * PAIR_TOLERANCE:
+            fail(
+                path,
+                f"continuous goodput {cont['goodput_rps']:g} lost to "
+                f"fixed-size {size['goodput_rps']:g} at the saturating "
+                f"decode-heavy point",
+            )
+        if cont["p99_s"] > size["p99_s"] / PAIR_TOLERANCE:
+            fail(
+                path,
+                f"continuous p99 {cont['p99_s']:g} lost to fixed-size "
+                f"{size['p99_s']:g} at the saturating decode-heavy point",
+            )
+        if cont["ttft_p99_s"] > size["ttft_p99_s"] / PAIR_TOLERANCE:
+            fail(
+                path,
+                f"continuous TTFT p99 {cont['ttft_p99_s']:g} lost to "
+                f"fixed-size {size['ttft_p99_s']:g}",
+            )
+
+
 CHECKERS = {
     "serving_load_sweep.csv": check_serving,
     "noc_photonic_traffic.csv": check_noc,
     "cluster_scale_sweep.csv": check_cluster,
     "sim_speed_sweep.csv": check_sim_speed,
+    "transformer_serving_sweep.csv": check_transformer,
 }
 
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fidelity.hpp"
+#include "dnn/registry.hpp"
 #include "dnn/zoo.hpp"
 #include "util/strings.hpp"
 
@@ -392,6 +393,24 @@ OptionSet::Parse append_counts(std::vector<T>& out, std::string what) {
   };
 }
 
+/// Comma list of non-negative integers (token counts, where 0 is a
+/// meaningful value: e.g. pure-prefill requests with no decode phase).
+template <typename T>
+OptionSet::Parse append_counts_or_zero(std::vector<T>& out,
+                                       std::string what) {
+  return [&out, what = std::move(what)](
+             const std::string& text) -> std::optional<std::string> {
+    for (const auto& part : split(text, ',')) {
+      const auto value = parse_count(part);
+      if (!value) {
+        return "bad " + what + ": " + part;
+      }
+      out.push_back(static_cast<T>(*value));
+    }
+    return std::nullopt;
+  };
+}
+
 /// Comma list of strictly positive doubles.
 inline OptionSet::Parse append_positive_doubles(std::vector<double>& out,
                                                 std::string what) {
@@ -498,16 +517,17 @@ inline OptionSet::Parse store_threads(std::size_t& out) {
   };
 }
 
-/// Comma list of Table-2 model names, validated against the zoo and
-/// stored as the full list (later occurrences replace earlier ones).
+/// Comma list of model names, validated against the model registry (the
+/// Table-2 CNNs plus the transformer family) and stored as the full list
+/// (later occurrences replace earlier ones).
 inline OptionSet::Parse store_model_list(std::vector<std::string>& out) {
   return [&out](const std::string& text) -> std::optional<std::string> {
-    const auto known = dnn::zoo::model_names();
+    const auto& registry = dnn::ModelRegistry::instance();
     auto names = split(text, ',');
     for (const auto& name : names) {
-      if (std::find(known.begin(), known.end(), name) == known.end()) {
-        return "unknown model: " + name + " (valid: " + join(known, ", ") +
-               ")";
+      if (registry.find(name) == nullptr) {
+        return "unknown model: " + name +
+               " (valid: " + join(registry.names(), ", ") + ")";
       }
     }
     out = std::move(names);
@@ -570,11 +590,14 @@ inline OptionSet& add_log_flags(OptionSet& options, Logger& log) {
   return options;
 }
 
-/// Shared --list-models action.
+/// Shared --list-models action: the registry catalog with family and
+/// derived size, so the listing can never drift from the graphs.
 inline std::function<int()> list_models_action() {
   return [] {
-    for (const auto& name : dnn::zoo::model_names()) {
-      std::printf("%s\n", name.c_str());
+    for (const auto& info : dnn::ModelRegistry::instance().models()) {
+      std::printf("%-16s %-12s %10llu params\n", info.name.c_str(),
+                  dnn::to_string(info.family),
+                  static_cast<unsigned long long>(info.params));
     }
     return 0;
   };

@@ -64,7 +64,7 @@ link-budget transfer cost. Reports the merged rack throughput, goodput,
 tail latency, shed counts, transfer charges, and energy per request.)");
   options_set
       .add("--tenants", "NAMES",
-           "comma list of co-located Table-2 models\n"
+           "comma list of co-located registry models\n"
            "(default LeNet5; see --list-models)",
            cli::store_model_list(tenants))
       .add("--rates", "LIST",
@@ -100,27 +100,52 @@ tail latency, shed counts, transfer charges, and energy per request.)");
            cli::store_count(grid.cluster_defaults.link_wavelengths,
                             "link wavelength count"))
       .add("--policies", "LIST",
-           "comma list of none|size|deadline (default none)",
+           "comma list of none|size|deadline|cont (default none;\n"
+           "cont = continuous batching, transformer tenants\n"
+           "only)",
            cli::append_choices(grid.batch_policies,
                                serve::batch_policy_from_string,
-                               "batch policy", "none, size, deadline"))
+                               "batch policy", serve::batch_policy_choices()))
       .add("--admission", "LIST", "comma list of all|shed (default all)",
            cli::append_choices(grid.admission_policies,
                                serve::admission_policy_from_string,
-                               "admission policy", "all, shed"))
+                               "admission policy",
+                               serve::admission_policy_choices()))
       .add("--sources", "LIST",
            "comma list of open|closed arrival sources\n"
            "(default open)",
            cli::append_choices(grid.arrival_sources,
                                serve::arrival_source_from_string,
-                               "arrival source", "open, closed"))
+                               "arrival source",
+                               serve::arrival_source_choices()))
+      .add("--prefill-tokens", "LIST",
+           "comma list of mean prompt lengths [tokens]; any\n"
+           "positive value switches transformer tenants to\n"
+           "variable-length prefill/decode pricing (default 0 =\n"
+           "fixed-shape requests)",
+           cli::append_counts(grid.prefill_token_counts, "prefill tokens"))
+      .add("--decode-tokens", "LIST",
+           "comma list of mean generated lengths [tokens]; 0 =\n"
+           "pure prefill (default 0; requires --prefill-tokens)",
+           cli::append_counts_or_zero(grid.decode_token_counts,
+                                      "decode tokens"))
+      .add("--token-spread", "X",
+           "relative half-width of the per-request uniform\n"
+           "token-length draw, in [0,1) (default 0)",
+           cli::store_nonnegative_double(grid.serving_defaults.token_spread,
+                                         "token spread"))
+      .add("--kv-cache-mb", "MB",
+           "per-tenant KV-cache activation budget [MiB]; caps\n"
+           "concurrent decode slots per package (default 256)",
+           cli::store_positive_double(grid.serving_defaults.kv_cache_mb,
+                                      "KV-cache budget"))
       .add("--users", "LIST",
            "comma list of closed-loop users per tenant\n"
            "(default 16; implies --sources closed when\n"
            "--sources is not given)",
            cli::append_counts(grid.user_counts, "user count"))
       .add("--max-batch", "K",
-           "batch bound for size/deadline policies (default 8)",
+           "batch bound for size/deadline/cont policies (default 8)",
            cli::store_count(grid.serving_defaults.max_batch, "max batch"))
       .add("--max-wait", "S",
            "deadline policy: max queue wait [s] (default 1e-3)",
@@ -166,7 +191,8 @@ tail latency, shed counts, transfer charges, and energy per request.)");
            cli::store_positive_double(snapshot_period_s,
                                       "snapshot period"));
   cli::add_log_flags(options_set, log)
-      .add_action("--list-models", "print the Table-2 model names and exit",
+      .add_action("--list-models",
+                  "print the model registry (name, family, params) and exit",
                   cli::list_models_action())
       .set_epilog("Value flags also accept the --flag=value spelling "
                   "(e.g. --packages=1,4).");

@@ -17,6 +17,8 @@
 ///   optiplet_serve --tenants ResNet50,DenseNet121 --priorities 0,1 \
 ///       --admission all,shed --rates 600
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
+///   optiplet_serve --tenants TinyGPT --rates 50,100 --policies cont \
+///       --prefill-tokens 256 --decode-tokens 64 --kv-cache-mb 256
 
 #include <cstdint>
 #include <cstdio>
@@ -70,7 +72,7 @@ Reports throughput, goodput, p50/p95/p99 latency, SLA violations, shed
 counts, utilization, and energy per request.)");
   options_set
       .add("--tenants", "NAMES",
-           "comma list of co-located Table-2 models\n"
+           "comma list of co-located registry models\n"
            "(default LeNet5; see --list-models)",
            cli::store_model_list(tenants))
       .add("--rates", "LIST",
@@ -80,24 +82,27 @@ counts, utilization, and energy per request.)");
            cli::append_positive_doubles(grid.arrival_rates_rps,
                                         "arrival rate"))
       .add("--policies", "LIST",
-           "comma list of none|size|deadline (default none)",
+           "comma list of none|size|deadline|cont (default none;\n"
+           "cont = continuous batching at token boundaries,\n"
+           "transformer tenants only)",
            cli::append_choices(grid.batch_policies,
                                serve::batch_policy_from_string,
-                               "batch policy", "none, size, deadline"))
+                               "batch policy", serve::batch_policy_choices()))
       .add("--pipelines", "LIST",
            "comma list of batch|layer execution granularities\n"
            "(default batch; layer = SET-style inter-layer\n"
            "pipelining with scarce-group handoff)",
            cli::append_choices(grid.pipeline_modes,
                                serve::pipeline_mode_from_string,
-                               "pipeline mode", "batch, layer"))
+                               "pipeline mode", serve::pipeline_mode_choices()))
       .add("--sources", "LIST",
            "comma list of open|closed arrival sources\n"
            "(default open; closed = N users per tenant issuing\n"
            "one request each, thinking between responses)",
            cli::append_choices(grid.arrival_sources,
                                serve::arrival_source_from_string,
-                               "arrival source", "open, closed"))
+                               "arrival source",
+                               serve::arrival_source_choices()))
       .add("--users", "LIST",
            "comma list of closed-loop users per tenant\n"
            "(default 16; implies --sources closed when\n"
@@ -113,7 +118,8 @@ counts, utilization, and energy per request.)");
            "arrivals whose predicted completion misses the SLA)",
            cli::append_choices(grid.admission_policies,
                                serve::admission_policy_from_string,
-                               "admission policy", "all, shed"))
+                               "admission policy",
+                               serve::admission_policy_choices()))
       .add("--priorities", "LIST",
            "comma list of per-tenant priority classes aligned\n"
            "with --tenants (lower = more important; default\n"
@@ -123,8 +129,30 @@ counts, utilization, and energy per request.)");
                                                        "+");
              return std::nullopt;
            })
+      .add("--prefill-tokens", "LIST",
+           "comma list of mean prompt lengths [tokens]; any\n"
+           "positive value switches transformer tenants to\n"
+           "variable-length prefill/decode pricing (default 0 =\n"
+           "fixed-shape requests)",
+           cli::append_counts(grid.prefill_token_counts, "prefill tokens"))
+      .add("--decode-tokens", "LIST",
+           "comma list of mean generated lengths [tokens]; 0 =\n"
+           "pure prefill (default 0; requires --prefill-tokens)",
+           cli::append_counts_or_zero(grid.decode_token_counts,
+                                      "decode tokens"))
+      .add("--token-spread", "X",
+           "relative half-width of the per-request uniform\n"
+           "token-length draw, in [0,1); 0 = every request uses\n"
+           "the mean lengths exactly (default 0)",
+           cli::store_nonnegative_double(grid.serving_defaults.token_spread,
+                                         "token spread"))
+      .add("--kv-cache-mb", "MB",
+           "per-tenant KV-cache activation budget [MiB]; caps\n"
+           "concurrent decode slots (default 256)",
+           cli::store_positive_double(grid.serving_defaults.kv_cache_mb,
+                                      "KV-cache budget"))
       .add("--max-batch", "K",
-           "batch bound for size/deadline policies (default 8)",
+           "batch bound for size/deadline/cont policies (default 8)",
            cli::store_count(grid.serving_defaults.max_batch, "max batch"))
       .add("--max-wait", "S",
            "deadline policy: max queue wait [s] (default 1e-3)",
@@ -169,7 +197,8 @@ counts, utilization, and energy per request.)");
            cli::store_positive_double(snapshot_period_s,
                                       "snapshot period"));
   cli::add_log_flags(options_set, log)
-      .add_action("--list-models", "print the Table-2 model names and exit",
+      .add_action("--list-models",
+                  "print the model registry (name, family, params) and exit",
                   cli::list_models_action())
       .set_epilog("Value flags also accept the --flag=value spelling "
                   "(e.g. --rates=500).");

@@ -93,7 +93,7 @@ Table-1 default configuration. Infeasible combinations (wavelengths not
 divisible by gateways; SiPh link budget that cannot close) are skipped.)");
   options_set
       .add("--models", "NAMES",
-           "comma list of Table-2 models, or \"all\" (default all;\n"
+           "comma list of registry models, or \"all\" (default all;\n"
            "see --list-models)",
            [&grid](const std::string& value) -> std::optional<std::string> {
              if (value == "all") {
@@ -160,7 +160,8 @@ divisible by gateways; SiPh link budget that cannot close) are skipped.)");
            "breakdown of every scenario as CSV",
            cli::store_string(per_layer_path));
   cli::add_log_flags(options_set, log)
-      .add_action("--list-models", "print the Table-2 model names and exit",
+      .add_action("--list-models",
+                  "print the model registry (name, family, params) and exit",
                   cli::list_models_action())
       .add_action("--list-overrides", "print the valid --set keys and exit",
                   [] {
