@@ -47,6 +47,10 @@ struct ClusterReport {
   ClusterMetrics metrics;
   Placement placement;
   std::vector<PackageBreakdown> packages;
+  /// Rack-level energy/carbon day curve: the per-package curves merged
+  /// pointwise by bucket (buckets are absolute-time indexed, so package
+  /// curves align). Empty unless ElasticSpec::curve_bucket_s > 0.
+  std::vector<serve::DayPoint> day_curve;
 };
 
 }  // namespace optiplet::cluster

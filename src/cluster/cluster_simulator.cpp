@@ -264,6 +264,15 @@ ClusterReport simulate(const ClusterConfig& config) {
     package.system = whole.system;
     package.arch = whole.arch;
     package.pipeline = whole.pipeline;
+    // Every package runs the same elastic policy; faults are delivered
+    // only to the package they name (package < 0 hits all of them).
+    package.elastic = whole.elastic;
+    package.elastic.faults.clear();
+    for (const serve::FaultSpec& fault : whole.elastic.faults) {
+      if (fault.package < 0 || fault.package == static_cast<int>(p)) {
+        package.elastic.faults.push_back(fault);
+      }
+    }
     if (rec != nullptr) {
       obs::RecorderOptions child_options = rec->options();
       child_options.pid = static_cast<int>(p);
@@ -359,6 +368,33 @@ ClusterReport simulate(const ClusterConfig& config) {
       rack.decode_tps += pm.decode_tps;
       rack.kv_peak_bytes = std::max(rack.kv_peak_bytes, pm.kv_peak_bytes);
       rack.ttft_p99_s = std::max(rack.ttft_p99_s, pm.ttft_p99_s);
+      // Elastic counters sum across packages (each package runs its own
+      // policy instance on its own pool).
+      rack.abandoned += pm.abandoned;
+      rack.retries += pm.retries;
+      rack.repartitions += pm.repartitions;
+      rack.repartition_resipi_s += pm.repartition_resipi_s;
+      rack.gate_events += pm.gate_events;
+      rack.gated_idle_s += pm.gated_idle_s;
+      rack.faults_injected += pm.faults_injected;
+      rack.carbon_g += pm.carbon_g;
+      // Merge the package's day curve pointwise: buckets are indexed on
+      // absolute time with a common width, so package curves align.
+      const auto& curve = breakdown.report.day_curve;
+      if (out.day_curve.size() < curve.size()) {
+        const std::size_t old_size = out.day_curve.size();
+        out.day_curve.resize(curve.size());
+        for (std::size_t b = old_size; b < curve.size(); ++b) {
+          out.day_curve[b].t0_s = curve[b].t0_s;
+          out.day_curve[b].dt_s = curve[b].dt_s;
+        }
+      }
+      for (std::size_t b = 0; b < curve.size(); ++b) {
+        out.day_curve[b].offered += curve[b].offered;
+        out.day_curve[b].completed += curve[b].completed;
+        out.day_curve[b].energy_j += curve[b].energy_j;
+        out.day_curve[b].carbon_g += curve[b].carbon_g;
+      }
       utilization = pm.utilization;
       if (pm.offered > 0) {
         first_arrival = std::min(first_arrival, pm.first_arrival_abs_s);
@@ -415,6 +451,16 @@ ClusterReport simulate(const ClusterConfig& config) {
   rack.makespan_s =
       std::max(last_completion - rack.first_arrival_abs_s, 0.0);
   rack.energy_j += metrics.transfer_energy_j;
+  // Transfer energy is carbon-priced flat at the base intensity — the
+  // front end has no time-resolved link schedule to price diurnally.
+  rack.carbon_g +=
+      metrics.transfer_energy_j / 3.6e6 * whole.elastic.carbon_base_gpkwh;
+  for (serve::DayPoint& point : out.day_curve) {
+    if (point.completed > 0) {
+      point.energy_per_request_j =
+          point.energy_j / static_cast<double>(point.completed);
+    }
+  }
   if (!all_latencies.empty()) {
     double sum = 0.0;
     for (const double latency : all_latencies) {

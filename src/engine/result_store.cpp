@@ -118,6 +118,17 @@ std::vector<std::string> ResultStore::csv_header() {
           "transfers",
           "transfer_latency_s",
           "transfer_energy_j",
+          // Elastic-operation columns (PR 10): the policy codec string plus
+          // its counters. "static" with zero counters when the policy is
+          // inert; empty for single-inference rows.
+          "elastic",
+          "repartitions",
+          "repartition_resipi_s",
+          "gate_events",
+          "gated_idle_s",
+          "retries",
+          "abandoned",
+          "carbon_g",
           // Self-profiling columns (PR 8). eval_wall_s and from_cache are
           // populated for every row; the simulator-internals columns only
           // for serving/cluster rows. eval_wall_s is NOT deterministic.
@@ -200,7 +211,18 @@ std::vector<std::string> ResultStore::csv_row(const ScenarioResult& result) {
                   std::to_string(cm.transfers),
                   util::format_general(cm.transfer_latency_s),
                   util::format_general(cm.transfer_energy_j)});
+    } else {
+      row.insert(row.end(), 6, "");  // the elastic block follows
     }
+    row.insert(row.end(),
+               {serve::to_string(spec.elastic),
+                std::to_string(m.repartitions),
+                util::format_general(m.repartition_resipi_s),
+                std::to_string(m.gate_events),
+                util::format_general(m.gated_idle_s),
+                std::to_string(m.retries),
+                std::to_string(m.abandoned),
+                util::format_general(m.carbon_g)});
   } else {
     row.push_back("0");  // "serving" flag column
   }

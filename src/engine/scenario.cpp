@@ -135,6 +135,11 @@ std::string ScenarioSpec::key() const {
        << ";serve.mix=" << serving->tenant_mix
        << ";serve.sla=" << util::format_general(serving->sla_s, 17)
        << ";serve.adm=" << serve::to_string(serving->admission);
+    if (serving->elastic.enabled()) {
+      // Inert elastic policies add nothing: pre-elastic keys stay
+      // byte-identical so existing memo caches and goldens survive.
+      os << ";serve.elastic=" << serve::to_string(serving->elastic);
+    }
     if (!serving->priority_mix.empty()) {
       // Empty means "all class 0"; an explicit mix is part of the
       // experiment identity (priority orders shared-resource grants).
@@ -240,6 +245,7 @@ std::size_t ScenarioGrid::raw_size() const {
     size *= axis(admission_policies.size());
     size *= axis(prefill_token_counts.size());
     size *= axis(decode_token_counts.size());
+    size *= axis(elastic_policies.size());
   }
   if (cluster_mode()) {
     size *= axis(package_counts.size());
@@ -296,6 +302,19 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
       decode_token_counts.empty()
           ? std::vector<std::uint32_t>{serving_defaults.decode_tokens}
           : decode_token_counts;
+  // Parse the elastic-policy axis up front: an unparseable policy string
+  // fails the whole expansion, not the Nth spec.
+  std::vector<serve::ElasticSpec> elastic_axis{serving_defaults.elastic};
+  if (!elastic_policies.empty()) {
+    elastic_axis.clear();
+    for (const std::string& policy : elastic_policies) {
+      const std::optional<serve::ElasticSpec> parsed =
+          serve::elastic_from_string(policy);
+      OPTIPLET_REQUIRE(parsed.has_value(),
+                       "unparseable elastic policy: " + policy);
+      elastic_axis.push_back(*parsed);
+    }
+  }
   const std::vector<std::size_t> package_axis =
       package_counts.empty()
           ? std::vector<std::size_t>{cluster_defaults.packages}
@@ -420,28 +439,34 @@ std::vector<ScenarioSpec> ScenarioGrid::expand(
                            admission_axis) {
                         for (const std::uint32_t prefill : prefill_axis) {
                           for (const std::uint32_t decode : decode_axis) {
-                            partial.serving = serving_defaults;
-                            partial.serving->arrival_rps = rate;
-                            partial.serving->policy = policy;
-                            partial.serving->pipeline = pipeline;
-                            partial.serving->source = source;
-                            partial.serving->users = users;
-                            partial.serving->admission = admission;
-                            partial.serving->prefill_tokens = prefill;
-                            partial.serving->decode_tokens = decode;
-                            if (!cluster_mode()) {
-                              expand_axis(0, partial);
-                              continue;
-                            }
-                            for (const std::size_t packages : package_axis) {
-                              for (const auto balancer : balancer_axis) {
-                                for (const std::size_t replication :
-                                     replication_axis) {
-                                  partial.cluster = cluster_defaults;
-                                  partial.cluster->packages = packages;
-                                  partial.cluster->balancer = balancer;
-                                  partial.cluster->replication = replication;
-                                  expand_axis(0, partial);
+                            for (const serve::ElasticSpec& elastic :
+                                 elastic_axis) {
+                              partial.serving = serving_defaults;
+                              partial.serving->arrival_rps = rate;
+                              partial.serving->policy = policy;
+                              partial.serving->pipeline = pipeline;
+                              partial.serving->source = source;
+                              partial.serving->users = users;
+                              partial.serving->admission = admission;
+                              partial.serving->prefill_tokens = prefill;
+                              partial.serving->decode_tokens = decode;
+                              partial.serving->elastic = elastic;
+                              if (!cluster_mode()) {
+                                expand_axis(0, partial);
+                                continue;
+                              }
+                              for (const std::size_t packages :
+                                   package_axis) {
+                                for (const auto balancer : balancer_axis) {
+                                  for (const std::size_t replication :
+                                       replication_axis) {
+                                    partial.cluster = cluster_defaults;
+                                    partial.cluster->packages = packages;
+                                    partial.cluster->balancer = balancer;
+                                    partial.cluster->replication =
+                                        replication;
+                                    expand_axis(0, partial);
+                                  }
                                 }
                               }
                             }

@@ -131,6 +131,10 @@ struct ScenarioGrid {
   /// keeps the spec fixed-shape.
   std::vector<std::uint32_t> prefill_token_counts;
   std::vector<std::uint32_t> decode_token_counts;
+  /// Elastic-policy axis as serve::elastic_from_string codec strings
+  /// ("static", "shift=0.2/gate=1e-3:1e-4", ...). Expansion parses each
+  /// entry; an unparseable policy throws std::invalid_argument.
+  std::vector<std::string> elastic_policies;
   serve::ServingSpec serving_defaults;
 
   /// --- cluster axes ---
@@ -154,7 +158,8 @@ struct ScenarioGrid {
            !batch_policies.empty() || !pipeline_modes.empty() ||
            !tenant_mixes.empty() || !arrival_sources.empty() ||
            !user_counts.empty() || !admission_policies.empty() ||
-           !prefill_token_counts.empty() || !decode_token_counts.empty();
+           !prefill_token_counts.empty() || !decode_token_counts.empty() ||
+           !elastic_policies.empty();
   }
 
   /// Grid size before feasibility filtering.

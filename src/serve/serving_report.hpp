@@ -78,6 +78,28 @@ struct ServingMetrics {
   /// reserves its final-context footprint while in flight); always <=
   /// the largest per-tenant kv_cache_mb budget.
   std::uint64_t kv_peak_bytes = 0;
+  /// Elastic operation (see docs/elastic-operation.md); all zero when the
+  /// elastic policy is inert. With retries enabled the drain identity
+  /// widens to offered == completed + shed + abandoned.
+  /// Shed requests whose capped retry budget ran out.
+  std::uint64_t abandoned = 0;
+  /// Backoff re-offers of shed requests (<= offered * retry_max_attempts).
+  std::uint64_t retries = 0;
+  /// Pool re-partitions executed (EMA load shifts plus fault-forced).
+  std::uint64_t repartitions = 0;
+  /// ReSiPI PCM-write time serialized on the interposer for re-partitions:
+  /// exactly one write window per repartition event.
+  double repartition_resipi_s = 0.0;
+  /// Idle gaps long enough that a tenant's owned lasers/gateways gated.
+  std::uint64_t gate_events = 0;
+  /// Chiplet-seconds of idle time spent gated (removed from the ledger's
+  /// "serving.idle" burn).
+  double gated_idle_s = 0.0;
+  /// FaultSpec events that fired during the run.
+  std::uint64_t faults_injected = 0;
+  /// Carbon proxy: total energy priced at the (optionally sinusoidal)
+  /// grid intensity [g CO2].
+  double carbon_g = 0.0;
 };
 
 /// Aggregate outcome of one priority class (tenants grouped by their
@@ -87,6 +109,7 @@ struct ClassReport {
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  std::uint64_t abandoned = 0;
   double p99_s = 0.0;
   double sla_violation_rate = 0.0;
   double goodput_rps = 0.0;
@@ -131,6 +154,11 @@ struct TenantReport {
   double ttft_p99_s = 0.0;
   double decode_tps = 0.0;
   std::uint64_t kv_peak_bytes = 0;
+  /// Elastic operation (all zero when the policy is inert).
+  std::uint64_t abandoned = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t gate_events = 0;
+  double gated_idle_s = 0.0;  ///< chiplet-seconds of gated idle
 };
 
 /// One executed batch — or, in layer-granular mode, one pipeline stage of
@@ -156,6 +184,21 @@ struct BatchTrace {
   std::uint64_t batch_id = 0;  ///< per-tenant dispatch sequence number
 };
 
+/// One bucket of the energy-per-request day curve (elastic operation;
+/// produced only when ElasticSpec::curve_bucket_s > 0).
+struct DayPoint {
+  double t0_s = 0.0;  ///< bucket start (absolute simulation time)
+  double dt_s = 0.0;  ///< bucket width
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  /// Batch energy dispatched in the bucket plus the bucket's share of the
+  /// pool's idle static burn.
+  double energy_j = 0.0;
+  double energy_per_request_j = 0.0;  ///< energy_j / completed (0 if none)
+  /// Bucket energy priced at the grid intensity at the bucket midpoint.
+  double carbon_g = 0.0;
+};
+
 /// Everything a serving simulation produces.
 struct ServingReport {
   ServingMetrics metrics;
@@ -174,6 +217,9 @@ struct ServingReport {
   std::vector<std::vector<double>> tenant_latencies;
   /// Per-batch execution trace; empty unless record_batches was set.
   std::vector<BatchTrace> batches;
+  /// Energy-per-request / carbon day curve; empty unless the elastic spec
+  /// set curve_bucket_s > 0.
+  std::vector<DayPoint> day_curve;
   /// Wall-clock the simulate() call took. *Not* deterministic — kept out
   /// of ServingMetrics so determinism tests never compare it.
   double wall_s = 0.0;

@@ -113,6 +113,25 @@ struct TenantState {
   std::vector<double> latencies;
   TenantReport report;
 
+  // --- elastic operation ---
+  /// Whether this tenant currently holds the shared pool. Releases key on
+  /// this, not needs_shared: a re-partition can flip needs_shared while a
+  /// batch dispatched under the old plan still holds the lock.
+  bool holds_shared = false;
+  /// Owned (non-shared) chiplets — the power-gating scope; shared
+  /// chiplets never gate because another tenant may be using them.
+  std::vector<std::size_t> owned;
+  /// Tau-weighted interarrival EMA: the sustained-load signal driving
+  /// re-partitioning (separate from interarrival_ema_s, whose fixed
+  /// smoothing feeds the admission estimate).
+  double gap_ema_s = 0.0;
+  double ema_last_s = -1.0;
+  /// Gating: when the executor went idle (<0 = busy or gating off).
+  double idle_since_s = -1.0;
+  /// Retry backoff jitter; isolated stream (seed ^ "retry") so retries
+  /// never perturb the arrival/think/shape draws.
+  util::Xoshiro256 retry_rng{0};
+
   // --- variable-length (transformer) serving ---
   /// Requests carry token shapes and are priced per phase (prefill +
   /// decode steps) instead of through the fixed-shape batch run.
@@ -174,8 +193,12 @@ struct TenantState {
 /// The event-driven serving engine: all state one simulate() call touches.
 struct Engine {
   const ServingConfig& config;
-  ServiceTimeOracle& oracle;
-  const ColocationPlan& plan;
+  /// Current-generation oracle/plan. Generation 0 lives in simulate()'s
+  /// frame; elastic re-partitions push new generations onto gen_oracles /
+  /// gen_plans and swap these pointers (all generations stay alive, so
+  /// in-flight callbacks and cached references never dangle).
+  ServiceTimeOracle* oracle;
+  const ColocationPlan* plan;
   sim::EventQueue events;
   std::vector<TenantState> tenants;
   ServingReport report;
@@ -208,6 +231,30 @@ struct Engine {
   /// Total KV bytes reserved across tenants (the serve.kv_bytes gauge).
   std::uint64_t kv_total_bytes = 0;
 
+  // --- elastic operation (all inert when config.elastic is default) ---
+  /// Later oracle/plan generations created by re-partitions (generation 0
+  /// is owned by simulate()'s frame).
+  std::vector<std::unique_ptr<ServiceTimeOracle>> gen_oracles;
+  std::vector<std::unique_ptr<ColocationPlan>> gen_plans;
+  /// Immutable per-tenant demand skeleton + models; re-partitions only
+  /// recompute the weights. Populated when the pool can change.
+  std::vector<TenantDemand> base_demands;
+  std::vector<dnn::Model> base_models;
+  /// Current partition weights and their normalized shares (the EMA drift
+  /// signal compares demand shares against alloc_share).
+  std::vector<double> cur_weights;
+  std::vector<double> alloc_share;
+  /// <0 until the first arrival; the cooldown doubles as EMA warm-up.
+  double last_repartition_s = -1.0;
+  /// Pool-global fault state (char: vector<bool> has no data()).
+  std::vector<char> chiplet_dead;
+  std::vector<double> dead_since;
+  /// Gated idle seconds per pool chiplet, subtracted from the idle burn.
+  std::vector<double> chiplet_gated_s;
+  /// Drifted-microring service-latency multiplier (>= 1; exact 1.0 when
+  /// no derate fault fired, so `latency * derate_mult` is bit-exact).
+  double derate_mult = 1.0;
+
   // --- observability (null = disabled; every hook is one branch) ---
   obs::Recorder* rec = nullptr;
   int pid = 0;
@@ -218,7 +265,7 @@ struct Engine {
 
   Engine(const ServingConfig& cfg, ServiceTimeOracle& orc,
          const ColocationPlan& pln)
-      : config(cfg), oracle(orc), plan(pln) {}
+      : config(cfg), oracle(&orc), plan(&pln) {}
 
   /// Shed trace span (zero duration, tagged with the shed reason) and
   /// counter. kSlaShed has exactly one reject reason today; the tag keeps
@@ -304,9 +351,9 @@ struct Engine {
       return it->second;
     }
     const std::uint32_t pm = std::max<std::uint32_t>(ts.prefill_mean, 1);
-    double total = oracle.prefill_run(t, batch, pm).latency_s;
+    double total = oracle->prefill_run(t, batch, pm).latency_s;
     for (std::uint32_t k = 0; k < ts.decode_mean; ++k) {
-      total += oracle.decode_run(t, batch, pm + k).latency_s;
+      total += oracle->decode_run(t, batch, pm + k).latency_s;
     }
     ts.nominal_cache.emplace(batch, total);
     return total;
@@ -338,6 +385,7 @@ struct Engine {
   /// Hand the (still-held) shared pool to a tenant-level waiter.
   void grant_tenant_shared(std::size_t w, double now) {
     TenantState& waiter = tenants[w];
+    waiter.holds_shared = true;
     waiter.report.shared_wait_s += now - waiter.pending_since;
     if (waiter.iter_waiting_shared) {
       waiter.iter_waiting_shared = false;
@@ -508,6 +556,295 @@ struct Engine {
     }
   }
 
+  // ------------------------------------------------------------------
+  // Elastic operation (docs/elastic-operation.md). Every hook below is a
+  // no-op branch when config.elastic is the inert default — the static
+  // code path is bit-identical (degeneracy-tested).
+
+  /// Day-curve bucket covering time `t`, growing the curve as needed;
+  /// null when the curve is disabled.
+  DayPoint* curve_bucket(double t) {
+    const double bucket_s = config.elastic.curve_bucket_s;
+    if (bucket_s <= 0.0) {
+      return nullptr;
+    }
+    const auto idx =
+        static_cast<std::size_t>(std::max(t, 0.0) / bucket_s);
+    OPTIPLET_REQUIRE(idx < (std::size_t{1} << 22),
+                     "day-curve bucket index exploded (curve_bucket_s is "
+                     "too small for the trace span)");
+    if (report.day_curve.size() <= idx) {
+      const std::size_t old_size = report.day_curve.size();
+      report.day_curve.resize(idx + 1);
+      for (std::size_t i = old_size; i < report.day_curve.size(); ++i) {
+        report.day_curve[i].t0_s = static_cast<double>(i) * bucket_s;
+        report.day_curve[i].dt_s = bucket_s;
+      }
+    }
+    return &report.day_curve[idx];
+  }
+
+  /// Rebuild the live pool minus dead chiplets. `id_map` maps the reduced
+  /// pool-global ids the new plan uses back to original ids (valid because
+  /// partition ids are assigned sequentially over groups in group order,
+  /// and removing chiplets preserves that order).
+  [[nodiscard]] accel::PlatformSpec alive_platform(
+      std::vector<std::size_t>& id_map) const {
+    accel::PlatformSpec spec = config.system.compute_2p5d;
+    id_map.clear();
+    std::size_t id = 0;
+    for (auto& group : spec.groups) {
+      std::size_t alive = 0;
+      for (std::size_t c = 0; c < group.chiplet_count; ++c, ++id) {
+        if (id >= chiplet_dead.size() || chiplet_dead[id] == 0) {
+          id_map.push_back(id);
+          ++alive;
+        }
+      }
+      group.chiplet_count = alive;
+    }
+    return spec;
+  }
+
+  static std::vector<std::size_t> remap_ids(
+      std::vector<std::size_t> ids, const std::vector<std::size_t>& id_map) {
+    for (std::size_t& id : ids) {
+      id = id_map[id];
+    }
+    return ids;
+  }
+
+  /// Re-partition the (alive) pool at the given weights and swap in a new
+  /// oracle/plan generation. Charges exactly one serialized ReSiPI
+  /// PCM-write window on the interposer per call, plus write energy for
+  /// every chiplet that changed hands.
+  void repartition(double now, const std::vector<double>& weights,
+                   const char* reason) {
+    last_repartition_s = now;
+    cur_weights = weights;
+    double total_w = 0.0;
+    for (const double w : weights) {
+      total_w += w;
+    }
+    std::vector<std::size_t> id_map;
+    const accel::PlatformSpec alive = alive_platform(id_map);
+    std::vector<TenantDemand> demands = base_demands;
+    for (std::size_t t = 0; t < demands.size(); ++t) {
+      demands[t].weight = weights[t];
+      alloc_share[t] = weights[t] / total_w;
+    }
+    // Throws when a dead chiplet emptied a kind some tenant still needs —
+    // the pool can no longer serve that model at all.
+    auto next = std::make_unique<ColocationPlan>(
+        partition_pool(alive, demands, config.system.tech));
+    std::vector<ServiceTimeOracle::Tenant> oracle_tenants;
+    oracle_tenants.reserve(tenants.size());
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      ServiceTimeOracle::Tenant ot{base_models[t], config.system};
+      ot.config.compute_2p5d = next->tenants[t].platform;
+      ot.transformer = oracle->transformer(t);
+      oracle_tenants.push_back(std::move(ot));
+    }
+    gen_oracles.push_back(std::make_unique<ServiceTimeOracle>(
+        std::move(oracle_tenants), config.arch));
+    // Close open gating gaps against the outgoing ownership before the
+    // owned sets change underneath them.
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      close_gate_gap(t, now);
+    }
+    std::vector<std::size_t> owner(chiplet_dead.size(), kNoTenant);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      for (const std::size_t c : tenants[t].owned) {
+        owner[c] = t;
+      }
+    }
+    std::uint64_t rewritten = 0;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      TenantState& ts = tenants[t];
+      ts.occupancy = remap_ids(next->occupancy(t), id_map);
+      ts.owned = remap_ids(next->tenants[t].owned_chiplets, id_map);
+      ts.needs_shared = !next->tenants[t].shared_kinds.empty();
+      ts.nominal_cache.clear();
+      for (const std::size_t c : ts.owned) {
+        if (owner[c] != t) {
+          rewritten += 1;  // this gateway retunes for a new tenant
+        }
+      }
+    }
+    gen_plans.push_back(std::move(next));
+    plan = gen_plans.back().get();
+    oracle = gen_oracles.back().get();
+    // One PCM-write window, serialized on the shared interposer exactly
+    // like a batch reconfiguration: every tenant's next retune waits.
+    const double write_s = config.system.tech.photonic.pcm.write_time_s;
+    resipi_free_at = std::max(resipi_free_at, now) + write_s;
+    resipi_holder = kNoTenant;
+    report.metrics.repartitions += 1;
+    report.metrics.repartition_resipi_s += write_s;
+    report.ledger.charge_energy(
+        "serving.repartition",
+        static_cast<double>(rewritten) *
+            config.system.tech.photonic.pcm.write_energy_j);
+    if (rec != nullptr) {
+      if (rec->metering()) {
+        rec->metrics().add("elastic.repartitions");
+      }
+      if (rec->tracing()) {
+        rec->trace().add_complete("repartition", "resipi", now,
+                                  now + write_s, pid, resipi_track,
+                                  {obs::arg("reason", std::string(reason)),
+                                   obs::arg("rewritten", rewritten)});
+      }
+    }
+  }
+
+  /// Update the EMA load signal on an arrival and trigger a re-partition
+  /// once the demand shares drift past the threshold (cooldown-limited).
+  void elastic_observe_arrival(std::size_t t, double now) {
+    TenantState& ts = tenants[t];
+    if (ts.ema_last_s >= 0.0) {
+      const double gap = now - ts.ema_last_s;
+      if (ts.gap_ema_s <= 0.0) {
+        ts.gap_ema_s = gap;
+      } else {
+        // Irregular-sample EMA: weight decays with the elapsed gap.
+        const double alpha = 1.0 - std::exp(-gap / config.elastic.ema_tau_s);
+        ts.gap_ema_s = alpha * gap + (1.0 - alpha) * ts.gap_ema_s;
+      }
+    }
+    ts.ema_last_s = now;
+    if (last_repartition_s < 0.0) {
+      last_repartition_s = now;  // cooldown clock starts at first arrival
+      return;
+    }
+    if (tenants.size() < 2 ||
+        now - last_repartition_s < config.elastic.cooldown_s) {
+      return;
+    }
+    double total_rate = 0.0;
+    std::vector<double> rate(tenants.size(), 0.0);
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      if (tenants[i].gap_ema_s <= 0.0) {
+        return;  // no signal from every tenant yet
+      }
+      rate[i] = 1.0 / tenants[i].gap_ema_s;
+      total_rate += rate[i];
+    }
+    double drift = 0.0;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      drift = std::max(drift,
+                       std::abs(rate[i] / total_rate - alloc_share[i]));
+    }
+    if (drift <= config.elastic.shift_threshold) {
+      return;
+    }
+    // Quantize demand shares to sixteenths (min one) so near-identical
+    // signals hit the same partition and the plan does not churn.
+    std::vector<double> weights(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      weights[i] = static_cast<double>(std::max<long>(
+          1, std::lround(16.0 * rate[i] / total_rate)));
+    }
+    if (weights == cur_weights) {
+      last_repartition_s = now;  // evaluated; nothing would change
+      return;
+    }
+    repartition(now, weights, "load_shift");
+  }
+
+  /// Inject one armed fault: apply the bandwidth derate, kill the
+  /// chiplet, and re-partition around the dead hardware (ignoring the
+  /// policy cooldown — a fault is not a load shift).
+  void apply_fault(const FaultSpec& fault) {
+    const double now = events.now();
+    report.metrics.faults_injected += 1;
+    if (fault.bandwidth_derate < 1.0) {
+      derate_mult /= fault.bandwidth_derate;
+    }
+    bool killed = false;
+    const auto c = static_cast<std::size_t>(fault.chiplet);
+    if (fault.chiplet >= 0 && chiplet_dead[c] == 0) {
+      chiplet_dead[c] = 1;
+      dead_since[c] = now;
+      killed = true;
+    }
+    if (rec != nullptr) {
+      if (rec->metering()) {
+        rec->metrics().add("elastic.faults");
+      }
+      if (rec->tracing()) {
+        rec->trace().add_instant(
+            "fault", "fault", now, pid, resipi_track,
+            {obs::arg("chiplet", static_cast<double>(fault.chiplet)),
+             obs::arg("derate", fault.bandwidth_derate)});
+      }
+    }
+    if (killed) {
+      repartition(now, cur_weights, "fault");
+    }
+  }
+
+  /// Close a tenant's open gating gap at `now`: the idle time beyond
+  /// gate_after_s was spent with its owned lasers/gateways dark. Returns
+  /// the gated wall-seconds (0 when the gap never crossed the threshold).
+  /// Lazy — no timer events, so an inert run's event count is untouched.
+  double close_gate_gap(std::size_t t, double now) {
+    TenantState& ts = tenants[t];
+    if (!config.elastic.gate || ts.idle_since_s < 0.0) {
+      return 0.0;
+    }
+    const double gated = now - ts.idle_since_s - config.elastic.gate_after_s;
+    ts.idle_since_s = now;  // continuing idleness re-measures from here
+    if (gated <= 0.0) {
+      return 0.0;
+    }
+    ts.report.gate_events += 1;
+    ts.report.gated_idle_s += gated * static_cast<double>(ts.owned.size());
+    for (const std::size_t c : ts.owned) {
+      chiplet_gated_s[c] += gated;
+    }
+    if (rec != nullptr) {
+      if (rec->metering()) {
+        rec->metrics().add("elastic.gate_events");
+        rec->metrics().add("elastic.gated_idle_s", gated);
+      }
+      if (rec->tracing()) {
+        rec->trace().add_complete("gated", "gate", now - gated, now, pid,
+                                  tenant_tracks[t],
+                                  {obs::arg("tenant", ts.report.name)});
+      }
+    }
+    return gated;
+  }
+
+  /// Gating hook at dispatch: returns the batch's start time, delayed by
+  /// the wake latency when the tenant's hardware had gated.
+  double elastic_wake(std::size_t t, double now) {
+    TenantState& ts = tenants[t];
+    if (!config.elastic.gate) {
+      return now;
+    }
+    const double gated = close_gate_gap(t, now);
+    ts.idle_since_s = -1.0;  // busy again
+    return gated > 0.0 ? now + config.elastic.wake_s : now;
+  }
+
+  /// Abandoned-request span (retry budget exhausted) and counter.
+  void record_abandoned(std::size_t t, const Request& r, double now) {
+    if (rec->metering()) {
+      rec->metrics().add("serve.abandoned");
+    }
+    if (rec->tracing()) {
+      rec->trace().add_complete(
+          "request", "request", r.arrival_s, now, pid, tenant_tracks[t],
+          {obs::arg("tenant", tenants[t].report.name),
+           obs::arg("outcome", "abandoned"),
+           obs::arg("attempts",
+                    static_cast<std::uint64_t>(
+                        config.elastic.retry_max_attempts))});
+    }
+  }
+
   /// One request reaches the tenant: count it, run admission, enqueue or
   /// shed, and poke the dispatcher. Shared by every arrival source.
   void arrive(std::size_t t) {
@@ -534,6 +871,9 @@ struct Engine {
     if (rec != nullptr && rec->metering()) {
       rec->metrics().add("serve.offered");
     }
+    if (DayPoint* bucket = curve_bucket(now)) {
+      bucket->offered += 1;
+    }
     if (ts.last_arrival_s >= 0.0) {
       const double gap = now - ts.last_arrival_s;
       ts.interarrival_ema_s = ts.interarrival_ema_s == 0.0
@@ -541,10 +881,46 @@ struct Engine {
                                   : 0.25 * gap + 0.75 * ts.interarrival_ema_s;
     }
     ts.last_arrival_s = now;
+    if (config.elastic.repartitioning()) {
+      elastic_observe_arrival(t, now);
+    }
+    offer(t, std::move(request), 0);
+  }
+
+  /// Admission + enqueue for a fresh arrival (attempt 0) or a backoff
+  /// re-offer. A shed with retry budget left defers and re-offers the
+  /// same request (same id/arrival/shape — no extra arrival or token RNG
+  /// draws); an exhausted budget abandons it.
+  void offer(std::size_t t, Request request, unsigned attempt) {
+    TenantState& ts = tenants[t];
+    const double now = events.now();
     if (ts.admission == AdmissionPolicy::kSlaShed && !admit(t)) {
-      ts.report.shed += 1;
-      if (rec != nullptr) {
-        record_shed(t, now);
+      if (attempt < config.elastic.retry_max_attempts) {
+        // Seeded exponential backoff with jitter: attempt k re-offers
+        // after backoff * 2^k * U[1, 2).
+        const double backoff = config.elastic.retry_backoff_s *
+                               std::ldexp(1.0, static_cast<int>(attempt)) *
+                               (1.0 + ts.retry_rng.next_double());
+        ts.report.retries += 1;
+        if (rec != nullptr && rec->metering()) {
+          rec->metrics().add("serve.retries");
+        }
+        events.schedule_in(
+            backoff, [this, t, r = std::move(request), attempt]() mutable {
+              offer(t, std::move(r), attempt + 1);
+            });
+        return;
+      }
+      if (config.elastic.retrying()) {
+        ts.report.abandoned += 1;
+        if (rec != nullptr) {
+          record_abandoned(t, request, now);
+        }
+      } else {
+        ts.report.shed += 1;
+        if (rec != nullptr) {
+          record_shed(t, now);
+        }
       }
       issue_closed(t);  // the user gets its rejection notice immediately
       return;
@@ -574,9 +950,10 @@ struct Engine {
                                  batching.policy == BatchPolicy::kContinuous
                              ? 1
                              : batching.max_batch;
-    const double batch_s = ts.var_length
-                               ? nominal_batch_s(t, cap)
-                               : oracle.batch_run(t, cap).latency_s;
+    const double batch_s = (ts.var_length
+                                ? nominal_batch_s(t, cap)
+                                : oracle->batch_run(t, cap).latency_s) *
+                           derate_mult;
     double amortized_s =
         config.pipeline == PipelineMode::kLayerGranular && !ts.var_length
             ? batch_s / static_cast<double>(
@@ -622,7 +999,8 @@ struct Engine {
         dispatch_size == cap
             ? batch_s
             : (ts.var_length ? nominal_batch_s(t, dispatch_size)
-                             : oracle.batch_run(t, dispatch_size).latency_s);
+                             : oracle->batch_run(t, dispatch_size).latency_s) *
+                  derate_mult;
     const double predicted_latency_s = std::max(backlog_start_s - now, 0.0) +
                                        queued_batches * amortized_s +
                                        fill_s + own_batch_s;
@@ -706,10 +1084,13 @@ struct Engine {
     }
     std::vector<Request> batch = ts.queue.take(ts.arrivals_done);
     ts.busy = true;
-    if (ts.needs_shared && !acquire_shared_for_tenant(t)) {
-      ts.pending = std::move(batch);
-      ts.pending_since = now;
-      return;
+    if (ts.needs_shared) {
+      if (!acquire_shared_for_tenant(t)) {
+        ts.pending = std::move(batch);
+        ts.pending_since = now;
+        return;
+      }
+      ts.holds_shared = true;
     }
     begin_execution(t, std::move(batch));
   }
@@ -722,9 +1103,9 @@ struct Engine {
     }
     const double now = events.now();
     const auto batch_size = static_cast<unsigned>(batch.size());
-    const core::RunResult& run = oracle.batch_run(t, batch_size);
+    const core::RunResult& run = oracle->batch_run(t, batch_size);
 
-    double start = now;
+    double start = elastic_wake(t, now);
     double resipi_window_s = 0.0;
     if (config.arch == accel::Architecture::kSiph2p5D &&
         run.resipi_reconfigurations > 0) {
@@ -744,7 +1125,9 @@ struct Engine {
       resipi_holder = t;
       resipi_free_at = start + resipi_window_s;
     }
-    const double end = start + run.latency_s;
+    // derate_mult is exactly 1.0 unless a drift fault fired, so the
+    // multiply is bit-exact on the static path.
+    const double end = start + run.latency_s * derate_mult;
     ts.est_free_s = end;
     if (ts.needs_shared) {
       note_shared_busy_until(ts.priority, end);
@@ -757,6 +1140,9 @@ struct Engine {
     ts.report.energy_j += run.energy_j;
     ts.report.batches += 1;
     report.ledger.merge(run.ledger);
+    if (DayPoint* bucket = curve_bucket(start)) {
+      bucket->energy_j += run.energy_j;
+    }
     if (config.record_batches) {
       BatchTrace trace;
       trace.tenant = t;
@@ -800,9 +1186,9 @@ struct Engine {
       dmax = std::max(dmax, r.shape.decode_tokens);
       footprint += footprint_bytes(ts, r.shape);
     }
-    const core::RunResult& pre = oracle.prefill_run(t, batch_size, pmax);
+    const core::RunResult& pre = oracle->prefill_run(t, batch_size, pmax);
 
-    double start = now;
+    double start = elastic_wake(t, now);
     double resipi_window_s = 0.0;
     if (config.arch == accel::Architecture::kSiph2p5D &&
         pre.resipi_reconfigurations > 0) {
@@ -825,13 +1211,13 @@ struct Engine {
     double energy_j = pre.energy_j;
     report.ledger.merge(pre.ledger);
     for (std::uint32_t k = 0; k < dmax; ++k) {
-      const core::RunResult& step = oracle.decode_run(t, batch_size, pmax + k);
+      const core::RunResult& step = oracle->decode_run(t, batch_size, pmax + k);
       total_s += step.latency_s;
       energy_j += step.energy_j;
       report.ledger.merge(step.ledger);
     }
-    const double end = start + total_s;
-    const double prefill_end = start + pre.latency_s;
+    const double end = start + total_s * derate_mult;
+    const double prefill_end = start + pre.latency_s * derate_mult;
     ts.est_free_s = end;
     if (ts.needs_shared) {
       note_shared_busy_until(ts.priority, end);
@@ -850,6 +1236,9 @@ struct Engine {
     ts.report.busy_s += end - start;
     ts.report.energy_j += energy_j;
     ts.report.batches += 1;
+    if (DayPoint* bucket = curve_bucket(start)) {
+      bucket->energy_j += energy_j;
+    }
     if (config.record_batches) {
       BatchTrace trace;
       trace.tenant = t;
@@ -902,6 +1291,9 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += batch.size();
+    if (DayPoint* bucket = curve_bucket(now)) {
+      bucket->completed += batch.size();
+    }
     if (ts.var_length) {
       std::uint64_t footprint = 0;
       for (const Request& r : batch) {
@@ -917,9 +1309,15 @@ struct Engine {
       issue_closed(t);  // each response frees one closed-loop user
     }
     ts.busy = false;
+    if (config.elastic.gate) {
+      ts.idle_since_s = now;  // closed (or re-measured) at the next dispatch
+    }
     last_completion_s = std::max(last_completion_s, now);
-    if (ts.needs_shared) {
+    if (ts.holds_shared) {
       // Release the shared pool; grant priority-first (FIFO in class).
+      // Keyed on holds_shared, not needs_shared: a re-partition may have
+      // flipped needs_shared while this batch held the lock.
+      ts.holds_shared = false;
       release_shared_from_tenant(now);
     }
     try_dispatch(t);
@@ -964,12 +1362,18 @@ struct Engine {
       }
     }
     if (ts.active.empty()) {
+      if (config.elastic.gate && ts.idle_since_s < 0.0) {
+        ts.idle_since_s = now;  // busy period over: hardware may gate
+      }
       return;  // busy period over; the next arrival restarts it
     }
-    if (ts.needs_shared && !acquire_shared_for_tenant(t)) {
-      ts.iter_waiting_shared = true;
-      ts.pending_since = now;
-      return;
+    if (ts.needs_shared) {
+      if (!acquire_shared_for_tenant(t)) {
+        ts.iter_waiting_shared = true;
+        ts.pending_since = now;
+        return;
+      }
+      ts.holds_shared = true;
     }
     continuous_iterate(t);
   }
@@ -997,7 +1401,7 @@ struct Engine {
   void run_cont_iteration(std::size_t t, std::vector<std::size_t> fresh) {
     TenantState& ts = tenants[t];
     const bool prefill_phase = !fresh.empty();
-    double start = events.now();
+    double start = elastic_wake(t, events.now());
     const core::RunResult* run = nullptr;
     double resipi_window_s = 0.0;
     if (prefill_phase) {
@@ -1005,7 +1409,7 @@ struct Engine {
       for (const std::size_t i : fresh) {
         pmax = std::max(pmax, ts.active[i].request.shape.prefill_tokens);
       }
-      run = &oracle.prefill_run(t, static_cast<unsigned>(fresh.size()),
+      run = &oracle->prefill_run(t, static_cast<unsigned>(fresh.size()),
                                 pmax);
       // The prefill retunes gateways exactly like a batch dispatch;
       // decode iterations reuse the configuration and never retune.
@@ -1034,7 +1438,7 @@ struct Engine {
       for (const ActiveSeq& seq : ts.active) {
         kv_max = std::max(kv_max, seq.kv_tokens);
       }
-      run = &oracle.decode_run(t, static_cast<unsigned>(ts.active.size()),
+      run = &oracle->decode_run(t, static_cast<unsigned>(ts.active.size()),
                                kv_max);
     }
     // Busy-period anchoring: contiguous iterations telescope through the
@@ -1046,7 +1450,7 @@ struct Engine {
       ts.report.energy_j += ts.energy_accum_j;
       ts.energy_accum_j = 0.0;
     }
-    ts.accum_s += run->latency_s;
+    ts.accum_s += run->latency_s * derate_mult;
     const double end = ts.origin_s + ts.accum_s;
     ts.est_free_s = end;
     if (ts.needs_shared) {
@@ -1061,6 +1465,9 @@ struct Engine {
     ts.report.busy_s += end - start;
     ts.energy_accum_j += run->energy_j;
     report.ledger.merge(run->ledger);
+    if (DayPoint* bucket = curve_bucket(start)) {
+      bucket->energy_j += run->energy_j;
+    }
     if (config.record_batches) {
       BatchTrace trace;
       trace.tenant = t;
@@ -1138,6 +1545,9 @@ struct Engine {
         ts.latencies.push_back(now - r.arrival_s);
       }
       ts.report.completed += done.size();
+      if (DayPoint* bucket = curve_bucket(now)) {
+        bucket->completed += done.size();
+      }
       kv_update(t, released, false);
       if (rec != nullptr) {
         record_completions(t, done, now);
@@ -1147,7 +1557,8 @@ struct Engine {
       }
       last_completion_s = std::max(last_completion_s, now);
     }
-    if (ts.needs_shared) {
+    if (ts.holds_shared) {
+      ts.holds_shared = false;
       release_shared_from_tenant(now);
     }
     continuous_step(t);
@@ -1166,8 +1577,8 @@ struct Engine {
         it != ts.stage_cache.end()) {
       return it->second;
     }
-    const LayerSchedule& schedule = oracle.layer_schedule(t, batch);
-    const auto& shared_kinds = plan.tenants[t].shared_kinds;
+    const LayerSchedule& schedule = oracle->layer_schedule(t, batch);
+    const auto& shared_kinds = plan->tenants[t].shared_kinds;
     std::vector<ExecStage> stages;
     for (const PipelineStage& ps : schedule.stages) {
       const bool shared =
@@ -1261,7 +1672,7 @@ struct Engine {
     double start = events.now();
     double resipi_window_s = 0.0;
     if (b->stage == 0) {
-      const core::RunResult& run = oracle.batch_run(t, batch_size);
+      const core::RunResult& run = oracle->batch_run(t, batch_size);
       // The batch's own reconfiguration window, as in batch-granular mode:
       // the PCM writes are charged inside the run's latency; the window
       // only excludes *other* tenants' writes.
@@ -1285,6 +1696,9 @@ struct Engine {
       ts.report.energy_j += run.energy_j;
       ts.report.batches += 1;
       report.ledger.merge(run.ledger);
+      if (DayPoint* bucket = curve_bucket(start)) {
+        bucket->energy_j += run.energy_j;
+      }
       if (rec != nullptr) {
         record_dispatch_metrics(batch_size, run);
       }
@@ -1430,6 +1844,9 @@ struct Engine {
       ts.latencies.push_back(now - r.arrival_s);
     }
     ts.report.completed += b->requests.size();
+    if (DayPoint* bucket = curve_bucket(now)) {
+      bucket->completed += b->requests.size();
+    }
     if (rec != nullptr) {
       record_completions(b->tenant, b->requests, now);
     }
@@ -1557,6 +1974,44 @@ ServingReport simulate(const ServingConfig& config) {
   OPTIPLET_REQUIRE(!config.tenants.empty(), "serving needs >= 1 tenant");
   const auto wall_t0 = std::chrono::steady_clock::now();
 
+  const ElasticSpec& elastic = config.elastic;
+  OPTIPLET_REQUIRE(elastic.ema_tau_s > 0.0, "elastic ema_tau_s must be > 0");
+  OPTIPLET_REQUIRE(elastic.cooldown_s >= 0.0 && elastic.gate_after_s >= 0.0 &&
+                       elastic.wake_s >= 0.0 &&
+                       elastic.retry_backoff_s >= 0.0 &&
+                       elastic.curve_bucket_s >= 0.0,
+                   "elastic durations must be non-negative");
+  OPTIPLET_REQUIRE(elastic.carbon_base_gpkwh >= 0.0 &&
+                       elastic.carbon_amplitude >= 0.0 &&
+                       elastic.carbon_amplitude <= 1.0 &&
+                       elastic.carbon_period_s > 0.0,
+                   "carbon proxy needs base >= 0, amplitude in [0, 1], "
+                   "period > 0");
+  bool pool_elastic = elastic.repartitioning();
+  bool any_armed = false;
+  for (const FaultSpec& fault : elastic.faults) {
+    OPTIPLET_REQUIRE(
+        fault.bandwidth_derate > 0.0 && fault.bandwidth_derate <= 1.0,
+        "fault bandwidth_derate must be in (0, 1]");
+    if (fault.armed()) {
+      any_armed = true;
+      if (fault.chiplet >= 0) {
+        pool_elastic = true;
+      }
+    }
+  }
+  // Re-partitioning and faults need batch-granular dispatch: the
+  // layer-granular resource table and stage chains are built once and
+  // cannot follow a mid-run ownership change.
+  OPTIPLET_REQUIRE(
+      (!pool_elastic && !any_armed) ||
+          config.pipeline == PipelineMode::kBatchGranular,
+      "elastic re-partitioning and fault injection require batch-granular "
+      "pipeline mode");
+  OPTIPLET_REQUIRE(!pool_elastic ||
+                       config.arch != accel::Architecture::kMonolithicCrossLight,
+                   "elastic re-partitioning needs the 2.5D chiplet pool");
+
   std::vector<std::string> model_names;
   std::vector<double> weights;
   for (const auto& setup : config.tenants) {
@@ -1571,6 +2026,31 @@ ServingReport simulate(const ServingConfig& config) {
   Engine engine(config, oracle, plan);
   engine.report.chiplet_busy_s.assign(plan.chiplet_active_power_w.size(),
                                       0.0);
+  engine.chiplet_dead.assign(plan.chiplet_active_power_w.size(), 0);
+  engine.dead_since.assign(plan.chiplet_active_power_w.size(), 0.0);
+  engine.chiplet_gated_s.assign(plan.chiplet_active_power_w.size(), 0.0);
+  engine.cur_weights = weights;
+  {
+    double total_w = 0.0;
+    for (const double w : weights) {
+      total_w += w;
+    }
+    engine.alloc_share.resize(weights.size());
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      engine.alloc_share[t] = weights[t] / total_w;
+    }
+  }
+  if (pool_elastic) {
+    // Keep the demand skeleton so re-partitions only swap the weights.
+    for (std::size_t t = 0; t < setup.models.size(); ++t) {
+      TenantDemand demand;
+      demand.needed_kinds = needed_kinds(dnn::compute_workload(
+          setup.models[t], config.system.parameter_bits));
+      demand.weight = weights[t];
+      engine.base_demands.push_back(std::move(demand));
+    }
+    engine.base_models = std::move(setup.models);
+  }
   engine.tenants.reserve(config.tenants.size());
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     const TenantSetup& setup = config.tenants[t];
@@ -1673,6 +2153,8 @@ ServingReport simulate(const ServingConfig& config) {
     state.priority = setup.priority;
     state.needs_shared = !plan.tenants[t].shared_kinds.empty();
     state.occupancy = plan.occupancy(t);
+    state.owned = plan.tenants[t].owned_chiplets;
+    state.retry_rng = util::Xoshiro256(setup.seed ^ 0x7265747279ULL);
     state.report.name = setup.name.empty() ? setup.model : setup.name;
     state.report.model = setup.model;
     state.report.priority = setup.priority;
@@ -1822,7 +2304,26 @@ ServingReport simulate(const ServingConfig& config) {
     });
   }
 
+  for (const FaultSpec& fault : config.elastic.faults) {
+    if (!fault.armed()) {
+      continue;  // t = inf (or a no-op spec) schedules nothing: inert.
+    }
+    OPTIPLET_REQUIRE(
+        fault.chiplet < static_cast<int>(plan.chiplet_active_power_w.size()),
+        "fault chiplet id out of the pool");
+    engine.events.schedule_at(fault.time_s, [&engine, fault] {
+      engine.apply_fault(fault);
+    });
+  }
+
   engine.events.run();
+  if (config.elastic.gate) {
+    // Close every open idle gap at the measured-window end so tail idle
+    // past the gate threshold is gated like any interior gap.
+    for (std::size_t t = 0; t < engine.tenants.size(); ++t) {
+      engine.close_gate_gap(t, engine.last_completion_s);
+    }
+  }
   OPTIPLET_ASSERT(engine.shared_waiters.empty(),
                   "serving drained with tenants still queued on the pool");
   for (const Resource& resource : engine.resources) {
@@ -1877,6 +2378,10 @@ ServingReport simulate(const ServingConfig& config) {
     m.handoff_resipi_s += ts.report.handoff_resipi_s;
     m.decode_tps += ts.report.decode_tps;
     m.kv_peak_bytes = std::max(m.kv_peak_bytes, ts.report.kv_peak_bytes);
+    m.abandoned += ts.report.abandoned;
+    m.retries += ts.report.retries;
+    m.gate_events += ts.report.gate_events;
+    m.gated_idle_s += ts.report.gated_idle_s;
     all_ttfts.insert(all_ttfts.end(), ts.ttfts.begin(), ts.ttfts.end());
     batches += ts.report.batches;
     ClassReport& cls = classes[ts.priority];
@@ -1884,6 +2389,7 @@ ServingReport simulate(const ServingConfig& config) {
     cls.offered += ts.report.offered;
     cls.completed += ts.report.completed;
     cls.shed += ts.report.shed;
+    cls.abandoned += ts.report.abandoned;
     std::vector<double>& cls_lat = class_latencies[ts.priority];
     cls_lat.insert(cls_lat.end(), ts.latencies.begin(), ts.latencies.end());
     for (const double l : ts.latencies) {
@@ -1896,8 +2402,11 @@ ServingReport simulate(const ServingConfig& config) {
     out.tenants.push_back(ts.report);
     out.tenant_latencies.push_back(std::move(ts.latencies));
   }
-  OPTIPLET_ASSERT(m.offered == m.completed + m.shed,
-                  "serving lost requests: offered != completed + shed");
+  // Every offered request is completed, shed outright, or abandoned after
+  // its capped retry budget — the drain identity the property tests pin.
+  OPTIPLET_ASSERT(
+      m.offered == m.completed + m.shed + m.abandoned,
+      "serving lost requests: offered != completed + shed + abandoned");
   for (auto& [priority, cls] : classes) {
     const std::vector<double>& lat = class_latencies[priority];
     if (!lat.empty()) {
@@ -1941,10 +2450,20 @@ ServingReport simulate(const ServingConfig& config) {
     for (std::size_t c = 0; c < out.chiplet_busy_s.size(); ++c) {
       const double busy = std::min(out.chiplet_busy_s[c], makespan);
       busy_fraction_sum += busy / makespan;
+      // Dark time draws no idle burn: seconds the chiplet's lasers were
+      // power-gated, plus everything after a dead chiplet's fault time.
+      // `dark_s - 0.0` stays IEEE-exact when the elastic policy is inert.
+      double dark_s = engine.chiplet_gated_s[c];
+      if (engine.chiplet_dead[c] != 0) {
+        dark_s += std::max(engine.last_completion_s -
+                               std::max(engine.dead_since[c], first_arrival),
+                           0.0);
+      }
+      dark_s = std::min(dark_s, makespan - busy);
       out.ledger.charge_power_for("serving.idle",
                                   plan.chiplet_active_power_w[c] *
                                       config.system.idle_power_fraction,
-                                  makespan - busy);
+                                  makespan - busy - dark_s);
     }
     if (!out.chiplet_busy_s.empty()) {
       m.utilization =
@@ -1960,8 +2479,51 @@ ServingReport simulate(const ServingConfig& config) {
     m.mean_batch = static_cast<double>(m.completed) /
                    static_cast<double>(std::max<std::uint64_t>(batches, 1));
   }
+  // Carbon proxy: total energy priced at the grid intensity [g CO2/kWh],
+  // optionally sinusoidal over the diurnal period (J -> kWh is / 3.6e6).
+  const auto intensity_gpkwh = [&config](double t) {
+    const ElasticSpec& e = config.elastic;
+    if (e.carbon_amplitude <= 0.0) {
+      return e.carbon_base_gpkwh;
+    }
+    constexpr double kTau = 6.283185307179586;  // 2*pi
+    return e.carbon_base_gpkwh *
+           (1.0 + e.carbon_amplitude * std::sin(kTau * t / e.carbon_period_s));
+  };
+  if (!out.day_curve.empty()) {
+    // Batch energy landed in its dispatch bucket; the pool's idle burn is
+    // apportioned by each bucket's overlap with the measured window. Each
+    // bucket then prices at its midpoint intensity, so the curve exposes
+    // when the energy was drawn, not just how much.
+    const double idle_j = idle_it != out.ledger.entries().end()
+                              ? idle_it->second.dynamic_energy_j
+                              : 0.0;
+    const double window_s = engine.last_completion_s - first_arrival;
+    for (DayPoint& p : out.day_curve) {
+      const double lo = std::max(p.t0_s, first_arrival);
+      const double hi =
+          std::min(p.t0_s + p.dt_s, engine.last_completion_s);
+      if (window_s > 0.0 && hi > lo) {
+        p.energy_j += idle_j * (hi - lo) / window_s;
+      }
+      if (p.completed > 0) {
+        p.energy_per_request_j =
+            p.energy_j / static_cast<double>(p.completed);
+      }
+      p.carbon_g =
+          p.energy_j / 3.6e6 * intensity_gpkwh(p.t0_s + 0.5 * p.dt_s);
+      m.carbon_g += p.carbon_g;
+    }
+  } else {
+    // No curve: price the whole run flat at the base intensity.
+    m.carbon_g = m.energy_j / 3.6e6 * config.elastic.carbon_base_gpkwh;
+  }
   m.service_cache_hits = oracle.cache_hits();
   m.service_cache_misses = oracle.cache_misses();
+  for (const auto& gen : engine.gen_oracles) {
+    m.service_cache_hits += gen->cache_hits();
+    m.service_cache_misses += gen->cache_misses();
+  }
   if (rec != nullptr) {
     if (rec->metering()) {
       // Final snapshot closing the run (the queue is drained by now).
@@ -1978,7 +2540,7 @@ ServingReport simulate(const ServingConfig& config) {
           "serving_totals", "summary", engine.last_completion_s, engine.pid,
           rec->trace().track(engine.pid, "summary"),
           {obs::arg("offered", m.offered), obs::arg("completed", m.completed),
-           obs::arg("shed", m.shed)});
+           obs::arg("shed", m.shed), obs::arg("abandoned", m.abandoned)});
     }
   }
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -1994,6 +2556,7 @@ ServingConfig make_serving_config(const core::SystemConfig& base,
   config.system = base;
   config.arch = arch;
   config.pipeline = spec.pipeline;
+  config.elastic = spec.elastic;
 
   const std::vector<std::string> mix = spec.tenants();
   OPTIPLET_REQUIRE(!mix.empty(), "empty tenant mix");

@@ -148,6 +148,10 @@ struct ServingConfig {
   /// trace (occupancy, reconfiguration windows) into the report — for
   /// tests; costs memory on long runs.
   bool record_batches = false;
+  /// Runtime-elasticity policy: EMA-driven re-partitioning, idle
+  /// power-gating, fault injection, and client retry (see elastic.hpp).
+  /// The default is inert — bit-identical to the static run.
+  ElasticSpec elastic;
   /// Observability sink (request-lifecycle trace spans + metric
   /// snapshots). Null disables observability at near-zero cost; attaching
   /// a recorder never changes the simulation's results. Not owned; must

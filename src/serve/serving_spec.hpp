@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "serve/elastic.hpp"
+
 namespace optiplet::util {
 class Xoshiro256;
 }
@@ -240,6 +242,9 @@ struct ServingSpec {
   /// tokens resident in a tenant's decode working set and thereby caps
   /// its concurrent decode slots.
   double kv_cache_mb = 256.0;
+  /// Runtime-elasticity policy (re-partitioning, power-gating, faults,
+  /// retry). The default is provably inert — see elastic.hpp.
+  ElasticSpec elastic;
 
   /// Tenant model names of `tenant_mix`, in order ("A+B" -> {"A", "B"}).
   [[nodiscard]] std::vector<std::string> tenants() const;

@@ -63,6 +63,22 @@ cluster_scale_sweep.csv
     balancer achieves at least the round-robin goodput (it only deviates
     from the fallback policy to avoid photonic transfer hops)
 
+elastic_day_sweep.csv
+  * schema/finiteness, availability and fractions in [0, 1], energy per
+    request positive wherever anything completed
+  * all four policy rows present (static, elastic, elastic_gated,
+    faulted) over the same offered stream
+  * the headline elasticity contract: elastic + gating spends measurably
+    less energy per request than the static partition at off-peak (the
+    idle burn it removes is largest exactly when the diurnal trough
+    leaves chiplets dark), and its total idle ledger energy never
+    exceeds the ungated run's
+  * gating consistency: zero gate events means zero gated seconds, and
+    only gated policies may report them
+  * fault tolerance: the faulted day actually injected its fault and
+    kept availability above zero — degraded-but-serving, never dark —
+    while its goodput does not beat the healthy static day
+
 Usage: check_bench_csv.py FILE [FILE ...]
 Files are dispatched on their basename. Exits non-zero on any violation.
 """
@@ -611,12 +627,101 @@ def check_transformer(path):
             )
 
 
+def check_elastic(path):
+    numeric_cols = [
+        "offered",
+        "completed",
+        "abandoned",
+        "availability",
+        "goodput_rps",
+        "energy_per_request_j",
+        "offpeak_epr_j",
+        "peak_epr_j",
+        "idle_energy_j",
+        "gated_idle_s",
+        "gate_events",
+        "repartitions",
+        "retries",
+        "faults_injected",
+        "carbon_g",
+    ]
+    rows = {}
+    for row in read_rows(path, ["policy"] + numeric_cols):
+        values = {c: numeric(path, row, c) for c in numeric_cols}
+        if any(v is None for v in values.values()):
+            return
+        rows[row["policy"]] = values
+        if not 0.0 <= values["availability"] <= 1.0 + 1e-9:
+            fail(path, f"availability out of [0, 1]: {values['availability']:g}")
+        if values["completed"] > 0 and values["energy_per_request_j"] <= 0:
+            fail(
+                path,
+                f"non-positive energy per request with completions: "
+                f"{values['energy_per_request_j']:g}",
+            )
+        if values["gate_events"] == 0 and values["gated_idle_s"] != 0:
+            fail(
+                path,
+                f"{values['gated_idle_s']:g} s gated without a gate event",
+            )
+        if values["idle_energy_j"] < 0 or values["carbon_g"] < 0:
+            fail(path, "negative idle energy or carbon")
+
+    expected = {"static", "elastic", "elastic_gated", "faulted"}
+    if set(rows) != expected:
+        fail(
+            path,
+            f"policy rows {sorted(rows)} != expected {sorted(expected)}",
+        )
+        return
+    static, gated, faulted = (
+        rows["static"],
+        rows["elastic_gated"],
+        rows["faulted"],
+    )
+    if any(r["offered"] != static["offered"] for r in rows.values()):
+        fail(path, "policies did not replay the same offered stream")
+
+    # The headline contract: power-gating the diurnal trough must buy a
+    # measurable off-peak energy-per-request win over the static
+    # partition — 2% is far below the observed ~35% and far above float
+    # noise, so a miss means the gating path stopped removing idle burn.
+    if gated["offpeak_epr_j"] > static["offpeak_epr_j"] * 0.98:
+        fail(
+            path,
+            f"gated off-peak energy/request {gated['offpeak_epr_j']:g} did "
+            f"not beat static {static['offpeak_epr_j']:g} by 2%",
+        )
+    if gated["idle_energy_j"] > static["idle_energy_j"]:
+        fail(
+            path,
+            f"gated idle ledger energy {gated['idle_energy_j']:g} exceeds "
+            f"ungated {static['idle_energy_j']:g}",
+        )
+    if static["gate_events"] != 0 or rows["elastic"]["gate_events"] != 0:
+        fail(path, "an ungated policy reported gate events")
+
+    # Degraded but serving: the fault fired, the day kept completing
+    # requests, and the broken pool cannot out-serve the healthy one.
+    if faulted["faults_injected"] < 1:
+        fail(path, "the faulted day injected no fault")
+    if faulted["availability"] <= 0:
+        fail(path, "the faulted day served nothing — availability 0")
+    if faulted["goodput_rps"] > static["goodput_rps"] / PAIR_TOLERANCE:
+        fail(
+            path,
+            f"faulted goodput {faulted['goodput_rps']:g} beats the healthy "
+            f"static day {static['goodput_rps']:g}",
+        )
+
+
 CHECKERS = {
     "serving_load_sweep.csv": check_serving,
     "noc_photonic_traffic.csv": check_noc,
     "cluster_scale_sweep.csv": check_cluster,
     "sim_speed_sweep.csv": check_sim_speed,
     "transformer_serving_sweep.csv": check_transformer,
+    "elastic_day_sweep.csv": check_elastic,
 }
 
 

@@ -13,8 +13,10 @@ Checks the Chrome trace-event files written by `--trace-out`
   (the writer sorts stably by ts; a violation means a corrupted merge)
 * per package (pid), the request-span census reconciles with that
   package's `serving_totals` summary instant exactly:
-  offered == request spans == completed spans + shed spans, and every
-  shed span is zero-duration with a `shed_reason` tag
+  offered == request spans == completed + shed + abandoned spans (an
+  abandoned span is a client whose retry budget ran out — see
+  docs/elastic-operation.md), and every shed span is zero-duration with
+  a `shed_reason` tag
 
 See docs/observability.md for the span taxonomy. CI's bench-smoke job
 runs this on a diurnal-trace artifact; `tests/obs/` covers the same
@@ -86,16 +88,18 @@ def check_monotone_tracks(path, events, failures):
 
 
 def check_request_reconciliation(path, events, failures):
-    """offered == request spans == completed + shed, per package."""
-    spans = {}  # pid -> [completed, shed]
-    totals = {}  # pid -> {offered, completed, shed}
+    """offered == request spans == completed + shed + abandoned, per pid."""
+    spans = {}  # pid -> [completed, shed, abandoned]
+    totals = {}  # pid -> {offered, completed, shed, abandoned}
     for event in events:
         args = event.get("args", {})
         if event["ph"] == "X" and event["name"] == "request":
-            counts = spans.setdefault(event["pid"], [0, 0])
+            counts = spans.setdefault(event["pid"], [0, 0, 0])
             outcome = args.get("outcome")
             if outcome == "completed":
                 counts[0] += 1
+            elif outcome == "abandoned":
+                counts[2] += 1
             elif outcome == "shed":
                 counts[1] += 1
                 if event.get("dur", 0) != 0:
@@ -130,28 +134,37 @@ def check_request_reconciliation(path, events, failures):
     if not totals and spans:
         fail(failures, path, "request spans but no serving_totals instant")
     for pid, args in sorted(totals.items()):
-        completed, shed = spans.get(pid, [0, 0])
+        completed, shed, abandoned = spans.get(pid, [0, 0, 0])
         try:
             offered = int(args["offered"])
             reported_completed = int(args["completed"])
             reported_shed = int(args["shed"])
+            # Older traces predate the elastic retry path and carry no
+            # abandoned counter; their census has no abandoned spans.
+            reported_abandoned = int(args.get("abandoned", 0))
         except (KeyError, TypeError, ValueError):
             fail(failures, path, f"pid {pid}: malformed serving_totals args")
             continue
-        if offered != reported_completed + reported_shed:
+        if offered != reported_completed + reported_shed + reported_abandoned:
             fail(
                 failures,
                 path,
                 f"pid {pid}: offered {offered} != completed "
-                f"{reported_completed} + shed {reported_shed}",
+                f"{reported_completed} + shed {reported_shed} + abandoned "
+                f"{reported_abandoned}",
             )
-        if (completed, shed) != (reported_completed, reported_shed):
+        if (completed, shed, abandoned) != (
+            reported_completed,
+            reported_shed,
+            reported_abandoned,
+        ):
             fail(
                 failures,
                 path,
                 f"pid {pid}: span census ({completed} completed, {shed} "
-                f"shed) disagrees with serving_totals "
-                f"({reported_completed}, {reported_shed})",
+                f"shed, {abandoned} abandoned) disagrees with "
+                f"serving_totals ({reported_completed}, {reported_shed}, "
+                f"{reported_abandoned})",
             )
 
 

@@ -144,6 +144,21 @@ tail latency, shed counts, transfer charges, and energy per request.)");
            "(default 16; implies --sources closed when\n"
            "--sources is not given)",
            cli::append_counts(grid.user_counts, "user count"))
+      .add("--elastics", "LIST",
+           "comma list of elastic-operation policies as\n"
+           "'/'-joined k=v codec strings; each package runs the\n"
+           "policy on its own pool, and a fault=t:c:d:p entry\n"
+           "is delivered only to package p (p=-1 hits all; see\n"
+           "docs/elastic-operation.md; default static)",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             for (const std::string& part : cli::split(value, ',')) {
+               if (!serve::elastic_from_string(part)) {
+                 return "unparseable elastic policy: " + part;
+               }
+               grid.elastic_policies.push_back(part);
+             }
+             return std::nullopt;
+           })
       .add("--max-batch", "K",
            "batch bound for size/deadline/cont policies (default 8)",
            cli::store_count(grid.serving_defaults.max_batch, "max batch"))

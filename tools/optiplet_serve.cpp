@@ -19,6 +19,9 @@
 ///   optiplet_serve --trace arrivals.csv --tenants LeNet5 --policies size
 ///   optiplet_serve --tenants TinyGPT --rates 50,100 --policies cont \
 ///       --prefill-tokens 256 --decode-tokens 64 --kv-cache-mb 256
+///   optiplet_serve --tenants LeNet5 --rates 500 --admission shed \
+///       --elastics static,shift=0.2/gate=1e-3:1e-4/bucket=3600 \
+///       --curve-out day_curve.csv
 
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +36,7 @@
 #include "engine/sweep_runner.hpp"
 #include "obs/recorder.hpp"
 #include "serve/serving_simulator.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   std::string out_path = "serve.csv";
   std::string trace_out;
   std::string metrics_out;
+  std::string curve_out;
   double snapshot_period_s = 0.0;
   cli::Logger log;
 
@@ -151,6 +156,22 @@ counts, utilization, and energy per request.)");
            "concurrent decode slots (default 256)",
            cli::store_positive_double(grid.serving_defaults.kv_cache_mb,
                                       "KV-cache budget"))
+      .add("--elastics", "LIST",
+           "comma list of elastic-operation policies as\n"
+           "'/'-joined k=v codec strings (\"static\",\n"
+           "\"shift=0.2/tau=60\", \"gate=1e-3:1e-4\",\n"
+           "\"retry=4:2e-3\", \"fault=1.0:2:1:-1\",\n"
+           "\"bucket=3600/carbon=400:0.5:86400\"; see\n"
+           "docs/elastic-operation.md; default static)",
+           [&grid](const std::string& value) -> std::optional<std::string> {
+             for (const std::string& part : split(value, ',')) {
+               if (!serve::elastic_from_string(part)) {
+                 return "unparseable elastic policy: " + part;
+               }
+               grid.elastic_policies.push_back(part);
+             }
+             return std::nullopt;
+           })
       .add("--max-batch", "K",
            "batch bound for size/deadline/cont policies (default 8)",
            cli::store_count(grid.serving_defaults.max_batch, "max batch"))
@@ -195,7 +216,12 @@ counts, utilization, and energy per request.)");
            "sim-time between metric snapshots [s] (default:\n"
            "~64 snapshots across the arrival span)",
            cli::store_positive_double(snapshot_period_s,
-                                      "snapshot period"));
+                                      "snapshot period"))
+      .add("--curve-out", "FILE",
+           "also run the first scenario and write its\n"
+           "energy-per-request / carbon day curve as CSV\n"
+           "(needs an elastic policy with bucket=<s>)",
+           cli::store_string(curve_out));
   cli::add_log_flags(options_set, log)
       .add_action("--list-models",
                   "print the model registry (name, family, params) and exit",
@@ -335,7 +361,7 @@ counts, utilization, and energy per request.)");
   // attached; the grid results and CSV above are untouched (the recorder
   // never changes simulation results, but the re-run keeps the sweep's
   // wall-clock honest when tracing is off).
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || !curve_out.empty()) {
     const engine::ScenarioSpec& spec = store.results().front().spec;
     obs::RecorderOptions recorder_options;
     recorder_options.trace = !trace_out.empty();
@@ -347,11 +373,36 @@ counts, utilization, and energy per request.)");
     serve::ServingConfig serving_config =
         serve::make_serving_config(cfg, spec.arch, *spec.serving);
     serving_config.recorder = &recorder;
+    serve::ServingReport report;
     try {
-      (void)serve::simulate(serving_config);
+      report = serve::simulate(serving_config);
     } catch (const std::exception& e) {
       return options_set.fail(std::string("instrumented run failed: ") +
                               e.what());
+    }
+    if (!curve_out.empty()) {
+      if (report.day_curve.empty()) {
+        log.info("Warning: no day curve recorded — the elastic policy "
+                 "needs bucket=<s> (see --elastics)\n");
+      }
+      util::CsvWriter csv(curve_out,
+                          {"t0_s", "dt_s", "offered", "completed",
+                           "energy_j", "energy_per_request_j", "carbon_g"});
+      if (!csv.ok()) {
+        return options_set.fail("cannot write " + curve_out);
+      }
+      for (const serve::DayPoint& point : report.day_curve) {
+        csv.add_row({util::format_general(point.t0_s),
+                     util::format_general(point.dt_s),
+                     std::to_string(point.offered),
+                     std::to_string(point.completed),
+                     util::format_general(point.energy_j),
+                     util::format_general(point.energy_per_request_j),
+                     util::format_general(point.carbon_g)});
+      }
+      log.result("Day curve of %s (%zu buckets) written to %s\n",
+                 spec.key().c_str(), report.day_curve.size(),
+                 curve_out.c_str());
     }
     if (!trace_out.empty()) {
       if (!recorder.trace().write_json(trace_out)) {
